@@ -1,0 +1,45 @@
+//! Shared verification primitives.
+
+use rknn_core::{Metric, PointId, SearchStats};
+use rknn_index::KnnIndex;
+
+/// Verifies whether dataset point `x` at distance `d_xq` from the query is
+/// a reverse k-nearest neighbor: `d_k(x) ≥ d(x, q)` (the Korn–Muthukrishnan
+/// characterization, computed with a forward kNN query against `index`).
+///
+/// When the index holds fewer than `k` other points, `x` is trivially a
+/// reverse neighbor.
+pub fn verify_rknn<M, I>(index: &I, x: PointId, d_xq: f64, k: usize, stats: &mut SearchStats) -> bool
+where
+    M: Metric,
+    I: KnnIndex<M> + ?Sized,
+{
+    let nn = index.knn(index.point(x), k, Some(x), stats);
+    if nn.len() < k {
+        return true;
+    }
+    nn[k - 1].dist >= d_xq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rknn_core::{Dataset, Euclidean};
+    use rknn_index::LinearScan;
+
+    #[test]
+    fn verifies_the_dk_test() {
+        // Points on a line at 0, 1, 2, 10.
+        let ds = Dataset::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![10.0]])
+            .unwrap()
+            .into_shared();
+        let idx = LinearScan::build(ds, Euclidean);
+        let mut st = SearchStats::new();
+        // Is point 1 a reverse-1NN of point 0? d_1(1) = 1 = d(1, 0) → yes.
+        assert!(verify_rknn(&idx, 1, 1.0, 1, &mut st));
+        // Is point 3 (at 10) a reverse-1NN of point 0? d_1(3) = 8 < 10 → no.
+        assert!(!verify_rknn(&idx, 3, 10.0, 1, &mut st));
+        // k larger than the dataset: trivially true.
+        assert!(verify_rknn(&idx, 3, 10.0, 10, &mut st));
+    }
+}

@@ -1,0 +1,37 @@
+//! Reverse-kNN baselines from the paper's comparison study (§7.1).
+//!
+//! * [`NaiveRknn`] — exact reference with zero precomputation: one
+//!   verification per dataset point. The upper envelope of query cost.
+//! * [`Sft`] — the approximate SFT heuristic of Singh et al. \[40\]:
+//!   an `α·k`-NN candidate set, pairwise filtering, and count range
+//!   queries. Recall bounded by the candidate budget.
+//! * [`MRkNNCoP`] — Achtert et al. \[3\]: conservative log–log regression
+//!   bounds on every point's kNN-distance curve, aggregated in an M-tree.
+//!   Exact for any `k ≤ k_max`, at heavy precomputation cost.
+//! * [`RdnnTree`] — Yang & Lin \[51\]: an R-tree carrying each point's kNN
+//!   distance with subtree maxima; exact containment queries for one fixed
+//!   `k` per tree.
+//! * [`Tpl`] — Tao et al. \[43\] (the paper's "k-trim" variant): single
+//!   R-tree traversal with bisector point pruning and min/max-distance node
+//!   trimming, range-count refinement. Exact, no precomputation beyond the
+//!   tree; query cost degrades with dimension and k.
+//!
+//! Every method reports [`rknn_core::SearchStats`] and its precomputation
+//! wall-clock time so the evaluation can regenerate the paper's
+//! query-vs-precomputation tradeoffs (Figures 3–6, 8, 9).
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod mrknncop;
+pub mod naive;
+pub mod rdnn;
+pub mod sft;
+pub mod tpl;
+
+pub use common::verify_rknn;
+pub use mrknncop::MRkNNCoP;
+pub use naive::NaiveRknn;
+pub use rdnn::RdnnTree;
+pub use sft::Sft;
+pub use tpl::Tpl;

@@ -1,0 +1,111 @@
+//! Exact reverse-kNN with zero precomputation.
+//!
+//! One candidate verification per dataset point, each served by a count
+//! range query against the forward index. This is the method every other
+//! baseline is trying to beat on query time; it needs no setup at all and
+//! is exact for every `k`.
+
+use rknn_core::{Metric, Neighbor, PointId, SearchStats};
+use rknn_index::KnnIndex;
+
+/// Naive exact reverse-kNN over any forward index.
+#[derive(Debug, Clone, Copy)]
+pub struct NaiveRknn {
+    k: usize,
+}
+
+impl NaiveRknn {
+    /// Creates a handle for reverse rank `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        NaiveRknn { k }
+    }
+
+    /// The reverse rank.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Exact reverse-kNN of dataset point `q`.
+    ///
+    /// For every point `x ≠ q`, counts the points strictly closer to `x`
+    /// than `q` is; fewer than `k` makes `x` a reverse neighbor. The strict
+    /// count is equivalent to the `d_k(x) ≥ d(x, q)` test including ties.
+    pub fn query<M, I>(&self, index: &I, q: PointId, stats: &mut SearchStats) -> Vec<Neighbor>
+    where
+        M: Metric,
+        I: KnnIndex<M> + ?Sized,
+    {
+        let qp = index.point(q).to_vec();
+        let metric = index.metric();
+        let mut out = Vec::new();
+        for x in 0..index.num_points() {
+            if x == q {
+                continue;
+            }
+            stats.count_dist();
+            let d = metric.dist(index.point(x), &qp);
+            let closer = index.range_count(index.point(x), d, true, Some(x), stats);
+            // `closer` counts every other point strictly inside the ball,
+            // including q itself never (d(x,q) < d(x,q) is false).
+            if closer < self.k {
+                out.push(Neighbor::new(x, d));
+            }
+        }
+        rknn_core::neighbor::sort_neighbors(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use rknn_core::{BruteForce, Dataset, Euclidean};
+    use rknn_index::{CoverTree, LinearScan};
+    use std::sync::Arc;
+
+    fn uniform(n: usize, dim: usize, seed: u64) -> Arc<Dataset> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..dim).map(|_| rng.random::<f64>() * 10.0).collect()).collect();
+        Dataset::from_rows(&rows).unwrap().into_shared()
+    }
+
+    #[test]
+    fn agrees_with_brute_force_reference() {
+        let ds = uniform(250, 3, 100);
+        let idx = LinearScan::build(ds.clone(), Euclidean);
+        let bf = BruteForce::new(ds, Euclidean);
+        let mut st = SearchStats::new();
+        for k in [1usize, 5, 20] {
+            let method = NaiveRknn::new(k);
+            for q in [0usize, 100, 249] {
+                let got: Vec<_> =
+                    method.query(&idx, q, &mut st).iter().map(|n| n.id).collect();
+                let want: Vec<_> = bf.rknn(q, k, &mut st).iter().map(|n| n.id).collect();
+                assert_eq!(got, want, "k={k} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn substrate_independent() {
+        let ds = uniform(200, 2, 101);
+        let scan = LinearScan::build(ds.clone(), Euclidean);
+        let cover = CoverTree::build(ds, Euclidean);
+        let method = NaiveRknn::new(4);
+        let mut st = SearchStats::new();
+        for q in [3usize, 77] {
+            assert_eq!(
+                method.query(&scan, q, &mut st).iter().map(|n| n.id).collect::<Vec<_>>(),
+                method.query(&cover, q, &mut st).iter().map(|n| n.id).collect::<Vec<_>>(),
+            );
+        }
+    }
+}

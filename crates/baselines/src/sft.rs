@@ -1,0 +1,165 @@
+//! SFT — the approximate heuristic of Singh, Ferhatosmanoglu & Tosun \[40\].
+//!
+//! "Query processing begins with the extraction of an αk-NN set (for α ≥ 1)
+//! of the query point as an initial set of candidates. The algorithm
+//! subsequently employs two refinement strategies for the removal of false
+//! positives: the outcome of local distance computations among pairs of
+//! candidate points is first used for filtering, and the remaining false
+//! positives are then eliminated using count range queries." (§2.2)
+//!
+//! Recall is governed by α: a reverse neighbor whose forward rank from the
+//! query exceeds `α·k` is simply never examined. Every *reported* point is
+//! verified, so SFT has perfect precision.
+
+use rknn_core::{Metric, Neighbor, PointId, SearchStats};
+use rknn_index::KnnIndex;
+
+/// The SFT heuristic.
+#[derive(Debug, Clone, Copy)]
+pub struct Sft {
+    k: usize,
+    alpha: f64,
+}
+
+impl Sft {
+    /// Creates a handle for reverse rank `k` and candidate multiplier
+    /// `alpha ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `alpha < 1`.
+    pub fn new(k: usize, alpha: f64) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(alpha >= 1.0 && alpha.is_finite(), "alpha must be >= 1");
+        Sft { k, alpha }
+    }
+
+    /// The candidate multiplier.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of forward neighbors fetched as candidates.
+    pub fn candidate_budget(&self) -> usize {
+        (self.alpha * self.k as f64).ceil() as usize
+    }
+
+    /// Approximate reverse-kNN of dataset point `q`.
+    pub fn query<M, I>(&self, index: &I, q: PointId, stats: &mut SearchStats) -> Vec<Neighbor>
+    where
+        M: Metric,
+        I: KnnIndex<M> + ?Sized,
+    {
+        let metric = index.metric();
+        let budget = self.candidate_budget();
+        let candidates = index.knn(index.point(q), budget, Some(q), stats);
+
+        // Filter 1: local distance computations among candidate pairs.
+        // A candidate with k closer candidates cannot be a reverse neighbor.
+        let m = candidates.len();
+        let mut alive: Vec<bool> = vec![true; m];
+        for i in 0..m {
+            let xi = index.point(candidates[i].id);
+            let mut closer = 0usize;
+            for (j, other) in candidates.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                stats.count_dist();
+                if metric.dist(xi, index.point(other.id)) < candidates[i].dist {
+                    closer += 1;
+                    if closer >= self.k {
+                        alive[i] = false;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Filter 2: count range queries eliminate the remaining false
+        // positives exactly.
+        let mut out = Vec::new();
+        for (i, cand) in candidates.iter().enumerate() {
+            if !alive[i] {
+                continue;
+            }
+            let closer =
+                index.range_count(index.point(cand.id), cand.dist, true, Some(cand.id), stats);
+            if closer < self.k {
+                out.push(*cand);
+            }
+        }
+        rknn_core::neighbor::sort_neighbors(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use rknn_core::{BruteForce, Dataset, Euclidean};
+    use rknn_index::LinearScan;
+    use std::sync::Arc;
+
+    fn uniform(n: usize, dim: usize, seed: u64) -> Arc<Dataset> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..dim).map(|_| rng.random::<f64>() * 10.0).collect()).collect();
+        Dataset::from_rows(&rows).unwrap().into_shared()
+    }
+
+    #[test]
+    fn perfect_precision_at_any_alpha() {
+        let ds = uniform(300, 3, 110);
+        let idx = LinearScan::build(ds.clone(), Euclidean);
+        let bf = BruteForce::new(ds, Euclidean);
+        let mut st = SearchStats::new();
+        for alpha in [1.0, 2.0, 4.0] {
+            let sft = Sft::new(5, alpha);
+            for q in [0usize, 150] {
+                let truth: std::collections::HashSet<_> =
+                    bf.rknn(q, 5, &mut st).iter().map(|n| n.id).collect();
+                for n in sft.query(&idx, q, &mut st) {
+                    assert!(truth.contains(&n.id), "alpha={alpha} q={q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recall_monotone_in_alpha_and_exact_at_large_alpha() {
+        let ds = uniform(400, 2, 111);
+        let idx = LinearScan::build(ds.clone(), Euclidean);
+        let bf = BruteForce::new(ds, Euclidean);
+        let mut st = SearchStats::new();
+        let q = 7;
+        let truth: std::collections::HashSet<_> =
+            bf.rknn(q, 10, &mut st).iter().map(|n| n.id).collect();
+        let mut prev = 0.0;
+        for alpha in [1.0, 2.0, 8.0, 40.0] {
+            let got = Sft::new(10, alpha).query(&idx, q, &mut st);
+            let recall = if truth.is_empty() {
+                1.0
+            } else {
+                got.iter().filter(|n| truth.contains(&n.id)).count() as f64 / truth.len() as f64
+            };
+            assert!(recall >= prev - 1e-12, "recall must grow with alpha");
+            prev = recall;
+        }
+        assert!((prev - 1.0).abs() < 1e-12, "alpha covering n recovers everything");
+    }
+
+    #[test]
+    fn candidate_budget_rounds_up() {
+        assert_eq!(Sft::new(10, 1.5).candidate_budget(), 15);
+        assert_eq!(Sft::new(3, 1.1).candidate_budget(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be >= 1")]
+    fn rejects_alpha_below_one() {
+        let _ = Sft::new(3, 0.5);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based exactness tests: every exact baseline equals brute force
+//! on arbitrary point sets, ranks and queries; SFT's approximation contract
+//! holds for arbitrary budgets.
+
+use proptest::prelude::*;
+use rknn_baselines::{MRkNNCoP, NaiveRknn, RdnnTree, Sft, Tpl};
+use rknn_core::{BruteForce, Dataset, Euclidean, PointId, SearchStats};
+use rknn_index::{KnnIndex, LinearScan};
+use std::collections::HashSet;
+
+fn arb_points() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(-40.0f64..40.0, 2), 8..70)
+}
+
+fn truth(ds: &std::sync::Arc<Dataset>, q: PointId, k: usize) -> Vec<PointId> {
+    let bf = BruteForce::new(ds.clone(), Euclidean);
+    let mut st = SearchStats::new();
+    bf.rknn(q, k, &mut st).iter().map(|n| n.id).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn exact_methods_equal_brute_force(
+        pts in arb_points(),
+        k in 1usize..6,
+        qi in 0usize..70,
+    ) {
+        let ds = Dataset::from_rows(&pts).unwrap().into_shared();
+        let q = qi % ds.len();
+        let forward = LinearScan::build(ds.clone(), Euclidean);
+        let want = truth(&ds, q, k);
+        let mut st = SearchStats::new();
+
+        let naive: Vec<_> =
+            NaiveRknn::new(k).query(&forward, q, &mut st).iter().map(|n| n.id).collect();
+        prop_assert_eq!(&naive, &want, "naive");
+
+        let rdnn = RdnnTree::build(ds.clone(), Euclidean, k, &forward);
+        let got: Vec<_> = rdnn.query(q, &mut st).iter().map(|n| n.id).collect();
+        prop_assert_eq!(&got, &want, "rdnn");
+
+        let tpl = Tpl::build(ds.clone(), Euclidean);
+        let got: Vec<_> = tpl.query(q, k, &mut st).iter().map(|n| n.id).collect();
+        prop_assert_eq!(&got, &want, "tpl");
+
+        let cop = MRkNNCoP::build(ds.clone(), Euclidean, k.max(2), &forward);
+        let got: Vec<_> = cop.query(q, k, &forward, &mut st).iter().map(|n| n.id).collect();
+        prop_assert_eq!(&got, &want, "mrknncop");
+    }
+
+    #[test]
+    fn sft_contract_precision_and_budget_bounded_recall(
+        pts in arb_points(),
+        k in 1usize..5,
+        alpha_x10 in 10u32..80,
+        qi in 0usize..70,
+    ) {
+        let alpha = alpha_x10 as f64 / 10.0;
+        let ds = Dataset::from_rows(&pts).unwrap().into_shared();
+        let q = qi % ds.len();
+        let forward = LinearScan::build(ds.clone(), Euclidean);
+        let want: HashSet<_> = truth(&ds, q, k).into_iter().collect();
+        let mut st = SearchStats::new();
+        let sft = Sft::new(k, alpha);
+        let got = sft.query(&forward, q, &mut st);
+        // Perfect precision for any alpha.
+        for n in &got {
+            prop_assert!(want.contains(&n.id), "SFT false positive");
+        }
+        // Every true member within the candidate budget's forward rank is
+        // found: SFT misses only reverse neighbors whose forward rank from
+        // q exceeds α·k.
+        let budget = sft.candidate_budget();
+        let forward_nn = forward.knn(ds.point(q), budget, Some(q), &mut st);
+        let reachable: HashSet<_> = forward_nn.iter().map(|n| n.id).collect();
+        let got_ids: HashSet<_> = got.iter().map(|n| n.id).collect();
+        for member in want.iter().filter(|m| reachable.contains(m)) {
+            prop_assert!(
+                got_ids.contains(member),
+                "SFT missed reachable member {member}"
+            );
+        }
+    }
+
+    #[test]
+    fn mrknncop_bounds_cover_every_true_dk(
+        pts in arb_points(),
+        k_max in 2usize..8,
+    ) {
+        let ds = Dataset::from_rows(&pts).unwrap().into_shared();
+        let forward = LinearScan::build(ds.clone(), Euclidean);
+        let cop = MRkNNCoP::build(ds.clone(), Euclidean, k_max, &forward);
+        let bf = BruteForce::new(ds.clone(), Euclidean);
+        let mut st = SearchStats::new();
+        for (i, lines) in cop.lines().iter().enumerate() {
+            for k in 1..=k_max.min(ds.len() - 1) {
+                let dk = bf.dk(i, k, &mut st).expect("k within range");
+                prop_assert!(
+                    lines.lower(k) <= dk * (1.0 + 1e-9) + 1e-12,
+                    "lower bound violated at point {i}, k={k}"
+                );
+                prop_assert!(
+                    lines.upper(k) >= dk * (1.0 - 1e-9) - 1e-12,
+                    "upper bound violated at point {i}, k={k}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Ablation harness: quantifies what lazy accept/reject (witness
+//! machinery), the RDT+ exclusion, and the adaptive-t schedule each
+//! contribute, across the four evaluation datasets.
+
+use rknn_bench::HarnessOpts;
+use rknn_data::{aloi_like, fct_like, mnist_like, sequoia_like};
+use rknn_eval::experiments::ablation::{rows_to_table, run_ablation, AblationConfig};
+use std::sync::Arc;
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    let sets: Vec<(&str, Arc<rknn_core::Dataset>, bool)> = vec![
+        ("Sequoia-like", Arc::new(sequoia_like(opts.scaled(6000), opts.seed)), true),
+        ("FCT-like", Arc::new(fct_like(opts.scaled(4000), opts.seed)), true),
+        ("ALOI-like", Arc::new(aloi_like(opts.scaled(2000), opts.seed)), true),
+        ("MNIST-like", Arc::new(mnist_like(opts.scaled(1500), opts.seed)), false),
+    ];
+    let mut all = Vec::new();
+    for (name, ds, cover) in sets {
+        let cfg = AblationConfig {
+            queries: opts.queries_or(25),
+            use_cover_tree: cover,
+            seed: opts.seed,
+            ..AblationConfig::new(name)
+        };
+        all.extend(run_ablation(ds, &cfg));
+    }
+    opts.emit("ablation_witness", &rows_to_table(&all));
+    println!(
+        "expected shape: the no-witness variant pays for every candidate with an \
+         explicit kNN verification; RDT+ trims witness maintenance below RDT's; \
+         the adaptive schedule reaches comparable recall with no manual t"
+    );
+}

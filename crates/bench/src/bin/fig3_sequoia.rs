@@ -1,0 +1,25 @@
+//! Regenerates Figure 3: recall/query-time tradeoffs on Sequoia-like data
+//! for k ∈ {10, 50, 100}, with query and precomputation times for every
+//! method (cover-tree substrate).
+
+use rknn_bench::HarnessOpts;
+use rknn_data::sequoia_like;
+use std::sync::Arc;
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    let n = opts.scaled(8000);
+    let ds = Arc::new(sequoia_like(n, opts.seed));
+    rknn_bench::run_tradeoff_figure(
+        &opts,
+        "fig3_sequoia",
+        &format!("Figure 3: Sequoia-like (n={n}, 2-d, cover tree)"),
+        "Sequoia-like",
+        ds,
+        true,
+    );
+    println!(
+        "paper shape: heuristics beat exact methods near 100% recall at low k; \
+         RdNN/MRkNNCoP fastest per query but orders of magnitude more precomputation"
+    );
+}

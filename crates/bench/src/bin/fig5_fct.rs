@@ -1,0 +1,24 @@
+//! Regenerates Figure 5: recall/query-time tradeoffs on FCT-like data
+//! (53-d standardized features) for k ∈ {10, 50, 100}.
+
+use rknn_bench::HarnessOpts;
+use rknn_data::fct_like;
+use std::sync::Arc;
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    let n = opts.scaled(5000);
+    let ds = Arc::new(fct_like(n, opts.seed));
+    rknn_bench::run_tradeoff_figure(
+        &opts,
+        "fig5_fct",
+        &format!("Figure 5: FCT-like (n={n}, 53-d, cover tree)"),
+        "FCT-like",
+        ds,
+        true,
+    );
+    println!(
+        "paper shape: SFT has a slight edge at some k (fast cover-tree kNN); \
+         estimator-selected t lands near the tradeoff knee"
+    );
+}

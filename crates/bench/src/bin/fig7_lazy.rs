@@ -1,0 +1,35 @@
+//! Regenerates Figure 7: proportions of lazy accepts, lazy rejects and
+//! explicit verifications performed by RDT+ as a function of t, at k = 10,
+//! on all four datasets, with the achieved recall.
+
+use rknn_bench::HarnessOpts;
+use rknn_data::{aloi_like, fct_like, mnist_like, sequoia_like};
+use rknn_eval::experiments::lazy::{rows_to_table, run_lazy_profile, LazyConfig};
+use rknn_eval::Table;
+use std::sync::Arc;
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    let sets: Vec<(&str, Arc<rknn_core::Dataset>, bool)> = vec![
+        ("Sequoia-like", Arc::new(sequoia_like(opts.scaled(8000), opts.seed)), true),
+        ("FCT-like", Arc::new(fct_like(opts.scaled(5000), opts.seed)), true),
+        ("ALOI-like", Arc::new(aloi_like(opts.scaled(3000), opts.seed)), true),
+        ("MNIST-like", Arc::new(mnist_like(opts.scaled(2500), opts.seed)), false),
+    ];
+    let mut all = Vec::new();
+    for (name, ds, cover) in sets {
+        let cfg = LazyConfig {
+            queries: opts.queries_or(40),
+            use_cover_tree: cover,
+            seed: opts.seed,
+            ..LazyConfig::new(name)
+        };
+        all.extend(run_lazy_profile(ds, &cfg));
+    }
+    let table: Table = rows_to_table(&all);
+    opts.emit("fig7_lazy", &table);
+    println!(
+        "paper shape: verification dominates at small t; lazy rejection takes over \
+         as t grows; lazy accepts stay a small but significant share"
+    );
+}

@@ -1,0 +1,23 @@
+//! Regenerates Figure 9: the number of queries each method can answer
+//! within the time the RdNN-Tree needs for precomputation (k = 10,
+//! Imagenet-like subsets).
+
+use rknn_bench::HarnessOpts;
+use rknn_eval::experiments::amortization::{rows_to_table, run_amortization, AmortizationConfig};
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    let cfg = AmortizationConfig {
+        sizes: vec![opts.scaled(1000), opts.scaled(2500)],
+        dim: 512,
+        queries: opts.queries_or(10),
+        seed: opts.seed,
+        ..AmortizationConfig::default()
+    };
+    let rows = run_amortization(&cfg);
+    opts.emit("fig9_amortization", &rows_to_table(&rows));
+    println!(
+        "paper shape: thousands of RDT+ queries fit into the RdNN precomputation \
+         window; the exact methods spend the whole window setting up"
+    );
+}

@@ -1,0 +1,20 @@
+//! Hubness sweep: reverse-neighbor count skew vs dimensionality — the
+//! phenomenon behind the paper's hubness application of RkNN queries [46].
+
+use rknn_bench::HarnessOpts;
+use rknn_eval::experiments::hubness::{rows_to_table, run_hubness, HubnessConfig};
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    let cfg = HubnessConfig {
+        n: opts.scaled(2000),
+        seed: opts.seed,
+        ..HubnessConfig::default()
+    };
+    let rows = run_hubness(&cfg);
+    opts.emit("hubness", &rows_to_table(cfg.k, &rows));
+    println!(
+        "expected shape: skewness and the anti-hub fraction grow with dimension; \
+         the strongest hub's reverse neighborhood keeps growing"
+    );
+}

@@ -1,0 +1,45 @@
+//! Runs every table/figure harness in sequence (the one-shot reproduction
+//! entry point). Equivalent to executing the individual binaries.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1",
+        "fig3_sequoia",
+        "fig4_aloi",
+        "fig5_fct",
+        "fig6_mnist",
+        "fig7_lazy",
+        "fig8_imagenet",
+        "fig9_amortization",
+        "ablation_witness",
+        "theory_check",
+        "hubness",
+    ];
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("bin dir");
+    let mut failed = Vec::new();
+    for bin in bins {
+        println!("\n=== {bin} ===");
+        let path = dir.join(bin);
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                failed.push(bin);
+            }
+            Err(e) => {
+                eprintln!("cannot run {}: {e} (build with `cargo build --release -p rknn-bench`)", path.display());
+                failed.push(bin);
+            }
+        }
+    }
+    if failed.is_empty() {
+        println!("\nall experiments completed");
+    } else {
+        eprintln!("\nfailed: {failed:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Shared plumbing for the experiment harness binaries.
+//!
+//! Every binary regenerates one paper table/figure (see `DESIGN.md` §5 for
+//! the index) and accepts environment-variable overrides so the same code
+//! scales from smoke test to full run:
+//!
+//! * `RKNN_SCALE` — multiplies all dataset sizes (default 1.0; the
+//!   defaults are laptop-scaled versions of the paper's workloads with the
+//!   size *ratios* preserved);
+//! * `RKNN_QUERIES` — queries per batch (default per experiment);
+//! * `RKNN_SEED` — workload seed (default 0x5eed);
+//! * `RKNN_OUT` — output directory for CSVs (default `results/`).
+
+use rknn_eval::Table;
+use std::path::PathBuf;
+
+/// Parsed harness options.
+#[derive(Debug, Clone)]
+pub struct HarnessOpts {
+    /// Global size multiplier.
+    pub scale: f64,
+    /// Query-count override.
+    pub queries: Option<usize>,
+    /// Workload seed.
+    pub seed: u64,
+    /// CSV output directory.
+    pub out_dir: PathBuf,
+}
+
+impl HarnessOpts {
+    /// Reads options from the environment.
+    pub fn from_env() -> Self {
+        let scale = std::env::var("RKNN_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0);
+        let queries = std::env::var("RKNN_QUERIES").ok().and_then(|v| v.parse().ok());
+        let seed = std::env::var("RKNN_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(0x5eed);
+        let out_dir =
+            std::env::var("RKNN_OUT").map(PathBuf::from).unwrap_or_else(|_| PathBuf::from("results"));
+        HarnessOpts { scale, queries, seed, out_dir }
+    }
+
+    /// Applies the scale factor to a default size (minimum 64 points).
+    pub fn scaled(&self, n: usize) -> usize {
+        ((n as f64 * self.scale).round() as usize).max(64)
+    }
+
+    /// Query count with override.
+    pub fn queries_or(&self, default: usize) -> usize {
+        self.queries.unwrap_or(default)
+    }
+
+    /// Prints the table and writes its CSV next to it.
+    pub fn emit(&self, name: &str, table: &Table) {
+        println!("{}", table.render());
+        if let Err(e) = std::fs::create_dir_all(&self.out_dir) {
+            eprintln!("warning: cannot create {}: {e}", self.out_dir.display());
+            return;
+        }
+        let path = self.out_dir.join(format!("{name}.csv"));
+        match table.write_csv(&path) {
+            Ok(()) => println!("[csv written to {}]\n", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Runs one Figures 3–6 style tradeoff figure and emits its table.
+///
+/// `use_cover_tree` follows §7.1: cover tree everywhere except the
+/// MNIST/Imagenet-like sets, which use sequential scan.
+pub fn run_tradeoff_figure(
+    opts: &HarnessOpts,
+    csv_name: &str,
+    title: &str,
+    dataset_label: &str,
+    ds: std::sync::Arc<rknn_core::Dataset>,
+    use_cover_tree: bool,
+) {
+    use rknn_eval::tradeoff::{rows_to_table, run_tradeoff, TradeoffConfig};
+    let cfg = TradeoffConfig {
+        queries: opts.queries_or(40),
+        use_cover_tree,
+        seed: opts.seed,
+        ..TradeoffConfig::new(dataset_label)
+    };
+    let rows = run_tradeoff(ds, &cfg);
+    opts.emit(csv_name, &rows_to_table(title, &rows));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_has_floor() {
+        let opts = HarnessOpts {
+            scale: 0.001,
+            queries: None,
+            seed: 1,
+            out_dir: PathBuf::from("/tmp"),
+        };
+        assert_eq!(opts.scaled(8000), 64);
+        let opts = HarnessOpts { scale: 2.0, ..opts };
+        assert_eq!(opts.scaled(100), 200);
+        assert_eq!(opts.queries_or(40), 40);
+    }
+}

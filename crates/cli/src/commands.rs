@@ -1,0 +1,274 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use rknn_baselines::{NaiveRknn, Sft};
+use rknn_core::{Dataset, Euclidean, SearchStats};
+use rknn_index::{CoverTree, KnnIndex, LinearScan};
+use rknn_lid::{GpEstimator, HillEstimator, IdEstimator, TakensEstimator, TwoNnEstimator};
+use rknn_rdt::{Rdt, RdtAdaptive, RdtParams, RdtPlus};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn load_dataset(args: &Args) -> Result<Arc<Dataset>, String> {
+    let path = args.require("input")?;
+    let ds = rknn_data::load(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    if ds.is_empty() {
+        return Err(format!("{path}: dataset is empty"));
+    }
+    Ok(ds.into_shared())
+}
+
+/// `gen`: write a synthetic dataset to disk.
+pub fn gen(args: &Args) -> Result<(), String> {
+    let kind = args.require("kind")?;
+    let n: usize = args.get_parsed("n", 10_000)?;
+    let seed: u64 = args.get_parsed("seed", 1)?;
+    let out = args.require("out")?;
+    let ds = match kind {
+        "sequoia" => rknn_data::sequoia_like(n, seed),
+        "aloi" => rknn_data::aloi_like(n, seed),
+        "fct" => rknn_data::fct_like(n, seed),
+        "mnist" => rknn_data::mnist_like(n, seed),
+        "imagenet" => {
+            let dim: usize = args.get_parsed("dim", 512)?;
+            rknn_data::imagenet_like(n, dim, seed)
+        }
+        "uniform" => {
+            let dim: usize = args.get_parsed("dim", 8)?;
+            rknn_data::uniform_cube(n, dim, seed)
+        }
+        "blobs" => {
+            let dim: usize = args.get_parsed("dim", 8)?;
+            let clusters: usize = args.get_parsed("clusters", 10)?;
+            let sigma: f64 = args.get_parsed("sigma", 0.5)?;
+            rknn_data::gaussian_blobs(n, dim, clusters, sigma, seed)
+        }
+        other => return Err(format!("unknown dataset kind '{other}'")),
+    };
+    rknn_data::save(&ds, Path::new(out)).map_err(|e| format!("{out}: {e}"))?;
+    println!("wrote {} points × {} dims to {}", ds.len(), ds.dim(), out);
+    Ok(())
+}
+
+/// `estimate`: run all intrinsic-dimensionality estimators.
+pub fn estimate(args: &Args) -> Result<(), String> {
+    let ds = load_dataset(args)?;
+    println!("dataset: {} points × {} dims", ds.len(), ds.dim());
+    println!("{:<8} {:>9} {:>10} {:>9}", "method", "estimate", "samples", "time_s");
+    let estimators: Vec<Box<dyn IdEstimator>> = vec![
+        Box::new(HillEstimator::new()),
+        Box::new(GpEstimator::new()),
+        Box::new(TakensEstimator::new()),
+        Box::new(TwoNnEstimator::new()),
+    ];
+    for est in estimators {
+        let r = est.estimate(&ds, &Euclidean);
+        println!(
+            "{:<8} {:>9.3} {:>10} {:>9.3}",
+            est.name(),
+            r.id,
+            r.samples,
+            r.elapsed.as_secs_f64()
+        );
+    }
+    println!("\nsuggestion: use the GP or Takens value as RDT's scale parameter t (§6)");
+    Ok(())
+}
+
+enum Substrate {
+    Cover(CoverTree<Euclidean>),
+    Linear(LinearScan<Euclidean>),
+}
+
+impl Substrate {
+    fn build(args: &Args, ds: Arc<Dataset>) -> Result<(Self, f64), String> {
+        let name = args.get("substrate").unwrap_or(if ds.dim() > 100 { "linear" } else { "cover" });
+        let start = Instant::now();
+        let sub = match name {
+            "cover" => Substrate::Cover(CoverTree::build(ds, Euclidean)),
+            "linear" => Substrate::Linear(LinearScan::build(ds, Euclidean)),
+            other => return Err(format!("unknown substrate '{other}' (cover|linear)")),
+        };
+        Ok((sub, start.elapsed().as_secs_f64() * 1e3))
+    }
+
+    fn as_index(&self) -> &dyn KnnIndex<Euclidean> {
+        match self {
+            Substrate::Cover(t) => t,
+            Substrate::Linear(t) => t,
+        }
+    }
+}
+
+/// `query`: one reverse-kNN query.
+pub fn query(args: &Args) -> Result<(), String> {
+    let ds = load_dataset(args)?;
+    let q: usize = args.get_parsed("q", 0)?;
+    if q >= ds.len() {
+        return Err(format!("query id {q} out of range (n = {})", ds.len()));
+    }
+    let k: usize = args.get_parsed("k", 10)?;
+    if k == 0 {
+        return Err("k must be positive".into());
+    }
+    let method = args.get("method").unwrap_or("rdt+");
+    let (sub, build_ms) = Substrate::build(args, ds.clone())?;
+    let index = sub.as_index();
+    let start = Instant::now();
+    let (ids, note) = match method {
+        "rdt" | "rdt+" => {
+            let ans = if args.has_flag("adaptive") {
+                let safety: f64 = args.get_parsed("safety", 2.0)?;
+                RdtAdaptive::new(k, safety).with_plus(method == "rdt+").query(index, q)
+            } else {
+                let t: f64 = args.get_parsed("t", 4.0)?;
+                let params = RdtParams::new(k, t);
+                if method == "rdt+" {
+                    RdtPlus::new(params).query(index, q)
+                } else {
+                    Rdt::new(params).query(index, q)
+                }
+            };
+            let note = format!(
+                "retrieved {} candidates, {} lazy accepts, {} lazy rejects, {} verified, \
+                 {} distance computations",
+                ans.stats.retrieved,
+                ans.stats.lazy_accepts,
+                ans.stats.lazy_rejects + ans.stats.excluded,
+                ans.stats.verified,
+                ans.stats.total_dist_comps()
+            );
+            (ans.ids(), note)
+        }
+        "sft" => {
+            let alpha: f64 = args.get_parsed("alpha", 4.0)?;
+            let mut st = SearchStats::new();
+            let res = Sft::new(k, alpha).query(index, q, &mut st);
+            let note = format!("{} distance computations", st.dist_computations);
+            (res.into_iter().map(|n| n.id).collect(), note)
+        }
+        "naive" => {
+            let mut st = SearchStats::new();
+            let res = NaiveRknn::new(k).query(index, q, &mut st);
+            let note = format!("{} distance computations (exact)", st.dist_computations);
+            (res.into_iter().map(|n| n.id).collect(), note)
+        }
+        other => return Err(format!("unknown method '{other}' (rdt+|rdt|sft|naive)")),
+    };
+    let query_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!("RkNN({q}, {k}) via {method} [{}]:", index.name());
+    println!("  {} reverse neighbors: {:?}", ids.len(), ids);
+    println!("  {note}");
+    println!("  build {build_ms:.2} ms, query {query_ms:.3} ms");
+    Ok(())
+}
+
+/// `hubness`: distribution of reverse-neighbor counts (§1's hubness
+/// application \[46\]).
+pub fn hubness(args: &Args) -> Result<(), String> {
+    let ds = load_dataset(args)?;
+    let k: usize = args.get_parsed("k", 10)?;
+    let t: f64 = args.get_parsed("t", 8.0)?;
+    let (sub, _) = Substrate::build(args, ds.clone())?;
+    let index = sub.as_index();
+    let rdt = RdtPlus::new(RdtParams::new(k, t));
+    let mut counts: Vec<usize> = (0..ds.len()).map(|q| rdt.query(index, q).result.len()).collect();
+    let n = counts.len() as f64;
+    let mean = counts.iter().sum::<usize>() as f64 / n;
+    let var = counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n;
+    let sd = var.sqrt();
+    let skew = if sd > 0.0 {
+        counts.iter().map(|&c| ((c as f64 - mean) / sd).powi(3)).sum::<f64>() / n
+    } else {
+        0.0
+    };
+    counts.sort_unstable();
+    let pct = |p: f64| counts[((counts.len() - 1) as f64 * p) as usize];
+    println!("reverse-{k}NN count distribution over {} points (t = {t}):", ds.len());
+    println!("  mean {mean:.2}  sd {sd:.2}  skewness {skew:.2}");
+    println!(
+        "  min {}  p25 {}  median {}  p75 {}  p99 {}  max {}",
+        counts[0],
+        pct(0.25),
+        pct(0.5),
+        pct(0.75),
+        pct(0.99),
+        counts[counts.len() - 1]
+    );
+    let antihubs = counts.iter().filter(|&&c| c == 0).count();
+    println!("  anti-hubs (count 0): {antihubs}");
+    println!("  positive skewness = hubness: a few points dominate many k-NN lists");
+    Ok(())
+}
+
+/// `info`: dataset summary.
+pub fn info(args: &Args) -> Result<(), String> {
+    let ds = load_dataset(args)?;
+    println!("points: {}", ds.len());
+    println!("dims:   {}", ds.dim());
+    let m = ds.dim();
+    let mut lo = vec![f64::INFINITY; m];
+    let mut hi = vec![f64::NEG_INFINITY; m];
+    for (_, p) in ds.iter() {
+        for j in 0..m {
+            lo[j] = lo[j].min(p[j]);
+            hi[j] = hi[j].max(p[j]);
+        }
+    }
+    let extent: f64 = lo.iter().zip(&hi).map(|(l, h)| h - l).sum::<f64>() / m as f64;
+    println!("mean per-dimension extent: {extent:.4}");
+    let show = m.min(5);
+    for j in 0..show {
+        println!("  dim {j}: [{:.4}, {:.4}]", lo[j], hi[j]);
+    }
+    if m > show {
+        println!("  … {} more dimensions", m - show);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(|x| x.to_string())).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir().join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn gen_estimate_query_roundtrip() {
+        let path = tmp("rknn_cli_test.fvb");
+        gen(&args(&format!("gen --kind blobs --n 400 --dim 4 --out {path} --seed 3")))
+            .unwrap();
+        info(&args(&format!("info --input {path}"))).unwrap();
+        estimate(&args(&format!("estimate --input {path}"))).unwrap();
+        query(&args(&format!("query --input {path} --q 5 --k 5 --t 6"))).unwrap();
+        query(&args(&format!("query --input {path} --q 5 --k 5 --adaptive"))).unwrap();
+        query(&args(&format!("query --input {path} --q 5 --k 5 --method sft --alpha 4")))
+            .unwrap();
+        query(&args(&format!("query --input {path} --q 5 --k 5 --method naive"))).unwrap();
+        hubness(&args(&format!("hubness --input {path} --k 3 --t 6"))).unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(gen(&args("gen --kind nope --n 10 --out /tmp/x.csv")).is_err());
+        assert!(query(&args("query --input /nonexistent.csv --q 0 --k 3")).is_err());
+        let path = tmp("rknn_cli_err.csv");
+        gen(&args(&format!("gen --kind uniform --n 20 --dim 2 --out {path}"))).unwrap();
+        assert!(query(&args(&format!("query --input {path} --q 999 --k 3"))).is_err());
+        assert!(query(&args(&format!("query --input {path} --q 0 --k 0"))).is_err());
+        assert!(query(&args(&format!("query --input {path} --q 0 --k 3 --method woo"))).is_err());
+        assert!(
+            query(&args(&format!("query --input {path} --q 0 --k 3 --substrate woo"))).is_err()
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,63 @@
+//! `rknn-cli` — reverse k-nearest neighbor search from the command line.
+//!
+//! ```text
+//! rknn-cli gen      --kind sequoia --n 10000 --out pts.fvb [--seed 1] [--dim 64]
+//! rknn-cli estimate --input pts.fvb
+//! rknn-cli query    --input pts.fvb --q 123 --k 10 [--t 5 | --adaptive] [--method rdt+|rdt|sft|naive]
+//! rknn-cli hubness  --input pts.fvb --k 10 [--t 8]
+//! rknn-cli info     --input pts.fvb
+//! ```
+//!
+//! Datasets are CSV (one point per line) or the `.fvb` binary format of
+//! `rknn-data`.
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+rknn-cli — reverse k-nearest neighbor search by dimensional testing
+
+USAGE:
+  rknn-cli gen      --kind <sequoia|aloi|fct|mnist|imagenet|uniform|blobs>
+                    --n <points> --out <file[.csv|.fvb]> [--seed S] [--dim D]
+  rknn-cli estimate --input <file>            intrinsic-dimensionality estimates
+  rknn-cli query    --input <file> --q <id> --k <rank>
+                    [--t <scale> | --adaptive] [--method rdt+|rdt|sft|naive]
+                    [--substrate cover|linear] [--alpha A]
+  rknn-cli hubness  --input <file> --k <rank> [--t <scale>]
+  rknn-cli info     --input <file>            dataset summary
+
+Datasets: CSV (comma-separated coordinates, '#' comments) or .fvb binary.
+";
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_deref() {
+        Some("gen") => commands::gen(&args),
+        Some("estimate") => commands::estimate(&args),
+        Some("query") => commands::query(&args),
+        Some("hubness") => commands::hubness(&args),
+        Some("info") => commands::info(&args),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\nrun 'rknn-cli help' for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

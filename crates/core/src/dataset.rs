@@ -1,0 +1,246 @@
+//! Finite point sets `S ⊆ R^m` with validated, cache-friendly flat storage.
+
+use crate::error::CoreError;
+use std::sync::Arc;
+
+/// An immutable, validated point set.
+///
+/// Points are stored row-major in a single flat allocation; every coordinate
+/// is guaranteed finite. Datasets are cheaply shareable behind [`Arc`] so
+/// that several index structures can be built over the same points without
+/// copying them (the memory for the high-dimensional workloads in the
+/// evaluation is dominated by the point data).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    dim: usize,
+    data: Vec<f64>,
+}
+
+impl Dataset {
+    /// Builds a dataset from row-major flat coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] if `data.len()` is not a
+    /// multiple of `dim` and [`CoreError::NonFinite`] if any coordinate is
+    /// NaN or infinite. `dim` must be nonzero.
+    pub fn from_flat(dim: usize, data: Vec<f64>) -> Result<Self, CoreError> {
+        if dim == 0 {
+            return Err(CoreError::DimensionMismatch { expected: 1, got: 0 });
+        }
+        if !data.len().is_multiple_of(dim) {
+            return Err(CoreError::DimensionMismatch {
+                expected: dim,
+                got: data.len() % dim,
+            });
+        }
+        for (i, v) in data.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(CoreError::NonFinite { point: i / dim, coordinate: i % dim });
+            }
+        }
+        Ok(Dataset { dim, data })
+    }
+
+    /// Builds a dataset from a sequence of rows, validating dimensions.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, CoreError> {
+        let dim = rows.first().map(|r| r.len()).unwrap_or(0);
+        if dim == 0 {
+            return Err(CoreError::EmptyDataset);
+        }
+        let mut data = Vec::with_capacity(rows.len() * dim);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != dim {
+                return Err(CoreError::DimensionMismatch { expected: dim, got: row.len() });
+            }
+            for (j, v) in row.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(CoreError::NonFinite { point: i, coordinate: j });
+                }
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Dataset { dim, data })
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len().checked_div(self.dim).unwrap_or(0)
+    }
+
+    /// Whether the dataset holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Representational dimension `m`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Coordinates of point `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Iterates over `(id, coordinates)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[f64])> {
+        (0..self.len()).map(move |i| (i, self.point(i)))
+    }
+
+    /// The raw flat coordinate buffer (row-major).
+    #[inline]
+    pub fn flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// A new dataset containing only the points whose ids are in `ids`
+    /// (in the given order).
+    pub fn subset(&self, ids: &[usize]) -> Result<Self, CoreError> {
+        let mut data = Vec::with_capacity(ids.len() * self.dim);
+        for &id in ids {
+            if id >= self.len() {
+                return Err(CoreError::UnknownPoint(id));
+            }
+            data.extend_from_slice(self.point(id));
+        }
+        Ok(Dataset { dim: self.dim, data })
+    }
+
+    /// Wraps the dataset in an [`Arc`] for sharing across indexes.
+    pub fn into_shared(self) -> Arc<Dataset> {
+        Arc::new(self)
+    }
+}
+
+/// Incremental builder for [`Dataset`], validating each appended point.
+#[derive(Debug, Clone)]
+pub struct DatasetBuilder {
+    dim: usize,
+    data: Vec<f64>,
+}
+
+impl DatasetBuilder {
+    /// Creates a builder for points of dimensionality `dim`.
+    pub fn new(dim: usize) -> Self {
+        DatasetBuilder { dim, data: Vec::new() }
+    }
+
+    /// Creates a builder with room for `n` points without reallocation.
+    pub fn with_capacity(dim: usize, n: usize) -> Self {
+        DatasetBuilder { dim, data: Vec::with_capacity(dim * n) }
+    }
+
+    /// Appends one point, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::DimensionMismatch`] or [`CoreError::NonFinite`].
+    pub fn push(&mut self, point: &[f64]) -> Result<usize, CoreError> {
+        if point.len() != self.dim {
+            return Err(CoreError::DimensionMismatch { expected: self.dim, got: point.len() });
+        }
+        let id = self.data.len() / self.dim;
+        for (j, v) in point.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(CoreError::NonFinite { point: id, coordinate: j });
+            }
+        }
+        self.data.extend_from_slice(point);
+        Ok(id)
+    }
+
+    /// Number of points pushed so far.
+    pub fn len(&self) -> usize {
+        self.data.len().checked_div(self.dim).unwrap_or(0)
+    }
+
+    /// Whether no points have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Finalizes the dataset.
+    pub fn build(self) -> Dataset {
+        Dataset { dim: self.dim, data: self.data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let ds = Dataset::from_rows(&[vec![0.0, 1.0], vec![2.0, 3.0], vec![4.0, 5.0]]).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.dim(), 2);
+        assert_eq!(ds.point(1), &[2.0, 3.0]);
+        let collected: Vec<_> = ds.iter().map(|(i, p)| (i, p.to_vec())).collect();
+        assert_eq!(collected[2], (2, vec![4.0, 5.0]));
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let err = Dataset::from_rows(&[vec![0.0, 1.0], vec![2.0]]).unwrap_err();
+        assert_eq!(err, CoreError::DimensionMismatch { expected: 2, got: 1 });
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let err = Dataset::from_rows(&[vec![0.0, f64::NAN]]).unwrap_err();
+        assert_eq!(err, CoreError::NonFinite { point: 0, coordinate: 1 });
+        let err = Dataset::from_flat(2, vec![0.0, 1.0, f64::INFINITY, 3.0]).unwrap_err();
+        assert_eq!(err, CoreError::NonFinite { point: 1, coordinate: 0 });
+    }
+
+    #[test]
+    fn rejects_empty_rows() {
+        assert_eq!(Dataset::from_rows(&[]).unwrap_err(), CoreError::EmptyDataset);
+    }
+
+    #[test]
+    fn from_flat_validates_multiple() {
+        let err = Dataset::from_flat(3, vec![1.0, 2.0]).unwrap_err();
+        assert!(matches!(err, CoreError::DimensionMismatch { .. }));
+        assert!(Dataset::from_flat(0, vec![]).is_err());
+    }
+
+    #[test]
+    fn subset_selects_and_orders() {
+        let ds = Dataset::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]).unwrap();
+        let sub = ds.subset(&[2, 0]).unwrap();
+        assert_eq!(sub.point(0), &[2.0]);
+        assert_eq!(sub.point(1), &[0.0]);
+        assert_eq!(ds.subset(&[5]).unwrap_err(), CoreError::UnknownPoint(5));
+    }
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let mut b = DatasetBuilder::with_capacity(2, 4);
+        assert!(b.is_empty());
+        assert_eq!(b.push(&[0.0, 0.0]).unwrap(), 0);
+        assert_eq!(b.push(&[1.0, 1.0]).unwrap(), 1);
+        assert_eq!(b.len(), 2);
+        assert!(b.push(&[1.0]).is_err());
+        assert!(b.push(&[f64::NAN, 0.0]).is_err());
+        let ds = b.build();
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn empty_dataset_properties() {
+        let ds = Dataset::from_flat(4, vec![]).unwrap();
+        assert!(ds.is_empty());
+        assert_eq!(ds.len(), 0);
+        assert_eq!(ds.iter().count(), 0);
+    }
+}

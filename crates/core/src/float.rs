@@ -1,0 +1,97 @@
+//! Total-order helpers for `f64`.
+//!
+//! Neighbor distances produced inside this workspace are always finite and
+//! non-NaN (datasets reject non-finite coordinates and all metrics map finite
+//! inputs to finite outputs), but `f64` still only implements `PartialOrd`.
+//! [`OrderedF64`] provides the `Ord` wrapper used by heaps and sorts.
+
+use std::cmp::Ordering;
+
+/// An `f64` with a total order.
+///
+/// NaN sorts *after* every other value so that an accidental NaN can never
+/// masquerade as a best-so-far distance; debug builds assert against NaN at
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrderedF64(pub f64);
+
+impl OrderedF64 {
+    /// Wraps a value, asserting (in debug builds) that it is not NaN.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        debug_assert!(!v.is_nan(), "OrderedF64 must not wrap NaN");
+        OrderedF64(v)
+    }
+
+    /// Unwraps the inner value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.0.partial_cmp(&other.0) {
+            Some(o) => o,
+            // NaN sorts last; two NaNs compare equal.
+            None => match (self.0.is_nan(), other.0.is_nan()) {
+                (true, true) => Ordering::Equal,
+                (true, false) => Ordering::Greater,
+                (false, true) => Ordering::Less,
+                (false, false) => unreachable!("partial_cmp returned None for non-NaN inputs"),
+            },
+        }
+    }
+}
+
+impl From<f64> for OrderedF64 {
+    #[inline]
+    fn from(v: f64) -> Self {
+        OrderedF64::new(v)
+    }
+}
+
+/// Sorts a slice of `f64` ascending using the total order.
+pub fn sort_f64(values: &mut [f64]) {
+    values.sort_by_key(|a| OrderedF64(*a));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_finite_values() {
+        let mut v = vec![3.0, -1.0, 2.5, 0.0];
+        sort_f64(&mut v);
+        assert_eq!(v, vec![-1.0, 0.0, 2.5, 3.0]);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(OrderedF64(1.0) < OrderedF64(2.0));
+        assert!(OrderedF64(2.0) > OrderedF64(1.0));
+        assert_eq!(OrderedF64(1.5), OrderedF64(1.5));
+        assert!(OrderedF64(f64::NEG_INFINITY) < OrderedF64(f64::INFINITY));
+    }
+
+    #[test]
+    fn nan_sorts_last() {
+        // Bypass the debug assertion deliberately via the tuple constructor.
+        let nan = OrderedF64(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert_eq!(nan.cmp(&OrderedF64(1.0)), Ordering::Greater);
+        assert_eq!(OrderedF64(1.0).cmp(&nan), Ordering::Less);
+    }
+}

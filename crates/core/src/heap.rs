@@ -1,0 +1,157 @@
+//! A bounded max-heap for collecting the `k` nearest neighbors seen so far.
+
+use crate::neighbor::{MaxByDist, Neighbor};
+use std::collections::BinaryHeap;
+
+/// Collects the `k` smallest-distance neighbors from a stream of candidates.
+///
+/// The heap keeps at most `k` entries; [`KnnHeap::threshold`] exposes the
+/// current k-th smallest distance, which searches use as a pruning bound.
+#[derive(Debug, Clone)]
+pub struct KnnHeap {
+    k: usize,
+    heap: BinaryHeap<MaxByDist>,
+}
+
+impl KnnHeap {
+    /// Creates a heap retaining the `k` nearest candidates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "KnnHeap requires k > 0");
+        KnnHeap { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// The neighborhood size `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of candidates currently retained.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no candidate has been offered yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Whether the heap holds `k` entries.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.k
+    }
+
+    /// The current pruning threshold: the k-th smallest distance seen so far,
+    /// or `+∞` while fewer than `k` candidates have been offered.
+    #[inline]
+    pub fn threshold(&self) -> f64 {
+        if self.is_full() {
+            self.heap.peek().map(|m| m.0.dist).unwrap_or(f64::INFINITY)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Offers a candidate; returns `true` if it was retained.
+    ///
+    /// A candidate is retained when the heap is not yet full or its distance
+    /// improves on the current threshold (strictly — equal-distance
+    /// candidates arriving after the heap is full are rejected, matching the
+    /// maximum-rank tie convention used for candidate *collection*; rank
+    /// computations that must honor ties use [`crate::rank`] instead).
+    pub fn offer(&mut self, n: Neighbor) -> bool {
+        if self.heap.len() < self.k {
+            self.heap.push(MaxByDist(n));
+            true
+        } else if n.dist < self.threshold() {
+            self.heap.push(MaxByDist(n));
+            self.heap.pop();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the heap, returning neighbors sorted ascending by distance.
+    pub fn into_sorted(self) -> Vec<Neighbor> {
+        let mut v: Vec<Neighbor> = self.heap.into_iter().map(|m| m.0).collect();
+        v.sort_by(Neighbor::cmp_by_dist);
+        v
+    }
+
+    /// The largest retained distance without consuming the heap, if any.
+    pub fn peek_max(&self) -> Option<Neighbor> {
+        self.heap.peek().map(|m| m.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn keeps_k_nearest() {
+        let mut h = KnnHeap::new(3);
+        for (id, d) in [(0, 5.0), (1, 1.0), (2, 4.0), (3, 2.0), (4, 3.0)] {
+            h.offer(Neighbor::new(id, d));
+        }
+        let out = h.into_sorted();
+        let ids: Vec<_> = out.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn threshold_tracks_kth_distance() {
+        let mut h = KnnHeap::new(2);
+        assert_eq!(h.threshold(), f64::INFINITY);
+        h.offer(Neighbor::new(0, 3.0));
+        assert_eq!(h.threshold(), f64::INFINITY);
+        h.offer(Neighbor::new(1, 1.0));
+        assert_eq!(h.threshold(), 3.0);
+        h.offer(Neighbor::new(2, 2.0));
+        assert_eq!(h.threshold(), 2.0);
+        assert_eq!(h.peek_max().unwrap().id, 2);
+    }
+
+    #[test]
+    fn rejects_when_full_and_not_closer() {
+        let mut h = KnnHeap::new(1);
+        assert!(h.offer(Neighbor::new(0, 1.0)));
+        assert!(!h.offer(Neighbor::new(1, 1.0)), "equal distance is rejected");
+        assert!(!h.offer(Neighbor::new(2, 2.0)));
+        assert!(h.offer(Neighbor::new(3, 0.5)));
+        assert_eq!(h.into_sorted()[0].id, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "k > 0")]
+    fn zero_k_panics() {
+        let _ = KnnHeap::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn agrees_with_full_sort(dists in proptest::collection::vec(0.0f64..100.0, 1..60), k in 1usize..10) {
+            let mut h = KnnHeap::new(k);
+            for (id, &d) in dists.iter().enumerate() {
+                h.offer(Neighbor::new(id, d));
+            }
+            let got: Vec<f64> = h.into_sorted().iter().map(|n| n.dist).collect();
+            let mut all = dists.clone();
+            all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let want: Vec<f64> = all.into_iter().take(k).collect();
+            prop_assert_eq!(got.len(), want.len().min(dists.len()));
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert!((g - w).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Core primitives shared by every crate in the `rknn` workspace.
+//!
+//! This crate provides the executable counterpart of the notation in §3.1 of
+//! *Dimensional Testing for Reverse k-Nearest Neighbor Search* (Casanova et
+//! al., PVLDB 10(7), 2017):
+//!
+//! * [`Dataset`] — a finite point set `S ⊆ R^m` with validated, flat storage;
+//! * [`Metric`] — distance measures `d(x, y)` (Euclidean by default, plus the
+//!   Minkowski family: the paper's analysis holds for any metric);
+//! * [`Neighbor`] and bounded heaps for k-nearest-neighbor collection;
+//! * rank and ball-cardinality primitives (`ρ_S(q, x)`, `B≤_S(q, r)`,
+//!   `d_k(q)`) in [`rank`];
+//! * brute-force reference implementations of kNN and reverse-kNN used as
+//!   ground truth throughout the workspace ([`brute`]);
+//! * [`SearchStats`] — per-query work counters (distance computations, node
+//!   visits) used by all indexes and algorithms for the paper's
+//!   cost accounting.
+//!
+//! # Conventions
+//!
+//! All rank-like quantities are **self-excluding**: `d_k(x)` is the distance
+//! from `x` to its k-th nearest *other* point, and `x ∈ RkNN(q, k)` iff
+//! `x ≠ q` and `d(x, q) ≤ d_k(x)`. Ties are assigned the maximum rank, as in
+//! §3.1 of the paper. See `DESIGN.md` §2 for the full rationale (including
+//! the witness-counter erratum in the paper's Algorithm 1 listing).
+
+#![warn(missing_docs)]
+
+pub mod brute;
+pub mod dataset;
+pub mod error;
+pub mod float;
+pub mod heap;
+pub mod metric;
+pub mod neighbor;
+pub mod rank;
+pub mod stats;
+
+pub use brute::BruteForce;
+pub use dataset::{Dataset, DatasetBuilder};
+pub use error::CoreError;
+pub use float::OrderedF64;
+pub use heap::KnnHeap;
+pub use metric::{Chebyshev, Euclidean, Manhattan, Metric, Minkowski};
+pub use neighbor::{Neighbor, PointId};
+pub use stats::SearchStats;

@@ -1,0 +1,333 @@
+//! Distance measures.
+//!
+//! The paper's analysis (§5) holds for *any* metric — any distance for which
+//! the triangle inequality holds. The experiments use the Euclidean distance
+//! "so that our method could be tested against competitors that require it"
+//! (§7.1); we default to [`Euclidean`] but also provide the rest of the
+//! Minkowski family so metric-capable components (cover tree, VP-tree,
+//! M-tree, RDT itself) can be exercised beyond L2.
+
+use std::fmt::Debug;
+
+/// A metric distance over coordinate vectors.
+///
+/// Implementations must satisfy the metric axioms on finite inputs:
+/// non-negativity, identity of indiscernibles, symmetry, and the triangle
+/// inequality. Property tests in this crate check these axioms for every
+/// provided implementation.
+pub trait Metric: Send + Sync + Debug {
+    /// The distance `d(a, b)`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `a.len() != b.len()`.
+    fn dist(&self, a: &[f64], b: &[f64]) -> f64;
+
+    /// A human-readable name, used in experiment reports.
+    fn name(&self) -> &'static str;
+
+    /// Smallest distance from `q` to any point of the axis-aligned box
+    /// `[lo, hi]` (the `MINDIST` of R-tree literature).
+    ///
+    /// Returns `None` when the metric does not support box lower bounds, in
+    /// which case box-based indexes cannot be used with it.
+    fn box_min_dist(&self, _q: &[f64], _lo: &[f64], _hi: &[f64]) -> Option<f64> {
+        None
+    }
+
+    /// Largest distance from `q` to any point of the axis-aligned box
+    /// `[lo, hi]` (the `MAXDIST` bound).
+    fn box_max_dist(&self, _q: &[f64], _lo: &[f64], _hi: &[f64]) -> Option<f64> {
+        None
+    }
+}
+
+/// Accumulates per-coordinate gaps to the box `[lo, hi]`, then folds them
+/// with the supplied norm. Shared by the Minkowski-family implementations.
+#[inline]
+fn box_gaps<F: FnMut(f64)>(q: &[f64], lo: &[f64], hi: &[f64], mut fold: F) {
+    for i in 0..q.len() {
+        let gap = if q[i] < lo[i] {
+            lo[i] - q[i]
+        } else if q[i] > hi[i] {
+            q[i] - hi[i]
+        } else {
+            0.0
+        };
+        fold(gap);
+    }
+}
+
+/// Per-coordinate farthest gap to the box `[lo, hi]`.
+#[inline]
+fn box_far_gaps<F: FnMut(f64)>(q: &[f64], lo: &[f64], hi: &[f64], mut fold: F) {
+    for i in 0..q.len() {
+        let gap = (q[i] - lo[i]).abs().max((hi[i] - q[i]).abs());
+        fold(gap);
+    }
+}
+
+/// The Euclidean (L2) distance — the paper's experimental metric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Euclidean;
+
+impl Euclidean {
+    /// Squared Euclidean distance; cheaper when only comparisons are needed.
+    #[inline]
+    pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut acc = 0.0;
+        for i in 0..a.len() {
+            let d = a[i] - b[i];
+            acc += d * d;
+        }
+        acc
+    }
+}
+
+impl Metric for Euclidean {
+    #[inline]
+    fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
+        Euclidean::dist_sq(a, b).sqrt()
+    }
+
+    fn name(&self) -> &'static str {
+        "euclidean"
+    }
+
+    fn box_min_dist(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> Option<f64> {
+        let mut acc = 0.0;
+        box_gaps(q, lo, hi, |g| acc += g * g);
+        Some(acc.sqrt())
+    }
+
+    fn box_max_dist(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> Option<f64> {
+        let mut acc = 0.0;
+        box_far_gaps(q, lo, hi, |g| acc += g * g);
+        Some(acc.sqrt())
+    }
+}
+
+/// The Manhattan (L1) distance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Manhattan;
+
+impl Metric for Manhattan {
+    #[inline]
+    fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut acc = 0.0;
+        for i in 0..a.len() {
+            acc += (a[i] - b[i]).abs();
+        }
+        acc
+    }
+
+    fn name(&self) -> &'static str {
+        "manhattan"
+    }
+
+    fn box_min_dist(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> Option<f64> {
+        let mut acc = 0.0;
+        box_gaps(q, lo, hi, |g| acc += g);
+        Some(acc)
+    }
+
+    fn box_max_dist(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> Option<f64> {
+        let mut acc = 0.0;
+        box_far_gaps(q, lo, hi, |g| acc += g);
+        Some(acc)
+    }
+}
+
+/// The Chebyshev (L∞) distance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Chebyshev;
+
+impl Metric for Chebyshev {
+    #[inline]
+    fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut acc: f64 = 0.0;
+        for i in 0..a.len() {
+            acc = acc.max((a[i] - b[i]).abs());
+        }
+        acc
+    }
+
+    fn name(&self) -> &'static str {
+        "chebyshev"
+    }
+
+    fn box_min_dist(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> Option<f64> {
+        let mut acc: f64 = 0.0;
+        box_gaps(q, lo, hi, |g| acc = acc.max(g));
+        Some(acc)
+    }
+
+    fn box_max_dist(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> Option<f64> {
+        let mut acc: f64 = 0.0;
+        box_far_gaps(q, lo, hi, |g| acc = acc.max(g));
+        Some(acc)
+    }
+}
+
+/// The Minkowski (Lp) distance for `p ≥ 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Minkowski {
+    p: f64,
+}
+
+impl Minkowski {
+    /// Creates an Lp metric. `p` must be `≥ 1` for the triangle inequality
+    /// to hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p < 1` or `p` is not finite.
+    pub fn new(p: f64) -> Self {
+        assert!(p.is_finite() && p >= 1.0, "Minkowski requires finite p >= 1");
+        Minkowski { p }
+    }
+
+    /// The order `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Metric for Minkowski {
+    #[inline]
+    fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut acc = 0.0;
+        for i in 0..a.len() {
+            acc += (a[i] - b[i]).abs().powf(self.p);
+        }
+        acc.powf(1.0 / self.p)
+    }
+
+    fn name(&self) -> &'static str {
+        "minkowski"
+    }
+
+    fn box_min_dist(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> Option<f64> {
+        let mut acc = 0.0;
+        box_gaps(q, lo, hi, |g| acc += g.powf(self.p));
+        Some(acc.powf(1.0 / self.p))
+    }
+
+    fn box_max_dist(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> Option<f64> {
+        let mut acc = 0.0;
+        box_far_gaps(q, lo, hi, |g| acc += g.powf(self.p));
+        Some(acc.powf(1.0 / self.p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn metrics() -> Vec<Box<dyn Metric>> {
+        vec![
+            Box::new(Euclidean),
+            Box::new(Manhattan),
+            Box::new(Chebyshev),
+            Box::new(Minkowski::new(3.0)),
+            Box::new(Minkowski::new(1.5)),
+        ]
+    }
+
+    #[test]
+    fn euclidean_matches_hand_computation() {
+        let d = Euclidean.dist(&[0.0, 0.0], &[3.0, 4.0]);
+        assert!((d - 5.0).abs() < 1e-12);
+        assert!((Euclidean::dist_sq(&[0.0, 0.0], &[3.0, 4.0]) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_and_chebyshev() {
+        assert_eq!(Manhattan.dist(&[1.0, 2.0], &[4.0, 0.0]), 5.0);
+        assert_eq!(Chebyshev.dist(&[1.0, 2.0], &[4.0, 0.0]), 3.0);
+    }
+
+    #[test]
+    fn minkowski_interpolates() {
+        // p = 1 equals Manhattan, p = 2 equals Euclidean.
+        let a = [0.3, -1.2, 4.0];
+        let b = [1.0, 0.0, -2.0];
+        assert!((Minkowski::new(1.0).dist(&a, &b) - Manhattan.dist(&a, &b)).abs() < 1e-12);
+        assert!((Minkowski::new(2.0).dist(&a, &b) - Euclidean.dist(&a, &b)).abs() < 1e-12);
+        assert!((Minkowski::new(2.0).p() - 2.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    #[should_panic(expected = "p >= 1")]
+    fn minkowski_rejects_sub_one_p() {
+        let _ = Minkowski::new(0.5);
+    }
+
+    #[test]
+    fn box_bounds_inside_point() {
+        // A query inside the box has min dist 0.
+        let lo = [0.0, 0.0];
+        let hi = [2.0, 2.0];
+        let q = [1.0, 1.5];
+        for m in metrics() {
+            assert_eq!(m.box_min_dist(&q, &lo, &hi).unwrap(), 0.0, "{}", m.name());
+            let far = m.box_max_dist(&q, &lo, &hi).unwrap();
+            // Farthest corner from (1, 1.5) is (0, 0) or (2, 0).
+            assert!(far >= m.dist(&q, &[0.0, 0.0]) - 1e-12, "{}", m.name());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn metric_axioms(
+            a in proptest::collection::vec(-100.0f64..100.0, 4),
+            b in proptest::collection::vec(-100.0f64..100.0, 4),
+            c in proptest::collection::vec(-100.0f64..100.0, 4),
+        ) {
+            for m in metrics() {
+                let dab = m.dist(&a, &b);
+                let dba = m.dist(&b, &a);
+                let dac = m.dist(&a, &c);
+                let dcb = m.dist(&c, &b);
+                prop_assert!(dab >= 0.0);
+                prop_assert!((dab - dba).abs() < 1e-9, "symmetry failed for {}", m.name());
+                prop_assert!(m.dist(&a, &a) < 1e-12);
+                // Triangle inequality with a small slack for float rounding.
+                prop_assert!(
+                    dab <= dac + dcb + 1e-9 * (1.0 + dab.abs()),
+                    "triangle inequality failed for {}: {} > {} + {}",
+                    m.name(), dab, dac, dcb
+                );
+            }
+        }
+
+        #[test]
+        fn box_bounds_bracket_all_contained_points(
+            q in proptest::collection::vec(-10.0f64..10.0, 3),
+            x in proptest::collection::vec(0.0f64..1.0, 3),
+            lo in proptest::collection::vec(-5.0f64..0.0, 3),
+            ext in proptest::collection::vec(0.0f64..5.0, 3),
+        ) {
+            let hi: Vec<f64> = lo.iter().zip(&ext).map(|(l, e)| l + e).collect();
+            // x interpolated into the box.
+            let p: Vec<f64> = lo
+                .iter()
+                .zip(&hi)
+                .zip(&x)
+                .map(|((l, h), t)| l + (h - l) * t)
+                .collect();
+            for m in metrics() {
+                let d = m.dist(&q, &p);
+                let min = m.box_min_dist(&q, &lo, &hi).unwrap();
+                let max = m.box_max_dist(&q, &lo, &hi).unwrap();
+                prop_assert!(min <= d + 1e-9, "{}: min {} > {}", m.name(), min, d);
+                prop_assert!(max >= d - 1e-9, "{}: max {} < {}", m.name(), max, d);
+            }
+        }
+    }
+}

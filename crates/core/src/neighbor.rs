@@ -1,0 +1,131 @@
+//! Neighbor records and ordering adapters.
+
+use crate::float::OrderedF64;
+use std::cmp::Ordering;
+
+/// Identifier of a point within a dataset (its row index).
+pub type PointId = usize;
+
+/// A `(point, distance)` pair produced by a neighbor search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// The point's id.
+    pub id: PointId,
+    /// Its distance from the query.
+    pub dist: f64,
+}
+
+impl Neighbor {
+    /// Creates a neighbor record.
+    #[inline]
+    pub fn new(id: PointId, dist: f64) -> Self {
+        Neighbor { id, dist }
+    }
+
+    /// Compares by distance, breaking ties by id for determinism.
+    #[inline]
+    pub fn cmp_by_dist(&self, other: &Self) -> Ordering {
+        OrderedF64(self.dist)
+            .cmp(&OrderedF64(other.dist))
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+/// Sorts neighbors ascending by distance (ties broken by id).
+pub fn sort_neighbors(neighbors: &mut [Neighbor]) {
+    neighbors.sort_by(Neighbor::cmp_by_dist);
+}
+
+/// Extracts just the ids of a neighbor list.
+pub fn ids(neighbors: &[Neighbor]) -> Vec<PointId> {
+    neighbors.iter().map(|n| n.id).collect()
+}
+
+/// Wrapper ordering a [`Neighbor`] as a *max*-heap element by distance
+/// (largest distance = greatest). Used for bounded kNN heaps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaxByDist(pub Neighbor);
+
+impl Eq for MaxByDist {}
+
+impl PartialOrd for MaxByDist {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MaxByDist {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.cmp_by_dist(&other.0)
+    }
+}
+
+/// Wrapper ordering a [`Neighbor`] as a *min*-heap element by distance when
+/// used with [`std::collections::BinaryHeap`] (which is a max-heap).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinByDist(pub Neighbor);
+
+impl Eq for MinByDist {}
+
+impl PartialOrd for MinByDist {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MinByDist {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.0.cmp_by_dist(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn sorting_orders_by_distance_then_id() {
+        let mut ns = vec![
+            Neighbor::new(3, 2.0),
+            Neighbor::new(1, 1.0),
+            Neighbor::new(2, 2.0),
+            Neighbor::new(0, 0.5),
+        ];
+        sort_neighbors(&mut ns);
+        assert_eq!(ids(&ns), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn max_by_dist_heap_pops_farthest_first() {
+        let mut h = BinaryHeap::new();
+        h.push(MaxByDist(Neighbor::new(0, 1.0)));
+        h.push(MaxByDist(Neighbor::new(1, 3.0)));
+        h.push(MaxByDist(Neighbor::new(2, 2.0)));
+        assert_eq!(h.pop().unwrap().0.id, 1);
+        assert_eq!(h.pop().unwrap().0.id, 2);
+        assert_eq!(h.pop().unwrap().0.id, 0);
+    }
+
+    #[test]
+    fn min_by_dist_heap_pops_nearest_first() {
+        let mut h = BinaryHeap::new();
+        h.push(MinByDist(Neighbor::new(0, 1.0)));
+        h.push(MinByDist(Neighbor::new(1, 3.0)));
+        h.push(MinByDist(Neighbor::new(2, 2.0)));
+        assert_eq!(h.pop().unwrap().0.id, 0);
+        assert_eq!(h.pop().unwrap().0.id, 2);
+        assert_eq!(h.pop().unwrap().0.id, 1);
+    }
+
+    #[test]
+    fn tie_breaking_is_deterministic() {
+        let a = MinByDist(Neighbor::new(5, 1.0));
+        let b = MinByDist(Neighbor::new(6, 1.0));
+        // Lower id pops first on ties (min-heap reverses, so higher id is "less").
+        let mut h = BinaryHeap::new();
+        h.push(b);
+        h.push(a);
+        assert_eq!(h.pop().unwrap().0.id, 5);
+    }
+}

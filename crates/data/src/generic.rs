@@ -1,0 +1,391 @@
+//! Generic point-cloud generators: uniform cubes, Gaussian mixtures, and
+//! low-dimensional manifolds embedded in high-dimensional ambient spaces.
+
+use crate::rng::Normal;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rknn_core::{Dataset, DatasetBuilder};
+
+/// `n` points uniform in `[0, 1]^dim`.
+pub fn uniform_cube(n: usize, dim: usize, seed: u64) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = DatasetBuilder::with_capacity(dim, n);
+    let mut row = vec![0.0; dim];
+    for _ in 0..n {
+        for v in row.iter_mut() {
+            *v = rng.random();
+        }
+        b.push(&row).expect("generated coordinates are finite");
+    }
+    b.build()
+}
+
+/// `n` points in `clusters` isotropic Gaussian blobs with per-axis standard
+/// deviation `sigma`; centers uniform in `[0, 10]^dim`.
+pub fn gaussian_blobs(n: usize, dim: usize, clusters: usize, sigma: f64, seed: u64) -> Dataset {
+    assert!(clusters >= 1, "need at least one cluster");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut normal = Normal::new();
+    let centers: Vec<Vec<f64>> = (0..clusters)
+        .map(|_| (0..dim).map(|_| rng.random::<f64>() * 10.0).collect())
+        .collect();
+    let mut b = DatasetBuilder::with_capacity(dim, n);
+    let mut row = vec![0.0; dim];
+    for i in 0..n {
+        let c = &centers[i % clusters];
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = c[j] + sigma * normal.sample(&mut rng);
+        }
+        b.push(&row).expect("generated coordinates are finite");
+    }
+    b.build()
+}
+
+/// Specification of an embedded-manifold dataset.
+///
+/// Points are drawn on `clusters` independently oriented `intrinsic_dim`-
+/// dimensional (optionally curved) patches embedded in
+/// `ambient_dim`-dimensional space, plus isotropic ambient noise. The
+/// intrinsic dimensionality measured by the estimators of `rknn-lid` tracks
+/// `intrinsic_dim` as long as `noise` stays below the within-patch scale —
+/// and deliberately *exceeds* it locally when `noise` is raised, which is
+/// how the MNIST-like generator reproduces Table 1's MLE-vs-CD gap.
+#[derive(Debug, Clone, Copy)]
+pub struct ManifoldSpec {
+    /// Number of points.
+    pub n: usize,
+    /// Representational (ambient) dimension `m`.
+    pub ambient_dim: usize,
+    /// Manifold dimension `d ≤ m`.
+    pub intrinsic_dim: usize,
+    /// Number of independently oriented patches.
+    pub clusters: usize,
+    /// Isotropic ambient noise amplitude (per-coordinate σ before the
+    /// `1/√m` normalization that keeps the noise *vector length* ≈ this
+    /// value).
+    pub noise: f64,
+    /// Curvature strength: 0 gives flat (affine) patches.
+    pub curvature: f64,
+    /// Spread of patch centers.
+    pub center_spread: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ManifoldSpec {
+    /// A flat single-patch manifold with light noise.
+    pub fn flat(n: usize, ambient_dim: usize, intrinsic_dim: usize, seed: u64) -> Self {
+        ManifoldSpec {
+            n,
+            ambient_dim,
+            intrinsic_dim,
+            clusters: 1,
+            noise: 0.0,
+            curvature: 0.0,
+            center_spread: 0.0,
+            seed,
+        }
+    }
+}
+
+/// Gram–Schmidt orthonormalization of `d` random Gaussian vectors in `R^m`.
+fn random_orthonormal(
+    rng: &mut SmallRng,
+    normal: &mut Normal,
+    m: usize,
+    d: usize,
+) -> Vec<Vec<f64>> {
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(d);
+    while basis.len() < d {
+        let mut v = vec![0.0; m];
+        normal.fill(rng, &mut v);
+        for b in &basis {
+            let dot: f64 = v.iter().zip(b).map(|(a, c)| a * c).sum();
+            for (vi, bi) in v.iter_mut().zip(b) {
+                *vi -= dot * bi;
+            }
+        }
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 1e-9 {
+            for vi in v.iter_mut() {
+                *vi /= norm;
+            }
+            basis.push(v);
+        }
+    }
+    basis
+}
+
+/// Generates an embedded-manifold dataset per `spec`.
+pub fn embedded_manifold(spec: ManifoldSpec) -> Dataset {
+    assert!(spec.intrinsic_dim >= 1 && spec.intrinsic_dim <= spec.ambient_dim);
+    assert!(spec.clusters >= 1);
+    let m = spec.ambient_dim;
+    let d = spec.intrinsic_dim;
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut normal = Normal::new();
+    // Per-patch geometry: center, tangent basis, curvature basis, and
+    // curvature phase offsets.
+    struct Patch {
+        center: Vec<f64>,
+        tangent: Vec<Vec<f64>>,
+        curved: Vec<Vec<f64>>,
+        phases: Vec<f64>,
+    }
+    let patches: Vec<Patch> = (0..spec.clusters)
+        .map(|_| {
+            let mut center = vec![0.0; m];
+            normal.fill(&mut rng, &mut center);
+            for c in center.iter_mut() {
+                *c *= spec.center_spread / (m as f64).sqrt();
+            }
+            let all = random_orthonormal(&mut rng, &mut normal, m, (2 * d).min(m));
+            let tangent = all[..d].to_vec();
+            let curved = all[d..].to_vec();
+            let phases = (0..d).map(|_| rng.random::<f64>() * std::f64::consts::TAU).collect();
+            Patch { center, tangent, curved, phases }
+        })
+        .collect();
+    let noise_scale = spec.noise / (m as f64).sqrt();
+    let mut b = DatasetBuilder::with_capacity(m, spec.n);
+    let mut row = vec![0.0; m];
+    let mut z = vec![0.0; d];
+    for i in 0..spec.n {
+        let patch = &patches[i % spec.clusters];
+        normal.fill(&mut rng, &mut z);
+        row.copy_from_slice(&patch.center);
+        // Linear part: x += Σ_j z_j · tangent_j.
+        for (j, t) in patch.tangent.iter().enumerate() {
+            for (xi, ti) in row.iter_mut().zip(t) {
+                *xi += z[j] * ti;
+            }
+        }
+        // Curvature: bend each tangent direction into a distinct normal
+        // direction, keeping the patch a d-dimensional manifold.
+        if spec.curvature > 0.0 {
+            for (j, c) in patch.curved.iter().enumerate() {
+                let bend = spec.curvature * (z[j % d] + patch.phases[j % d]).sin();
+                for (xi, ci) in row.iter_mut().zip(c) {
+                    *xi += bend * ci;
+                }
+            }
+        }
+        if spec.noise > 0.0 {
+            for xi in row.iter_mut() {
+                *xi += noise_scale * normal.sample(&mut rng);
+            }
+        }
+        b.push(&row).expect("generated coordinates are finite");
+    }
+    b.build()
+}
+
+/// One component of a [`mixed_manifold`] dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct MixComponent {
+    /// Relative weight (fraction of points, normalized over components).
+    pub weight: f64,
+    /// Manifold dimension of this component's patches.
+    pub intrinsic_dim: usize,
+    /// Number of patches.
+    pub clusters: usize,
+    /// Within-patch scale (standard deviation of the patch coordinates).
+    /// Small scales make a component *dense*, letting it dominate the
+    /// smallest pairwise distances — and thereby global correlation-
+    /// dimension estimates — without dominating per-point averages.
+    pub scale: f64,
+    /// Ambient noise amplitude for this component.
+    pub noise: f64,
+    /// Curvature strength.
+    pub curvature: f64,
+}
+
+/// A mixture of embedded manifolds of *different* intrinsic dimensions and
+/// densities in a common ambient space.
+///
+/// This reproduces the estimator disagreement of Table 1 (ALOI: MLE 7.71 vs
+/// GP 1.98): Grassberger–Procaccia fits the correlation integral over the
+/// smallest pairwise distances, which come from the densest (here:
+/// low-dimensional, small-scale) component, while the averaged Hill/MLE
+/// estimate weights every sampled point equally and therefore tracks the
+/// mixture average.
+pub fn mixed_manifold(
+    n: usize,
+    ambient_dim: usize,
+    components: &[MixComponent],
+    center_spread: f64,
+    seed: u64,
+) -> Dataset {
+    assert!(!components.is_empty(), "need at least one component");
+    let total_weight: f64 = components.iter().map(|c| c.weight).sum();
+    assert!(total_weight > 0.0, "weights must be positive");
+    let mut remaining = n;
+    let mut parts: Vec<Dataset> = Vec::with_capacity(components.len());
+    for (i, comp) in components.iter().enumerate() {
+        let share = if i + 1 == components.len() {
+            remaining
+        } else {
+            ((n as f64) * comp.weight / total_weight).round() as usize
+        }
+        .min(remaining);
+        remaining -= share;
+        if share == 0 {
+            continue;
+        }
+        let mut part = embedded_manifold(ManifoldSpec {
+            n: share,
+            ambient_dim,
+            intrinsic_dim: comp.intrinsic_dim,
+            clusters: comp.clusters.min(share.max(1)),
+            noise: comp.noise,
+            curvature: comp.curvature,
+            center_spread,
+            seed: seed.wrapping_add(0x9e37 * (i as u64 + 1)),
+        });
+        // Apply the component scale (embedded_manifold draws z ~ N(0, 1)).
+        if (comp.scale - 1.0).abs() > 1e-12 {
+            part = scale_about_patchwise(&part, comp.scale, comp.clusters.min(share.max(1)));
+        }
+        parts.push(part);
+    }
+    // Interleave components so that "cluster by stride" structure is not
+    // trivially recoverable from ids.
+    let dim = ambient_dim;
+    let mut b = DatasetBuilder::with_capacity(dim, n);
+    let mut cursors = vec![0usize; parts.len()];
+    let mut emitted = 0usize;
+    while emitted < n {
+        for (pi, part) in parts.iter().enumerate() {
+            if cursors[pi] < part.len() {
+                b.push(part.point(cursors[pi])).expect("finite");
+                cursors[pi] += 1;
+                emitted += 1;
+            }
+        }
+    }
+    b.build()
+}
+
+/// Shrinks every patch about its own centroid by `scale`. Patches are the
+/// stride-`clusters` id classes produced by [`embedded_manifold`].
+fn scale_about_patchwise(ds: &Dataset, scale: f64, clusters: usize) -> Dataset {
+    let m = ds.dim();
+    let n = ds.len();
+    let mut centroids = vec![vec![0.0; m]; clusters];
+    let mut counts = vec![0usize; clusters];
+    for (i, p) in ds.iter() {
+        let c = i % clusters;
+        counts[c] += 1;
+        for (a, x) in centroids[c].iter_mut().zip(p) {
+            *a += x;
+        }
+    }
+    for (c, count) in counts.iter().enumerate() {
+        if *count > 0 {
+            for a in centroids[c].iter_mut() {
+                *a /= *count as f64;
+            }
+        }
+    }
+    let mut b = DatasetBuilder::with_capacity(m, n);
+    let mut row = vec![0.0; m];
+    for (i, p) in ds.iter() {
+        let c = i % clusters;
+        for j in 0..m {
+            row[j] = centroids[c][j] + scale * (p[j] - centroids[c][j]);
+        }
+        b.push(&row).expect("finite");
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rknn_core::{Euclidean, Metric};
+    use rknn_lid::{HillEstimator, IdEstimator};
+
+    #[test]
+    fn uniform_cube_shape_and_bounds() {
+        let ds = uniform_cube(500, 3, 1);
+        assert_eq!(ds.len(), 500);
+        assert_eq!(ds.dim(), 3);
+        for (_, p) in ds.iter() {
+            assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        assert_eq!(uniform_cube(50, 2, 9), uniform_cube(50, 2, 9));
+        assert_ne!(uniform_cube(50, 2, 9), uniform_cube(50, 2, 10));
+        let spec = ManifoldSpec::flat(40, 8, 2, 3);
+        assert_eq!(embedded_manifold(spec), embedded_manifold(spec));
+    }
+
+    #[test]
+    fn blobs_cluster_tightly() {
+        let ds = gaussian_blobs(300, 4, 3, 0.05, 2);
+        assert_eq!(ds.len(), 300);
+        // Points of the same cluster (stride 3) are close.
+        let d = Euclidean.dist(ds.point(0), ds.point(3));
+        assert!(d < 1.0, "within-cluster distance {d}");
+    }
+
+    #[test]
+    fn flat_manifold_has_intrinsic_dimension() {
+        for d in [2usize, 4] {
+            let ds = embedded_manifold(ManifoldSpec::flat(1200, 32, d, 7)).into_shared();
+            let est = HillEstimator { neighbors: 50, ..HillEstimator::default() };
+            let got = est.estimate(&ds, &Euclidean).id;
+            assert!(
+                (got - d as f64).abs() < 0.35 * d as f64 + 0.5,
+                "intrinsic {d}, estimated {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn curvature_preserves_intrinsic_dimension() {
+        let spec = ManifoldSpec {
+            curvature: 0.8,
+            ..ManifoldSpec::flat(1200, 32, 3, 8)
+        };
+        let ds = embedded_manifold(spec).into_shared();
+        let est = HillEstimator { neighbors: 50, ..HillEstimator::default() };
+        let got = est.estimate(&ds, &Euclidean).id;
+        assert!((got - 3.0).abs() < 1.5, "estimated {got}");
+    }
+
+    #[test]
+    fn noise_inflates_local_estimates() {
+        let quiet = embedded_manifold(ManifoldSpec {
+            noise: 0.0,
+            ..ManifoldSpec::flat(1000, 24, 2, 9)
+        })
+        .into_shared();
+        let noisy = embedded_manifold(ManifoldSpec {
+            noise: 0.4,
+            ..ManifoldSpec::flat(1000, 24, 2, 9)
+        })
+        .into_shared();
+        let est = HillEstimator { neighbors: 40, ..HillEstimator::default() };
+        let a = est.estimate(&quiet, &Euclidean).id;
+        let b = est.estimate(&noisy, &Euclidean).id;
+        assert!(b > a + 0.5, "noise must inflate local ID: {a} vs {b}");
+    }
+
+    #[test]
+    fn multi_cluster_manifolds_stay_separated() {
+        let spec = ManifoldSpec {
+            clusters: 4,
+            center_spread: 100.0,
+            ..ManifoldSpec::flat(400, 16, 2, 10)
+        };
+        let ds = embedded_manifold(spec);
+        // Same-cluster pair (stride 4) much closer than cross-cluster pair.
+        let same = Euclidean.dist(ds.point(0), ds.point(4));
+        let cross = Euclidean.dist(ds.point(0), ds.point(1));
+        assert!(same < cross, "same {same} cross {cross}");
+    }
+}

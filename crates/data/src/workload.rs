@@ -1,0 +1,46 @@
+//! Reproducible query workloads.
+//!
+//! The paper's experiments draw "100 randomly chosen points to serve as
+//! query objects" from each dataset (§7.1); this module provides the seeded
+//! equivalent.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rknn_core::PointId;
+
+/// `count` distinct query point ids drawn uniformly from `0..n`,
+/// deterministic per seed. Returns fewer when `count > n`.
+pub fn sample_queries(n: usize, count: usize, seed: u64) -> Vec<PointId> {
+    let mut ids: Vec<PointId> = (0..n).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    ids.shuffle(&mut rng);
+    ids.truncate(count.min(n));
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_distinct_and_in_range() {
+        let q = sample_queries(1000, 100, 7);
+        assert_eq!(q.len(), 100);
+        let set: std::collections::HashSet<_> = q.iter().collect();
+        assert_eq!(set.len(), 100);
+        assert!(q.iter().all(|&id| id < 1000));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(sample_queries(500, 50, 1), sample_queries(500, 50, 1));
+        assert_ne!(sample_queries(500, 50, 1), sample_queries(500, 50, 2));
+    }
+
+    #[test]
+    fn truncates_when_count_exceeds_n() {
+        assert_eq!(sample_queries(5, 100, 3).len(), 5);
+        assert!(sample_queries(0, 10, 4).is_empty());
+    }
+}

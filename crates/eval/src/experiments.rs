@@ -1,0 +1,8 @@
+//! The remaining paper experiments: Table 1 and Figures 7–9.
+
+pub mod ablation;
+pub mod amortization;
+pub mod hubness;
+pub mod lazy;
+pub mod scalability;
+pub mod table1;

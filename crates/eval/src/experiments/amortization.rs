@@ -1,0 +1,186 @@
+//! Figure 9: queries answerable within the RdNN-Tree precomputation budget.
+//!
+//! "…we show for Imagenet100 and Imagenet250 the number of queries for each
+//! method that can be performed during the same amount of time required for
+//! the precomputation of the RdNN-Tree." A method with precomputation `P`
+//! and mean query time `τ` answers `max(0, (B − P)) / τ` queries inside a
+//! budget `B` (the RdNN-Tree itself therefore answers 0 before its own
+//! precomputation ends — which is the figure's point).
+
+use crate::forward::Forward;
+use rknn_baselines::{MRkNNCoP, RdnnTree};
+use rknn_core::{Euclidean, SearchStats};
+use rknn_data::{imagenet_like, sample_queries};
+use rknn_rdt::{RdtParams, RdtPlus};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration for the amortization comparison.
+#[derive(Debug, Clone)]
+pub struct AmortizationConfig {
+    /// Subset sizes (paper: 100k and 250k; defaults laptop-scaled).
+    pub sizes: Vec<usize>,
+    /// Feature dimension.
+    pub dim: usize,
+    /// Reverse rank (paper: 10).
+    pub k: usize,
+    /// RDT+ scale parameter (paper uses t = 10 for the full set).
+    pub t: f64,
+    /// Queries used to estimate mean query time.
+    pub queries: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for AmortizationConfig {
+    fn default() -> Self {
+        AmortizationConfig {
+            sizes: vec![1000, 2500],
+            dim: 512,
+            k: 10,
+            t: 10.0,
+            queries: 10,
+            seed: 0x1a6e,
+        }
+    }
+}
+
+/// One Figure 9 bar.
+#[derive(Debug, Clone)]
+pub struct AmortizationRow {
+    /// Subset size.
+    pub n: usize,
+    /// Method label.
+    pub method: String,
+    /// One-off setup cost in milliseconds.
+    pub precompute_ms: f64,
+    /// Mean query time in milliseconds.
+    pub query_ms: f64,
+    /// Queries answerable inside the RdNN precomputation budget.
+    pub queries_in_budget: f64,
+}
+
+fn mean_query_ms(mut run: impl FnMut(usize), queries: &[usize]) -> f64 {
+    let start = Instant::now();
+    for &q in queries {
+        run(q);
+    }
+    start.elapsed().as_secs_f64() * 1e3 / queries.len().max(1) as f64
+}
+
+/// Runs the comparison.
+pub fn run_amortization(cfg: &AmortizationConfig) -> Vec<AmortizationRow> {
+    let mut out = Vec::new();
+    for &n in &cfg.sizes {
+        let ds = Arc::new(imagenet_like(n, cfg.dim, cfg.seed));
+        let (forward, build) = Forward::build(ds.clone(), Euclidean, false);
+        let queries = sample_queries(n, cfg.queries, cfg.seed);
+
+        let rdnn = RdnnTree::build(ds.clone(), Euclidean, cfg.k, &forward);
+        let budget_ms = rdnn.precompute_time().as_secs_f64() * 1e3;
+        let rdnn_q = mean_query_ms(
+            |q| {
+                let mut st = SearchStats::new();
+                let _ = rdnn.query(q, &mut st);
+            },
+            &queries,
+        );
+
+        let mrk = MRkNNCoP::build(ds.clone(), Euclidean, cfg.k, &forward);
+        let mrk_pre = mrk.precompute_time().as_secs_f64() * 1e3;
+        let mrk_q = mean_query_ms(
+            |q| {
+                let mut st = SearchStats::new();
+                let _ = mrk.query(q, cfg.k, &forward, &mut st);
+            },
+            &queries,
+        );
+
+        let plus = RdtPlus::new(RdtParams::new(cfg.k, cfg.t));
+        let rdt_pre = build.as_secs_f64() * 1e3;
+        let rdt_q = mean_query_ms(
+            |q| {
+                let _ = plus.query(&forward, q);
+            },
+            &queries,
+        );
+
+        let in_budget = |pre: f64, q: f64| {
+            if q <= 0.0 {
+                f64::INFINITY
+            } else {
+                ((budget_ms - pre).max(0.0)) / q
+            }
+        };
+        out.push(AmortizationRow {
+            n,
+            method: "RdNN".into(),
+            precompute_ms: budget_ms,
+            query_ms: rdnn_q,
+            queries_in_budget: in_budget(budget_ms, rdnn_q),
+        });
+        out.push(AmortizationRow {
+            n,
+            method: "MRkNNCoP".into(),
+            precompute_ms: mrk_pre,
+            query_ms: mrk_q,
+            queries_in_budget: in_budget(mrk_pre, mrk_q),
+        });
+        out.push(AmortizationRow {
+            n,
+            method: format!("RDT+(t={})", cfg.t),
+            precompute_ms: rdt_pre,
+            query_ms: rdt_q,
+            queries_in_budget: in_budget(rdt_pre, rdt_q),
+        });
+    }
+    out
+}
+
+/// Renders Figure 9 rows.
+pub fn rows_to_table(rows: &[AmortizationRow]) -> crate::report::Table {
+    use crate::report::ms;
+    let mut t = crate::report::Table::new(
+        "Figure 9: queries answerable within the RdNN precomputation budget (k=10)",
+        &["n", "method", "precompute_ms", "query_ms", "queries_in_budget"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.n.to_string(),
+            r.method.clone(),
+            ms(r.precompute_ms),
+            ms(r.query_ms),
+            format!("{:.0}", r.queries_in_budget),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rdt_amortizes_far_better_than_exact_methods() {
+        let cfg = AmortizationConfig {
+            sizes: vec![800],
+            dim: 64,
+            k: 5,
+            t: 6.0,
+            queries: 6,
+            ..AmortizationConfig::default()
+        };
+        let rows = run_amortization(&cfg);
+        assert_eq!(rows.len(), 3);
+        let rdnn = rows.iter().find(|r| r.method == "RdNN").unwrap();
+        let rdt = rows.iter().find(|r| r.method.starts_with("RDT+")).unwrap();
+        // RdNN spends its whole budget on precomputation.
+        assert_eq!(rdnn.queries_in_budget, 0.0);
+        assert!(
+            rdt.queries_in_budget > 0.0,
+            "RDT+ answers queries inside the budget: {rows:?}"
+        );
+        assert!(rdt.precompute_ms < rdnn.precompute_ms);
+        assert!(rows_to_table(&rows).render().contains("RdNN"));
+    }
+}

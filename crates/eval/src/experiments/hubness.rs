@@ -1,0 +1,134 @@
+//! Hubness: the skew of reverse-neighbor counts as dimensionality grows.
+//!
+//! The paper's introduction motivates RkNN queries with hubness analysis
+//! ("the degree of hubness of a node can be computed by means of RkNN
+//! queries" \[46\]). This experiment quantifies the phenomenon with the
+//! library itself: on uniform data, the distribution of |RkNN(x, k)| over
+//! points `x` becomes increasingly right-skewed as the (intrinsic)
+//! dimension rises — a few hub points appear in many k-NN lists while
+//! anti-hubs appear in none.
+
+use crate::forward::Forward;
+use crate::truth::DkTable;
+use rknn_core::{Euclidean, Metric};
+use rknn_data::uniform_cube;
+use std::sync::Arc;
+
+/// Configuration for the hubness sweep.
+#[derive(Debug, Clone)]
+pub struct HubnessConfig {
+    /// Dimensions to sweep.
+    pub dims: Vec<usize>,
+    /// Points per dataset.
+    pub n: usize,
+    /// Neighborhood rank.
+    pub k: usize,
+    /// Seed.
+    pub seed: u64,
+    /// Ground-truth worker threads.
+    pub threads: usize,
+}
+
+impl Default for HubnessConfig {
+    fn default() -> Self {
+        HubnessConfig { dims: vec![2, 4, 8, 16, 32], n: 2000, k: 10, seed: 0x4b, threads: 8 }
+    }
+}
+
+/// Hubness statistics for one dimension.
+#[derive(Debug, Clone)]
+pub struct HubnessRow {
+    /// Representational (= intrinsic, for uniform cubes) dimension.
+    pub dim: usize,
+    /// Skewness of the reverse-neighbor count distribution.
+    pub skewness: f64,
+    /// Fraction of points with an empty reverse neighborhood (anti-hubs).
+    pub antihub_fraction: f64,
+    /// Largest reverse-neighborhood size (the strongest hub).
+    pub max_count: usize,
+}
+
+/// Computes exact reverse-neighbor counts for every point via the
+/// `d_k`-table identity: `|RkNN(x)| = #{y : d(y, x) ≤ d_k(y)}`.
+pub fn run_hubness(cfg: &HubnessConfig) -> Vec<HubnessRow> {
+    cfg.dims
+        .iter()
+        .map(|&dim| {
+            let ds = Arc::new(uniform_cube(cfg.n, dim, cfg.seed));
+            let (forward, _) = Forward::build(ds.clone(), Euclidean, dim <= 16);
+            let table = DkTable::compute(&forward, &[cfg.k], cfg.threads);
+            // |RkNN(q)| for every q at once: each point x is a reverse
+            // neighbor of exactly the points inside its own d_k(x) ball.
+            let mut counts = vec![0usize; ds.len()];
+            for (x, xp) in ds.iter() {
+                let dk_x = table.dk_of(x, cfg.k);
+                for (q, qp) in ds.iter() {
+                    if q != x && Euclidean.dist(xp, qp) <= dk_x {
+                        counts[q] += 1;
+                    }
+                }
+            }
+            let n = counts.len() as f64;
+            let mean = counts.iter().sum::<usize>() as f64 / n;
+            let var = counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n;
+            let sd = var.sqrt();
+            let skewness = if sd > 0.0 {
+                counts.iter().map(|&c| ((c as f64 - mean) / sd).powi(3)).sum::<f64>() / n
+            } else {
+                0.0
+            };
+            HubnessRow {
+                dim,
+                skewness,
+                antihub_fraction: counts.iter().filter(|&&c| c == 0).count() as f64 / n,
+                max_count: counts.iter().copied().max().unwrap_or(0),
+            }
+        })
+        .collect()
+}
+
+/// Renders hubness rows.
+pub fn rows_to_table(k: usize, rows: &[HubnessRow]) -> crate::report::Table {
+    let mut t = crate::report::Table::new(
+        format!("Hubness: reverse-{k}NN count skew vs dimension (uniform data)"),
+        &["dim", "skewness", "antihub_frac", "max_count"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.dim.to_string(),
+            format!("{:.3}", r.skewness),
+            format!("{:.3}", r.antihub_fraction),
+            r.max_count.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_and_antihubs_grow_with_dimension() {
+        let cfg = HubnessConfig {
+            dims: vec![2, 16],
+            n: 500,
+            k: 5,
+            threads: 2,
+            ..HubnessConfig::default()
+        };
+        let rows = run_hubness(&cfg);
+        assert_eq!(rows.len(), 2);
+        let low = &rows[0];
+        let high = &rows[1];
+        assert!(
+            high.skewness > low.skewness,
+            "hubness must grow with dimension: {} vs {}",
+            low.skewness,
+            high.skewness
+        );
+        assert!(high.antihub_fraction >= low.antihub_fraction);
+        assert!(high.max_count >= low.max_count);
+        assert!(rows_to_table(5, &rows).render().contains("skewness"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Figure 8: scalability on Imagenet-like subsets.
+//!
+//! "Comparison of the performance curves of RDT+ with those of its
+//! competitors on subsets of the Imagenet dataset … for choices of the
+//! reverse neighbor rank k ∈ {10, 50}. We also compare initialization and
+//! query times." Exact methods are dropped once their precomputation
+//! becomes prohibitive, exactly as the paper excludes RdNN/MRkNNCoP beyond
+//! Imagenet250.
+
+use crate::tradeoff::{run_tradeoff, TradeoffConfig, TradeoffRow};
+use rknn_data::imagenet_like;
+use std::sync::Arc;
+
+/// Configuration of the scalability sweep.
+#[derive(Debug, Clone)]
+pub struct ScalabilityConfig {
+    /// Subset sizes (the paper uses 100k/250k/500k/1.28M; defaults here are
+    /// laptop-scaled with the same ratios).
+    pub sizes: Vec<usize>,
+    /// Feature dimension (paper: 4096).
+    pub dim: usize,
+    /// Reverse ranks (paper: {10, 50}).
+    pub ks: Vec<usize>,
+    /// Scale-parameter sweep for RDT+.
+    pub t_grid: Vec<f64>,
+    /// Queries per subset.
+    pub queries: usize,
+    /// Largest subset for which exact methods are still built.
+    pub exact_max_n: usize,
+    /// Seed.
+    pub seed: u64,
+    /// Ground-truth worker threads.
+    pub threads: usize,
+}
+
+impl Default for ScalabilityConfig {
+    fn default() -> Self {
+        ScalabilityConfig {
+            sizes: vec![1000, 2500, 5000],
+            dim: 512,
+            ks: vec![10, 50],
+            t_grid: vec![2.0, 4.0, 6.0, 8.0, 10.0],
+            queries: 15,
+            exact_max_n: 2500,
+            seed: 0x1a6e,
+            threads: 8,
+        }
+    }
+}
+
+/// A tradeoff row tagged with its subset size.
+#[derive(Debug, Clone)]
+pub struct ScalabilityRow {
+    /// Subset size.
+    pub n: usize,
+    /// The underlying measurement.
+    pub row: TradeoffRow,
+}
+
+/// Runs the sweep. Uses the sequential-scan substrate, as the paper does
+/// for Imagenet.
+pub fn run_scalability(cfg: &ScalabilityConfig) -> Vec<ScalabilityRow> {
+    let mut out = Vec::new();
+    for &n in &cfg.sizes {
+        let ds = Arc::new(imagenet_like(n, cfg.dim, cfg.seed));
+        let include_exact = n <= cfg.exact_max_n;
+        let tcfg = TradeoffConfig {
+            queries: cfg.queries,
+            ks: cfg.ks.clone(),
+            t_grid: cfg.t_grid.clone(),
+            alpha_grid: vec![],
+            use_cover_tree: false,
+            include_exact,
+            // TPL's R-tree trimming is useless at this dimensionality; the
+            // paper likewise omits it from the Imagenet comparison.
+            include_tpl: false,
+            include_estimators: false,
+            seed: cfg.seed,
+            threads: cfg.threads,
+            ..TradeoffConfig::new(format!("Imagenet-like(n={n})"))
+        };
+        for row in run_tradeoff(ds, &tcfg) {
+            out.push(ScalabilityRow { n, row });
+        }
+    }
+    out
+}
+
+/// Renders Figure 8 rows.
+pub fn rows_to_table(rows: &[ScalabilityRow]) -> crate::report::Table {
+    use crate::report::{f3, ms};
+    let mut t = crate::report::Table::new(
+        "Figure 8: Imagenet-like scalability (sequential-scan substrate)",
+        &["n", "k", "method", "param", "recall", "query_ms", "precompute_ms"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.n.to_string(),
+            r.row.k.to_string(),
+            r.row.method.clone(),
+            f3(r.row.param),
+            f3(r.row.recall),
+            ms(r.row.mean_query_ms),
+            ms(r.row.precompute_ms),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_methods_dropped_beyond_threshold() {
+        let cfg = ScalabilityConfig {
+            sizes: vec![300, 700],
+            dim: 32,
+            ks: vec![5],
+            t_grid: vec![2.0, 6.0],
+            queries: 5,
+            exact_max_n: 400,
+            threads: 2,
+            ..ScalabilityConfig::default()
+        };
+        let rows = run_scalability(&cfg);
+        let small_has_exact =
+            rows.iter().any(|r| r.n == 300 && (r.row.method == "RdNN" || r.row.method == "MRkNNCoP"));
+        let large_has_exact =
+            rows.iter().any(|r| r.n == 700 && (r.row.method == "RdNN" || r.row.method == "MRkNNCoP"));
+        assert!(small_has_exact, "exact methods present at small n");
+        assert!(!large_has_exact, "exact methods excluded beyond the budget");
+        assert!(rows_to_table(&rows).len() == rows.len());
+    }
+}

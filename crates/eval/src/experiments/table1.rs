@@ -1,0 +1,97 @@
+//! Table 1: intrinsic-dimensionality estimates per dataset.
+//!
+//! "The intrinsic dimensionality of each data set as estimated by the
+//! different estimators used in our experiments, together with their
+//! representational dimensions (D). The average execution times … of the
+//! estimators are shown in parentheses."
+
+use rknn_core::{Dataset, Euclidean};
+use rknn_lid::{GpEstimator, HillEstimator, IdEstimator, TakensEstimator};
+use std::sync::Arc;
+
+/// One Table 1 row.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Dataset label.
+    pub dataset: String,
+    /// Representational dimension D.
+    pub d: usize,
+    /// Averaged Hill/MLE estimate.
+    pub mle: f64,
+    /// MLE wall-clock seconds.
+    pub mle_s: f64,
+    /// Grassberger–Procaccia estimate.
+    pub gp: f64,
+    /// GP wall-clock seconds.
+    pub gp_s: f64,
+    /// Takens estimate.
+    pub takens: f64,
+    /// Takens wall-clock seconds.
+    pub takens_s: f64,
+}
+
+/// Runs all three estimators on each dataset.
+pub fn run_table1(datasets: &[(String, Arc<Dataset>)]) -> Vec<Table1Row> {
+    let mle = HillEstimator::new();
+    let gp = GpEstimator::new();
+    let takens = TakensEstimator::new();
+    datasets
+        .iter()
+        .map(|(name, ds)| {
+            let a = mle.estimate(ds, &Euclidean);
+            let b = gp.estimate(ds, &Euclidean);
+            let c = takens.estimate(ds, &Euclidean);
+            Table1Row {
+                dataset: name.clone(),
+                d: ds.dim(),
+                mle: a.id,
+                mle_s: a.elapsed.as_secs_f64(),
+                gp: b.id,
+                gp_s: b.elapsed.as_secs_f64(),
+                takens: c.id,
+                takens_s: c.elapsed.as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+/// Renders Table 1 rows.
+pub fn rows_to_table(rows: &[Table1Row]) -> crate::report::Table {
+    let mut t = crate::report::Table::new(
+        "Table 1: intrinsic dimensionality estimates (times in seconds)",
+        &["dataset", "D", "MLE", "MLE_s", "GP", "GP_s", "Takens", "Takens_s"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.dataset.clone(),
+            r.d.to_string(),
+            format!("{:.2}", r.mle),
+            format!("{:.2}", r.mle_s),
+            format!("{:.2}", r.gp),
+            format!("{:.2}", r.gp_s),
+            format!("{:.2}", r.takens),
+            format!("{:.2}", r.takens_s),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_on_small_datasets() {
+        let sets = vec![
+            ("uniform2".to_string(), rknn_data::uniform_cube(600, 2, 31).into_shared()),
+            ("sequoia".to_string(), rknn_data::sequoia_like(600, 32).into_shared()),
+        ];
+        let rows = run_table1(&sets);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].d, 2);
+        assert!((rows[0].mle - 2.0).abs() < 0.8, "uniform square MLE {}", rows[0].mle);
+        assert!(rows[0].mle_s >= 0.0);
+        let rendered = rows_to_table(&rows).render();
+        assert!(rendered.contains("sequoia"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Runtime choice of the forward-kNN substrate.
+//!
+//! "For our experimentation, we chose as examples two different methods:
+//! the Cover Tree, and straightforward sequential database scan. … for
+//! [MNIST and Imagenet], all experimental results were reported using
+//! sequential scan, while for the remaining sets, the results reported are
+//! for the Cover Tree." (§7.1)
+
+use rknn_core::{Dataset, Metric, Neighbor, PointId, SearchStats};
+use rknn_index::{CoverTree, KnnIndex, LinearScan, NnCursor};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A forward index that is either a cover tree or a sequential scan.
+#[derive(Debug)]
+pub enum Forward<M: Metric> {
+    /// Cover-tree substrate.
+    Cover(CoverTree<M>),
+    /// Sequential-scan substrate.
+    Linear(LinearScan<M>),
+}
+
+impl<M: Metric + Clone> Forward<M> {
+    /// Builds the requested substrate, returning it with its build time.
+    pub fn build(ds: Arc<Dataset>, metric: M, cover: bool) -> (Self, Duration) {
+        let start = Instant::now();
+        let fwd = if cover {
+            Forward::Cover(CoverTree::build(ds, metric))
+        } else {
+            Forward::Linear(LinearScan::build(ds, metric))
+        };
+        (fwd, start.elapsed())
+    }
+}
+
+impl<M: Metric> KnnIndex<M> for Forward<M> {
+    fn num_points(&self) -> usize {
+        match self {
+            Forward::Cover(t) => t.num_points(),
+            Forward::Linear(t) => t.num_points(),
+        }
+    }
+
+    fn dim(&self) -> usize {
+        match self {
+            Forward::Cover(t) => t.dim(),
+            Forward::Linear(t) => t.dim(),
+        }
+    }
+
+    fn point(&self, id: PointId) -> &[f64] {
+        match self {
+            Forward::Cover(t) => t.point(id),
+            Forward::Linear(t) => t.point(id),
+        }
+    }
+
+    fn metric(&self) -> &M {
+        match self {
+            Forward::Cover(t) => t.metric(),
+            Forward::Linear(t) => t.metric(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            Forward::Cover(t) => t.name(),
+            Forward::Linear(t) => t.name(),
+        }
+    }
+
+    fn cursor<'a>(&'a self, q: &'a [f64], exclude: Option<PointId>) -> Box<dyn NnCursor + 'a> {
+        match self {
+            Forward::Cover(t) => t.cursor(q, exclude),
+            Forward::Linear(t) => t.cursor(q, exclude),
+        }
+    }
+
+    fn knn(
+        &self,
+        q: &[f64],
+        k: usize,
+        exclude: Option<PointId>,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        match self {
+            Forward::Cover(t) => t.knn(q, k, exclude, stats),
+            Forward::Linear(t) => t.knn(q, k, exclude, stats),
+        }
+    }
+
+    fn range(
+        &self,
+        q: &[f64],
+        r: f64,
+        exclude: Option<PointId>,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        match self {
+            Forward::Cover(t) => t.range(q, r, exclude, stats),
+            Forward::Linear(t) => t.range(q, r, exclude, stats),
+        }
+    }
+
+    fn range_count(
+        &self,
+        q: &[f64],
+        r: f64,
+        strict: bool,
+        exclude: Option<PointId>,
+        stats: &mut SearchStats,
+    ) -> usize {
+        match self {
+            Forward::Cover(t) => t.range_count(q, r, strict, exclude, stats),
+            Forward::Linear(t) => t.range_count(q, r, strict, exclude, stats),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rknn_core::Euclidean;
+
+    #[test]
+    fn both_substrates_answer_identically() {
+        let ds = rknn_data::uniform_cube(300, 3, 7).into_shared();
+        let (cover, _) = Forward::build(ds.clone(), Euclidean, true);
+        let (linear, _) = Forward::build(ds.clone(), Euclidean, false);
+        assert_eq!(cover.name(), "cover-tree");
+        assert_eq!(linear.name(), "linear-scan");
+        let mut st = SearchStats::new();
+        for q in [0usize, 120, 299] {
+            let a: Vec<_> =
+                cover.knn(ds.point(q), 8, Some(q), &mut st).iter().map(|n| n.id).collect();
+            let b: Vec<_> =
+                linear.knn(ds.point(q), 8, Some(q), &mut st).iter().map(|n| n.id).collect();
+            assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Result-quality measures.
+
+use rknn_core::PointId;
+use std::collections::HashSet;
+
+/// Recall of `reported` against `truth` (1.0 when the truth is empty, as a
+/// query with no reverse neighbors is answered perfectly by an empty set).
+pub fn recall(reported: &[PointId], truth: &HashSet<PointId>) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let hits = reported.iter().filter(|id| truth.contains(id)).count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Precision of `reported` against `truth` (1.0 for an empty report).
+pub fn precision(reported: &[PointId], truth: &HashSet<PointId>) -> f64 {
+    if reported.is_empty() {
+        return 1.0;
+    }
+    let hits = reported.iter().filter(|id| truth.contains(id)).count();
+    hits as f64 / reported.len() as f64
+}
+
+/// Micro-averaged recall/precision accumulator over a query batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QualityAccum {
+    hits: usize,
+    truth_total: usize,
+    reported_total: usize,
+}
+
+impl QualityAccum {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        QualityAccum::default()
+    }
+
+    /// Adds one query's outcome.
+    pub fn add(&mut self, reported: &[PointId], truth: &HashSet<PointId>) {
+        self.hits += reported.iter().filter(|id| truth.contains(id)).count();
+        self.truth_total += truth.len();
+        self.reported_total += reported.len();
+    }
+
+    /// Micro-averaged recall.
+    pub fn recall(&self) -> f64 {
+        if self.truth_total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.truth_total as f64
+        }
+    }
+
+    /// Micro-averaged precision.
+    pub fn precision(&self) -> f64 {
+        if self.reported_total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.reported_total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth(ids: &[PointId]) -> HashSet<PointId> {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn recall_and_precision_basics() {
+        let t = truth(&[1, 2, 3, 4]);
+        assert_eq!(recall(&[1, 2], &t), 0.5);
+        assert_eq!(precision(&[1, 2], &t), 1.0);
+        assert_eq!(precision(&[1, 9], &t), 0.5);
+        assert_eq!(recall(&[], &truth(&[])), 1.0);
+        assert_eq!(precision(&[], &t), 1.0);
+    }
+
+    #[test]
+    fn accumulator_micro_averages() {
+        let mut acc = QualityAccum::new();
+        acc.add(&[1, 2], &truth(&[1, 2, 3, 4])); // 2/4
+        acc.add(&[5], &truth(&[5])); // 1/1
+        assert_eq!(acc.recall(), 3.0 / 5.0);
+        assert_eq!(acc.precision(), 1.0);
+        let empty = QualityAccum::new();
+        assert_eq!(empty.recall(), 1.0);
+        assert_eq!(empty.precision(), 1.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Exact ground truth via per-point kNN-distance tables.
+//!
+//! Computing exact reverse-kNN answers naively costs O(n²) per query. The
+//! experiment harness instead materializes `d_k(x)` for every point `x` and
+//! every evaluated `k` once per dataset — a single (parallelized) kNN pass —
+//! after which the exact answer for any query is one O(n) scan:
+//! `RkNN(q, k) = {x ≠ q : d(x, q) ≤ d_k(x)}`.
+
+use crossbeam::thread;
+use rknn_core::{Metric, PointId, SearchStats};
+use rknn_index::KnnIndex;
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Per-point kNN distances at a fixed set of ranks.
+#[derive(Debug, Clone)]
+pub struct DkTable {
+    /// The evaluated ranks, ascending.
+    pub ks: Vec<usize>,
+    /// `dk[i][j]` = `d_{ks[j]}`-distance of point `i` (`+∞` when fewer than
+    /// `ks[j]` other points exist).
+    pub dk: Vec<Vec<f64>>,
+    /// Wall-clock time of the table computation.
+    pub elapsed: Duration,
+}
+
+impl DkTable {
+    /// Computes the table with one kNN query per point, parallelized over
+    /// `threads` workers.
+    pub fn compute<M, I>(index: &I, ks: &[usize], threads: usize) -> Self
+    where
+        M: Metric,
+        I: KnnIndex<M> + Sync + ?Sized,
+    {
+        assert!(!ks.is_empty(), "need at least one rank");
+        let mut ks = ks.to_vec();
+        ks.sort_unstable();
+        ks.dedup();
+        let k_max = *ks.last().expect("non-empty");
+        let n = index.num_points();
+        let start = Instant::now();
+        let threads = threads.max(1);
+        let chunk = n.div_ceil(threads);
+        let mut dk = vec![Vec::new(); n];
+        thread::scope(|scope| {
+            for (w, slice) in dk.chunks_mut(chunk).enumerate() {
+                let ks = &ks;
+                scope.spawn(move |_| {
+                    let mut stats = SearchStats::new();
+                    for (off, row) in slice.iter_mut().enumerate() {
+                        let i = w * chunk + off;
+                        let nn = index.knn(index.point(i), k_max, Some(i), &mut stats);
+                        *row = ks
+                            .iter()
+                            .map(|&k| if nn.len() < k { f64::INFINITY } else { nn[k - 1].dist })
+                            .collect();
+                    }
+                });
+            }
+        })
+        .expect("dk workers do not panic");
+        DkTable { ks, dk, elapsed: start.elapsed() }
+    }
+
+    /// Column index of rank `k`.
+    fn col(&self, k: usize) -> usize {
+        self.ks.iter().position(|&x| x == k).expect("rank was included at construction")
+    }
+
+    /// `d_k` of point `i`.
+    pub fn dk_of(&self, i: PointId, k: usize) -> f64 {
+        self.dk[i][self.col(k)]
+    }
+}
+
+/// Exact reverse-kNN sets for a batch of queries at one rank.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// The rank.
+    pub k: usize,
+    /// `(query, answer set)` pairs, in the order queries were supplied.
+    pub answers: Vec<(PointId, HashSet<PointId>)>,
+}
+
+impl GroundTruth {
+    /// Computes exact answers for `queries` from a [`DkTable`].
+    pub fn compute<M, I>(index: &I, table: &DkTable, queries: &[PointId], k: usize) -> Self
+    where
+        M: Metric,
+        I: KnnIndex<M> + ?Sized,
+    {
+        let col = table.col(k);
+        let metric = index.metric();
+        let n = index.num_points();
+        let answers = queries
+            .iter()
+            .map(|&q| {
+                let qp = index.point(q);
+                let mut set = HashSet::new();
+                for x in 0..n {
+                    if x == q {
+                        continue;
+                    }
+                    if metric.dist(index.point(x), qp) <= table.dk[x][col] {
+                        set.insert(x);
+                    }
+                }
+                (q, set)
+            })
+            .collect();
+        GroundTruth { k, answers }
+    }
+
+    /// The answer set for the i-th query.
+    pub fn answer(&self, i: usize) -> &HashSet<PointId> {
+        &self.answers[i].1
+    }
+
+    /// Mean reverse-neighborhood size over the batch.
+    pub fn mean_size(&self) -> f64 {
+        if self.answers.is_empty() {
+            return 0.0;
+        }
+        self.answers.iter().map(|(_, s)| s.len()).sum::<usize>() as f64
+            / self.answers.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rknn_core::{BruteForce, Euclidean};
+    use rknn_index::LinearScan;
+
+    #[test]
+    fn table_matches_brute_force_dk() {
+        let ds = rknn_data::uniform_cube(120, 2, 11).into_shared();
+        let idx = LinearScan::build(ds.clone(), Euclidean);
+        let table = DkTable::compute(&idx, &[3, 1, 7], 3);
+        assert_eq!(table.ks, vec![1, 3, 7]);
+        let mut st = SearchStats::new();
+        let bf = BruteForce::new(ds, Euclidean);
+        for i in [0usize, 60, 119] {
+            for &k in &table.ks {
+                assert_eq!(table.dk_of(i, k), bf.dk(i, k, &mut st).unwrap(), "i={i} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn infinity_when_k_exceeds_n() {
+        let ds = rknn_data::uniform_cube(4, 2, 12).into_shared();
+        let idx = LinearScan::build(ds.clone(), Euclidean);
+        let table = DkTable::compute(&idx, &[10], 2);
+        assert!(table.dk_of(0, 10).is_infinite());
+    }
+
+    #[test]
+    fn ground_truth_matches_brute_force_rknn() {
+        let ds = rknn_data::uniform_cube(150, 3, 13).into_shared();
+        let idx = LinearScan::build(ds.clone(), Euclidean);
+        let table = DkTable::compute(&idx, &[5], 4);
+        let queries = vec![0, 42, 149];
+        let truth = GroundTruth::compute(&idx, &table, &queries, 5);
+        let bf = BruteForce::new(ds, Euclidean);
+        let mut st = SearchStats::new();
+        for (i, &q) in queries.iter().enumerate() {
+            let want: HashSet<_> = bf.rknn(q, 5, &mut st).iter().map(|n| n.id).collect();
+            assert_eq!(truth.answer(i), &want, "q={q}");
+        }
+        assert!(truth.mean_size() > 0.0);
+    }
+}

@@ -1,0 +1,325 @@
+//! A ball tree with data-point pivots, for general metric spaces.
+//!
+//! A sixth substrate beyond the paper's two (§7.1): like the M-tree it
+//! covers subtrees with metric balls, but it is built statically top-down
+//! by splitting on approximate farthest pairs ("poles"), which yields
+//! tighter balls than insertion-based construction. Included to broaden
+//! the substrate-agreement tests and as another drop-in backend for RDT.
+
+use crate::bestfirst::{BestFirst, Popped};
+use crate::traits::{KnnIndex, NnCursor};
+use rknn_core::{Dataset, Metric, Neighbor, PointId, SearchStats};
+use std::sync::Arc;
+
+const LEAF_SIZE: usize = 16;
+
+#[derive(Debug, Clone)]
+struct BallNode {
+    /// Covering pivot (a dataset point).
+    pivot: PointId,
+    /// Upper bound on `d(pivot, x)` for all `x` in the subtree.
+    radius: f64,
+    /// Children node ids, or `None` for leaves.
+    children: Option<(usize, usize)>,
+    /// Leaf points (empty for internal nodes).
+    points: Vec<PointId>,
+}
+
+/// A static ball tree.
+#[derive(Debug, Clone)]
+pub struct BallTree<M: Metric> {
+    ds: Arc<Dataset>,
+    metric: M,
+    nodes: Vec<BallNode>,
+    root: Option<usize>,
+}
+
+impl<M: Metric> BallTree<M> {
+    /// Builds a ball tree over a shared dataset.
+    pub fn build(ds: Arc<Dataset>, metric: M) -> Self {
+        let mut tree = BallTree { ds: ds.clone(), metric, nodes: Vec::new(), root: None };
+        let mut ids: Vec<PointId> = (0..ds.len()).collect();
+        tree.root = tree.build_rec(&mut ids);
+        tree
+    }
+
+    fn dist(&self, a: PointId, b: PointId) -> f64 {
+        self.metric.dist(self.ds.point(a), self.ds.point(b))
+    }
+
+    fn build_rec(&mut self, ids: &mut [PointId]) -> Option<usize> {
+        if ids.is_empty() {
+            return None;
+        }
+        // Pole selection: farthest from an arbitrary seed, then farthest
+        // from that — a linear-time approximation of the diameter pair.
+        let seed = ids[0];
+        let pole1 = *ids
+            .iter()
+            .max_by(|&&a, &&b| {
+                self.dist(seed, a).partial_cmp(&self.dist(seed, b)).expect("finite")
+            })
+            .expect("non-empty");
+        let radius_of = |tree: &Self, pivot: PointId, ids: &[PointId]| {
+            ids.iter().map(|&x| tree.dist(pivot, x)).fold(0.0f64, f64::max)
+        };
+        if ids.len() <= LEAF_SIZE {
+            let radius = radius_of(self, pole1, ids);
+            self.nodes.push(BallNode {
+                pivot: pole1,
+                radius,
+                children: None,
+                points: ids.to_vec(),
+            });
+            return Some(self.nodes.len() - 1);
+        }
+        let pole2 = *ids
+            .iter()
+            .max_by(|&&a, &&b| {
+                self.dist(pole1, a).partial_cmp(&self.dist(pole1, b)).expect("finite")
+            })
+            .expect("non-empty");
+        // Partition by nearer pole; ties to pole1.
+        let mut near: Vec<PointId> = Vec::new();
+        let mut far: Vec<PointId> = Vec::new();
+        for &x in ids.iter() {
+            if self.dist(pole1, x) <= self.dist(pole2, x) {
+                near.push(x);
+            } else {
+                far.push(x);
+            }
+        }
+        // Degenerate partitions (all points identical) fall back to a
+        // balanced split.
+        if near.is_empty() || far.is_empty() {
+            let mut all: Vec<PointId> = ids.to_vec();
+            let half = all.len() / 2;
+            far = all.split_off(half);
+            near = all;
+        }
+        let radius = radius_of(self, pole1, ids);
+        let left = self.build_rec(&mut near).expect("non-empty side");
+        let right = self.build_rec(&mut far).expect("non-empty side");
+        self.nodes.push(BallNode { pivot: pole1, radius, children: Some((left, right)), points: Vec::new() });
+        Some(self.nodes.len() - 1)
+    }
+
+    /// Number of tree nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Checks ball-covering invariants and exactly-once leaf placement
+    /// (test support).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) -> bool {
+        let Some(root) = self.root else { return self.ds.is_empty() };
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id];
+            // Every point in the subtree is inside the node's ball.
+            let mut sub = vec![id];
+            while let Some(j) = sub.pop() {
+                let n = &self.nodes[j];
+                for &p in &n.points {
+                    if self.dist(node.pivot, p) > node.radius + 1e-9 {
+                        return false;
+                    }
+                }
+                if let Some((l, r)) = n.children {
+                    sub.push(l);
+                    sub.push(r);
+                }
+            }
+            match node.children {
+                Some((l, r)) => {
+                    if !node.points.is_empty() {
+                        return false;
+                    }
+                    stack.push(l);
+                    stack.push(r);
+                }
+                None => {
+                    for &p in &node.points {
+                        if !seen.insert(p) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        seen.len() == self.ds.len()
+    }
+}
+
+struct BallCursor<'a, M: Metric> {
+    tree: &'a BallTree<M>,
+    q: &'a [f64],
+    exclude: Option<PointId>,
+    queue: BestFirst,
+    stats: SearchStats,
+}
+
+impl<'a, M: Metric> NnCursor for BallCursor<'a, M> {
+    fn next(&mut self) -> Option<Neighbor> {
+        loop {
+            match self.queue.pop()? {
+                Popped::Point(n) => {
+                    if Some(n.id) == self.exclude {
+                        continue;
+                    }
+                    return Some(n);
+                }
+                Popped::Node { id, .. } => {
+                    self.stats.count_node();
+                    let node = &self.tree.nodes[id];
+                    match node.children {
+                        None => {
+                            for &p in &node.points {
+                                self.stats.count_dist();
+                                let d = self.tree.metric.dist(self.q, self.tree.ds.point(p));
+                                self.queue.push_point(Neighbor::new(p, d));
+                            }
+                        }
+                        Some((l, r)) => {
+                            for c in [l, r] {
+                                let child = &self.tree.nodes[c];
+                                self.stats.count_dist();
+                                let d =
+                                    self.tree.metric.dist(self.q, self.tree.ds.point(child.pivot));
+                                self.queue.push_node(c, (d - child.radius).max(0.0), d);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> SearchStats {
+        let mut s = self.stats;
+        s.heap_pushes = self.queue.pushes();
+        s
+    }
+}
+
+impl<M: Metric> KnnIndex<M> for BallTree<M> {
+    fn num_points(&self) -> usize {
+        self.ds.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.ds.dim()
+    }
+
+    fn point(&self, id: PointId) -> &[f64] {
+        self.ds.point(id)
+    }
+
+    fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    fn name(&self) -> &'static str {
+        "ball-tree"
+    }
+
+    fn cursor<'a>(&'a self, q: &'a [f64], exclude: Option<PointId>) -> Box<dyn NnCursor + 'a> {
+        let mut queue = BestFirst::new();
+        let mut stats = SearchStats::new();
+        if let Some(root) = self.root {
+            stats.count_dist();
+            let node = &self.nodes[root];
+            let d = self.metric.dist(q, self.ds.point(node.pivot));
+            queue.push_node(root, (d - node.radius).max(0.0), d);
+        }
+        Box::new(BallCursor { tree: self, q, exclude, queue, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rknn_core::{BruteForce, Chebyshev, Euclidean};
+
+    fn random_dataset(n: usize, dim: usize, seed: u64) -> Arc<Dataset> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..dim).map(|_| next() * 10.0 - 5.0).collect()).collect();
+        Dataset::from_rows(&rows).unwrap().into_shared()
+    }
+
+    #[test]
+    fn invariants_after_build() {
+        let ds = random_dataset(500, 4, 31);
+        let tree = BallTree::build(ds, Euclidean);
+        assert!(tree.check_invariants());
+        assert!(tree.node_count() > 1);
+    }
+
+    #[test]
+    fn cursor_is_exact_complete_and_ordered() {
+        let ds = random_dataset(333, 3, 32);
+        let tree = BallTree::build(ds.clone(), Euclidean);
+        let bf = BruteForce::new(ds.clone(), Euclidean);
+        let q = ds.point(7).to_vec();
+        let want = bf.knn(&q, 333, None, &mut SearchStats::new());
+        let mut cur = tree.cursor(&q, None);
+        let got: Vec<_> = std::iter::from_fn(|| cur.next()).collect();
+        assert_eq!(got.len(), 333);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.dist - w.dist).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn works_in_chebyshev_metric() {
+        let ds = random_dataset(250, 5, 33);
+        let tree = BallTree::build(ds.clone(), Chebyshev);
+        let bf = BruteForce::new(ds.clone(), Chebyshev);
+        let mut st = SearchStats::new();
+        let got = tree.knn(ds.point(3), 9, Some(3), &mut st);
+        let want = bf.knn(ds.point(3), 9, Some(3), &mut SearchStats::new());
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.dist - w.dist).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn prunes_on_clustered_data() {
+        let mut rows = Vec::new();
+        for c in 0..8 {
+            for i in 0..100 {
+                rows.push(vec![c as f64 * 1000.0 + (i % 10) as f64, (i / 10) as f64]);
+            }
+        }
+        let ds = Dataset::from_rows(&rows).unwrap().into_shared();
+        let tree = BallTree::build(ds.clone(), Euclidean);
+        let mut st = SearchStats::new();
+        let _ = tree.knn(ds.point(5), 10, Some(5), &mut st);
+        assert!(
+            st.dist_computations < 400,
+            "distant clusters should be pruned: {} dists",
+            st.dist_computations
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let ds = Dataset::from_rows(&vec![vec![2.0, 2.0]; 50]).unwrap().into_shared();
+        let tree = BallTree::build(ds, Euclidean);
+        assert!(tree.check_invariants());
+        let mut cur = tree.cursor(&[0.0, 0.0], None);
+        assert_eq!(std::iter::from_fn(|| cur.next()).count(), 50);
+
+        let empty = Dataset::from_flat(2, vec![]).unwrap().into_shared();
+        let tree = BallTree::build(empty, Euclidean);
+        let mut st = SearchStats::new();
+        assert!(tree.knn(&[0.0, 0.0], 3, None, &mut st).is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! Shared best-first priority queue for incremental tree traversals.
+//!
+//! Tree cursors interleave two kinds of queue entries: *points* keyed by
+//! their exact distance and *nodes* keyed by a lower bound on the distance
+//! of any point in their subtree. Popping entries in key order yields points
+//! in exact nondecreasing distance order, because a node can only produce
+//! points at distance ≥ its key.
+
+use rknn_core::{Neighbor, OrderedF64, PointId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What a [`BestFirst::pop`] produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Popped {
+    /// A point with its exact distance — safe to emit.
+    Point(Neighbor),
+    /// A node to expand. `key` is the lower bound it was queued with and
+    /// `payload` an arbitrary value stored at push time (typically the exact
+    /// query–pivot distance, or `NAN` when not yet computed).
+    Node {
+        /// Index of the node in the owning tree's arena.
+        id: usize,
+        /// The lower bound the node was queued with.
+        key: f64,
+        /// Caller-defined payload.
+        payload: f64,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    key: OrderedF64,
+    /// Points pop before nodes at equal key.
+    is_node: bool,
+    id: usize,
+    payload: f64,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the smallest key pops first.
+        other
+            .key
+            .cmp(&self.key)
+            .then_with(|| other.is_node.cmp(&self.is_node))
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// A min-ordered queue of points and expandable nodes.
+#[derive(Debug, Default)]
+pub struct BestFirst {
+    heap: BinaryHeap<Entry>,
+    pushes: u64,
+}
+
+impl BestFirst {
+    /// An empty queue.
+    pub fn new() -> Self {
+        BestFirst::default()
+    }
+
+    /// Queues a point with its exact distance.
+    #[inline]
+    pub fn push_point(&mut self, n: Neighbor) {
+        self.pushes += 1;
+        self.heap.push(Entry { key: OrderedF64::new(n.dist), is_node: false, id: n.id, payload: n.dist });
+    }
+
+    /// Queues a node with a lower bound `key` and arbitrary `payload`.
+    #[inline]
+    pub fn push_node(&mut self, id: usize, key: f64, payload: f64) {
+        self.pushes += 1;
+        self.heap.push(Entry { key: OrderedF64::new(key), is_node: true, id, payload });
+    }
+
+    /// Pops the entry with the smallest key (points before nodes on ties).
+    pub fn pop(&mut self) -> Option<Popped> {
+        self.heap.pop().map(|e| {
+            if e.is_node {
+                Popped::Node { id: e.id, key: e.key.get(), payload: e.payload }
+            } else {
+                Popped::Point(Neighbor::new(e.id as PointId, e.payload))
+            }
+        })
+    }
+
+    /// Smallest key currently queued.
+    pub fn peek_key(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.key.get())
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of pushes performed (for [`rknn_core::SearchStats`]).
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_key_order() {
+        let mut q = BestFirst::new();
+        q.push_node(0, 2.0, 9.0);
+        q.push_point(Neighbor::new(10, 1.0));
+        q.push_point(Neighbor::new(11, 3.0));
+        assert_eq!(q.pop(), Some(Popped::Point(Neighbor::new(10, 1.0))));
+        assert_eq!(q.pop(), Some(Popped::Node { id: 0, key: 2.0, payload: 9.0 }));
+        assert_eq!(q.pop(), Some(Popped::Point(Neighbor::new(11, 3.0))));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pushes(), 3);
+    }
+
+    #[test]
+    fn points_pop_before_nodes_on_ties() {
+        let mut q = BestFirst::new();
+        q.push_node(0, 1.0, 0.0);
+        q.push_point(Neighbor::new(5, 1.0));
+        assert!(matches!(q.pop(), Some(Popped::Point(_))));
+        assert!(matches!(q.pop(), Some(Popped::Node { .. })));
+    }
+
+    #[test]
+    fn peek_key_tracks_minimum() {
+        let mut q = BestFirst::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_key(), None);
+        q.push_node(1, 4.0, 0.0);
+        q.push_node(2, 2.0, 0.0);
+        assert_eq!(q.peek_key(), Some(2.0));
+        q.pop();
+        assert_eq!(q.peek_key(), Some(4.0));
+    }
+}

@@ -1,0 +1,389 @@
+//! A simplified cover tree (Beygelzimer, Kakade & Langford; simplified per
+//! Izbicki & Shelton) supporting incremental nearest-neighbor search.
+//!
+//! This is the substrate the paper uses for all datasets except MNIST and
+//! Imagenet (§7.1). Structure is guided by the usual geometric level
+//! invariant (`covdist(ℓ) = base^ℓ`); *correctness* of search relies only on
+//! the cached `max_dist` of each node — an upper bound on the distance from
+//! the node's point to any point in its subtree — so the tree remains exact
+//! under the relaxed invariants of insert-based construction.
+//!
+//! Deletions are handled by tombstoning: removed points keep routing the
+//! search but are filtered from results.
+
+use crate::bestfirst::{BestFirst, Popped};
+use crate::pool::PointPool;
+use crate::traits::{DynamicIndex, KnnIndex, NnCursor};
+use rknn_core::{CoreError, Dataset, Metric, Neighbor, PointId, SearchStats};
+use std::sync::Arc;
+
+/// Configuration for [`CoverTree`].
+#[derive(Debug, Clone, Copy)]
+pub struct CoverTreeConfig {
+    /// Geometric base of the level radii (`covdist(ℓ) = base^ℓ`). The
+    /// classic construction uses 2.0; smaller bases (1.3) trade deeper trees
+    /// for tighter covers and are the common practical choice.
+    pub base: f64,
+    /// Seed of the deterministic insertion shuffle used by [`CoverTree::build`].
+    pub shuffle_seed: u64,
+}
+
+impl Default for CoverTreeConfig {
+    fn default() -> Self {
+        CoverTreeConfig { base: 1.3, shuffle_seed: 0x0005_eedc_0de7 }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CtNode {
+    point: PointId,
+    level: i32,
+    /// Upper bound on the distance from `point` to any descendant's point.
+    max_dist: f64,
+    children: Vec<u32>,
+}
+
+/// A simplified cover tree index.
+#[derive(Debug, Clone)]
+pub struct CoverTree<M: Metric> {
+    pool: PointPool,
+    metric: M,
+    nodes: Vec<CtNode>,
+    root: Option<usize>,
+    base: f64,
+}
+
+/// SplitMix64 step, used for the deterministic build shuffle without pulling
+/// a random-number dependency into the index crate.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl<M: Metric> CoverTree<M> {
+    /// Builds a cover tree over a shared dataset with default configuration.
+    pub fn build(ds: Arc<Dataset>, metric: M) -> Self {
+        Self::build_with(ds, metric, CoverTreeConfig::default())
+    }
+
+    /// Builds a cover tree with explicit configuration.
+    pub fn build_with(ds: Arc<Dataset>, metric: M, cfg: CoverTreeConfig) -> Self {
+        let n = ds.len();
+        let mut tree = CoverTree {
+            pool: PointPool::new(ds),
+            metric,
+            nodes: Vec::with_capacity(n),
+            root: None,
+            base: cfg.base,
+        };
+        // Deterministic Fisher–Yates shuffle of the insertion order: batch
+        // construction by repeated insertion balances far better on shuffled
+        // input (generators emit points cluster by cluster).
+        let mut order: Vec<PointId> = (0..n).collect();
+        let mut state = cfg.shuffle_seed;
+        for i in (1..n).rev() {
+            let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        for id in order {
+            tree.attach(id);
+        }
+        tree
+    }
+
+    /// Covering radius at a level.
+    #[inline]
+    fn covdist(&self, level: i32) -> f64 {
+        self.base.powi(level)
+    }
+
+    /// Read access to the underlying pool.
+    pub fn pool(&self) -> &PointPool {
+        &self.pool
+    }
+
+    /// Number of tree nodes (one per inserted point).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Attaches an existing pool point to the tree structure.
+    fn attach(&mut self, id: PointId) {
+        let Some(root) = self.root else {
+            self.nodes.push(CtNode { point: id, level: 0, max_dist: 0.0, children: Vec::new() });
+            self.root = Some(self.nodes.len() - 1);
+            return;
+        };
+        let x = id;
+        let d_root = self.metric.dist(self.pool.point(x), self.pool.point(self.nodes[root].point));
+        // Raise the root level until its cover radius reaches the new point.
+        while d_root > self.covdist(self.nodes[root].level) {
+            self.nodes[root].level += 1;
+        }
+        // Descend to the nearest covering child, maintaining max_dist along
+        // the path (the new point becomes a descendant of every node on it).
+        let mut cur = root;
+        let mut d_cur = d_root;
+        loop {
+            if d_cur > self.nodes[cur].max_dist {
+                self.nodes[cur].max_dist = d_cur;
+            }
+            let mut best: Option<(usize, f64)> = None;
+            for ci in 0..self.nodes[cur].children.len() {
+                let child = self.nodes[cur].children[ci] as usize;
+                let d = self
+                    .metric
+                    .dist(self.pool.point(x), self.pool.point(self.nodes[child].point));
+                if d <= self.covdist(self.nodes[child].level)
+                    && best.map(|(_, bd)| d < bd).unwrap_or(true)
+                {
+                    best = Some((child, d));
+                }
+            }
+            match best {
+                Some((child, d)) => {
+                    cur = child;
+                    d_cur = d;
+                }
+                None => {
+                    let level = self.nodes[cur].level - 1;
+                    self.nodes.push(CtNode { point: x, level, max_dist: 0.0, children: Vec::new() });
+                    let new_idx = (self.nodes.len() - 1) as u32;
+                    self.nodes[cur].children.push(new_idx);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Checks the `max_dist` invariant over the whole tree (test support):
+    /// every node's cached radius bounds the distance to each descendant.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) -> bool {
+        let Some(root) = self.root else { return self.nodes.is_empty() };
+        let mut stack = vec![root];
+        while let Some(i) = stack.pop() {
+            let here = self.pool.point(self.nodes[i].point);
+            // Walk this node's entire subtree.
+            let mut sub = vec![i];
+            while let Some(j) = sub.pop() {
+                let d = self.metric.dist(here, self.pool.point(self.nodes[j].point));
+                if d > self.nodes[i].max_dist + 1e-9 {
+                    return false;
+                }
+                sub.extend(self.nodes[j].children.iter().map(|&c| c as usize));
+            }
+            stack.extend(self.nodes[i].children.iter().map(|&c| c as usize));
+        }
+        true
+    }
+}
+
+struct CoverCursor<'a, M: Metric> {
+    tree: &'a CoverTree<M>,
+    q: &'a [f64],
+    exclude: Option<PointId>,
+    queue: BestFirst,
+    stats: SearchStats,
+}
+
+impl<'a, M: Metric> NnCursor for CoverCursor<'a, M> {
+    fn next(&mut self) -> Option<Neighbor> {
+        loop {
+            match self.queue.pop()? {
+                Popped::Point(n) => {
+                    self.stats.heap_pushes = self.queue.pushes();
+                    return Some(n);
+                }
+                Popped::Node { id, payload: d_pivot, .. } => {
+                    self.stats.count_node();
+                    let node = &self.tree.nodes[id];
+                    if self.tree.pool.is_alive(node.point) && Some(node.point) != self.exclude {
+                        self.queue.push_point(Neighbor::new(node.point, d_pivot));
+                    }
+                    for &c in &node.children {
+                        let child = &self.tree.nodes[c as usize];
+                        self.stats.count_dist();
+                        let d = self.tree.metric.dist(self.q, self.tree.pool.point(child.point));
+                        let lb = (d - child.max_dist).max(0.0);
+                        self.queue.push_node(c as usize, lb, d);
+                    }
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> SearchStats {
+        let mut s = self.stats;
+        s.heap_pushes = self.queue.pushes();
+        s
+    }
+}
+
+impl<M: Metric> KnnIndex<M> for CoverTree<M> {
+    fn num_points(&self) -> usize {
+        self.pool.live()
+    }
+
+    fn dim(&self) -> usize {
+        self.pool.dim()
+    }
+
+    fn point(&self, id: PointId) -> &[f64] {
+        self.pool.point(id)
+    }
+
+    fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    fn name(&self) -> &'static str {
+        "cover-tree"
+    }
+
+    fn cursor<'a>(&'a self, q: &'a [f64], exclude: Option<PointId>) -> Box<dyn NnCursor + 'a> {
+        let mut queue = BestFirst::new();
+        let mut stats = SearchStats::new();
+        if let Some(root) = self.root {
+            stats.count_dist();
+            let d = self.metric.dist(q, self.pool.point(self.nodes[root].point));
+            queue.push_node(root, (d - self.nodes[root].max_dist).max(0.0), d);
+        }
+        Box::new(CoverCursor { tree: self, q, exclude, queue, stats })
+    }
+}
+
+impl<M: Metric> DynamicIndex<M> for CoverTree<M> {
+    fn insert(&mut self, point: &[f64]) -> Result<PointId, CoreError> {
+        let id = self.pool.insert(point)?;
+        self.attach(id);
+        Ok(id)
+    }
+
+    fn remove(&mut self, id: PointId) -> bool {
+        self.pool.remove(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rknn_core::{BruteForce, Euclidean};
+
+    fn random_dataset(n: usize, dim: usize, seed: u64) -> Arc<Dataset> {
+        let mut state = seed;
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut row = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                row.push((splitmix64(&mut state) as f64 / u64::MAX as f64) * 10.0 - 5.0);
+            }
+            rows.push(row);
+        }
+        Dataset::from_rows(&rows).unwrap().into_shared()
+    }
+
+    #[test]
+    fn invariants_hold_after_build() {
+        let ds = random_dataset(300, 3, 1);
+        let tree = CoverTree::build(ds, Euclidean);
+        assert_eq!(tree.node_count(), 300);
+        assert!(tree.check_invariants());
+    }
+
+    #[test]
+    fn cursor_matches_brute_force_order() {
+        let ds = random_dataset(200, 4, 2);
+        let tree = CoverTree::build(ds.clone(), Euclidean);
+        let bf = BruteForce::new(ds.clone(), Euclidean);
+        let q = ds.point(17).to_vec();
+        let mut st = SearchStats::new();
+        let want = bf.knn(&q, 200, None, &mut st);
+        let mut cur = tree.cursor(&q, None);
+        let got: Vec<_> = std::iter::from_fn(|| cur.next()).collect();
+        assert_eq!(got.len(), want.len());
+        let mut prev = 0.0;
+        for (g, w) in got.iter().zip(&want) {
+            assert!(g.dist >= prev - 1e-12, "nondecreasing order");
+            prev = g.dist;
+            assert!((g.dist - w.dist).abs() < 1e-9, "distance sequence matches brute force");
+        }
+    }
+
+    #[test]
+    fn knn_exact_vs_brute_force() {
+        let ds = random_dataset(500, 6, 3);
+        let tree = CoverTree::build(ds.clone(), Euclidean);
+        let bf = BruteForce::new(ds.clone(), Euclidean);
+        for qi in [0usize, 13, 99, 499] {
+            let mut st1 = SearchStats::new();
+            let mut st2 = SearchStats::new();
+            let got = tree.knn(ds.point(qi), 10, Some(qi), &mut st1);
+            let want = bf.knn(ds.point(qi), 10, Some(qi), &mut st2);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.dist - w.dist).abs() < 1e-9);
+            }
+            assert!(
+                st1.dist_computations <= st2.dist_computations,
+                "tree should not do more distance work than a scan on easy data"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_insert_then_query() {
+        let ds = random_dataset(50, 2, 4);
+        let mut tree = CoverTree::build(ds, Euclidean);
+        let id = tree.insert(&[100.0, 100.0]).unwrap();
+        assert!(tree.check_invariants());
+        let mut st = SearchStats::new();
+        let nn = tree.knn(&[101.0, 101.0], 1, None, &mut st);
+        assert_eq!(nn[0].id, id);
+    }
+
+    #[test]
+    fn remove_hides_point_but_routes() {
+        let ds = random_dataset(50, 2, 5);
+        let mut tree = CoverTree::build(ds.clone(), Euclidean);
+        let victim = 7;
+        assert!(tree.remove(victim));
+        let mut st = SearchStats::new();
+        let all = tree.knn(ds.point(victim), 50, None, &mut st);
+        assert_eq!(all.len(), 49);
+        assert!(all.iter().all(|n| n.id != victim));
+    }
+
+    #[test]
+    fn duplicates_are_handled() {
+        let rows = vec![vec![1.0, 1.0]; 20];
+        let ds = Dataset::from_rows(&rows).unwrap().into_shared();
+        let tree = CoverTree::build(ds, Euclidean);
+        assert!(tree.check_invariants());
+        let mut cur = tree.cursor(&[1.0, 1.0], None);
+        let got: Vec<_> = std::iter::from_fn(|| cur.next()).collect();
+        assert_eq!(got.len(), 20);
+        assert!(got.iter().all(|n| n.dist == 0.0));
+    }
+
+    #[test]
+    fn range_queries_via_default_impl() {
+        let ds = random_dataset(300, 3, 6);
+        let tree = CoverTree::build(ds.clone(), Euclidean);
+        let bf = BruteForce::new(ds.clone(), Euclidean);
+        let q = ds.point(0).to_vec();
+        let mut st = SearchStats::new();
+        let r = 2.5;
+        let got = tree.range(&q, r, Some(0), &mut st);
+        let want: Vec<_> =
+            bf.knn(&q, 300, Some(0), &mut st).into_iter().filter(|n| n.dist <= r).collect();
+        assert_eq!(got.len(), want.len());
+        assert_eq!(
+            tree.range_count(&q, r, false, Some(0), &mut st),
+            want.len(),
+        );
+    }
+}

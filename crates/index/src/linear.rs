@@ -1,0 +1,229 @@
+//! Sequential-scan index — the paper's fallback substrate.
+//!
+//! For MNIST and Imagenet the paper found sequential scan to outperform the
+//! cover tree (§7.1): in very high dimensions, n straight-line distance
+//! computations beat any tree traversal. The incremental cursor computes all
+//! distances once at creation and then drains a binary heap lazily, so a
+//! cursor that RDT terminates after `s` steps costs `O(n + s·log n)`.
+
+use crate::pool::PointPool;
+use crate::traits::{DynamicIndex, KnnIndex, NnCursor};
+use rknn_core::neighbor::MinByDist;
+use rknn_core::{CoreError, Dataset, KnnHeap, Metric, Neighbor, PointId, SearchStats};
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+/// Exact sequential-scan index over a [`PointPool`].
+#[derive(Debug, Clone)]
+pub struct LinearScan<M: Metric> {
+    pool: PointPool,
+    metric: M,
+}
+
+impl<M: Metric> LinearScan<M> {
+    /// Builds a scan index over a shared dataset.
+    pub fn build(ds: Arc<Dataset>, metric: M) -> Self {
+        LinearScan { pool: PointPool::new(ds), metric }
+    }
+
+    /// Read access to the underlying pool.
+    pub fn pool(&self) -> &PointPool {
+        &self.pool
+    }
+}
+
+struct ScanCursor {
+    heap: BinaryHeap<MinByDist>,
+    stats: SearchStats,
+}
+
+impl NnCursor for ScanCursor {
+    fn next(&mut self) -> Option<Neighbor> {
+        self.heap.pop().map(|m| m.0)
+    }
+
+    fn stats(&self) -> SearchStats {
+        self.stats
+    }
+}
+
+impl<M: Metric> KnnIndex<M> for LinearScan<M> {
+    fn num_points(&self) -> usize {
+        self.pool.live()
+    }
+
+    fn dim(&self) -> usize {
+        self.pool.dim()
+    }
+
+    fn point(&self, id: PointId) -> &[f64] {
+        self.pool.point(id)
+    }
+
+    fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    fn name(&self) -> &'static str {
+        "linear-scan"
+    }
+
+    fn cursor<'a>(&'a self, q: &'a [f64], exclude: Option<PointId>) -> Box<dyn NnCursor + 'a> {
+        let mut stats = SearchStats::new();
+        let mut entries = Vec::with_capacity(self.pool.live());
+        for (id, p) in self.pool.iter_live() {
+            if Some(id) == exclude {
+                continue;
+            }
+            stats.count_dist();
+            entries.push(MinByDist(Neighbor::new(id, self.metric.dist(q, p))));
+        }
+        stats.heap_pushes += entries.len() as u64;
+        Box::new(ScanCursor { heap: BinaryHeap::from(entries), stats })
+    }
+
+    fn knn(
+        &self,
+        q: &[f64],
+        k: usize,
+        exclude: Option<PointId>,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut heap = KnnHeap::new(k);
+        for (id, p) in self.pool.iter_live() {
+            if Some(id) == exclude {
+                continue;
+            }
+            stats.count_dist();
+            heap.offer(Neighbor::new(id, self.metric.dist(q, p)));
+        }
+        heap.into_sorted()
+    }
+
+    fn range(
+        &self,
+        q: &[f64],
+        r: f64,
+        exclude: Option<PointId>,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        for (id, p) in self.pool.iter_live() {
+            if Some(id) == exclude {
+                continue;
+            }
+            stats.count_dist();
+            let d = self.metric.dist(q, p);
+            if d <= r {
+                out.push(Neighbor::new(id, d));
+            }
+        }
+        rknn_core::neighbor::sort_neighbors(&mut out);
+        out
+    }
+
+    fn range_count(
+        &self,
+        q: &[f64],
+        r: f64,
+        strict: bool,
+        exclude: Option<PointId>,
+        stats: &mut SearchStats,
+    ) -> usize {
+        let mut count = 0;
+        for (id, p) in self.pool.iter_live() {
+            if Some(id) == exclude {
+                continue;
+            }
+            stats.count_dist();
+            let d = self.metric.dist(q, p);
+            if (strict && d < r) || (!strict && d <= r) {
+                count += 1;
+            }
+        }
+        count
+    }
+}
+
+impl<M: Metric> DynamicIndex<M> for LinearScan<M> {
+    fn insert(&mut self, point: &[f64]) -> Result<PointId, CoreError> {
+        self.pool.insert(point)
+    }
+
+    fn remove(&mut self, id: PointId) -> bool {
+        self.pool.remove(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rknn_core::Euclidean;
+
+    fn index() -> LinearScan<Euclidean> {
+        let ds = Dataset::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![2.0, 0.0],
+            vec![0.0, 3.0],
+        ])
+        .unwrap()
+        .into_shared();
+        LinearScan::build(ds, Euclidean)
+    }
+
+    #[test]
+    fn cursor_streams_in_order() {
+        let idx = index();
+        let mut cur = idx.cursor(&[0.0, 0.0], None);
+        let order: Vec<_> = std::iter::from_fn(|| cur.next()).map(|n| n.id).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        assert_eq!(cur.stats().dist_computations, 4);
+    }
+
+    #[test]
+    fn cursor_respects_exclusion() {
+        let idx = index();
+        let mut cur = idx.cursor(&[0.0, 0.0], Some(0));
+        assert_eq!(cur.next().unwrap().id, 1);
+    }
+
+    #[test]
+    fn knn_range_and_count_agree_with_defaults() {
+        let idx = index();
+        let mut st = SearchStats::new();
+        let nn = idx.knn(&[0.1, 0.0], 2, None, &mut st);
+        assert_eq!(nn[0].id, 0);
+        assert_eq!(nn[1].id, 1);
+        let within = idx.range(&[0.0, 0.0], 2.0, None, &mut st);
+        assert_eq!(within.len(), 3);
+        assert_eq!(idx.range_count(&[0.0, 0.0], 2.0, false, None, &mut st), 3);
+        assert_eq!(idx.range_count(&[0.0, 0.0], 2.0, true, None, &mut st), 2);
+        assert_eq!(idx.range_count(&[0.0, 0.0], 2.0, true, Some(0), &mut st), 1);
+    }
+
+    #[test]
+    fn dynamic_insert_and_remove() {
+        let mut idx = index();
+        let id = idx.insert(&[0.5, 0.0]).unwrap();
+        assert_eq!(id, 4);
+        let mut st = SearchStats::new();
+        let nn = idx.knn(&[0.5, 0.0], 1, None, &mut st);
+        assert_eq!(nn[0].id, 4);
+        assert!(idx.remove(4));
+        let nn = idx.knn(&[0.5, 0.0], 1, None, &mut st);
+        assert_ne!(nn[0].id, 4);
+        assert_eq!(idx.num_points(), 4);
+    }
+
+    #[test]
+    fn knn_when_k_exceeds_n() {
+        let idx = index();
+        let mut st = SearchStats::new();
+        assert_eq!(idx.knn(&[0.0, 0.0], 100, None, &mut st).len(), 4);
+        assert!(idx.knn(&[0.0, 0.0], 0, None, &mut st).is_empty());
+    }
+}

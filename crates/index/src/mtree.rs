@@ -1,0 +1,375 @@
+//! An M-tree (Ciaccia, Patella & Zezula) for general metric spaces.
+//!
+//! The substrate of the MRkNNCoP baseline \[3\], which indexes objects in an
+//! M-tree and aggregates per-subtree pruning information. Nodes hold routing
+//! entries `(pivot, covering radius, distance to parent)`; search prunes
+//! subtrees whose covering ball cannot intersect the query region.
+//!
+//! Construction is insertion-based with max-spread promotion and generalized
+//! hyperplane partitioning. Covering radii are maintained conservatively
+//! (upper bounds), which preserves exactness of every query.
+
+use crate::bestfirst::{BestFirst, Popped};
+use crate::traits::{KnnIndex, NnCursor};
+use rknn_core::{Dataset, Metric, Neighbor, PointId, SearchStats};
+use std::sync::Arc;
+
+/// A routing or leaf entry.
+#[derive(Debug, Clone)]
+pub struct MEntry {
+    /// The routing object (a dataset point).
+    pub pivot: PointId,
+    /// Covering radius: upper bound on `d(pivot, x)` for all `x` in the
+    /// subtree (0 for leaf entries).
+    pub radius: f64,
+    /// Child node for routing entries, `None` for leaf entries.
+    pub child: Option<usize>,
+}
+
+/// A node: either a leaf of point entries or an internal node of routing
+/// entries.
+#[derive(Debug, Clone)]
+pub struct MNode {
+    /// Whether this node's entries are points (leaf) or routers.
+    pub is_leaf: bool,
+    /// The entries.
+    pub entries: Vec<MEntry>,
+}
+
+/// An M-tree over a shared dataset.
+#[derive(Debug, Clone)]
+pub struct MTree<M: Metric> {
+    ds: Arc<Dataset>,
+    metric: M,
+    nodes: Vec<MNode>,
+    root: usize,
+    capacity: usize,
+}
+
+const DEFAULT_CAPACITY: usize = 16;
+
+impl<M: Metric> MTree<M> {
+    /// Builds an M-tree by repeated insertion with default node capacity.
+    pub fn build(ds: Arc<Dataset>, metric: M) -> Self {
+        Self::build_with(ds, metric, DEFAULT_CAPACITY)
+    }
+
+    /// Builds with explicit node capacity (≥ 4).
+    pub fn build_with(ds: Arc<Dataset>, metric: M, capacity: usize) -> Self {
+        assert!(capacity >= 4, "M-tree capacity must be at least 4");
+        let mut tree = MTree {
+            ds: ds.clone(),
+            metric,
+            nodes: vec![MNode { is_leaf: true, entries: Vec::new() }],
+            root: 0,
+            capacity,
+        };
+        for id in 0..ds.len() {
+            tree.insert(id);
+        }
+        tree
+    }
+
+    /// Root node id (read-only node API for baseline traversals).
+    pub fn root_id(&self) -> usize {
+        self.root
+    }
+
+    /// A node by id.
+    pub fn node(&self, id: usize) -> &MNode {
+        &self.nodes[id]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn insert(&mut self, p: PointId) {
+        if let Some((e1, e2)) = self.insert_rec(self.root, p) {
+            // Root split: grow the tree by one level.
+            let new_root = MNode { is_leaf: false, entries: vec![e1, e2] };
+            self.nodes.push(new_root);
+            self.root = self.nodes.len() - 1;
+        }
+    }
+
+    /// Inserts into the subtree rooted at `node`; returns replacement
+    /// entries if the node split.
+    fn insert_rec(&mut self, node: usize, p: PointId) -> Option<(MEntry, MEntry)> {
+        if self.nodes[node].is_leaf {
+            self.nodes[node].entries.push(MEntry { pivot: p, radius: 0.0, child: None });
+            if self.nodes[node].entries.len() > self.capacity {
+                return Some(self.split(node));
+            }
+            return None;
+        }
+        // Choose the routing entry with minimum distance to p, preferring
+        // entries that need no radius enlargement.
+        let pp = self.ds.point(p);
+        let mut best: Option<(usize, f64, f64)> = None; // (entry idx, dist, enlargement)
+        for (i, e) in self.nodes[node].entries.iter().enumerate() {
+            let d = self.metric.dist(pp, self.ds.point(e.pivot));
+            let enl = (d - e.radius).max(0.0);
+            let better = match best {
+                None => true,
+                Some((_, bd, benl)) => (enl, d) < (benl, bd),
+            };
+            if better {
+                best = Some((i, d, enl));
+            }
+        }
+        let (idx, d, _) = best.expect("internal M-tree node cannot be empty");
+        // Maintain the covering radius along the path.
+        {
+            let e = &mut self.nodes[node].entries[idx];
+            if d > e.radius {
+                e.radius = d;
+            }
+        }
+        let child = self.nodes[node].entries[idx].child.expect("routing entry must have a child");
+        if let Some((e1, e2)) = self.insert_rec(child, p) {
+            self.nodes[node].entries.swap_remove(idx);
+            self.nodes[node].entries.push(e1);
+            self.nodes[node].entries.push(e2);
+            if self.nodes[node].entries.len() > self.capacity {
+                return Some(self.split(node));
+            }
+        }
+        None
+    }
+
+    /// Splits an overflowing node; returns the two routing entries that
+    /// replace it in the parent.
+    fn split(&mut self, node: usize) -> (MEntry, MEntry) {
+        let entries = std::mem::take(&mut self.nodes[node].entries);
+        let is_leaf = self.nodes[node].is_leaf;
+        // Promotion: first pivot = first entry, second = farthest from it
+        // (a linear-cost approximation of the max-spread "mM_RAD" policy).
+        let p1 = entries[0].pivot;
+        let mut p2 = entries[1].pivot;
+        let mut best = f64::NEG_INFINITY;
+        for e in &entries[1..] {
+            let d = self.metric.dist(self.ds.point(p1), self.ds.point(e.pivot));
+            if d > best {
+                best = d;
+                p2 = e.pivot;
+            }
+        }
+        // Generalized hyperplane partition.
+        let mut g1: Vec<MEntry> = Vec::new();
+        let mut g2: Vec<MEntry> = Vec::new();
+        let mut r1 = 0.0f64;
+        let mut r2 = 0.0f64;
+        for e in entries {
+            let d1 = self.metric.dist(self.ds.point(p1), self.ds.point(e.pivot));
+            let d2 = self.metric.dist(self.ds.point(p2), self.ds.point(e.pivot));
+            // Covering radius must include the entry's own radius.
+            if d1 <= d2 {
+                r1 = r1.max(d1 + e.radius);
+                g1.push(e);
+            } else {
+                r2 = r2.max(d2 + e.radius);
+                g2.push(e);
+            }
+        }
+        // Guard degenerate partitions (all points identical): rebalance by
+        // moving half over.
+        if g2.is_empty() {
+            let half = g1.len() / 2;
+            g2 = g1.split_off(half);
+            r2 = g2
+                .iter()
+                .map(|e| self.metric.dist(self.ds.point(p2), self.ds.point(e.pivot)) + e.radius)
+                .fold(0.0, f64::max);
+        } else if g1.is_empty() {
+            let half = g2.len() / 2;
+            g1 = g2.split_off(half);
+            r1 = g1
+                .iter()
+                .map(|e| self.metric.dist(self.ds.point(p1), self.ds.point(e.pivot)) + e.radius)
+                .fold(0.0, f64::max);
+        }
+        self.nodes[node] = MNode { is_leaf, entries: g1 };
+        self.nodes.push(MNode { is_leaf, entries: g2 });
+        let n2 = self.nodes.len() - 1;
+        (
+            MEntry { pivot: p1, radius: r1, child: Some(node) },
+            MEntry { pivot: p2, radius: r2, child: Some(n2) },
+        )
+    }
+
+    /// Checks covering-radius invariants over the whole tree (test support).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) -> bool {
+        self.check_node(self.root)
+    }
+
+    fn check_node(&self, node: usize) -> bool {
+        let n = &self.nodes[node];
+        if n.is_leaf {
+            return n.entries.iter().all(|e| e.child.is_none() && e.radius == 0.0);
+        }
+        for e in n.entries.iter() {
+            let Some(child) = e.child else { return false };
+            // Every point in the child subtree must lie within e.radius.
+            let mut stack = vec![child];
+            while let Some(c) = stack.pop() {
+                for ce in &self.nodes[c].entries {
+                    let d = self.metric.dist(self.ds.point(e.pivot), self.ds.point(ce.pivot));
+                    if d > e.radius + 1e-9 {
+                        return false;
+                    }
+                    if let Some(cc) = ce.child {
+                        stack.push(cc);
+                    }
+                }
+            }
+            if !self.check_node(child) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+struct MCursor<'a, M: Metric> {
+    tree: &'a MTree<M>,
+    q: &'a [f64],
+    exclude: Option<PointId>,
+    queue: BestFirst,
+    stats: SearchStats,
+}
+
+impl<'a, M: Metric> NnCursor for MCursor<'a, M> {
+    fn next(&mut self) -> Option<Neighbor> {
+        loop {
+            match self.queue.pop()? {
+                Popped::Point(n) => {
+                    if Some(n.id) == self.exclude {
+                        continue;
+                    }
+                    return Some(n);
+                }
+                Popped::Node { id, .. } => {
+                    self.stats.count_node();
+                    let node = &self.tree.nodes[id];
+                    for e in &node.entries {
+                        self.stats.count_dist();
+                        let d = self.tree.metric.dist(self.q, self.tree.ds.point(e.pivot));
+                        match e.child {
+                            None => self.queue.push_point(Neighbor::new(e.pivot, d)),
+                            Some(c) => self.queue.push_node(c, (d - e.radius).max(0.0), d),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> SearchStats {
+        let mut s = self.stats;
+        s.heap_pushes = self.queue.pushes();
+        s
+    }
+}
+
+impl<M: Metric> KnnIndex<M> for MTree<M> {
+    fn num_points(&self) -> usize {
+        self.ds.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.ds.dim()
+    }
+
+    fn point(&self, id: PointId) -> &[f64] {
+        self.ds.point(id)
+    }
+
+    fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    fn name(&self) -> &'static str {
+        "m-tree"
+    }
+
+    fn cursor<'a>(&'a self, q: &'a [f64], exclude: Option<PointId>) -> Box<dyn NnCursor + 'a> {
+        let mut queue = BestFirst::new();
+        if !self.ds.is_empty() {
+            queue.push_node(self.root, 0.0, 0.0);
+        }
+        Box::new(MCursor { tree: self, q, exclude, queue, stats: SearchStats::new() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rknn_core::{BruteForce, Euclidean, Manhattan};
+
+    fn random_dataset(n: usize, dim: usize, seed: u64) -> Arc<Dataset> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..dim).map(|_| next() * 10.0 - 5.0).collect()).collect();
+        Dataset::from_rows(&rows).unwrap().into_shared()
+    }
+
+    #[test]
+    fn invariants_hold_after_build() {
+        let ds = random_dataset(400, 3, 21);
+        let tree = MTree::build(ds, Euclidean);
+        assert!(tree.check_invariants());
+        assert!(tree.node_count() > 1, "tree actually split");
+    }
+
+    #[test]
+    fn cursor_is_complete_ordered_and_exact() {
+        let ds = random_dataset(350, 4, 22);
+        let tree = MTree::build(ds.clone(), Euclidean);
+        let bf = BruteForce::new(ds.clone(), Euclidean);
+        let q = ds.point(100).to_vec();
+        let want = bf.knn(&q, 350, None, &mut SearchStats::new());
+        let mut cur = tree.cursor(&q, None);
+        let got: Vec<_> = std::iter::from_fn(|| cur.next()).collect();
+        assert_eq!(got.len(), 350);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.dist - w.dist).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn works_with_non_euclidean_metric() {
+        let ds = random_dataset(200, 6, 23);
+        let tree = MTree::build(ds.clone(), Manhattan);
+        let bf = BruteForce::new(ds.clone(), Manhattan);
+        let mut st = SearchStats::new();
+        let got = tree.knn(ds.point(0), 15, Some(0), &mut st);
+        let want = bf.knn(ds.point(0), 15, Some(0), &mut SearchStats::new());
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.dist - w.dist).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn duplicate_points_split_safely() {
+        let ds = Dataset::from_rows(&vec![vec![3.0, 3.0]; 100]).unwrap().into_shared();
+        let tree = MTree::build(ds, Euclidean);
+        assert!(tree.check_invariants());
+        let mut cur = tree.cursor(&[3.0, 3.0], None);
+        assert_eq!(std::iter::from_fn(|| cur.next()).count(), 100);
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let ds = Dataset::from_flat(2, vec![]).unwrap().into_shared();
+        let tree = MTree::build(ds, Euclidean);
+        let mut st = SearchStats::new();
+        assert!(tree.knn(&[0.0, 0.0], 5, None, &mut st).is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Growable point storage backing dynamic indexes.
+//!
+//! A [`PointPool`] starts from a shared immutable [`Dataset`] (no copy) and
+//! supports appending new points and tombstoning removed ones. Dynamic
+//! indexes (linear scan, cover tree) keep removed points for routing but
+//! filter them from results, matching the paper's claim that RDT supports
+//! "dynamic insertion and deletion of data points" with no costs beyond
+//! those of the forward index (§4).
+
+use rknn_core::{CoreError, Dataset, PointId};
+use std::sync::Arc;
+
+/// A base dataset plus appended points and liveness flags.
+#[derive(Debug, Clone)]
+pub struct PointPool {
+    base: Arc<Dataset>,
+    dim: usize,
+    extra: Vec<f64>,
+    /// Tombstones for removed ids; indexed lazily (empty = all alive).
+    dead: Vec<bool>,
+    live_count: usize,
+}
+
+impl PointPool {
+    /// Wraps a shared dataset.
+    pub fn new(base: Arc<Dataset>) -> Self {
+        let dim = base.dim();
+        let live_count = base.len();
+        PointPool { base, dim, extra: Vec::new(), dead: Vec::new(), live_count }
+    }
+
+    /// Dimensionality of all points.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total ids ever allocated (live + tombstoned).
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.base.len() + self.extra.len() / self.dim
+    }
+
+    /// Number of live points.
+    #[inline]
+    pub fn live(&self) -> usize {
+        self.live_count
+    }
+
+    /// Whether the id refers to a live point.
+    #[inline]
+    pub fn is_alive(&self, id: PointId) -> bool {
+        id < self.total() && !self.dead.get(id).copied().unwrap_or(false)
+    }
+
+    /// Coordinates of point `id` (live or tombstoned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never allocated.
+    #[inline]
+    pub fn point(&self, id: PointId) -> &[f64] {
+        let n0 = self.base.len();
+        if id < n0 {
+            self.base.point(id)
+        } else {
+            let off = (id - n0) * self.dim;
+            &self.extra[off..off + self.dim]
+        }
+    }
+
+    /// Appends a new point, returning its id.
+    pub fn insert(&mut self, p: &[f64]) -> Result<PointId, CoreError> {
+        if p.len() != self.dim {
+            return Err(CoreError::DimensionMismatch { expected: self.dim, got: p.len() });
+        }
+        let id = self.total();
+        for (j, v) in p.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(CoreError::NonFinite { point: id, coordinate: j });
+            }
+        }
+        self.extra.extend_from_slice(p);
+        self.live_count += 1;
+        debug_assert!(self.dead.len() <= id);
+        Ok(id)
+    }
+
+    /// Tombstones a point; returns whether it was alive.
+    pub fn remove(&mut self, id: PointId) -> bool {
+        if !self.is_alive(id) {
+            return false;
+        }
+        if self.dead.len() < self.total() {
+            self.dead.resize(self.total(), false);
+        }
+        self.dead[id] = true;
+        self.live_count -= 1;
+        true
+    }
+
+    /// Iterates over `(id, coordinates)` of live points.
+    pub fn iter_live(&self) -> impl Iterator<Item = (PointId, &[f64])> {
+        (0..self.total()).filter(|&id| self.is_alive(id)).map(move |id| (id, self.point(id)))
+    }
+
+    /// The shared base dataset this pool was created from.
+    pub fn base(&self) -> &Arc<Dataset> {
+        &self.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> PointPool {
+        let ds = Dataset::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]).unwrap().into_shared();
+        PointPool::new(ds)
+    }
+
+    #[test]
+    fn base_points_are_visible() {
+        let p = pool();
+        assert_eq!(p.total(), 2);
+        assert_eq!(p.live(), 2);
+        assert_eq!(p.point(1), &[1.0, 1.0]);
+        assert!(p.is_alive(0));
+        assert!(!p.is_alive(7));
+    }
+
+    #[test]
+    fn insert_allocates_sequential_ids() {
+        let mut p = pool();
+        assert_eq!(p.insert(&[2.0, 2.0]).unwrap(), 2);
+        assert_eq!(p.insert(&[3.0, 3.0]).unwrap(), 3);
+        assert_eq!(p.point(3), &[3.0, 3.0]);
+        assert_eq!(p.live(), 4);
+        assert!(p.insert(&[1.0]).is_err());
+        assert!(p.insert(&[f64::NAN, 0.0]).is_err());
+    }
+
+    #[test]
+    fn remove_tombstones_but_keeps_coordinates() {
+        let mut p = pool();
+        assert!(p.remove(0));
+        assert!(!p.remove(0), "double remove is a no-op");
+        assert_eq!(p.live(), 1);
+        assert_eq!(p.point(0), &[0.0, 0.0], "coordinates remain for routing");
+        let live: Vec<_> = p.iter_live().map(|(id, _)| id).collect();
+        assert_eq!(live, vec![1]);
+    }
+
+    #[test]
+    fn remove_then_insert_mixes() {
+        let mut p = pool();
+        p.remove(1);
+        let id = p.insert(&[5.0, 5.0]).unwrap();
+        assert_eq!(id, 2);
+        let live: Vec<_> = p.iter_live().map(|(id, _)| id).collect();
+        assert_eq!(live, vec![0, 2]);
+    }
+}

@@ -1,0 +1,116 @@
+//! The index abstraction RDT and the baselines are written against.
+
+use rknn_core::{Metric, Neighbor, PointId, SearchStats};
+
+/// An incremental nearest-neighbor stream.
+///
+/// Successive calls to [`NnCursor::next`] return the points of the indexed
+/// set in exact nondecreasing order of distance from the query, each exactly
+/// once, until the set is exhausted. This is the only capability RDT's
+/// expanding filter phase requires of its substrate.
+pub trait NnCursor {
+    /// The next nearest unreported neighbor, or `None` when exhausted.
+    fn next(&mut self) -> Option<Neighbor>;
+
+    /// Work performed by this cursor so far.
+    fn stats(&self) -> SearchStats;
+}
+
+/// A forward-kNN index over a point set.
+///
+/// `knn`, `range` and `range_count` have default implementations in terms of
+/// the incremental cursor; substrates override them where a direct traversal
+/// is cheaper. The `exclude` parameter implements the self-excluding
+/// convention of `DESIGN.md` §2 for queries located at dataset points.
+pub trait KnnIndex<M: Metric>: Send + Sync {
+    /// Number of live points in the index.
+    fn num_points(&self) -> usize;
+
+    /// Dimensionality of the indexed points.
+    fn dim(&self) -> usize;
+
+    /// Coordinates of a (live or historical) point id.
+    fn point(&self, id: PointId) -> &[f64];
+
+    /// The metric the index was built with.
+    fn metric(&self) -> &M;
+
+    /// A human-readable substrate name for experiment reports.
+    fn name(&self) -> &'static str;
+
+    /// Opens an incremental nearest-neighbor stream from `q`.
+    fn cursor<'a>(&'a self, q: &'a [f64], exclude: Option<PointId>) -> Box<dyn NnCursor + 'a>;
+
+    /// The `k` nearest neighbors of `q`, ascending by distance.
+    ///
+    /// Returns fewer than `k` when the index holds fewer points.
+    fn knn(
+        &self,
+        q: &[f64],
+        k: usize,
+        exclude: Option<PointId>,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        let mut cur = self.cursor(q, exclude);
+        let mut out = Vec::with_capacity(k);
+        while out.len() < k {
+            match cur.next() {
+                Some(n) => out.push(n),
+                None => break,
+            }
+        }
+        stats.absorb(&cur.stats());
+        out
+    }
+
+    /// All neighbors within the closed ball of radius `r`, ascending.
+    fn range(
+        &self,
+        q: &[f64],
+        r: f64,
+        exclude: Option<PointId>,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        let mut cur = self.cursor(q, exclude);
+        let mut out = Vec::new();
+        while let Some(n) = cur.next() {
+            if n.dist > r {
+                break;
+            }
+            out.push(n);
+        }
+        stats.absorb(&cur.stats());
+        out
+    }
+
+    /// Number of points within radius `r` of `q` (`strict` selects the open
+    /// ball `d < r`). This is the "count range query" primitive of SFT.
+    fn range_count(
+        &self,
+        q: &[f64],
+        r: f64,
+        strict: bool,
+        exclude: Option<PointId>,
+        stats: &mut SearchStats,
+    ) -> usize {
+        let mut cur = self.cursor(q, exclude);
+        let mut count = 0;
+        while let Some(n) = cur.next() {
+            if (strict && n.dist >= r) || (!strict && n.dist > r) {
+                break;
+            }
+            count += 1;
+        }
+        stats.absorb(&cur.stats());
+        count
+    }
+}
+
+/// An index supporting online insertion and deletion.
+pub trait DynamicIndex<M: Metric>: KnnIndex<M> {
+    /// Inserts a new point, returning its id.
+    fn insert(&mut self, point: &[f64]) -> Result<PointId, rknn_core::CoreError>;
+
+    /// Removes a point; returns whether it was present and live.
+    fn remove(&mut self, id: PointId) -> bool;
+}

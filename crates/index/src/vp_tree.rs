@@ -1,0 +1,227 @@
+//! A vantage-point tree (Yianilos) with incremental best-first search.
+//!
+//! The VP-tree is not used in the paper's experiments; it is included as an
+//! additional metric substrate to exercise RDT's claim of working on top of
+//! *any* index supporting incremental forward NN queries (§4), and as an
+//! independent witness in substrate-agreement tests.
+
+use crate::bestfirst::{BestFirst, Popped};
+use crate::traits::{KnnIndex, NnCursor};
+use rknn_core::{Dataset, Metric, Neighbor, OrderedF64, PointId, SearchStats};
+use std::sync::Arc;
+
+const LEAF_SIZE: usize = 12;
+
+#[derive(Debug, Clone)]
+enum VpNode {
+    Leaf(Vec<PointId>),
+    Inner {
+        vp: PointId,
+        /// `(subtree, min, max)` distance interval from the vantage point to
+        /// the points of each child subtree.
+        near: Option<(usize, f64, f64)>,
+        far: Option<(usize, f64, f64)>,
+    },
+}
+
+/// A static vantage-point tree.
+#[derive(Debug, Clone)]
+pub struct VpTree<M: Metric> {
+    ds: Arc<Dataset>,
+    metric: M,
+    nodes: Vec<VpNode>,
+    root: Option<usize>,
+}
+
+impl<M: Metric> VpTree<M> {
+    /// Builds a VP-tree over a shared dataset.
+    pub fn build(ds: Arc<Dataset>, metric: M) -> Self {
+        let mut tree = VpTree { ds: ds.clone(), metric, nodes: Vec::new(), root: None };
+        let mut ids: Vec<PointId> = (0..ds.len()).collect();
+        tree.root = tree.build_rec(&mut ids);
+        tree
+    }
+
+    fn build_rec(&mut self, ids: &mut [PointId]) -> Option<usize> {
+        if ids.is_empty() {
+            return None;
+        }
+        if ids.len() <= LEAF_SIZE {
+            self.nodes.push(VpNode::Leaf(ids.to_vec()));
+            return Some(self.nodes.len() - 1);
+        }
+        // Use the first id as the vantage point (build order is already
+        // arbitrary; callers wanting a randomized tree can shuffle the
+        // dataset). Partition the rest around the median distance.
+        let vp = ids[0];
+        let vp_coords = self.ds.point(vp).to_vec();
+        let rest = &mut ids[1..];
+        let mut dists: Vec<(f64, PointId)> =
+            rest.iter().map(|&id| (self.metric.dist(&vp_coords, self.ds.point(id)), id)).collect();
+        let mid = dists.len() / 2;
+        dists.sort_by_key(|a| OrderedF64(a.0));
+        let (near_part, far_part) = dists.split_at(mid.max(1).min(dists.len()));
+        let interval = |part: &[(f64, PointId)]| -> (f64, f64) {
+            let min = part.first().map(|p| p.0).unwrap_or(0.0);
+            let max = part.last().map(|p| p.0).unwrap_or(0.0);
+            (min, max)
+        };
+        let (near_min, near_max) = interval(near_part);
+        let (far_min, far_max) = interval(far_part);
+        let mut near_ids: Vec<PointId> = near_part.iter().map(|p| p.1).collect();
+        let mut far_ids: Vec<PointId> = far_part.iter().map(|p| p.1).collect();
+        let near = self.build_rec(&mut near_ids).map(|n| (n, near_min, near_max));
+        let far = self.build_rec(&mut far_ids).map(|n| (n, far_min, far_max));
+        self.nodes.push(VpNode::Inner { vp, near, far });
+        Some(self.nodes.len() - 1)
+    }
+
+    /// Number of tree nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+struct VpCursor<'a, M: Metric> {
+    tree: &'a VpTree<M>,
+    q: &'a [f64],
+    exclude: Option<PointId>,
+    queue: BestFirst,
+    stats: SearchStats,
+}
+
+impl<'a, M: Metric> NnCursor for VpCursor<'a, M> {
+    fn next(&mut self) -> Option<Neighbor> {
+        loop {
+            match self.queue.pop()? {
+                Popped::Point(n) => {
+                    if Some(n.id) == self.exclude {
+                        continue;
+                    }
+                    return Some(n);
+                }
+                Popped::Node { id, .. } => {
+                    self.stats.count_node();
+                    match &self.tree.nodes[id] {
+                        VpNode::Leaf(pts) => {
+                            for &p in pts {
+                                self.stats.count_dist();
+                                let d = self.tree.metric.dist(self.q, self.tree.ds.point(p));
+                                self.queue.push_point(Neighbor::new(p, d));
+                            }
+                        }
+                        VpNode::Inner { vp, near, far } => {
+                            self.stats.count_dist();
+                            let d = self.tree.metric.dist(self.q, self.tree.ds.point(*vp));
+                            self.queue.push_point(Neighbor::new(*vp, d));
+                            for child in [near, far].into_iter().flatten() {
+                                let (node, lo, hi) = *child;
+                                let lb = (d - hi).max(lo - d).max(0.0);
+                                self.queue.push_node(node, lb, d);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> SearchStats {
+        let mut s = self.stats;
+        s.heap_pushes = self.queue.pushes();
+        s
+    }
+}
+
+impl<M: Metric> KnnIndex<M> for VpTree<M> {
+    fn num_points(&self) -> usize {
+        self.ds.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.ds.dim()
+    }
+
+    fn point(&self, id: PointId) -> &[f64] {
+        self.ds.point(id)
+    }
+
+    fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    fn name(&self) -> &'static str {
+        "vp-tree"
+    }
+
+    fn cursor<'a>(&'a self, q: &'a [f64], exclude: Option<PointId>) -> Box<dyn NnCursor + 'a> {
+        let mut queue = BestFirst::new();
+        if let Some(root) = self.root {
+            queue.push_node(root, 0.0, 0.0);
+        }
+        Box::new(VpCursor { tree: self, q, exclude, queue, stats: SearchStats::new() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rknn_core::{BruteForce, Euclidean, Manhattan};
+
+    fn random_dataset(n: usize, dim: usize, seed: u64) -> Arc<Dataset> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..dim).map(|_| next() * 10.0 - 5.0).collect()).collect();
+        Dataset::from_rows(&rows).unwrap().into_shared()
+    }
+
+    #[test]
+    fn cursor_is_complete_and_ordered() {
+        let ds = random_dataset(257, 3, 7);
+        let tree = VpTree::build(ds.clone(), Euclidean);
+        let q = ds.point(0).to_vec();
+        let mut cur = tree.cursor(&q, None);
+        let got: Vec<_> = std::iter::from_fn(|| cur.next()).collect();
+        assert_eq!(got.len(), 257);
+        let mut seen = std::collections::HashSet::new();
+        let mut prev = 0.0;
+        for n in &got {
+            assert!(seen.insert(n.id), "no duplicates");
+            assert!(n.dist >= prev - 1e-12);
+            prev = n.dist;
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force_in_l1() {
+        let ds = random_dataset(300, 5, 8);
+        let tree = VpTree::build(ds.clone(), Manhattan);
+        let bf = BruteForce::new(ds.clone(), Manhattan);
+        for qi in [3usize, 80, 299] {
+            let mut st = SearchStats::new();
+            let got = tree.knn(ds.point(qi), 7, Some(qi), &mut st);
+            let want = bf.knn(ds.point(qi), 7, Some(qi), &mut SearchStats::new());
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.dist - w.dist).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn small_and_degenerate_inputs() {
+        let ds = Dataset::from_rows(&[vec![0.0]]).unwrap().into_shared();
+        let tree = VpTree::build(ds, Euclidean);
+        let mut st = SearchStats::new();
+        assert_eq!(tree.knn(&[0.5], 1, None, &mut st).len(), 1);
+
+        // All-identical points must still stream completely.
+        let ds = Dataset::from_rows(&vec![vec![2.0, 2.0]; 40]).unwrap().into_shared();
+        let tree = VpTree::build(ds, Euclidean);
+        let mut cur = tree.cursor(&[0.0, 0.0], None);
+        assert_eq!(std::iter::from_fn(|| cur.next()).count(), 40);
+    }
+}

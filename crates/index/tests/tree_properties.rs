@@ -1,0 +1,121 @@
+//! Property-based structural tests for every index under random builds and
+//! updates.
+
+use proptest::prelude::*;
+use rknn_core::{BruteForce, Dataset, Euclidean, SearchStats};
+use rknn_index::{
+    BallTree, CoverTree, DynamicIndex, KnnIndex, LinearScan, MTree, RTree, VpTree,
+};
+
+fn arb_points(dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(-100.0f64..100.0, dim), 5..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Every substrate's cursor is a complete, duplicate-free,
+    /// nondecreasing permutation of the dataset.
+    #[test]
+    fn cursors_enumerate_everything_in_order(pts in arb_points(3), qi in 0usize..120) {
+        let ds = Dataset::from_rows(&pts).unwrap().into_shared();
+        let q = ds.point(qi % ds.len()).to_vec();
+        let cover = CoverTree::build(ds.clone(), Euclidean);
+        let vp = VpTree::build(ds.clone(), Euclidean);
+        let rtree = RTree::build(ds.clone(), Euclidean);
+        let mtree = MTree::build(ds.clone(), Euclidean);
+        let scan = LinearScan::build(ds.clone(), Euclidean);
+        let check = |mut cur: Box<dyn rknn_index::NnCursor + '_>, name: &str| {
+            let mut seen = std::collections::HashSet::new();
+            let mut prev = 0.0f64;
+            let mut count = 0usize;
+            while let Some(n) = cur.next() {
+                assert!(seen.insert(n.id), "{name}: duplicate {}", n.id);
+                assert!(n.dist >= prev - 1e-12, "{name}: order violated");
+                prev = n.dist;
+                count += 1;
+            }
+            assert_eq!(count, ds.len(), "{name}: incomplete");
+        };
+        let ball = BallTree::build(ds.clone(), Euclidean);
+        check(cover.cursor(&q, None), "cover");
+        check(ball.cursor(&q, None), "ball");
+        check(vp.cursor(&q, None), "vp");
+        check(rtree.cursor(&q, None), "rtree");
+        check(mtree.cursor(&q, None), "mtree");
+        check(scan.cursor(&q, None), "scan");
+    }
+
+    /// Structural invariants hold after random builds.
+    #[test]
+    fn invariants_after_build(pts in arb_points(2)) {
+        let ds = Dataset::from_rows(&pts).unwrap().into_shared();
+        prop_assert!(CoverTree::build(ds.clone(), Euclidean).check_invariants());
+        prop_assert!(MTree::build(ds.clone(), Euclidean).check_invariants());
+        prop_assert!(RTree::build(ds.clone(), Euclidean).check_invariants());
+        prop_assert!(BallTree::build(ds.clone(), Euclidean).check_invariants());
+    }
+
+    /// Invariants survive random insert/remove churn on the dynamic
+    /// indexes, and the post-churn kNN answers agree across them.
+    #[test]
+    fn invariants_after_churn(
+        pts in arb_points(2),
+        extra in proptest::collection::vec(proptest::collection::vec(-100.0f64..100.0, 2), 1..25),
+        removals in proptest::collection::vec(0usize..40, 0..10),
+    ) {
+        let ds = Dataset::from_rows(&pts).unwrap().into_shared();
+        let mut cover = CoverTree::build(ds.clone(), Euclidean);
+        let mut rtree = RTree::build_with(ds.clone(), Euclidean, 4, None);
+        let mut scan = LinearScan::build(ds.clone(), Euclidean);
+        for p in &extra {
+            cover.insert(p).unwrap();
+            DynamicIndex::insert(&mut rtree, p).unwrap();
+            scan.insert(p).unwrap();
+        }
+        for &r in &removals {
+            let id = r % ds.len();
+            let a = cover.remove(id);
+            let b = DynamicIndex::remove(&mut rtree, id);
+            let c = scan.remove(id);
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(b, c);
+        }
+        prop_assert!(cover.check_invariants());
+        prop_assert!(rtree.check_invariants());
+        let q = extra[0].clone();
+        let mut st = SearchStats::new();
+        let k = 5usize.min(scan.num_points());
+        let a: Vec<_> = cover.knn(&q, k, None, &mut st).iter().map(|n| n.id).collect();
+        let b: Vec<_> = rtree.knn(&q, k, None, &mut st).iter().map(|n| n.id).collect();
+        let c: Vec<_> = scan.knn(&q, k, None, &mut st).iter().map(|n| n.id).collect();
+        prop_assert_eq!(&a, &c, "cover vs scan");
+        prop_assert_eq!(&b, &c, "rtree vs scan");
+    }
+
+    /// Range counts agree with brute force under both tie conventions.
+    #[test]
+    fn range_counts_match_brute(
+        pts in arb_points(2),
+        qi in 0usize..120,
+        r in 0.0f64..150.0,
+    ) {
+        let ds = Dataset::from_rows(&pts).unwrap().into_shared();
+        let q = ds.point(qi % ds.len()).to_vec();
+        let bf = BruteForce::new(ds.clone(), Euclidean);
+        let mut st = SearchStats::new();
+        let all = bf.knn(&q, ds.len(), None, &mut st);
+        let want_closed = all.iter().filter(|n| n.dist <= r).count();
+        let want_open = all.iter().filter(|n| n.dist < r).count();
+        for index in [
+            Box::new(CoverTree::build(ds.clone(), Euclidean)) as Box<dyn KnnIndex<Euclidean>>,
+            Box::new(RTree::build(ds.clone(), Euclidean)),
+            Box::new(MTree::build(ds.clone(), Euclidean)),
+            Box::new(VpTree::build(ds.clone(), Euclidean)),
+            Box::new(BallTree::build(ds.clone(), Euclidean)),
+        ] {
+            prop_assert_eq!(index.range_count(&q, r, false, None, &mut st), want_closed);
+            prop_assert_eq!(index.range_count(&q, r, true, None, &mut st), want_open);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! The common estimator interface.
+
+use rknn_core::{Dataset, Metric};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The result of an intrinsic-dimensionality estimation.
+#[derive(Debug, Clone)]
+pub struct IdEstimate {
+    /// The dimensionality estimate.
+    pub id: f64,
+    /// How many sample units (points or pairs) contributed.
+    pub samples: usize,
+    /// Wall-clock time spent estimating.
+    pub elapsed: Duration,
+}
+
+impl IdEstimate {
+    /// Creates an estimate record.
+    pub fn new(id: f64, samples: usize, elapsed: Duration) -> Self {
+        IdEstimate { id, samples, elapsed }
+    }
+}
+
+/// A global intrinsic-dimensionality estimator.
+///
+/// Estimators are deterministic given their configured seed, so experiment
+/// tables are reproducible run to run.
+pub trait IdEstimator {
+    /// Short name used in reports (`"MLE"`, `"GP"`, `"Takens"`).
+    fn name(&self) -> &'static str;
+
+    /// Estimates the intrinsic dimensionality of `ds` under `metric`.
+    fn estimate(&self, ds: &Arc<Dataset>, metric: &dyn Metric) -> IdEstimate;
+}

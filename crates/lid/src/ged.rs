@@ -1,0 +1,210 @@
+//! The generalized expansion dimension (GED) and MaxGED (§3.2).
+//!
+//! GED assesses two concentric neighborhood balls `B≤(q, r₁) ⊆ B≤(q, r₂)`
+//! containing `k₁ ≤ k₂` points:
+//!
+//! ```text
+//! GED = log(k₂ / k₁) / log(r₂ / r₁)
+//! ```
+//!
+//! **MaxGED(S, k)** is the maximum GED over every dataset point `q` and
+//! every outer rank `s ∈ (k, n−1]` with `d_s(q) ≠ d_k(q)`. Theorem 1
+//! guarantees an exact RDT result whenever the scale parameter `t` is at
+//! least `MaxGED(S ∪ {q}, k)`; for queries drawn from the dataset this is
+//! `MaxGED(S, k)` itself.
+//!
+//! The exact computation sorts each point's distance list — `O(n² log n)`
+//! overall — which is why the paper calls estimating MaxGED "extremely
+//! impractical" for parameter selection (§6) and motivates the estimators in
+//! the sibling modules. We provide the exact form for validation on small
+//! sets plus a sampled upper-bound estimate.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rknn_core::float::sort_f64;
+use rknn_core::{Dataset, Metric};
+
+/// The generalized expansion dimension of two concentric balls.
+///
+/// Returns `None` for degenerate inputs (`r1 == r2`, zero radii, or zero
+/// counts), matching the side condition `d_k(q) ≠ d_s(q)` in the paper's
+/// MaxGED definition.
+pub fn ged(k_inner: usize, r_inner: f64, k_outer: usize, r_outer: f64) -> Option<f64> {
+    if k_inner == 0 || k_outer == 0 || r_inner <= 0.0 || r_outer <= 0.0 || r_inner == r_outer {
+        return None;
+    }
+    Some(((k_outer as f64 / k_inner as f64).ln()) / ((r_outer / r_inner).ln()))
+}
+
+/// Maximum GED contribution of a single location's sorted distance list.
+///
+/// `dists` must be the ascending distances from the location to the data
+/// points (self-excluded).
+fn max_ged_of_sorted(dists: &[f64], k: usize) -> f64 {
+    let n = dists.len();
+    if k == 0 || k >= n {
+        return 0.0;
+    }
+    let dk = dists[k - 1];
+    if dk <= 0.0 {
+        return 0.0;
+    }
+    let mut best = 0.0f64;
+    for s in (k + 1)..=n {
+        let ds = dists[s - 1];
+        if let Some(g) = ged(k, dk, s, ds) {
+            if g > best {
+                best = g;
+            }
+        }
+    }
+    best
+}
+
+/// Exact `MaxGED(S, k)` by full enumeration. `O(n² log n)` — use on small
+/// validation sets only.
+pub fn max_ged(ds: &Dataset, metric: &dyn Metric, k: usize) -> f64 {
+    let n = ds.len();
+    let mut best = 0.0f64;
+    let mut dists = Vec::with_capacity(n.saturating_sub(1));
+    for (q, qp) in ds.iter() {
+        dists.clear();
+        for (x, xp) in ds.iter() {
+            if x != q {
+                dists.push(metric.dist(qp, xp));
+            }
+        }
+        sort_f64(&mut dists);
+        best = best.max(max_ged_of_sorted(&dists, k));
+    }
+    best
+}
+
+/// Sampled lower bound on `MaxGED(S, k)`: evaluates the per-location maximum
+/// at `sample` randomly chosen dataset points. Deterministic per seed.
+pub fn max_ged_sampled(
+    ds: &Dataset,
+    metric: &dyn Metric,
+    k: usize,
+    sample: usize,
+    seed: u64,
+) -> f64 {
+    let n = ds.len();
+    if sample >= n {
+        return max_ged(ds, metric, k);
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut ids: Vec<usize> = (0..n).collect();
+    ids.shuffle(&mut rng);
+    ids.truncate(sample);
+    let mut best = 0.0f64;
+    let mut dists = Vec::with_capacity(n - 1);
+    for q in ids {
+        dists.clear();
+        let qp = ds.point(q);
+        for (x, xp) in ds.iter() {
+            if x != q {
+                dists.push(metric.dist(qp, xp));
+            }
+        }
+        sort_f64(&mut dists);
+        best = best.max(max_ged_of_sorted(&dists, k));
+    }
+    best
+}
+
+/// [`crate::IdEstimator`]-flavored wrapper around the sampled MaxGED.
+///
+/// MaxGED is "an extremely conservative and loose upper bound on the
+/// intrinsic dimensionality in the vicinity of the query" (§6); this wrapper
+/// exists for the ablation comparing `t = MaxGED` against the practical
+/// estimators, not as a recommended policy.
+#[derive(Debug, Clone)]
+pub struct GedEstimator {
+    /// Neighborhood size `k` of the inner ball.
+    pub k: usize,
+    /// Number of sampled query locations.
+    pub sample: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GedEstimator {
+    /// A MaxGED estimator for neighborhood size `k`.
+    pub fn new(k: usize) -> Self {
+        GedEstimator { k, sample: 200, seed: 0xced }
+    }
+}
+
+impl crate::estimator::IdEstimator for GedEstimator {
+    fn name(&self) -> &'static str {
+        "MaxGED"
+    }
+
+    fn estimate(
+        &self,
+        ds: &std::sync::Arc<Dataset>,
+        metric: &dyn Metric,
+    ) -> crate::estimator::IdEstimate {
+        let start = std::time::Instant::now();
+        let v = max_ged_sampled(ds, metric, self.k, self.sample, self.seed);
+        crate::estimator::IdEstimate::new(v, self.sample.min(ds.len()), start.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rknn_core::Euclidean;
+
+    #[test]
+    fn ged_of_doubling_ball_matches_expansion_dimension() {
+        // k doubles when radius doubles → GED = 1 (a line).
+        assert!((ged(4, 1.0, 8, 2.0).unwrap() - 1.0).abs() < 1e-12);
+        // k quadruples when radius doubles → GED = 2 (a plane).
+        assert!((ged(4, 1.0, 16, 2.0).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ged_rejects_degenerate_balls() {
+        assert!(ged(4, 1.0, 8, 1.0).is_none());
+        assert!(ged(0, 1.0, 8, 2.0).is_none());
+        assert!(ged(4, 0.0, 8, 2.0).is_none());
+    }
+
+    #[test]
+    fn max_ged_on_uniform_grid_is_moderate() {
+        // A regular 1-d grid: expansion from rank k to rank s gives
+        // GED = ln(s/k)/ln(s/k) = 1 exactly (distance ∝ rank).
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let g = max_ged(&ds, &Euclidean, 2);
+        // Boundary points see compressed distances, inflating GED slightly
+        // above 1; it must stay well below 2.
+        assert!((1.0..2.0).contains(&g), "grid MaxGED = {g}");
+    }
+
+    #[test]
+    fn sampled_is_lower_bound_of_exact() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let rows: Vec<Vec<f64>> =
+            (0..120).map(|_| vec![rng.random::<f64>() * 4.0, rng.random::<f64>() * 4.0]).collect();
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let exact = max_ged(&ds, &Euclidean, 3);
+        let sampled = max_ged_sampled(&ds, &Euclidean, 3, 30, 9);
+        assert!(sampled <= exact + 1e-12);
+        assert!(sampled > 0.0);
+        // Full-sample request falls back to the exact computation.
+        assert_eq!(max_ged_sampled(&ds, &Euclidean, 3, 500, 9), exact);
+    }
+
+    #[test]
+    fn max_ged_handles_small_or_duplicate_sets() {
+        let ds = Dataset::from_rows(&[vec![0.0], vec![0.0], vec![0.0]]).unwrap();
+        assert_eq!(max_ged(&ds, &Euclidean, 1), 0.0, "all-zero distances are degenerate");
+        let ds = Dataset::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        assert_eq!(max_ged(&ds, &Euclidean, 1), 0.0, "no outer rank available");
+    }
+}

@@ -1,0 +1,175 @@
+//! The Grassberger–Procaccia correlation-dimension estimator (§6, \[16\]).
+//!
+//! The correlation integral over pairwise distances is
+//!
+//! ```text
+//! C(r) = 2 / (N(N−1)) · Σ_{i<j} H(r − ‖xᵢ − xⱼ‖)
+//! ```
+//!
+//! and the correlation dimension is the limit of `log C(r) / log r` as
+//! `r → 0`. "In practice, the limit is estimated by fitting a straight line
+//! to a log–log curve of C(r) versus r, over the smallest values of r"; we
+//! evaluate `C` at order statistics of the (sampled) pairwise distance
+//! distribution between two configurable quantiles and fit by least squares.
+
+use crate::estimator::{IdEstimate, IdEstimator};
+use crate::pairs::sampled_pair_distances;
+use rknn_core::{Dataset, Metric};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Grassberger–Procaccia estimator configuration.
+#[derive(Debug, Clone)]
+pub struct GpEstimator {
+    /// Maximum number of sampled point pairs.
+    pub pair_budget: usize,
+    /// Lower quantile of the pair-distance distribution where the fit starts.
+    pub q_lo: f64,
+    /// Upper quantile where the fit ends ("smallest values of r").
+    pub q_hi: f64,
+    /// Number of fit points along the log–log curve.
+    pub grid: usize,
+    /// RNG seed for pair sampling.
+    pub seed: u64,
+}
+
+impl Default for GpEstimator {
+    fn default() -> Self {
+        GpEstimator { pair_budget: 200_000, q_lo: 0.002, q_hi: 0.05, grid: 16, seed: 0x69 }
+    }
+}
+
+impl GpEstimator {
+    /// Default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ordinary least-squares slope of `y` on `x`.
+    pub(crate) fn ols_slope(xs: &[f64], ys: &[f64]) -> Option<f64> {
+        let n = xs.len() as f64;
+        if xs.len() < 2 {
+            return None;
+        }
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        for (x, y) in xs.iter().zip(ys) {
+            sxx += (x - mx) * (x - mx);
+            sxy += (x - mx) * (y - my);
+        }
+        (sxx > 0.0).then(|| sxy / sxx)
+    }
+
+    /// Estimates CD from an ascending-sorted positive pair-distance sample.
+    pub fn cd_of_sorted_pairs(&self, sorted: &[f64]) -> Option<f64> {
+        let p = sorted.len();
+        if p < 16 {
+            return None;
+        }
+        let c_lo = ((p as f64 * self.q_lo) as usize).max(4);
+        let c_hi = ((p as f64 * self.q_hi) as usize).min(p - 1).max(c_lo + self.grid);
+        if c_hi <= c_lo {
+            return None;
+        }
+        // Evaluate the correlation integral at log-spaced pair counts:
+        // C(d_(c)) = c / P with r = d_(c).
+        let mut xs = Vec::with_capacity(self.grid);
+        let mut ys = Vec::with_capacity(self.grid);
+        let ratio = (c_hi as f64 / c_lo as f64).powf(1.0 / (self.grid.max(2) - 1) as f64);
+        let mut c = c_lo as f64;
+        let mut last_count = 0usize;
+        for _ in 0..self.grid {
+            let count = (c.round() as usize).clamp(c_lo, c_hi);
+            if count != last_count {
+                let r = sorted[count - 1];
+                if r > 0.0 {
+                    xs.push(r.ln());
+                    ys.push((count as f64 / p as f64).ln());
+                }
+                last_count = count;
+            }
+            c *= ratio;
+        }
+        Self::ols_slope(&xs, &ys)
+    }
+}
+
+impl IdEstimator for GpEstimator {
+    fn name(&self) -> &'static str {
+        "GP"
+    }
+
+    fn estimate(&self, ds: &Arc<Dataset>, metric: &dyn Metric) -> IdEstimate {
+        let start = Instant::now();
+        let pairs = sampled_pair_distances(ds, metric, self.pair_budget, self.seed);
+        let id = self.cd_of_sorted_pairs(&pairs).unwrap_or(0.0);
+        IdEstimate::new(id, pairs.len(), start.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use rknn_core::Euclidean;
+
+    fn uniform_cube(n: usize, dim: usize, seed: u64) -> Arc<Dataset> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..dim).map(|_| rng.random::<f64>()).collect()).collect();
+        Dataset::from_rows(&rows).unwrap().into_shared()
+    }
+
+    #[test]
+    fn ols_slope_on_exact_line() {
+        let xs = vec![0.0, 1.0, 2.0, 3.0];
+        let ys = vec![1.0, 3.0, 5.0, 7.0];
+        assert!((GpEstimator::ols_slope(&xs, &ys).unwrap() - 2.0).abs() < 1e-12);
+        assert!(GpEstimator::ols_slope(&[1.0], &[1.0]).is_none());
+        assert!(GpEstimator::ols_slope(&[1.0, 1.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn recovers_square_dimension() {
+        let ds = uniform_cube(1500, 2, 11);
+        let got = GpEstimator::new().estimate(&ds, &Euclidean);
+        assert!((got.id - 2.0).abs() < 0.5, "got {}", got.id);
+    }
+
+    #[test]
+    fn recovers_segment_dimension() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let rows: Vec<Vec<f64>> = (0..1500)
+            .map(|_| {
+                let t: f64 = rng.random();
+                vec![t, 0.5 * t]
+            })
+            .collect();
+        let ds = Dataset::from_rows(&rows).unwrap().into_shared();
+        let got = GpEstimator::new().estimate(&ds, &Euclidean);
+        assert!((got.id - 1.0).abs() < 0.3, "got {}", got.id);
+    }
+
+    #[test]
+    fn circle_is_one_dimensional() {
+        let rows: Vec<Vec<f64>> = (0..1200)
+            .map(|i| {
+                let a = i as f64 / 1200.0 * std::f64::consts::TAU;
+                vec![a.cos(), a.sin()]
+            })
+            .collect();
+        let ds = Dataset::from_rows(&rows).unwrap().into_shared();
+        let got = GpEstimator::new().estimate(&ds, &Euclidean);
+        assert!((got.id - 1.0).abs() < 0.3, "got {}", got.id);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_zero() {
+        let ds = Dataset::from_rows(&[vec![0.0], vec![1.0]]).unwrap().into_shared();
+        let got = GpEstimator::new().estimate(&ds, &Euclidean);
+        assert_eq!(got.id, 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Sampled pairwise distances, shared by the correlation-dimension
+//! estimators.
+//!
+//! Both the Grassberger–Procaccia and the Takens estimator "compute values
+//! for all pairs of distances … leading to a quadratic runtime" (§6). To
+//! keep the estimators usable as preprocessing (the paper runs them once per
+//! dataset), we sample pairs uniformly without replacement up to a budget;
+//! with a budget of `n·(n−1)/2` the computation is exact.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rknn_core::float::sort_f64;
+use rknn_core::{Dataset, Metric};
+
+/// Sorted positive pairwise distances of up to `budget` sampled point pairs.
+///
+/// Zero distances (duplicate points) are discarded: every correlation-
+/// dimension formula takes logarithms of distances.
+pub fn sampled_pair_distances(
+    ds: &Dataset,
+    metric: &dyn Metric,
+    budget: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let n = ds.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let total = n * (n - 1) / 2;
+    let mut out = Vec::with_capacity(budget.min(total));
+    if total <= budget {
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = metric.dist(ds.point(i), ds.point(j));
+                if d > 0.0 {
+                    out.push(d);
+                }
+            }
+        }
+    } else {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..budget {
+            let i = rng.random_range(0..n);
+            let mut j = rng.random_range(0..n - 1);
+            if j >= i {
+                j += 1;
+            }
+            let d = metric.dist(ds.point(i), ds.point(j));
+            if d > 0.0 {
+                out.push(d);
+            }
+        }
+    }
+    sort_f64(&mut out);
+    out
+}
+
+/// The q-quantile (0 ≤ q ≤ 1) of an ascending-sorted slice.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rknn_core::Euclidean;
+
+    #[test]
+    fn exact_when_budget_covers_all_pairs() {
+        let ds = Dataset::from_rows(&[vec![0.0], vec![1.0], vec![3.0]]).unwrap();
+        let d = sampled_pair_distances(&ds, &Euclidean, 100, 1);
+        assert_eq!(d, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn sampling_respects_budget_and_is_sorted() {
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64]).collect();
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let d = sampled_pair_distances(&ds, &Euclidean, 200, 2);
+        assert!(d.len() <= 200);
+        assert!(d.windows(2).all(|w| w[0] <= w[1]));
+        assert!(d.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn duplicates_are_dropped() {
+        let ds = Dataset::from_rows(&[vec![1.0], vec![1.0], vec![2.0]]).unwrap();
+        let d = sampled_pair_distances(&ds, &Euclidean, 100, 3);
+        assert_eq!(d, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn quantiles() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 0.5), 3.0);
+        assert_eq!(quantile(&v, 1.0), 5.0);
+    }
+
+    #[test]
+    fn tiny_datasets_yield_empty() {
+        let ds = Dataset::from_rows(&[vec![0.0]]).unwrap();
+        assert!(sampled_pair_distances(&ds, &Euclidean, 10, 0).is_empty());
+    }
+}

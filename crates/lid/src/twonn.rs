@@ -1,0 +1,170 @@
+//! The TwoNN estimator of intrinsic dimensionality (Facco et al., 2017).
+//!
+//! Not part of the paper's §6 toolbox — included as an independent
+//! cross-check for the generators and the other estimators (it appeared
+//! the same year as the paper). TwoNN uses only each point's two nearest
+//! neighbors: under a locally uniform density the ratio `μ = r₂/r₁`
+//! follows `P(μ ≤ x) = 1 − x^{−d}`, giving the maximum-likelihood estimate
+//!
+//! ```text
+//! d = n / Σᵢ ln μᵢ
+//! ```
+//!
+//! Its appeal matches the Hill estimator's: purely local, cheap (two
+//! neighbors per sampled point), and insensitive to density variation.
+
+use crate::estimator::{IdEstimate, IdEstimator};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rknn_core::{BruteForce, Dataset, Metric, SearchStats};
+use rknn_index::KnnIndex;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// TwoNN estimator configuration.
+#[derive(Debug, Clone)]
+pub struct TwoNnEstimator {
+    /// Fraction of points sampled.
+    pub sample_fraction: f64,
+    /// Minimum sample size.
+    pub min_sample: usize,
+    /// Fraction of the largest ratios discarded before the MLE (the
+    /// original method trims the tail, which manifold boundary effects
+    /// contaminate; 0.1 is the authors' default).
+    pub trim: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TwoNnEstimator {
+    fn default() -> Self {
+        TwoNnEstimator { sample_fraction: 0.2, min_sample: 100, trim: 0.1, seed: 0x22 }
+    }
+}
+
+impl TwoNnEstimator {
+    /// Default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// MLE over a list of `r₂/r₁` ratios (each > 1 after filtering).
+    pub fn id_of_ratios(&self, ratios: &mut Vec<f64>) -> Option<f64> {
+        ratios.retain(|&r| r.is_finite() && r > 1.0);
+        if ratios.is_empty() {
+            return None;
+        }
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+        let keep = ((ratios.len() as f64) * (1.0 - self.trim)).ceil() as usize;
+        let kept = &ratios[..keep.clamp(1, ratios.len())];
+        let sum_ln: f64 = kept.iter().map(|r| r.ln()).sum();
+        (sum_ln > 0.0).then(|| kept.len() as f64 / sum_ln)
+    }
+
+    fn sample_ids(&self, n: usize) -> Vec<usize> {
+        let target =
+            ((n as f64 * self.sample_fraction) as usize).max(self.min_sample).min(n);
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut ids: Vec<usize> = (0..n).collect();
+        ids.shuffle(&mut rng);
+        ids.truncate(target);
+        ids
+    }
+
+    /// Estimates using an arbitrary forward index for the 2-NN lookups.
+    pub fn estimate_with_index<M: Metric, I: KnnIndex<M>>(&self, index: &I) -> IdEstimate {
+        let start = Instant::now();
+        let mut stats = SearchStats::new();
+        let mut ratios: Vec<f64> = Vec::new();
+        for q in self.sample_ids(index.num_points()) {
+            let nn = index.knn(index.point(q), 2, Some(q), &mut stats);
+            if nn.len() == 2 && nn[0].dist > 0.0 {
+                ratios.push(nn[1].dist / nn[0].dist);
+            }
+        }
+        let used = ratios.len();
+        let id = self.id_of_ratios(&mut ratios).unwrap_or(0.0);
+        IdEstimate::new(id, used, start.elapsed())
+    }
+}
+
+impl IdEstimator for TwoNnEstimator {
+    fn name(&self) -> &'static str {
+        "TwoNN"
+    }
+
+    fn estimate(&self, ds: &Arc<Dataset>, metric: &dyn Metric) -> IdEstimate {
+        let start = Instant::now();
+        let bf = BruteForce::new(ds.clone(), crate::hill::MetricRef(metric));
+        let mut stats = SearchStats::new();
+        let mut ratios: Vec<f64> = Vec::new();
+        for q in self.sample_ids(ds.len()) {
+            let nn = bf.knn(ds.point(q), 2, Some(q), &mut stats);
+            if nn.len() == 2 && nn[0].dist > 0.0 {
+                ratios.push(nn[1].dist / nn[0].dist);
+            }
+        }
+        let used = ratios.len();
+        let id = self.id_of_ratios(&mut ratios).unwrap_or(0.0);
+        IdEstimate::new(id, used, start.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rknn_core::Euclidean;
+
+    #[test]
+    fn ratio_mle_on_exact_pareto_sample() {
+        // μ ~ Pareto(d): F(x) = 1 − x^{−d}. Inverse-CDF sampling.
+        for d in [2.0f64, 5.0] {
+            let n = 50_000;
+            let mut ratios: Vec<f64> =
+                (1..=n).map(|i| (1.0 - (i as f64 - 0.5) / n as f64).powf(-1.0 / d)).collect();
+            let est = TwoNnEstimator { trim: 0.0, ..TwoNnEstimator::default() };
+            let got = est.id_of_ratios(&mut ratios).unwrap();
+            assert!((got - d).abs() < 0.05 * d, "d={d} got {got}");
+        }
+    }
+
+    #[test]
+    fn recovers_cube_dimensions() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for dim in [2usize, 6] {
+            let rows: Vec<Vec<f64>> =
+                (0..2500).map(|_| (0..dim).map(|_| rng.random::<f64>()).collect()).collect();
+            let ds = Dataset::from_rows(&rows).unwrap().into_shared();
+            let got = TwoNnEstimator::new().estimate(&ds, &Euclidean);
+            assert!(
+                (got.id - dim as f64).abs() < 0.35 * dim as f64 + 0.6,
+                "dim={dim} got {}",
+                got.id
+            );
+        }
+    }
+
+    #[test]
+    fn index_path_agrees_with_brute_path() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let rows: Vec<Vec<f64>> =
+            (0..800).map(|_| vec![rng.random::<f64>(), rng.random::<f64>()]).collect();
+        let ds = Dataset::from_rows(&rows).unwrap().into_shared();
+        let est = TwoNnEstimator::new();
+        let a = est.estimate(&ds, &Euclidean);
+        let idx = rknn_index::LinearScan::build(ds, Euclidean);
+        let b = est.estimate_with_index(&idx);
+        assert!((a.id - b.id).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let est = TwoNnEstimator::new();
+        assert!(est.id_of_ratios(&mut vec![]).is_none());
+        assert!(est.id_of_ratios(&mut vec![1.0, 0.5, f64::NAN]).is_none());
+        let ds = Dataset::from_rows(&vec![vec![1.0]; 5]).unwrap().into_shared();
+        assert_eq!(TwoNnEstimator::new().estimate(&ds, &Euclidean).id, 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Query answers and the per-query accounting behind Figures 7–9.
+
+use rknn_core::{Neighbor, SearchStats};
+
+/// Why the filter phase stopped expanding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// The dimensional test fired: `d(q, v) > ω` (Theorem 1's certificate).
+    Omega,
+    /// The rank cap `s ≥ ⌊2^t·k⌋` was reached (Lemma 1's certificate).
+    RankCap,
+    /// The index was exhausted (`s = n`); the whole dataset was scanned.
+    Exhausted,
+}
+
+/// Work and outcome counters for a single RDT/RDT+ query.
+///
+/// `verified + lazy_accepts + lazy_rejects + excluded` accounts for every
+/// retrieved candidate, which is exactly the decomposition plotted in
+/// Figure 7 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RdtQueryStats {
+    /// Number of points retrieved by the expanding search (`s`).
+    pub retrieved: usize,
+    /// Size of the filter set `F` at termination.
+    pub filter_set_size: usize,
+    /// Candidates excluded from `F` by the RDT+ first-pass criterion.
+    pub excluded: usize,
+    /// Candidates accepted by Assertion 2 without verification.
+    pub lazy_accepts: usize,
+    /// Candidates rejected by Assertion 1 (`W ≥ k`) without verification.
+    pub lazy_rejects: usize,
+    /// Candidates verified by an explicit forward kNN query.
+    pub verified: usize,
+    /// How many verifications accepted the candidate.
+    pub verified_accepted: usize,
+    /// Distance computations spent maintaining witness counters.
+    pub witness_dist_comps: u64,
+    /// Final value of the termination bound ω.
+    pub omega: f64,
+    /// Why the filter phase stopped.
+    pub termination: Termination,
+    /// Index work (cursor expansion + verification kNN queries).
+    pub search: SearchStats,
+}
+
+impl RdtQueryStats {
+    /// Total distance computations: index work plus witness maintenance.
+    pub fn total_dist_comps(&self) -> u64 {
+        self.search.dist_computations + self.witness_dist_comps
+    }
+
+    /// Fraction of retrieved candidates handled by each mechanism:
+    /// `(verified, lazily accepted, lazily rejected)`; rejection includes
+    /// RDT+ exclusions. Returns zeros for an empty retrieval.
+    pub fn proportions(&self) -> (f64, f64, f64) {
+        let total = self.retrieved.max(1) as f64;
+        (
+            self.verified as f64 / total,
+            self.lazy_accepts as f64 / total,
+            (self.lazy_rejects + self.excluded) as f64 / total,
+        )
+    }
+}
+
+/// The result of a reverse-kNN query.
+#[derive(Debug, Clone)]
+pub struct RknnAnswer {
+    /// Reported reverse k-nearest neighbors, ascending by distance from the
+    /// query.
+    pub result: Vec<Neighbor>,
+    /// Per-query accounting.
+    pub stats: RdtQueryStats,
+}
+
+impl RknnAnswer {
+    /// Ids of the reported reverse neighbors.
+    pub fn ids(&self) -> Vec<rknn_core::PointId> {
+        self.result.iter().map(|n| n.id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> RdtQueryStats {
+        RdtQueryStats {
+            retrieved: 10,
+            filter_set_size: 8,
+            excluded: 2,
+            lazy_accepts: 3,
+            lazy_rejects: 1,
+            verified: 4,
+            verified_accepted: 2,
+            witness_dist_comps: 30,
+            omega: 1.5,
+            termination: Termination::Omega,
+            search: SearchStats { dist_computations: 70, nodes_visited: 5, heap_pushes: 9 },
+        }
+    }
+
+    #[test]
+    fn proportions_partition_the_retrieved_set() {
+        let s = stats();
+        let (v, a, r) = s.proportions();
+        assert!((v + a + r - 1.0).abs() < 1e-12);
+        assert!((v - 0.4).abs() < 1e-12);
+        assert!((a - 0.3).abs() < 1e-12);
+        assert!((r - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_dist_comps_sums_sources() {
+        assert_eq!(stats().total_dist_comps(), 100);
+    }
+
+    #[test]
+    fn answer_ids() {
+        let ans = RknnAnswer {
+            result: vec![Neighbor::new(4, 0.5), Neighbor::new(2, 1.0)],
+            stats: stats(),
+        };
+        assert_eq!(ans.ids(), vec![4, 2]);
+    }
+}

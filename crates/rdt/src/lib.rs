@@ -1,0 +1,41 @@
+//! RDT and RDT+ — reverse k-nearest neighbor queries by dimensional testing.
+//!
+//! This crate is the paper's primary contribution (Casanova et al., PVLDB
+//! 10(7), 2017, §4–§6): a filter–refinement RkNN heuristic whose expanding
+//! forward-NN search is terminated by a *dimensional test* derived from the
+//! generalized expansion dimension, with *witness counters* driving lazy
+//! acceptance (Assertion 2) and lazy rejection (Assertion 1) of candidates.
+//!
+//! * [`rdt::Rdt`] — Algorithm 1 verbatim (modulo the documented witness-line
+//!   erratum, see `DESIGN.md` §2);
+//! * [`rdt_plus::RdtPlus`] — the candidate-set–reduction variant of §4.3;
+//! * [`params`] — the scale parameter `t` and its automatic selection via
+//!   the estimators of §6;
+//! * [`theory`] — the quantitative statements of Lemma 1 and Theorem 1 as
+//!   checkable functions;
+//! * [`bichromatic`] — an extension answering bichromatic RkNN queries with
+//!   the same witness/dimensional-test machinery (the paper discusses the
+//!   bichromatic problem in §1; this is our implementation of it on top of
+//!   RDT's primitives).
+//!
+//! The algorithms work on *any* [`rknn_index::KnnIndex`]; substrate
+//! agreement is covered by the workspace integration tests.
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod answer;
+pub mod bichromatic;
+pub mod engine;
+pub mod params;
+pub mod rdt;
+pub mod rdt_plus;
+pub mod theory;
+
+pub use adaptive::RdtAdaptive;
+pub use answer::{RdtQueryStats, RknnAnswer, Termination};
+pub use bichromatic::BichromaticRdt;
+pub use engine::{RdtVariant, TSchedule};
+pub use params::{RdtParams, ScalePolicy};
+pub use rdt::Rdt;
+pub use rdt_plus::RdtPlus;

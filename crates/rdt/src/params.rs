@@ -1,0 +1,149 @@
+//! Query parameters and automatic scale-parameter selection (§6).
+
+use rknn_core::{Dataset, Metric};
+use rknn_lid::{GpEstimator, HillEstimator, IdEstimator, TakensEstimator};
+use std::sync::Arc;
+
+/// Parameters of an RDT/RDT+ query.
+///
+/// `k` is the reverse-neighbor rank; `t > 0` is the scale parameter
+/// controlling the time/accuracy tradeoff: Theorem 1 guarantees an exact
+/// result whenever `t ≥ MaxGED(S ∪ {q}, k)`, while small `t` terminates the
+/// expanding search aggressively.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RdtParams {
+    /// Reverse-neighbor rank `k ≥ 1`.
+    pub k: usize,
+    /// Scale parameter `t > 0`.
+    pub t: f64,
+}
+
+impl RdtParams {
+    /// Creates parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `t` is not strictly positive and finite.
+    pub fn new(k: usize, t: f64) -> Self {
+        assert!(k > 0, "reverse-neighbor rank k must be positive");
+        assert!(t.is_finite() && t > 0.0, "scale parameter t must be positive and finite");
+        RdtParams { k, t }
+    }
+
+    /// The filter-phase rank cap `min(n, ⌊2^t·k⌋)` of Algorithm 1 line 24.
+    pub fn rank_cap(&self, n: usize) -> usize {
+        let cap = (2.0f64).powf(self.t) * self.k as f64;
+        if !cap.is_finite() || cap >= n as f64 {
+            n
+        } else {
+            (cap.floor() as usize).max(1)
+        }
+    }
+}
+
+/// How the scale parameter is chosen before querying.
+///
+/// The estimator-backed policies implement the paper's §6: `t` is set to a
+/// one-off global estimate of the dataset's intrinsic dimensionality, after
+/// which "the RDT termination criterion … is no longer a guarantee but a
+/// heuristic requiring experimental validation".
+#[derive(Debug, Clone)]
+pub enum ScalePolicy {
+    /// A user-supplied constant.
+    Fixed(f64),
+    /// Averaged Hill/MLE LID (paper: `RDT+(MLE)`).
+    Mle(HillEstimator),
+    /// Grassberger–Procaccia correlation dimension (paper: `RDT+(GP)`).
+    Gp(GpEstimator),
+    /// Takens correlation dimension (paper: `RDT+(Takens)`).
+    Takens(TakensEstimator),
+}
+
+impl ScalePolicy {
+    /// Resolves the policy into a concrete `t` for a dataset.
+    ///
+    /// Estimates are clamped below at 0.5 so that a degenerate estimator
+    /// outcome cannot collapse the search to a single step.
+    pub fn resolve(&self, ds: &Arc<Dataset>, metric: &dyn Metric) -> f64 {
+        let raw = match self {
+            ScalePolicy::Fixed(t) => *t,
+            ScalePolicy::Mle(e) => e.estimate(ds, metric).id,
+            ScalePolicy::Gp(e) => e.estimate(ds, metric).id,
+            ScalePolicy::Takens(e) => e.estimate(ds, metric).id,
+        };
+        raw.max(0.5)
+    }
+
+    /// Display name matching the paper's plot labels.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScalePolicy::Fixed(_) => "fixed",
+            ScalePolicy::Mle(_) => "MLE",
+            ScalePolicy::Gp(_) => "GP",
+            ScalePolicy::Takens(_) => "Takens",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use rknn_core::Euclidean;
+
+    #[test]
+    fn rank_cap_growth() {
+        let p = RdtParams::new(10, 3.0);
+        assert_eq!(p.rank_cap(1_000_000), 80);
+        assert_eq!(p.rank_cap(50), 50, "capped by n");
+        // Huge t saturates at n without overflow.
+        let p = RdtParams::new(10, 500.0);
+        assert_eq!(p.rank_cap(123), 123);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let _ = RdtParams::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "t must be positive")]
+    fn non_positive_t_rejected() {
+        let _ = RdtParams::new(1, 0.0);
+    }
+
+    #[test]
+    fn fixed_policy_resolves_to_constant() {
+        let ds = Dataset::from_rows(&[vec![0.0], vec![1.0]]).unwrap().into_shared();
+        assert_eq!(ScalePolicy::Fixed(7.5).resolve(&ds, &Euclidean), 7.5);
+        assert_eq!(ScalePolicy::Fixed(7.5).label(), "fixed");
+    }
+
+    #[test]
+    fn estimator_policies_track_intrinsic_dimension() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let rows: Vec<Vec<f64>> =
+            (0..900).map(|_| vec![rng.random::<f64>(), rng.random::<f64>()]).collect();
+        let ds = Dataset::from_rows(&rows).unwrap().into_shared();
+        let t_gp = ScalePolicy::Gp(GpEstimator::new()).resolve(&ds, &Euclidean);
+        let t_tak = ScalePolicy::Takens(TakensEstimator::new()).resolve(&ds, &Euclidean);
+        let t_mle = ScalePolicy::Mle(HillEstimator {
+            neighbors: 50,
+            ..HillEstimator::default()
+        })
+        .resolve(&ds, &Euclidean);
+        for (label, t) in [("GP", t_gp), ("Takens", t_tak), ("MLE", t_mle)] {
+            assert!(t > 1.0 && t < 3.5, "{label} resolved to {t}");
+        }
+    }
+
+    #[test]
+    fn degenerate_estimates_are_clamped() {
+        // Two points cannot support a CD estimate → raw 0.0 → clamped.
+        let ds = Dataset::from_rows(&[vec![0.0], vec![1.0]]).unwrap().into_shared();
+        let t = ScalePolicy::Gp(GpEstimator::new()).resolve(&ds, &Euclidean);
+        assert_eq!(t, 0.5);
+    }
+}

@@ -1,0 +1,167 @@
+//! RDT — Algorithm 1 of the paper.
+
+use crate::answer::RknnAnswer;
+use crate::engine::run_query;
+use crate::params::RdtParams;
+use rknn_core::{Metric, PointId};
+use rknn_index::KnnIndex;
+
+/// Reverse k-nearest neighbor queries by Dimensional Testing.
+///
+/// `Rdt` is a thin, reusable handle around [`RdtParams`]; all state is
+/// per-query, so one handle can serve many queries (and many threads, since
+/// queries only need `&self` and a shared index).
+///
+/// # Example
+///
+/// ```
+/// use rknn_core::{Dataset, Euclidean};
+/// use rknn_index::{KnnIndex, LinearScan};
+/// use rknn_rdt::{Rdt, RdtParams};
+///
+/// let ds = Dataset::from_rows(&[
+///     vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0], vec![9.0, 9.0],
+/// ]).unwrap().into_shared();
+/// let index = LinearScan::build(ds, Euclidean);
+/// let rdt = Rdt::new(RdtParams::new(1, 8.0));
+/// let answer = rdt.query(&index, 0);
+/// // The two near points have point 0 as their nearest neighbor;
+/// // the far point does not.
+/// assert_eq!(answer.ids(), vec![1, 2]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Rdt {
+    params: RdtParams,
+}
+
+impl Rdt {
+    /// Creates an RDT query handle.
+    pub fn new(params: RdtParams) -> Self {
+        Rdt { params }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> RdtParams {
+        self.params
+    }
+
+    /// Answers a reverse-kNN query located at dataset point `q`.
+    pub fn query<M, I>(&self, index: &I, q: PointId) -> RknnAnswer
+    where
+        M: Metric,
+        I: KnnIndex<M> + ?Sized,
+    {
+        run_query(index, index.point(q), Some(q), self.params, false)
+    }
+
+    /// Answers a reverse-kNN query at an arbitrary location `q ∉ S`.
+    pub fn query_at<M, I>(&self, index: &I, q: &[f64]) -> RknnAnswer
+    where
+        M: Metric,
+        I: KnnIndex<M> + ?Sized,
+    {
+        run_query(index, q, None, self.params, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use rknn_core::{BruteForce, Dataset, Euclidean, SearchStats};
+    use rknn_index::{CoverTree, LinearScan, VpTree};
+    use std::sync::Arc;
+
+    fn clustered(n: usize, seed: u64) -> Arc<Dataset> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let c = (i % 4) as f64 * 8.0;
+                vec![c + rng.random::<f64>(), c + rng.random::<f64>()]
+            })
+            .collect();
+        Dataset::from_rows(&rows).unwrap().into_shared()
+    }
+
+    #[test]
+    fn recall_is_monotone_in_t() {
+        let ds = clustered(600, 60);
+        let idx = LinearScan::build(ds.clone(), Euclidean);
+        let bf = BruteForce::new(ds, Euclidean);
+        let mut st = SearchStats::new();
+        let queries = [5usize, 123, 402];
+        let mut prev_recall = 0.0;
+        for t in [1.0, 2.0, 4.0, 8.0, 16.0] {
+            let rdt = Rdt::new(RdtParams::new(10, t));
+            let mut hits = 0usize;
+            let mut total = 0usize;
+            for &q in &queries {
+                let truth: std::collections::HashSet<_> =
+                    bf.rknn(q, 10, &mut st).iter().map(|n| n.id).collect();
+                let got = rdt.query(&idx, q);
+                hits += got.result.iter().filter(|n| truth.contains(&n.id)).count();
+                total += truth.len();
+            }
+            let recall = if total == 0 { 1.0 } else { hits as f64 / total as f64 };
+            assert!(recall >= prev_recall - 0.05, "recall dropped hard at t={t}");
+            prev_recall = prev_recall.max(recall);
+        }
+        assert!(prev_recall >= 0.99, "exhaustive t reaches full recall, got {prev_recall}");
+    }
+
+    #[test]
+    fn no_false_positives_ever() {
+        // RDT's accepts are certificates: every reported point is a true
+        // reverse neighbor regardless of t.
+        let ds = clustered(400, 61);
+        let idx = CoverTree::build(ds.clone(), Euclidean);
+        let bf = BruteForce::new(ds, Euclidean);
+        let mut st = SearchStats::new();
+        for t in [0.5, 1.5, 3.0, 6.0] {
+            let rdt = Rdt::new(RdtParams::new(5, t));
+            for q in [0usize, 200, 399] {
+                let truth: std::collections::HashSet<_> =
+                    bf.rknn(q, 5, &mut st).iter().map(|n| n.id).collect();
+                let got = rdt.query(&idx, q);
+                for n in &got.result {
+                    assert!(truth.contains(&n.id), "false positive at t={t}, q={q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn substrate_agreement() {
+        // The same parameters over different substrates give identical
+        // result sets (cursor order may differ on ties, results may not).
+        let ds = clustered(300, 62);
+        let linear = LinearScan::build(ds.clone(), Euclidean);
+        let cover = CoverTree::build(ds.clone(), Euclidean);
+        let vp = VpTree::build(ds, Euclidean);
+        let rdt = Rdt::new(RdtParams::new(8, 12.0));
+        for q in [1usize, 50, 299] {
+            let a = rdt.query(&linear, q).ids();
+            let b = rdt.query(&cover, q).ids();
+            let c = rdt.query(&vp, q).ids();
+            assert_eq!(a, b, "linear vs cover at q={q}");
+            assert_eq!(a, c, "linear vs vp at q={q}");
+        }
+    }
+
+    #[test]
+    fn query_stats_reflect_configuration() {
+        // The retrieval depth is monotone in t. Total distance work is NOT
+        // (§8.1's "conflicting influences"): small t leaves more candidates
+        // to explicit verification, large t pays witness maintenance on a
+        // bigger filter set — so only structural monotonicities are
+        // asserted here.
+        let ds = clustered(500, 63);
+        let idx = LinearScan::build(ds, Euclidean);
+        let small = Rdt::new(RdtParams::new(10, 1.0)).query(&idx, 0);
+        let large = Rdt::new(RdtParams::new(10, 6.0)).query(&idx, 0);
+        assert!(small.stats.retrieved <= large.stats.retrieved);
+        assert!(small.stats.witness_dist_comps <= large.stats.witness_dist_comps);
+        assert!(small.stats.filter_set_size <= large.stats.filter_set_size);
+    }
+}

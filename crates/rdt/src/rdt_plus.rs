@@ -1,0 +1,141 @@
+//! RDT+ — the candidate-set–reduction variant (§4.3).
+
+use crate::answer::RknnAnswer;
+use crate::engine::run_query;
+use crate::params::RdtParams;
+use rknn_core::{Metric, PointId};
+use rknn_index::KnnIndex;
+
+/// RDT with first-pass candidate exclusion.
+///
+/// A newly retrieved point that accumulates `k` or more witnesses during its
+/// first cycle through the witness procedure is excluded from the filter
+/// set: it cannot be a reverse neighbor (Assertion 1), and the paper argues
+/// such points "are themselves unlikely to be decisive witnesses for the
+/// rejection of other objects". The exclusion keeps the quadratic witness
+/// maintenance affordable on large, high-dimensional data, at the risk of a
+/// precision drop: lazy accepts then act on *undercounted* witness sets, so
+/// — unlike plain [`crate::Rdt`] — RDT+ can report false positives.
+#[derive(Debug, Clone, Copy)]
+pub struct RdtPlus {
+    params: RdtParams,
+}
+
+impl RdtPlus {
+    /// Creates an RDT+ query handle.
+    pub fn new(params: RdtParams) -> Self {
+        RdtPlus { params }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> RdtParams {
+        self.params
+    }
+
+    /// Answers a reverse-kNN query located at dataset point `q`.
+    pub fn query<M, I>(&self, index: &I, q: PointId) -> RknnAnswer
+    where
+        M: Metric,
+        I: KnnIndex<M> + ?Sized,
+    {
+        run_query(index, index.point(q), Some(q), self.params, true)
+    }
+
+    /// Answers a reverse-kNN query at an arbitrary location `q ∉ S`.
+    pub fn query_at<M, I>(&self, index: &I, q: &[f64]) -> RknnAnswer
+    where
+        M: Metric,
+        I: KnnIndex<M> + ?Sized,
+    {
+        run_query(index, q, None, self.params, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdt::Rdt;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use rknn_core::{BruteForce, Dataset, Euclidean, SearchStats};
+    use rknn_index::LinearScan;
+    use std::sync::Arc;
+
+    fn uniform(n: usize, dim: usize, seed: u64) -> Arc<Dataset> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..dim).map(|_| rng.random::<f64>() * 10.0).collect()).collect();
+        Dataset::from_rows(&rows).unwrap().into_shared()
+    }
+
+    #[test]
+    fn excludes_candidates_that_plain_rdt_keeps() {
+        let ds = uniform(800, 4, 70);
+        let idx = LinearScan::build(ds, Euclidean);
+        let params = RdtParams::new(5, 5.0);
+        let mut total_excluded = 0usize;
+        for q in [0usize, 100, 500] {
+            let plain = Rdt::new(params).query(&idx, q);
+            let plus = RdtPlus::new(params).query(&idx, q);
+            assert_eq!(plain.stats.excluded, 0, "plain RDT never excludes");
+            assert!(plus.stats.filter_set_size <= plain.stats.filter_set_size);
+            total_excluded += plus.stats.excluded;
+        }
+        assert!(total_excluded > 0, "exclusion fires on a uniform cloud at moderate t");
+    }
+
+    #[test]
+    fn witness_cost_not_higher_than_plain() {
+        let ds = uniform(1500, 6, 71);
+        let idx = LinearScan::build(ds, Euclidean);
+        let params = RdtParams::new(10, 4.0);
+        let plain = Rdt::new(params).query(&idx, 3);
+        let plus = RdtPlus::new(params).query(&idx, 3);
+        assert!(
+            plus.stats.witness_dist_comps <= plain.stats.witness_dist_comps,
+            "RDT+ must not pay more witness maintenance: {} vs {}",
+            plus.stats.witness_dist_comps,
+            plain.stats.witness_dist_comps
+        );
+    }
+
+    #[test]
+    fn recall_close_to_plain_at_matched_t() {
+        let ds = uniform(600, 3, 72);
+        let idx = LinearScan::build(ds.clone(), Euclidean);
+        let bf = BruteForce::new(ds, Euclidean);
+        let mut st = SearchStats::new();
+        let params = RdtParams::new(8, 8.0);
+        let mut plain_hits = 0usize;
+        let mut plus_hits = 0usize;
+        let mut total = 0usize;
+        for q in 0..25usize {
+            let truth: std::collections::HashSet<_> =
+                bf.rknn(q, 8, &mut st).iter().map(|n| n.id).collect();
+            plain_hits +=
+                Rdt::new(params).query(&idx, q).result.iter().filter(|n| truth.contains(&n.id)).count();
+            plus_hits += RdtPlus::new(params)
+                .query(&idx, q)
+                .result
+                .iter()
+                .filter(|n| truth.contains(&n.id))
+                .count();
+            total += truth.len();
+        }
+        let plain_recall = plain_hits as f64 / total as f64;
+        let plus_recall = plus_hits as f64 / total as f64;
+        assert!(plain_recall > 0.95);
+        assert!(plus_recall > plain_recall - 0.1, "{plus_recall} vs {plain_recall}");
+    }
+
+    #[test]
+    fn first_k_candidates_are_never_excluded() {
+        // With a dataset of exactly k points (plus query), nothing can reach
+        // k witnesses, so RDT+ degenerates to RDT.
+        let ds = uniform(6, 2, 73);
+        let idx = LinearScan::build(ds, Euclidean);
+        let params = RdtParams::new(5, 10.0);
+        let plus = RdtPlus::new(params).query(&idx, 0);
+        assert_eq!(plus.stats.excluded, 0);
+    }
+}

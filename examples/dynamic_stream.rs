@@ -1,0 +1,69 @@
+//! Reverse-kNN maintenance under insertions and deletions — the data-
+//! warehouse/stream scenario of the paper's introduction (\[1, 36, 35\]):
+//! "determining those objects that would potentially be affected by a
+//! particular data update operation".
+//!
+//! RDT needs no precomputed per-point kNN information, so updates cost
+//! nothing beyond maintaining the forward index — here a cover tree with
+//! dynamic inserts and tombstone deletes.
+//!
+//! ```text
+//! cargo run --release --example dynamic_stream
+//! ```
+
+use rknn::index::DynamicIndex;
+use rknn::prelude::*;
+use rknn::rdt::RdtParams;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let ds = rknn::data::gaussian_blobs(3000, 4, 6, 0.5, 9).into_shared();
+    let mut index = CoverTree::build(ds, Euclidean);
+    let k = 10;
+    let rdt = Rdt::new(RdtParams::new(k, 10.0));
+    let mut rng = SmallRng::seed_from_u64(1);
+
+    // Stream phase: each arriving point's reverse neighborhood is exactly
+    // the set of existing points whose k-NN lists the arrival invalidates.
+    println!("processing 200 insertions...");
+    let mut affected_total = 0usize;
+    for _ in 0..200 {
+        let new_point: Vec<f64> = (0..4).map(|_| rng.random::<f64>() * 10.0).collect();
+        let id = index.insert(&new_point).expect("valid point");
+        let affected = rdt.query(&index, id);
+        affected_total += affected.result.len();
+    }
+    println!(
+        "  mean #points whose k-NN changed per insertion: {:.2}",
+        affected_total as f64 / 200.0
+    );
+
+    // Deletion phase: a removed point affects exactly its reverse
+    // neighbors (they must refill their k-NN lists).
+    println!("processing 100 deletions...");
+    let mut affected_total = 0usize;
+    for victim in 0..100usize {
+        let affected = rdt.query(&index, victim);
+        affected_total += affected.result.len();
+        assert!(index.remove(victim));
+    }
+    println!(
+        "  mean #points whose k-NN changed per deletion: {:.2}",
+        affected_total as f64 / 100.0
+    );
+    println!("index now holds {} live points", index.num_points());
+
+    // Consistency check: a fresh index over the surviving points gives the
+    // same answers as the incrementally maintained one.
+    let survivors: Vec<Vec<f64>> = (100..index.num_points() + 100)
+        .map(|id| index.point(id).to_vec())
+        .collect();
+    let fresh_ds = Dataset::from_rows(&survivors).unwrap().into_shared();
+    let fresh = CoverTree::build(fresh_ds, Euclidean);
+    // Point ids shifted by 100 after the deletions.
+    let old_ans: Vec<_> = rdt.query(&index, 150).ids().iter().map(|id| id - 100).collect();
+    let new_ans = rdt.query(&fresh, 50).ids();
+    assert_eq!(old_ans, new_ans, "incremental and rebuilt indexes agree");
+    println!("incremental index agrees with a fresh rebuild — done");
+}

@@ -1,0 +1,55 @@
+//! Bichromatic influence queries on geographic data (the services/clients
+//! scenario of the paper's introduction \[29, 48, 50\]).
+//!
+//! Facilities (services) and households (clients) share a map; the
+//! *influence set* of a facility is the set of households that would rank
+//! it among their k closest facilities. We answer it with the bichromatic
+//! RDT extension and validate against brute force.
+//!
+//! ```text
+//! cargo run --release --example geo_influence
+//! ```
+
+use rknn::prelude::*;
+use rknn::rdt::{bichromatic::bichromatic_brute, BichromaticRdt, RdtParams};
+
+fn main() {
+    // Households follow the clustered population layout; facilities are a
+    // sparser sample of the same geography.
+    let households = rknn::data::sequoia_like(6000, 1).into_shared();
+    let facilities = rknn::data::sequoia_like(120, 2).into_shared();
+
+    let hh_index = CoverTree::build(households.clone(), Euclidean);
+    let fac_index = CoverTree::build(facilities.clone(), Euclidean);
+
+    let k = 2; // households served by their 2 nearest facilities
+    let handle = BichromaticRdt::new(RdtParams::new(k, 8.0));
+
+    // Rank facilities by influence (size of their bichromatic RkNN set).
+    let mut influence: Vec<(PointId, usize)> = (0..facilities.len())
+        .map(|f| {
+            let q = facilities.point(f).to_vec();
+            let ans = handle.query(&fac_index, &hh_index, &q, Some(f));
+            (f, ans.result.len())
+        })
+        .collect();
+    influence.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+
+    println!("most influential facilities (k = {k}):");
+    for (f, n) in influence.iter().take(5) {
+        let p = facilities.point(*f);
+        println!("  facility {f:3} at ({:.3}, {:.3}): serves {n} households", p[0], p[1]);
+    }
+
+    // Validate the top facility against brute force.
+    let (top, top_n) = influence[0];
+    let q = facilities.point(top).to_vec();
+    let truth = bichromatic_brute(&facilities, &households, &Euclidean, &q, k, Some(top));
+    println!(
+        "\nvalidation: RDT found {top_n} households, brute force {}: {}",
+        truth.len(),
+        if truth.len() == top_n { "match" } else { "MISMATCH" }
+    );
+    let mean = influence.iter().map(|&(_, n)| n).sum::<usize>() as f64 / influence.len() as f64;
+    println!("mean influence over {} facilities: {mean:.1} households", influence.len());
+}

@@ -1,0 +1,82 @@
+//! Cross-crate tests of the bichromatic RDT extension at realistic scale
+//! (the services/clients scenario from the paper's introduction).
+
+use rknn::prelude::*;
+use rknn::rdt::{bichromatic::bichromatic_brute, BichromaticRdt, RdtParams};
+use std::collections::HashSet;
+
+#[test]
+fn facility_influence_exact_at_high_t_over_cover_trees() {
+    let households = rknn::data::sequoia_like(2500, 601).into_shared();
+    let facilities = rknn::data::sequoia_like(80, 602).into_shared();
+    let hh = CoverTree::build(households.clone(), Euclidean);
+    let fac = CoverTree::build(facilities.clone(), Euclidean);
+    let handle = BichromaticRdt::new(RdtParams::new(3, 30.0));
+    for f in [0usize, 40, 79] {
+        let q = facilities.point(f).to_vec();
+        let got = handle.query(&fac, &hh, &q, Some(f)).ids();
+        let want: Vec<_> = bichromatic_brute(&facilities, &households, &Euclidean, &q, 3, Some(f))
+            .iter()
+            .map(|n| n.id)
+            .collect();
+        assert_eq!(got, want, "facility {f}");
+    }
+}
+
+#[test]
+fn bichromatic_tradeoff_mirrors_monochromatic() {
+    // Lower t terminates the client stream earlier; recall is monotone and
+    // precision stays perfect (the bichromatic engine's accepts are
+    // certificates, like plain RDT's).
+    let services = rknn::data::gaussian_blobs(600, 3, 6, 0.5, 603).into_shared();
+    let clients = rknn::data::gaussian_blobs(900, 3, 6, 0.5, 604).into_shared();
+    let is = LinearScan::build(services.clone(), Euclidean);
+    let ic = LinearScan::build(clients.clone(), Euclidean);
+    let q = services.point(10).to_vec();
+    let truth: HashSet<_> = bichromatic_brute(&services, &clients, &Euclidean, &q, 4, Some(10))
+        .iter()
+        .map(|n| n.id)
+        .collect();
+    let mut prev_recall = 0.0;
+    let mut prev_retrieved = 0usize;
+    for t in [1.5, 3.0, 6.0, 20.0] {
+        let ans = BichromaticRdt::new(RdtParams::new(4, t)).query(&is, &ic, &q, Some(10));
+        for n in &ans.result {
+            assert!(truth.contains(&n.id), "false positive at t={t}");
+        }
+        let recall = if truth.is_empty() {
+            1.0
+        } else {
+            ans.result.iter().filter(|n| truth.contains(&n.id)).count() as f64
+                / truth.len() as f64
+        };
+        assert!(recall >= prev_recall - 0.05, "recall regressed at t={t}");
+        // Retrieval depth (not total work — verification shifts costs) is
+        // monotone in t.
+        assert!(ans.stats.retrieved >= prev_retrieved, "retrieval shrank at t={t}");
+        prev_recall = prev_recall.max(recall);
+        prev_retrieved = ans.stats.retrieved;
+    }
+    assert!((prev_recall - 1.0).abs() < 1e-12, "exhaustive t reaches full recall");
+}
+
+#[test]
+fn asymmetric_set_sizes() {
+    // Tiny service set, large client set — the regime where bichromatic
+    // queries are actually used (few facilities, many customers).
+    let services = rknn::data::uniform_cube(12, 2, 605).into_shared();
+    let clients = rknn::data::uniform_cube(2000, 2, 606).into_shared();
+    let is = LinearScan::build(services.clone(), Euclidean);
+    let ic = LinearScan::build(clients.clone(), Euclidean);
+    let q = services.point(0).to_vec();
+    // k = 1: clients whose nearest facility is facility 0.
+    let got = BichromaticRdt::new(RdtParams::new(1, 20.0)).query(&is, &ic, &q, Some(0)).ids();
+    let want: Vec<_> = bichromatic_brute(&services, &clients, &Euclidean, &q, 1, Some(0))
+        .iter()
+        .map(|n| n.id)
+        .collect();
+    assert_eq!(got, want);
+    // Voronoi-cell sanity: with 12 facilities over a uniform cube, facility
+    // 0's cell should hold very roughly 1/12 of the clients.
+    assert!(got.len() > 30, "cell unexpectedly small: {}", got.len());
+}
