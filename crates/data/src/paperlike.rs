@@ -79,7 +79,7 @@ impl PaperDataset {
 pub fn sequoia_like(n: usize, seed: u64) -> Dataset {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut normal = Normal::new();
-    let n_clusters = 40;
+    let n_clusters: usize = 40;
     let centers: Vec<(f64, f64, f64)> = (0..n_clusters)
         .map(|_| {
             (

@@ -68,8 +68,10 @@ pub struct AblationRow {
     pub query_ms: f64,
     /// Mean explicit verifications per query.
     pub verified: f64,
-    /// Mean witness distance computations per query.
-    pub witness_dists: f64,
+    /// Mean witness-maintenance pair updates per query (the paper's
+    /// filter-phase cost model; comparable across variants, unlike raw
+    /// distance evaluations — see [`rknn_rdt::RdtQueryStats`]).
+    pub witness_pairs: f64,
 }
 
 /// Runs the ablation.
@@ -101,7 +103,7 @@ pub fn run_ablation(ds: Arc<Dataset>, cfg: &AblationConfig) -> Vec<AblationRow> 
                     TSchedule::Fixed,
                 );
                 verified += ans.stats.verified;
-                witness += ans.stats.witness_dist_comps;
+                witness += ans.stats.witness_pairs;
                 quality.add(&ans.ids(), truth.answer(i));
             }
             let nq = queries.len().max(1) as f64;
@@ -113,7 +115,7 @@ pub fn run_ablation(ds: Arc<Dataset>, cfg: &AblationConfig) -> Vec<AblationRow> 
                 precision: quality.precision(),
                 query_ms: start.elapsed().as_secs_f64() * 1e3 / nq,
                 verified: verified as f64 / nq,
-                witness_dists: witness as f64 / nq,
+                witness_pairs: witness as f64 / nq,
             });
         }
     }
@@ -126,7 +128,7 @@ pub fn run_ablation(ds: Arc<Dataset>, cfg: &AblationConfig) -> Vec<AblationRow> 
     for (i, &q) in queries.iter().enumerate() {
         let ans = adaptive.query(&forward, q);
         verified += ans.stats.verified;
-        witness += ans.stats.witness_dist_comps;
+        witness += ans.stats.witness_pairs;
         quality.add(&ans.ids(), truth.answer(i));
     }
     let nq = queries.len().max(1) as f64;
@@ -138,7 +140,7 @@ pub fn run_ablation(ds: Arc<Dataset>, cfg: &AblationConfig) -> Vec<AblationRow> 
         precision: quality.precision(),
         query_ms: start.elapsed().as_secs_f64() * 1e3 / nq,
         verified: verified as f64 / nq,
-        witness_dists: witness as f64 / nq,
+        witness_pairs: witness as f64 / nq,
     });
     rows
 }
@@ -148,7 +150,7 @@ pub fn rows_to_table(rows: &[AblationRow]) -> crate::report::Table {
     use crate::report::{f3, ms};
     let mut t = crate::report::Table::new(
         "Ablation: witness machinery, RDT+ exclusion, adaptive t (k=10)",
-        &["dataset", "t", "variant", "recall", "precision", "query_ms", "verified/q", "witness_dists/q"],
+        &["dataset", "t", "variant", "recall", "precision", "query_ms", "verified/q", "witness_pairs/q"],
     );
     for r in rows {
         t.push_row(vec![
@@ -159,7 +161,7 @@ pub fn rows_to_table(rows: &[AblationRow]) -> crate::report::Table {
             f3(r.precision),
             ms(r.query_ms),
             format!("{:.1}", r.verified),
-            format!("{:.0}", r.witness_dists),
+            format!("{:.0}", r.witness_pairs),
         ]);
     }
     t
@@ -188,8 +190,8 @@ mod tests {
         let nw = get("no-witness");
         let adaptive = get("RDT+(adaptive)");
         assert!(nw.verified > plain.verified, "witnesses must remove verifications");
-        assert_eq!(nw.witness_dists, 0.0);
-        assert!(plus.witness_dists <= plain.witness_dists);
+        assert_eq!(nw.witness_pairs, 0.0);
+        assert!(plus.witness_pairs <= plain.witness_pairs);
         // All variants are high-quality at this t.
         for r in [plain, plus, nw] {
             assert!(r.recall > 0.9, "{}: recall {}", r.variant, r.recall);

@@ -34,7 +34,17 @@ pub struct RdtQueryStats {
     pub verified: usize,
     /// How many verifications accepted the candidate.
     pub verified_accepted: usize,
-    /// Distance computations spent maintaining witness counters.
+    /// Witness-maintenance pair updates — the paper's cost model for the
+    /// filter phase (bounded by `(s choose 2)` in §4.2, and the quantity
+    /// the §4.3 candidate-set reduction provably shrinks: RDT+'s filter set
+    /// is a subset of RDT's at every retrieval rank).
+    pub witness_pairs: u64,
+    /// Distance computations actually evaluated during witness
+    /// maintenance. At most [`witness_pairs`](Self::witness_pairs): the
+    /// engine skips the metric evaluation for pairs whose both sides are
+    /// already decided. *Not* monotone across variants — skip opportunities
+    /// depend on filter-set composition — so cross-variant cost claims must
+    /// compare `witness_pairs`.
     pub witness_dist_comps: u64,
     /// Final value of the termination bound ω.
     pub omega: f64,
@@ -93,6 +103,7 @@ mod tests {
             lazy_rejects: 1,
             verified: 4,
             verified_accepted: 2,
+            witness_pairs: 45,
             witness_dist_comps: 30,
             omega: 1.5,
             termination: Termination::Omega,

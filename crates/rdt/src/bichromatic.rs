@@ -255,6 +255,10 @@ impl BichromaticRdt {
                 lazy_rejects,
                 verified,
                 verified_accepted,
+                // Every processed bichromatic pair evaluates its distance
+                // (no decided-pair shortcut here), so the two counters
+                // coincide.
+                witness_pairs: witness_dist_comps,
                 witness_dist_comps,
                 omega,
                 termination,

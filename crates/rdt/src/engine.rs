@@ -132,6 +132,7 @@ where
     let mut filter: Vec<Candidate> = Vec::new();
     let mut excluded = 0usize;
     let mut lazy_accepts = 0usize;
+    let mut witness_pairs = 0u64;
     let mut witness_dist_comps = 0u64;
     let mut s = 0usize;
     let mut termination = Termination::Exhausted;
@@ -179,14 +180,17 @@ where
             }
         }
         let v_point = index.point(v.id);
-        // Witness pass against the filter set (lines 8–19). Witness counts
-        // beyond k never influence a decision, so a pair's distance is only
-        // computed while at least one side is still undecided — the
+        // Witness pass against the filter set (lines 8–19). Every filter
+        // member is one maintenance pair (`witness_pairs`, the (s choose 2)
+        // cost the paper bounds). Witness counts beyond k never influence a
+        // decision, so the pair's *distance* is only evaluated while at
+        // least one side is still undecided (`witness_dist_comps`) — the
         // decisions (and hence results and Figure 7 proportions) are
-        // identical to the literal listing, at a fraction of the quadratic
-        // maintenance cost the paper bounds by (s choose 2).
+        // identical to the literal listing, at a fraction of the metric
+        // evaluations.
         let mut w_v = 0usize;
         if witnesses_enabled {
+            witness_pairs += filter.len() as u64;
             for x in filter.iter_mut() {
                 let x_active = !x.accepted && x.witnesses < k;
                 if !x_active && w_v >= k {
@@ -280,6 +284,7 @@ where
             lazy_rejects,
             verified,
             verified_accepted,
+            witness_pairs,
             witness_dist_comps,
             omega,
             termination,
@@ -398,6 +403,7 @@ mod tests {
             without.stats.verified,
             with.stats.verified
         );
+        assert_eq!(without.stats.witness_pairs, 0);
         assert_eq!(without.stats.witness_dist_comps, 0);
         assert_eq!(without.stats.lazy_accepts, 0);
         assert_eq!(without.stats.lazy_rejects, 0);

@@ -161,7 +161,7 @@ mod tests {
         let small = Rdt::new(RdtParams::new(10, 1.0)).query(&idx, 0);
         let large = Rdt::new(RdtParams::new(10, 6.0)).query(&idx, 0);
         assert!(small.stats.retrieved <= large.stats.retrieved);
-        assert!(small.stats.witness_dist_comps <= large.stats.witness_dist_comps);
+        assert!(small.stats.witness_pairs <= large.stats.witness_pairs);
         assert!(small.stats.filter_set_size <= large.stats.filter_set_size);
     }
 }

@@ -92,10 +92,10 @@ mod tests {
         let plain = Rdt::new(params).query(&idx, 3);
         let plus = RdtPlus::new(params).query(&idx, 3);
         assert!(
-            plus.stats.witness_dist_comps <= plain.stats.witness_dist_comps,
+            plus.stats.witness_pairs <= plain.stats.witness_pairs,
             "RDT+ must not pay more witness maintenance: {} vs {}",
-            plus.stats.witness_dist_comps,
-            plain.stats.witness_dist_comps
+            plus.stats.witness_pairs,
+            plain.stats.witness_pairs
         );
     }
 

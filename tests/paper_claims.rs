@@ -155,8 +155,8 @@ fn rdt_plus_reduces_filter_cost_on_high_dim_data() {
     let mut plain_cost = 0u64;
     let mut plus_cost = 0u64;
     for &q in &queries {
-        plain_cost += Rdt::new(params).query(&idx, q).stats.witness_dist_comps;
-        plus_cost += RdtPlus::new(params).query(&idx, q).stats.witness_dist_comps;
+        plain_cost += Rdt::new(params).query(&idx, q).stats.witness_pairs;
+        plus_cost += RdtPlus::new(params).query(&idx, q).stats.witness_pairs;
     }
     assert!(
         plus_cost <= plain_cost,

@@ -1,0 +1,271 @@
+//! Vendored offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API subset the workspace's five benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size`/`measurement_time`/`finish`, [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with honest but
+//! unsophisticated measurement: median + min/max of per-sample means over
+//! a warmed-up timing loop, printed to stdout.
+//!
+//! Under `cargo test` (cargo passes `--test` to `harness = false` bench
+//! executables) every benchmark body runs **once** as a smoke test, so the
+//! test suite stays fast while still compiling and exercising bench code.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How a bench executable was invoked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// `cargo bench` — run timing loops.
+    Bench,
+    /// `cargo test` — run every body once, no timing.
+    Test,
+    /// `--list` — print benchmark names only.
+    List,
+}
+
+fn mode_from_args() -> Mode {
+    let mut mode = Mode::Bench;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--test" => mode = Mode::Test,
+            "--list" => mode = Mode::List,
+            _ => {}
+        }
+    }
+    mode
+}
+
+/// The benchmark manager handed to every `criterion_group!` target.
+pub struct Criterion {
+    mode: Mode,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: mode_from_args(),
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the default time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        S: std::fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.mode, &id.to_string(), self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: std::fmt::Display>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            mode: self.mode,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    mode: Mode,
+    sample_size: usize,
+    measurement_time: Duration,
+    _parent: std::marker::PhantomData<&'c mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the time budget for benchmarks in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        S: std::fmt::Display,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.mode, &full, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    mode: Mode,
+    samples: usize,
+    budget: Duration,
+    /// Mean per-iteration times, one entry per sample.
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, adaptively choosing iterations per sample so the
+    /// whole measurement fits the group's time budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.mode != Mode::Bench {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: how long does one iteration take?
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.budget.as_nanos() / self.samples.max(1) as u128;
+        let iters = (per_sample / once.as_nanos().max(1)).clamp(1, 1_000_000) as u32;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.results.push(start.elapsed() / iters);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    mode: Mode,
+    id: &str,
+    samples: usize,
+    budget: Duration,
+    mut f: F,
+) {
+    match mode {
+        Mode::List => {
+            // Mirror libtest's `--list` line shape so tooling can parse it.
+            println!("{id}: benchmark");
+        }
+        Mode::Test => {
+            let mut b = Bencher { mode, samples, budget, results: Vec::new() };
+            f(&mut b);
+            println!("test {id} ... ok");
+        }
+        Mode::Bench => {
+            let mut b = Bencher { mode, samples, budget, results: Vec::new() };
+            f(&mut b);
+            if b.results.is_empty() {
+                println!("{id:<50} (no measurement: bencher never called iter)");
+                return;
+            }
+            b.results.sort_unstable();
+            let median = b.results[b.results.len() / 2];
+            let lo = b.results[0];
+            let hi = *b.results.last().expect("non-empty");
+            println!(
+                "{id:<50} time: [{} {} {}]",
+                fmt_duration(lo),
+                fmt_duration(median),
+                fmt_duration(hi)
+            );
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench executable's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records_samples() {
+        let mut c = Criterion { mode: Mode::Bench, ..Criterion::default() };
+        c.measurement_time(Duration::from_millis(20)).sample_size(3);
+        let mut ran = 0u32;
+        c.bench_function("trivial", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(1 + 1)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn test_mode_runs_body_exactly_once() {
+        let mut b = Bencher {
+            mode: Mode::Test,
+            samples: 10,
+            budget: Duration::from_secs(1),
+            results: Vec::new(),
+        };
+        let mut calls = 0;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.results.is_empty());
+    }
+}

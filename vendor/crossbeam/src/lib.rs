@@ -1,0 +1,91 @@
+//! Vendored offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::thread::scope` + `Scope::spawn`
+//! (crossbeam's pre-1.63 scoped threads). Since Rust 1.63 the standard
+//! library provides `std::thread::scope`; this shim adapts it to
+//! crossbeam's signature, whose two observable differences are:
+//!
+//! 1. `scope` returns `Result<R, Box<dyn Any + Send>>` instead of
+//!    propagating child panics — recovered here with `catch_unwind`;
+//! 2. spawned closures receive the scope as an argument (`|scope| ...`),
+//!    enabling nested spawns.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Scoped threads in crossbeam's API shape.
+pub mod thread {
+    use super::*;
+
+    /// A scope handle passed to [`scope`]'s closure and to every spawned
+    /// child closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The child closure receives the scope,
+        /// mirroring crossbeam (callers that don't nest write `|_| ...`).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing, non-`'static` threads can
+    /// be spawned; joins them all before returning. Returns `Err` with the
+    /// panic payload if the closure or any child thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn workers_mutate_disjoint_borrowed_chunks() {
+        let mut data = vec![0u64; 64];
+        thread::scope(|scope| {
+            for (w, chunk) in data.chunks_mut(16).enumerate() {
+                scope.spawn(move |_| {
+                    for (i, v) in chunk.iter_mut().enumerate() {
+                        *v = (w * 16 + i) as u64;
+                    }
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(data, (0..64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let r = thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_receives_usable_scope() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .expect("no panics");
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}
