@@ -1,0 +1,120 @@
+//! Perf snapshot: the batch all-points RkNN job against the sequential
+//! scalar baseline, recorded as `BENCH_rdt.json`.
+//!
+//! The workload is the acceptance scenario of the batch-engine PR — an
+//! all-points RkNN job (n≈2000, d=32, k=10) on the sequential-scan
+//! substrate — measured three ways:
+//!
+//! 1. **scalar sequential**: one `run_query` per point with per-query
+//!    allocations and full-precision distances
+//!    ([`rknn_core::FullPrecision`] disables threshold pruning) — the
+//!    pre-batch-engine execution path;
+//! 2. **fast sequential**: the batch driver with one worker — scratch
+//!    reuse plus early abandonment, no parallelism;
+//! 3. **batch**: the batch driver with four workers.
+//!
+//! Result sets are asserted identical across all three before any number
+//! is written. Wall times take the best of `RKNN_BENCH_REPS` repetitions
+//! (default 3) to damp scheduler noise; distance-computation counters are
+//! identical across paths by design (early abandonment changes coordinate
+//! work per evaluation, not the number of evaluations). Environment
+//! overrides: `RKNN_BENCH_N`, `RKNN_BENCH_DIM`, `RKNN_BENCH_K`,
+//! `RKNN_BENCH_T`, `RKNN_BENCH_THREADS`, `RKNN_BENCH_OUT` (output path,
+//! default `BENCH_rdt.json`).
+
+use rknn_core::{Euclidean, FullPrecision};
+use rknn_index::{KnnIndex, LinearScan};
+use rknn_rdt::batch::{run_all_points, BatchConfig};
+use rknn_rdt::engine::run_query;
+use rknn_rdt::{BatchOutcome, RdtParams};
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best_ms = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let r = f();
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        last = Some(r);
+    }
+    (best_ms, last.expect("at least one repetition"))
+}
+
+fn main() {
+    let n = env_usize("RKNN_BENCH_N", 2000);
+    let dim = env_usize("RKNN_BENCH_DIM", 32);
+    let k = env_usize("RKNN_BENCH_K", 10);
+    let t = env_f64("RKNN_BENCH_T", 4.0);
+    let threads = env_usize("RKNN_BENCH_THREADS", 4);
+    let reps = env_usize("RKNN_BENCH_REPS", 3);
+    let clusters = env_usize("RKNN_BENCH_CLUSTERS", 8);
+    let sigma = env_f64("RKNN_BENCH_SIGMA", 0.3);
+    let out_path = std::env::var("RKNN_BENCH_OUT").unwrap_or_else(|_| "BENCH_rdt.json".into());
+    let params = RdtParams::new(k, t);
+
+    let ds = rknn_data::gaussian_blobs(n, dim, clusters, sigma, 0xbe7c).into_shared();
+    let scalar_index = LinearScan::build(ds.clone(), FullPrecision(Euclidean));
+    let fast_index = LinearScan::build(ds, Euclidean);
+
+    // 1. Sequential scalar per-query loop (the pre-batch-engine path).
+    let (scalar_ms, scalar_answers) = best_of(reps, || {
+        (0..scalar_index.num_points())
+            .map(|q| run_query(&scalar_index, scalar_index.point(q), Some(q), params, false))
+            .collect::<Vec<_>>()
+    });
+
+    // 2. Batch driver, one worker: scratch reuse + early abandonment only.
+    let (fast_seq_ms, fast_seq): (f64, BatchOutcome) =
+        best_of(reps, || run_all_points(&fast_index, params, &BatchConfig::sequential()));
+
+    // 3. Batch driver, `threads` workers.
+    let (batch_ms, batch): (f64, BatchOutcome) = best_of(reps, || {
+        run_all_points(&fast_index, params, &BatchConfig::default().with_threads(threads))
+    });
+
+    // Identical result sets (and terminations) across all three paths.
+    for (q, scalar_ans) in scalar_answers.iter().enumerate() {
+        assert_eq!(
+            scalar_ans.ids(),
+            fast_seq.answers[q].ids(),
+            "fast sequential diverged from scalar at q={q}"
+        );
+        assert_eq!(
+            scalar_ans.ids(),
+            batch.answers[q].ids(),
+            "batch diverged from scalar at q={q}"
+        );
+        assert_eq!(scalar_ans.stats.termination, batch.answers[q].stats.termination, "q={q}");
+    }
+
+    let st = &batch.stats;
+    let speedup_batch = scalar_ms / batch_ms;
+    let speedup_fast_seq = scalar_ms / fast_seq_ms;
+    let json = format!(
+        "{{\n  \"bench\": \"batch_all_points_rknn\",\n  \"substrate\": \"linear-scan\",\n  \"dataset\": \"gaussian_blobs\",\n  \"n\": {n},\n  \"dim\": {dim},\n  \"k\": {k},\n  \"t\": {t},\n  \"threads\": {threads},\n  \"reps\": {reps},\n  \"scalar_sequential_ms\": {scalar_ms:.2},\n  \"fast_sequential_ms\": {fast_seq_ms:.2},\n  \"batch_ms\": {batch_ms:.2},\n  \"speedup_fast_sequential\": {speedup_fast_seq:.2},\n  \"speedup_batch\": {speedup_batch:.2},\n  \"identical_results\": true,\n  \"total_dist_comps\": {dist},\n  \"witness_pairs\": {wp},\n  \"witness_dist_comps\": {wd},\n  \"retrieved\": {retr},\n  \"result_members\": {members}\n}}\n",
+        dist = st.total_dist_comps(),
+        wp = st.witness_pairs,
+        wd = st.witness_dist_comps,
+        retr = st.retrieved,
+        members = st.result_members,
+    );
+    print!("{json}");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("warning: cannot write {out_path}: {e}");
+    } else {
+        eprintln!("[snapshot written to {out_path}]");
+    }
+    assert!(
+        speedup_batch >= 1.0,
+        "batch driver slower than the scalar baseline: {speedup_batch:.2}x"
+    );
+}

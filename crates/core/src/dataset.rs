@@ -34,9 +34,12 @@ impl Dataset {
                 got: data.len() % dim,
             });
         }
-        for (i, v) in data.iter().enumerate() {
-            if !v.is_finite() {
-                return Err(CoreError::NonFinite { point: i / dim, coordinate: i % dim });
+        // Validate finiteness row by row: the common all-finite case is a
+        // branch-friendly scan over each row slice, and the point/coordinate
+        // split is only derived for the offending row.
+        for (point, row) in data.chunks_exact(dim).enumerate() {
+            if let Some(coordinate) = row.iter().position(|v| !v.is_finite()) {
+                return Err(CoreError::NonFinite { point, coordinate });
             }
         }
         Ok(Dataset { dim, data })
@@ -53,10 +56,8 @@ impl Dataset {
             if row.len() != dim {
                 return Err(CoreError::DimensionMismatch { expected: dim, got: row.len() });
             }
-            for (j, v) in row.iter().enumerate() {
-                if !v.is_finite() {
-                    return Err(CoreError::NonFinite { point: i, coordinate: j });
-                }
+            if let Some(j) = row.iter().position(|v| !v.is_finite()) {
+                return Err(CoreError::NonFinite { point: i, coordinate: j });
             }
             data.extend_from_slice(row);
         }
@@ -149,10 +150,8 @@ impl DatasetBuilder {
             return Err(CoreError::DimensionMismatch { expected: self.dim, got: point.len() });
         }
         let id = self.data.len() / self.dim;
-        for (j, v) in point.iter().enumerate() {
-            if !v.is_finite() {
-                return Err(CoreError::NonFinite { point: id, coordinate: j });
-            }
+        if let Some(j) = point.iter().position(|v| !v.is_finite()) {
+            return Err(CoreError::NonFinite { point: id, coordinate: j });
         }
         self.data.extend_from_slice(point);
         Ok(id)

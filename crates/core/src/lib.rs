@@ -14,7 +14,11 @@
 //!   ground truth throughout the workspace ([`brute`]);
 //! * [`SearchStats`] — per-query work counters (distance computations, node
 //!   visits) used by all indexes and algorithms for the paper's
-//!   cost accounting.
+//!   cost accounting;
+//! * [`QueryScratch`] and friends ([`scratch`]) — reusable per-worker
+//!   buffers (cursor storage, filter-set slots, a contiguous candidate
+//!   coordinate tile) that let batch drivers execute queries back to back
+//!   without per-query allocation.
 //!
 //! # Conventions
 //!
@@ -34,6 +38,7 @@ pub mod heap;
 pub mod metric;
 pub mod neighbor;
 pub mod rank;
+pub mod scratch;
 pub mod stats;
 
 pub use brute::BruteForce;
@@ -41,6 +46,7 @@ pub use dataset::{Dataset, DatasetBuilder};
 pub use error::CoreError;
 pub use float::OrderedF64;
 pub use heap::KnnHeap;
-pub use metric::{Chebyshev, Euclidean, Manhattan, Metric, Minkowski};
+pub use metric::{Chebyshev, Euclidean, FullPrecision, Manhattan, Metric, Minkowski};
 pub use neighbor::{Neighbor, PointId};
+pub use scratch::{CandidateTile, CursorScratch, FilterCandidate, QueryScratch};
 pub use stats::SearchStats;

@@ -23,6 +23,29 @@ pub trait Metric: Send + Sync + Debug {
     /// May panic if `a.len() != b.len()`.
     fn dist(&self, a: &[f64], b: &[f64]) -> f64;
 
+    /// Threshold-pruned distance: `Some(d(a, b))` when `d(a, b) < bound`,
+    /// `None` otherwise.
+    ///
+    /// The contract is *decision equivalence* with [`Metric::dist`]: the
+    /// returned option must be `Some(d)` exactly when `self.dist(a, b) <
+    /// bound`, and the carried `d` must be the identical floating-point
+    /// value `dist` would produce. Implementations are free to abandon the
+    /// accumulation early once a monotone partial sum proves the bound
+    /// unreachable (the standard early-abandonment trick of
+    /// high-dimensional search); the Minkowski family here does exactly
+    /// that, checking a partial squared / p-th-power accumulator every few
+    /// coordinates. The default implementation evaluates the full distance.
+    ///
+    /// Callers that count distance computations should count a `dist_lt`
+    /// call as **one** evaluation whether or not it abandoned early: early
+    /// abandonment changes the per-evaluation coordinate work, not the
+    /// number of evaluations.
+    #[inline]
+    fn dist_lt(&self, a: &[f64], b: &[f64], bound: f64) -> Option<f64> {
+        let d = self.dist(a, b);
+        (d < bound).then_some(d)
+    }
+
     /// A human-readable name, used in experiment reports.
     fn name(&self) -> &'static str;
 
@@ -44,13 +67,14 @@ pub trait Metric: Send + Sync + Debug {
 
 /// Accumulates per-coordinate gaps to the box `[lo, hi]`, then folds them
 /// with the supplied norm. Shared by the Minkowski-family implementations.
+/// Zipped slice iteration lets the per-coordinate loop elide bounds checks.
 #[inline]
 fn box_gaps<F: FnMut(f64)>(q: &[f64], lo: &[f64], hi: &[f64], mut fold: F) {
-    for i in 0..q.len() {
-        let gap = if q[i] < lo[i] {
-            lo[i] - q[i]
-        } else if q[i] > hi[i] {
-            q[i] - hi[i]
+    for ((&qi, &l), &h) in q.iter().zip(lo).zip(hi) {
+        let gap = if qi < l {
+            l - qi
+        } else if qi > h {
+            qi - h
         } else {
             0.0
         };
@@ -61,9 +85,82 @@ fn box_gaps<F: FnMut(f64)>(q: &[f64], lo: &[f64], hi: &[f64], mut fold: F) {
 /// Per-coordinate farthest gap to the box `[lo, hi]`.
 #[inline]
 fn box_far_gaps<F: FnMut(f64)>(q: &[f64], lo: &[f64], hi: &[f64], mut fold: F) {
-    for i in 0..q.len() {
-        let gap = (q[i] - lo[i]).abs().max((hi[i] - q[i]).abs());
-        fold(gap);
+    for ((&qi, &l), &h) in q.iter().zip(lo).zip(hi) {
+        fold((qi - l).abs().max((h - qi).abs()));
+    }
+}
+
+/// Coordinates consumed between checks of the early-abandonment partial
+/// accumulator. Checking every coordinate would defeat vectorization of the
+/// accumulation loop; a small block keeps both the check overhead and the
+/// overshoot past the bound negligible.
+const ABANDON_BLOCK: usize = 8;
+
+/// Early-abandoning nonnegative accumulation: folds `term(a_i, b_i)` into a
+/// running sum in strict left-to-right order (so a completed accumulation is
+/// bit-identical to the plain loop) and returns `None` as soon as a partial
+/// sum reaches `threshold`. Since every term is nonnegative and IEEE
+/// addition is monotone, a partial sum at or above the threshold proves the
+/// completed sum would be too.
+#[inline]
+fn abandoning_sum<T: Fn(f64, f64) -> f64>(
+    a: &[f64],
+    b: &[f64],
+    threshold: f64,
+    term: T,
+) -> Option<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    let mut a_rest = a;
+    let mut b_rest = b;
+    while a_rest.len() > ABANDON_BLOCK {
+        let (a_blk, a_tail) = a_rest.split_at(ABANDON_BLOCK);
+        let (b_blk, b_tail) = b_rest.split_at(ABANDON_BLOCK);
+        for (&x, &y) in a_blk.iter().zip(b_blk) {
+            acc += term(x, y);
+        }
+        if acc >= threshold {
+            return None;
+        }
+        a_rest = a_tail;
+        b_rest = b_tail;
+    }
+    for (&x, &y) in a_rest.iter().zip(b_rest) {
+        acc += term(x, y);
+    }
+    Some(acc)
+}
+
+/// Adapter that disables threshold pruning on an inner metric: every
+/// [`Metric::dist_lt`] call evaluates the full distance via the default
+/// implementation.
+///
+/// This is the reference "sequential scalar path": benchmarks use it as
+/// the un-optimized baseline, and equivalence tests run the same workload
+/// through `FullPrecision<M>` and `M` to prove early abandonment changes
+/// no decision, result, or counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FullPrecision<M>(pub M);
+
+impl<M: Metric> Metric for FullPrecision<M> {
+    #[inline]
+    fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.0.dist(a, b)
+    }
+
+    // dist_lt deliberately NOT forwarded: the trait default computes the
+    // full distance and compares, which is the point of this adapter.
+
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn box_min_dist(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> Option<f64> {
+        self.0.box_min_dist(q, lo, hi)
+    }
+
+    fn box_max_dist(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> Option<f64> {
+        self.0.box_max_dist(q, lo, hi)
     }
 }
 
@@ -77,8 +174,8 @@ impl Euclidean {
     pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len());
         let mut acc = 0.0;
-        for i in 0..a.len() {
-            let d = a[i] - b[i];
+        for (&x, &y) in a.iter().zip(b) {
+            let d = x - y;
             acc += d * d;
         }
         acc
@@ -89,6 +186,26 @@ impl Metric for Euclidean {
     #[inline]
     fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
         Euclidean::dist_sq(a, b).sqrt()
+    }
+
+    #[inline]
+    fn dist_lt(&self, a: &[f64], b: &[f64], bound: f64) -> Option<f64> {
+        // Abandon against the squared bound, inflated by a few ulps so that
+        // a partial sum crossing the threshold *guarantees* sqrt(total) >=
+        // bound (squaring the bound rounds, sqrt rounds back; without the
+        // margin a one-ulp disagreement with the exact `dist < bound` test
+        // would be possible at the boundary). A completed accumulation is
+        // decided by the exact comparison, so decisions always match
+        // `dist`.
+        // The `.max` keeps a tiny positive bound (whose square underflows
+        // to zero) from abandoning the exact-zero distance it still admits.
+        let threshold = ((bound * bound) * (1.0 + 4.0 * f64::EPSILON)).max(f64::MIN_POSITIVE);
+        let acc = abandoning_sum(a, b, threshold, |x, y| {
+            let d = x - y;
+            d * d
+        })?;
+        let d = acc.sqrt();
+        (d < bound).then_some(d)
     }
 
     fn name(&self) -> &'static str {
@@ -117,10 +234,18 @@ impl Metric for Manhattan {
     fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len());
         let mut acc = 0.0;
-        for i in 0..a.len() {
-            acc += (a[i] - b[i]).abs();
+        for (&x, &y) in a.iter().zip(b) {
+            acc += (x - y).abs();
         }
         acc
+    }
+
+    #[inline]
+    fn dist_lt(&self, a: &[f64], b: &[f64], bound: f64) -> Option<f64> {
+        // L1 needs no transform of the bound, so no margin: the partial sum
+        // is the distance prefix itself.
+        let d = abandoning_sum(a, b, bound, |x, y| (x - y).abs())?;
+        (d < bound).then_some(d)
     }
 
     fn name(&self) -> &'static str {
@@ -149,10 +274,25 @@ impl Metric for Chebyshev {
     fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len());
         let mut acc: f64 = 0.0;
-        for i in 0..a.len() {
-            acc = acc.max((a[i] - b[i]).abs());
+        for (&x, &y) in a.iter().zip(b) {
+            acc = acc.max((x - y).abs());
         }
         acc
+    }
+
+    #[inline]
+    fn dist_lt(&self, a: &[f64], b: &[f64], bound: f64) -> Option<f64> {
+        // The running maximum only grows, so any coordinate gap reaching the
+        // bound settles the comparison immediately and exactly.
+        debug_assert_eq!(a.len(), b.len());
+        let mut acc: f64 = 0.0;
+        for (&x, &y) in a.iter().zip(b) {
+            acc = acc.max((x - y).abs());
+            if acc >= bound {
+                return None;
+            }
+        }
+        Some(acc)
     }
 
     fn name(&self) -> &'static str {
@@ -201,10 +341,23 @@ impl Metric for Minkowski {
     fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len());
         let mut acc = 0.0;
-        for i in 0..a.len() {
-            acc += (a[i] - b[i]).abs().powf(self.p);
+        for (&x, &y) in a.iter().zip(b) {
+            acc += (x - y).abs().powf(self.p);
         }
         acc.powf(1.0 / self.p)
+    }
+
+    #[inline]
+    fn dist_lt(&self, a: &[f64], b: &[f64], bound: f64) -> Option<f64> {
+        // `powf` is only faithfully rounded, so the transformed threshold
+        // gets a relative margin far wider than powf's error but far
+        // narrower than any distance gap that matters; a completed
+        // accumulation is again decided by the exact comparison.
+        let threshold = (bound.powf(self.p) * (1.0 + 1e-12)).max(f64::MIN_POSITIVE);
+        let p = self.p;
+        let acc = abandoning_sum(a, b, threshold, |x, y| (x - y).abs().powf(p))?;
+        let d = acc.powf(1.0 / self.p);
+        (d < bound).then_some(d)
     }
 
     fn name(&self) -> &'static str {
@@ -269,6 +422,37 @@ mod tests {
     }
 
     #[test]
+    fn dist_lt_agrees_on_exact_ties() {
+        // Duplicate coordinate patterns make d(a, b) == bound exactly; the
+        // strict-inequality contract must reject them, as `dist` would.
+        let a = vec![1.25; 40];
+        let b = vec![3.5; 40];
+        for m in metrics() {
+            let d = m.dist(&a, &b);
+            assert_eq!(m.dist_lt(&a, &b, d), None, "{}: tie must be rejected", m.name());
+            let above = d * (1.0 + 1e-9);
+            assert_eq!(m.dist_lt(&a, &b, above), Some(d), "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn dist_lt_handles_degenerate_bounds() {
+        let a = vec![0.0; 20];
+        let b = vec![1.0; 20];
+        for m in metrics() {
+            assert_eq!(m.dist_lt(&a, &b, 0.0), None, "{}", m.name());
+            assert_eq!(
+                m.dist_lt(&a, &b, f64::INFINITY),
+                Some(m.dist(&a, &b)),
+                "{}",
+                m.name()
+            );
+            // Identical points are strictly below any positive bound.
+            assert_eq!(m.dist_lt(&a, &a, 1e-300), Some(0.0), "{}", m.name());
+        }
+    }
+
+    #[test]
     fn box_bounds_inside_point() {
         // A query inside the box has min dist 0.
         let lo = [0.0, 0.0];
@@ -283,6 +467,24 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn dist_lt_is_decision_equivalent_to_dist(
+            a in proptest::collection::vec(-100.0f64..100.0, 24),
+            b in proptest::collection::vec(-100.0f64..100.0, 24),
+            frac in 0.0f64..2.0,
+        ) {
+            for m in metrics() {
+                let d = m.dist(&a, &b);
+                let bound = d * frac;
+                let got = m.dist_lt(&a, &b, bound);
+                if d < bound {
+                    prop_assert_eq!(got, Some(d), "{} bound={}", m.name(), bound);
+                } else {
+                    prop_assert_eq!(got, None, "{} bound={}", m.name(), bound);
+                }
+            }
+        }
+
         #[test]
         fn metric_axioms(
             a in proptest::collection::vec(-100.0f64..100.0, 4),

@@ -1,0 +1,215 @@
+//! Reusable per-query working memory for batch RkNN execution.
+//!
+//! The paper's experiments (§7) answer an RkNN query from *every* point of
+//! the dataset, and its cost model is dominated by metric evaluations. When
+//! millions of queries stream through one engine, the per-query setup cost —
+//! a fresh cursor heap, a fresh filter vector, pointer-chasing
+//! `index.point(id)` lookups in the witness pass — becomes pure overhead.
+//! [`QueryScratch`] bundles the three buffers the filter–refinement engine
+//! needs so a worker allocates them once and reuses them for every query it
+//! executes:
+//!
+//! * [`CursorScratch`] — neighbor storage an index cursor fills in place of
+//!   allocating its own heap;
+//! * a filter vector of [`FilterCandidate`] bookkeeping slots;
+//! * a [`CandidateTile`] — a row-major copy of the filter set's coordinates,
+//!   so the witness pass streams over contiguous cache-local memory instead
+//!   of chasing ids back into the index.
+
+use crate::neighbor::{MaxByDist, Neighbor};
+use crate::PointId;
+
+/// Caller-owned neighbor storage for an index cursor.
+///
+/// An index's scratch-accepting cursor entry point fills `entries` instead
+/// of building its own container; the buffer's capacity survives across
+/// queries. See `rknn_index::KnnIndex::cursor_with`.
+#[derive(Debug, Clone, Default)]
+pub struct CursorScratch {
+    /// Neighbor records owned by the current cursor. Contents are
+    /// meaningful only while that cursor is live.
+    pub entries: Vec<Neighbor>,
+    /// Backing storage for bounded-selection heaps (see
+    /// `rknn_index::KnnIndex::cursor_bounded`); reused across queries.
+    pub heap: Vec<MaxByDist>,
+}
+
+impl CursorScratch {
+    /// An empty scratch buffer.
+    pub fn new() -> Self {
+        CursorScratch::default()
+    }
+}
+
+/// Per-candidate bookkeeping of the filter–refinement engine: the state
+/// Algorithm 1 tracks for every member of the filter set `F`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilterCandidate {
+    /// The candidate's point id.
+    pub id: PointId,
+    /// Its distance from the query, `d(q, ·)`.
+    pub dist: f64,
+    /// Witness count `W(·)`.
+    pub witnesses: usize,
+    /// Whether the candidate was lazily accepted (Assertion 2).
+    pub accepted: bool,
+}
+
+/// A contiguous row-major tile of candidate coordinates.
+///
+/// Rows are appended as candidates join the filter set; row `i` holds the
+/// coordinates of the `i`-th filter member, so a witness pass can iterate
+/// the filter vector and the tile in lockstep over cache-local memory.
+#[derive(Debug, Clone)]
+pub struct CandidateTile {
+    dim: usize,
+    coords: Vec<f64>,
+}
+
+impl CandidateTile {
+    /// An empty tile for points of dimensionality `dim`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "CandidateTile requires dim > 0");
+        CandidateTile { dim, coords: Vec::new() }
+    }
+
+    /// Dimensionality of the stored rows.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.coords.len() / self.dim
+    }
+
+    /// Whether the tile holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Appends one row, returning its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.dim()`.
+    #[inline]
+    pub fn push(&mut self, row: &[f64]) -> usize {
+        assert_eq!(row.len(), self.dim, "tile row dimensionality mismatch");
+        let idx = self.len();
+        self.coords.extend_from_slice(row);
+        idx
+    }
+
+    /// The coordinates of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.coords[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Iterates over the stored rows in insertion order.
+    #[inline]
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.coords.chunks_exact(self.dim)
+    }
+
+    /// Clears the rows, keeping the allocation.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.coords.clear();
+    }
+
+    /// Re-targets the tile at a (possibly different) dimensionality,
+    /// clearing any rows but keeping the allocation.
+    pub fn reset(&mut self, dim: usize) {
+        assert!(dim > 0, "CandidateTile requires dim > 0");
+        self.dim = dim;
+        self.coords.clear();
+    }
+}
+
+/// All working memory one worker needs to execute RkNN queries back to
+/// back without allocating per query.
+///
+/// The three buffers are independent fields so the engine can borrow them
+/// simultaneously (the cursor holds `cursor` while the witness pass mutates
+/// `filter` and reads `tile`).
+#[derive(Debug, Clone)]
+pub struct QueryScratch {
+    /// Storage for the index cursor.
+    pub cursor: CursorScratch,
+    /// The filter set's bookkeeping slots.
+    pub filter: Vec<FilterCandidate>,
+    /// The filter set's coordinates, row-aligned with `filter`.
+    pub tile: CandidateTile,
+}
+
+impl QueryScratch {
+    /// Fresh scratch for queries over points of dimensionality `dim`.
+    pub fn new(dim: usize) -> Self {
+        QueryScratch {
+            cursor: CursorScratch::new(),
+            filter: Vec::new(),
+            tile: CandidateTile::new(dim),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_round_trips_rows() {
+        let mut tile = CandidateTile::new(3);
+        assert!(tile.is_empty());
+        assert_eq!(tile.push(&[1.0, 2.0, 3.0]), 0);
+        assert_eq!(tile.push(&[4.0, 5.0, 6.0]), 1);
+        assert_eq!(tile.len(), 2);
+        assert_eq!(tile.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(tile.row(1), &[4.0, 5.0, 6.0]);
+        let rows: Vec<&[f64]> = tile.rows().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], &[4.0, 5.0, 6.0]);
+        tile.clear();
+        assert!(tile.is_empty());
+        assert_eq!(tile.dim(), 3);
+    }
+
+    #[test]
+    fn tile_reset_retargets_dimension() {
+        let mut tile = CandidateTile::new(2);
+        tile.push(&[1.0, 2.0]);
+        tile.reset(4);
+        assert!(tile.is_empty());
+        assert_eq!(tile.dim(), 4);
+        tile.push(&[0.0; 4]);
+        assert_eq!(tile.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn tile_rejects_wrong_width() {
+        let mut tile = CandidateTile::new(2);
+        tile.push(&[1.0]);
+    }
+
+    #[test]
+    fn scratch_fields_borrow_independently() {
+        let mut s = QueryScratch::new(2);
+        let QueryScratch { cursor, filter, tile } = &mut s;
+        cursor.entries.push(Neighbor::new(0, 1.0));
+        filter.push(FilterCandidate { id: 0, dist: 1.0, witnesses: 0, accepted: false });
+        tile.push(&[0.5, 0.5]);
+        assert_eq!(s.cursor.entries.len(), 1);
+        assert_eq!(s.filter.len(), 1);
+        assert_eq!(s.tile.len(), 1);
+    }
+}

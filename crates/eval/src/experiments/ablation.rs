@@ -11,8 +11,8 @@ use crate::metrics::QualityAccum;
 use crate::truth::{DkTable, GroundTruth};
 use rknn_core::{Dataset, Euclidean};
 use rknn_data::sample_queries;
-use rknn_index::KnnIndex;
-use rknn_rdt::engine::{run_query_scheduled, RdtVariant, TSchedule};
+use rknn_rdt::batch::{run_batch, BatchConfig};
+use rknn_rdt::engine::RdtVariant;
 use rknn_rdt::{RdtAdaptive, RdtParams};
 use std::sync::Arc;
 use std::time::Instant;
@@ -79,7 +79,7 @@ pub fn run_ablation(ds: Arc<Dataset>, cfg: &AblationConfig) -> Vec<AblationRow> 
     let (forward, _) = Forward::build(ds.clone(), Euclidean, cfg.use_cover_tree);
     let queries = sample_queries(ds.len(), cfg.queries, cfg.seed);
     let table = DkTable::compute(&forward, &[cfg.k], cfg.threads);
-    let truth = GroundTruth::compute(&forward, &table, &queries, cfg.k);
+    let truth = GroundTruth::compute(&forward, &table, &queries, cfg.k, cfg.threads);
     let mut rows = Vec::new();
     let variants: [(&str, RdtVariant); 3] = [
         ("RDT", RdtVariant::Plain),
@@ -89,21 +89,16 @@ pub fn run_ablation(ds: Arc<Dataset>, cfg: &AblationConfig) -> Vec<AblationRow> 
     for &t in &cfg.t_grid {
         for (label, variant) in variants {
             let params = RdtParams::new(cfg.k, t);
+            // Sequential batch execution: scratch reuse across the query
+            // list without changing what a "mean query time" means. The
+            // d_k cache stays off — this ablation's whole point is the
+            // per-query verification cost gap between variants, which
+            // cross-query threshold reuse would collapse.
+            let cfg_batch =
+                BatchConfig::sequential().with_variant(variant).with_dk_reuse(false);
+            let out = run_batch(&forward, &queries, params, &cfg_batch);
             let mut quality = QualityAccum::new();
-            let mut verified = 0usize;
-            let mut witness = 0u64;
-            let start = Instant::now();
-            for (i, &q) in queries.iter().enumerate() {
-                let ans = run_query_scheduled(
-                    &forward,
-                    forward.point(q),
-                    Some(q),
-                    params,
-                    variant,
-                    TSchedule::Fixed,
-                );
-                verified += ans.stats.verified;
-                witness += ans.stats.witness_pairs;
+            for (i, ans) in out.answers.iter().enumerate() {
                 quality.add(&ans.ids(), truth.answer(i));
             }
             let nq = queries.len().max(1) as f64;
@@ -113,9 +108,9 @@ pub fn run_ablation(ds: Arc<Dataset>, cfg: &AblationConfig) -> Vec<AblationRow> 
                 variant: label.to_string(),
                 recall: quality.recall(),
                 precision: quality.precision(),
-                query_ms: start.elapsed().as_secs_f64() * 1e3 / nq,
-                verified: verified as f64 / nq,
-                witness_pairs: witness as f64 / nq,
+                query_ms: out.elapsed.as_secs_f64() * 1e3 / nq,
+                verified: out.stats.verified as f64 / nq,
+                witness_pairs: out.stats.witness_pairs as f64 / nq,
             });
         }
     }

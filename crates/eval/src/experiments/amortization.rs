@@ -11,7 +11,8 @@ use crate::forward::Forward;
 use rknn_baselines::{MRkNNCoP, RdnnTree};
 use rknn_core::{Euclidean, SearchStats};
 use rknn_data::{imagenet_like, sample_queries};
-use rknn_rdt::{RdtParams, RdtPlus};
+use rknn_rdt::batch::{run_batch, BatchConfig};
+use rknn_rdt::{RdtParams, RdtVariant};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -96,14 +97,19 @@ pub fn run_amortization(cfg: &AmortizationConfig) -> Vec<AmortizationRow> {
             &queries,
         );
 
-        let plus = RdtPlus::new(RdtParams::new(cfg.k, cfg.t));
+        // The heuristic runs through the sequential batch driver (scratch
+        // reuse, early abandonment); one worker keeps the per-query mean
+        // comparable to the baselines above, and d_k reuse stays off so no
+        // amortized precomputation hides inside the mean query time while
+        // rdt_pre only charges the index build.
         let rdt_pre = build.as_secs_f64() * 1e3;
-        let rdt_q = mean_query_ms(
-            |q| {
-                let _ = plus.query(&forward, q);
-            },
+        let batch = run_batch(
+            &forward,
             &queries,
+            RdtParams::new(cfg.k, cfg.t),
+            &BatchConfig::sequential().with_variant(RdtVariant::Plus).with_dk_reuse(false),
         );
+        let rdt_q = batch.elapsed.as_secs_f64() * 1e3 / queries.len().max(1) as f64;
 
         let in_budget = |pre: f64, q: f64| {
             if q <= 0.0 {

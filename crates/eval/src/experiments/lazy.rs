@@ -10,7 +10,8 @@ use crate::metrics::QualityAccum;
 use crate::truth::{DkTable, GroundTruth};
 use rknn_core::{Dataset, Euclidean};
 use rknn_data::sample_queries;
-use rknn_rdt::{RdtParams, RdtPlus};
+use rknn_rdt::batch::{run_batch, BatchConfig};
+use rknn_rdt::{RdtParams, RdtVariant};
 use std::sync::Arc;
 
 /// Configuration for the lazy-mechanism profile.
@@ -71,24 +72,27 @@ pub fn run_lazy_profile(ds: Arc<Dataset>, cfg: &LazyConfig) -> Vec<LazyRow> {
     let (forward, _) = Forward::build(ds.clone(), Euclidean, cfg.use_cover_tree);
     let queries = sample_queries(ds.len(), cfg.queries, cfg.seed);
     let table = DkTable::compute(&forward, &[cfg.k], cfg.threads);
-    let truth = GroundTruth::compute(&forward, &table, &queries, cfg.k);
+    let truth = GroundTruth::compute(&forward, &table, &queries, cfg.k, cfg.threads);
+    let batch_cfg =
+        BatchConfig::default().with_threads(cfg.threads).with_variant(RdtVariant::Plus);
     let mut rows = Vec::new();
     for &t in &cfg.t_grid {
-        let plus = RdtPlus::new(RdtParams::new(cfg.k, t));
+        // The whole query batch runs through the parallel driver; the
+        // per-query proportions (a per-answer quantity) are then averaged
+        // in query order, identical to the former sequential loop.
+        let out = run_batch(&forward, &queries, RdtParams::new(cfg.k, t), &batch_cfg);
         let mut verify = 0.0;
         let mut accept = 0.0;
         let mut reject = 0.0;
-        let mut retrieved = 0usize;
         let mut quality = QualityAccum::new();
-        for (i, &q) in queries.iter().enumerate() {
-            let ans = plus.query(&forward, q);
+        for (i, ans) in out.answers.iter().enumerate() {
             let (v, a, r) = ans.stats.proportions();
             verify += v;
             accept += a;
             reject += r;
-            retrieved += ans.stats.retrieved;
             quality.add(&ans.ids(), truth.answer(i));
         }
+        let retrieved = out.stats.retrieved;
         let nq = queries.len().max(1) as f64;
         rows.push(LazyRow {
             dataset: cfg.dataset.clone(),

@@ -6,7 +6,7 @@
 //! sequential scan, while for the remaining sets, the results reported are
 //! for the Cover Tree." (§7.1)
 
-use rknn_core::{Dataset, Metric, Neighbor, PointId, SearchStats};
+use rknn_core::{CursorScratch, Dataset, Metric, Neighbor, PointId, SearchStats};
 use rknn_index::{CoverTree, KnnIndex, LinearScan, NnCursor};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -73,6 +73,31 @@ impl<M: Metric> KnnIndex<M> for Forward<M> {
         match self {
             Forward::Cover(t) => t.cursor(q, exclude),
             Forward::Linear(t) => t.cursor(q, exclude),
+        }
+    }
+
+    fn cursor_with<'a>(
+        &'a self,
+        q: &'a [f64],
+        exclude: Option<PointId>,
+        scratch: &'a mut CursorScratch,
+    ) -> Box<dyn NnCursor + 'a> {
+        match self {
+            Forward::Cover(t) => t.cursor_with(q, exclude, scratch),
+            Forward::Linear(t) => t.cursor_with(q, exclude, scratch),
+        }
+    }
+
+    fn cursor_bounded<'a>(
+        &'a self,
+        q: &'a [f64],
+        exclude: Option<PointId>,
+        limit: usize,
+        scratch: &'a mut CursorScratch,
+    ) -> Box<dyn NnCursor + 'a> {
+        match self {
+            Forward::Cover(t) => t.cursor_bounded(q, exclude, limit, scratch),
+            Forward::Linear(t) => t.cursor_bounded(q, exclude, limit, scratch),
         }
     }
 

@@ -83,31 +83,63 @@ pub struct GroundTruth {
 }
 
 impl GroundTruth {
-    /// Computes exact answers for `queries` from a [`DkTable`].
-    pub fn compute<M, I>(index: &I, table: &DkTable, queries: &[PointId], k: usize) -> Self
+    /// Computes exact answers for `queries` from a [`DkTable`],
+    /// parallelized over `threads` workers.
+    ///
+    /// Each answer is one O(n) scan; `x` belongs to `RkNN(q, k)` exactly
+    /// when `d(x, q) <= d_k(x)`, so a distance accumulation may be
+    /// abandoned once it provably exceeds `d_k(x)` (the closed ball at
+    /// `d_k(x)` is the open ball below its successor float).
+    pub fn compute<M, I>(
+        index: &I,
+        table: &DkTable,
+        queries: &[PointId],
+        k: usize,
+        threads: usize,
+    ) -> Self
     where
         M: Metric,
-        I: KnnIndex<M> + ?Sized,
+        I: KnnIndex<M> + Sync + ?Sized,
     {
         let col = table.col(k);
         let metric = index.metric();
         let n = index.num_points();
-        let answers = queries
-            .iter()
-            .map(|&q| {
-                let qp = index.point(q);
-                let mut set = HashSet::new();
-                for x in 0..n {
-                    if x == q {
-                        continue;
-                    }
-                    if metric.dist(index.point(x), qp) <= table.dk[x][col] {
-                        set.insert(x);
-                    }
+        let answer_one = |q: PointId| {
+            let qp = index.point(q);
+            let mut set = HashSet::new();
+            for x in 0..n {
+                if x == q {
+                    continue;
                 }
-                (q, set)
+                let bound = table.dk[x][col].next_up();
+                if metric.dist_lt(index.point(x), qp, bound).is_some() {
+                    set.insert(x);
+                }
+            }
+            (q, set)
+        };
+        let threads = threads.clamp(1, queries.len().max(1));
+        let mut answers: Vec<(PointId, HashSet<PointId>)> =
+            vec![(0, HashSet::new()); queries.len()];
+        if threads <= 1 {
+            for (&q, slot) in queries.iter().zip(answers.iter_mut()) {
+                *slot = answer_one(q);
+            }
+        } else {
+            // Same chunked scoped fan-out as DkTable::compute above:
+            // workers write into disjoint slices of the pre-sized output.
+            let chunk = queries.len().div_ceil(threads);
+            thread::scope(|scope| {
+                for (qs, out) in queries.chunks(chunk).zip(answers.chunks_mut(chunk)) {
+                    scope.spawn(move |_| {
+                        for (&q, slot) in qs.iter().zip(out.iter_mut()) {
+                            *slot = answer_one(q);
+                        }
+                    });
+                }
             })
-            .collect();
+            .expect("ground-truth workers do not panic");
+        }
         GroundTruth { k, answers }
     }
 
@@ -161,7 +193,9 @@ mod tests {
         let idx = LinearScan::build(ds.clone(), Euclidean);
         let table = DkTable::compute(&idx, &[5], 4);
         let queries = vec![0, 42, 149];
-        let truth = GroundTruth::compute(&idx, &table, &queries, 5);
+        let truth = GroundTruth::compute(&idx, &table, &queries, 5, 3);
+        let sequential = GroundTruth::compute(&idx, &table, &queries, 5, 1);
+        assert_eq!(truth.answers, sequential.answers, "threading must not change answers");
         let bf = BruteForce::new(ds, Euclidean);
         let mut st = SearchStats::new();
         for (i, &q) in queries.iter().enumerate() {

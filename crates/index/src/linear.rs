@@ -2,14 +2,19 @@
 //!
 //! For MNIST and Imagenet the paper found sequential scan to outperform the
 //! cover tree (§7.1): in very high dimensions, n straight-line distance
-//! computations beat any tree traversal. The incremental cursor computes all
-//! distances once at creation and then drains a binary heap lazily, so a
-//! cursor that RDT terminates after `s` steps costs `O(n + s·log n)`.
+//! computations beat any tree traversal. The incremental cursor computes
+//! all distances once at creation into a flat table, sorts it, and drains
+//! it by position — contiguous memory instead of a pointer-heavy
+//! `BinaryHeap`, and with [`KnnIndex::cursor_with`] the table lives in a
+//! caller-owned buffer that batch drivers reuse across queries. Direct
+//! `knn`/`range`/`range_count` traversals prune each candidate against the
+//! current threshold via [`Metric::dist_lt`], abandoning hopeless distance
+//! accumulations early.
 
 use crate::pool::PointPool;
 use crate::traits::{DynamicIndex, KnnIndex, NnCursor};
-use rknn_core::neighbor::MinByDist;
-use rknn_core::{CoreError, Dataset, KnnHeap, Metric, Neighbor, PointId, SearchStats};
+use rknn_core::neighbor::MaxByDist;
+use rknn_core::{CoreError, CursorScratch, Dataset, KnnHeap, Metric, Neighbor, PointId, SearchStats};
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
@@ -32,18 +37,94 @@ impl<M: Metric> LinearScan<M> {
     }
 }
 
-struct ScanCursor {
-    heap: BinaryHeap<MinByDist>,
+/// Cursor draining a distance table already sorted ascending by
+/// `(dist, id)`. Generic over the table's ownership so the same drain logic
+/// serves both the self-owned boxed path and the caller-owned scratch path.
+struct ScanCursor<B> {
+    entries: B,
+    pos: usize,
     stats: SearchStats,
 }
 
-impl NnCursor for ScanCursor {
+impl<B: AsRef<[Neighbor]>> NnCursor for ScanCursor<B> {
     fn next(&mut self) -> Option<Neighbor> {
-        self.heap.pop().map(|m| m.0)
+        let n = self.entries.as_ref().get(self.pos).copied();
+        self.pos += usize::from(n.is_some());
+        n
     }
 
     fn stats(&self) -> SearchStats {
         self.stats
+    }
+}
+
+impl<M: Metric> LinearScan<M> {
+    /// Fills `entries` with the sorted distance table for query `q`; the
+    /// shared setup behind both cursor entry points.
+    fn fill_table(
+        &self,
+        q: &[f64],
+        exclude: Option<PointId>,
+        entries: &mut Vec<Neighbor>,
+    ) -> SearchStats {
+        let mut stats = SearchStats::new();
+        entries.clear();
+        entries.reserve(self.pool.live());
+        for (id, p) in self.pool.iter_live() {
+            if Some(id) == exclude {
+                continue;
+            }
+            stats.count_dist();
+            entries.push(Neighbor::new(id, self.metric.dist(q, p)));
+        }
+        stats.heap_pushes += entries.len() as u64;
+        entries.sort_unstable_by(Neighbor::cmp_by_dist);
+        stats
+    }
+
+    /// Fills `scratch.entries` with the `limit` nearest candidates only,
+    /// selected through a bounded max-heap whose threshold prunes each
+    /// candidate's distance accumulation. Yields exactly the prefix the
+    /// full sorted table would: ties at the boundary keep the lowest ids,
+    /// matching the `(dist, id)` sort order.
+    fn fill_bounded(
+        &self,
+        q: &[f64],
+        exclude: Option<PointId>,
+        limit: usize,
+        scratch: &mut CursorScratch,
+    ) -> SearchStats {
+        let mut stats = SearchStats::new();
+        // Adopt the scratch buffer as heap storage (free for an emptied
+        // vec) and hand it back afterwards, so steady-state batch queries
+        // allocate nothing.
+        let mut spare = std::mem::take(&mut scratch.heap);
+        spare.clear();
+        let mut heap: BinaryHeap<MaxByDist> = BinaryHeap::from(spare);
+        for (id, p) in self.pool.iter_live() {
+            if Some(id) == exclude {
+                continue;
+            }
+            stats.count_dist();
+            let threshold = if heap.len() >= limit {
+                heap.peek().map(|m| m.0.dist).unwrap_or(f64::NEG_INFINITY)
+            } else {
+                f64::INFINITY
+            };
+            if let Some(d) = self.metric.dist_lt(q, p, threshold) {
+                heap.push(MaxByDist(Neighbor::new(id, d)));
+                stats.count_push();
+                if heap.len() > limit {
+                    heap.pop();
+                }
+            }
+        }
+        let entries = &mut scratch.entries;
+        entries.clear();
+        entries.extend(heap.iter().map(|m| m.0));
+        entries.sort_unstable_by(Neighbor::cmp_by_dist);
+        scratch.heap = heap.into_vec();
+        stats
     }
 }
 
@@ -69,17 +150,36 @@ impl<M: Metric> KnnIndex<M> for LinearScan<M> {
     }
 
     fn cursor<'a>(&'a self, q: &'a [f64], exclude: Option<PointId>) -> Box<dyn NnCursor + 'a> {
-        let mut stats = SearchStats::new();
-        let mut entries = Vec::with_capacity(self.pool.live());
-        for (id, p) in self.pool.iter_live() {
-            if Some(id) == exclude {
-                continue;
-            }
-            stats.count_dist();
-            entries.push(MinByDist(Neighbor::new(id, self.metric.dist(q, p))));
-        }
-        stats.heap_pushes += entries.len() as u64;
-        Box::new(ScanCursor { heap: BinaryHeap::from(entries), stats })
+        let mut entries = Vec::new();
+        let stats = self.fill_table(q, exclude, &mut entries);
+        Box::new(ScanCursor { entries, pos: 0, stats })
+    }
+
+    fn cursor_with<'a>(
+        &'a self,
+        q: &'a [f64],
+        exclude: Option<PointId>,
+        scratch: &'a mut CursorScratch,
+    ) -> Box<dyn NnCursor + 'a> {
+        let stats = self.fill_table(q, exclude, &mut scratch.entries);
+        Box::new(ScanCursor { entries: &mut scratch.entries, pos: 0, stats })
+    }
+
+    fn cursor_bounded<'a>(
+        &'a self,
+        q: &'a [f64],
+        exclude: Option<PointId>,
+        limit: usize,
+        scratch: &'a mut CursorScratch,
+    ) -> Box<dyn NnCursor + 'a> {
+        // A bound that admits every candidate prunes nothing; the plain
+        // sorted table skips the heap bookkeeping.
+        let stats = if limit >= self.pool.live() {
+            self.fill_table(q, exclude, &mut scratch.entries)
+        } else {
+            self.fill_bounded(q, exclude, limit, scratch)
+        };
+        Box::new(ScanCursor { entries: &mut scratch.entries, pos: 0, stats })
     }
 
     fn knn(
@@ -98,7 +198,14 @@ impl<M: Metric> KnnIndex<M> for LinearScan<M> {
                 continue;
             }
             stats.count_dist();
-            heap.offer(Neighbor::new(id, self.metric.dist(q, p)));
+            // Once the heap is full its threshold is the k-th best distance;
+            // a candidate that cannot beat it would be rejected by `offer`,
+            // so the distance accumulation may abandon as soon as the
+            // threshold is provably unreachable. While the heap is filling
+            // the threshold is +∞ and the full distance is computed.
+            if let Some(d) = self.metric.dist_lt(q, p, heap.threshold()) {
+                heap.offer(Neighbor::new(id, d));
+            }
         }
         heap.into_sorted()
     }
@@ -110,14 +217,15 @@ impl<M: Metric> KnnIndex<M> for LinearScan<M> {
         exclude: Option<PointId>,
         stats: &mut SearchStats,
     ) -> Vec<Neighbor> {
+        // The closed ball `d <= r` equals the open ball below next_up(r).
+        let bound = r.next_up();
         let mut out = Vec::new();
         for (id, p) in self.pool.iter_live() {
             if Some(id) == exclude {
                 continue;
             }
             stats.count_dist();
-            let d = self.metric.dist(q, p);
-            if d <= r {
+            if let Some(d) = self.metric.dist_lt(q, p, bound) {
                 out.push(Neighbor::new(id, d));
             }
         }
@@ -133,14 +241,14 @@ impl<M: Metric> KnnIndex<M> for LinearScan<M> {
         exclude: Option<PointId>,
         stats: &mut SearchStats,
     ) -> usize {
+        let bound = if strict { r } else { r.next_up() };
         let mut count = 0;
         for (id, p) in self.pool.iter_live() {
             if Some(id) == exclude {
                 continue;
             }
             stats.count_dist();
-            let d = self.metric.dist(q, p);
-            if (strict && d < r) || (!strict && d <= r) {
+            if self.metric.dist_lt(q, p, bound).is_some() {
                 count += 1;
             }
         }
@@ -182,6 +290,59 @@ mod tests {
         let order: Vec<_> = std::iter::from_fn(|| cur.next()).map(|n| n.id).collect();
         assert_eq!(order, vec![0, 1, 2, 3]);
         assert_eq!(cur.stats().dist_computations, 4);
+    }
+
+    #[test]
+    fn scratch_cursor_matches_boxed_cursor_and_reuses_buffer() {
+        let idx = index();
+        let mut scratch = CursorScratch::new();
+        for q in [[0.0, 0.0], [2.0, 1.0]] {
+            let mut boxed = idx.cursor(&q, None);
+            let mut scratched = idx.cursor_with(&q, None, &mut scratch);
+            loop {
+                let a = boxed.next();
+                let b = scratched.next();
+                assert_eq!(a.map(|n| n.id), b.map(|n| n.id));
+                assert_eq!(a.map(|n| n.dist), b.map(|n| n.dist));
+                if a.is_none() {
+                    break;
+                }
+            }
+            assert_eq!(boxed.stats(), scratched.stats());
+        }
+        // The buffer stays filled (and its capacity reusable) after the
+        // cursor is dropped.
+        assert_eq!(scratch.entries.len(), 4);
+    }
+
+    #[test]
+    fn bounded_cursor_yields_exact_prefix() {
+        let ds = Dataset::from_rows(
+            &(0..60).map(|i| vec![(i % 17) as f64, (i % 5) as f64]).collect::<Vec<_>>(),
+        )
+        .unwrap()
+        .into_shared();
+        let idx = LinearScan::build(ds, Euclidean);
+        let mut scratch = CursorScratch::new();
+        let q = [3.2, 1.1];
+        for limit in [0usize, 1, 7, 59, 60, 500] {
+            let mut full = idx.cursor(&q, Some(2));
+            let mut bounded = idx.cursor_bounded(&q, Some(2), limit, &mut scratch);
+            for step in 0..limit {
+                let want = full.next();
+                let got = bounded.next();
+                assert_eq!(
+                    want.map(|n| (n.id, n.dist)),
+                    got.map(|n| (n.id, n.dist)),
+                    "limit={limit} step={step}"
+                );
+                if want.is_none() {
+                    break;
+                }
+            }
+            // Distance work is one evaluation per candidate either way.
+            assert_eq!(bounded.stats().dist_computations, 59, "limit={limit}");
+        }
     }
 
     #[test]

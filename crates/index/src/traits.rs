@@ -1,6 +1,6 @@
 //! The index abstraction RDT and the baselines are written against.
 
-use rknn_core::{Metric, Neighbor, PointId, SearchStats};
+use rknn_core::{CursorScratch, Metric, Neighbor, PointId, SearchStats};
 
 /// An incremental nearest-neighbor stream.
 ///
@@ -40,6 +40,50 @@ pub trait KnnIndex<M: Metric>: Send + Sync {
 
     /// Opens an incremental nearest-neighbor stream from `q`.
     fn cursor<'a>(&'a self, q: &'a [f64], exclude: Option<PointId>) -> Box<dyn NnCursor + 'a>;
+
+    /// Opens an incremental nearest-neighbor stream from `q`, reusing
+    /// caller-owned working memory.
+    ///
+    /// Substrates that materialize per-query state (the sequential scan's
+    /// distance table, for example) override this to fill
+    /// `scratch.entries` instead of allocating their own container, so a
+    /// batch driver that issues many queries per worker amortizes the
+    /// buffer across all of them. The stream contract is identical to
+    /// [`KnnIndex::cursor`]; the default implementation simply ignores the
+    /// scratch and takes the boxed path.
+    fn cursor_with<'a>(
+        &'a self,
+        q: &'a [f64],
+        exclude: Option<PointId>,
+        scratch: &'a mut CursorScratch,
+    ) -> Box<dyn NnCursor + 'a> {
+        let _ = scratch;
+        self.cursor(q, exclude)
+    }
+
+    /// Opens a nearest-neighbor stream that the caller promises to drain at
+    /// most `limit` entries from.
+    ///
+    /// The stream must yield the `limit` nearest neighbors (fewer when the
+    /// index holds fewer) in exact nondecreasing order, and *may* yield
+    /// more — the default implementation delegates to
+    /// [`KnnIndex::cursor_with`] and yields everything. Substrates can use
+    /// the bound to prune: the sequential scan selects only the
+    /// `limit`-nearest with a bounded heap, abandoning each candidate's
+    /// distance accumulation against the heap threshold
+    /// ([`Metric::dist_lt`]). RDT's filter phase under a fixed scale
+    /// parameter never drains past its rank cap `⌊2^t·k⌋`, which is
+    /// exactly this bound.
+    fn cursor_bounded<'a>(
+        &'a self,
+        q: &'a [f64],
+        exclude: Option<PointId>,
+        limit: usize,
+        scratch: &'a mut CursorScratch,
+    ) -> Box<dyn NnCursor + 'a> {
+        let _ = limit;
+        self.cursor_with(q, exclude, scratch)
+    }
 
     /// The `k` nearest neighbors of `q`, ascending by distance.
     ///

@@ -1,0 +1,374 @@
+//! Batch RkNN execution: many queries, few allocations, all cores.
+//!
+//! The paper's experiments (§7) answer an RkNN query from *every* point of
+//! the dataset; serving heavy traffic means the same shape — a stream of
+//! queries against one shared index. This module is the driver for that
+//! workload:
+//!
+//! * each worker owns one [`QueryScratch`], so cursor buffers, filter-set
+//!   slots and the candidate coordinate tile are allocated once per worker
+//!   rather than once per query;
+//! * the query list is sharded into contiguous chunks across scoped worker
+//!   threads, each writing answers into a disjoint slice of the output —
+//!   no locks, no channels;
+//! * answers come back indexed by query position and statistics are merged
+//!   in query order, so the outcome (including every aggregate counter) is
+//!   deterministic and independent of worker count and scheduling.
+//!
+//! Every query runs through [`run_query_with`], which also prunes
+//! witness-pass metric evaluations via [`rknn_core::Metric::dist_lt`]; see
+//! the crate docs for what early abandonment does (and does not) change in
+//! the work counters.
+
+use crate::answer::{RknnAnswer, Termination};
+use crate::engine::{run_query_full, DkCache, RdtVariant, TSchedule};
+use crate::params::RdtParams;
+use rknn_core::{Metric, PointId, QueryScratch, SearchStats};
+use rknn_index::KnnIndex;
+use std::time::{Duration, Instant};
+
+/// Configuration of a batch run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchConfig {
+    /// Worker threads. `0` means one worker per available CPU.
+    pub threads: usize,
+    /// Engine variant (RDT, RDT+, or the no-witness ablation).
+    pub variant: RdtVariant,
+    /// Scale-parameter schedule.
+    pub schedule: TSchedule,
+    /// Reuse verification thresholds `d_k(·)` across the batch through a
+    /// single lock-free [`DkCache`] shared by every worker. Results and
+    /// terminations are identical either way; with reuse on, the per-query
+    /// *work counters* of cache-hitting queries shrink (and, because the
+    /// shared cache fills racily, depend on scheduling), so turn this off
+    /// when byte-identical per-query statistics against a standalone
+    /// engine run matter more than throughput.
+    pub reuse_dk: bool,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            threads: 0,
+            variant: RdtVariant::Plain,
+            schedule: TSchedule::Fixed,
+            reuse_dk: true,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// A sequential configuration (one worker, no thread spawn).
+    pub fn sequential() -> Self {
+        BatchConfig { threads: 1, ..BatchConfig::default() }
+    }
+
+    /// Sets the worker count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the engine variant.
+    pub fn with_variant(mut self, variant: RdtVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Enables or disables verification-threshold reuse.
+    pub fn with_dk_reuse(mut self, reuse: bool) -> Self {
+        self.reuse_dk = reuse;
+        self
+    }
+
+    fn resolved_threads(&self, jobs: usize) -> usize {
+        let requested = if self.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.threads
+        };
+        requested.clamp(1, jobs.max(1))
+    }
+}
+
+/// Deterministic aggregate of per-query statistics over a batch.
+///
+/// All sums are taken in query order, so two runs over the same queries
+/// agree exactly regardless of worker count.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BatchStats {
+    /// Number of queries executed.
+    pub queries: usize,
+    /// Total reported reverse neighbors.
+    pub result_members: usize,
+    /// Total candidates retrieved by the expanding searches.
+    pub retrieved: usize,
+    /// Total witness-maintenance pair updates.
+    pub witness_pairs: u64,
+    /// Total witness-maintenance distance evaluations.
+    pub witness_dist_comps: u64,
+    /// Total candidates verified by explicit forward kNN queries.
+    pub verified: usize,
+    /// Total lazy accepts (Assertion 2).
+    pub lazy_accepts: usize,
+    /// Total lazy rejects (Assertion 1) plus RDT+ exclusions.
+    pub lazy_rejects: usize,
+    /// Total index work (cursor expansion + verification kNN).
+    pub search: SearchStats,
+    /// Queries whose filter phase the dimensional test terminated.
+    pub terminated_omega: usize,
+    /// Queries stopped by the rank cap.
+    pub terminated_rank_cap: usize,
+    /// Queries that exhausted the index.
+    pub terminated_exhausted: usize,
+}
+
+impl BatchStats {
+    /// Folds one answer into the aggregate.
+    fn absorb(&mut self, ans: &RknnAnswer) {
+        let st = &ans.stats;
+        self.queries += 1;
+        self.result_members += ans.result.len();
+        self.retrieved += st.retrieved;
+        self.witness_pairs += st.witness_pairs;
+        self.witness_dist_comps += st.witness_dist_comps;
+        self.verified += st.verified;
+        self.lazy_accepts += st.lazy_accepts;
+        self.lazy_rejects += st.lazy_rejects + st.excluded;
+        self.search.absorb(&st.search);
+        match st.termination {
+            Termination::Omega => self.terminated_omega += 1,
+            Termination::RankCap => self.terminated_rank_cap += 1,
+            Termination::Exhausted => self.terminated_exhausted += 1,
+        }
+    }
+
+    /// Total distance computations across index work and witness
+    /// maintenance — the paper's dominant cost measure.
+    pub fn total_dist_comps(&self) -> u64 {
+        self.search.dist_computations + self.witness_dist_comps
+    }
+}
+
+/// The outcome of a batch run.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// One answer per query, in the order the queries were supplied.
+    pub answers: Vec<RknnAnswer>,
+    /// Query-order aggregate of the per-query statistics.
+    pub stats: BatchStats,
+    /// Wall-clock time of the whole batch (excluding index construction).
+    pub elapsed: Duration,
+    /// Worker threads actually used.
+    pub threads: usize,
+}
+
+/// Answers one RkNN query per supplied dataset point, sharded across
+/// scoped worker threads with one [`QueryScratch`] per worker.
+///
+/// Each query is located at its point and self-excluding, matching the
+/// paper's experimental protocol. Answers and aggregate statistics are
+/// byte-identical to running [`crate::engine::run_query_scheduled`] over
+/// the same ids sequentially.
+pub fn run_batch<M, I>(
+    index: &I,
+    queries: &[PointId],
+    params: RdtParams,
+    cfg: &BatchConfig,
+) -> BatchOutcome
+where
+    M: Metric,
+    I: KnnIndex<M> + Sync + ?Sized,
+{
+    let start = Instant::now();
+    let threads = cfg.resolved_threads(queries.len());
+    let mut answers: Vec<Option<RknnAnswer>> = Vec::new();
+    answers.resize_with(queries.len(), || None);
+
+    // One cache for the whole batch, shared by every worker: `d_k` values
+    // are query-independent, so cross-worker sharing multiplies the hit
+    // rate without any locking (see [`DkCache`] on why the race is benign).
+    let cache = cfg.reuse_dk.then(|| DkCache::new(params.k, index.num_points()));
+    let cache = cache.as_ref();
+    let run_chunk = |ids: &[PointId], out: &mut [Option<RknnAnswer>]| {
+        let mut scratch = QueryScratch::new(index.dim().max(1));
+        for (&q, slot) in ids.iter().zip(out.iter_mut()) {
+            *slot = Some(run_query_full(
+                index,
+                index.point(q),
+                Some(q),
+                params,
+                cfg.variant,
+                cfg.schedule,
+                &mut scratch,
+                cache,
+            ));
+        }
+    };
+
+    if threads <= 1 {
+        run_chunk(queries, &mut answers);
+    } else {
+        let chunk = queries.len().div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (ids, out) in queries.chunks(chunk).zip(answers.chunks_mut(chunk)) {
+                scope.spawn(move |_| run_chunk(ids, out));
+            }
+        })
+        .expect("batch workers do not panic");
+    }
+
+    let answers: Vec<RknnAnswer> =
+        answers.into_iter().map(|a| a.expect("every query slot was filled")).collect();
+    let mut stats = BatchStats::default();
+    for ans in &answers {
+        stats.absorb(ans);
+    }
+    BatchOutcome { answers, stats, elapsed: start.elapsed(), threads }
+}
+
+/// Answers an RkNN query from **every** point of the index — the paper's
+/// all-points experimental workload — via [`run_batch`].
+pub fn run_all_points<M, I>(index: &I, params: RdtParams, cfg: &BatchConfig) -> BatchOutcome
+where
+    M: Metric,
+    I: KnnIndex<M> + Sync + ?Sized,
+{
+    let queries: Vec<PointId> = (0..index.num_points()).collect();
+    run_batch(index, &queries, params, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_query_scheduled;
+    use rknn_core::Euclidean;
+    use rknn_index::LinearScan;
+
+    fn index(n: usize, dim: usize, seed: u64) -> LinearScan<Euclidean> {
+        let ds = rknn_data::uniform_cube(n, dim, seed).into_shared();
+        LinearScan::build(ds, Euclidean)
+    }
+
+    #[test]
+    fn batch_matches_sequential_queries_exactly() {
+        let idx = index(300, 4, 90);
+        let params = RdtParams::new(5, 4.0);
+        // dk reuse off: per-query statistics must be byte-identical to a
+        // standalone engine run, not just the results.
+        let cfg = BatchConfig::default().with_threads(3).with_dk_reuse(false);
+        let out = run_all_points(&idx, params, &cfg);
+        assert_eq!(out.answers.len(), 300);
+        for (q, ans) in out.answers.iter().enumerate() {
+            let want = run_query_scheduled(
+                &idx,
+                idx.point(q),
+                Some(q),
+                params,
+                RdtVariant::Plain,
+                TSchedule::Fixed,
+            );
+            assert_eq!(ans.ids(), want.ids(), "q={q}");
+            assert_eq!(ans.stats, want.stats, "q={q}");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_outcome() {
+        let idx = index(250, 3, 91);
+        let params = RdtParams::new(4, 3.0);
+        let base =
+            run_all_points(&idx, params, &BatchConfig::sequential().with_dk_reuse(false));
+        for threads in [2usize, 4, 7] {
+            let cfg = BatchConfig::default().with_threads(threads).with_dk_reuse(false);
+            let out = run_all_points(&idx, params, &cfg);
+            assert_eq!(out.stats, base.stats, "threads={threads}");
+            for (a, b) in out.answers.iter().zip(&base.answers) {
+                assert_eq!(a.ids(), b.ids());
+            }
+        }
+    }
+
+    #[test]
+    fn dk_reuse_changes_work_but_not_answers() {
+        let idx = index(350, 4, 95);
+        let params = RdtParams::new(5, 6.0);
+        let plain =
+            run_all_points(&idx, params, &BatchConfig::sequential().with_dk_reuse(false));
+        for threads in [1usize, 3] {
+            let cached = run_all_points(
+                &idx,
+                params,
+                &BatchConfig::default().with_threads(threads).with_dk_reuse(true),
+            );
+            for (q, (a, b)) in cached.answers.iter().zip(&plain.answers).enumerate() {
+                assert_eq!(a.ids(), b.ids(), "threads={threads} q={q}");
+                assert_eq!(a.result, b.result, "threads={threads} q={q}");
+                assert_eq!(a.stats.termination, b.stats.termination, "threads={threads} q={q}");
+                assert_eq!(a.stats.verified, b.stats.verified, "threads={threads} q={q}");
+            }
+            // Filter-phase counters are untouched by verification caching.
+            assert_eq!(cached.stats.retrieved, plain.stats.retrieved);
+            assert_eq!(cached.stats.witness_pairs, plain.stats.witness_pairs);
+            assert_eq!(cached.stats.witness_dist_comps, plain.stats.witness_dist_comps);
+            // Reuse can only reduce index work.
+            assert!(
+                cached.stats.search.dist_computations <= plain.stats.search.dist_computations,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregate_stats_sum_per_query_stats() {
+        let idx = index(200, 2, 92);
+        let params = RdtParams::new(3, 5.0);
+        let out = run_all_points(&idx, params, &BatchConfig::default().with_threads(2));
+        let mut retrieved = 0usize;
+        let mut dist = 0u64;
+        let mut terms = 0usize;
+        for ans in &out.answers {
+            retrieved += ans.stats.retrieved;
+            dist += ans.stats.total_dist_comps();
+            terms += 1;
+        }
+        assert_eq!(out.stats.queries, 200);
+        assert_eq!(out.stats.retrieved, retrieved);
+        assert_eq!(out.stats.total_dist_comps(), dist);
+        assert_eq!(
+            out.stats.terminated_omega
+                + out.stats.terminated_rank_cap
+                + out.stats.terminated_exhausted,
+            terms
+        );
+    }
+
+    #[test]
+    fn explicit_query_subset_and_plus_variant() {
+        let idx = index(220, 3, 93);
+        let params = RdtParams::new(4, 6.0);
+        let queries = [0usize, 7, 113, 219];
+        let cfg = BatchConfig::default().with_threads(2).with_variant(RdtVariant::Plus);
+        let out = run_batch(&idx, &queries, params, &cfg);
+        assert_eq!(out.answers.len(), queries.len());
+        for (i, &q) in queries.iter().enumerate() {
+            let want = run_query_scheduled(
+                &idx,
+                idx.point(q),
+                Some(q),
+                params,
+                RdtVariant::Plus,
+                TSchedule::Fixed,
+            );
+            assert_eq!(out.answers[i].ids(), want.ids(), "q={q}");
+        }
+    }
+
+    #[test]
+    fn empty_query_list_is_fine() {
+        let idx = index(50, 2, 94);
+        let out = run_batch(&idx, &[], RdtParams::new(3, 3.0), &BatchConfig::default());
+        assert!(out.answers.is_empty());
+        assert_eq!(out.stats, BatchStats::default());
+    }
+}

@@ -29,19 +29,8 @@
 
 use crate::answer::{RdtQueryStats, RknnAnswer, Termination};
 use crate::params::RdtParams;
-use rknn_core::{Metric, Neighbor, PointId, SearchStats};
+use rknn_core::{FilterCandidate, Metric, Neighbor, PointId, QueryScratch, SearchStats};
 use rknn_index::KnnIndex;
-
-/// A filter-set member.
-struct Candidate {
-    id: PointId,
-    /// `d(q, ·)`.
-    dist: f64,
-    /// Witness count `W(·)`.
-    witnesses: usize,
-    /// Already lazily accepted into the result set.
-    accepted: bool,
-}
 
 /// Which flavor of the engine to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,7 +96,11 @@ where
 }
 
 /// Runs the filter–refinement query with an explicit variant and
-/// scale-parameter schedule.
+/// scale-parameter schedule, allocating fresh working memory.
+///
+/// Batch callers that answer many queries should allocate one
+/// [`QueryScratch`] per worker and call [`run_query_with`] instead; this
+/// wrapper exists for one-off queries and produces byte-identical answers.
 pub fn run_query_scheduled<M, I>(
     index: &I,
     q: &[f64],
@@ -120,6 +113,161 @@ where
     M: Metric,
     I: KnnIndex<M> + ?Sized,
 {
+    let mut scratch = QueryScratch::new(index.dim().max(1));
+    run_query_with(index, q, exclude, params, variant, schedule, &mut scratch)
+}
+
+/// A lazily filled, lock-free shared cache of verification thresholds
+/// `d_k(·)`.
+///
+/// The refinement phase accepts an unresolved candidate `v` exactly when
+/// `d_k(v) >= d(q, v)` — and `d_k(v)` does not depend on the query. In an
+/// all-points batch the same point is verified from many different
+/// queries, so recomputing its forward kNN each time is pure waste; all
+/// workers of a batch share one `DkCache` (it only needs `&self`), compute
+/// each threshold at most once-ish, and reuse the exact same
+/// floating-point value afterwards. Acceptance decisions (and hence result
+/// sets and terminations) are identical to the uncached engine; only the
+/// *work counters* of queries that hit the cache shrink, which is the
+/// point.
+///
+/// Slots are plain atomics with relaxed ordering: two workers racing on
+/// the same unset slot both compute the identical deterministic `d_k` and
+/// store the identical bits, so the race is benign — it can only duplicate
+/// work, never change a value. Per-query work counters under a shared
+/// cache therefore depend on scheduling; results never do.
+#[derive(Debug)]
+pub struct DkCache {
+    k: usize,
+    /// Bit patterns of the cached `d_k` values; [`DkCache::UNSET`] marks a
+    /// slot not computed yet (a real `d_k` is never NaN — coordinates are
+    /// finite — though it may be `+∞` when fewer than `k` other points
+    /// exist).
+    vals: Vec<std::sync::atomic::AtomicU64>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl DkCache {
+    /// Sentinel bit pattern for "not computed yet": a NaN payload no
+    /// arithmetic result ever carries.
+    const UNSET: u64 = u64::MAX;
+
+    /// An empty cache for rank `k`, pre-sized for `n` point ids.
+    pub fn new(k: usize, n: usize) -> Self {
+        let mut vals = Vec::with_capacity(n);
+        vals.resize_with(n, || std::sync::atomic::AtomicU64::new(Self::UNSET));
+        DkCache {
+            k,
+            vals,
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The rank this cache's thresholds were computed at.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        (self.hits.load(Relaxed), self.misses.load(Relaxed))
+    }
+
+    /// Returns `d_k(id)`, computing it with one forward kNN query on a
+    /// cache miss (`stats` absorbs the miss's index work). Ids beyond the
+    /// cache's pre-sized range (points inserted after cache construction)
+    /// are computed but not cached.
+    pub fn dk_or_compute<M, I>(&self, index: &I, id: PointId, stats: &mut SearchStats) -> f64
+    where
+        M: Metric,
+        I: KnnIndex<M> + ?Sized,
+    {
+        use std::sync::atomic::Ordering::Relaxed;
+        if let Some(slot) = self.vals.get(id) {
+            let bits = slot.load(Relaxed);
+            if bits != Self::UNSET {
+                self.hits.fetch_add(1, Relaxed);
+                return f64::from_bits(bits);
+            }
+        }
+        let nn = index.knn(index.point(id), self.k, Some(id), stats);
+        let dk = if nn.len() < self.k { f64::INFINITY } else { nn[self.k - 1].dist };
+        debug_assert!(dk.to_bits() != Self::UNSET);
+        if let Some(slot) = self.vals.get(id) {
+            slot.store(dk.to_bits(), Relaxed);
+        }
+        self.misses.fetch_add(1, Relaxed);
+        dk
+    }
+}
+
+/// Runs the filter–refinement query against caller-owned working memory.
+///
+/// `scratch` supplies the cursor buffer, the filter-set bookkeeping vector,
+/// and the candidate coordinate tile; all three are cleared on entry and
+/// keep their capacity afterwards, so a worker reuses one scratch for every
+/// query it executes. Results, terminations, and counters are identical to
+/// [`run_query_scheduled`] — reuse changes where buffers live, never what
+/// is computed.
+///
+/// The witness pass prunes its metric evaluations with
+/// [`Metric::dist_lt`]: a pair's distance accumulation is abandoned as soon
+/// as it provably exceeds every comparison radius still undecided for that
+/// pair (`d(q, v)` while `v` needs witnesses — the larger of the two radii,
+/// since the cursor yields `d(q, x) <= d(q, v)` — and `d(q, x)` once only
+/// `x`'s census is open). Abandonment affects neither `witness_pairs` nor
+/// `witness_dist_comps`: an abandoned evaluation still counts as one
+/// distance computation, it just touches fewer coordinates.
+pub fn run_query_with<M, I>(
+    index: &I,
+    q: &[f64],
+    exclude: Option<PointId>,
+    params: RdtParams,
+    variant: RdtVariant,
+    schedule: TSchedule,
+    scratch: &mut QueryScratch,
+) -> RknnAnswer
+where
+    M: Metric,
+    I: KnnIndex<M> + ?Sized,
+{
+    run_query_full(index, q, exclude, params, variant, schedule, scratch, None)
+}
+
+/// The fully parameterized engine entry point: caller-owned scratch plus an
+/// optional [`DkCache`] of verification thresholds.
+///
+/// With a cache, queries whose refinement phase re-verifies an
+/// already-known point skip the forward kNN query and reuse the exact
+/// threshold value, so their `verified` counter is unchanged but their
+/// index work shrinks. Without one (`None`), behavior and counters match
+/// [`run_query_with`] exactly.
+///
+/// # Panics
+///
+/// Panics if a supplied cache was built for a different rank than
+/// `params.k`.
+#[allow(clippy::too_many_arguments)] // the batch driver is the only caller with all knobs
+pub fn run_query_full<M, I>(
+    index: &I,
+    q: &[f64],
+    exclude: Option<PointId>,
+    params: RdtParams,
+    variant: RdtVariant,
+    schedule: TSchedule,
+    scratch: &mut QueryScratch,
+    dk_cache: Option<&DkCache>,
+) -> RknnAnswer
+where
+    M: Metric,
+    I: KnnIndex<M> + ?Sized,
+{
+    if let Some(cache) = dk_cache {
+        assert_eq!(cache.k(), params.k, "DkCache rank mismatch");
+    }
     let plus = variant == RdtVariant::Plus;
     let witnesses_enabled = variant != RdtVariant::NoWitness;
     let k = params.k;
@@ -129,7 +277,9 @@ where
     let mut cap = params.rank_cap(n);
 
     let mut omega = f64::INFINITY;
-    let mut filter: Vec<Candidate> = Vec::new();
+    let QueryScratch { cursor: cursor_scratch, filter, tile } = scratch;
+    filter.clear();
+    tile.reset(index.dim().max(1));
     let mut excluded = 0usize;
     let mut lazy_accepts = 0usize;
     let mut witness_pairs = 0u64;
@@ -137,7 +287,14 @@ where
     let mut s = 0usize;
     let mut termination = Termination::Exhausted;
 
-    let mut cursor = index.cursor(q, exclude);
+    // Under a fixed scale parameter the filter phase never drains past the
+    // rank cap, so the substrate may prune its stream to the cap-nearest
+    // (the adaptive schedule can raise the cap mid-query and needs the
+    // unbounded stream).
+    let mut cursor = match schedule {
+        TSchedule::Fixed => index.cursor_bounded(q, exclude, cap, cursor_scratch),
+        TSchedule::Adaptive { .. } => index.cursor_with(q, exclude, cursor_scratch),
+    };
     let mut inv_t = 1.0 / t;
     let kf = k as f64;
     // Online Hill state for TSchedule::Adaptive: with s observed distances
@@ -187,22 +344,32 @@ where
         // least one side is still undecided (`witness_dist_comps`) — the
         // decisions (and hence results and Figure 7 proportions) are
         // identical to the literal listing, at a fraction of the metric
-        // evaluations.
+        // evaluations. The filter members' coordinates stream out of the
+        // contiguous tile (row i ↔ filter[i]) rather than being re-fetched
+        // from the index per pair.
         let mut w_v = 0usize;
         if witnesses_enabled {
             witness_pairs += filter.len() as u64;
-            for x in filter.iter_mut() {
+            for (x, x_point) in filter.iter_mut().zip(tile.rows()) {
                 let x_active = !x.accepted && x.witnesses < k;
                 if !x_active && w_v >= k {
                     continue;
                 }
                 witness_dist_comps += 1;
-                let d_vx = metric.dist(v_point, index.point(x.id));
-                if x_active && d_vx < x.dist {
-                    x.witnesses += 1; // v is a witness of x.
-                }
-                if w_v < k && d_vx < v.dist {
-                    w_v += 1; // x is a witness of v.
+                // Early-abandonment bound: while v still needs witnesses
+                // the farther comparison radius is d(q,v) (the cursor
+                // yields x.dist <= v.dist), otherwise only x's census at
+                // radius x.dist is open. A distance at or beyond the bound
+                // decides every open comparison negatively, so `dist_lt`
+                // may abandon its accumulation there.
+                let bound = if w_v < k { v.dist } else { x.dist };
+                if let Some(d_vx) = metric.dist_lt(v_point, x_point, bound) {
+                    if x_active && d_vx < x.dist {
+                        x.witnesses += 1; // v is a witness of x.
+                    }
+                    if w_v < k && d_vx < v.dist {
+                        w_v += 1; // x is a witness of v.
+                    }
                 }
                 // Lazy accept (Assertion 2, line 16): the search has passed
                 // 2·d(q,x), so x's witness census is complete.
@@ -219,7 +386,13 @@ where
         if plus && w_v >= k {
             excluded += 1;
         } else {
-            filter.push(Candidate { id: v.id, dist: v.dist, witnesses: w_v, accepted: false });
+            filter.push(FilterCandidate {
+                id: v.id,
+                dist: v.dist,
+                witnesses: w_v,
+                accepted: false,
+            });
+            tile.push(v_point);
         }
         // Dimensional test update (Theorem 1, lines 21–23).
         if test_armed && s > k && v.dist > 0.0 {
@@ -254,7 +427,7 @@ where
     let mut verified = 0usize;
     let mut verified_accepted = 0usize;
     let mut verify_stats = SearchStats::new();
-    for cand in &filter {
+    for cand in filter.iter() {
         if cand.accepted {
             result.push(Neighbor::new(cand.id, cand.dist));
             continue;
@@ -264,8 +437,17 @@ where
             continue;
         }
         verified += 1;
-        let nn = index.knn(index.point(cand.id), k, Some(cand.id), &mut verify_stats);
-        let dk = if nn.len() < k { f64::INFINITY } else { nn[k - 1].dist };
+        let dk = match dk_cache {
+            Some(cache) => cache.dk_or_compute(index, cand.id, &mut verify_stats),
+            None => {
+                let nn = index.knn(index.point(cand.id), k, Some(cand.id), &mut verify_stats);
+                if nn.len() < k {
+                    f64::INFINITY
+                } else {
+                    nn[k - 1].dist
+                }
+            }
+        };
         if dk >= cand.dist {
             verified_accepted += 1;
             result.push(Neighbor::new(cand.id, cand.dist));

@@ -16,15 +16,41 @@
 //! * [`bichromatic`] — an extension answering bichromatic RkNN queries with
 //!   the same witness/dimensional-test machinery (the paper discusses the
 //!   bichromatic problem in §1; this is our implementation of it on top of
-//!   RDT's primitives).
+//!   RDT's primitives);
+//! * [`batch`] — the batch execution driver: all-points (or any query
+//!   list) RkNN jobs sharded across scoped worker threads, one reusable
+//!   [`rknn_core::QueryScratch`] per worker, deterministic statistics
+//!   merging.
 //!
 //! The algorithms work on *any* [`rknn_index::KnnIndex`]; substrate
 //! agreement is covered by the workspace integration tests.
+//!
+//! # Work counters under early abandonment
+//!
+//! The engine prunes witness-pass metric evaluations with
+//! [`rknn_core::Metric::dist_lt`], which may abandon a distance
+//! accumulation once a monotone partial sum proves the comparison bound
+//! unreachable. This changes **neither** of the two witness-cost counters:
+//!
+//! * [`RdtQueryStats::witness_pairs`] counts maintenance *pair updates* —
+//!   the paper's `(s choose 2)`-bounded cost model — and is independent of
+//!   how (or whether) a pair's distance is evaluated;
+//! * [`RdtQueryStats::witness_dist_comps`] counts distance *evaluations*,
+//!   and an early-abandoned evaluation still counts as one: abandonment
+//!   reduces the coordinates touched per evaluation, not the number of
+//!   evaluations. The counter only drops below `witness_pairs` through the
+//!   decided-pair shortcut (pairs whose both sides are already decided are
+//!   never evaluated at all).
+//!
+//! Result sets, terminations, and every counter are therefore identical
+//! between the early-abandoning fast path and a plain full-precision
+//! evaluation; only the per-coordinate work shrinks.
 
 #![warn(missing_docs)]
 
 pub mod adaptive;
 pub mod answer;
+pub mod batch;
 pub mod bichromatic;
 pub mod engine;
 pub mod params;
@@ -34,8 +60,9 @@ pub mod theory;
 
 pub use adaptive::RdtAdaptive;
 pub use answer::{RdtQueryStats, RknnAnswer, Termination};
+pub use batch::{BatchConfig, BatchOutcome, BatchStats};
 pub use bichromatic::BichromaticRdt;
-pub use engine::{RdtVariant, TSchedule};
+pub use engine::{DkCache, RdtVariant, TSchedule};
 pub use params::{RdtParams, ScalePolicy};
 pub use rdt::Rdt;
 pub use rdt_plus::RdtPlus;

@@ -52,9 +52,10 @@ pub mod prelude {
     pub use rknn_baselines::{MRkNNCoP, NaiveRknn, RdnnTree, Sft, Tpl};
     pub use rknn_core::{
         BruteForce, Dataset, DatasetBuilder, Euclidean, Manhattan, Metric, Neighbor, PointId,
-        SearchStats,
+        QueryScratch, SearchStats,
     };
     pub use rknn_index::{BallTree, CoverTree, KnnIndex, LinearScan, MTree, NnCursor, RTree, VpTree};
     pub use rknn_lid::{GedEstimator, HillEstimator, IdEstimator};
-    pub use rknn_rdt::{Rdt, RdtParams, RdtPlus, RknnAnswer};
+    pub use rknn_rdt::batch::{run_all_points, run_batch};
+    pub use rknn_rdt::{BatchConfig, BatchOutcome, Rdt, RdtParams, RdtPlus, RknnAnswer};
 }
