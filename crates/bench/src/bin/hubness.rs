@@ -1,5 +1,5 @@
 //! Hubness sweep: reverse-neighbor count skew vs dimensionality — the
-//! phenomenon behind the paper's hubness application of RkNN queries [46].
+//! phenomenon behind the paper's hubness application of RkNN queries \[46\].
 
 use rknn_bench::HarnessOpts;
 use rknn_eval::experiments::hubness::{rows_to_table, run_hubness, HubnessConfig};

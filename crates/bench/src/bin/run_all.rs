@@ -16,6 +16,7 @@ fn main() {
         "ablation_witness",
         "theory_check",
         "hubness",
+        "substrate_sweep",
     ];
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");

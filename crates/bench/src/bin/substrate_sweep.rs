@@ -1,0 +1,27 @@
+//! Runs the batch all-points RkNN workload on every forward substrate
+//! through the shared traversal core and reports per-substrate build and
+//! query costs (beyond the paper: its experiments use only the cover tree
+//! and the sequential scan, §7.1).
+
+use rknn_bench::HarnessOpts;
+use rknn_eval::experiments::substrates::{rows_to_table, run_substrate_sweep, SubstrateSweepConfig};
+
+fn main() {
+    let opts = HarnessOpts::from_env();
+    let cfg = SubstrateSweepConfig {
+        n: opts.scaled(2000),
+        seed: opts.seed,
+        ..SubstrateSweepConfig::default()
+    };
+    let rows = run_substrate_sweep(&cfg);
+    opts.emit("substrate_sweep", &rows_to_table(&rows));
+    assert!(
+        rows.iter().all(|r| r.matches_linear),
+        "every substrate must reproduce the linear-scan answers"
+    );
+    println!(
+        "paper shape: RDT is index-agnostic — identical answers from all six \
+         substrates; the work split (metric evals vs node expansions) is the \
+         substrate's signature"
+    );
+}

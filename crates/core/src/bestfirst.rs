@@ -6,7 +6,8 @@
 //! in exact nondecreasing distance order, because a node can only produce
 //! points at distance ≥ its key.
 
-use rknn_core::{Neighbor, OrderedF64, PointId};
+use crate::float::OrderedF64;
+use crate::neighbor::{Neighbor, PointId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -63,7 +64,7 @@ impl Ord for Entry {
 }
 
 /// A min-ordered queue of points and expandable nodes.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct BestFirst {
     heap: BinaryHeap<Entry>,
     pushes: u64,
@@ -73,6 +74,14 @@ impl BestFirst {
     /// An empty queue.
     pub fn new() -> Self {
         BestFirst::default()
+    }
+
+    /// Empties the queue and resets the push counter, keeping the heap's
+    /// allocation — the reset that lets a [`crate::scratch::TreeScratch`]
+    /// serve one traversal after another without reallocating.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.pushes = 0;
     }
 
     /// Queues a point with its exact distance.
@@ -110,7 +119,7 @@ impl BestFirst {
         self.heap.is_empty()
     }
 
-    /// Number of pushes performed (for [`rknn_core::SearchStats`]).
+    /// Number of pushes performed (for [`crate::SearchStats`]).
     pub fn pushes(&self) -> u64 {
         self.pushes
     }
@@ -140,6 +149,19 @@ mod tests {
         q.push_point(Neighbor::new(5, 1.0));
         assert!(matches!(q.pop(), Some(Popped::Point(_))));
         assert!(matches!(q.pop(), Some(Popped::Node { .. })));
+    }
+
+    #[test]
+    fn clear_resets_contents_and_counter() {
+        let mut q = BestFirst::new();
+        q.push_node(0, 1.0, 0.0);
+        q.push_point(Neighbor::new(1, 2.0));
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pushes(), 0);
+        q.push_point(Neighbor::new(2, 0.5));
+        assert_eq!(q.pop(), Some(Popped::Point(Neighbor::new(2, 0.5))));
+        assert_eq!(q.pushes(), 1);
     }
 
     #[test]

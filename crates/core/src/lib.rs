@@ -17,8 +17,11 @@
 //!   cost accounting;
 //! * [`QueryScratch`] and friends ([`scratch`]) — reusable per-worker
 //!   buffers (cursor storage, filter-set slots, a contiguous candidate
-//!   coordinate tile) that let batch drivers execute queries back to back
-//!   without per-query allocation.
+//!   coordinate tile, and the [`TreeScratch`] heaps of the tree-traversal
+//!   core) that let batch drivers execute queries back to back without
+//!   per-query allocation;
+//! * [`bestfirst`] — the best-first priority queue of points and
+//!   expandable nodes that incremental tree traversals are built on.
 //!
 //! # Conventions
 //!
@@ -30,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bestfirst;
 pub mod brute;
 pub mod dataset;
 pub mod error;
@@ -48,5 +52,5 @@ pub use float::OrderedF64;
 pub use heap::KnnHeap;
 pub use metric::{Chebyshev, Euclidean, FullPrecision, Manhattan, Metric, Minkowski};
 pub use neighbor::{Neighbor, PointId};
-pub use scratch::{CandidateTile, CursorScratch, FilterCandidate, QueryScratch};
+pub use scratch::{CandidateTile, CursorScratch, FilterCandidate, QueryScratch, TreeScratch};
 pub use stats::SearchStats;

@@ -46,6 +46,26 @@ pub trait Metric: Send + Sync + Debug {
         (d < bound).then_some(d)
     }
 
+    /// Threshold-pruned distance for *selection* against a possibly
+    /// unbounded threshold: like [`Metric::dist_lt`], except an infinite
+    /// `bound` admits every distance — including distances that overflow to
+    /// `+∞` on finite coordinates — instead of applying a strict comparison
+    /// no infinite value can win.
+    ///
+    /// Use this wherever "no threshold yet" is encoded as `bound = +∞` (kNN
+    /// heaps that are still filling, unbounded cursor streams): a
+    /// completeness contract must not silently drop overflowing points.
+    /// Keep [`Metric::dist_lt`] for genuine strict comparisons against
+    /// finite radii.
+    #[inline]
+    fn dist_under(&self, a: &[f64], b: &[f64], bound: f64) -> Option<f64> {
+        if bound == f64::INFINITY {
+            Some(self.dist(a, b))
+        } else {
+            self.dist_lt(a, b, bound)
+        }
+    }
+
     /// A human-readable name, used in experiment reports.
     fn name(&self) -> &'static str;
 
@@ -449,6 +469,34 @@ mod tests {
             );
             // Identical points are strictly below any positive bound.
             assert_eq!(m.dist_lt(&a, &a, 1e-300), Some(0.0), "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn dist_under_admits_overflowing_distances_at_infinite_bound() {
+        // Finite coordinates whose distance overflows to +∞: an infinite
+        // bound (= "no threshold yet") must admit them, while any finite
+        // bound keeps the strict dist_lt decision.
+        let a = vec![1e200; 4];
+        let b = vec![-1e200; 4];
+        for m in metrics() {
+            let d = m.dist(&a, &b);
+            if d.is_infinite() {
+                assert_eq!(m.dist_lt(&a, &b, f64::INFINITY), None, "{}", m.name());
+                assert_eq!(m.dist_under(&a, &b, f64::INFINITY), Some(d), "{}", m.name());
+            }
+            assert_eq!(m.dist_under(&a, &b, 1.0), None, "{}", m.name());
+            // Finite distances: dist_under coincides with dist_lt.
+            let c = vec![0.5; 4];
+            let z = vec![0.0; 4];
+            let dcz = m.dist(&c, &z);
+            assert_eq!(m.dist_under(&c, &z, f64::INFINITY), Some(dcz), "{}", m.name());
+            assert_eq!(
+                m.dist_under(&c, &z, dcz),
+                m.dist_lt(&c, &z, dcz),
+                "{}",
+                m.name()
+            );
         }
     }
 

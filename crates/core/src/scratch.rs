@@ -16,8 +16,10 @@
 //!   so the witness pass streams over contiguous cache-local memory instead
 //!   of chasing ids back into the index.
 
+use crate::bestfirst::BestFirst;
 use crate::neighbor::{MaxByDist, Neighbor};
 use crate::PointId;
+use std::collections::BinaryHeap;
 
 /// Caller-owned neighbor storage for an index cursor.
 ///
@@ -32,12 +34,46 @@ pub struct CursorScratch {
     /// Backing storage for bounded-selection heaps (see
     /// `rknn_index::KnnIndex::cursor_bounded`); reused across queries.
     pub heap: Vec<MaxByDist>,
+    /// Working memory for best-first tree traversals; reused across
+    /// queries by every tree substrate's generic cursor.
+    pub tree: TreeScratch,
 }
 
 impl CursorScratch {
     /// An empty scratch buffer.
     pub fn new() -> Self {
         CursorScratch::default()
+    }
+}
+
+/// Reusable working memory for one best-first tree traversal.
+///
+/// The generic tree cursor (`rknn_index::traversal::TreeCursor`) owns no
+/// containers of its own: the traversal queue and the bounded-mode emission
+/// frontier both live here, so a batch worker that opens thousands of
+/// cursors allocates the two heaps once and reuses their capacity for every
+/// query. Both are cleared (allocation kept) each time a cursor is opened
+/// on the scratch.
+#[derive(Debug, Clone, Default)]
+pub struct TreeScratch {
+    /// The best-first queue of points and expandable nodes.
+    pub queue: BestFirst,
+    /// Bounded-mode emission frontier: a max-heap of the `limit` smallest
+    /// `(distance, id)` keys pushed so far, whose top is the pruning
+    /// threshold. Empty and unused for unbounded cursors.
+    pub frontier: BinaryHeap<MaxByDist>,
+}
+
+impl TreeScratch {
+    /// Empty traversal scratch.
+    pub fn new() -> Self {
+        TreeScratch::default()
+    }
+
+    /// Clears both heaps, keeping their allocations.
+    pub fn reset(&mut self) {
+        self.queue.clear();
+        self.frontier.clear();
     }
 }
 

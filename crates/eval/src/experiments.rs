@@ -1,8 +1,10 @@
-//! The remaining paper experiments: Table 1 and Figures 7–9.
+//! The remaining paper experiments: Table 1 and Figures 7–9, plus the
+//! substrate sweep exercising the shared tree-traversal core.
 
 pub mod ablation;
 pub mod amortization;
 pub mod hubness;
 pub mod lazy;
 pub mod scalability;
+pub mod substrates;
 pub mod table1;

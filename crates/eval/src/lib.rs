@@ -13,7 +13,10 @@
 //! * [`experiments::scalability`] — Imagenet-like subset scaling
 //!   (Figure 8);
 //! * [`experiments::amortization`] — queries answerable within the
-//!   RdNN-Tree precomputation budget (Figure 9).
+//!   RdNN-Tree precomputation budget (Figure 9);
+//! * [`experiments::substrates`] — beyond the paper: the batch all-points
+//!   workload on all six forward substrates through the shared traversal
+//!   core, with per-substrate work accounting.
 //!
 //! Supporting modules: [`truth`] (exact ground truth via per-point kNN
 //! distance tables, parallelized with crossbeam), [`metrics`]

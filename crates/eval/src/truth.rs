@@ -111,8 +111,11 @@ impl GroundTruth {
                 if x == q {
                     continue;
                 }
+                // `dist_under`: when x has fewer than k other points its
+                // d_k is +∞ and every query — even at overflowing distance
+                // — trivially has x as a reverse neighbor.
                 let bound = table.dk[x][col].next_up();
-                if metric.dist_lt(index.point(x), qp, bound).is_some() {
+                if metric.dist_under(index.point(x), qp, bound).is_some() {
                     set.insert(x);
                 }
             }

@@ -6,9 +6,9 @@
 //! tighter balls than insertion-based construction. Included to broaden
 //! the substrate-agreement tests and as another drop-in backend for RDT.
 
-use crate::bestfirst::{BestFirst, Popped};
 use crate::traits::{KnnIndex, NnCursor};
-use rknn_core::{Dataset, Metric, Neighbor, PointId, SearchStats};
+use crate::traversal::{self, ExpandSink, TreeSubstrate};
+use rknn_core::{CursorScratch, Dataset, Metric, PointId};
 use std::sync::Arc;
 
 const LEAF_SIZE: usize = 16;
@@ -153,54 +153,43 @@ impl<M: Metric> BallTree<M> {
     }
 }
 
-struct BallCursor<'a, M: Metric> {
-    tree: &'a BallTree<M>,
-    q: &'a [f64],
-    exclude: Option<PointId>,
-    queue: BestFirst,
-    stats: SearchStats,
-}
+impl<M: Metric> TreeSubstrate<M> for BallTree<M> {
+    fn metric(&self) -> &M {
+        &self.metric
+    }
 
-impl<'a, M: Metric> NnCursor for BallCursor<'a, M> {
-    fn next(&mut self) -> Option<Neighbor> {
-        loop {
-            match self.queue.pop()? {
-                Popped::Point(n) => {
-                    if Some(n.id) == self.exclude {
-                        continue;
-                    }
-                    return Some(n);
-                }
-                Popped::Node { id, .. } => {
-                    self.stats.count_node();
-                    let node = &self.tree.nodes[id];
-                    match node.children {
-                        None => {
-                            for &p in &node.points {
-                                self.stats.count_dist();
-                                let d = self.tree.metric.dist(self.q, self.tree.ds.point(p));
-                                self.queue.push_point(Neighbor::new(p, d));
-                            }
-                        }
-                        Some((l, r)) => {
-                            for c in [l, r] {
-                                let child = &self.tree.nodes[c];
-                                self.stats.count_dist();
-                                let d =
-                                    self.tree.metric.dist(self.q, self.tree.ds.point(child.pivot));
-                                self.queue.push_node(c, (d - child.radius).max(0.0), d);
-                            }
-                        }
-                    }
-                }
+    fn coords(&self, id: PointId) -> &[f64] {
+        self.ds.point(id)
+    }
+
+    fn seed(&self, sink: &mut ExpandSink<'_, M, Self>) {
+        if let Some(root) = self.root {
+            let node = &self.nodes[root];
+            if let Some(d) = sink.pivot(node.pivot, node.radius) {
+                sink.child(root, (d - node.radius).max(0.0), d);
             }
         }
     }
 
-    fn stats(&self) -> SearchStats {
-        let mut s = self.stats;
-        s.heap_pushes = self.queue.pushes();
-        s
+    fn expand(&self, id: usize, _d_pivot: f64, sink: &mut ExpandSink<'_, M, Self>) {
+        // Pivots are leaf points too, so they are emitted via their leaf,
+        // never at expansion.
+        let node = &self.nodes[id];
+        match node.children {
+            None => {
+                for &p in &node.points {
+                    sink.point(p);
+                }
+            }
+            Some((l, r)) => {
+                for c in [l, r] {
+                    let child = &self.nodes[c];
+                    if let Some(d) = sink.pivot(child.pivot, child.radius) {
+                        sink.child(c, (d - child.radius).max(0.0), d);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -226,22 +215,33 @@ impl<M: Metric> KnnIndex<M> for BallTree<M> {
     }
 
     fn cursor<'a>(&'a self, q: &'a [f64], exclude: Option<PointId>) -> Box<dyn NnCursor + 'a> {
-        let mut queue = BestFirst::new();
-        let mut stats = SearchStats::new();
-        if let Some(root) = self.root {
-            stats.count_dist();
-            let node = &self.nodes[root];
-            let d = self.metric.dist(q, self.ds.point(node.pivot));
-            queue.push_node(root, (d - node.radius).max(0.0), d);
-        }
-        Box::new(BallCursor { tree: self, q, exclude, queue, stats })
+        traversal::tree_cursor(self, q, exclude)
+    }
+
+    fn cursor_with<'a>(
+        &'a self,
+        q: &'a [f64],
+        exclude: Option<PointId>,
+        scratch: &'a mut CursorScratch,
+    ) -> Box<dyn NnCursor + 'a> {
+        traversal::tree_cursor_with(self, q, exclude, scratch)
+    }
+
+    fn cursor_bounded<'a>(
+        &'a self,
+        q: &'a [f64],
+        exclude: Option<PointId>,
+        limit: usize,
+        scratch: &'a mut CursorScratch,
+    ) -> Box<dyn NnCursor + 'a> {
+        traversal::tree_cursor_bounded(self, q, exclude, limit, scratch)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rknn_core::{BruteForce, Chebyshev, Euclidean};
+    use rknn_core::{BruteForce, Chebyshev, Euclidean, SearchStats};
 
     fn random_dataset(n: usize, dim: usize, seed: u64) -> Arc<Dataset> {
         let mut state = seed;

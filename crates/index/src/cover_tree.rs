@@ -11,10 +11,10 @@
 //! Deletions are handled by tombstoning: removed points keep routing the
 //! search but are filtered from results.
 
-use crate::bestfirst::{BestFirst, Popped};
 use crate::pool::PointPool;
 use crate::traits::{DynamicIndex, KnnIndex, NnCursor};
-use rknn_core::{CoreError, Dataset, Metric, Neighbor, PointId, SearchStats};
+use crate::traversal::{self, ExpandSink, TreeSubstrate};
+use rknn_core::{CoreError, CursorScratch, Dataset, Metric, PointId};
 use std::sync::Arc;
 
 /// Configuration for [`CoverTree`].
@@ -183,44 +183,39 @@ impl<M: Metric> CoverTree<M> {
     }
 }
 
-struct CoverCursor<'a, M: Metric> {
-    tree: &'a CoverTree<M>,
-    q: &'a [f64],
-    exclude: Option<PointId>,
-    queue: BestFirst,
-    stats: SearchStats,
-}
+impl<M: Metric> TreeSubstrate<M> for CoverTree<M> {
+    fn metric(&self) -> &M {
+        &self.metric
+    }
 
-impl<'a, M: Metric> NnCursor for CoverCursor<'a, M> {
-    fn next(&mut self) -> Option<Neighbor> {
-        loop {
-            match self.queue.pop()? {
-                Popped::Point(n) => {
-                    self.stats.heap_pushes = self.queue.pushes();
-                    return Some(n);
-                }
-                Popped::Node { id, payload: d_pivot, .. } => {
-                    self.stats.count_node();
-                    let node = &self.tree.nodes[id];
-                    if self.tree.pool.is_alive(node.point) && Some(node.point) != self.exclude {
-                        self.queue.push_point(Neighbor::new(node.point, d_pivot));
-                    }
-                    for &c in &node.children {
-                        let child = &self.tree.nodes[c as usize];
-                        self.stats.count_dist();
-                        let d = self.tree.metric.dist(self.q, self.tree.pool.point(child.point));
-                        let lb = (d - child.max_dist).max(0.0);
-                        self.queue.push_node(c as usize, lb, d);
-                    }
-                }
+    fn coords(&self, id: PointId) -> &[f64] {
+        self.pool.point(id)
+    }
+
+    fn is_emittable(&self, id: PointId) -> bool {
+        self.pool.is_alive(id)
+    }
+
+    fn seed(&self, sink: &mut ExpandSink<'_, M, Self>) {
+        if let Some(root) = self.root {
+            let node = &self.nodes[root];
+            if let Some(d) = sink.pivot(node.point, node.max_dist) {
+                sink.child(root, (d - node.max_dist).max(0.0), d);
             }
         }
     }
 
-    fn stats(&self) -> SearchStats {
-        let mut s = self.stats;
-        s.heap_pushes = self.queue.pushes();
-        s
+    fn expand(&self, id: usize, d_pivot: f64, sink: &mut ExpandSink<'_, M, Self>) {
+        // Every node carries a point; its exact distance was evaluated when
+        // the node was queued by its parent (or the seed).
+        let node = &self.nodes[id];
+        sink.point_at(node.point, d_pivot);
+        for &c in &node.children {
+            let child = &self.nodes[c as usize];
+            if let Some(d) = sink.pivot(child.point, child.max_dist) {
+                sink.child(c as usize, (d - child.max_dist).max(0.0), d);
+            }
+        }
     }
 }
 
@@ -246,14 +241,26 @@ impl<M: Metric> KnnIndex<M> for CoverTree<M> {
     }
 
     fn cursor<'a>(&'a self, q: &'a [f64], exclude: Option<PointId>) -> Box<dyn NnCursor + 'a> {
-        let mut queue = BestFirst::new();
-        let mut stats = SearchStats::new();
-        if let Some(root) = self.root {
-            stats.count_dist();
-            let d = self.metric.dist(q, self.pool.point(self.nodes[root].point));
-            queue.push_node(root, (d - self.nodes[root].max_dist).max(0.0), d);
-        }
-        Box::new(CoverCursor { tree: self, q, exclude, queue, stats })
+        traversal::tree_cursor(self, q, exclude)
+    }
+
+    fn cursor_with<'a>(
+        &'a self,
+        q: &'a [f64],
+        exclude: Option<PointId>,
+        scratch: &'a mut CursorScratch,
+    ) -> Box<dyn NnCursor + 'a> {
+        traversal::tree_cursor_with(self, q, exclude, scratch)
+    }
+
+    fn cursor_bounded<'a>(
+        &'a self,
+        q: &'a [f64],
+        exclude: Option<PointId>,
+        limit: usize,
+        scratch: &'a mut CursorScratch,
+    ) -> Box<dyn NnCursor + 'a> {
+        traversal::tree_cursor_bounded(self, q, exclude, limit, scratch)
     }
 }
 
@@ -272,7 +279,7 @@ impl<M: Metric> DynamicIndex<M> for CoverTree<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rknn_core::{BruteForce, Euclidean};
+    use rknn_core::{BruteForce, Euclidean, SearchStats};
 
     fn random_dataset(n: usize, dim: usize, seed: u64) -> Arc<Dataset> {
         let mut state = seed;

@@ -20,18 +20,24 @@
 //!   an extra any-metric substrate for agreement tests.
 //!
 //! All cursors emit neighbors in exact nondecreasing distance order and
-//! count their work in [`rknn_core::SearchStats`].
+//! count their work in [`rknn_core::SearchStats`]. The five tree substrates
+//! share a single traversal engine ([`traversal::TreeCursor`] over
+//! [`traversal::TreeSubstrate`]): each tree describes only how a node
+//! expands into child lower bounds and candidate points, while the generic
+//! cursor owns the best-first loop, uniform statistics, scratch reuse
+//! ([`rknn_core::TreeScratch`]), and threshold-pruned distance evaluation
+//! for bounded streams.
 
 #![warn(missing_docs)]
 
 pub mod ball_tree;
-pub mod bestfirst;
 pub mod cover_tree;
 pub mod linear;
 pub mod mtree;
 pub mod pool;
 pub mod rtree;
 pub mod traits;
+pub mod traversal;
 pub mod vp_tree;
 
 pub use ball_tree::BallTree;
@@ -39,6 +45,10 @@ pub use cover_tree::CoverTree;
 pub use linear::LinearScan;
 pub use mtree::MTree;
 pub use pool::PointPool;
+// The best-first queue moved to `rknn_core` so scratch buffers can own it;
+// re-exported here for the historical path.
+pub use rknn_core::bestfirst;
 pub use rtree::{Mbr, RTree};
 pub use traits::{DynamicIndex, KnnIndex, NnCursor};
+pub use traversal::{TreeCursor, TreeSubstrate};
 pub use vp_tree::VpTree;

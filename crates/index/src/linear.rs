@@ -111,7 +111,10 @@ impl<M: Metric> LinearScan<M> {
             } else {
                 f64::INFINITY
             };
-            if let Some(d) = self.metric.dist_lt(q, p, threshold) {
+            // `dist_under`: while the heap is filling (threshold +∞) even a
+            // distance overflowing to +∞ must be admitted, or the bounded
+            // table loses entries the full sorted table would keep.
+            if let Some(d) = self.metric.dist_under(q, p, threshold) {
                 heap.push(MaxByDist(Neighbor::new(id, d)));
                 stats.count_push();
                 if heap.len() > limit {
@@ -202,8 +205,10 @@ impl<M: Metric> KnnIndex<M> for LinearScan<M> {
             // a candidate that cannot beat it would be rejected by `offer`,
             // so the distance accumulation may abandon as soon as the
             // threshold is provably unreachable. While the heap is filling
-            // the threshold is +∞ and the full distance is computed.
-            if let Some(d) = self.metric.dist_lt(q, p, heap.threshold()) {
+            // the threshold is +∞ and the full distance is computed —
+            // `dist_under` keeps distances that overflow to +∞ admissible
+            // there, since `offer` retains everything until full.
+            if let Some(d) = self.metric.dist_under(q, p, heap.threshold()) {
                 heap.offer(Neighbor::new(id, d));
             }
         }

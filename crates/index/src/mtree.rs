@@ -9,9 +9,9 @@
 //! hyperplane partitioning. Covering radii are maintained conservatively
 //! (upper bounds), which preserves exactness of every query.
 
-use crate::bestfirst::{BestFirst, Popped};
 use crate::traits::{KnnIndex, NnCursor};
-use rknn_core::{Dataset, Metric, Neighbor, PointId, SearchStats};
+use crate::traversal::{self, ExpandSink, TreeSubstrate};
+use rknn_core::{CursorScratch, Dataset, Metric, PointId};
 use std::sync::Arc;
 
 /// A routing or leaf entry.
@@ -233,44 +233,34 @@ impl<M: Metric> MTree<M> {
     }
 }
 
-struct MCursor<'a, M: Metric> {
-    tree: &'a MTree<M>,
-    q: &'a [f64],
-    exclude: Option<PointId>,
-    queue: BestFirst,
-    stats: SearchStats,
-}
+impl<M: Metric> TreeSubstrate<M> for MTree<M> {
+    fn metric(&self) -> &M {
+        &self.metric
+    }
 
-impl<'a, M: Metric> NnCursor for MCursor<'a, M> {
-    fn next(&mut self) -> Option<Neighbor> {
-        loop {
-            match self.queue.pop()? {
-                Popped::Point(n) => {
-                    if Some(n.id) == self.exclude {
-                        continue;
-                    }
-                    return Some(n);
-                }
-                Popped::Node { id, .. } => {
-                    self.stats.count_node();
-                    let node = &self.tree.nodes[id];
-                    for e in &node.entries {
-                        self.stats.count_dist();
-                        let d = self.tree.metric.dist(self.q, self.tree.ds.point(e.pivot));
-                        match e.child {
-                            None => self.queue.push_point(Neighbor::new(e.pivot, d)),
-                            Some(c) => self.queue.push_node(c, (d - e.radius).max(0.0), d),
-                        }
+    fn coords(&self, id: PointId) -> &[f64] {
+        self.ds.point(id)
+    }
+
+    fn seed(&self, sink: &mut ExpandSink<'_, M, Self>) {
+        if !self.ds.is_empty() {
+            sink.child(self.root, 0.0, f64::NAN);
+        }
+    }
+
+    fn expand(&self, id: usize, _d_pivot: f64, sink: &mut ExpandSink<'_, M, Self>) {
+        // Routing objects also appear as leaf entries, so only leaf entries
+        // are emitted as points.
+        for e in &self.nodes[id].entries {
+            match e.child {
+                None => sink.point(e.pivot),
+                Some(c) => {
+                    if let Some(d) = sink.pivot(e.pivot, e.radius) {
+                        sink.child(c, (d - e.radius).max(0.0), d);
                     }
                 }
             }
         }
-    }
-
-    fn stats(&self) -> SearchStats {
-        let mut s = self.stats;
-        s.heap_pushes = self.queue.pushes();
-        s
     }
 }
 
@@ -296,18 +286,33 @@ impl<M: Metric> KnnIndex<M> for MTree<M> {
     }
 
     fn cursor<'a>(&'a self, q: &'a [f64], exclude: Option<PointId>) -> Box<dyn NnCursor + 'a> {
-        let mut queue = BestFirst::new();
-        if !self.ds.is_empty() {
-            queue.push_node(self.root, 0.0, 0.0);
-        }
-        Box::new(MCursor { tree: self, q, exclude, queue, stats: SearchStats::new() })
+        traversal::tree_cursor(self, q, exclude)
+    }
+
+    fn cursor_with<'a>(
+        &'a self,
+        q: &'a [f64],
+        exclude: Option<PointId>,
+        scratch: &'a mut CursorScratch,
+    ) -> Box<dyn NnCursor + 'a> {
+        traversal::tree_cursor_with(self, q, exclude, scratch)
+    }
+
+    fn cursor_bounded<'a>(
+        &'a self,
+        q: &'a [f64],
+        exclude: Option<PointId>,
+        limit: usize,
+        scratch: &'a mut CursorScratch,
+    ) -> Box<dyn NnCursor + 'a> {
+        traversal::tree_cursor_bounded(self, q, exclude, limit, scratch)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rknn_core::{BruteForce, Euclidean, Manhattan};
+    use rknn_core::{BruteForce, Euclidean, Manhattan, SearchStats};
 
     fn random_dataset(n: usize, dim: usize, seed: u64) -> Arc<Dataset> {
         let mut state = seed;

@@ -17,10 +17,12 @@
 //! [`Metric::box_max_dist`]; building an R-tree with a metric that does not
 //! support them panics with a descriptive message.
 
-use crate::bestfirst::{BestFirst, Popped};
 use crate::pool::PointPool;
 use crate::traits::{DynamicIndex, KnnIndex, NnCursor};
-use rknn_core::{CoreError, Dataset, Metric, Neighbor, OrderedF64, PointId, SearchStats};
+use crate::traversal::{self, ExpandSink, TreeSubstrate};
+use rknn_core::{
+    CoreError, CursorScratch, Dataset, Metric, Neighbor, OrderedF64, PointId, SearchStats,
+};
 use std::sync::Arc;
 
 /// Minimum bounding rectangle.
@@ -565,53 +567,43 @@ impl<M: Metric> RTree<M> {
     }
 }
 
-struct RCursor<'a, M: Metric> {
-    tree: &'a RTree<M>,
-    q: &'a [f64],
-    exclude: Option<PointId>,
-    queue: BestFirst,
-    stats: SearchStats,
-}
+impl<M: Metric> TreeSubstrate<M> for RTree<M> {
+    fn metric(&self) -> &M {
+        &self.metric
+    }
 
-impl<'a, M: Metric> NnCursor for RCursor<'a, M> {
-    fn next(&mut self) -> Option<Neighbor> {
-        loop {
-            match self.queue.pop()? {
-                Popped::Point(n) => {
-                    if Some(n.id) == self.exclude {
-                        continue;
-                    }
-                    return Some(n);
-                }
-                Popped::Node { id, .. } => {
-                    self.stats.count_node();
-                    match &self.tree.nodes[id].kind {
-                        RNodeKind::Leaf(entries) => {
-                            for &p in entries {
-                                if !self.tree.alive(p) {
-                                    continue;
-                                }
-                                self.stats.count_dist();
-                                let d = self.tree.metric.dist(self.q, self.tree.pool.point(p));
-                                self.queue.push_point(Neighbor::new(p, d));
-                            }
-                        }
-                        RNodeKind::Inner(children) => {
-                            for &c in children {
-                                let lb = self.tree.min_dist(self.q, &self.tree.nodes[c].mbr);
-                                self.queue.push_node(c, lb, 0.0);
-                            }
-                        }
-                    }
-                }
-            }
+    fn coords(&self, id: PointId) -> &[f64] {
+        self.pool.point(id)
+    }
+
+    fn is_emittable(&self, id: PointId) -> bool {
+        self.pool.is_alive(id)
+    }
+
+    fn seed(&self, sink: &mut ExpandSink<'_, M, Self>) {
+        if self.pool.live() > 0 {
+            let lb = self.min_dist(sink.query(), &self.nodes[self.root].mbr);
+            sink.child(self.root, lb, f64::NAN);
         }
     }
 
-    fn stats(&self) -> SearchStats {
-        let mut s = self.stats;
-        s.heap_pushes = self.queue.pushes();
-        s
+    fn expand(&self, id: usize, _d_pivot: f64, sink: &mut ExpandSink<'_, M, Self>) {
+        // Box MINDIST bounds are geometric, not metric evaluations: they
+        // are computed here and not charged to `dist_computations`,
+        // matching the paper's cost model.
+        match &self.nodes[id].kind {
+            RNodeKind::Leaf(entries) => {
+                for &p in entries {
+                    sink.point(p);
+                }
+            }
+            RNodeKind::Inner(children) => {
+                for &c in children {
+                    let lb = self.min_dist(sink.query(), &self.nodes[c].mbr);
+                    sink.child(c, lb, f64::NAN);
+                }
+            }
+        }
     }
 }
 
@@ -637,12 +629,26 @@ impl<M: Metric> KnnIndex<M> for RTree<M> {
     }
 
     fn cursor<'a>(&'a self, q: &'a [f64], exclude: Option<PointId>) -> Box<dyn NnCursor + 'a> {
-        let mut queue = BestFirst::new();
-        if self.pool.live() > 0 {
-            let lb = self.min_dist(q, &self.nodes[self.root].mbr);
-            queue.push_node(self.root, lb, 0.0);
-        }
-        Box::new(RCursor { tree: self, q, exclude, queue, stats: SearchStats::new() })
+        traversal::tree_cursor(self, q, exclude)
+    }
+
+    fn cursor_with<'a>(
+        &'a self,
+        q: &'a [f64],
+        exclude: Option<PointId>,
+        scratch: &'a mut CursorScratch,
+    ) -> Box<dyn NnCursor + 'a> {
+        traversal::tree_cursor_with(self, q, exclude, scratch)
+    }
+
+    fn cursor_bounded<'a>(
+        &'a self,
+        q: &'a [f64],
+        exclude: Option<PointId>,
+        limit: usize,
+        scratch: &'a mut CursorScratch,
+    ) -> Box<dyn NnCursor + 'a> {
+        traversal::tree_cursor_bounded(self, q, exclude, limit, scratch)
     }
 
     fn range(

@@ -22,6 +22,31 @@ pub trait NnCursor {
 /// the incremental cursor; substrates override them where a direct traversal
 /// is cheaper. The `exclude` parameter implements the self-excluding
 /// convention of `DESIGN.md` §2 for queries located at dataset points.
+///
+/// # Choosing a cursor entry point
+///
+/// Three entry points open the same exact stream; they differ in where the
+/// working memory lives and how much the substrate may prune:
+///
+/// * [`KnnIndex::cursor`] — self-owned buffers, allocated per call. Use for
+///   one-off queries and exploratory code; nothing to thread through.
+/// * [`KnnIndex::cursor_with`] — fills a caller-owned [`CursorScratch`]
+///   instead of allocating. Use whenever one worker issues many queries
+///   (batch drivers, verification loops): buffer capacity is amortized
+///   across all of them. Stream and distances are bit-identical to
+///   [`KnnIndex::cursor`].
+/// * [`KnnIndex::cursor_bounded`] — additionally promises the substrate the
+///   caller drains at most `limit` entries, unlocking threshold pruning
+///   (bounded selection heaps on the sequential scan, emission-frontier
+///   pruning in the shared tree traversal core). Use whenever a drain bound
+///   is known up front — RDT's filter phase under a fixed scale parameter,
+///   or a plain k-nearest drain. The first `limit` entries are identical to
+///   the unbounded stream; entries past the bound may be missing.
+///
+/// All five tree substrates route the three entry points through the
+/// generic [`crate::traversal::TreeCursor`], so their statistics are
+/// counted uniformly and their scratch reuse comes from the same
+/// [`rknn_core::TreeScratch`].
 pub trait KnnIndex<M: Metric>: Send + Sync {
     /// Number of live points in the index.
     fn num_points(&self) -> usize;

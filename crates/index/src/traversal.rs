@@ -1,0 +1,446 @@
+//! The generic best-first traversal core shared by every tree substrate.
+//!
+//! The five tree indexes of this crate (cover tree, VP-tree, ball tree,
+//! M-tree, R-tree) all answer incremental NN queries the same way: pop the
+//! entry with the smallest key from a [`rknn_core::bestfirst::BestFirst`]
+//! queue, emit it if it is
+//! a point, expand it into child lower bounds and candidate points if it is
+//! a node. Only the *expansion step* differs between them. This module
+//! factors the shared loop into one [`TreeCursor`] driven by a per-substrate
+//! [`TreeSubstrate`] implementation, so that
+//!
+//! * every metric evaluation, node visit and heap push is counted in one
+//!   place ([`SearchStats`] accounting is uniform by construction);
+//! * the traversal queue and the bounded-mode frontier live in a caller-owned
+//!   [`TreeScratch`] ([`rknn_core::CursorScratch`]`::tree`), so batch drivers
+//!   amortize both heaps across queries on **any** substrate;
+//! * bounded cursors ([`crate::KnnIndex::cursor_bounded`]) prune on every
+//!   substrate: candidate distances are evaluated through
+//!   [`Metric::dist_lt`] against the current *emission frontier* — the
+//!   max-heap of the `limit` smallest `(distance, id)` keys queued so far —
+//!   and subtrees whose lower bound exceeds the frontier threshold are
+//!   dropped without being pushed;
+//! * every future hot-path optimization of the loop benefits all substrates
+//!   at once.
+//!
+//! # Bounded-mode soundness
+//!
+//! With a drain bound of `limit`, the frontier holds the `limit` smallest
+//! `(distance, id)` keys among all points pushed so far (emitted or still
+//! queued). Once full, its maximum `τ` is a certificate: at least `limit`
+//! points with key `≤ τ` are already guaranteed to be emitted before any
+//! entry whose key exceeds `τ`, because queued points are never removed and
+//! the queue pops in key order. A candidate point with key `> τ`, or a
+//! subtree whose distance lower bound is `> τ.dist`, therefore cannot
+//! contribute to the first `limit` emissions and may be discarded. `τ` only
+//! tightens over time, so a discard can never be invalidated later; the
+//! first `limit` emissions are *identical* to the unbounded stream's prefix
+//! (pruning removes only entries the unbounded traversal would pop after
+//! `limit` points have already been emitted).
+//!
+//! Distance evaluations against the frontier go through
+//! [`Metric::dist_lt`] with bound `τ.dist.next_up()` (candidate points) or
+//! `(τ.dist + reach).next_up()` (pivots whose children subtract up to
+//! `reach` from the distance), so an accumulation abandons as soon as the
+//! point — and every subtree bound derived from it — is provably beyond the
+//! frontier. A completed evaluation carries the identical floating-point
+//! value `dist` would produce, so emitted streams are bit-identical across
+//! the bounded, scratch and boxed entry points.
+
+use crate::traits::NnCursor;
+use rknn_core::bestfirst::Popped;
+use rknn_core::neighbor::MaxByDist;
+use rknn_core::{CursorScratch, Metric, Neighbor, PointId, SearchStats, TreeScratch};
+use std::borrow::BorrowMut;
+use std::cmp::Ordering;
+use std::marker::PhantomData;
+
+/// A hierarchical index expressed as nodes that expand into candidate
+/// points and covered child subtrees.
+///
+/// Implementations describe *structure only*: which points and subtrees a
+/// node contains and how tight their covering bounds are. All metric
+/// evaluations, threshold pruning, statistics, and queue management happen
+/// inside the [`ExpandSink`] the generic [`TreeCursor`] passes in, so a
+/// substrate cannot get the accounting or the stream contract wrong.
+pub trait TreeSubstrate<M: Metric>: Send + Sync + Sized {
+    /// The metric the index was built with.
+    fn metric(&self) -> &M;
+
+    /// Coordinates of a (live or tombstoned) point id.
+    fn coords(&self, id: PointId) -> &[f64];
+
+    /// Whether a point may be emitted (`false` for tombstoned points that
+    /// still route the search).
+    fn is_emittable(&self, _id: PointId) -> bool {
+        true
+    }
+
+    /// Seeds the traversal by pushing the root subtree (if any) into the
+    /// sink, exactly as [`TreeSubstrate::expand`] pushes children.
+    fn seed(&self, sink: &mut ExpandSink<'_, M, Self>);
+
+    /// Expands node `id` into the sink. `d_pivot` is the payload the node
+    /// was queued with — the exact query–pivot distance for subtrees pushed
+    /// via [`ExpandSink::pivot`] + [`ExpandSink::child`], or NaN for
+    /// subtrees queued with a geometric bound only.
+    fn expand(&self, id: usize, d_pivot: f64, sink: &mut ExpandSink<'_, M, Self>);
+}
+
+/// The receiving side of a node expansion: evaluates, prunes, counts, and
+/// queues whatever the substrate describes.
+pub struct ExpandSink<'c, M: Metric, S: TreeSubstrate<M>> {
+    tree: &'c S,
+    q: &'c [f64],
+    exclude: Option<PointId>,
+    /// `None` = unbounded stream; `Some(l)` = the caller drains at most `l`.
+    limit: Option<usize>,
+    scratch: &'c mut TreeScratch,
+    stats: &'c mut SearchStats,
+    _metric: PhantomData<M>,
+}
+
+impl<'c, M: Metric, S: TreeSubstrate<M>> ExpandSink<'c, M, S> {
+    /// The query coordinates (for substrates computing their own geometric
+    /// bounds, e.g. R-tree box MINDIST).
+    pub fn query(&self) -> &[f64] {
+        self.q
+    }
+
+    /// The current frontier threshold: the largest of the `limit` smallest
+    /// point keys queued so far, once `limit` points exist. `None` while
+    /// unbounded or not yet full (no pruning possible).
+    fn tau(&self) -> Option<Neighbor> {
+        let l = self.limit?;
+        if self.scratch.frontier.len() >= l {
+            self.scratch.frontier.peek().map(|m| m.0)
+        } else {
+            None
+        }
+    }
+
+    /// Queues a candidate point, evaluating its distance with
+    /// [`Metric::dist_lt`] against the frontier. Excluded and tombstoned
+    /// points are skipped before any evaluation (and are not counted).
+    pub fn point(&mut self, id: PointId) {
+        if Some(id) == self.exclude || !self.tree.is_emittable(id) {
+            return;
+        }
+        self.stats.count_dist();
+        let bound = match self.tau() {
+            Some(t) => t.dist.next_up(),
+            None => f64::INFINITY,
+        };
+        // `dist_under`, not `dist_lt`: an unbounded stream (or a frontier
+        // saturated at +∞) must still admit distances that overflow to +∞,
+        // or the completeness contract breaks on extreme coordinates.
+        if let Some(d) = self.tree.metric().dist_under(self.q, self.tree.coords(id), bound) {
+            self.push_point(Neighbor::new(id, d));
+        }
+    }
+
+    /// Queues a candidate point whose exact distance is already known
+    /// (typically a pivot evaluated earlier via [`ExpandSink::pivot`]); no
+    /// distance computation is charged.
+    pub fn point_at(&mut self, id: PointId, d: f64) {
+        if Some(id) == self.exclude || !self.tree.is_emittable(id) {
+            return;
+        }
+        self.push_point(Neighbor::new(id, d));
+    }
+
+    fn push_point(&mut self, n: Neighbor) {
+        if let Some(t) = self.tau() {
+            // Strict (dist, id) comparison: a key at or beyond the frontier
+            // threshold cannot be among the first `limit` emissions.
+            if n.cmp_by_dist(&t) != Ordering::Less {
+                return;
+            }
+        }
+        self.scratch.queue.push_point(n);
+        self.stats.count_push();
+        if let Some(l) = self.limit {
+            self.scratch.frontier.push(MaxByDist(n));
+            self.stats.count_push();
+            if self.scratch.frontier.len() > l {
+                self.scratch.frontier.pop();
+            }
+        }
+    }
+
+    /// Evaluates the exact query–pivot distance `d(q, pivot)`, counted as
+    /// one distance computation, abandoning (and returning `None`) only
+    /// when `d > τ.dist + reach` — i.e. when the pivot itself *and* every
+    /// child bound of the form `d − outer` with `outer ≤ reach` are provably
+    /// beyond the frontier. `reach` must be at least the largest covering
+    /// radius the caller will subtract from the returned distance.
+    pub fn pivot(&mut self, pivot: PointId, reach: f64) -> Option<f64> {
+        self.stats.count_dist();
+        let bound = match self.tau() {
+            Some(t) => (t.dist + reach).next_up(),
+            None => f64::INFINITY,
+        };
+        self.tree.metric().dist_under(self.q, self.tree.coords(pivot), bound)
+    }
+
+    /// Queues a child subtree with distance lower bound `lower` and payload
+    /// `d_pivot` (handed back verbatim to [`TreeSubstrate::expand`]).
+    /// Subtrees provably beyond the frontier are dropped.
+    pub fn child(&mut self, node: usize, lower: f64, d_pivot: f64) {
+        if let Some(t) = self.tau() {
+            if lower > t.dist {
+                return;
+            }
+        }
+        self.scratch.queue.push_node(node, lower, d_pivot);
+        self.stats.count_push();
+    }
+}
+
+/// The generic incremental NN cursor over any [`TreeSubstrate`].
+///
+/// Generic over scratch ownership: the boxed [`crate::KnnIndex::cursor`]
+/// path owns a fresh [`TreeScratch`], while the
+/// [`crate::KnnIndex::cursor_with`] / `cursor_bounded` paths borrow the
+/// caller's, so batch drivers reuse the heap allocations across queries.
+pub struct TreeCursor<'a, M: Metric, S: TreeSubstrate<M>, T: BorrowMut<TreeScratch>> {
+    tree: &'a S,
+    q: &'a [f64],
+    exclude: Option<PointId>,
+    limit: Option<usize>,
+    scratch: T,
+    stats: SearchStats,
+    _metric: PhantomData<M>,
+}
+
+impl<'a, M: Metric, S: TreeSubstrate<M>, T: BorrowMut<TreeScratch>> TreeCursor<'a, M, S, T> {
+    /// Opens a cursor over `tree` from `q`, resetting (but not
+    /// reallocating) `scratch` and seeding the traversal. `limit` of
+    /// `Some(l)` promises the caller drains at most `l` entries and enables
+    /// frontier pruning.
+    pub fn new(
+        tree: &'a S,
+        q: &'a [f64],
+        exclude: Option<PointId>,
+        limit: Option<usize>,
+        mut scratch: T,
+    ) -> Self {
+        scratch.borrow_mut().reset();
+        let mut cursor = TreeCursor {
+            tree,
+            q,
+            exclude,
+            limit,
+            scratch,
+            stats: SearchStats::new(),
+            _metric: PhantomData,
+        };
+        // A zero bound means nothing may be drained: leave the queue empty.
+        if limit != Some(0) {
+            let mut sink = ExpandSink {
+                tree: cursor.tree,
+                q: cursor.q,
+                exclude: cursor.exclude,
+                limit: cursor.limit,
+                scratch: cursor.scratch.borrow_mut(),
+                stats: &mut cursor.stats,
+                _metric: PhantomData,
+            };
+            tree.seed(&mut sink);
+        }
+        cursor
+    }
+}
+
+impl<'a, M: Metric, S: TreeSubstrate<M>, T: BorrowMut<TreeScratch>> NnCursor
+    for TreeCursor<'a, M, S, T>
+{
+    fn next(&mut self) -> Option<Neighbor> {
+        loop {
+            match self.scratch.borrow_mut().queue.pop()? {
+                Popped::Point(n) => return Some(n),
+                Popped::Node { id, payload, .. } => {
+                    self.stats.count_node();
+                    let mut sink = ExpandSink {
+                        tree: self.tree,
+                        q: self.q,
+                        exclude: self.exclude,
+                        limit: self.limit,
+                        scratch: self.scratch.borrow_mut(),
+                        stats: &mut self.stats,
+                        _metric: PhantomData,
+                    };
+                    self.tree.expand(id, payload, &mut sink);
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> SearchStats {
+        self.stats
+    }
+}
+
+/// Boxed unbounded cursor with self-owned scratch — the
+/// [`crate::KnnIndex::cursor`] implementation for tree substrates.
+pub fn tree_cursor<'a, M, S>(
+    tree: &'a S,
+    q: &'a [f64],
+    exclude: Option<PointId>,
+) -> Box<dyn NnCursor + 'a>
+where
+    M: Metric + 'a,
+    S: TreeSubstrate<M>,
+{
+    Box::new(TreeCursor::new(tree, q, exclude, None, TreeScratch::new()))
+}
+
+/// Unbounded cursor over caller-owned scratch — the
+/// [`crate::KnnIndex::cursor_with`] implementation for tree substrates.
+pub fn tree_cursor_with<'a, M, S>(
+    tree: &'a S,
+    q: &'a [f64],
+    exclude: Option<PointId>,
+    scratch: &'a mut CursorScratch,
+) -> Box<dyn NnCursor + 'a>
+where
+    M: Metric + 'a,
+    S: TreeSubstrate<M>,
+{
+    Box::new(TreeCursor::new(tree, q, exclude, None, &mut scratch.tree))
+}
+
+/// Frontier-pruned cursor over caller-owned scratch — the
+/// [`crate::KnnIndex::cursor_bounded`] implementation for tree substrates.
+pub fn tree_cursor_bounded<'a, M, S>(
+    tree: &'a S,
+    q: &'a [f64],
+    exclude: Option<PointId>,
+    limit: usize,
+    scratch: &'a mut CursorScratch,
+) -> Box<dyn NnCursor + 'a>
+where
+    M: Metric + 'a,
+    S: TreeSubstrate<M>,
+{
+    Box::new(TreeCursor::new(tree, q, exclude, Some(limit), &mut scratch.tree))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{BallTree, CoverTree, KnnIndex, MTree, RTree, VpTree};
+    use rknn_core::{CursorScratch, Dataset, Euclidean, Neighbor, PointId};
+    use std::sync::Arc;
+
+    /// A tie-heavy dataset: coordinates on a coarse half-integer grid.
+    fn grid(n: usize, dim: usize) -> Arc<Dataset> {
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|i| (0..dim).map(|j| ((i * 7 + j * 3) % 9) as f64 * 0.5).collect()).collect();
+        Dataset::from_rows(&rows).unwrap().into_shared()
+    }
+
+    fn drain(mut cur: Box<dyn crate::NnCursor + '_>, cap: usize) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        while out.len() < cap {
+            match cur.next() {
+                Some(n) => out.push(n),
+                None => break,
+            }
+        }
+        out
+    }
+
+    fn substrates(ds: &Arc<Dataset>) -> Vec<Box<dyn KnnIndex<Euclidean>>> {
+        vec![
+            Box::new(CoverTree::build(ds.clone(), Euclidean)),
+            Box::new(VpTree::build(ds.clone(), Euclidean)),
+            Box::new(BallTree::build(ds.clone(), Euclidean)),
+            Box::new(MTree::build(ds.clone(), Euclidean)),
+            Box::new(RTree::build(ds.clone(), Euclidean)),
+        ]
+    }
+
+    #[test]
+    fn bounded_stream_is_the_unbounded_prefix() {
+        let ds = grid(120, 2);
+        let q = ds.point(11).to_vec();
+        let mut scratch = CursorScratch::new();
+        for idx in substrates(&ds) {
+            let full = drain(idx.cursor(&q, Some(11)), usize::MAX);
+            assert_eq!(full.len(), 119, "{}", idx.name());
+            for limit in [0usize, 1, 5, 40, 119, 500] {
+                let bounded = drain(idx.cursor_bounded(&q, Some(11), limit, &mut scratch), limit);
+                assert_eq!(bounded.len(), limit.min(119), "{} limit={limit}", idx.name());
+                for (i, (b, f)) in bounded.iter().zip(&full).enumerate() {
+                    assert_eq!(b.id, f.id, "{} limit={limit} step={i}", idx.name());
+                    assert_eq!(
+                        b.dist.to_bits(),
+                        f.dist.to_bits(),
+                        "{} limit={limit} step={i}",
+                        idx.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_cursor_matches_boxed_and_reuses_buffers() {
+        let ds = grid(90, 3);
+        let mut scratch = CursorScratch::new();
+        for idx in substrates(&ds) {
+            // Same scratch back to back across queries and substrates.
+            for q_id in [0usize, 17, 89] {
+                let q = ds.point(q_id).to_vec();
+                let boxed = drain(idx.cursor(&q, Some(q_id)), usize::MAX);
+                let scratched = drain(idx.cursor_with(&q, Some(q_id), &mut scratch), usize::MAX);
+                assert_eq!(boxed.len(), scratched.len(), "{}", idx.name());
+                for (b, s) in boxed.iter().zip(&scratched) {
+                    assert_eq!(b.id, s.id, "{}", idx.name());
+                    assert_eq!(b.dist.to_bits(), s.dist.to_bits(), "{}", idx.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_pruning_discards_hopeless_entries() {
+        // Draining a bounded cursor *past* its limit exposes the pruning:
+        // entries provably outside the first `limit` emissions were never
+        // queued, so the stream runs dry long before n — while its first
+        // `limit` entries are exactly the unbounded prefix (checked in
+        // `bounded_stream_is_the_unbounded_prefix`).
+        let ds = grid(400, 4);
+        let q = ds.point(0).to_vec();
+        let mut scratch = CursorScratch::new();
+        for idx in substrates(&ds) {
+            let over_drained = drain(idx.cursor_bounded(&q, Some(0), 10, &mut scratch), usize::MAX);
+            assert!(over_drained.len() >= 10, "{}", idx.name());
+            assert!(
+                over_drained.len() < 399,
+                "{}: pruning should discard most of this tie-heavy set, kept {}",
+                idx.name(),
+                over_drained.len()
+            );
+        }
+    }
+
+    #[test]
+    fn exclusion_is_uniform_across_entry_points() {
+        let ds = grid(60, 2);
+        let q = ds.point(7).to_vec();
+        let mut scratch = CursorScratch::new();
+        for idx in substrates(&ds) {
+            for drained in [
+                drain(idx.cursor(&q, Some(7)), usize::MAX),
+                drain(idx.cursor_with(&q, Some(7), &mut scratch), usize::MAX),
+                drain(idx.cursor_bounded(&q, Some(7), 60, &mut scratch), 60),
+            ] {
+                assert_eq!(drained.len(), 59, "{}", idx.name());
+                assert!(drained.iter().all(|n| n.id != 7), "{}", idx.name());
+                let mut seen = std::collections::HashSet::<PointId>::new();
+                assert!(drained.iter().all(|n| seen.insert(n.id)), "{}", idx.name());
+            }
+        }
+    }
+}

@@ -5,9 +5,9 @@
 //! *any* index supporting incremental forward NN queries (§4), and as an
 //! independent witness in substrate-agreement tests.
 
-use crate::bestfirst::{BestFirst, Popped};
 use crate::traits::{KnnIndex, NnCursor};
-use rknn_core::{Dataset, Metric, Neighbor, OrderedF64, PointId, SearchStats};
+use crate::traversal::{self, ExpandSink, TreeSubstrate};
+use rknn_core::{CursorScratch, Dataset, Metric, OrderedF64, PointId};
 use std::sync::Arc;
 
 const LEAF_SIZE: usize = 12;
@@ -82,54 +82,42 @@ impl<M: Metric> VpTree<M> {
     }
 }
 
-struct VpCursor<'a, M: Metric> {
-    tree: &'a VpTree<M>,
-    q: &'a [f64],
-    exclude: Option<PointId>,
-    queue: BestFirst,
-    stats: SearchStats,
-}
+impl<M: Metric> TreeSubstrate<M> for VpTree<M> {
+    fn metric(&self) -> &M {
+        &self.metric
+    }
 
-impl<'a, M: Metric> NnCursor for VpCursor<'a, M> {
-    fn next(&mut self) -> Option<Neighbor> {
-        loop {
-            match self.queue.pop()? {
-                Popped::Point(n) => {
-                    if Some(n.id) == self.exclude {
-                        continue;
-                    }
-                    return Some(n);
+    fn coords(&self, id: PointId) -> &[f64] {
+        self.ds.point(id)
+    }
+
+    fn seed(&self, sink: &mut ExpandSink<'_, M, Self>) {
+        if let Some(root) = self.root {
+            sink.child(root, 0.0, f64::NAN);
+        }
+    }
+
+    fn expand(&self, id: usize, _d_pivot: f64, sink: &mut ExpandSink<'_, M, Self>) {
+        match &self.nodes[id] {
+            VpNode::Leaf(pts) => {
+                for &p in pts {
+                    sink.point(p);
                 }
-                Popped::Node { id, .. } => {
-                    self.stats.count_node();
-                    match &self.tree.nodes[id] {
-                        VpNode::Leaf(pts) => {
-                            for &p in pts {
-                                self.stats.count_dist();
-                                let d = self.tree.metric.dist(self.q, self.tree.ds.point(p));
-                                self.queue.push_point(Neighbor::new(p, d));
-                            }
-                        }
-                        VpNode::Inner { vp, near, far } => {
-                            self.stats.count_dist();
-                            let d = self.tree.metric.dist(self.q, self.tree.ds.point(*vp));
-                            self.queue.push_point(Neighbor::new(*vp, d));
-                            for child in [near, far].into_iter().flatten() {
-                                let (node, lo, hi) = *child;
-                                let lb = (d - hi).max(lo - d).max(0.0);
-                                self.queue.push_node(node, lb, d);
-                            }
-                        }
+            }
+            VpNode::Inner { vp, near, far } => {
+                // One evaluation serves the vantage point's own emission and
+                // both children's annulus bounds, so the abandonment slack
+                // is the larger of the two outer radii.
+                let reach = [near, far].into_iter().flatten().fold(0.0f64, |r, c| r.max(c.2));
+                if let Some(d) = sink.pivot(*vp, reach) {
+                    sink.point_at(*vp, d);
+                    for child in [near, far].into_iter().flatten() {
+                        let (node, lo, hi) = *child;
+                        sink.child(node, (d - hi).max(lo - d).max(0.0), d);
                     }
                 }
             }
         }
-    }
-
-    fn stats(&self) -> SearchStats {
-        let mut s = self.stats;
-        s.heap_pushes = self.queue.pushes();
-        s
     }
 }
 
@@ -155,18 +143,33 @@ impl<M: Metric> KnnIndex<M> for VpTree<M> {
     }
 
     fn cursor<'a>(&'a self, q: &'a [f64], exclude: Option<PointId>) -> Box<dyn NnCursor + 'a> {
-        let mut queue = BestFirst::new();
-        if let Some(root) = self.root {
-            queue.push_node(root, 0.0, 0.0);
-        }
-        Box::new(VpCursor { tree: self, q, exclude, queue, stats: SearchStats::new() })
+        traversal::tree_cursor(self, q, exclude)
+    }
+
+    fn cursor_with<'a>(
+        &'a self,
+        q: &'a [f64],
+        exclude: Option<PointId>,
+        scratch: &'a mut CursorScratch,
+    ) -> Box<dyn NnCursor + 'a> {
+        traversal::tree_cursor_with(self, q, exclude, scratch)
+    }
+
+    fn cursor_bounded<'a>(
+        &'a self,
+        q: &'a [f64],
+        exclude: Option<PointId>,
+        limit: usize,
+        scratch: &'a mut CursorScratch,
+    ) -> Box<dyn NnCursor + 'a> {
+        traversal::tree_cursor_bounded(self, q, exclude, limit, scratch)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rknn_core::{BruteForce, Euclidean, Manhattan};
+    use rknn_core::{BruteForce, Euclidean, Manhattan, SearchStats};
 
     fn random_dataset(n: usize, dim: usize, seed: u64) -> Arc<Dataset> {
         let mut state = seed;

@@ -15,7 +15,7 @@
 //!   in query order, so the outcome (including every aggregate counter) is
 //!   deterministic and independent of worker count and scheduling.
 //!
-//! Every query runs through [`run_query_with`], which also prunes
+//! Every query runs through [`crate::engine::run_query_with`], which also prunes
 //! witness-pass metric evaluations via [`rknn_core::Metric::dist_lt`]; see
 //! the crate docs for what early abandonment does (and does not) change in
 //! the work counters.
@@ -167,9 +167,12 @@ pub struct BatchOutcome {
 /// scoped worker threads with one [`QueryScratch`] per worker.
 ///
 /// Each query is located at its point and self-excluding, matching the
-/// paper's experimental protocol. Answers and aggregate statistics are
+/// paper's experimental protocol. Answers and terminations are
 /// byte-identical to running [`crate::engine::run_query_scheduled`] over
-/// the same ids sequentially.
+/// the same ids sequentially; the per-query and aggregate *work counters*
+/// match too only with [`BatchConfig::reuse_dk`] disabled (under the
+/// default shared [`DkCache`], cache-hitting queries do less index work,
+/// scheduling-dependently — see [`BatchConfig::reuse_dk`]).
 pub fn run_batch<M, I>(
     index: &I,
     queries: &[PointId],

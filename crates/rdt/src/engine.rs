@@ -29,8 +29,46 @@
 
 use crate::answer::{RdtQueryStats, RknnAnswer, Termination};
 use crate::params::RdtParams;
-use rknn_core::{FilterCandidate, Metric, Neighbor, PointId, QueryScratch, SearchStats};
+use rknn_core::{CursorScratch, FilterCandidate, Metric, Neighbor, PointId, QueryScratch, SearchStats};
 use rknn_index::KnnIndex;
+
+/// The verification threshold `d_k(v)`: the distance from `v` to its k-th
+/// nearest other point, `+∞` when fewer than `k` exist.
+///
+/// Runs through [`KnnIndex::cursor_bounded`] with the caller's scratch, so
+/// every substrate — tree or scan — answers the forward query
+/// allocation-amortized and threshold-pruned instead of through the boxed
+/// default `knn` path.
+fn dk_via_cursor<M, I>(
+    index: &I,
+    id: PointId,
+    k: usize,
+    scratch: &mut CursorScratch,
+    stats: &mut SearchStats,
+) -> f64
+where
+    M: Metric,
+    I: KnnIndex<M> + ?Sized,
+{
+    let mut cursor = index.cursor_bounded(index.point(id), Some(id), k, scratch);
+    let mut dk = f64::INFINITY;
+    let mut got = 0usize;
+    while got < k {
+        match cursor.next() {
+            Some(n) => {
+                dk = n.dist;
+                got += 1;
+            }
+            None => break,
+        }
+    }
+    stats.absorb(&cursor.stats());
+    if got < k {
+        f64::INFINITY
+    } else {
+        dk
+    }
+}
 
 /// Which flavor of the engine to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -176,11 +214,17 @@ impl DkCache {
         (self.hits.load(Relaxed), self.misses.load(Relaxed))
     }
 
-    /// Returns `d_k(id)`, computing it with one forward kNN query on a
-    /// cache miss (`stats` absorbs the miss's index work). Ids beyond the
-    /// cache's pre-sized range (points inserted after cache construction)
-    /// are computed but not cached.
-    pub fn dk_or_compute<M, I>(&self, index: &I, id: PointId, stats: &mut SearchStats) -> f64
+    /// Returns `d_k(id)`, computing it with one bounded forward cursor over
+    /// the caller's scratch on a cache miss (`stats` absorbs the miss's
+    /// index work). Ids beyond the cache's pre-sized range (points inserted
+    /// after cache construction) are computed but not cached.
+    pub fn dk_or_compute<M, I>(
+        &self,
+        index: &I,
+        id: PointId,
+        scratch: &mut CursorScratch,
+        stats: &mut SearchStats,
+    ) -> f64
     where
         M: Metric,
         I: KnnIndex<M> + ?Sized,
@@ -193,8 +237,7 @@ impl DkCache {
                 return f64::from_bits(bits);
             }
         }
-        let nn = index.knn(index.point(id), self.k, Some(id), stats);
-        let dk = if nn.len() < self.k { f64::INFINITY } else { nn[self.k - 1].dist };
+        let dk = dk_via_cursor(index, id, self.k, scratch, stats);
         debug_assert!(dk.to_bits() != Self::UNSET);
         if let Some(slot) = self.vals.get(id) {
             slot.store(dk.to_bits(), Relaxed);
@@ -437,16 +480,11 @@ where
             continue;
         }
         verified += 1;
+        // The filter-phase cursor released `cursor_scratch` above, so the
+        // verification queries reuse the same buffers on any substrate.
         let dk = match dk_cache {
-            Some(cache) => cache.dk_or_compute(index, cand.id, &mut verify_stats),
-            None => {
-                let nn = index.knn(index.point(cand.id), k, Some(cand.id), &mut verify_stats);
-                if nn.len() < k {
-                    f64::INFINITY
-                } else {
-                    nn[k - 1].dist
-                }
-            }
+            Some(cache) => cache.dk_or_compute(index, cand.id, cursor_scratch, &mut verify_stats),
+            None => dk_via_cursor(index, cand.id, k, cursor_scratch, &mut verify_stats),
         };
         if dk >= cand.dist {
             verified_accepted += 1;

@@ -1,0 +1,169 @@
+//! Cross-substrate cursor-stream equivalence through the shared traversal
+//! core.
+//!
+//! Every tree substrate's incremental stream is pinned against the
+//! linear scan on a tie-heavy half-integer grid (the adversarial case for
+//! best-first ordering and for any strict-inequality threshold test):
+//!
+//! * **exact nondecreasing order** — distances never decrease along the
+//!   stream;
+//! * **each id exactly once** — the stream is a permutation of the point
+//!   set (minus the excluded id);
+//! * **bit-identical distances** — sorted by `(distance, id)`, every tree
+//!   stream equals the linear scan's table bit for bit (tree cursors may
+//!   legitimately order *equal* distances differently, since a tied point
+//!   inside an unexpanded subtree surfaces after an already-queued tie);
+//! * **identical `exclude` handling** — the excluded id never surfaces, on
+//!   any entry point;
+//! * the **scratch-reusing entry point** (`cursor_with`) yields the byte-
+//!   identical sequence to the boxed entry point (`cursor`), query after
+//!   query on one reused buffer;
+//! * the **bounded entry point** (`cursor_bounded`) yields exactly the
+//!   unbounded stream's prefix — frontier pruning may only discard entries
+//!   past the drain bound.
+
+use proptest::prelude::*;
+use rknn_core::{CursorScratch, Dataset, Euclidean, Neighbor};
+use rknn_index::{BallTree, CoverTree, KnnIndex, LinearScan, MTree, RTree, VpTree};
+use std::sync::Arc;
+
+/// Builds a dataset on the half-integer grid `{0, 0.5, …, 4}` from raw
+/// proptest levels, so duplicate points and tied distances are common.
+fn grid_dataset(levels: &[u8], dim: usize) -> Arc<Dataset> {
+    let n = levels.len() / dim;
+    let coords: Vec<f64> = levels[..n * dim].iter().map(|&v| f64::from(v % 9) * 0.5).collect();
+    Dataset::from_flat(dim, coords).expect("grid coordinates are finite").into_shared()
+}
+
+fn substrates(ds: &Arc<Dataset>) -> Vec<Box<dyn KnnIndex<Euclidean>>> {
+    vec![
+        Box::new(CoverTree::build(ds.clone(), Euclidean)),
+        Box::new(VpTree::build(ds.clone(), Euclidean)),
+        Box::new(BallTree::build(ds.clone(), Euclidean)),
+        Box::new(MTree::build(ds.clone(), Euclidean)),
+        Box::new(RTree::build(ds.clone(), Euclidean)),
+    ]
+}
+
+fn drain(cur: &mut dyn rknn_index::NnCursor, cap: usize) -> Vec<Neighbor> {
+    let mut out = Vec::new();
+    while out.len() < cap {
+        match cur.next() {
+            Some(n) => out.push(n),
+            None => break,
+        }
+    }
+    out
+}
+
+#[test]
+fn overflowing_distances_stay_in_every_stream() {
+    // Finite coordinates at ±1e200 make squared-distance accumulation
+    // overflow to +∞. Completeness ("each id exactly once") must survive:
+    // no entry point may silently drop the overflowing point.
+    let ds = Dataset::from_rows(&[
+        vec![0.0, 0.0],
+        vec![1.0, 0.0],
+        vec![2.0, 1.0],
+        vec![1e200, -1e200],
+    ])
+    .unwrap()
+    .into_shared();
+    let q = [0.25, 0.0];
+    let linear = LinearScan::build(ds.clone(), Euclidean);
+    let mut scratch = CursorScratch::new();
+    let mut all: Vec<Box<dyn KnnIndex<Euclidean>>> = substrates(&ds);
+    all.push(Box::new(linear));
+    for idx in &all {
+        let boxed = drain(&mut *idx.cursor(&q, None), usize::MAX);
+        let scratched = drain(&mut *idx.cursor_with(&q, None, &mut scratch), usize::MAX);
+        let bounded = drain(&mut *idx.cursor_bounded(&q, None, 4, &mut scratch), 4);
+        for drained in [boxed, scratched, bounded] {
+            assert_eq!(drained.len(), 4, "{}: lost a point", idx.name());
+            assert!(
+                drained.last().unwrap().dist.is_infinite(),
+                "{}: overflowing distance must surface last",
+                idx.name()
+            );
+        }
+        let mut stats = rknn_core::SearchStats::new();
+        assert_eq!(idx.knn(&q, 4, None, &mut stats).len(), 4, "{}: knn", idx.name());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn tree_streams_are_equivalent_to_the_linear_scan(
+        levels in proptest::collection::vec(0u8..9, 24..120),
+        dim in 1usize..5,
+        q_sel in 0usize..64,
+        exclude_query in 0usize..2,
+    ) {
+        let ds = grid_dataset(&levels, dim);
+        let q_id = q_sel % ds.len();
+        let q = ds.point(q_id).to_vec();
+        let exclude = (exclude_query == 1).then_some(q_id);
+        let expected_len = ds.len() - usize::from(exclude.is_some());
+
+        // The linear scan's table is the reference: ascending (dist, id).
+        let linear = LinearScan::build(ds.clone(), Euclidean);
+        let reference = drain(&mut *linear.cursor(&q, exclude), usize::MAX);
+        prop_assert_eq!(reference.len(), expected_len);
+
+        let mut scratch = CursorScratch::new();
+        for idx in substrates(&ds) {
+            let name = idx.name();
+            let boxed = drain(&mut *idx.cursor(&q, exclude), usize::MAX);
+            let scratched = drain(&mut *idx.cursor_with(&q, exclude, &mut scratch), usize::MAX);
+
+            // Boxed and scratch-reusing paths: byte-identical sequences.
+            prop_assert_eq!(boxed.len(), scratched.len(), "{}", name);
+            for (b, s) in boxed.iter().zip(&scratched) {
+                prop_assert_eq!(b.id, s.id, "{}", name);
+                prop_assert_eq!(b.dist.to_bits(), s.dist.to_bits(), "{}", name);
+            }
+
+            // Exact nondecreasing order, each id exactly once, exclusion.
+            prop_assert_eq!(boxed.len(), expected_len, "{}: completeness", name);
+            let mut seen = std::collections::HashSet::new();
+            let mut prev = f64::NEG_INFINITY;
+            for n in &boxed {
+                prop_assert!(Some(n.id) != exclude, "{}: excluded id surfaced", name);
+                prop_assert!(seen.insert(n.id), "{}: duplicate id {}", name, n.id);
+                prop_assert!(n.dist >= prev, "{}: order violated", name);
+                prev = n.dist;
+            }
+
+            // Sorted by (dist, id), the stream is bit-identical to the
+            // linear scan's distance table.
+            let mut sorted = boxed.clone();
+            rknn_core::neighbor::sort_neighbors(&mut sorted);
+            for (s, r) in sorted.iter().zip(&reference) {
+                prop_assert_eq!(s.id, r.id, "{}: id set diverged", name);
+                prop_assert_eq!(
+                    s.dist.to_bits(), r.dist.to_bits(),
+                    "{}: distance bits diverged", name
+                );
+            }
+
+            // Bounded streams are exact prefixes of the unbounded stream.
+            for limit in [0usize, 1, 3, expected_len / 2, expected_len, expected_len + 7] {
+                let bounded =
+                    drain(&mut *idx.cursor_bounded(&q, exclude, limit, &mut scratch), limit);
+                prop_assert_eq!(
+                    bounded.len(), limit.min(expected_len),
+                    "{} limit={}", name, limit
+                );
+                for (i, (b, f)) in bounded.iter().zip(&boxed).enumerate() {
+                    prop_assert_eq!(b.id, f.id, "{} limit={} step={}", name, limit, i);
+                    prop_assert_eq!(
+                        b.dist.to_bits(), f.dist.to_bits(),
+                        "{} limit={} step={}", name, limit, i
+                    );
+                }
+            }
+        }
+    }
+}

@@ -67,7 +67,7 @@ pub mod collection {
     use super::SmallRng;
     use rand::Rng;
 
-    /// Length specification for [`vec`]: an exact `usize` or a
+    /// Length specification for [`vec()`]: an exact `usize` or a
     /// half-open `Range<usize>`.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
@@ -95,7 +95,7 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
