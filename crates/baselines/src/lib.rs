@@ -19,9 +19,15 @@
 //! Every method reports [`rknn_core::SearchStats`] and its precomputation
 //! wall-clock time so the evaluation can regenerate the paper's
 //! query-vs-precomputation tradeoffs (Figures 3–6, 8, 9).
+//!
+//! All five methods also implement the algorithm-generic
+//! [`rknn_rdt::algorithm::RknnAlgorithm`] lifecycle (see [`algorithm`]), so
+//! they execute — batch-parallel, scratch-reusing, threshold-pruned —
+//! through the exact same driver as RDT itself.
 
 #![warn(missing_docs)]
 
+pub mod algorithm;
 pub mod common;
 pub mod mrknncop;
 pub mod naive;
@@ -29,9 +35,10 @@ pub mod rdnn;
 pub mod sft;
 pub mod tpl;
 
+pub use algorithm::{MrknncopAlgorithm, RdnnAlgorithm, TplAlgorithm};
 pub use common::verify_rknn;
 pub use mrknncop::MRkNNCoP;
 pub use naive::NaiveRknn;
 pub use rdnn::RdnnTree;
-pub use sft::Sft;
-pub use tpl::Tpl;
+pub use sft::{Sft, SftScratch};
+pub use tpl::{Tpl, TplScratch};

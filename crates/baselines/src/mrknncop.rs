@@ -22,7 +22,7 @@
 //! the scales against RDT's zero setup.
 
 use crate::common::verify_rknn;
-use rknn_core::{Dataset, Metric, Neighbor, PointId, SearchStats};
+use rknn_core::{CursorScratch, Dataset, Metric, Neighbor, PointId, SearchStats};
 use rknn_index::{KnnIndex, MTree};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -48,8 +48,10 @@ impl BoundLines {
         let m = knn_dists.len();
         debug_assert!(m >= 1);
         let xs: Vec<f64> = (1..=m).map(|k| (k as f64).ln()).collect();
-        let ys: Vec<f64> =
-            knn_dists.iter().map(|&d| d.max(f64::MIN_POSITIVE).ln()).collect();
+        let ys: Vec<f64> = knn_dists
+            .iter()
+            .map(|&d| d.max(f64::MIN_POSITIVE).ln())
+            .collect();
         // Least-squares slope; degenerate spreads fall back to slope 0.
         let n = m as f64;
         let mx = xs.iter().sum::<f64>() / n;
@@ -76,7 +78,12 @@ impl BoundLines {
         // conservative without affecting pruning power.
         up_a += 1e-9;
         lo_a -= 1e-9;
-        BoundLines { lo_a, lo_b: b, up_a, up_b: b }
+        BoundLines {
+            lo_a,
+            lo_b: b,
+            up_a,
+            up_b: b,
+        }
     }
 
     /// The conservative lower bound `lb(k)`.
@@ -180,7 +187,9 @@ impl<M: Metric + Clone> MRkNNCoP<M> {
         &self.lines
     }
 
-    /// Exact reverse-kNN of dataset point `q` for any `k ≤ k_max`.
+    /// Exact reverse-kNN of dataset point `q` for any `k ≤ k_max`,
+    /// allocating fresh working memory. Batch callers should hold one
+    /// [`CursorScratch`] per worker and use [`MRkNNCoP::query_with`].
     ///
     /// `verify` serves the forward kNN queries of the refinement step (the
     /// paper uses the same backing index for both roles).
@@ -189,6 +198,29 @@ impl<M: Metric + Clone> MRkNNCoP<M> {
         q: PointId,
         k: usize,
         verify: &I,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor>
+    where
+        I: KnnIndex<M> + ?Sized,
+    {
+        self.query_with(q, k, verify, &mut CursorScratch::new(), stats)
+    }
+
+    /// Exact reverse-kNN of dataset point `q` for any `k ≤ k_max` against
+    /// caller-owned working memory.
+    ///
+    /// The containment traversal prunes its query–pivot evaluations with
+    /// [`Metric::dist_le`]: a subtree is descended only when `d(q, pivot) ≤
+    /// bound + radius` (the closed-ball reading of `mindist ≤ bound`), and
+    /// a leaf point's distance accumulation is abandoned past its
+    /// conservative upper bound `ub_p(k)`. Refinement runs through
+    /// [`verify_rknn`]'s bounded verification cursor over `scratch`.
+    pub fn query_with<I>(
+        &self,
+        q: PointId,
+        k: usize,
+        verify: &I,
+        scratch: &mut CursorScratch,
         stats: &mut SearchStats,
     ) -> Vec<Neighbor>
     where
@@ -208,11 +240,15 @@ impl<M: Metric + Clone> MRkNNCoP<M> {
                 match e.child {
                     Some(c) => {
                         stats.count_dist();
-                        let d = metric.dist(&qp, self.tree.point(e.pivot));
-                        let min_dist = (d - e.radius).max(0.0);
                         let (agg_a, agg_b) = self.node_agg[c];
                         let bound = (agg_a + agg_b * ln_k).exp();
-                        if min_dist <= bound {
+                        // `(d − radius)⁺ ≤ bound` ⟺ `d ≤ bound + radius`
+                        // for the nonnegative `bound`, so the pivot
+                        // evaluation can be abandoned past the sum.
+                        if metric
+                            .dist_le(&qp, self.tree.point(e.pivot), bound + e.radius)
+                            .is_some()
+                        {
                             stack.push(c);
                         }
                     }
@@ -222,19 +258,20 @@ impl<M: Metric + Clone> MRkNNCoP<M> {
                             continue;
                         }
                         stats.count_dist();
-                        let d = metric.dist(&qp, self.tree.point(p));
                         let lines = &self.lines[p];
-                        if d <= lines.lower(k) {
-                            certain.push(Neighbor::new(p, d));
-                        } else if d <= lines.upper(k) {
-                            candidates.push(Neighbor::new(p, d));
+                        if let Some(d) = metric.dist_le(&qp, self.tree.point(p), lines.upper(k)) {
+                            if d <= lines.lower(k) {
+                                certain.push(Neighbor::new(p, d));
+                            } else {
+                                candidates.push(Neighbor::new(p, d));
+                            }
                         }
                     }
                 }
             }
         }
         for cand in candidates {
-            if verify_rknn(verify, cand.id, cand.dist, k, stats) {
+            if verify_rknn(verify, cand.id, cand.dist, k, scratch, stats) {
                 certain.push(cand);
             }
         }
@@ -253,8 +290,9 @@ mod tests {
 
     fn uniform(n: usize, dim: usize, seed: u64) -> Arc<Dataset> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let rows: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..dim).map(|_| rng.random::<f64>() * 10.0).collect()).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.random::<f64>() * 10.0).collect())
+            .collect();
         Dataset::from_rows(&rows).unwrap().into_shared()
     }
 
@@ -288,8 +326,11 @@ mod tests {
         let mut st = SearchStats::new();
         for k in [1usize, 7, 20] {
             for q in [0usize, 123, 299] {
-                let got: Vec<_> =
-                    cop.query(q, k, &forward, &mut st).iter().map(|n| n.id).collect();
+                let got: Vec<_> = cop
+                    .query(q, k, &forward, &mut st)
+                    .iter()
+                    .map(|n| n.id)
+                    .collect();
                 let want: Vec<_> = bf.rknn(q, k, &mut st).iter().map(|n| n.id).collect();
                 assert_eq!(got, want, "k={k} q={q}");
             }
@@ -301,8 +342,10 @@ mod tests {
         let ds = uniform(100, 2, 121);
         let forward = LinearScan::build(ds.clone(), Euclidean);
         let cop = MRkNNCoP::build(ds, Euclidean, 10, &forward);
-        assert!(cop.precompute_stats().dist_computations >= 100 * 99 / 2,
-            "k_max-NN for every point is the dominant precomputation cost");
+        assert!(
+            cop.precompute_stats().dist_computations >= 100 * 99 / 2,
+            "k_max-NN for every point is the dominant precomputation cost"
+        );
         assert_eq!(cop.k_max(), 10);
         assert!(cop.precompute_time() > Duration::ZERO);
         assert_eq!(cop.lines().len(), 100);

@@ -1,11 +1,13 @@
 //! Exact reverse-kNN with zero precomputation.
 //!
-//! One candidate verification per dataset point, each served by a count
-//! range query against the forward index. This is the method every other
+//! One candidate verification per dataset point, each served by a bounded,
+//! threshold-pruned forward cursor against the index ([`verify_rknn`]).
+//! This is the method every other
 //! baseline is trying to beat on query time; it needs no setup at all and
 //! is exact for every `k`.
 
-use rknn_core::{Metric, Neighbor, PointId, SearchStats};
+use crate::common::verify_rknn;
+use rknn_core::{CursorScratch, Metric, Neighbor, PointId, SearchStats};
 use rknn_index::KnnIndex;
 
 /// Naive exact reverse-kNN over any forward index.
@@ -30,12 +32,32 @@ impl NaiveRknn {
         self.k
     }
 
-    /// Exact reverse-kNN of dataset point `q`.
-    ///
-    /// For every point `x ≠ q`, counts the points strictly closer to `x`
-    /// than `q` is; fewer than `k` makes `x` a reverse neighbor. The strict
-    /// count is equivalent to the `d_k(x) ≥ d(x, q)` test including ties.
+    /// Exact reverse-kNN of dataset point `q`, allocating fresh working
+    /// memory. Batch callers should hold one [`CursorScratch`] per worker
+    /// and use [`NaiveRknn::query_with`].
     pub fn query<M, I>(&self, index: &I, q: PointId, stats: &mut SearchStats) -> Vec<Neighbor>
+    where
+        M: Metric,
+        I: KnnIndex<M> + ?Sized,
+    {
+        self.query_with(index, q, &mut CursorScratch::new(), stats)
+    }
+
+    /// Exact reverse-kNN of dataset point `q` against caller-owned working
+    /// memory.
+    ///
+    /// For every point `x ≠ q`, verifies the `d_k(x) ≥ d(x, q)` test
+    /// (equivalently: fewer than `k` points strictly closer to `x` than `q`
+    /// is, ties included) through [`verify_rknn`] — a bounded,
+    /// threshold-pruned forward cursor over `scratch` rather than the
+    /// allocating boxed count-range path.
+    pub fn query_with<M, I>(
+        &self,
+        index: &I,
+        q: PointId,
+        scratch: &mut CursorScratch,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor>
     where
         M: Metric,
         I: KnnIndex<M> + ?Sized,
@@ -49,10 +71,7 @@ impl NaiveRknn {
             }
             stats.count_dist();
             let d = metric.dist(index.point(x), &qp);
-            let closer = index.range_count(index.point(x), d, true, Some(x), stats);
-            // `closer` counts every other point strictly inside the ball,
-            // including q itself never (d(x,q) < d(x,q) is false).
-            if closer < self.k {
+            if verify_rknn(index, x, d, self.k, scratch, stats) {
                 out.push(Neighbor::new(x, d));
             }
         }
@@ -72,8 +91,9 @@ mod tests {
 
     fn uniform(n: usize, dim: usize, seed: u64) -> Arc<Dataset> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let rows: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..dim).map(|_| rng.random::<f64>() * 10.0).collect()).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.random::<f64>() * 10.0).collect())
+            .collect();
         Dataset::from_rows(&rows).unwrap().into_shared()
     }
 
@@ -86,8 +106,11 @@ mod tests {
         for k in [1usize, 5, 20] {
             let method = NaiveRknn::new(k);
             for q in [0usize, 100, 249] {
-                let got: Vec<_> =
-                    method.query(&idx, q, &mut st).iter().map(|n| n.id).collect();
+                let got: Vec<_> = method
+                    .query(&idx, q, &mut st)
+                    .iter()
+                    .map(|n| n.id)
+                    .collect();
                 let want: Vec<_> = bf.rknn(q, k, &mut st).iter().map(|n| n.id).collect();
                 assert_eq!(got, want, "k={k} q={q}");
             }
@@ -103,8 +126,16 @@ mod tests {
         let mut st = SearchStats::new();
         for q in [3usize, 77] {
             assert_eq!(
-                method.query(&scan, q, &mut st).iter().map(|n| n.id).collect::<Vec<_>>(),
-                method.query(&cover, q, &mut st).iter().map(|n| n.id).collect::<Vec<_>>(),
+                method
+                    .query(&scan, q, &mut st)
+                    .iter()
+                    .map(|n| n.id)
+                    .collect::<Vec<_>>(),
+                method
+                    .query(&cover, q, &mut st)
+                    .iter()
+                    .map(|n| n.id)
+                    .collect::<Vec<_>>(),
             );
         }
     }

@@ -41,18 +41,31 @@ impl<M: Metric + Clone> RdnnTree<M> {
         for i in 0..ds.len() {
             let nn = forward.knn(ds.point(i), k, Some(i), &mut stats);
             // Fewer than k other points ⇒ every query is a reverse neighbor.
-            let d = if nn.len() < k { f64::INFINITY } else { nn[k - 1].dist };
+            let d = if nn.len() < k {
+                f64::INFINITY
+            } else {
+                nn[k - 1].dist
+            };
             dk.push(d);
         }
         // The R-tree stores finite aux values; clamp the degenerate case.
-        let max_finite = dk.iter().copied().filter(|d| d.is_finite()).fold(0.0f64, f64::max);
+        let max_finite = dk
+            .iter()
+            .copied()
+            .filter(|d| d.is_finite())
+            .fold(0.0f64, f64::max);
         for d in dk.iter_mut() {
             if !d.is_finite() {
                 *d = max_finite.max(1.0) * 1e6;
             }
         }
         let tree = RTree::build_with_aux(ds, metric, dk);
-        RdnnTree { tree, k, precompute_time: start.elapsed(), precompute_stats: stats }
+        RdnnTree {
+            tree,
+            k,
+            precompute_time: start.elapsed(),
+            precompute_stats: stats,
+        }
     }
 
     /// The reverse rank the tree was built for.
@@ -101,8 +114,9 @@ mod tests {
 
     fn uniform(n: usize, dim: usize, seed: u64) -> Arc<Dataset> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let rows: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..dim).map(|_| rng.random::<f64>() * 10.0).collect()).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.random::<f64>() * 10.0).collect())
+            .collect();
         Dataset::from_rows(&rows).unwrap().into_shared()
     }
 
@@ -181,7 +195,11 @@ mod tests {
         let mut st = SearchStats::new();
         let q = vec![5.0, 5.0];
         let got: Vec<_> = rdnn.query_at(&q, &mut st).iter().map(|n| n.id).collect();
-        let want: Vec<_> = bf.rknn_external(&q, 3, &mut st).iter().map(|n| n.id).collect();
+        let want: Vec<_> = bf
+            .rknn_external(&q, 3, &mut st)
+            .iter()
+            .map(|n| n.id)
+            .collect();
         assert_eq!(got, want);
     }
 }

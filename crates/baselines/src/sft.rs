@@ -11,8 +11,31 @@
 //! query exceeds `α·k` is simply never examined. Every *reported* point is
 //! verified, so SFT has perfect precision.
 
-use rknn_core::{Metric, Neighbor, PointId, SearchStats};
+use crate::common::verify_rknn;
+use rknn_core::{CursorScratch, Metric, Neighbor, PointId, SearchStats};
 use rknn_index::KnnIndex;
+
+/// Per-worker working memory for [`Sft::query_with`]: the cursor scratch
+/// plus the candidate and liveness buffers of the two filter stages, all
+/// reused across queries.
+#[derive(Debug, Clone, Default)]
+pub struct SftScratch {
+    /// Storage for the index cursors (candidate retrieval and
+    /// verification).
+    pub cursor: CursorScratch,
+    /// The `α·k` retrieved candidates.
+    pub candidates: Vec<Neighbor>,
+    /// Liveness flags of the pairwise filter, row-aligned with
+    /// `candidates`.
+    pub alive: Vec<bool>,
+}
+
+impl SftScratch {
+    /// Empty scratch.
+    pub fn new() -> Self {
+        SftScratch::default()
+    }
+}
 
 /// The SFT heuristic.
 #[derive(Debug, Clone, Copy)]
@@ -44,20 +67,63 @@ impl Sft {
         (self.alpha * self.k as f64).ceil() as usize
     }
 
-    /// Approximate reverse-kNN of dataset point `q`.
+    /// Approximate reverse-kNN of dataset point `q`, allocating fresh
+    /// working memory. Batch callers should hold one [`SftScratch`] per
+    /// worker and use [`Sft::query_with`].
     pub fn query<M, I>(&self, index: &I, q: PointId, stats: &mut SearchStats) -> Vec<Neighbor>
+    where
+        M: Metric,
+        I: KnnIndex<M> + ?Sized,
+    {
+        self.query_with(index, q, &mut SftScratch::new(), stats)
+    }
+
+    /// Approximate reverse-kNN of dataset point `q` against caller-owned
+    /// working memory.
+    ///
+    /// The candidate set streams out of a bounded cursor over the scratch
+    /// (threshold-pruned selection instead of the allocating boxed `knn`
+    /// path), the pairwise filter abandons each candidate-pair distance
+    /// against the candidate's query distance via [`Metric::dist_lt`], and
+    /// the final count range queries run through [`verify_rknn`]'s bounded
+    /// verification cursor.
+    pub fn query_with<M, I>(
+        &self,
+        index: &I,
+        q: PointId,
+        scratch: &mut SftScratch,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor>
     where
         M: Metric,
         I: KnnIndex<M> + ?Sized,
     {
         let metric = index.metric();
         let budget = self.candidate_budget();
-        let candidates = index.knn(index.point(q), budget, Some(q), stats);
+        let SftScratch {
+            cursor,
+            candidates,
+            alive,
+        } = scratch;
+        candidates.clear();
+        {
+            let mut cur = index.cursor_bounded(index.point(q), Some(q), budget, cursor);
+            while candidates.len() < budget {
+                match cur.next() {
+                    Some(n) => candidates.push(n),
+                    None => break,
+                }
+            }
+            stats.absorb(&cur.stats());
+        }
 
         // Filter 1: local distance computations among candidate pairs.
-        // A candidate with k closer candidates cannot be a reverse neighbor.
+        // A candidate with k closer candidates cannot be a reverse
+        // neighbor. Each pair distance only matters below the candidate's
+        // query distance, so its accumulation is abandoned there.
         let m = candidates.len();
-        let mut alive: Vec<bool> = vec![true; m];
+        alive.clear();
+        alive.resize(m, true);
         for i in 0..m {
             let xi = index.point(candidates[i].id);
             let mut closer = 0usize;
@@ -66,7 +132,10 @@ impl Sft {
                     continue;
                 }
                 stats.count_dist();
-                if metric.dist(xi, index.point(other.id)) < candidates[i].dist {
+                if metric
+                    .dist_lt(xi, index.point(other.id), candidates[i].dist)
+                    .is_some()
+                {
                     closer += 1;
                     if closer >= self.k {
                         alive[i] = false;
@@ -76,16 +145,14 @@ impl Sft {
             }
         }
 
-        // Filter 2: count range queries eliminate the remaining false
-        // positives exactly.
+        // Filter 2: exact verification eliminates the remaining false
+        // positives.
         let mut out = Vec::new();
         for (i, cand) in candidates.iter().enumerate() {
             if !alive[i] {
                 continue;
             }
-            let closer =
-                index.range_count(index.point(cand.id), cand.dist, true, Some(cand.id), stats);
-            if closer < self.k {
+            if verify_rknn(index, cand.id, cand.dist, self.k, cursor, stats) {
                 out.push(*cand);
             }
         }
@@ -105,8 +172,9 @@ mod tests {
 
     fn uniform(n: usize, dim: usize, seed: u64) -> Arc<Dataset> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let rows: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..dim).map(|_| rng.random::<f64>() * 10.0).collect()).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.random::<f64>() * 10.0).collect())
+            .collect();
         Dataset::from_rows(&rows).unwrap().into_shared()
     }
 
@@ -148,7 +216,10 @@ mod tests {
             assert!(recall >= prev - 1e-12, "recall must grow with alpha");
             prev = recall;
         }
-        assert!((prev - 1.0).abs() < 1e-12, "alpha covering n recovers everything");
+        assert!(
+            (prev - 1.0).abs() < 1e-12,
+            "alpha covering n recovers everything"
+        );
     }
 
     #[test]

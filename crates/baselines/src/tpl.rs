@@ -20,10 +20,32 @@
 //! dimensionality grows" (§2.2), which our high-dimensional experiments
 //! reproduce.
 
-use rknn_core::{Dataset, Metric, Neighbor, PointId, SearchStats};
+use crate::common::verify_rknn;
+use rknn_core::bestfirst::Popped;
+use rknn_core::{CursorScratch, Dataset, Metric, Neighbor, PointId, SearchStats};
 use rknn_index::{KnnIndex, RTree};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Per-worker working memory for [`Tpl::query_with`]: the cursor scratch
+/// (whose best-first queue doubles as TPL's node heap) plus the candidate
+/// buffer, reused across queries.
+#[derive(Debug, Clone, Default)]
+pub struct TplScratch {
+    /// Cursor storage; its [`rknn_core::TreeScratch`] queue carries the
+    /// generation traversal, and the refinement verification cursors reuse
+    /// the same buffers.
+    pub cursor: CursorScratch,
+    /// Surviving candidates of the generation phase.
+    pub candidates: Vec<Neighbor>,
+}
+
+impl TplScratch {
+    /// Empty scratch.
+    pub fn new() -> Self {
+        TplScratch::default()
+    }
+}
 
 /// The TPL method over an STR-packed R-tree.
 #[derive(Debug)]
@@ -37,7 +59,10 @@ impl<M: Metric + Clone> Tpl<M> {
     pub fn build(ds: Arc<Dataset>, metric: M) -> Self {
         let start = Instant::now();
         let tree = RTree::build(ds, metric);
-        Tpl { tree, build_time: start.elapsed() }
+        Tpl {
+            tree,
+            build_time: start.elapsed(),
+        }
     }
 
     /// Wall-clock tree construction time.
@@ -50,15 +75,29 @@ impl<M: Metric + Clone> Tpl<M> {
         &self.tree
     }
 
-    /// Exact reverse-kNN of dataset point `q`.
+    /// Exact reverse-kNN of dataset point `q`, allocating fresh working
+    /// memory. Batch callers should hold one [`TplScratch`] per worker and
+    /// use [`Tpl::query_with`].
     pub fn query(&self, q: PointId, k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
+        self.query_with(q, k, &mut TplScratch::new(), stats)
+    }
+
+    /// Exact reverse-kNN of dataset point `q` against caller-owned working
+    /// memory.
+    pub fn query_with(
+        &self,
+        q: PointId,
+        k: usize,
+        scratch: &mut TplScratch,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
         let qp = self.tree.point(q).to_vec();
-        self.query_inner(&qp, Some(q), k, stats)
+        self.query_inner(&qp, Some(q), k, scratch, stats)
     }
 
     /// Exact reverse-kNN of an arbitrary location.
     pub fn query_at(&self, q: &[f64], k: usize, stats: &mut SearchStats) -> Vec<Neighbor> {
-        self.query_inner(q, None, k, stats)
+        self.query_inner(q, None, k, &mut TplScratch::new(), stats)
     }
 
     fn query_inner(
@@ -66,28 +105,29 @@ impl<M: Metric + Clone> Tpl<M> {
         q: &[f64],
         exclude: Option<PointId>,
         k: usize,
+        scratch: &mut TplScratch,
         stats: &mut SearchStats,
     ) -> Vec<Neighbor> {
         assert!(k >= 1, "k must be positive");
         let metric = self.tree.metric();
+        let TplScratch { cursor, candidates } = scratch;
+        candidates.clear();
         // Best-first traversal by mindist so candidates arrive roughly in
-        // ascending distance, maximizing trimming power.
-        use std::cmp::Reverse;
-        use std::collections::BinaryHeap;
-        let mut heap: BinaryHeap<(Reverse<rknn_core::OrderedF64>, usize)> = BinaryHeap::new();
+        // ascending distance, maximizing trimming power. The queue is the
+        // scratch's reusable best-first heap (released again before the
+        // refinement phase opens verification cursors on the same scratch).
+        let queue = &mut cursor.tree.queue;
+        queue.clear();
         let root = self.tree.root_id();
-        heap.push((
-            Reverse(rknn_core::OrderedF64::new(self.tree.min_dist(q, self.tree.node_mbr(root)))),
-            root,
-        ));
-        let mut candidates: Vec<Neighbor> = Vec::new();
-        while let Some((_, node)) = heap.pop() {
+        queue.push_node(root, self.tree.min_dist(q, self.tree.node_mbr(root)), 0.0);
+        stats.count_push();
+        while let Some(Popped::Node { id: node, .. }) = queue.pop() {
             stats.count_node();
             // Node trimming: count candidates that dominate the whole MBR.
             let mbr = self.tree.node_mbr(node);
             let min_q = self.tree.min_dist(q, mbr);
             let mut dominators = 0usize;
-            for c in &candidates {
+            for c in candidates.iter() {
                 if self.tree.max_dist(self.tree.point(c.id), mbr) < min_q {
                     dominators += 1;
                     if dominators >= k {
@@ -102,7 +142,8 @@ impl<M: Metric + Clone> Tpl<M> {
                 Some(children) => {
                     for &c in children {
                         let lb = self.tree.min_dist(q, self.tree.node_mbr(c));
-                        heap.push((Reverse(rknn_core::OrderedF64::new(lb)), c));
+                        queue.push_node(c, lb, 0.0);
+                        stats.count_push();
                     }
                 }
                 None => {
@@ -113,11 +154,16 @@ impl<M: Metric + Clone> Tpl<M> {
                         stats.count_dist();
                         let dpq = metric.dist(self.tree.point(p), q);
                         // Point trimming: k candidates strictly closer to p
-                        // than q is ⇒ p cannot be a reverse neighbor.
+                        // than q is ⇒ p cannot be a reverse neighbor. Each
+                        // bisector distance only matters below d(p, q), so
+                        // its accumulation is abandoned there.
                         let mut closer = 0usize;
-                        for c in &candidates {
+                        for c in candidates.iter() {
                             stats.count_dist();
-                            if metric.dist(self.tree.point(p), self.tree.point(c.id)) < dpq {
+                            if metric
+                                .dist_lt(self.tree.point(p), self.tree.point(c.id), dpq)
+                                .is_some()
+                            {
                                 closer += 1;
                                 if closer >= k {
                                     break;
@@ -131,13 +177,12 @@ impl<M: Metric + Clone> Tpl<M> {
                 }
             }
         }
-        // Refinement: exact count range queries against the tree.
+        // Refinement: exact verification against the tree through the
+        // bounded, scratch-reusing cursor.
         let mut out = Vec::new();
-        for cand in candidates {
-            let closer =
-                self.tree.range_count(self.tree.point(cand.id), cand.dist, true, Some(cand.id), stats);
-            if closer < k {
-                out.push(cand);
+        for cand in candidates.iter() {
+            if verify_rknn(&self.tree, cand.id, cand.dist, k, cursor, stats) {
+                out.push(*cand);
             }
         }
         rknn_core::neighbor::sort_neighbors(&mut out);
@@ -154,8 +199,9 @@ mod tests {
 
     fn uniform(n: usize, dim: usize, seed: u64) -> Arc<Dataset> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let rows: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..dim).map(|_| rng.random::<f64>() * 10.0).collect()).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.random::<f64>() * 10.0).collect())
+            .collect();
         Dataset::from_rows(&rows).unwrap().into_shared()
     }
 
@@ -196,7 +242,11 @@ mod tests {
         let mut st = SearchStats::new();
         let q = vec![5.0, 5.0];
         let got: Vec<_> = tpl.query_at(&q, 2, &mut st).iter().map(|n| n.id).collect();
-        let want: Vec<_> = bf.rknn_external(&q, 2, &mut st).iter().map(|n| n.id).collect();
+        let want: Vec<_> = bf
+            .rknn_external(&q, 2, &mut st)
+            .iter()
+            .map(|n| n.id)
+            .collect();
         assert_eq!(got, want);
     }
 

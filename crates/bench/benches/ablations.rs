@@ -45,7 +45,10 @@ fn bench_ablations(c: &mut Criterion) {
     g.sample_size(10);
     g.measurement_time(Duration::from_secs(2));
     for base in [1.3f64, 2.0] {
-        let cfg = CoverTreeConfig { base, ..CoverTreeConfig::default() };
+        let cfg = CoverTreeConfig {
+            base,
+            ..CoverTreeConfig::default()
+        };
         let tree = CoverTree::build_with(ds.clone(), Euclidean, cfg);
         g.bench_function(format!("knn_base{base}"), |b| {
             b.iter(|| {

@@ -1,0 +1,80 @@
+//! Batch-throughput benchmarks of every RkNN method through the unified
+//! `RknnAlgorithm` driver at one paper-like operating point.
+//!
+//! Unlike `benches/baselines.rs` (single-query latency over the historical
+//! per-method APIs), this suite measures what the experiments actually
+//! run: a query batch through the algorithm-generic driver with per-worker
+//! scratch — so relative numbers here are the fair, amortized comparison
+//! of the paper's §7 protocol. Precomputation is paid once outside the
+//! measured region; the measured region is the batch alone.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rknn_baselines::{MrknncopAlgorithm, NaiveRknn, RdnnAlgorithm, Sft, TplAlgorithm};
+use rknn_core::{Euclidean, PointId};
+use rknn_index::CoverTree;
+use rknn_rdt::algorithm::{run_algorithm_batch, RdtAlgorithm, RknnAlgorithm};
+use rknn_rdt::RdtParams;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_algorithms(c: &mut Criterion) {
+    // One paper-like operating point: clustered data, k = 10, moderate t.
+    // RDT's shared d_k cache stays off: a warm cross-iteration cache would
+    // skew the comparison in RDT's favor (no baseline amortizes across
+    // iterations).
+    let n = 2000;
+    let k = 10;
+    let ds = Arc::new(rknn_data::gaussian_blobs(n, 16, 8, 0.3, 0xa190));
+    let forward = CoverTree::build(ds.clone(), Euclidean);
+    let queries: Vec<PointId> = rknn_data::sample_queries(n, 48, 7);
+
+    let mut rdt = RdtAlgorithm::new(RdtParams::new(k, 6.0)).with_dk_reuse(false);
+    rdt.prepare(&forward);
+    let mut plus = RdtAlgorithm::plus(RdtParams::new(k, 6.0)).with_dk_reuse(false);
+    plus.prepare(&forward);
+    let sft = Sft::new(k, 4.0);
+    let naive = NaiveRknn::new(k);
+    let mut tpl = TplAlgorithm::new(ds.clone(), Euclidean, k);
+    RknnAlgorithm::<_, CoverTree<Euclidean>>::prepare(&mut tpl, &forward);
+    let mut cop = MrknncopAlgorithm::new(ds.clone(), Euclidean, k, k);
+    RknnAlgorithm::<_, CoverTree<Euclidean>>::prepare(&mut cop, &forward);
+    let mut rdnn = RdnnAlgorithm::new(ds.clone(), Euclidean, k);
+    RknnAlgorithm::<_, CoverTree<Euclidean>>::prepare(&mut rdnn, &forward);
+
+    let mut g = c.benchmark_group("algorithm_batch_k10_n2000_q48");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("rdt_t6", |b| {
+        b.iter(|| black_box(run_algorithm_batch(&rdt, &forward, black_box(&queries), 4)))
+    });
+    g.bench_function("rdt_plus_t6", |b| {
+        b.iter(|| black_box(run_algorithm_batch(&plus, &forward, black_box(&queries), 4)))
+    });
+    g.bench_function("sft_a4", |b| {
+        b.iter(|| black_box(run_algorithm_batch(&sft, &forward, black_box(&queries), 4)))
+    });
+    g.bench_function("naive", |b| {
+        b.iter(|| {
+            black_box(run_algorithm_batch(
+                &naive,
+                &forward,
+                black_box(&queries),
+                4,
+            ))
+        })
+    });
+    g.bench_function("tpl", |b| {
+        b.iter(|| black_box(run_algorithm_batch(&tpl, &forward, black_box(&queries), 4)))
+    });
+    g.bench_function("mrknncop", |b| {
+        b.iter(|| black_box(run_algorithm_batch(&cop, &forward, black_box(&queries), 4)))
+    });
+    g.bench_function("rdnn_tree", |b| {
+        b.iter(|| black_box(run_algorithm_batch(&rdnn, &forward, black_box(&queries), 4)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

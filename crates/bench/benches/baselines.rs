@@ -23,7 +23,9 @@ fn bench_baselines(c: &mut Criterion) {
     let mut g = c.benchmark_group("rknn_query_k10_n3000");
     g.sample_size(20);
     g.measurement_time(Duration::from_secs(2));
-    g.bench_function("rdt_plus_t6", |b| b.iter(|| black_box(plus.query(&forward, black_box(5)))));
+    g.bench_function("rdt_plus_t6", |b| {
+        b.iter(|| black_box(plus.query(&forward, black_box(5))))
+    });
     g.bench_function("sft_a4", |b| {
         b.iter(|| {
             let mut st = SearchStats::new();
@@ -68,7 +70,9 @@ fn bench_baselines(c: &mut Criterion) {
     g.bench_function("rdnn_build_k10", |b| {
         b.iter(|| black_box(RdnnTree::build(small.clone(), Euclidean, 10, &small_fwd)))
     });
-    g.bench_function("tpl_build", |b| b.iter(|| black_box(Tpl::build(small.clone(), Euclidean))));
+    g.bench_function("tpl_build", |b| {
+        b.iter(|| black_box(Tpl::build(small.clone(), Euclidean)))
+    });
     g.bench_function("rdt_setup_cover_tree", |b| {
         b.iter(|| black_box(CoverTree::build(small.clone(), Euclidean)))
     });

@@ -42,9 +42,20 @@ fn bench_batch(c: &mut Criterion) {
     let seq = run_all_points(&fast_index, params, &BatchConfig::sequential());
     for q in 0..N {
         let scalar = run_query(&scalar_index, scalar_index.point(q), Some(q), params, false);
-        assert_eq!(scalar.ids(), batch.answers[q].ids(), "batch diverged at q={q}");
-        assert_eq!(scalar.ids(), seq.answers[q].ids(), "sequential driver diverged at q={q}");
-        assert_eq!(scalar.stats.termination, batch.answers[q].stats.termination, "q={q}");
+        assert_eq!(
+            scalar.ids(),
+            batch.answers[q].ids(),
+            "batch diverged at q={q}"
+        );
+        assert_eq!(
+            scalar.ids(),
+            seq.answers[q].ids(),
+            "sequential driver diverged at q={q}"
+        );
+        assert_eq!(
+            scalar.stats.termination, batch.answers[q].stats.termination,
+            "q={q}"
+        );
     }
 
     let mut g = c.benchmark_group(format!("batch_all_points_n{N}_d{DIM}_k{K}"));
@@ -63,9 +74,13 @@ fn bench_batch(c: &mut Criterion) {
     });
     g.bench_function("batch_driver_1worker", |b| {
         b.iter(|| {
-            black_box(run_all_points(&fast_index, params, &BatchConfig::sequential()))
-                .stats
-                .result_members
+            black_box(run_all_points(
+                &fast_index,
+                params,
+                &BatchConfig::sequential(),
+            ))
+            .stats
+            .result_members
         })
     });
     g.bench_function("batch_driver_4workers", |b| {

@@ -14,12 +14,25 @@ fn bench_estimators(c: &mut Criterion) {
     let mut g = c.benchmark_group("id_estimators_n2000");
     g.sample_size(10);
     g.measurement_time(Duration::from_secs(3));
-    let hill = HillEstimator { neighbors: 50, ..HillEstimator::default() };
-    g.bench_function("mle_hill", |b| b.iter(|| black_box(hill.estimate(&ds, &Euclidean))));
-    let gp = GpEstimator { pair_budget: 100_000, ..GpEstimator::default() };
+    let hill = HillEstimator {
+        neighbors: 50,
+        ..HillEstimator::default()
+    };
+    g.bench_function("mle_hill", |b| {
+        b.iter(|| black_box(hill.estimate(&ds, &Euclidean)))
+    });
+    let gp = GpEstimator {
+        pair_budget: 100_000,
+        ..GpEstimator::default()
+    };
     g.bench_function("gp", |b| b.iter(|| black_box(gp.estimate(&ds, &Euclidean))));
-    let takens = TakensEstimator { pair_budget: 100_000, ..TakensEstimator::default() };
-    g.bench_function("takens", |b| b.iter(|| black_box(takens.estimate(&ds, &Euclidean))));
+    let takens = TakensEstimator {
+        pair_budget: 100_000,
+        ..TakensEstimator::default()
+    };
+    g.bench_function("takens", |b| {
+        b.iter(|| black_box(takens.estimate(&ds, &Euclidean)))
+    });
     g.bench_function("max_ged_sampled_50", |b| {
         b.iter(|| black_box(max_ged_sampled(&ds, &Euclidean, 10, 50, 1)))
     });

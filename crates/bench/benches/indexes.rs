@@ -83,11 +83,19 @@ fn bench_indexes(c: &mut Criterion) {
     let mut g = c.benchmark_group("build_n4000_d8");
     g.sample_size(10);
     g.measurement_time(Duration::from_secs(3));
-    g.bench_function("cover_tree", |b| b.iter(|| CoverTree::build(ds.clone(), Euclidean)));
-    g.bench_function("vp_tree", |b| b.iter(|| VpTree::build(ds.clone(), Euclidean)));
-    g.bench_function("r_tree_str", |b| b.iter(|| RTree::build(ds.clone(), Euclidean)));
+    g.bench_function("cover_tree", |b| {
+        b.iter(|| CoverTree::build(ds.clone(), Euclidean))
+    });
+    g.bench_function("vp_tree", |b| {
+        b.iter(|| VpTree::build(ds.clone(), Euclidean))
+    });
+    g.bench_function("r_tree_str", |b| {
+        b.iter(|| RTree::build(ds.clone(), Euclidean))
+    });
     g.bench_function("m_tree", |b| b.iter(|| MTree::build(ds.clone(), Euclidean)));
-    g.bench_function("ball_tree", |b| b.iter(|| BallTree::build(ds.clone(), Euclidean)));
+    g.bench_function("ball_tree", |b| {
+        b.iter(|| BallTree::build(ds.clone(), Euclidean))
+    });
     g.finish();
 }
 

@@ -32,8 +32,12 @@ fn bench_rdt(c: &mut Criterion) {
     g.sample_size(20);
     g.measurement_time(Duration::from_secs(2));
     let rdt = Rdt::new(RdtParams::new(10, 6.0));
-    g.bench_function("cover_tree", |b| b.iter(|| black_box(rdt.query(&cover, black_box(7)))));
-    g.bench_function("linear_scan", |b| b.iter(|| black_box(rdt.query(&linear, black_box(7)))));
+    g.bench_function("cover_tree", |b| {
+        b.iter(|| black_box(rdt.query(&cover, black_box(7))))
+    });
+    g.bench_function("linear_scan", |b| {
+        b.iter(|| black_box(rdt.query(&linear, black_box(7))))
+    });
     g.finish();
 
     let mut g = c.benchmark_group("rdt_k_scaling_t6");

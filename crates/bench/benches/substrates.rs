@@ -52,7 +52,11 @@ fn bench_substrates(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(2));
     for index in &indexes {
         g.bench_function(index.name(), |b| {
-            b.iter(|| black_box(run_all_points(&**index, params, &cfg)).stats.result_members)
+            b.iter(|| {
+                black_box(run_all_points(&**index, params, &cfg))
+                    .stats
+                    .result_members
+            })
         });
     }
     g.finish();

@@ -11,10 +11,26 @@ use std::sync::Arc;
 fn main() {
     let opts = HarnessOpts::from_env();
     let sets: Vec<(&str, Arc<rknn_core::Dataset>, bool)> = vec![
-        ("Sequoia-like", Arc::new(sequoia_like(opts.scaled(8000), opts.seed)), true),
-        ("FCT-like", Arc::new(fct_like(opts.scaled(5000), opts.seed)), true),
-        ("ALOI-like", Arc::new(aloi_like(opts.scaled(3000), opts.seed)), true),
-        ("MNIST-like", Arc::new(mnist_like(opts.scaled(2500), opts.seed)), false),
+        (
+            "Sequoia-like",
+            Arc::new(sequoia_like(opts.scaled(8000), opts.seed)),
+            true,
+        ),
+        (
+            "FCT-like",
+            Arc::new(fct_like(opts.scaled(5000), opts.seed)),
+            true,
+        ),
+        (
+            "ALOI-like",
+            Arc::new(aloi_like(opts.scaled(3000), opts.seed)),
+            true,
+        ),
+        (
+            "MNIST-like",
+            Arc::new(mnist_like(opts.scaled(2500), opts.seed)),
+            false,
+        ),
     ];
     let mut all = Vec::new();
     for (name, ds, cover) in sets {

@@ -19,6 +19,19 @@
 //! tree-traversal core, with build time, batch time and work counters —
 //! the perf trajectory's tree-index datapoints.
 //!
+//! A fifth section (`algorithms`) runs **every method** — RDT, RDT+ and
+//! all five baselines — over one sampled query batch on a cover-tree
+//! forward index through the algorithm-generic `RknnAlgorithm` driver:
+//! per-method wall time (sequential and batch-parallel with the batch
+//! speedup), distance computations, precompute time and result counts.
+//! For naive and SFT it additionally replays the pre-refactor **boxed**
+//! execution path (full-precision metric, allocating `knn`/`range_count`
+//! through unbounded cursors) on the same data and asserts the unified
+//! path needs no more distance evaluations — the recorded
+//! `boxed_dist_comps`-vs-`dist_comps` gap is the `dist_lt`/bounded-cursor
+//! pruning dividend. Override the per-algorithm query sample with
+//! `RKNN_BENCH_ALGO_QUERIES` (default 48).
+//!
 //! Result sets are asserted identical across every path and substrate
 //! before any number is written. Wall times take the best of
 //! `RKNN_BENCH_REPS` repetitions (default 3) to damp scheduler noise;
@@ -29,20 +42,28 @@
 //! `RKNN_BENCH_THREADS`, `RKNN_BENCH_OUT` (output path, default
 //! `BENCH_rdt.json`).
 
-use rknn_core::{Euclidean, FullPrecision};
+use rknn_baselines::{MrknncopAlgorithm, NaiveRknn, RdnnAlgorithm, Sft, TplAlgorithm};
+use rknn_core::{Euclidean, FullPrecision, Metric, Neighbor, PointId, SearchStats};
 use rknn_eval::experiments::substrates::{run_substrate_sweep, SubstrateSweepConfig};
-use rknn_index::{KnnIndex, LinearScan};
+use rknn_index::{CoverTree, KnnIndex, LinearScan};
+use rknn_rdt::algorithm::{run_algorithm_batch, AlgorithmAnswer, RdtAlgorithm, RknnAlgorithm};
 use rknn_rdt::batch::{run_all_points, BatchConfig};
 use rknn_rdt::engine::run_query;
 use rknn_rdt::{BatchOutcome, RdtParams};
 use std::time::Instant;
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
@@ -55,6 +76,172 @@ fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
         last = Some(r);
     }
     (best_ms, last.expect("at least one repetition"))
+}
+
+/// One row of the `algorithms` section.
+struct AlgoEntry {
+    name: String,
+    precompute_ms: f64,
+    seq_ms: f64,
+    batch_ms: f64,
+    dist_comps: u64,
+    result_members: usize,
+    boxed_dist_comps: Option<u64>,
+}
+
+impl AlgoEntry {
+    fn to_json(&self) -> String {
+        let boxed = self
+            .boxed_dist_comps
+            .map(|b| format!(", \"boxed_dist_comps\": {b}"))
+            .unwrap_or_default();
+        format!(
+            "    {{ \"algorithm\": \"{name}\", \"precompute_ms\": {pre:.2}, \
+             \"seq_ms\": {seq:.2}, \"batch_ms\": {batch:.2}, \"batch_speedup\": {spd:.2}, \
+             \"dist_comps\": {dist}, \"result_members\": {members}{boxed} }}",
+            name = self.name,
+            pre = self.precompute_ms,
+            seq = self.seq_ms,
+            batch = self.batch_ms,
+            spd = if self.batch_ms > 0.0 {
+                self.seq_ms / self.batch_ms
+            } else {
+                1.0
+            },
+            dist = self.dist_comps,
+            members = self.result_members,
+        )
+    }
+}
+
+/// Prepares `algo` and measures the sampled query batch through the
+/// unified driver, sequentially and batch-parallel; batch results are
+/// asserted identical to the sequential run before anything is recorded.
+fn measure_algorithm<A>(
+    mut algo: A,
+    index: &CoverTree<Euclidean>,
+    queries: &[PointId],
+    threads: usize,
+    reps: usize,
+) -> (AlgoEntry, Vec<Vec<PointId>>)
+where
+    A: RknnAlgorithm<Euclidean, CoverTree<Euclidean>>,
+{
+    algo.prepare(index);
+    let pre_ms = algo.precompute_time().as_secs_f64() * 1e3;
+    let (seq_ms, seq) = best_of(reps, || run_algorithm_batch(&algo, index, queries, 1));
+    let (batch_ms, out) = best_of(reps, || run_algorithm_batch(&algo, index, queries, threads));
+    let ids: Vec<Vec<PointId>> = seq
+        .answers
+        .iter()
+        .map(|a| a.neighbors().iter().map(|n| n.id).collect())
+        .collect();
+    for (i, ans) in out.answers.iter().enumerate() {
+        let got: Vec<PointId> = ans.neighbors().iter().map(|n| n.id).collect();
+        assert_eq!(
+            got,
+            ids[i],
+            "{}: batch diverged from sequential",
+            algo.name()
+        );
+    }
+    (
+        AlgoEntry {
+            name: algo.name(),
+            precompute_ms: pre_ms,
+            seq_ms,
+            batch_ms,
+            dist_comps: seq.stats.search.dist_computations,
+            result_members: seq.stats.result_members,
+            boxed_dist_comps: None,
+        },
+        ids,
+    )
+}
+
+/// The pre-refactor naive execution path: full-precision metric, one
+/// allocating boxed `range_count` per candidate.
+fn legacy_boxed_naive(
+    index: &CoverTree<FullPrecision<Euclidean>>,
+    queries: &[PointId],
+    k: usize,
+) -> (u64, Vec<Vec<PointId>>) {
+    let metric = *index.metric();
+    let mut stats = SearchStats::new();
+    let mut all = Vec::new();
+    for &q in queries {
+        let qp = index.point(q).to_vec();
+        let mut out: Vec<Neighbor> = Vec::new();
+        for x in 0..index.num_points() {
+            if x == q {
+                continue;
+            }
+            stats.count_dist();
+            let d = metric.dist(index.point(x), &qp);
+            let closer = index.range_count(index.point(x), d, true, Some(x), &mut stats);
+            if closer < k {
+                out.push(Neighbor::new(x, d));
+            }
+        }
+        rknn_core::neighbor::sort_neighbors(&mut out);
+        all.push(out.into_iter().map(|n| n.id).collect());
+    }
+    (stats.dist_computations, all)
+}
+
+/// The pre-refactor SFT execution path: boxed `knn` candidate retrieval,
+/// full-precision pairwise filtering, boxed `range_count` verification.
+fn legacy_boxed_sft(
+    index: &CoverTree<FullPrecision<Euclidean>>,
+    queries: &[PointId],
+    k: usize,
+    alpha: f64,
+) -> (u64, Vec<Vec<PointId>>) {
+    let metric = *index.metric();
+    let budget = Sft::new(k, alpha).candidate_budget();
+    let mut stats = SearchStats::new();
+    let mut all = Vec::new();
+    for &q in queries {
+        let candidates = index.knn(index.point(q), budget, Some(q), &mut stats);
+        let m = candidates.len();
+        let mut alive = vec![true; m];
+        for i in 0..m {
+            let xi = index.point(candidates[i].id);
+            let mut closer = 0usize;
+            for (j, other) in candidates.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                stats.count_dist();
+                if metric.dist(xi, index.point(other.id)) < candidates[i].dist {
+                    closer += 1;
+                    if closer >= k {
+                        alive[i] = false;
+                        break;
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for (i, cand) in candidates.iter().enumerate() {
+            if !alive[i] {
+                continue;
+            }
+            let closer = index.range_count(
+                index.point(cand.id),
+                cand.dist,
+                true,
+                Some(cand.id),
+                &mut stats,
+            );
+            if closer < k {
+                out.push(*cand);
+            }
+        }
+        rknn_core::neighbor::sort_neighbors(&mut out);
+        all.push(out.into_iter().map(|n| n.id).collect());
+    }
+    (stats.dist_computations, all)
 }
 
 fn main() {
@@ -71,7 +258,7 @@ fn main() {
 
     let ds = rknn_data::gaussian_blobs(n, dim, clusters, sigma, 0xbe7c).into_shared();
     let scalar_index = LinearScan::build(ds.clone(), FullPrecision(Euclidean));
-    let fast_index = LinearScan::build(ds, Euclidean);
+    let fast_index = LinearScan::build(ds.clone(), Euclidean);
 
     // 1. Sequential scalar per-query loop (the pre-batch-engine path).
     let (scalar_ms, scalar_answers) = best_of(reps, || {
@@ -81,12 +268,17 @@ fn main() {
     });
 
     // 2. Batch driver, one worker: scratch reuse + early abandonment only.
-    let (fast_seq_ms, fast_seq): (f64, BatchOutcome) =
-        best_of(reps, || run_all_points(&fast_index, params, &BatchConfig::sequential()));
+    let (fast_seq_ms, fast_seq): (f64, BatchOutcome) = best_of(reps, || {
+        run_all_points(&fast_index, params, &BatchConfig::sequential())
+    });
 
     // 3. Batch driver, `threads` workers.
     let (batch_ms, batch): (f64, BatchOutcome) = best_of(reps, || {
-        run_all_points(&fast_index, params, &BatchConfig::default().with_threads(threads))
+        run_all_points(
+            &fast_index,
+            params,
+            &BatchConfig::default().with_threads(threads),
+        )
     });
 
     // Identical result sets (and terminations) across all three paths.
@@ -101,7 +293,10 @@ fn main() {
             batch.answers[q].ids(),
             "batch diverged from scalar at q={q}"
         );
-        assert_eq!(scalar_ans.stats.termination, batch.answers[q].stats.termination, "q={q}");
+        assert_eq!(
+            scalar_ans.stats.termination, batch.answers[q].stats.termination,
+            "q={q}"
+        );
     }
 
     // 4. The same batch job per substrate, every one through the shared
@@ -134,17 +329,119 @@ fn main() {
         })
         .collect();
 
+    // 5. Every method — RDT, RDT+ and the five baselines — over one
+    //    sampled query batch on a cover-tree forward index, all through
+    //    the algorithm-generic driver; naive and SFT additionally replay
+    //    the pre-refactor boxed path for the pruning-dividend comparison.
+    let algo_queries = env_usize("RKNN_BENCH_ALGO_QUERIES", 48).min(n);
+    let aq: Vec<PointId> = rknn_data::sample_queries(n, algo_queries, 0xa1fa);
+    let cover = CoverTree::build(ds.clone(), Euclidean);
+    let boxed_cover = CoverTree::build(ds.clone(), FullPrecision(Euclidean));
+    let alpha = 4.0;
+
+    let mut algo_entries: Vec<AlgoEntry> = Vec::new();
+    // d_k reuse off so the recorded RDT work counters are
+    // scheduling-independent and reproducible.
+    algo_entries.push(
+        measure_algorithm(
+            RdtAlgorithm::new(params).with_dk_reuse(false),
+            &cover,
+            &aq,
+            threads,
+            reps,
+        )
+        .0,
+    );
+    algo_entries.push(
+        measure_algorithm(
+            RdtAlgorithm::plus(params).with_dk_reuse(false),
+            &cover,
+            &aq,
+            threads,
+            reps,
+        )
+        .0,
+    );
+
+    let (mut sft_entry, sft_ids) =
+        measure_algorithm(Sft::new(k, alpha), &cover, &aq, threads, reps);
+    let (sft_boxed, sft_boxed_ids) = legacy_boxed_sft(&boxed_cover, &aq, k, alpha);
+    assert_eq!(
+        sft_ids, sft_boxed_ids,
+        "SFT unified path diverged from the boxed path"
+    );
+    assert!(
+        sft_entry.dist_comps <= sft_boxed,
+        "SFT unified path must not evaluate more distances than the boxed path \
+         ({} vs {})",
+        sft_entry.dist_comps,
+        sft_boxed
+    );
+    sft_entry.boxed_dist_comps = Some(sft_boxed);
+    algo_entries.push(sft_entry);
+
+    let (mut naive_entry, naive_ids) =
+        measure_algorithm(NaiveRknn::new(k), &cover, &aq, threads, reps);
+    let (naive_boxed, naive_boxed_ids) = legacy_boxed_naive(&boxed_cover, &aq, k);
+    assert_eq!(
+        naive_ids, naive_boxed_ids,
+        "naive unified path diverged from the boxed path"
+    );
+    assert!(
+        naive_entry.dist_comps <= naive_boxed,
+        "naive unified path must not evaluate more distances than the boxed path \
+         ({} vs {})",
+        naive_entry.dist_comps,
+        naive_boxed
+    );
+    naive_entry.boxed_dist_comps = Some(naive_boxed);
+    algo_entries.push(naive_entry);
+
+    algo_entries.push(
+        measure_algorithm(
+            TplAlgorithm::new(ds.clone(), Euclidean, k),
+            &cover,
+            &aq,
+            threads,
+            reps,
+        )
+        .0,
+    );
+    algo_entries.push(
+        measure_algorithm(
+            MrknncopAlgorithm::new(ds.clone(), Euclidean, k, k),
+            &cover,
+            &aq,
+            threads,
+            reps,
+        )
+        .0,
+    );
+    algo_entries.push(
+        measure_algorithm(
+            RdnnAlgorithm::new(ds.clone(), Euclidean, k),
+            &cover,
+            &aq,
+            threads,
+            reps,
+        )
+        .0,
+    );
+    let algorithm_json: Vec<String> = algo_entries.iter().map(AlgoEntry::to_json).collect();
+
     let st = &batch.stats;
     let speedup_batch = scalar_ms / batch_ms;
     let speedup_fast_seq = scalar_ms / fast_seq_ms;
     let json = format!(
-        "{{\n  \"bench\": \"batch_all_points_rknn\",\n  \"substrate\": \"linear-scan\",\n  \"dataset\": \"gaussian_blobs\",\n  \"n\": {n},\n  \"dim\": {dim},\n  \"k\": {k},\n  \"t\": {t},\n  \"threads\": {threads},\n  \"reps\": {reps},\n  \"scalar_sequential_ms\": {scalar_ms:.2},\n  \"fast_sequential_ms\": {fast_seq_ms:.2},\n  \"batch_ms\": {batch_ms:.2},\n  \"speedup_fast_sequential\": {speedup_fast_seq:.2},\n  \"speedup_batch\": {speedup_batch:.2},\n  \"identical_results\": true,\n  \"total_dist_comps\": {dist},\n  \"witness_pairs\": {wp},\n  \"witness_dist_comps\": {wd},\n  \"retrieved\": {retr},\n  \"result_members\": {members},\n  \"substrates\": [\n{subs}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"batch_all_points_rknn\",\n  \"substrate\": \"linear-scan\",\n  \"dataset\": \"gaussian_blobs\",\n  \"n\": {n},\n  \"dim\": {dim},\n  \"k\": {k},\n  \"t\": {t},\n  \"threads\": {threads},\n  \"reps\": {reps},\n  \"scalar_sequential_ms\": {scalar_ms:.2},\n  \"fast_sequential_ms\": {fast_seq_ms:.2},\n  \"batch_ms\": {batch_ms:.2},\n  \"speedup_fast_sequential\": {speedup_fast_seq:.2},\n  \"speedup_batch\": {speedup_batch:.2},\n  \"identical_results\": true,\n  \"total_dist_comps\": {dist},\n  \"witness_pairs\": {wp},\n  \"witness_dist_comps\": {wd},\n  \"retrieved\": {retr},\n  \"result_members\": {members},\n  \"substrates\": [\n{subs}\n  ],\n  \"algorithms\": {{\n  \"forward_index\": \"cover-tree\",\n  \"queries\": {aqn},\n  \"entries\": [\n{algos}\n  ] }}\n}}\n",
         dist = st.total_dist_comps(),
         wp = st.witness_pairs,
         wd = st.witness_dist_comps,
         retr = st.retrieved,
         members = st.result_members,
         subs = substrate_entries.join(",\n"),
+        aqn = aq.len(),
+        algos = algorithm_json.join(",\n"),
     );
     print!("{json}");
     if let Err(e) = std::fs::write(&out_path, &json) {

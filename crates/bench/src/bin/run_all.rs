@@ -32,7 +32,10 @@ fn main() {
                 failed.push(bin);
             }
             Err(e) => {
-                eprintln!("cannot run {}: {e} (build with `cargo build --release -p rknn-bench`)", path.display());
+                eprintln!(
+                    "cannot run {}: {e} (build with `cargo build --release -p rknn-bench`)",
+                    path.display()
+                );
                 failed.push(bin);
             }
         }

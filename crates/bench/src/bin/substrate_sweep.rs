@@ -4,7 +4,9 @@
 //! and the sequential scan, §7.1).
 
 use rknn_bench::HarnessOpts;
-use rknn_eval::experiments::substrates::{rows_to_table, run_substrate_sweep, SubstrateSweepConfig};
+use rknn_eval::experiments::substrates::{
+    rows_to_table, run_substrate_sweep, SubstrateSweepConfig,
+};
 
 fn main() {
     let opts = HarnessOpts::from_env();

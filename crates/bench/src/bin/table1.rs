@@ -9,10 +9,22 @@ use std::sync::Arc;
 fn main() {
     let opts = HarnessOpts::from_env();
     let sets = vec![
-        ("Sequoia-like".to_string(), Arc::new(sequoia_like(opts.scaled(8000), opts.seed))),
-        ("FCT-like".to_string(), Arc::new(fct_like(opts.scaled(5000), opts.seed))),
-        ("ALOI-like".to_string(), Arc::new(aloi_like(opts.scaled(3000), opts.seed))),
-        ("MNIST-like".to_string(), Arc::new(mnist_like(opts.scaled(2500), opts.seed))),
+        (
+            "Sequoia-like".to_string(),
+            Arc::new(sequoia_like(opts.scaled(8000), opts.seed)),
+        ),
+        (
+            "FCT-like".to_string(),
+            Arc::new(fct_like(opts.scaled(5000), opts.seed)),
+        ),
+        (
+            "ALOI-like".to_string(),
+            Arc::new(aloi_like(opts.scaled(3000), opts.seed)),
+        ),
+        (
+            "MNIST-like".to_string(),
+            Arc::new(mnist_like(opts.scaled(2500), opts.seed)),
+        ),
     ];
     let rows = run_table1(&sets);
     opts.emit("table1", &rows_to_table(&rows));

@@ -22,12 +22,28 @@ fn main() {
     let k = 5usize;
     let mut table = Table::new(
         "Theory check: Lemma 1 and Theorem 1 on random workloads",
-        &["dataset", "n", "MaxGED(S,k)", "lemma1_viol", "exact_at_t*", "miss_radius_viol"],
+        &[
+            "dataset",
+            "n",
+            "MaxGED(S,k)",
+            "lemma1_viol",
+            "exact_at_t*",
+            "miss_radius_viol",
+        ],
     );
     for (name, ds) in [
-        ("uniform-2d", rknn_data::uniform_cube(opts.scaled(150), 2, opts.seed)),
-        ("blobs-3d", rknn_data::gaussian_blobs(opts.scaled(150), 3, 4, 0.7, opts.seed)),
-        ("sequoia-like", rknn_data::sequoia_like(opts.scaled(150), opts.seed)),
+        (
+            "uniform-2d",
+            rknn_data::uniform_cube(opts.scaled(150), 2, opts.seed),
+        ),
+        (
+            "blobs-3d",
+            rknn_data::gaussian_blobs(opts.scaled(150), 3, 4, 0.7, opts.seed),
+        ),
+        (
+            "sequoia-like",
+            rknn_data::sequoia_like(opts.scaled(150), opts.seed),
+        ),
     ] {
         let ds = ds.into_shared();
         let n = ds.len();
@@ -72,7 +88,11 @@ fn main() {
             let got: std::collections::HashSet<_> = ans.ids().into_iter().collect();
             let d_ref = dk_from(&ds, &m, ds.point(q), k + 1, Some(q)).unwrap_or(f64::INFINITY);
             let radius = guarantee_radius(d_ref, ans.stats.retrieved, k, t_low);
-            for missed in bf.rknn(q, k, &mut st).iter().filter(|x| !got.contains(&x.id)) {
+            for missed in bf
+                .rknn(q, k, &mut st)
+                .iter()
+                .filter(|x| !got.contains(&x.id))
+            {
                 // Guaranteed: every miss lies strictly beyond the radius.
                 if missed.dist <= radius * (1.0 - 1e-9) {
                     radius_violations += 1;
@@ -84,7 +104,11 @@ fn main() {
             n.to_string(),
             format!("{t_star:.2}"),
             lemma_violations.to_string(),
-            if exact_everywhere { "yes".into() } else { "NO".to_string() },
+            if exact_everywhere {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
             radius_violations.to_string(),
         ]);
     }

@@ -30,12 +30,26 @@ pub struct HarnessOpts {
 impl HarnessOpts {
     /// Reads options from the environment.
     pub fn from_env() -> Self {
-        let scale = std::env::var("RKNN_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0);
-        let queries = std::env::var("RKNN_QUERIES").ok().and_then(|v| v.parse().ok());
-        let seed = std::env::var("RKNN_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(0x5eed);
-        let out_dir =
-            std::env::var("RKNN_OUT").map(PathBuf::from).unwrap_or_else(|_| PathBuf::from("results"));
-        HarnessOpts { scale, queries, seed, out_dir }
+        let scale = std::env::var("RKNN_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1.0);
+        let queries = std::env::var("RKNN_QUERIES")
+            .ok()
+            .and_then(|v| v.parse().ok());
+        let seed = std::env::var("RKNN_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0x5eed);
+        let out_dir = std::env::var("RKNN_OUT")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("results"));
+        HarnessOpts {
+            scale,
+            queries,
+            seed,
+            out_dir,
+        }
     }
 
     /// Applies the scale factor to a default size (minimum 64 points).

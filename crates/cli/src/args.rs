@@ -54,14 +54,17 @@ impl Args {
 
     /// A required string option.
     pub fn require(&self, key: &str) -> Result<&str, String> {
-        self.get(key).ok_or_else(|| format!("missing required option --{key}"))
+        self.get(key)
+            .ok_or_else(|| format!("missing required option --{key}"))
     }
 
     /// A parsed numeric/typed option with default.
     pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("cannot parse --{key} value '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("cannot parse --{key} value '{v}'")),
         }
     }
 

@@ -1,11 +1,14 @@
 //! Subcommand implementations.
 
 use crate::args::Args;
-use rknn_baselines::{NaiveRknn, Sft};
-use rknn_core::{Dataset, Euclidean, SearchStats};
+use rknn_baselines::{MrknncopAlgorithm, NaiveRknn, RdnnAlgorithm, Sft, TplAlgorithm};
+use rknn_core::{Dataset, Euclidean, PointId};
 use rknn_index::{CoverTree, KnnIndex, LinearScan};
 use rknn_lid::{GpEstimator, HillEstimator, IdEstimator, TakensEstimator, TwoNnEstimator};
-use rknn_rdt::{Rdt, RdtAdaptive, RdtParams, RdtPlus};
+use rknn_rdt::algorithm::{
+    run_algorithm_batch, AlgorithmAnswer, AlgorithmOutcome, RdtAlgorithm, RknnAlgorithm,
+};
+use rknn_rdt::{RdtParams, RdtPlus, RdtVariant};
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
@@ -55,7 +58,10 @@ pub fn gen(args: &Args) -> Result<(), String> {
 pub fn estimate(args: &Args) -> Result<(), String> {
     let ds = load_dataset(args)?;
     println!("dataset: {} points × {} dims", ds.len(), ds.dim());
-    println!("{:<8} {:>9} {:>10} {:>9}", "method", "estimate", "samples", "time_s");
+    println!(
+        "{:<8} {:>9} {:>10} {:>9}",
+        "method", "estimate", "samples", "time_s"
+    );
     let estimators: Vec<Box<dyn IdEstimator>> = vec![
         Box::new(HillEstimator::new()),
         Box::new(GpEstimator::new()),
@@ -83,7 +89,9 @@ enum Substrate {
 
 impl Substrate {
     fn build(args: &Args, ds: Arc<Dataset>) -> Result<(Self, f64), String> {
-        let name = args.get("substrate").unwrap_or(if ds.dim() > 100 { "linear" } else { "cover" });
+        let name = args
+            .get("substrate")
+            .unwrap_or(if ds.dim() > 100 { "linear" } else { "cover" });
         let start = Instant::now();
         let sub = match name {
             "cover" => Substrate::Cover(CoverTree::build(ds, Euclidean)),
@@ -101,7 +109,30 @@ impl Substrate {
     }
 }
 
-/// `query`: one reverse-kNN query.
+/// The shared forward-index type every CLI method dispatches against.
+type DynIndex<'a> = dyn KnnIndex<Euclidean> + 'a;
+
+/// Prepares an algorithm and answers the single query through the
+/// algorithm-generic batch driver — the same lifecycle and plumbing every
+/// method runs in the experiments.
+fn run_unified<'a, A>(
+    mut algo: A,
+    index: &'a DynIndex<'a>,
+    q: PointId,
+) -> (AlgorithmOutcome<A::Answer>, f64, f64)
+where
+    A: RknnAlgorithm<Euclidean, DynIndex<'a>>,
+{
+    let start = Instant::now();
+    algo.prepare(index);
+    let prepare_ms = start.elapsed().as_secs_f64() * 1e3;
+    let out = run_algorithm_batch(&algo, index, &[q], 1);
+    let query_ms = out.elapsed.as_secs_f64() * 1e3;
+    (out, prepare_ms, query_ms)
+}
+
+/// `query`: one reverse-kNN query, dispatched through the unified
+/// [`RknnAlgorithm`] lifecycle (prepare → worker → query) for every method.
 pub fn query(args: &Args) -> Result<(), String> {
     let ds = load_dataset(args)?;
     let q: usize = args.get_parsed("q", 0)?;
@@ -115,21 +146,26 @@ pub fn query(args: &Args) -> Result<(), String> {
     let method = args.get("method").unwrap_or("rdt+");
     let (sub, build_ms) = Substrate::build(args, ds.clone())?;
     let index = sub.as_index();
-    let start = Instant::now();
-    let (ids, note) = match method {
+    let (ids, note, prepare_ms, query_ms) = match method {
         "rdt" | "rdt+" => {
-            let ans = if args.has_flag("adaptive") {
+            let algo = if args.has_flag("adaptive") {
                 let safety: f64 = args.get_parsed("safety", 2.0)?;
-                RdtAdaptive::new(k, safety).with_plus(method == "rdt+").query(index, q)
+                RdtAlgorithm::adaptive(k, safety, 1.0).with_variant(if method == "rdt+" {
+                    RdtVariant::Plus
+                } else {
+                    RdtVariant::Plain
+                })
             } else {
                 let t: f64 = args.get_parsed("t", 4.0)?;
                 let params = RdtParams::new(k, t);
                 if method == "rdt+" {
-                    RdtPlus::new(params).query(index, q)
+                    RdtAlgorithm::plus(params)
                 } else {
-                    Rdt::new(params).query(index, q)
+                    RdtAlgorithm::new(params)
                 }
             };
+            let (out, prepare_ms, query_ms) = run_unified(algo, index, q);
+            let ans = &out.answers[0];
             let note = format!(
                 "retrieved {} candidates, {} lazy accepts, {} lazy rejects, {} verified, \
                  {} distance computations",
@@ -139,28 +175,69 @@ pub fn query(args: &Args) -> Result<(), String> {
                 ans.stats.verified,
                 ans.stats.total_dist_comps()
             );
-            (ans.ids(), note)
+            (ans.ids(), note, prepare_ms, query_ms)
         }
         "sft" => {
             let alpha: f64 = args.get_parsed("alpha", 4.0)?;
-            let mut st = SearchStats::new();
-            let res = Sft::new(k, alpha).query(index, q, &mut st);
-            let note = format!("{} distance computations", st.dist_computations);
-            (res.into_iter().map(|n| n.id).collect(), note)
+            let (out, prepare_ms, query_ms) = run_unified(Sft::new(k, alpha), index, q);
+            let ans = &out.answers[0];
+            let note = format!("{} distance computations", ans.work().dist_computations);
+            (ans.ids(), note, prepare_ms, query_ms)
         }
         "naive" => {
-            let mut st = SearchStats::new();
-            let res = NaiveRknn::new(k).query(index, q, &mut st);
-            let note = format!("{} distance computations (exact)", st.dist_computations);
-            (res.into_iter().map(|n| n.id).collect(), note)
+            let (out, prepare_ms, query_ms) = run_unified(NaiveRknn::new(k), index, q);
+            let ans = &out.answers[0];
+            let note = format!(
+                "{} distance computations (exact)",
+                ans.work().dist_computations
+            );
+            (ans.ids(), note, prepare_ms, query_ms)
         }
-        other => return Err(format!("unknown method '{other}' (rdt+|rdt|sft|naive)")),
+        "tpl" => {
+            let algo = TplAlgorithm::new(ds.clone(), Euclidean, k);
+            let (out, prepare_ms, query_ms) = run_unified(algo, index, q);
+            let ans = &out.answers[0];
+            let note = format!(
+                "{} distance computations (exact; own R-tree built in prepare)",
+                ans.work().dist_computations
+            );
+            (ans.ids(), note, prepare_ms, query_ms)
+        }
+        "mrknncop" => {
+            let k_max: usize = args.get_parsed("kmax", k.max(10))?;
+            if k_max < k {
+                return Err(format!("kmax {k_max} must be >= k {k}"));
+            }
+            let algo = MrknncopAlgorithm::new(ds.clone(), Euclidean, k, k_max);
+            let (out, prepare_ms, query_ms) = run_unified(algo, index, q);
+            let ans = &out.answers[0];
+            let note = format!(
+                "{} distance computations (exact for any k <= {k_max}; bound lines \
+                 fitted in prepare)",
+                ans.work().dist_computations
+            );
+            (ans.ids(), note, prepare_ms, query_ms)
+        }
+        "rdnn" => {
+            let algo = RdnnAlgorithm::new(ds.clone(), Euclidean, k);
+            let (out, prepare_ms, query_ms) = run_unified(algo, index, q);
+            let ans = &out.answers[0];
+            let note = format!(
+                "{} distance computations (exact for k = {k} only; kNN pass in prepare)",
+                ans.work().dist_computations
+            );
+            (ans.ids(), note, prepare_ms, query_ms)
+        }
+        other => {
+            return Err(format!(
+                "unknown method '{other}' (rdt+|rdt|sft|naive|tpl|mrknncop|rdnn)"
+            ))
+        }
     };
-    let query_ms = start.elapsed().as_secs_f64() * 1e3;
     println!("RkNN({q}, {k}) via {method} [{}]:", index.name());
     println!("  {} reverse neighbors: {:?}", ids.len(), ids);
     println!("  {note}");
-    println!("  build {build_ms:.2} ms, query {query_ms:.3} ms");
+    println!("  build {build_ms:.2} ms, prepare {prepare_ms:.2} ms, query {query_ms:.3} ms");
     Ok(())
 }
 
@@ -173,19 +250,32 @@ pub fn hubness(args: &Args) -> Result<(), String> {
     let (sub, _) = Substrate::build(args, ds.clone())?;
     let index = sub.as_index();
     let rdt = RdtPlus::new(RdtParams::new(k, t));
-    let mut counts: Vec<usize> = (0..ds.len()).map(|q| rdt.query(index, q).result.len()).collect();
+    let mut counts: Vec<usize> = (0..ds.len())
+        .map(|q| rdt.query(index, q).result.len())
+        .collect();
     let n = counts.len() as f64;
     let mean = counts.iter().sum::<usize>() as f64 / n;
-    let var = counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n;
+    let var = counts
+        .iter()
+        .map(|&c| (c as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
     let sd = var.sqrt();
     let skew = if sd > 0.0 {
-        counts.iter().map(|&c| ((c as f64 - mean) / sd).powi(3)).sum::<f64>() / n
+        counts
+            .iter()
+            .map(|&c| ((c as f64 - mean) / sd).powi(3))
+            .sum::<f64>()
+            / n
     } else {
         0.0
     };
     counts.sort_unstable();
     let pct = |p: f64| counts[((counts.len() - 1) as f64 * p) as usize];
-    println!("reverse-{k}NN count distribution over {} points (t = {t}):", ds.len());
+    println!(
+        "reverse-{k}NN count distribution over {} points (t = {t}):",
+        ds.len()
+    );
     println!("  mean {mean:.2}  sd {sd:.2}  skewness {skew:.2}");
     println!(
         "  min {}  p25 {}  median {}  p75 {}  p99 {}  max {}",
@@ -238,21 +328,46 @@ mod tests {
     }
 
     fn tmp(name: &str) -> String {
-        std::env::temp_dir().join(name).to_string_lossy().into_owned()
+        std::env::temp_dir()
+            .join(name)
+            .to_string_lossy()
+            .into_owned()
     }
 
     #[test]
     fn gen_estimate_query_roundtrip() {
         let path = tmp("rknn_cli_test.fvb");
-        gen(&args(&format!("gen --kind blobs --n 400 --dim 4 --out {path} --seed 3")))
-            .unwrap();
+        gen(&args(&format!(
+            "gen --kind blobs --n 400 --dim 4 --out {path} --seed 3"
+        )))
+        .unwrap();
         info(&args(&format!("info --input {path}"))).unwrap();
         estimate(&args(&format!("estimate --input {path}"))).unwrap();
         query(&args(&format!("query --input {path} --q 5 --k 5 --t 6"))).unwrap();
-        query(&args(&format!("query --input {path} --q 5 --k 5 --adaptive"))).unwrap();
-        query(&args(&format!("query --input {path} --q 5 --k 5 --method sft --alpha 4")))
-            .unwrap();
-        query(&args(&format!("query --input {path} --q 5 --k 5 --method naive"))).unwrap();
+        query(&args(&format!(
+            "query --input {path} --q 5 --k 5 --adaptive"
+        )))
+        .unwrap();
+        query(&args(&format!(
+            "query --input {path} --q 5 --k 5 --method sft --alpha 4"
+        )))
+        .unwrap();
+        query(&args(&format!(
+            "query --input {path} --q 5 --k 5 --method naive"
+        )))
+        .unwrap();
+        query(&args(&format!(
+            "query --input {path} --q 5 --k 5 --method tpl"
+        )))
+        .unwrap();
+        query(&args(&format!(
+            "query --input {path} --q 5 --k 5 --method mrknncop --kmax 8"
+        )))
+        .unwrap();
+        query(&args(&format!(
+            "query --input {path} --q 5 --k 5 --method rdnn"
+        )))
+        .unwrap();
         hubness(&args(&format!("hubness --input {path} --k 3 --t 6"))).unwrap();
         let _ = std::fs::remove_file(&path);
     }
@@ -262,13 +377,24 @@ mod tests {
         assert!(gen(&args("gen --kind nope --n 10 --out /tmp/x.csv")).is_err());
         assert!(query(&args("query --input /nonexistent.csv --q 0 --k 3")).is_err());
         let path = tmp("rknn_cli_err.csv");
-        gen(&args(&format!("gen --kind uniform --n 20 --dim 2 --out {path}"))).unwrap();
+        gen(&args(&format!(
+            "gen --kind uniform --n 20 --dim 2 --out {path}"
+        )))
+        .unwrap();
         assert!(query(&args(&format!("query --input {path} --q 999 --k 3"))).is_err());
         assert!(query(&args(&format!("query --input {path} --q 0 --k 0"))).is_err());
-        assert!(query(&args(&format!("query --input {path} --q 0 --k 3 --method woo"))).is_err());
-        assert!(
-            query(&args(&format!("query --input {path} --q 0 --k 3 --substrate woo"))).is_err()
-        );
+        assert!(query(&args(&format!(
+            "query --input {path} --q 0 --k 3 --method woo"
+        )))
+        .is_err());
+        assert!(query(&args(&format!(
+            "query --input {path} --q 0 --k 5 --method mrknncop --kmax 3"
+        )))
+        .is_err());
+        assert!(query(&args(&format!(
+            "query --input {path} --q 0 --k 3 --substrate woo"
+        )))
+        .is_err());
         let _ = std::fs::remove_file(&path);
     }
 }

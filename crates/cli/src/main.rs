@@ -3,7 +3,8 @@
 //! ```text
 //! rknn-cli gen      --kind sequoia --n 10000 --out pts.fvb [--seed 1] [--dim 64]
 //! rknn-cli estimate --input pts.fvb
-//! rknn-cli query    --input pts.fvb --q 123 --k 10 [--t 5 | --adaptive] [--method rdt+|rdt|sft|naive]
+//! rknn-cli query    --input pts.fvb --q 123 --k 10 [--t 5 | --adaptive]
+//!                   [--method rdt+|rdt|sft|naive|tpl|mrknncop|rdnn]
 //! rknn-cli hubness  --input pts.fvb --k 10 [--t 8]
 //! rknn-cli info     --input pts.fvb
 //! ```
@@ -25,8 +26,9 @@ USAGE:
                     --n <points> --out <file[.csv|.fvb]> [--seed S] [--dim D]
   rknn-cli estimate --input <file>            intrinsic-dimensionality estimates
   rknn-cli query    --input <file> --q <id> --k <rank>
-                    [--t <scale> | --adaptive] [--method rdt+|rdt|sft|naive]
-                    [--substrate cover|linear] [--alpha A]
+                    [--t <scale> | --adaptive]
+                    [--method rdt+|rdt|sft|naive|tpl|mrknncop|rdnn]
+                    [--substrate cover|linear] [--alpha A] [--kmax K]
   rknn-cli hubness  --input <file> --k <rank> [--t <scale>]
   rknn-cli info     --input <file>            dataset summary
 

@@ -88,21 +88,35 @@ impl BestFirst {
     #[inline]
     pub fn push_point(&mut self, n: Neighbor) {
         self.pushes += 1;
-        self.heap.push(Entry { key: OrderedF64::new(n.dist), is_node: false, id: n.id, payload: n.dist });
+        self.heap.push(Entry {
+            key: OrderedF64::new(n.dist),
+            is_node: false,
+            id: n.id,
+            payload: n.dist,
+        });
     }
 
     /// Queues a node with a lower bound `key` and arbitrary `payload`.
     #[inline]
     pub fn push_node(&mut self, id: usize, key: f64, payload: f64) {
         self.pushes += 1;
-        self.heap.push(Entry { key: OrderedF64::new(key), is_node: true, id, payload });
+        self.heap.push(Entry {
+            key: OrderedF64::new(key),
+            is_node: true,
+            id,
+            payload,
+        });
     }
 
     /// Pops the entry with the smallest key (points before nodes on ties).
     pub fn pop(&mut self) -> Option<Popped> {
         self.heap.pop().map(|e| {
             if e.is_node {
-                Popped::Node { id: e.id, key: e.key.get(), payload: e.payload }
+                Popped::Node {
+                    id: e.id,
+                    key: e.key.get(),
+                    payload: e.payload,
+                }
             } else {
                 Popped::Point(Neighbor::new(e.id as PointId, e.payload))
             }
@@ -136,7 +150,14 @@ mod tests {
         q.push_point(Neighbor::new(10, 1.0));
         q.push_point(Neighbor::new(11, 3.0));
         assert_eq!(q.pop(), Some(Popped::Point(Neighbor::new(10, 1.0))));
-        assert_eq!(q.pop(), Some(Popped::Node { id: 0, key: 2.0, payload: 9.0 }));
+        assert_eq!(
+            q.pop(),
+            Some(Popped::Node {
+                id: 0,
+                key: 2.0,
+                payload: 9.0
+            })
+        );
         assert_eq!(q.pop(), Some(Popped::Point(Neighbor::new(11, 3.0))));
         assert_eq!(q.pop(), None);
         assert_eq!(q.pushes(), 3);

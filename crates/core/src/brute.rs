@@ -64,7 +64,11 @@ impl<M: Metric> BruteForce<M> {
     /// Exact k-th NN distance of dataset point `x` (self-excluding).
     pub fn dk(&self, x: PointId, k: usize, stats: &mut SearchStats) -> Option<f64> {
         let nn = self.knn(self.ds.point(x), k, Some(x), stats);
-        if nn.len() < k { None } else { Some(nn[k - 1].dist) }
+        if nn.len() < k {
+            None
+        } else {
+            Some(nn[k - 1].dist)
+        }
     }
 
     /// Exact reverse kNN of dataset point `q` (ground truth), sorted by
@@ -171,7 +175,9 @@ mod tests {
 
     #[test]
     fn knn_handles_small_datasets() {
-        let ds = Dataset::from_rows(&[vec![0.0], vec![1.0]]).unwrap().into_shared();
+        let ds = Dataset::from_rows(&[vec![0.0], vec![1.0]])
+            .unwrap()
+            .into_shared();
         let bf = BruteForce::new(ds, Euclidean);
         let mut st = SearchStats::new();
         let nn = bf.knn(&[0.5], 10, None, &mut st);

@@ -26,7 +26,10 @@ impl Dataset {
     /// NaN or infinite. `dim` must be nonzero.
     pub fn from_flat(dim: usize, data: Vec<f64>) -> Result<Self, CoreError> {
         if dim == 0 {
-            return Err(CoreError::DimensionMismatch { expected: 1, got: 0 });
+            return Err(CoreError::DimensionMismatch {
+                expected: 1,
+                got: 0,
+            });
         }
         if !data.len().is_multiple_of(dim) {
             return Err(CoreError::DimensionMismatch {
@@ -54,10 +57,16 @@ impl Dataset {
         let mut data = Vec::with_capacity(rows.len() * dim);
         for (i, row) in rows.iter().enumerate() {
             if row.len() != dim {
-                return Err(CoreError::DimensionMismatch { expected: dim, got: row.len() });
+                return Err(CoreError::DimensionMismatch {
+                    expected: dim,
+                    got: row.len(),
+                });
             }
             if let Some(j) = row.iter().position(|v| !v.is_finite()) {
-                return Err(CoreError::NonFinite { point: i, coordinate: j });
+                return Err(CoreError::NonFinite {
+                    point: i,
+                    coordinate: j,
+                });
             }
             data.extend_from_slice(row);
         }
@@ -113,7 +122,10 @@ impl Dataset {
             }
             data.extend_from_slice(self.point(id));
         }
-        Ok(Dataset { dim: self.dim, data })
+        Ok(Dataset {
+            dim: self.dim,
+            data,
+        })
     }
 
     /// Wraps the dataset in an [`Arc`] for sharing across indexes.
@@ -132,12 +144,18 @@ pub struct DatasetBuilder {
 impl DatasetBuilder {
     /// Creates a builder for points of dimensionality `dim`.
     pub fn new(dim: usize) -> Self {
-        DatasetBuilder { dim, data: Vec::new() }
+        DatasetBuilder {
+            dim,
+            data: Vec::new(),
+        }
     }
 
     /// Creates a builder with room for `n` points without reallocation.
     pub fn with_capacity(dim: usize, n: usize) -> Self {
-        DatasetBuilder { dim, data: Vec::with_capacity(dim * n) }
+        DatasetBuilder {
+            dim,
+            data: Vec::with_capacity(dim * n),
+        }
     }
 
     /// Appends one point, returning its id.
@@ -147,11 +165,17 @@ impl DatasetBuilder {
     /// [`CoreError::DimensionMismatch`] or [`CoreError::NonFinite`].
     pub fn push(&mut self, point: &[f64]) -> Result<usize, CoreError> {
         if point.len() != self.dim {
-            return Err(CoreError::DimensionMismatch { expected: self.dim, got: point.len() });
+            return Err(CoreError::DimensionMismatch {
+                expected: self.dim,
+                got: point.len(),
+            });
         }
         let id = self.data.len() / self.dim;
         if let Some(j) = point.iter().position(|v| !v.is_finite()) {
-            return Err(CoreError::NonFinite { point: id, coordinate: j });
+            return Err(CoreError::NonFinite {
+                point: id,
+                coordinate: j,
+            });
         }
         self.data.extend_from_slice(point);
         Ok(id)
@@ -169,7 +193,10 @@ impl DatasetBuilder {
 
     /// Finalizes the dataset.
     pub fn build(self) -> Dataset {
-        Dataset { dim: self.dim, data: self.data }
+        Dataset {
+            dim: self.dim,
+            data: self.data,
+        }
     }
 }
 
@@ -190,20 +217,41 @@ mod tests {
     #[test]
     fn rejects_ragged_rows() {
         let err = Dataset::from_rows(&[vec![0.0, 1.0], vec![2.0]]).unwrap_err();
-        assert_eq!(err, CoreError::DimensionMismatch { expected: 2, got: 1 });
+        assert_eq!(
+            err,
+            CoreError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]
     fn rejects_non_finite() {
         let err = Dataset::from_rows(&[vec![0.0, f64::NAN]]).unwrap_err();
-        assert_eq!(err, CoreError::NonFinite { point: 0, coordinate: 1 });
+        assert_eq!(
+            err,
+            CoreError::NonFinite {
+                point: 0,
+                coordinate: 1
+            }
+        );
         let err = Dataset::from_flat(2, vec![0.0, 1.0, f64::INFINITY, 3.0]).unwrap_err();
-        assert_eq!(err, CoreError::NonFinite { point: 1, coordinate: 0 });
+        assert_eq!(
+            err,
+            CoreError::NonFinite {
+                point: 1,
+                coordinate: 0
+            }
+        );
     }
 
     #[test]
     fn rejects_empty_rows() {
-        assert_eq!(Dataset::from_rows(&[]).unwrap_err(), CoreError::EmptyDataset);
+        assert_eq!(
+            Dataset::from_rows(&[]).unwrap_err(),
+            CoreError::EmptyDataset
+        );
     }
 
     #[test]

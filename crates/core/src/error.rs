@@ -46,7 +46,10 @@ impl fmt::Display for CoreError {
                 )
             }
             CoreError::InvalidK { k, available } => {
-                write!(f, "invalid neighborhood size k={k} ({available} points available)")
+                write!(
+                    f,
+                    "invalid neighborhood size k={k} ({available} points available)"
+                )
             }
             CoreError::UnknownPoint(id) => write!(f, "unknown point id {id}"),
         }
@@ -61,11 +64,20 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = CoreError::DimensionMismatch { expected: 3, got: 2 };
+        let e = CoreError::DimensionMismatch {
+            expected: 3,
+            got: 2,
+        };
         assert!(e.to_string().contains("expected 3"));
-        let e = CoreError::NonFinite { point: 7, coordinate: 1 };
+        let e = CoreError::NonFinite {
+            point: 7,
+            coordinate: 1,
+        };
         assert!(e.to_string().contains("point 7"));
-        let e = CoreError::InvalidK { k: 0, available: 10 };
+        let e = CoreError::InvalidK {
+            k: 0,
+            available: 10,
+        };
         assert!(e.to_string().contains("k=0"));
         assert!(CoreError::EmptyDataset.to_string().contains("no points"));
         assert!(CoreError::UnknownPoint(3).to_string().contains('3'));

@@ -21,7 +21,10 @@ impl KnnHeap {
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "KnnHeap requires k > 0");
-        KnnHeap { k, heap: BinaryHeap::with_capacity(k + 1) }
+        KnnHeap {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
     }
 
     /// The neighborhood size `k`.
@@ -125,7 +128,10 @@ mod tests {
     fn rejects_when_full_and_not_closer() {
         let mut h = KnnHeap::new(1);
         assert!(h.offer(Neighbor::new(0, 1.0)));
-        assert!(!h.offer(Neighbor::new(1, 1.0)), "equal distance is rejected");
+        assert!(
+            !h.offer(Neighbor::new(1, 1.0)),
+            "equal distance is rejected"
+        );
         assert!(!h.offer(Neighbor::new(2, 2.0)));
         assert!(h.offer(Neighbor::new(3, 0.5)));
         assert_eq!(h.into_sorted()[0].id, 3);

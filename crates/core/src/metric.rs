@@ -66,6 +66,27 @@ pub trait Metric: Send + Sync + Debug {
         }
     }
 
+    /// Threshold-pruned distance for *closed-ball* decisions: `Some(d(a,
+    /// b))` when `d(a, b) <= bound`, `None` otherwise.
+    ///
+    /// Containment tests (`d(q, p) ≤ d_k(p)` in the RdNN-Tree, `d ≤ ub(k)`
+    /// in MRkNNCoP) compare against inclusive radii, where the strict
+    /// [`Metric::dist_lt`] would wrongly reject exact ties. For finite
+    /// bounds, `d <= bound` is exactly `d < bound.next_up()`, so the
+    /// default implementation inherits every metric's early-abandoning
+    /// `dist_lt` unchanged; an infinite bound admits everything (including
+    /// distances overflowing to `+∞`). Decision equivalence with
+    /// [`Metric::dist`] and the one-call-one-evaluation counting convention
+    /// carry over verbatim.
+    #[inline]
+    fn dist_le(&self, a: &[f64], b: &[f64], bound: f64) -> Option<f64> {
+        if bound == f64::INFINITY {
+            Some(self.dist(a, b))
+        } else {
+            self.dist_lt(a, b, bound.next_up())
+        }
+    }
+
     /// A human-readable name, used in experiment reports.
     fn name(&self) -> &'static str;
 
@@ -346,7 +367,10 @@ impl Minkowski {
     ///
     /// Panics if `p < 1` or `p` is not finite.
     pub fn new(p: f64) -> Self {
-        assert!(p.is_finite() && p >= 1.0, "Minkowski requires finite p >= 1");
+        assert!(
+            p.is_finite() && p >= 1.0,
+            "Minkowski requires finite p >= 1"
+        );
         Minkowski { p }
     }
 
@@ -449,9 +473,42 @@ mod tests {
         let b = vec![3.5; 40];
         for m in metrics() {
             let d = m.dist(&a, &b);
-            assert_eq!(m.dist_lt(&a, &b, d), None, "{}: tie must be rejected", m.name());
+            assert_eq!(
+                m.dist_lt(&a, &b, d),
+                None,
+                "{}: tie must be rejected",
+                m.name()
+            );
             let above = d * (1.0 + 1e-9);
             assert_eq!(m.dist_lt(&a, &b, above), Some(d), "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn dist_le_admits_exact_ties_and_nothing_past_them() {
+        let a = vec![1.25; 40];
+        let b = vec![3.5; 40];
+        for m in metrics() {
+            let d = m.dist(&a, &b);
+            assert_eq!(
+                m.dist_le(&a, &b, d),
+                Some(d),
+                "{}: tie must be admitted",
+                m.name()
+            );
+            assert_eq!(m.dist_le(&a, &b, d.next_down()), None, "{}", m.name());
+            assert_eq!(m.dist_le(&a, &b, f64::INFINITY), Some(d), "{}", m.name());
+            // Zero bound admits exactly the zero distance.
+            assert_eq!(m.dist_le(&a, &a, 0.0), Some(0.0), "{}", m.name());
+            assert_eq!(m.dist_le(&a, &b, 0.0), None, "{}", m.name());
+        }
+        // Overflowing distances are admitted at the infinite bound.
+        let x = vec![1e200; 4];
+        let y = vec![-1e200; 4];
+        let d = Minkowski::new(3.0).dist(&x, &y);
+        if d.is_infinite() {
+            assert_eq!(Minkowski::new(3.0).dist_le(&x, &y, f64::INFINITY), Some(d));
+            assert_eq!(Minkowski::new(3.0).dist_le(&x, &y, f64::MAX), None);
         }
     }
 
@@ -490,7 +547,12 @@ mod tests {
             let c = vec![0.5; 4];
             let z = vec![0.0; 4];
             let dcz = m.dist(&c, &z);
-            assert_eq!(m.dist_under(&c, &z, f64::INFINITY), Some(dcz), "{}", m.name());
+            assert_eq!(
+                m.dist_under(&c, &z, f64::INFINITY),
+                Some(dcz),
+                "{}",
+                m.name()
+            );
             assert_eq!(
                 m.dist_under(&c, &z, dcz),
                 m.dist_lt(&c, &z, dcz),

@@ -106,7 +106,10 @@ impl CandidateTile {
     /// An empty tile for points of dimensionality `dim`.
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "CandidateTile requires dim > 0");
-        CandidateTile { dim, coords: Vec::new() }
+        CandidateTile {
+            dim,
+            coords: Vec::new(),
+        }
     }
 
     /// Dimensionality of the stored rows.
@@ -240,9 +243,18 @@ mod tests {
     #[test]
     fn scratch_fields_borrow_independently() {
         let mut s = QueryScratch::new(2);
-        let QueryScratch { cursor, filter, tile } = &mut s;
+        let QueryScratch {
+            cursor,
+            filter,
+            tile,
+        } = &mut s;
         cursor.entries.push(Neighbor::new(0, 1.0));
-        filter.push(FilterCandidate { id: 0, dist: 1.0, witnesses: 0, accepted: false });
+        filter.push(FilterCandidate {
+            id: 0,
+            dist: 1.0,
+            witnesses: 0,
+            accepted: false,
+        });
         tile.push(&[0.5, 0.5]);
         assert_eq!(s.cursor.entries.len(), 1);
         assert_eq!(s.filter.len(), 1);

@@ -73,9 +73,24 @@ mod tests {
 
     #[test]
     fn absorb_merges() {
-        let mut a = SearchStats { dist_computations: 1, nodes_visited: 2, heap_pushes: 3 };
-        let b = SearchStats { dist_computations: 10, nodes_visited: 20, heap_pushes: 30 };
+        let mut a = SearchStats {
+            dist_computations: 1,
+            nodes_visited: 2,
+            heap_pushes: 3,
+        };
+        let b = SearchStats {
+            dist_computations: 10,
+            nodes_visited: 20,
+            heap_pushes: 30,
+        };
         a.absorb(&b);
-        assert_eq!(a, SearchStats { dist_computations: 11, nodes_visited: 22, heap_pushes: 33 });
+        assert_eq!(
+            a,
+            SearchStats {
+                dist_computations: 11,
+                nodes_visited: 22,
+                heap_pushes: 33
+            }
+        );
     }
 }

@@ -8,7 +8,10 @@ use rknn_lid::{GpEstimator, HillEstimator, IdEstimator, TakensEstimator};
 
 fn report(label: &str, ds: rknn_core::Dataset) {
     let ds = ds.into_shared();
-    let hill = HillEstimator { neighbors: 60, ..HillEstimator::default() };
+    let hill = HillEstimator {
+        neighbors: 60,
+        ..HillEstimator::default()
+    };
     let mle = hill.estimate(&ds, &Euclidean).id;
     let gp = GpEstimator::new().estimate(&ds, &Euclidean).id;
     let tak = TakensEstimator::new().estimate(&ds, &Euclidean).id;
@@ -50,9 +53,11 @@ fn main() {
         );
     }
     // MNIST target: MLE ≈ 12, GP ≈ 4.4, Takens ≈ 4.7.
-    for (dense_scale, hi_dim, dense_frac) in
-        [(0.12f64, 18usize, 0.45f64), (0.12, 20, 0.45), (0.15, 22, 0.5)]
-    {
+    for (dense_scale, hi_dim, dense_frac) in [
+        (0.12f64, 18usize, 0.45f64),
+        (0.12, 20, 0.45),
+        (0.15, 22, 0.5),
+    ] {
         report(
             &format!("mnist mix scale={dense_scale} hi={hi_dim} frac={dense_frac}"),
             mixed_manifold(

@@ -142,8 +142,15 @@ pub fn embedded_manifold(spec: ManifoldSpec) -> Dataset {
             let all = random_orthonormal(&mut rng, &mut normal, m, (2 * d).min(m));
             let tangent = all[..d].to_vec();
             let curved = all[d..].to_vec();
-            let phases = (0..d).map(|_| rng.random::<f64>() * std::f64::consts::TAU).collect();
-            Patch { center, tangent, curved, phases }
+            let phases = (0..d)
+                .map(|_| rng.random::<f64>() * std::f64::consts::TAU)
+                .collect();
+            Patch {
+                center,
+                tangent,
+                curved,
+                phases,
+            }
         })
         .collect();
     let noise_scale = spec.noise / (m as f64).sqrt();
@@ -336,7 +343,10 @@ mod tests {
     fn flat_manifold_has_intrinsic_dimension() {
         for d in [2usize, 4] {
             let ds = embedded_manifold(ManifoldSpec::flat(1200, 32, d, 7)).into_shared();
-            let est = HillEstimator { neighbors: 50, ..HillEstimator::default() };
+            let est = HillEstimator {
+                neighbors: 50,
+                ..HillEstimator::default()
+            };
             let got = est.estimate(&ds, &Euclidean).id;
             assert!(
                 (got - d as f64).abs() < 0.35 * d as f64 + 0.5,
@@ -352,7 +362,10 @@ mod tests {
             ..ManifoldSpec::flat(1200, 32, 3, 8)
         };
         let ds = embedded_manifold(spec).into_shared();
-        let est = HillEstimator { neighbors: 50, ..HillEstimator::default() };
+        let est = HillEstimator {
+            neighbors: 50,
+            ..HillEstimator::default()
+        };
         let got = est.estimate(&ds, &Euclidean).id;
         assert!((got - 3.0).abs() < 1.5, "estimated {got}");
     }
@@ -369,7 +382,10 @@ mod tests {
             ..ManifoldSpec::flat(1000, 24, 2, 9)
         })
         .into_shared();
-        let est = HillEstimator { neighbors: 40, ..HillEstimator::default() };
+        let est = HillEstimator {
+            neighbors: 40,
+            ..HillEstimator::default()
+        };
         let a = est.estimate(&quiet, &Euclidean).id;
         let b = est.estimate(&noisy, &Euclidean).id;
         assert!(b > a + 0.5, "noise must inflate local ID: {a} vs {b}");

@@ -58,7 +58,11 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Dataset, IoError> {
         row.clear();
         for field in trimmed.split(',') {
             let v: f64 = field.trim().parse().map_err(|_| {
-                IoError::Format(format!("line {}: cannot parse '{}'", lineno + 1, field.trim()))
+                IoError::Format(format!(
+                    "line {}: cannot parse '{}'",
+                    lineno + 1,
+                    field.trim()
+                ))
             })?;
             row.push(v);
         }
@@ -187,7 +191,10 @@ mod tests {
         assert!(read_csv("1,2\nfoo,4\n".as_bytes()).is_err());
         assert!(read_csv("1,2\n3\n".as_bytes()).is_err(), "ragged row");
         assert!(read_csv("# only comments\n".as_bytes()).is_err());
-        assert!(read_csv("1,NaN\n".as_bytes()).is_err(), "non-finite rejected");
+        assert!(
+            read_csv("1,NaN\n".as_bytes()).is_err(),
+            "non-finite rejected"
+        );
     }
 
     #[test]

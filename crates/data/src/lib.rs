@@ -26,8 +26,6 @@ pub mod workload;
 pub use generic::{
     embedded_manifold, gaussian_blobs, mixed_manifold, uniform_cube, ManifoldSpec, MixComponent,
 };
-pub use paperlike::{
-    aloi_like, fct_like, imagenet_like, mnist_like, sequoia_like, PaperDataset,
-};
 pub use io::{load, save};
+pub use paperlike::{aloi_like, fct_like, imagenet_like, mnist_like, sequoia_like, PaperDataset};
 pub use workload::sample_queries;

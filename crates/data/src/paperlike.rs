@@ -231,7 +231,11 @@ pub fn standardize(ds: &Dataset) -> Dataset {
     let mut row = vec![0.0; m];
     for (_, p) in ds.iter() {
         for j in 0..m {
-            row[j] = if std[j] > 1e-12 { (p[j] - mean[j]) / std[j] } else { 0.0 };
+            row[j] = if std[j] > 1e-12 {
+                (p[j] - mean[j]) / std[j]
+            } else {
+                0.0
+            };
         }
         b.push(&row).expect("standardized coordinates are finite");
     }
@@ -245,7 +249,10 @@ mod tests {
     use rknn_lid::{GpEstimator, HillEstimator, IdEstimator, TakensEstimator};
 
     fn hill() -> HillEstimator {
-        HillEstimator { neighbors: 60, ..HillEstimator::default() }
+        HillEstimator {
+            neighbors: 60,
+            ..HillEstimator::default()
+        }
     }
 
     #[test]
@@ -273,7 +280,10 @@ mod tests {
         let mle = hill().estimate(&ds, &Euclidean).id;
         let gp = GpEstimator::new().estimate(&ds, &Euclidean).id;
         assert!((2.0..7.0).contains(&mle), "FCT-like MLE {mle}");
-        assert!((mle - gp).abs() < 2.5, "FCT-like MLE {mle} vs GP {gp} should agree");
+        assert!(
+            (mle - gp).abs() < 2.5,
+            "FCT-like MLE {mle} vs GP {gp} should agree"
+        );
     }
 
     #[test]

@@ -94,8 +94,9 @@ pub fn run_ablation(ds: Arc<Dataset>, cfg: &AblationConfig) -> Vec<AblationRow> 
             // d_k cache stays off — this ablation's whole point is the
             // per-query verification cost gap between variants, which
             // cross-query threshold reuse would collapse.
-            let cfg_batch =
-                BatchConfig::sequential().with_variant(variant).with_dk_reuse(false);
+            let cfg_batch = BatchConfig::sequential()
+                .with_variant(variant)
+                .with_dk_reuse(false);
             let out = run_batch(&forward, &queries, params, &cfg_batch);
             let mut quality = QualityAccum::new();
             for (i, ans) in out.answers.iter().enumerate() {
@@ -145,7 +146,16 @@ pub fn rows_to_table(rows: &[AblationRow]) -> crate::report::Table {
     use crate::report::{f3, ms};
     let mut t = crate::report::Table::new(
         "Ablation: witness machinery, RDT+ exclusion, adaptive t (k=10)",
-        &["dataset", "t", "variant", "recall", "precision", "query_ms", "verified/q", "witness_pairs/q"],
+        &[
+            "dataset",
+            "t",
+            "variant",
+            "recall",
+            "precision",
+            "query_ms",
+            "verified/q",
+            "witness_pairs/q",
+        ],
     );
     for r in rows {
         t.push_row(vec![
@@ -184,14 +194,21 @@ mod tests {
         let plus = get("RDT+");
         let nw = get("no-witness");
         let adaptive = get("RDT+(adaptive)");
-        assert!(nw.verified > plain.verified, "witnesses must remove verifications");
+        assert!(
+            nw.verified > plain.verified,
+            "witnesses must remove verifications"
+        );
         assert_eq!(nw.witness_pairs, 0.0);
         assert!(plus.witness_pairs <= plain.witness_pairs);
         // All variants are high-quality at this t.
         for r in [plain, plus, nw] {
             assert!(r.recall > 0.9, "{}: recall {}", r.variant, r.recall);
         }
-        assert!(adaptive.recall > 0.85, "adaptive recall {}", adaptive.recall);
+        assert!(
+            adaptive.recall > 0.85,
+            "adaptive recall {}",
+            adaptive.recall
+        );
         assert!(rows_to_table(&rows).render().contains("no-witness"));
     }
 }

@@ -8,13 +8,12 @@
 //! precomputation ends — which is the figure's point).
 
 use crate::forward::Forward;
-use rknn_baselines::{MRkNNCoP, RdnnTree};
-use rknn_core::{Euclidean, SearchStats};
+use rknn_baselines::{MrknncopAlgorithm, RdnnAlgorithm};
+use rknn_core::Euclidean;
 use rknn_data::{imagenet_like, sample_queries};
-use rknn_rdt::batch::{run_batch, BatchConfig};
-use rknn_rdt::{RdtParams, RdtVariant};
+use rknn_rdt::algorithm::{run_algorithm_batch, RdtAlgorithm, RknnAlgorithm};
+use rknn_rdt::RdtParams;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Configuration for the amortization comparison.
 #[derive(Debug, Clone)]
@@ -61,55 +60,40 @@ pub struct AmortizationRow {
     pub queries_in_budget: f64,
 }
 
-fn mean_query_ms(mut run: impl FnMut(usize), queries: &[usize]) -> f64 {
-    let start = Instant::now();
-    for &q in queries {
-        run(q);
-    }
-    start.elapsed().as_secs_f64() * 1e3 / queries.len().max(1) as f64
-}
-
-/// Runs the comparison.
+/// Runs the comparison. Every method — the two precomputation-heavy exact
+/// baselines and the RDT+ heuristic — is measured through the
+/// algorithm-generic batch driver with one worker, so per-query means come
+/// off identical plumbing (scratch reuse, threshold-pruned cursors) and
+/// differ only by algorithm.
 pub fn run_amortization(cfg: &AmortizationConfig) -> Vec<AmortizationRow> {
     let mut out = Vec::new();
     for &n in &cfg.sizes {
         let ds = Arc::new(imagenet_like(n, cfg.dim, cfg.seed));
         let (forward, build) = Forward::build(ds.clone(), Euclidean, false);
         let queries = sample_queries(n, cfg.queries, cfg.seed);
+        let per_query_ms = |elapsed: std::time::Duration| {
+            elapsed.as_secs_f64() * 1e3 / queries.len().max(1) as f64
+        };
 
-        let rdnn = RdnnTree::build(ds.clone(), Euclidean, cfg.k, &forward);
-        let budget_ms = rdnn.precompute_time().as_secs_f64() * 1e3;
-        let rdnn_q = mean_query_ms(
-            |q| {
-                let mut st = SearchStats::new();
-                let _ = rdnn.query(q, &mut st);
-            },
-            &queries,
-        );
+        let mut rdnn = RdnnAlgorithm::new(ds.clone(), Euclidean, cfg.k);
+        rdnn.prepare(&forward);
+        let budget_ms =
+            RknnAlgorithm::<_, Forward<Euclidean>>::precompute_time(&rdnn).as_secs_f64() * 1e3;
+        let rdnn_q = per_query_ms(run_algorithm_batch(&rdnn, &forward, &queries, 1).elapsed);
 
-        let mrk = MRkNNCoP::build(ds.clone(), Euclidean, cfg.k, &forward);
-        let mrk_pre = mrk.precompute_time().as_secs_f64() * 1e3;
-        let mrk_q = mean_query_ms(
-            |q| {
-                let mut st = SearchStats::new();
-                let _ = mrk.query(q, cfg.k, &forward, &mut st);
-            },
-            &queries,
-        );
+        let mut mrk = MrknncopAlgorithm::new(ds.clone(), Euclidean, cfg.k, cfg.k);
+        mrk.prepare(&forward);
+        let mrk_pre =
+            RknnAlgorithm::<_, Forward<Euclidean>>::precompute_time(&mrk).as_secs_f64() * 1e3;
+        let mrk_q = per_query_ms(run_algorithm_batch(&mrk, &forward, &queries, 1).elapsed);
 
-        // The heuristic runs through the sequential batch driver (scratch
-        // reuse, early abandonment); one worker keeps the per-query mean
-        // comparable to the baselines above, and d_k reuse stays off so no
-        // amortized precomputation hides inside the mean query time while
-        // rdt_pre only charges the index build.
+        // d_k reuse stays off for the heuristic so no amortized
+        // precomputation hides inside the mean query time while rdt_pre
+        // only charges the index build.
         let rdt_pre = build.as_secs_f64() * 1e3;
-        let batch = run_batch(
-            &forward,
-            &queries,
-            RdtParams::new(cfg.k, cfg.t),
-            &BatchConfig::sequential().with_variant(RdtVariant::Plus).with_dk_reuse(false),
-        );
-        let rdt_q = batch.elapsed.as_secs_f64() * 1e3 / queries.len().max(1) as f64;
+        let mut rdt = RdtAlgorithm::plus(RdtParams::new(cfg.k, cfg.t)).with_dk_reuse(false);
+        rdt.prepare(&forward);
+        let rdt_q = per_query_ms(run_algorithm_batch(&rdt, &forward, &queries, 1).elapsed);
 
         let in_budget = |pre: f64, q: f64| {
             if q <= 0.0 {
@@ -148,7 +132,13 @@ pub fn rows_to_table(rows: &[AmortizationRow]) -> crate::report::Table {
     use crate::report::ms;
     let mut t = crate::report::Table::new(
         "Figure 9: queries answerable within the RdNN precomputation budget (k=10)",
-        &["n", "method", "precompute_ms", "query_ms", "queries_in_budget"],
+        &[
+            "n",
+            "method",
+            "precompute_ms",
+            "query_ms",
+            "queries_in_budget",
+        ],
     );
     for r in rows {
         t.push_row(vec![

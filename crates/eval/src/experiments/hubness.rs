@@ -31,7 +31,13 @@ pub struct HubnessConfig {
 
 impl Default for HubnessConfig {
     fn default() -> Self {
-        HubnessConfig { dims: vec![2, 4, 8, 16, 32], n: 2000, k: 10, seed: 0x4b, threads: 8 }
+        HubnessConfig {
+            dims: vec![2, 4, 8, 16, 32],
+            n: 2000,
+            k: 10,
+            seed: 0x4b,
+            threads: 8,
+        }
     }
 }
 
@@ -70,10 +76,18 @@ pub fn run_hubness(cfg: &HubnessConfig) -> Vec<HubnessRow> {
             }
             let n = counts.len() as f64;
             let mean = counts.iter().sum::<usize>() as f64 / n;
-            let var = counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n;
+            let var = counts
+                .iter()
+                .map(|&c| (c as f64 - mean).powi(2))
+                .sum::<f64>()
+                / n;
             let sd = var.sqrt();
             let skewness = if sd > 0.0 {
-                counts.iter().map(|&c| ((c as f64 - mean) / sd).powi(3)).sum::<f64>() / n
+                counts
+                    .iter()
+                    .map(|&c| ((c as f64 - mean) / sd).powi(3))
+                    .sum::<f64>()
+                    / n
             } else {
                 0.0
             };

@@ -73,8 +73,9 @@ pub fn run_lazy_profile(ds: Arc<Dataset>, cfg: &LazyConfig) -> Vec<LazyRow> {
     let queries = sample_queries(ds.len(), cfg.queries, cfg.seed);
     let table = DkTable::compute(&forward, &[cfg.k], cfg.threads);
     let truth = GroundTruth::compute(&forward, &table, &queries, cfg.k, cfg.threads);
-    let batch_cfg =
-        BatchConfig::default().with_threads(cfg.threads).with_variant(RdtVariant::Plus);
+    let batch_cfg = BatchConfig::default()
+        .with_threads(cfg.threads)
+        .with_variant(RdtVariant::Plus);
     let mut rows = Vec::new();
     for &t in &cfg.t_grid {
         // The whole query batch runs through the parallel driver; the
@@ -112,7 +113,15 @@ pub fn rows_to_table(rows: &[LazyRow]) -> crate::report::Table {
     use crate::report::f3;
     let mut t = crate::report::Table::new(
         "Figure 7: lazy accept / lazy reject / verify proportions (RDT+, k=10)",
-        &["dataset", "t", "verify", "accept", "reject", "recall", "retrieved"],
+        &[
+            "dataset",
+            "t",
+            "verify",
+            "accept",
+            "reject",
+            "recall",
+            "retrieved",
+        ],
     );
     for r in rows {
         t.push_row(vec![

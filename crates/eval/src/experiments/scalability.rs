@@ -91,7 +91,15 @@ pub fn rows_to_table(rows: &[ScalabilityRow]) -> crate::report::Table {
     use crate::report::{f3, ms};
     let mut t = crate::report::Table::new(
         "Figure 8: Imagenet-like scalability (sequential-scan substrate)",
-        &["n", "k", "method", "param", "recall", "query_ms", "precompute_ms"],
+        &[
+            "n",
+            "k",
+            "method",
+            "param",
+            "recall",
+            "query_ms",
+            "precompute_ms",
+        ],
     );
     for r in rows {
         t.push_row(vec![
@@ -124,10 +132,12 @@ mod tests {
             ..ScalabilityConfig::default()
         };
         let rows = run_scalability(&cfg);
-        let small_has_exact =
-            rows.iter().any(|r| r.n == 300 && (r.row.method == "RdNN" || r.row.method == "MRkNNCoP"));
-        let large_has_exact =
-            rows.iter().any(|r| r.n == 700 && (r.row.method == "RdNN" || r.row.method == "MRkNNCoP"));
+        let small_has_exact = rows
+            .iter()
+            .any(|r| r.n == 300 && (r.row.method == "RdNN" || r.row.method == "MRkNNCoP"));
+        let large_has_exact = rows
+            .iter()
+            .any(|r| r.n == 700 && (r.row.method == "RdNN" || r.row.method == "MRkNNCoP"));
         assert!(small_has_exact, "exact methods present at small n");
         assert!(!large_has_exact, "exact methods excluded beyond the budget");
         assert!(rows_to_table(&rows).len() == rows.len());

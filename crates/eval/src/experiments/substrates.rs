@@ -77,8 +77,8 @@ pub struct SubstrateRow {
 /// batch all-points workload on each; the linear scan is the reference
 /// every other substrate's answers are compared against.
 pub fn run_substrate_sweep(cfg: &SubstrateSweepConfig) -> Vec<SubstrateRow> {
-    let ds = rknn_data::gaussian_blobs(cfg.n, cfg.dim, cfg.clusters, cfg.sigma, cfg.seed)
-        .into_shared();
+    let ds =
+        rknn_data::gaussian_blobs(cfg.n, cfg.dim, cfg.clusters, cfg.sigma, cfg.seed).into_shared();
     let params = RdtParams::new(cfg.k, cfg.t);
     let batch_cfg = BatchConfig::default().with_threads(cfg.threads.max(1));
 
@@ -185,7 +185,11 @@ mod tests {
         assert_eq!(rows.len(), 6);
         assert_eq!(rows[0].substrate, "linear-scan");
         for r in &rows {
-            assert!(r.matches_linear, "{} diverged from the linear scan", r.substrate);
+            assert!(
+                r.matches_linear,
+                "{} diverged from the linear scan",
+                r.substrate
+            );
             assert_eq!(r.result_members, rows[0].result_members, "{}", r.substrate);
         }
         // The scan expands no tree nodes; every tree substrate does.

@@ -59,7 +59,9 @@ pub fn run_table1(datasets: &[(String, Arc<Dataset>)]) -> Vec<Table1Row> {
 pub fn rows_to_table(rows: &[Table1Row]) -> crate::report::Table {
     let mut t = crate::report::Table::new(
         "Table 1: intrinsic dimensionality estimates (times in seconds)",
-        &["dataset", "D", "MLE", "MLE_s", "GP", "GP_s", "Takens", "Takens_s"],
+        &[
+            "dataset", "D", "MLE", "MLE_s", "GP", "GP_s", "Takens", "Takens_s",
+        ],
     );
     for r in rows {
         t.push_row(vec![
@@ -83,13 +85,23 @@ mod tests {
     #[test]
     fn runs_on_small_datasets() {
         let sets = vec![
-            ("uniform2".to_string(), rknn_data::uniform_cube(600, 2, 31).into_shared()),
-            ("sequoia".to_string(), rknn_data::sequoia_like(600, 32).into_shared()),
+            (
+                "uniform2".to_string(),
+                rknn_data::uniform_cube(600, 2, 31).into_shared(),
+            ),
+            (
+                "sequoia".to_string(),
+                rknn_data::sequoia_like(600, 32).into_shared(),
+            ),
         ];
         let rows = run_table1(&sets);
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].d, 2);
-        assert!((rows[0].mle - 2.0).abs() < 0.8, "uniform square MLE {}", rows[0].mle);
+        assert!(
+            (rows[0].mle - 2.0).abs() < 0.8,
+            "uniform square MLE {}",
+            rows[0].mle
+        );
         assert!(rows[0].mle_s >= 0.0);
         let rendered = rows_to_table(&rows).render();
         assert!(rendered.contains("sequoia"));

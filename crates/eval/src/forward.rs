@@ -156,10 +156,16 @@ mod tests {
         assert_eq!(linear.name(), "linear-scan");
         let mut st = SearchStats::new();
         for q in [0usize, 120, 299] {
-            let a: Vec<_> =
-                cover.knn(ds.point(q), 8, Some(q), &mut st).iter().map(|n| n.id).collect();
-            let b: Vec<_> =
-                linear.knn(ds.point(q), 8, Some(q), &mut st).iter().map(|n| n.id).collect();
+            let a: Vec<_> = cover
+                .knn(ds.point(q), 8, Some(q), &mut st)
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            let b: Vec<_> = linear
+                .knn(ds.point(q), 8, Some(q), &mut st)
+                .iter()
+                .map(|n| n.id)
+                .collect();
             assert_eq!(a, b);
         }
     }

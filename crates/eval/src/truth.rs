@@ -52,19 +52,32 @@ impl DkTable {
                         let nn = index.knn(index.point(i), k_max, Some(i), &mut stats);
                         *row = ks
                             .iter()
-                            .map(|&k| if nn.len() < k { f64::INFINITY } else { nn[k - 1].dist })
+                            .map(|&k| {
+                                if nn.len() < k {
+                                    f64::INFINITY
+                                } else {
+                                    nn[k - 1].dist
+                                }
+                            })
                             .collect();
                     }
                 });
             }
         })
         .expect("dk workers do not panic");
-        DkTable { ks, dk, elapsed: start.elapsed() }
+        DkTable {
+            ks,
+            dk,
+            elapsed: start.elapsed(),
+        }
     }
 
     /// Column index of rank `k`.
     fn col(&self, k: usize) -> usize {
-        self.ks.iter().position(|&x| x == k).expect("rank was included at construction")
+        self.ks
+            .iter()
+            .position(|&x| x == k)
+            .expect("rank was included at construction")
     }
 
     /// `d_k` of point `i`.
@@ -156,8 +169,7 @@ impl GroundTruth {
         if self.answers.is_empty() {
             return 0.0;
         }
-        self.answers.iter().map(|(_, s)| s.len()).sum::<usize>() as f64
-            / self.answers.len() as f64
+        self.answers.iter().map(|(_, s)| s.len()).sum::<usize>() as f64 / self.answers.len() as f64
     }
 }
 
@@ -177,7 +189,11 @@ mod tests {
         let bf = BruteForce::new(ds, Euclidean);
         for i in [0usize, 60, 119] {
             for &k in &table.ks {
-                assert_eq!(table.dk_of(i, k), bf.dk(i, k, &mut st).unwrap(), "i={i} k={k}");
+                assert_eq!(
+                    table.dk_of(i, k),
+                    bf.dk(i, k, &mut st).unwrap(),
+                    "i={i} k={k}"
+                );
             }
         }
     }
@@ -198,7 +214,10 @@ mod tests {
         let queries = vec![0, 42, 149];
         let truth = GroundTruth::compute(&idx, &table, &queries, 5, 3);
         let sequential = GroundTruth::compute(&idx, &table, &queries, 5, 1);
-        assert_eq!(truth.answers, sequential.answers, "threading must not change answers");
+        assert_eq!(
+            truth.answers, sequential.answers,
+            "threading must not change answers"
+        );
         let bf = BruteForce::new(ds, Euclidean);
         let mut st = SearchStats::new();
         for (i, &q) in queries.iter().enumerate() {

@@ -37,7 +37,12 @@ pub struct BallTree<M: Metric> {
 impl<M: Metric> BallTree<M> {
     /// Builds a ball tree over a shared dataset.
     pub fn build(ds: Arc<Dataset>, metric: M) -> Self {
-        let mut tree = BallTree { ds: ds.clone(), metric, nodes: Vec::new(), root: None };
+        let mut tree = BallTree {
+            ds: ds.clone(),
+            metric,
+            nodes: Vec::new(),
+            root: None,
+        };
         let mut ids: Vec<PointId> = (0..ds.len()).collect();
         tree.root = tree.build_rec(&mut ids);
         tree
@@ -57,11 +62,15 @@ impl<M: Metric> BallTree<M> {
         let pole1 = *ids
             .iter()
             .max_by(|&&a, &&b| {
-                self.dist(seed, a).partial_cmp(&self.dist(seed, b)).expect("finite")
+                self.dist(seed, a)
+                    .partial_cmp(&self.dist(seed, b))
+                    .expect("finite")
             })
             .expect("non-empty");
         let radius_of = |tree: &Self, pivot: PointId, ids: &[PointId]| {
-            ids.iter().map(|&x| tree.dist(pivot, x)).fold(0.0f64, f64::max)
+            ids.iter()
+                .map(|&x| tree.dist(pivot, x))
+                .fold(0.0f64, f64::max)
         };
         if ids.len() <= LEAF_SIZE {
             let radius = radius_of(self, pole1, ids);
@@ -76,7 +85,9 @@ impl<M: Metric> BallTree<M> {
         let pole2 = *ids
             .iter()
             .max_by(|&&a, &&b| {
-                self.dist(pole1, a).partial_cmp(&self.dist(pole1, b)).expect("finite")
+                self.dist(pole1, a)
+                    .partial_cmp(&self.dist(pole1, b))
+                    .expect("finite")
             })
             .expect("non-empty");
         // Partition by nearer pole; ties to pole1.
@@ -100,7 +111,12 @@ impl<M: Metric> BallTree<M> {
         let radius = radius_of(self, pole1, ids);
         let left = self.build_rec(&mut near).expect("non-empty side");
         let right = self.build_rec(&mut far).expect("non-empty side");
-        self.nodes.push(BallNode { pivot: pole1, radius, children: Some((left, right)), points: Vec::new() });
+        self.nodes.push(BallNode {
+            pivot: pole1,
+            radius,
+            children: Some((left, right)),
+            points: Vec::new(),
+        });
         Some(self.nodes.len() - 1)
     }
 
@@ -113,7 +129,9 @@ impl<M: Metric> BallTree<M> {
     /// (test support).
     #[doc(hidden)]
     pub fn check_invariants(&self) -> bool {
-        let Some(root) = self.root else { return self.ds.is_empty() };
+        let Some(root) = self.root else {
+            return self.ds.is_empty();
+        };
         let mut seen = std::collections::HashSet::new();
         let mut stack = vec![root];
         while let Some(id) = stack.pop() {
@@ -246,11 +264,14 @@ mod tests {
     fn random_dataset(n: usize, dim: usize, seed: u64) -> Arc<Dataset> {
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        let rows: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..dim).map(|_| next() * 10.0 - 5.0).collect()).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| next() * 10.0 - 5.0).collect())
+            .collect();
         Dataset::from_rows(&rows).unwrap().into_shared()
     }
 
@@ -311,7 +332,9 @@ mod tests {
 
     #[test]
     fn degenerate_inputs() {
-        let ds = Dataset::from_rows(&vec![vec![2.0, 2.0]; 50]).unwrap().into_shared();
+        let ds = Dataset::from_rows(&vec![vec![2.0, 2.0]; 50])
+            .unwrap()
+            .into_shared();
         let tree = BallTree::build(ds, Euclidean);
         assert!(tree.check_invariants());
         let mut cur = tree.cursor(&[0.0, 0.0], None);

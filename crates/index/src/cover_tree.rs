@@ -30,7 +30,10 @@ pub struct CoverTreeConfig {
 
 impl Default for CoverTreeConfig {
     fn default() -> Self {
-        CoverTreeConfig { base: 1.3, shuffle_seed: 0x0005_eedc_0de7 }
+        CoverTreeConfig {
+            base: 1.3,
+            shuffle_seed: 0x0005_eedc_0de7,
+        }
     }
 }
 
@@ -114,12 +117,19 @@ impl<M: Metric> CoverTree<M> {
     /// Attaches an existing pool point to the tree structure.
     fn attach(&mut self, id: PointId) {
         let Some(root) = self.root else {
-            self.nodes.push(CtNode { point: id, level: 0, max_dist: 0.0, children: Vec::new() });
+            self.nodes.push(CtNode {
+                point: id,
+                level: 0,
+                max_dist: 0.0,
+                children: Vec::new(),
+            });
             self.root = Some(self.nodes.len() - 1);
             return;
         };
         let x = id;
-        let d_root = self.metric.dist(self.pool.point(x), self.pool.point(self.nodes[root].point));
+        let d_root = self
+            .metric
+            .dist(self.pool.point(x), self.pool.point(self.nodes[root].point));
         // Raise the root level until its cover radius reaches the new point.
         while d_root > self.covdist(self.nodes[root].level) {
             self.nodes[root].level += 1;
@@ -151,7 +161,12 @@ impl<M: Metric> CoverTree<M> {
                 }
                 None => {
                     let level = self.nodes[cur].level - 1;
-                    self.nodes.push(CtNode { point: x, level, max_dist: 0.0, children: Vec::new() });
+                    self.nodes.push(CtNode {
+                        point: x,
+                        level,
+                        max_dist: 0.0,
+                        children: Vec::new(),
+                    });
                     let new_idx = (self.nodes.len() - 1) as u32;
                     self.nodes[cur].children.push(new_idx);
                     return;
@@ -164,7 +179,9 @@ impl<M: Metric> CoverTree<M> {
     /// every node's cached radius bounds the distance to each descendant.
     #[doc(hidden)]
     pub fn check_invariants(&self) -> bool {
-        let Some(root) = self.root else { return self.nodes.is_empty() };
+        let Some(root) = self.root else {
+            return self.nodes.is_empty();
+        };
         let mut stack = vec![root];
         while let Some(i) = stack.pop() {
             let here = self.pool.point(self.nodes[i].point);
@@ -317,7 +334,10 @@ mod tests {
         for (g, w) in got.iter().zip(&want) {
             assert!(g.dist >= prev - 1e-12, "nondecreasing order");
             prev = g.dist;
-            assert!((g.dist - w.dist).abs() < 1e-9, "distance sequence matches brute force");
+            assert!(
+                (g.dist - w.dist).abs() < 1e-9,
+                "distance sequence matches brute force"
+            );
         }
     }
 
@@ -385,12 +405,12 @@ mod tests {
         let mut st = SearchStats::new();
         let r = 2.5;
         let got = tree.range(&q, r, Some(0), &mut st);
-        let want: Vec<_> =
-            bf.knn(&q, 300, Some(0), &mut st).into_iter().filter(|n| n.dist <= r).collect();
+        let want: Vec<_> = bf
+            .knn(&q, 300, Some(0), &mut st)
+            .into_iter()
+            .filter(|n| n.dist <= r)
+            .collect();
         assert_eq!(got.len(), want.len());
-        assert_eq!(
-            tree.range_count(&q, r, false, Some(0), &mut st),
-            want.len(),
-        );
+        assert_eq!(tree.range_count(&q, r, false, Some(0), &mut st), want.len(),);
     }
 }

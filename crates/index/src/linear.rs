@@ -14,7 +14,9 @@
 use crate::pool::PointPool;
 use crate::traits::{DynamicIndex, KnnIndex, NnCursor};
 use rknn_core::neighbor::MaxByDist;
-use rknn_core::{CoreError, CursorScratch, Dataset, KnnHeap, Metric, Neighbor, PointId, SearchStats};
+use rknn_core::{
+    CoreError, CursorScratch, Dataset, KnnHeap, Metric, Neighbor, PointId, SearchStats,
+};
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
@@ -28,7 +30,10 @@ pub struct LinearScan<M: Metric> {
 impl<M: Metric> LinearScan<M> {
     /// Builds a scan index over a shared dataset.
     pub fn build(ds: Arc<Dataset>, metric: M) -> Self {
-        LinearScan { pool: PointPool::new(ds), metric }
+        LinearScan {
+            pool: PointPool::new(ds),
+            metric,
+        }
     }
 
     /// Read access to the underlying pool.
@@ -155,7 +160,11 @@ impl<M: Metric> KnnIndex<M> for LinearScan<M> {
     fn cursor<'a>(&'a self, q: &'a [f64], exclude: Option<PointId>) -> Box<dyn NnCursor + 'a> {
         let mut entries = Vec::new();
         let stats = self.fill_table(q, exclude, &mut entries);
-        Box::new(ScanCursor { entries, pos: 0, stats })
+        Box::new(ScanCursor {
+            entries,
+            pos: 0,
+            stats,
+        })
     }
 
     fn cursor_with<'a>(
@@ -165,7 +174,11 @@ impl<M: Metric> KnnIndex<M> for LinearScan<M> {
         scratch: &'a mut CursorScratch,
     ) -> Box<dyn NnCursor + 'a> {
         let stats = self.fill_table(q, exclude, &mut scratch.entries);
-        Box::new(ScanCursor { entries: &mut scratch.entries, pos: 0, stats })
+        Box::new(ScanCursor {
+            entries: &mut scratch.entries,
+            pos: 0,
+            stats,
+        })
     }
 
     fn cursor_bounded<'a>(
@@ -182,7 +195,11 @@ impl<M: Metric> KnnIndex<M> for LinearScan<M> {
         } else {
             self.fill_bounded(q, exclude, limit, scratch)
         };
-        Box::new(ScanCursor { entries: &mut scratch.entries, pos: 0, stats })
+        Box::new(ScanCursor {
+            entries: &mut scratch.entries,
+            pos: 0,
+            stats,
+        })
     }
 
     fn knn(
@@ -323,7 +340,9 @@ mod tests {
     #[test]
     fn bounded_cursor_yields_exact_prefix() {
         let ds = Dataset::from_rows(
-            &(0..60).map(|i| vec![(i % 17) as f64, (i % 5) as f64]).collect::<Vec<_>>(),
+            &(0..60)
+                .map(|i| vec![(i % 17) as f64, (i % 5) as f64])
+                .collect::<Vec<_>>(),
         )
         .unwrap()
         .into_shared();

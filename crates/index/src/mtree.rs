@@ -60,7 +60,10 @@ impl<M: Metric> MTree<M> {
         let mut tree = MTree {
             ds: ds.clone(),
             metric,
-            nodes: vec![MNode { is_leaf: true, entries: Vec::new() }],
+            nodes: vec![MNode {
+                is_leaf: true,
+                entries: Vec::new(),
+            }],
             root: 0,
             capacity,
         };
@@ -88,7 +91,10 @@ impl<M: Metric> MTree<M> {
     fn insert(&mut self, p: PointId) {
         if let Some((e1, e2)) = self.insert_rec(self.root, p) {
             // Root split: grow the tree by one level.
-            let new_root = MNode { is_leaf: false, entries: vec![e1, e2] };
+            let new_root = MNode {
+                is_leaf: false,
+                entries: vec![e1, e2],
+            };
             self.nodes.push(new_root);
             self.root = self.nodes.len() - 1;
         }
@@ -98,7 +104,11 @@ impl<M: Metric> MTree<M> {
     /// entries if the node split.
     fn insert_rec(&mut self, node: usize, p: PointId) -> Option<(MEntry, MEntry)> {
         if self.nodes[node].is_leaf {
-            self.nodes[node].entries.push(MEntry { pivot: p, radius: 0.0, child: None });
+            self.nodes[node].entries.push(MEntry {
+                pivot: p,
+                radius: 0.0,
+                child: None,
+            });
             if self.nodes[node].entries.len() > self.capacity {
                 return Some(self.split(node));
             }
@@ -127,7 +137,9 @@ impl<M: Metric> MTree<M> {
                 e.radius = d;
             }
         }
-        let child = self.nodes[node].entries[idx].child.expect("routing entry must have a child");
+        let child = self.nodes[node].entries[idx]
+            .child
+            .expect("routing entry must have a child");
         if let Some((e1, e2)) = self.insert_rec(child, p) {
             self.nodes[node].entries.swap_remove(idx);
             self.nodes[node].entries.push(e1);
@@ -190,12 +202,26 @@ impl<M: Metric> MTree<M> {
                 .map(|e| self.metric.dist(self.ds.point(p1), self.ds.point(e.pivot)) + e.radius)
                 .fold(0.0, f64::max);
         }
-        self.nodes[node] = MNode { is_leaf, entries: g1 };
-        self.nodes.push(MNode { is_leaf, entries: g2 });
+        self.nodes[node] = MNode {
+            is_leaf,
+            entries: g1,
+        };
+        self.nodes.push(MNode {
+            is_leaf,
+            entries: g2,
+        });
         let n2 = self.nodes.len() - 1;
         (
-            MEntry { pivot: p1, radius: r1, child: Some(node) },
-            MEntry { pivot: p2, radius: r2, child: Some(n2) },
+            MEntry {
+                pivot: p1,
+                radius: r1,
+                child: Some(node),
+            },
+            MEntry {
+                pivot: p2,
+                radius: r2,
+                child: Some(n2),
+            },
         )
     }
 
@@ -208,7 +234,10 @@ impl<M: Metric> MTree<M> {
     fn check_node(&self, node: usize) -> bool {
         let n = &self.nodes[node];
         if n.is_leaf {
-            return n.entries.iter().all(|e| e.child.is_none() && e.radius == 0.0);
+            return n
+                .entries
+                .iter()
+                .all(|e| e.child.is_none() && e.radius == 0.0);
         }
         for e in n.entries.iter() {
             let Some(child) = e.child else { return false };
@@ -216,7 +245,9 @@ impl<M: Metric> MTree<M> {
             let mut stack = vec![child];
             while let Some(c) = stack.pop() {
                 for ce in &self.nodes[c].entries {
-                    let d = self.metric.dist(self.ds.point(e.pivot), self.ds.point(ce.pivot));
+                    let d = self
+                        .metric
+                        .dist(self.ds.point(e.pivot), self.ds.point(ce.pivot));
                     if d > e.radius + 1e-9 {
                         return false;
                     }
@@ -317,11 +348,14 @@ mod tests {
     fn random_dataset(n: usize, dim: usize, seed: u64) -> Arc<Dataset> {
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        let rows: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..dim).map(|_| next() * 10.0 - 5.0).collect()).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| next() * 10.0 - 5.0).collect())
+            .collect();
         Dataset::from_rows(&rows).unwrap().into_shared()
     }
 
@@ -363,7 +397,9 @@ mod tests {
 
     #[test]
     fn duplicate_points_split_safely() {
-        let ds = Dataset::from_rows(&vec![vec![3.0, 3.0]; 100]).unwrap().into_shared();
+        let ds = Dataset::from_rows(&vec![vec![3.0, 3.0]; 100])
+            .unwrap()
+            .into_shared();
         let tree = MTree::build(ds, Euclidean);
         assert!(tree.check_invariants());
         let mut cur = tree.cursor(&[3.0, 3.0], None);

@@ -26,7 +26,13 @@ impl PointPool {
     pub fn new(base: Arc<Dataset>) -> Self {
         let dim = base.dim();
         let live_count = base.len();
-        PointPool { base, dim, extra: Vec::new(), dead: Vec::new(), live_count }
+        PointPool {
+            base,
+            dim,
+            extra: Vec::new(),
+            dead: Vec::new(),
+            live_count,
+        }
     }
 
     /// Dimensionality of all points.
@@ -72,12 +78,18 @@ impl PointPool {
     /// Appends a new point, returning its id.
     pub fn insert(&mut self, p: &[f64]) -> Result<PointId, CoreError> {
         if p.len() != self.dim {
-            return Err(CoreError::DimensionMismatch { expected: self.dim, got: p.len() });
+            return Err(CoreError::DimensionMismatch {
+                expected: self.dim,
+                got: p.len(),
+            });
         }
         let id = self.total();
         for (j, v) in p.iter().enumerate() {
             if !v.is_finite() {
-                return Err(CoreError::NonFinite { point: id, coordinate: j });
+                return Err(CoreError::NonFinite {
+                    point: id,
+                    coordinate: j,
+                });
             }
         }
         self.extra.extend_from_slice(p);
@@ -101,7 +113,9 @@ impl PointPool {
 
     /// Iterates over `(id, coordinates)` of live points.
     pub fn iter_live(&self) -> impl Iterator<Item = (PointId, &[f64])> {
-        (0..self.total()).filter(|&id| self.is_alive(id)).map(move |id| (id, self.point(id)))
+        (0..self.total())
+            .filter(|&id| self.is_alive(id))
+            .map(move |id| (id, self.point(id)))
     }
 
     /// The shared base dataset this pool was created from.
@@ -115,7 +129,9 @@ mod tests {
     use super::*;
 
     fn pool() -> PointPool {
-        let ds = Dataset::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]).unwrap().into_shared();
+        let ds = Dataset::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]])
+            .unwrap()
+            .into_shared();
         PointPool::new(ds)
     }
 

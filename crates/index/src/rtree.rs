@@ -37,12 +37,18 @@ pub struct Mbr {
 impl Mbr {
     /// The degenerate box of a single point.
     pub fn of_point(p: &[f64]) -> Self {
-        Mbr { lo: p.to_vec(), hi: p.to_vec() }
+        Mbr {
+            lo: p.to_vec(),
+            hi: p.to_vec(),
+        }
     }
 
     /// An "empty" box that unions as the identity.
     pub fn empty(dim: usize) -> Self {
-        Mbr { lo: vec![f64::INFINITY; dim], hi: vec![f64::NEG_INFINITY; dim] }
+        Mbr {
+            lo: vec![f64::INFINITY; dim],
+            hi: vec![f64::NEG_INFINITY; dim],
+        }
     }
 
     /// Grows the box to cover `p`.
@@ -74,7 +80,11 @@ impl Mbr {
     /// Sum of side lengths. Used as the split/insert cost measure instead of
     /// volume, which degenerates (under/overflows) in high dimensions.
     pub fn margin(&self) -> f64 {
-        self.lo.iter().zip(&self.hi).map(|(l, h)| (h - l).max(0.0)).sum()
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| (h - l).max(0.0))
+            .sum()
     }
 
     /// Margin increase needed to absorb `p`.
@@ -245,7 +255,11 @@ impl<M: Metric> RTree<M> {
                     mbr.extend_mbr(&tree.nodes[c].mbr);
                     aux_max = aux_max.max(tree.nodes[c].aux_max);
                 }
-                tree.nodes.push(RNode { mbr, kind: RNodeKind::Inner(chunk.to_vec()), aux_max });
+                tree.nodes.push(RNode {
+                    mbr,
+                    kind: RNodeKind::Inner(chunk.to_vec()),
+                    aux_max,
+                });
                 next.push(tree.nodes.len() - 1);
             }
             level = next;
@@ -264,7 +278,11 @@ impl<M: Metric> RTree<M> {
                     aux_max = aux_max.max(aux[id]);
                 }
             }
-            self.nodes.push(RNode { mbr, kind: RNodeKind::Leaf(ids.to_vec()), aux_max });
+            self.nodes.push(RNode {
+                mbr,
+                kind: RNodeKind::Leaf(ids.to_vec()),
+                aux_max,
+            });
             leaves.push(self.nodes.len() - 1);
             return;
         }
@@ -314,7 +332,10 @@ impl<M: Metric> RTree<M> {
     ///
     /// Panics on plain trees — use [`RTree::insert`].
     pub fn insert_with_aux(&mut self, p: &[f64], aux_value: f64) -> Result<PointId, CoreError> {
-        assert!(self.aux.is_some(), "plain R-tree has no aux values; use insert(point)");
+        assert!(
+            self.aux.is_some(),
+            "plain R-tree has no aux values; use insert(point)"
+        );
         self.insert_impl(p, aux_value)
     }
 
@@ -328,7 +349,9 @@ impl<M: Metric> RTree<M> {
             // Root split: grow the tree.
             let mut mbr = self.nodes[self.root].mbr.clone();
             mbr.extend_mbr(&self.nodes[sibling].mbr);
-            let aux_max = self.nodes[self.root].aux_max.max(self.nodes[sibling].aux_max);
+            let aux_max = self.nodes[self.root]
+                .aux_max
+                .max(self.nodes[sibling].aux_max);
             self.nodes.push(RNode {
                 mbr,
                 kind: RNodeKind::Inner(vec![self.root, sibling]),
@@ -361,7 +384,8 @@ impl<M: Metric> RTree<M> {
                     }
                 }
                 let (chosen, _, _) = best.expect("inner node has children");
-                self.insert_rec(chosen, id, aux_value).map(|sib| (chosen, sib))
+                self.insert_rec(chosen, id, aux_value)
+                    .map(|sib| (chosen, sib))
             }
         };
         match &mut self.nodes[node].kind {
@@ -389,11 +413,17 @@ impl<M: Metric> RTree<M> {
         let (kind, boxes): (RNodeKind, Vec<Mbr>) = match &self.nodes[node].kind {
             RNodeKind::Leaf(entries) => (
                 RNodeKind::Leaf(entries.clone()),
-                entries.iter().map(|&e| Mbr::of_point(self.pool.point(e))).collect(),
+                entries
+                    .iter()
+                    .map(|&e| Mbr::of_point(self.pool.point(e)))
+                    .collect(),
             ),
             RNodeKind::Inner(children) => (
                 RNodeKind::Inner(children.clone()),
-                children.iter().map(|&c| self.nodes[c].mbr.clone()).collect(),
+                children
+                    .iter()
+                    .map(|&c| self.nodes[c].mbr.clone())
+                    .collect(),
             ),
         };
         let (g1, g2) = quadratic_split_indices(&boxes, min_fill);
@@ -424,8 +454,16 @@ impl<M: Metric> RTree<M> {
         };
         let (k1, m1, a1) = rebuild(&g1);
         let (k2, m2, a2) = rebuild(&g2);
-        self.nodes[node] = RNode { mbr: m1, kind: k1, aux_max: a1 };
-        self.nodes.push(RNode { mbr: m2, kind: k2, aux_max: a2 });
+        self.nodes[node] = RNode {
+            mbr: m1,
+            kind: k1,
+            aux_max: a1,
+        };
+        self.nodes.push(RNode {
+            mbr: m2,
+            kind: k2,
+            aux_max: a2,
+        });
         self.nodes.len() - 1
     }
 
@@ -487,11 +525,19 @@ impl<M: Metric> RTree<M> {
     /// `mindist(q, MBR) > subtree-max aux` — the RdNN-Tree reverse-kNN
     /// containment traversal.
     ///
+    /// Leaf evaluations run through [`Metric::dist_le`], so a point's
+    /// distance accumulation is abandoned as soon as it provably exceeds
+    /// the point's containment radius `aux(p)`; decisions and reported
+    /// distances are identical to the full-precision evaluation.
+    ///
     /// # Panics
     ///
     /// Panics if the tree was built without auxiliary values.
     pub fn aux_containment(&self, q: &[f64], stats: &mut SearchStats) -> Vec<Neighbor> {
-        let aux = self.aux.as_ref().expect("aux_containment requires aux values");
+        let aux = self
+            .aux
+            .as_ref()
+            .expect("aux_containment requires aux values");
         let mut out = Vec::new();
         let mut stack = vec![self.root];
         while let Some(id) = stack.pop() {
@@ -507,8 +553,7 @@ impl<M: Metric> RTree<M> {
                             continue;
                         }
                         stats.count_dist();
-                        let d = self.metric.dist(q, self.pool.point(p));
-                        if d <= aux[p] {
+                        if let Some(d) = self.metric.dist_le(q, self.pool.point(p), aux[p]) {
                             out.push(Neighbor::new(p, d));
                         }
                     }
@@ -748,11 +793,14 @@ mod tests {
     fn random_dataset(n: usize, dim: usize, seed: u64) -> Arc<Dataset> {
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        let rows: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..dim).map(|_| next() * 10.0 - 5.0).collect()).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| next() * 10.0 - 5.0).collect())
+            .collect();
         Dataset::from_rows(&rows).unwrap().into_shared()
     }
 
@@ -799,7 +847,10 @@ mod tests {
             .collect();
         let (g1, g2) = quadratic_split_indices(&boxes, 2);
         let side = |g: &[usize]| g.iter().all(|&i| i < 4) || g.iter().all(|&i| i >= 4);
-        assert!(side(&g1) && side(&g2), "clusters must not be mixed: {g1:?} {g2:?}");
+        assert!(
+            side(&g1) && side(&g2),
+            "clusters must not be mixed: {g1:?} {g2:?}"
+        );
     }
 
     #[test]
@@ -853,7 +904,9 @@ mod tests {
         let mut all_rows: Vec<Vec<f64>> = ds.iter().map(|(_, p)| p.to_vec()).collect();
         let mut state = 99u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         for _ in 0..300 {
@@ -861,7 +914,10 @@ mod tests {
             tree.insert(&p).unwrap();
             all_rows.push(p);
         }
-        assert!(tree.check_invariants(), "invariants after 300 inserts with capacity 8");
+        assert!(
+            tree.check_invariants(),
+            "invariants after 300 inserts with capacity 8"
+        );
         assert_eq!(tree.num_points(), 500);
         // Exactness against a scan over the union.
         let full = Dataset::from_rows(&all_rows).unwrap().into_shared();
@@ -895,13 +951,18 @@ mod tests {
         let ds = random_dataset(120, 2, 16);
         let bf = BruteForce::new(ds.clone(), Euclidean);
         let mut st = SearchStats::new();
-        let aux: Vec<f64> = (0..ds.len()).map(|i| bf.dk(i, 1, &mut st).unwrap()).collect();
+        let aux: Vec<f64> = (0..ds.len())
+            .map(|i| bf.dk(i, 1, &mut st).unwrap())
+            .collect();
         let mut tree = RTree::build_with_aux(ds.clone(), Euclidean, aux);
         let new_point = vec![0.25, 0.25];
         let id = tree.insert_with_aux(&new_point, 10.0).unwrap();
         assert!(tree.check_invariants());
         let hits = tree.aux_containment(&[0.5, 0.5], &mut st);
-        assert!(hits.iter().any(|n| n.id == id), "new point with generous aux must be found");
+        assert!(
+            hits.iter().any(|n| n.id == id),
+            "new point with generous aux must be found"
+        );
         assert_eq!(tree.aux_of(id), Some(10.0));
     }
 
@@ -920,7 +981,9 @@ mod tests {
         let ds = random_dataset(120, 2, 14);
         let bf = BruteForce::new(ds.clone(), Euclidean);
         let mut st = SearchStats::new();
-        let aux: Vec<f64> = (0..ds.len()).map(|i| bf.dk(i, 1, &mut st).unwrap()).collect();
+        let aux: Vec<f64> = (0..ds.len())
+            .map(|i| bf.dk(i, 1, &mut st).unwrap())
+            .collect();
         let tree = RTree::build_with_aux(ds.clone(), Euclidean, aux);
         for q in [0usize, 60, 119] {
             let got: Vec<_> = tree

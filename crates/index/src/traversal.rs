@@ -134,7 +134,11 @@ impl<'c, M: Metric, S: TreeSubstrate<M>> ExpandSink<'c, M, S> {
         // `dist_under`, not `dist_lt`: an unbounded stream (or a frontier
         // saturated at +∞) must still admit distances that overflow to +∞,
         // or the completeness contract breaks on extreme coordinates.
-        if let Some(d) = self.tree.metric().dist_under(self.q, self.tree.coords(id), bound) {
+        if let Some(d) = self
+            .tree
+            .metric()
+            .dist_under(self.q, self.tree.coords(id), bound)
+        {
             self.push_point(Neighbor::new(id, d));
         }
     }
@@ -180,7 +184,9 @@ impl<'c, M: Metric, S: TreeSubstrate<M>> ExpandSink<'c, M, S> {
             Some(t) => (t.dist + reach).next_up(),
             None => f64::INFINITY,
         };
-        self.tree.metric().dist_under(self.q, self.tree.coords(pivot), bound)
+        self.tree
+            .metric()
+            .dist_under(self.q, self.tree.coords(pivot), bound)
     }
 
     /// Queues a child subtree with distance lower bound `lower` and payload
@@ -323,7 +329,13 @@ where
     M: Metric + 'a,
     S: TreeSubstrate<M>,
 {
-    Box::new(TreeCursor::new(tree, q, exclude, Some(limit), &mut scratch.tree))
+    Box::new(TreeCursor::new(
+        tree,
+        q,
+        exclude,
+        Some(limit),
+        &mut scratch.tree,
+    ))
 }
 
 #[cfg(test)]
@@ -334,8 +346,13 @@ mod tests {
 
     /// A tie-heavy dataset: coordinates on a coarse half-integer grid.
     fn grid(n: usize, dim: usize) -> Arc<Dataset> {
-        let rows: Vec<Vec<f64>> =
-            (0..n).map(|i| (0..dim).map(|j| ((i * 7 + j * 3) % 9) as f64 * 0.5).collect()).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                (0..dim)
+                    .map(|j| ((i * 7 + j * 3) % 9) as f64 * 0.5)
+                    .collect()
+            })
+            .collect();
         Dataset::from_rows(&rows).unwrap().into_shared()
     }
 
@@ -370,7 +387,12 @@ mod tests {
             assert_eq!(full.len(), 119, "{}", idx.name());
             for limit in [0usize, 1, 5, 40, 119, 500] {
                 let bounded = drain(idx.cursor_bounded(&q, Some(11), limit, &mut scratch), limit);
-                assert_eq!(bounded.len(), limit.min(119), "{} limit={limit}", idx.name());
+                assert_eq!(
+                    bounded.len(),
+                    limit.min(119),
+                    "{} limit={limit}",
+                    idx.name()
+                );
                 for (i, (b, f)) in bounded.iter().zip(&full).enumerate() {
                     assert_eq!(b.id, f.id, "{} limit={limit} step={i}", idx.name());
                     assert_eq!(
@@ -414,7 +436,10 @@ mod tests {
         let q = ds.point(0).to_vec();
         let mut scratch = CursorScratch::new();
         for idx in substrates(&ds) {
-            let over_drained = drain(idx.cursor_bounded(&q, Some(0), 10, &mut scratch), usize::MAX);
+            let over_drained = drain(
+                idx.cursor_bounded(&q, Some(0), 10, &mut scratch),
+                usize::MAX,
+            );
             assert!(over_drained.len() >= 10, "{}", idx.name());
             assert!(
                 over_drained.len() < 399,

@@ -36,7 +36,12 @@ pub struct VpTree<M: Metric> {
 impl<M: Metric> VpTree<M> {
     /// Builds a VP-tree over a shared dataset.
     pub fn build(ds: Arc<Dataset>, metric: M) -> Self {
-        let mut tree = VpTree { ds: ds.clone(), metric, nodes: Vec::new(), root: None };
+        let mut tree = VpTree {
+            ds: ds.clone(),
+            metric,
+            nodes: Vec::new(),
+            root: None,
+        };
         let mut ids: Vec<PointId> = (0..ds.len()).collect();
         tree.root = tree.build_rec(&mut ids);
         tree
@@ -56,8 +61,10 @@ impl<M: Metric> VpTree<M> {
         let vp = ids[0];
         let vp_coords = self.ds.point(vp).to_vec();
         let rest = &mut ids[1..];
-        let mut dists: Vec<(f64, PointId)> =
-            rest.iter().map(|&id| (self.metric.dist(&vp_coords, self.ds.point(id)), id)).collect();
+        let mut dists: Vec<(f64, PointId)> = rest
+            .iter()
+            .map(|&id| (self.metric.dist(&vp_coords, self.ds.point(id)), id))
+            .collect();
         let mid = dists.len() / 2;
         dists.sort_by_key(|a| OrderedF64(a.0));
         let (near_part, far_part) = dists.split_at(mid.max(1).min(dists.len()));
@@ -70,7 +77,9 @@ impl<M: Metric> VpTree<M> {
         let (far_min, far_max) = interval(far_part);
         let mut near_ids: Vec<PointId> = near_part.iter().map(|p| p.1).collect();
         let mut far_ids: Vec<PointId> = far_part.iter().map(|p| p.1).collect();
-        let near = self.build_rec(&mut near_ids).map(|n| (n, near_min, near_max));
+        let near = self
+            .build_rec(&mut near_ids)
+            .map(|n| (n, near_min, near_max));
         let far = self.build_rec(&mut far_ids).map(|n| (n, far_min, far_max));
         self.nodes.push(VpNode::Inner { vp, near, far });
         Some(self.nodes.len() - 1)
@@ -108,7 +117,10 @@ impl<M: Metric> TreeSubstrate<M> for VpTree<M> {
                 // One evaluation serves the vantage point's own emission and
                 // both children's annulus bounds, so the abandonment slack
                 // is the larger of the two outer radii.
-                let reach = [near, far].into_iter().flatten().fold(0.0f64, |r, c| r.max(c.2));
+                let reach = [near, far]
+                    .into_iter()
+                    .flatten()
+                    .fold(0.0f64, |r, c| r.max(c.2));
                 if let Some(d) = sink.pivot(*vp, reach) {
                     sink.point_at(*vp, d);
                     for child in [near, far].into_iter().flatten() {
@@ -174,11 +186,14 @@ mod tests {
     fn random_dataset(n: usize, dim: usize, seed: u64) -> Arc<Dataset> {
         let mut state = seed;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        let rows: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..dim).map(|_| next() * 10.0 - 5.0).collect()).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| next() * 10.0 - 5.0).collect())
+            .collect();
         Dataset::from_rows(&rows).unwrap().into_shared()
     }
 
@@ -222,7 +237,9 @@ mod tests {
         assert_eq!(tree.knn(&[0.5], 1, None, &mut st).len(), 1);
 
         // All-identical points must still stream completely.
-        let ds = Dataset::from_rows(&vec![vec![2.0, 2.0]; 40]).unwrap().into_shared();
+        let ds = Dataset::from_rows(&vec![vec![2.0, 2.0]; 40])
+            .unwrap()
+            .into_shared();
         let tree = VpTree::build(ds, Euclidean);
         let mut cur = tree.cursor(&[0.0, 0.0], None);
         assert_eq!(std::iter::from_fn(|| cur.next()).count(), 40);

@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 use rknn_core::{BruteForce, Dataset, Euclidean, SearchStats};
-use rknn_index::{
-    BallTree, CoverTree, DynamicIndex, KnnIndex, LinearScan, MTree, RTree, VpTree,
-};
+use rknn_index::{BallTree, CoverTree, DynamicIndex, KnnIndex, LinearScan, MTree, RTree, VpTree};
 
 fn arb_points(dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
     proptest::collection::vec(proptest::collection::vec(-100.0f64..100.0, dim), 5..120)

@@ -18,7 +18,11 @@ pub struct IdEstimate {
 impl IdEstimate {
     /// Creates an estimate record.
     pub fn new(id: f64, samples: usize, elapsed: Duration) -> Self {
-        IdEstimate { id, samples, elapsed }
+        IdEstimate {
+            id,
+            samples,
+            elapsed,
+        }
     }
 }
 

@@ -133,7 +133,11 @@ pub struct GedEstimator {
 impl GedEstimator {
     /// A MaxGED estimator for neighborhood size `k`.
     pub fn new(k: usize) -> Self {
-        GedEstimator { k, sample: 200, seed: 0xced }
+        GedEstimator {
+            k,
+            sample: 200,
+            seed: 0xced,
+        }
     }
 }
 
@@ -189,8 +193,9 @@ mod tests {
     #[test]
     fn sampled_is_lower_bound_of_exact() {
         let mut rng = SmallRng::seed_from_u64(7);
-        let rows: Vec<Vec<f64>> =
-            (0..120).map(|_| vec![rng.random::<f64>() * 4.0, rng.random::<f64>() * 4.0]).collect();
+        let rows: Vec<Vec<f64>> = (0..120)
+            .map(|_| vec![rng.random::<f64>() * 4.0, rng.random::<f64>() * 4.0])
+            .collect();
         let ds = Dataset::from_rows(&rows).unwrap();
         let exact = max_ged(&ds, &Euclidean, 3);
         let sampled = max_ged_sampled(&ds, &Euclidean, 3, 30, 9);
@@ -203,7 +208,11 @@ mod tests {
     #[test]
     fn max_ged_handles_small_or_duplicate_sets() {
         let ds = Dataset::from_rows(&[vec![0.0], vec![0.0], vec![0.0]]).unwrap();
-        assert_eq!(max_ged(&ds, &Euclidean, 1), 0.0, "all-zero distances are degenerate");
+        assert_eq!(
+            max_ged(&ds, &Euclidean, 1),
+            0.0,
+            "all-zero distances are degenerate"
+        );
         let ds = Dataset::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
         assert_eq!(max_ged(&ds, &Euclidean, 1), 0.0, "no outer rank available");
     }

@@ -35,7 +35,13 @@ pub struct GpEstimator {
 
 impl Default for GpEstimator {
     fn default() -> Self {
-        GpEstimator { pair_budget: 200_000, q_lo: 0.002, q_hi: 0.05, grid: 16, seed: 0x69 }
+        GpEstimator {
+            pair_budget: 200_000,
+            q_lo: 0.002,
+            q_hi: 0.05,
+            grid: 16,
+            seed: 0x69,
+        }
     }
 }
 
@@ -69,7 +75,9 @@ impl GpEstimator {
             return None;
         }
         let c_lo = ((p as f64 * self.q_lo) as usize).max(4);
-        let c_hi = ((p as f64 * self.q_hi) as usize).min(p - 1).max(c_lo + self.grid);
+        let c_hi = ((p as f64 * self.q_hi) as usize)
+            .min(p - 1)
+            .max(c_lo + self.grid);
         if c_hi <= c_lo {
             return None;
         }
@@ -118,8 +126,9 @@ mod tests {
 
     fn uniform_cube(n: usize, dim: usize, seed: u64) -> Arc<Dataset> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let rows: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..dim).map(|_| rng.random::<f64>()).collect()).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.random::<f64>()).collect())
+            .collect();
         Dataset::from_rows(&rows).unwrap().into_shared()
     }
 
@@ -168,7 +177,9 @@ mod tests {
 
     #[test]
     fn degenerate_inputs_yield_zero() {
-        let ds = Dataset::from_rows(&[vec![0.0], vec![1.0]]).unwrap().into_shared();
+        let ds = Dataset::from_rows(&[vec![0.0], vec![1.0]])
+            .unwrap()
+            .into_shared();
         let got = GpEstimator::new().estimate(&ds, &Euclidean);
         assert_eq!(got.id, 0.0);
     }

@@ -35,7 +35,12 @@ pub struct HillEstimator {
 
 impl Default for HillEstimator {
     fn default() -> Self {
-        HillEstimator { neighbors: 100, sample_fraction: 0.1, min_sample: 50, seed: 0x411 }
+        HillEstimator {
+            neighbors: 100,
+            sample_fraction: 0.1,
+            min_sample: 50,
+            seed: 0x411,
+        }
     }
 }
 
@@ -159,8 +164,9 @@ mod tests {
 
     fn uniform_cube(n: usize, dim: usize, seed: u64) -> Arc<Dataset> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let rows: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..dim).map(|_| rng.random::<f64>()).collect()).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.random::<f64>()).collect())
+            .collect();
         Dataset::from_rows(&rows).unwrap().into_shared()
     }
 
@@ -170,8 +176,9 @@ mod tests {
         // the Hill estimate must recover m closely.
         for m in [1.0f64, 2.0, 5.0] {
             let k = 400;
-            let dists: Vec<f64> =
-                (1..=k).map(|i| ((i as f64) / (k as f64)).powf(1.0 / m)).collect();
+            let dists: Vec<f64> = (1..=k)
+                .map(|i| ((i as f64) / (k as f64)).powf(1.0 / m))
+                .collect();
             let lid = HillEstimator::lid_of_distances(&dists).unwrap();
             assert!((lid - m).abs() < 0.15 * m, "m={m} got {lid}");
         }
@@ -189,7 +196,10 @@ mod tests {
     fn recovers_cube_dimension() {
         for (dim, tol) in [(2usize, 0.8), (5, 1.8)] {
             let ds = uniform_cube(1200, dim, 42 + dim as u64);
-            let est = HillEstimator { neighbors: 60, ..HillEstimator::default() };
+            let est = HillEstimator {
+                neighbors: 60,
+                ..HillEstimator::default()
+            };
             let got = est.estimate(&ds, &Euclidean);
             assert!(
                 (got.id - dim as f64).abs() < tol,
@@ -211,7 +221,10 @@ mod tests {
             })
             .collect();
         let ds = Dataset::from_rows(&rows).unwrap().into_shared();
-        let est = HillEstimator { neighbors: 50, ..HillEstimator::default() };
+        let est = HillEstimator {
+            neighbors: 50,
+            ..HillEstimator::default()
+        };
         let got = est.estimate(&ds, &Euclidean);
         assert!((got.id - 1.0).abs() < 0.4, "got {}", got.id);
     }
@@ -219,7 +232,10 @@ mod tests {
     #[test]
     fn index_and_brute_paths_agree() {
         let ds = uniform_cube(400, 3, 77);
-        let est = HillEstimator { neighbors: 40, ..HillEstimator::default() };
+        let est = HillEstimator {
+            neighbors: 40,
+            ..HillEstimator::default()
+        };
         let a = est.estimate(&ds, &Euclidean);
         let idx = rknn_index::LinearScan::build(ds.clone(), Euclidean);
         let b = est.estimate_with_index(&idx);

@@ -29,7 +29,11 @@ pub struct TakensEstimator {
 
 impl Default for TakensEstimator {
     fn default() -> Self {
-        TakensEstimator { pair_budget: 200_000, r_quantile: 0.05, seed: 0x7a }
+        TakensEstimator {
+            pair_budget: 200_000,
+            r_quantile: 0.05,
+            seed: 0x7a,
+        }
     }
 }
 
@@ -92,8 +96,13 @@ mod tests {
         // If pair distances below r follow F(d) ∝ d^m, Takens recovers m.
         for m in [1.0f64, 2.0, 4.0] {
             let p = 20_000;
-            let dists: Vec<f64> = (1..=p).map(|i| ((i as f64) / p as f64).powf(1.0 / m)).collect();
-            let est = TakensEstimator { r_quantile: 1.0, ..TakensEstimator::default() };
+            let dists: Vec<f64> = (1..=p)
+                .map(|i| ((i as f64) / p as f64).powf(1.0 / m))
+                .collect();
+            let est = TakensEstimator {
+                r_quantile: 1.0,
+                ..TakensEstimator::default()
+            };
             let cd = est.cd_of_sorted_pairs(&dists).unwrap();
             assert!((cd - m).abs() < 0.1 * m, "m={m} got {cd}");
         }
@@ -102,8 +111,9 @@ mod tests {
     #[test]
     fn recovers_square_dimension() {
         let mut rng = SmallRng::seed_from_u64(13);
-        let rows: Vec<Vec<f64>> =
-            (0..1500).map(|_| vec![rng.random::<f64>(), rng.random::<f64>()]).collect();
+        let rows: Vec<Vec<f64>> = (0..1500)
+            .map(|_| vec![rng.random::<f64>(), rng.random::<f64>()])
+            .collect();
         let ds = Dataset::from_rows(&rows).unwrap().into_shared();
         let got = TakensEstimator::new().estimate(&ds, &Euclidean);
         assert!((got.id - 2.0).abs() < 0.5, "got {}", got.id);
@@ -122,12 +132,19 @@ mod tests {
         let ds = Dataset::from_rows(&rows).unwrap().into_shared();
         let takens = TakensEstimator::new().estimate(&ds, &Euclidean);
         let gp = crate::gp::GpEstimator::new().estimate(&ds, &Euclidean);
-        assert!((takens.id - gp.id).abs() < 0.6, "Takens {} vs GP {}", takens.id, gp.id);
+        assert!(
+            (takens.id - gp.id).abs() < 0.6,
+            "Takens {} vs GP {}",
+            takens.id,
+            gp.id
+        );
     }
 
     #[test]
     fn degenerate_inputs_yield_zero() {
-        let ds = Dataset::from_rows(&[vec![0.0], vec![0.0]]).unwrap().into_shared();
+        let ds = Dataset::from_rows(&[vec![0.0], vec![0.0]])
+            .unwrap()
+            .into_shared();
         let got = TakensEstimator::new().estimate(&ds, &Euclidean);
         assert_eq!(got.id, 0.0);
     }

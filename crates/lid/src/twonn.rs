@@ -39,7 +39,12 @@ pub struct TwoNnEstimator {
 
 impl Default for TwoNnEstimator {
     fn default() -> Self {
-        TwoNnEstimator { sample_fraction: 0.2, min_sample: 100, trim: 0.1, seed: 0x22 }
+        TwoNnEstimator {
+            sample_fraction: 0.2,
+            min_sample: 100,
+            trim: 0.1,
+            seed: 0x22,
+        }
     }
 }
 
@@ -63,8 +68,9 @@ impl TwoNnEstimator {
     }
 
     fn sample_ids(&self, n: usize) -> Vec<usize> {
-        let target =
-            ((n as f64 * self.sample_fraction) as usize).max(self.min_sample).min(n);
+        let target = ((n as f64 * self.sample_fraction) as usize)
+            .max(self.min_sample)
+            .min(n);
         let mut rng = SmallRng::seed_from_u64(self.seed);
         let mut ids: Vec<usize> = (0..n).collect();
         ids.shuffle(&mut rng);
@@ -122,9 +128,13 @@ mod tests {
         // μ ~ Pareto(d): F(x) = 1 − x^{−d}. Inverse-CDF sampling.
         for d in [2.0f64, 5.0] {
             let n = 50_000;
-            let mut ratios: Vec<f64> =
-                (1..=n).map(|i| (1.0 - (i as f64 - 0.5) / n as f64).powf(-1.0 / d)).collect();
-            let est = TwoNnEstimator { trim: 0.0, ..TwoNnEstimator::default() };
+            let mut ratios: Vec<f64> = (1..=n)
+                .map(|i| (1.0 - (i as f64 - 0.5) / n as f64).powf(-1.0 / d))
+                .collect();
+            let est = TwoNnEstimator {
+                trim: 0.0,
+                ..TwoNnEstimator::default()
+            };
             let got = est.id_of_ratios(&mut ratios).unwrap();
             assert!((got - d).abs() < 0.05 * d, "d={d} got {got}");
         }
@@ -134,8 +144,9 @@ mod tests {
     fn recovers_cube_dimensions() {
         let mut rng = SmallRng::seed_from_u64(9);
         for dim in [2usize, 6] {
-            let rows: Vec<Vec<f64>> =
-                (0..2500).map(|_| (0..dim).map(|_| rng.random::<f64>()).collect()).collect();
+            let rows: Vec<Vec<f64>> = (0..2500)
+                .map(|_| (0..dim).map(|_| rng.random::<f64>()).collect())
+                .collect();
             let ds = Dataset::from_rows(&rows).unwrap().into_shared();
             let got = TwoNnEstimator::new().estimate(&ds, &Euclidean);
             assert!(
@@ -149,8 +160,9 @@ mod tests {
     #[test]
     fn index_path_agrees_with_brute_path() {
         let mut rng = SmallRng::seed_from_u64(10);
-        let rows: Vec<Vec<f64>> =
-            (0..800).map(|_| vec![rng.random::<f64>(), rng.random::<f64>()]).collect();
+        let rows: Vec<Vec<f64>> = (0..800)
+            .map(|_| vec![rng.random::<f64>(), rng.random::<f64>()])
+            .collect();
         let ds = Dataset::from_rows(&rows).unwrap().into_shared();
         let est = TwoNnEstimator::new();
         let a = est.estimate(&ds, &Euclidean);
@@ -164,7 +176,9 @@ mod tests {
         let est = TwoNnEstimator::new();
         assert!(est.id_of_ratios(&mut vec![]).is_none());
         assert!(est.id_of_ratios(&mut vec![1.0, 0.5, f64::NAN]).is_none());
-        let ds = Dataset::from_rows(&vec![vec![1.0]; 5]).unwrap().into_shared();
+        let ds = Dataset::from_rows(&vec![vec![1.0]; 5])
+            .unwrap()
+            .into_shared();
         assert_eq!(TwoNnEstimator::new().estimate(&ds, &Euclidean).id, 0.0);
     }
 }

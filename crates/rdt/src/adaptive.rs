@@ -47,8 +47,16 @@ impl RdtAdaptive {
     /// Panics if `k == 0` or `safety` is not positive and finite.
     pub fn new(k: usize, safety: f64) -> Self {
         assert!(k > 0, "reverse-neighbor rank k must be positive");
-        assert!(safety.is_finite() && safety > 0.0, "safety factor must be positive");
-        RdtAdaptive { k, safety, t_floor: 1.0, plus: true }
+        assert!(
+            safety.is_finite() && safety > 0.0,
+            "safety factor must be positive"
+        );
+        RdtAdaptive {
+            k,
+            safety,
+            t_floor: 1.0,
+            plus: true,
+        }
     }
 
     /// Sets the floor for t (default 1.0).
@@ -80,8 +88,14 @@ impl RdtAdaptive {
             index.point(q),
             Some(q),
             RdtParams::new(self.k, self.t_floor),
-            if self.plus { RdtVariant::Plus } else { RdtVariant::Plain },
-            TSchedule::Adaptive { safety: self.safety },
+            if self.plus {
+                RdtVariant::Plus
+            } else {
+                RdtVariant::Plain
+            },
+            TSchedule::Adaptive {
+                safety: self.safety,
+            },
         )
     }
 
@@ -96,8 +110,14 @@ impl RdtAdaptive {
             q,
             None,
             RdtParams::new(self.k, self.t_floor),
-            if self.plus { RdtVariant::Plus } else { RdtVariant::Plain },
-            TSchedule::Adaptive { safety: self.safety },
+            if self.plus {
+                RdtVariant::Plus
+            } else {
+                RdtVariant::Plain
+            },
+            TSchedule::Adaptive {
+                safety: self.safety,
+            },
         )
     }
 }
@@ -163,7 +183,10 @@ mod tests {
             assert_eq!(ans.stats.excluded, 0);
             let truth: HashSet<_> = bf.rknn(q, 5, &mut st).iter().map(|n| n.id).collect();
             for n in &ans.result {
-                assert!(truth.contains(&n.id), "plain adaptive RDT reported non-member");
+                assert!(
+                    truth.contains(&n.id),
+                    "plain adaptive RDT reported non-member"
+                );
             }
         }
     }

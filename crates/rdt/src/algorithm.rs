@@ -1,0 +1,489 @@
+//! The algorithm-generic RkNN abstraction: one trait, one batch driver,
+//! every method.
+//!
+//! The paper's experimental story (§7) is a head-to-head comparison of
+//! RDT/RDT+ against five baselines, all answering the same queries against
+//! the same forward index. This module is the execution contract that makes
+//! such comparisons fair *by construction*:
+//!
+//! * [`RknnAlgorithm`] — the lifecycle every method implements: one-off
+//!   [`prepare`](RknnAlgorithm::prepare) precomputation (kNN passes,
+//!   auxiliary trees — reported uniformly via
+//!   [`precompute_time`](RknnAlgorithm::precompute_time) and
+//!   [`precompute_stats`](RknnAlgorithm::precompute_stats)), a per-worker
+//!   [`Worker`](RknnAlgorithm::Worker) state (cursor scratch and any other
+//!   per-thread buffers, allocated once per worker and reused across
+//!   queries), and a per-query [`query`](RknnAlgorithm::query).
+//! * [`run_algorithm_batch`] — the crossbeam-sharded batch driver all
+//!   methods run through: contiguous query chunks across scoped workers,
+//!   one worker state per thread, answers written into disjoint output
+//!   slots, statistics merged in query order so the outcome is
+//!   deterministic and independent of worker count and scheduling.
+//!
+//! RDT itself is ported onto the trait as [`RdtAlgorithm`]; the historical
+//! entry points [`crate::batch::run_batch`] / [`crate::batch::run_all_points`]
+//! are thin wrappers over this driver. The five baselines implement the
+//! trait in `rknn_baselines::algorithm`.
+
+use crate::answer::RknnAnswer;
+use crate::engine::{run_query_full, DkCache, RdtVariant, TSchedule};
+use crate::params::RdtParams;
+use rknn_core::{Metric, Neighbor, PointId, QueryScratch, SearchStats};
+use rknn_index::KnnIndex;
+use std::time::{Duration, Instant};
+
+/// The per-query outcome any RkNN algorithm can report.
+///
+/// The generic driver and the evaluation harness only need two things from
+/// an answer: the reported reverse neighbors and the work spent producing
+/// them. Methods with richer accounting (RDT's [`RknnAnswer`]) expose it
+/// through their concrete answer type; the uniform view is what cross-method
+/// comparisons are computed on.
+pub trait AlgorithmAnswer {
+    /// The reported reverse k-nearest neighbors, ascending by distance.
+    fn neighbors(&self) -> &[Neighbor];
+
+    /// Total work spent answering the query. `dist_computations` counts
+    /// **every** metric evaluation the method performed — index work,
+    /// witness maintenance, pairwise filtering — so the field is the
+    /// paper's dominant cost measure on identical footing for all methods.
+    fn work(&self) -> SearchStats;
+}
+
+/// A plain `(result, work)` answer for methods without richer accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BasicAnswer {
+    /// Reported reverse neighbors, ascending by distance.
+    pub result: Vec<Neighbor>,
+    /// Work spent on this query.
+    pub stats: SearchStats,
+}
+
+impl BasicAnswer {
+    /// Ids of the reported reverse neighbors.
+    pub fn ids(&self) -> Vec<PointId> {
+        self.result.iter().map(|n| n.id).collect()
+    }
+}
+
+impl AlgorithmAnswer for BasicAnswer {
+    fn neighbors(&self) -> &[Neighbor] {
+        &self.result
+    }
+
+    fn work(&self) -> SearchStats {
+        self.stats
+    }
+}
+
+impl AlgorithmAnswer for RknnAnswer {
+    fn neighbors(&self) -> &[Neighbor] {
+        &self.result
+    }
+
+    /// RDT's index work plus its witness-maintenance distance evaluations,
+    /// folded into one counter ([`crate::answer::RdtQueryStats::total_dist_comps`])
+    /// so RDT's filter-phase metric evaluations are charged on the same
+    /// scale as the baselines' pairwise filtering.
+    fn work(&self) -> SearchStats {
+        SearchStats {
+            dist_computations: self.stats.total_dist_comps(),
+            ..self.stats.search
+        }
+    }
+}
+
+/// A reverse-kNN method executable by the algorithm-generic batch driver.
+///
+/// The lifecycle separates the three cost classes the paper's Figures 3–6
+/// and 9 weigh against each other:
+///
+/// 1. **Precomputation** — [`prepare`](Self::prepare) runs exactly once
+///    before any query, against the forward index the queries will use.
+///    Methods that need setup (MRkNNCoP's bound-line fitting, the
+///    RdNN-Tree's kNN pass, TPL's R-tree) do it here and report its cost
+///    through [`precompute_time`](Self::precompute_time) /
+///    [`precompute_stats`](Self::precompute_stats); free methods keep the
+///    no-op defaults.
+/// 2. **Per-worker state** — [`make_worker`](Self::make_worker) builds the
+///    buffers one executor thread reuses across all its queries (cursor
+///    scratch, candidate vectors). Workers are created per thread by the
+///    driver, so implementations need no internal synchronization.
+/// 3. **Per-query work** — [`query`](Self::query) answers the reverse-kNN
+///    query located at dataset point `q`, self-excluding, matching the
+///    paper's experimental protocol. It takes `&self`: all mutable state
+///    lives in the worker.
+///
+/// Queries must be deterministic: the same `(index, q)` must produce the
+/// same answer regardless of worker identity or execution order, so the
+/// batch driver's outcome is reproducible at any thread count. (Shared
+/// caches that only *reduce work* without changing answers — RDT's
+/// [`DkCache`] — are the documented exception: results stay deterministic,
+/// per-query work counters may vary with scheduling.)
+pub trait RknnAlgorithm<M: Metric, I: KnnIndex<M> + ?Sized>: Sync {
+    /// Per-worker mutable state: scratch buffers reused across the queries
+    /// one thread executes.
+    type Worker;
+
+    /// Per-query answer type.
+    type Answer: AlgorithmAnswer + Send;
+
+    /// Method label for reports and experiment rows.
+    fn name(&self) -> String;
+
+    /// One-off precomputation against the forward index. Default: no-op.
+    fn prepare(&mut self, index: &I) {
+        let _ = index;
+    }
+
+    /// Wall-clock time spent in [`prepare`](Self::prepare) (zero before it
+    /// ran, and for methods without precomputation).
+    fn precompute_time(&self) -> Duration {
+        Duration::ZERO
+    }
+
+    /// Work spent in [`prepare`](Self::prepare).
+    fn precompute_stats(&self) -> SearchStats {
+        SearchStats::new()
+    }
+
+    /// Fresh per-worker state for executing queries against `index`.
+    fn make_worker(&self, index: &I) -> Self::Worker;
+
+    /// Answers the reverse-kNN query located at dataset point `q`
+    /// (self-excluding).
+    fn query(&self, index: &I, q: PointId, worker: &mut Self::Worker) -> Self::Answer;
+}
+
+/// Resolves a requested worker count (`0` = one per CPU) against the number
+/// of jobs.
+pub(crate) fn resolve_threads(requested: usize, jobs: usize) -> usize {
+    let requested = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    requested.clamp(1, jobs.max(1))
+}
+
+/// Deterministic query-order aggregate of a batch run, uniform across
+/// methods.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AlgorithmBatchStats {
+    /// Number of queries executed.
+    pub queries: usize,
+    /// Total reported reverse neighbors.
+    pub result_members: usize,
+    /// Total work, summed in query order ([`AlgorithmAnswer::work`]).
+    pub search: SearchStats,
+}
+
+/// The outcome of an algorithm-generic batch run.
+#[derive(Debug, Clone)]
+pub struct AlgorithmOutcome<T> {
+    /// One answer per query, in the order the queries were supplied.
+    pub answers: Vec<T>,
+    /// Query-order aggregate of the per-query work.
+    pub stats: AlgorithmBatchStats,
+    /// Wall-clock time of the whole batch (excluding `prepare`).
+    pub elapsed: Duration,
+    /// Worker threads actually used.
+    pub threads: usize,
+}
+
+/// Executes one query per supplied dataset point through any
+/// [`RknnAlgorithm`], sharded across scoped worker threads with one
+/// [`RknnAlgorithm::Worker`] per thread.
+///
+/// `threads == 0` uses one worker per available CPU. Answers land in query
+/// order and statistics are merged in query order, so the outcome is
+/// byte-identical to a sequential loop over the same queries (for methods
+/// whose per-query work is scheduling-independent; see the trait docs).
+///
+/// The algorithm must already be [`prepared`](RknnAlgorithm::prepare);
+/// the driver never calls `prepare` (it takes `&A`), so precomputation is
+/// paid — and measured — exactly once even across repeated batches.
+pub fn run_algorithm_batch<M, I, A>(
+    algo: &A,
+    index: &I,
+    queries: &[PointId],
+    threads: usize,
+) -> AlgorithmOutcome<A::Answer>
+where
+    M: Metric,
+    I: KnnIndex<M> + Sync + ?Sized,
+    A: RknnAlgorithm<M, I> + ?Sized,
+{
+    let start = Instant::now();
+    let threads = resolve_threads(threads, queries.len());
+    let mut answers: Vec<Option<A::Answer>> = Vec::new();
+    answers.resize_with(queries.len(), || None);
+
+    let run_chunk = |ids: &[PointId], out: &mut [Option<A::Answer>]| {
+        let mut worker = algo.make_worker(index);
+        for (&q, slot) in ids.iter().zip(out.iter_mut()) {
+            *slot = Some(algo.query(index, q, &mut worker));
+        }
+    };
+
+    if threads <= 1 {
+        run_chunk(queries, &mut answers);
+    } else {
+        let chunk = queries.len().div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (ids, out) in queries.chunks(chunk).zip(answers.chunks_mut(chunk)) {
+                scope.spawn(move |_| run_chunk(ids, out));
+            }
+        })
+        .expect("batch workers do not panic");
+    }
+
+    let answers: Vec<A::Answer> = answers
+        .into_iter()
+        .map(|a| a.expect("every query slot was filled"))
+        .collect();
+    let mut stats = AlgorithmBatchStats::default();
+    for ans in &answers {
+        stats.queries += 1;
+        stats.result_members += ans.neighbors().len();
+        stats.search.absorb(&ans.work());
+    }
+    AlgorithmOutcome {
+        answers,
+        stats,
+        elapsed: start.elapsed(),
+        threads,
+    }
+}
+
+/// Runs [`run_algorithm_batch`] over **every** point of the index — the
+/// paper's all-points experimental workload.
+pub fn run_algorithm_all_points<M, I, A>(
+    algo: &A,
+    index: &I,
+    threads: usize,
+) -> AlgorithmOutcome<A::Answer>
+where
+    M: Metric,
+    I: KnnIndex<M> + Sync + ?Sized,
+    A: RknnAlgorithm<M, I> + ?Sized,
+{
+    let queries: Vec<PointId> = (0..index.num_points()).collect();
+    run_algorithm_batch(algo, index, &queries, threads)
+}
+
+/// RDT, RDT+, the no-witness ablation, and the adaptive-`t` variant as one
+/// [`RknnAlgorithm`].
+///
+/// The adapter owns the batch-level configuration the historical
+/// [`crate::batch::BatchConfig`] carried: engine variant, scale-parameter
+/// schedule, and the shared [`DkCache`] of verification thresholds
+/// (created in [`prepare`](RknnAlgorithm::prepare) when
+/// [`with_dk_reuse`](Self::with_dk_reuse) is on and shared by every worker
+/// of a batch).
+#[derive(Debug)]
+pub struct RdtAlgorithm {
+    params: RdtParams,
+    variant: RdtVariant,
+    schedule: TSchedule,
+    reuse_dk: bool,
+    cache: Option<DkCache>,
+    prepare_time: Duration,
+}
+
+impl RdtAlgorithm {
+    /// Plain RDT at the given parameters (fixed schedule, `d_k` reuse on).
+    pub fn new(params: RdtParams) -> Self {
+        RdtAlgorithm {
+            params,
+            variant: RdtVariant::Plain,
+            schedule: TSchedule::Fixed,
+            reuse_dk: true,
+            cache: None,
+            prepare_time: Duration::ZERO,
+        }
+    }
+
+    /// RDT+ (the §4.3 candidate-set reduction) at the given parameters.
+    pub fn plus(params: RdtParams) -> Self {
+        RdtAlgorithm::new(params).with_variant(RdtVariant::Plus)
+    }
+
+    /// The adaptive-`t` variant (§9): RDT+ with a per-query online Hill
+    /// estimate scaled by `safety`, floored at `t_floor`.
+    pub fn adaptive(k: usize, safety: f64, t_floor: f64) -> Self {
+        RdtAlgorithm::plus(RdtParams::new(k, t_floor)).with_schedule(TSchedule::Adaptive { safety })
+    }
+
+    /// Sets the engine variant.
+    pub fn with_variant(mut self, variant: RdtVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Sets the scale-parameter schedule.
+    pub fn with_schedule(mut self, schedule: TSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Enables or disables the shared verification-threshold cache. With
+    /// reuse on, answers are unchanged but per-query work counters of
+    /// cache-hitting queries shrink, scheduling-dependently (see
+    /// [`DkCache`]).
+    pub fn with_dk_reuse(mut self, reuse: bool) -> Self {
+        self.reuse_dk = reuse;
+        self
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> RdtParams {
+        self.params
+    }
+
+    /// The configured variant.
+    pub fn variant(&self) -> RdtVariant {
+        self.variant
+    }
+}
+
+impl<M, I> RknnAlgorithm<M, I> for RdtAlgorithm
+where
+    M: Metric,
+    I: KnnIndex<M> + ?Sized,
+{
+    type Worker = QueryScratch;
+    type Answer = RknnAnswer;
+
+    fn name(&self) -> String {
+        let base = match self.variant {
+            RdtVariant::Plain => "RDT",
+            RdtVariant::Plus => "RDT+",
+            RdtVariant::NoWitness => "RDT(no-witness)",
+        };
+        match self.schedule {
+            TSchedule::Fixed => base.to_string(),
+            TSchedule::Adaptive { .. } => format!("{base}(adaptive)"),
+        }
+    }
+
+    fn prepare(&mut self, index: &I) {
+        let start = Instant::now();
+        self.cache = self
+            .reuse_dk
+            .then(|| DkCache::new(self.params.k, index.num_points()));
+        self.prepare_time = start.elapsed();
+    }
+
+    fn precompute_time(&self) -> Duration {
+        self.prepare_time
+    }
+
+    fn make_worker(&self, index: &I) -> QueryScratch {
+        QueryScratch::new(index.dim().max(1))
+    }
+
+    fn query(&self, index: &I, q: PointId, worker: &mut QueryScratch) -> RknnAnswer {
+        run_query_full(
+            index,
+            index.point(q),
+            Some(q),
+            self.params,
+            self.variant,
+            self.schedule,
+            worker,
+            self.cache.as_ref(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_query_scheduled;
+    use rknn_core::Euclidean;
+    use rknn_index::LinearScan;
+
+    fn index(n: usize, dim: usize, seed: u64) -> LinearScan<Euclidean> {
+        let ds = rknn_data::uniform_cube(n, dim, seed).into_shared();
+        LinearScan::build(ds, Euclidean)
+    }
+
+    #[test]
+    fn generic_driver_matches_the_engine_exactly() {
+        let idx = index(250, 3, 400);
+        let params = RdtParams::new(4, 4.0);
+        let mut algo = RdtAlgorithm::new(params).with_dk_reuse(false);
+        RknnAlgorithm::<_, LinearScan<Euclidean>>::prepare(&mut algo, &idx);
+        let out = run_algorithm_all_points(&algo, &idx, 3);
+        assert_eq!(out.answers.len(), 250);
+        assert_eq!(out.stats.queries, 250);
+        for (q, ans) in out.answers.iter().enumerate() {
+            let want = run_query_scheduled(
+                &idx,
+                idx.point(q),
+                Some(q),
+                params,
+                RdtVariant::Plain,
+                TSchedule::Fixed,
+            );
+            assert_eq!(ans.ids(), want.ids(), "q={q}");
+            assert_eq!(ans.stats, want.stats, "q={q}");
+        }
+    }
+
+    #[test]
+    fn aggregate_work_folds_witness_cost_into_dist_computations() {
+        let idx = index(180, 2, 401);
+        let mut algo = RdtAlgorithm::plus(RdtParams::new(3, 5.0)).with_dk_reuse(false);
+        RknnAlgorithm::<_, LinearScan<Euclidean>>::prepare(&mut algo, &idx);
+        let out = run_algorithm_all_points(&algo, &idx, 2);
+        let want: u64 = out.answers.iter().map(|a| a.stats.total_dist_comps()).sum();
+        assert_eq!(out.stats.search.dist_computations, want);
+        let members: usize = out.answers.iter().map(|a| a.result.len()).sum();
+        assert_eq!(out.stats.result_members, members);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_outcome() {
+        let idx = index(200, 2, 402);
+        let mut algo = RdtAlgorithm::new(RdtParams::new(3, 3.0)).with_dk_reuse(false);
+        RknnAlgorithm::<_, LinearScan<Euclidean>>::prepare(&mut algo, &idx);
+        let base = run_algorithm_all_points(&algo, &idx, 1);
+        for threads in [2usize, 5] {
+            let out = run_algorithm_all_points(&algo, &idx, threads);
+            assert_eq!(out.stats, base.stats, "threads={threads}");
+            for (a, b) in out.answers.iter().zip(&base.answers) {
+                assert_eq!(a.ids(), b.ids());
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_constructor_matches_the_adaptive_wrapper() {
+        let idx = index(300, 3, 403);
+        let mut algo = RdtAlgorithm::adaptive(5, 2.0, 1.0).with_dk_reuse(false);
+        RknnAlgorithm::<_, LinearScan<Euclidean>>::prepare(&mut algo, &idx);
+        let out = run_algorithm_batch(&algo, &idx, &[7, 99], 1);
+        for (i, &q) in [7usize, 99].iter().enumerate() {
+            let want = crate::adaptive::RdtAdaptive::new(5, 2.0).query(&idx, q);
+            assert_eq!(out.answers[i].ids(), want.ids(), "q={q}");
+        }
+        assert_eq!(
+            RknnAlgorithm::<Euclidean, LinearScan<Euclidean>>::name(&algo),
+            "RDT+(adaptive)"
+        );
+    }
+
+    #[test]
+    fn empty_query_list_is_fine() {
+        let idx = index(40, 2, 404);
+        let algo = RdtAlgorithm::new(RdtParams::new(3, 3.0));
+        let out = run_algorithm_batch(&algo, &idx, &[], 4);
+        assert!(out.answers.is_empty());
+        assert_eq!(out.stats, AlgorithmBatchStats::default());
+        assert_eq!(out.threads, 1);
+    }
+}

@@ -107,7 +107,11 @@ mod tests {
             witness_dist_comps: 30,
             omega: 1.5,
             termination: Termination::Omega,
-            search: SearchStats { dist_computations: 70, nodes_visited: 5, heap_pushes: 9 },
+            search: SearchStats {
+                dist_computations: 70,
+                nodes_visited: 5,
+                heap_pushes: 9,
+            },
         }
     }
 

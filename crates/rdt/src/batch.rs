@@ -5,7 +5,7 @@
 //! queries against one shared index. This module is the driver for that
 //! workload:
 //!
-//! * each worker owns one [`QueryScratch`], so cursor buffers, filter-set
+//! * each worker owns one [`rknn_core::QueryScratch`], so cursor buffers, filter-set
 //!   slots and the candidate coordinate tile are allocated once per worker
 //!   rather than once per query;
 //! * the query list is sharded into contiguous chunks across scoped worker
@@ -20,10 +20,11 @@
 //! the crate docs for what early abandonment does (and does not) change in
 //! the work counters.
 
+use crate::algorithm::{run_algorithm_batch, RdtAlgorithm, RknnAlgorithm};
 use crate::answer::{RknnAnswer, Termination};
-use crate::engine::{run_query_full, DkCache, RdtVariant, TSchedule};
+use crate::engine::{RdtVariant, TSchedule};
 use crate::params::RdtParams;
-use rknn_core::{Metric, PointId, QueryScratch, SearchStats};
+use rknn_core::{Metric, PointId, SearchStats};
 use rknn_index::KnnIndex;
 use std::time::{Duration, Instant};
 
@@ -37,7 +38,7 @@ pub struct BatchConfig {
     /// Scale-parameter schedule.
     pub schedule: TSchedule,
     /// Reuse verification thresholds `d_k(·)` across the batch through a
-    /// single lock-free [`DkCache`] shared by every worker. Results and
+    /// single lock-free [`crate::engine::DkCache`] shared by every worker. Results and
     /// terminations are identical either way; with reuse on, the per-query
     /// *work counters* of cache-hitting queries shrink (and, because the
     /// shared cache fills racily, depend on scheduling), so turn this off
@@ -60,7 +61,10 @@ impl Default for BatchConfig {
 impl BatchConfig {
     /// A sequential configuration (one worker, no thread spawn).
     pub fn sequential() -> Self {
-        BatchConfig { threads: 1, ..BatchConfig::default() }
+        BatchConfig {
+            threads: 1,
+            ..BatchConfig::default()
+        }
     }
 
     /// Sets the worker count.
@@ -81,13 +85,14 @@ impl BatchConfig {
         self
     }
 
-    fn resolved_threads(&self, jobs: usize) -> usize {
-        let requested = if self.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        } else {
-            self.threads
-        };
-        requested.clamp(1, jobs.max(1))
+    /// The equivalent [`RdtAlgorithm`] for the algorithm-generic driver
+    /// (unprepared — the caller or the batch wrapper runs
+    /// [`RknnAlgorithm::prepare`]).
+    pub fn algorithm(&self, params: RdtParams) -> RdtAlgorithm {
+        RdtAlgorithm::new(params)
+            .with_variant(self.variant)
+            .with_schedule(self.schedule)
+            .with_dk_reuse(self.reuse_dk)
     }
 }
 
@@ -164,15 +169,21 @@ pub struct BatchOutcome {
 }
 
 /// Answers one RkNN query per supplied dataset point, sharded across
-/// scoped worker threads with one [`QueryScratch`] per worker.
+/// scoped worker threads with one [`rknn_core::QueryScratch`] per worker.
 ///
 /// Each query is located at its point and self-excluding, matching the
 /// paper's experimental protocol. Answers and terminations are
 /// byte-identical to running [`crate::engine::run_query_scheduled`] over
 /// the same ids sequentially; the per-query and aggregate *work counters*
 /// match too only with [`BatchConfig::reuse_dk`] disabled (under the
-/// default shared [`DkCache`], cache-hitting queries do less index work,
-/// scheduling-dependently — see [`BatchConfig::reuse_dk`]).
+/// default shared [`crate::engine::DkCache`], cache-hitting queries do
+/// less index work, scheduling-dependently — see [`BatchConfig::reuse_dk`]).
+///
+/// This is a thin RDT-flavored wrapper over the algorithm-generic
+/// [`run_algorithm_batch`] driver: it builds the equivalent
+/// [`RdtAlgorithm`] (sharing one `d_k` cache across every worker of the
+/// batch), runs the generic driver, and folds the per-query
+/// [`crate::answer::RdtQueryStats`] into the RDT-specific [`BatchStats`].
 pub fn run_batch<M, I>(
     index: &I,
     queries: &[PointId],
@@ -184,50 +195,19 @@ where
     I: KnnIndex<M> + Sync + ?Sized,
 {
     let start = Instant::now();
-    let threads = cfg.resolved_threads(queries.len());
-    let mut answers: Vec<Option<RknnAnswer>> = Vec::new();
-    answers.resize_with(queries.len(), || None);
-
-    // One cache for the whole batch, shared by every worker: `d_k` values
-    // are query-independent, so cross-worker sharing multiplies the hit
-    // rate without any locking (see [`DkCache`] on why the race is benign).
-    let cache = cfg.reuse_dk.then(|| DkCache::new(params.k, index.num_points()));
-    let cache = cache.as_ref();
-    let run_chunk = |ids: &[PointId], out: &mut [Option<RknnAnswer>]| {
-        let mut scratch = QueryScratch::new(index.dim().max(1));
-        for (&q, slot) in ids.iter().zip(out.iter_mut()) {
-            *slot = Some(run_query_full(
-                index,
-                index.point(q),
-                Some(q),
-                params,
-                cfg.variant,
-                cfg.schedule,
-                &mut scratch,
-                cache,
-            ));
-        }
-    };
-
-    if threads <= 1 {
-        run_chunk(queries, &mut answers);
-    } else {
-        let chunk = queries.len().div_ceil(threads);
-        crossbeam::thread::scope(|scope| {
-            for (ids, out) in queries.chunks(chunk).zip(answers.chunks_mut(chunk)) {
-                scope.spawn(move |_| run_chunk(ids, out));
-            }
-        })
-        .expect("batch workers do not panic");
-    }
-
-    let answers: Vec<RknnAnswer> =
-        answers.into_iter().map(|a| a.expect("every query slot was filled")).collect();
+    let mut algo = cfg.algorithm(params);
+    algo.prepare(index);
+    let out = run_algorithm_batch(&algo, index, queries, cfg.threads);
     let mut stats = BatchStats::default();
-    for ans in &answers {
+    for ans in &out.answers {
         stats.absorb(ans);
     }
-    BatchOutcome { answers, stats, elapsed: start.elapsed(), threads }
+    BatchOutcome {
+        answers: out.answers,
+        stats,
+        elapsed: start.elapsed(),
+        threads: out.threads,
+    }
 }
 
 /// Answers an RkNN query from **every** point of the index — the paper's
@@ -280,10 +260,15 @@ mod tests {
     fn thread_count_does_not_change_outcome() {
         let idx = index(250, 3, 91);
         let params = RdtParams::new(4, 3.0);
-        let base =
-            run_all_points(&idx, params, &BatchConfig::sequential().with_dk_reuse(false));
+        let base = run_all_points(
+            &idx,
+            params,
+            &BatchConfig::sequential().with_dk_reuse(false),
+        );
         for threads in [2usize, 4, 7] {
-            let cfg = BatchConfig::default().with_threads(threads).with_dk_reuse(false);
+            let cfg = BatchConfig::default()
+                .with_threads(threads)
+                .with_dk_reuse(false);
             let out = run_all_points(&idx, params, &cfg);
             assert_eq!(out.stats, base.stats, "threads={threads}");
             for (a, b) in out.answers.iter().zip(&base.answers) {
@@ -296,24 +281,38 @@ mod tests {
     fn dk_reuse_changes_work_but_not_answers() {
         let idx = index(350, 4, 95);
         let params = RdtParams::new(5, 6.0);
-        let plain =
-            run_all_points(&idx, params, &BatchConfig::sequential().with_dk_reuse(false));
+        let plain = run_all_points(
+            &idx,
+            params,
+            &BatchConfig::sequential().with_dk_reuse(false),
+        );
         for threads in [1usize, 3] {
             let cached = run_all_points(
                 &idx,
                 params,
-                &BatchConfig::default().with_threads(threads).with_dk_reuse(true),
+                &BatchConfig::default()
+                    .with_threads(threads)
+                    .with_dk_reuse(true),
             );
             for (q, (a, b)) in cached.answers.iter().zip(&plain.answers).enumerate() {
                 assert_eq!(a.ids(), b.ids(), "threads={threads} q={q}");
                 assert_eq!(a.result, b.result, "threads={threads} q={q}");
-                assert_eq!(a.stats.termination, b.stats.termination, "threads={threads} q={q}");
-                assert_eq!(a.stats.verified, b.stats.verified, "threads={threads} q={q}");
+                assert_eq!(
+                    a.stats.termination, b.stats.termination,
+                    "threads={threads} q={q}"
+                );
+                assert_eq!(
+                    a.stats.verified, b.stats.verified,
+                    "threads={threads} q={q}"
+                );
             }
             // Filter-phase counters are untouched by verification caching.
             assert_eq!(cached.stats.retrieved, plain.stats.retrieved);
             assert_eq!(cached.stats.witness_pairs, plain.stats.witness_pairs);
-            assert_eq!(cached.stats.witness_dist_comps, plain.stats.witness_dist_comps);
+            assert_eq!(
+                cached.stats.witness_dist_comps,
+                plain.stats.witness_dist_comps
+            );
             // Reuse can only reduce index work.
             assert!(
                 cached.stats.search.dist_computations <= plain.stats.search.dist_computations,
@@ -351,7 +350,9 @@ mod tests {
         let idx = index(220, 3, 93);
         let params = RdtParams::new(4, 6.0);
         let queries = [0usize, 7, 113, 219];
-        let cfg = BatchConfig::default().with_threads(2).with_variant(RdtVariant::Plus);
+        let cfg = BatchConfig::default()
+            .with_threads(2)
+            .with_variant(RdtVariant::Plus);
         let out = run_batch(&idx, &queries, params, &cfg);
         assert_eq!(out.answers.len(), queries.len());
         for (i, &q) in queries.iter().enumerate() {

@@ -73,8 +73,9 @@ impl BichromaticRdt {
         let k = self.params.k;
         let t = self.params.t;
         let metric = services.metric();
-        let n_services =
-            services.num_points().saturating_sub(usize::from(exclude_service.is_some()));
+        let n_services = services
+            .num_points()
+            .saturating_sub(usize::from(exclude_service.is_some()));
         let service_cap = self.params.rank_cap(n_services);
 
         let mut service_cursor = services.cursor(q, exclude_service);
@@ -195,8 +196,7 @@ impl BichromaticRdt {
             }
             let rejected = w >= k;
             let frontier = found_services.last().map(|s| s.dist).unwrap_or(0.0);
-            let accepted =
-                !rejected && w < k && (frontier >= 2.0 * client.dist || svc_exhausted);
+            let accepted = !rejected && w < k && (frontier >= 2.0 * client.dist || svc_exhausted);
             if accepted {
                 lazy_accepts += 1;
             }
@@ -236,7 +236,11 @@ impl BichromaticRdt {
             }
             verified += 1;
             let nn = services.knn(clients.point(c.id), k, None, &mut verify_stats);
-            let dk = if nn.len() < k { f64::INFINITY } else { nn[k - 1].dist };
+            let dk = if nn.len() < k {
+                f64::INFINITY
+            } else {
+                nn[k - 1].dist
+            };
             if dk >= c.dist {
                 verified_accepted += 1;
                 result.push(Neighbor::new(c.id, c.dist));
@@ -312,8 +316,9 @@ mod tests {
 
     fn uniform(n: usize, dim: usize, seed: u64) -> Arc<Dataset> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let rows: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..dim).map(|_| rng.random::<f64>() * 10.0).collect()).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.random::<f64>() * 10.0).collect())
+            .collect();
         Dataset::from_rows(&rows).unwrap().into_shared()
     }
 
@@ -327,11 +332,10 @@ mod tests {
         for qi in [0usize, 75, 149] {
             let q = services.point(qi).to_vec();
             let got = handle.query(&is, &ic, &q, Some(qi)).ids();
-            let want: Vec<_> =
-                bichromatic_brute(&services, &clients, &Euclidean, &q, 3, Some(qi))
-                    .iter()
-                    .map(|n| n.id)
-                    .collect();
+            let want: Vec<_> = bichromatic_brute(&services, &clients, &Euclidean, &q, 3, Some(qi))
+                .iter()
+                .map(|n| n.id)
+                .collect();
             assert_eq!(got, want, "qi={qi}");
         }
     }

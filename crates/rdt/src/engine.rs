@@ -29,7 +29,9 @@
 
 use crate::answer::{RdtQueryStats, RknnAnswer, Termination};
 use crate::params::RdtParams;
-use rknn_core::{CursorScratch, FilterCandidate, Metric, Neighbor, PointId, QueryScratch, SearchStats};
+use rknn_core::{
+    CursorScratch, FilterCandidate, Metric, Neighbor, PointId, QueryScratch, SearchStats,
+};
 use rknn_index::KnnIndex;
 
 /// The verification threshold `d_k(v)`: the distance from `v` to its k-th
@@ -98,7 +100,17 @@ where
     M: Metric,
     I: KnnIndex<M> + ?Sized,
 {
-    run_query_variant(index, q, exclude, params, if plus { RdtVariant::Plus } else { RdtVariant::Plain })
+    run_query_variant(
+        index,
+        q,
+        exclude,
+        params,
+        if plus {
+            RdtVariant::Plus
+        } else {
+            RdtVariant::Plain
+        },
+    )
 }
 
 /// How the scale parameter evolves during one query.
@@ -316,11 +328,17 @@ where
     let k = params.k;
     let mut t = params.t;
     let metric = index.metric();
-    let n = index.num_points().saturating_sub(usize::from(exclude.is_some()));
+    let n = index
+        .num_points()
+        .saturating_sub(usize::from(exclude.is_some()));
     let mut cap = params.rank_cap(n);
 
     let mut omega = f64::INFINITY;
-    let QueryScratch { cursor: cursor_scratch, filter, tile } = scratch;
+    let QueryScratch {
+        cursor: cursor_scratch,
+        filter,
+        tile,
+    } = scratch;
     filter.clear();
     tile.reset(index.dim().max(1));
     let mut excluded = 0usize;
@@ -457,7 +475,11 @@ where
             break;
         }
         if test_armed && s >= cap {
-            termination = if s >= n { Termination::Exhausted } else { Termination::RankCap };
+            termination = if s >= n {
+                Termination::Exhausted
+            } else {
+                Termination::RankCap
+            };
             break;
         }
     }
@@ -524,8 +546,9 @@ mod tests {
 
     fn uniform(n: usize, dim: usize, seed: u64) -> Arc<Dataset> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let rows: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..dim).map(|_| rng.random::<f64>() * 10.0).collect()).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.random::<f64>() * 10.0).collect())
+            .collect();
         Dataset::from_rows(&rows).unwrap().into_shared()
     }
 
@@ -555,7 +578,11 @@ mod tests {
             let ans = run_query(&idx, idx.point(q), Some(q), RdtParams::new(4, 50.0), false);
             let mut st = SearchStats::new();
             let truth = bf.rknn(q, 4, &mut st);
-            assert_eq!(ans.ids(), truth.iter().map(|n| n.id).collect::<Vec<_>>(), "q={q}");
+            assert_eq!(
+                ans.ids(),
+                truth.iter().map(|n| n.id).collect::<Vec<_>>(),
+                "q={q}"
+            );
         }
     }
 
@@ -592,7 +619,11 @@ mod tests {
         let ds = uniform(12, 2, 54);
         let idx = LinearScan::build(ds, Euclidean);
         let ans = run_query(&idx, idx.point(0), Some(0), RdtParams::new(50, 5.0), false);
-        assert_eq!(ans.result.len(), 11, "all other points are trivially reverse neighbors");
+        assert_eq!(
+            ans.result.len(),
+            11,
+            "all other points are trivially reverse neighbors"
+        );
         assert_eq!(ans.stats.termination, Termination::Exhausted);
     }
 
@@ -640,8 +671,9 @@ mod tests {
         let q = 0usize;
         let m = Euclidean;
         let qp = ds.point(q).to_vec();
-        let mut stream: Vec<(usize, f64)> =
-            (1..ds.len()).map(|i| (i, m.dist(ds.point(i), &qp))).collect();
+        let mut stream: Vec<(usize, f64)> = (1..ds.len())
+            .map(|i| (i, m.dist(ds.point(i), &qp)))
+            .collect();
         stream.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
 
         let simulate = |swapped: bool| -> Vec<usize> {
@@ -708,7 +740,13 @@ mod tests {
         let ds = uniform(400, 2, 57);
         let idx = LinearScan::build(ds.clone(), Euclidean);
         let k = 5;
-        let ans = run_query(&idx, idx.point(11), Some(11), RdtParams::new(k, 60.0), false);
+        let ans = run_query(
+            &idx,
+            idx.point(11),
+            Some(11),
+            RdtParams::new(k, 60.0),
+            false,
+        );
         // Re-derive censuses by brute force over the whole dataset (the
         // filter phase retrieved everything at t = 60).
         let metric = Euclidean;

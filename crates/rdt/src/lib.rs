@@ -17,10 +17,14 @@
 //!   the same witness/dimensional-test machinery (the paper discusses the
 //!   bichromatic problem in §1; this is our implementation of it on top of
 //!   RDT's primitives);
-//! * [`batch`] — the batch execution driver: all-points (or any query
-//!   list) RkNN jobs sharded across scoped worker threads, one reusable
-//!   [`rknn_core::QueryScratch`] per worker, deterministic statistics
-//!   merging.
+//! * [`algorithm`] — the algorithm-generic RkNN abstraction: the
+//!   [`RknnAlgorithm`] lifecycle trait (prepare → per-worker state →
+//!   per-query work, with uniform precompute-time reporting) and the
+//!   crossbeam-sharded batch driver every method — RDT and the five
+//!   baselines of `rknn-baselines` — executes through;
+//! * [`batch`] — the RDT-flavored batch entry points: all-points (or any
+//!   query list) RkNN jobs with RDT's rich per-query statistics, thin
+//!   wrappers over the [`algorithm`] driver.
 //!
 //! The algorithms work on *any* [`rknn_index::KnnIndex`]; substrate
 //! agreement is covered by the workspace integration tests.
@@ -49,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod algorithm;
 pub mod answer;
 pub mod batch;
 pub mod bichromatic;
@@ -59,6 +64,10 @@ pub mod rdt_plus;
 pub mod theory;
 
 pub use adaptive::RdtAdaptive;
+pub use algorithm::{
+    run_algorithm_all_points, run_algorithm_batch, AlgorithmAnswer, AlgorithmBatchStats,
+    AlgorithmOutcome, BasicAnswer, RdtAlgorithm, RknnAlgorithm,
+};
 pub use answer::{RdtQueryStats, RknnAnswer, Termination};
 pub use batch::{BatchConfig, BatchOutcome, BatchStats};
 pub use bichromatic::BichromaticRdt;

@@ -26,7 +26,10 @@ impl RdtParams {
     /// Panics if `k == 0` or `t` is not strictly positive and finite.
     pub fn new(k: usize, t: f64) -> Self {
         assert!(k > 0, "reverse-neighbor rank k must be positive");
-        assert!(t.is_finite() && t > 0.0, "scale parameter t must be positive and finite");
+        assert!(
+            t.is_finite() && t > 0.0,
+            "scale parameter t must be positive and finite"
+        );
         RdtParams { k, t }
     }
 
@@ -116,7 +119,9 @@ mod tests {
 
     #[test]
     fn fixed_policy_resolves_to_constant() {
-        let ds = Dataset::from_rows(&[vec![0.0], vec![1.0]]).unwrap().into_shared();
+        let ds = Dataset::from_rows(&[vec![0.0], vec![1.0]])
+            .unwrap()
+            .into_shared();
         assert_eq!(ScalePolicy::Fixed(7.5).resolve(&ds, &Euclidean), 7.5);
         assert_eq!(ScalePolicy::Fixed(7.5).label(), "fixed");
     }
@@ -124,8 +129,9 @@ mod tests {
     #[test]
     fn estimator_policies_track_intrinsic_dimension() {
         let mut rng = SmallRng::seed_from_u64(3);
-        let rows: Vec<Vec<f64>> =
-            (0..900).map(|_| vec![rng.random::<f64>(), rng.random::<f64>()]).collect();
+        let rows: Vec<Vec<f64>> = (0..900)
+            .map(|_| vec![rng.random::<f64>(), rng.random::<f64>()])
+            .collect();
         let ds = Dataset::from_rows(&rows).unwrap().into_shared();
         let t_gp = ScalePolicy::Gp(GpEstimator::new()).resolve(&ds, &Euclidean);
         let t_tak = ScalePolicy::Takens(TakensEstimator::new()).resolve(&ds, &Euclidean);
@@ -142,7 +148,9 @@ mod tests {
     #[test]
     fn degenerate_estimates_are_clamped() {
         // Two points cannot support a CD estimate → raw 0.0 → clamped.
-        let ds = Dataset::from_rows(&[vec![0.0], vec![1.0]]).unwrap().into_shared();
+        let ds = Dataset::from_rows(&[vec![0.0], vec![1.0]])
+            .unwrap()
+            .into_shared();
         let t = ScalePolicy::Gp(GpEstimator::new()).resolve(&ds, &Euclidean);
         assert_eq!(t, 0.5);
     }

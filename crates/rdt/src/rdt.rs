@@ -103,11 +103,18 @@ mod tests {
                 hits += got.result.iter().filter(|n| truth.contains(&n.id)).count();
                 total += truth.len();
             }
-            let recall = if total == 0 { 1.0 } else { hits as f64 / total as f64 };
+            let recall = if total == 0 {
+                1.0
+            } else {
+                hits as f64 / total as f64
+            };
             assert!(recall >= prev_recall - 0.05, "recall dropped hard at t={t}");
             prev_recall = prev_recall.max(recall);
         }
-        assert!(prev_recall >= 0.99, "exhaustive t reaches full recall, got {prev_recall}");
+        assert!(
+            prev_recall >= 0.99,
+            "exhaustive t reaches full recall, got {prev_recall}"
+        );
     }
 
     #[test]

@@ -63,8 +63,9 @@ mod tests {
 
     fn uniform(n: usize, dim: usize, seed: u64) -> Arc<Dataset> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let rows: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..dim).map(|_| rng.random::<f64>() * 10.0).collect()).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.random::<f64>() * 10.0).collect())
+            .collect();
         Dataset::from_rows(&rows).unwrap().into_shared()
     }
 
@@ -81,7 +82,10 @@ mod tests {
             assert!(plus.stats.filter_set_size <= plain.stats.filter_set_size);
             total_excluded += plus.stats.excluded;
         }
-        assert!(total_excluded > 0, "exclusion fires on a uniform cloud at moderate t");
+        assert!(
+            total_excluded > 0,
+            "exclusion fires on a uniform cloud at moderate t"
+        );
     }
 
     #[test]
@@ -112,8 +116,12 @@ mod tests {
         for q in 0..25usize {
             let truth: std::collections::HashSet<_> =
                 bf.rknn(q, 8, &mut st).iter().map(|n| n.id).collect();
-            plain_hits +=
-                Rdt::new(params).query(&idx, q).result.iter().filter(|n| truth.contains(&n.id)).count();
+            plain_hits += Rdt::new(params)
+                .query(&idx, q)
+                .result
+                .iter()
+                .filter(|n| truth.contains(&n.id))
+                .count();
             plus_hits += RdtPlus::new(params)
                 .query(&idx, q)
                 .result
@@ -125,7 +133,10 @@ mod tests {
         let plain_recall = plain_hits as f64 / total as f64;
         let plus_recall = plus_hits as f64 / total as f64;
         assert!(plain_recall > 0.95);
-        assert!(plus_recall > plain_recall - 0.1, "{plus_recall} vs {plain_recall}");
+        assert!(
+            plus_recall > plain_recall - 0.1,
+            "{plus_recall} vs {plain_recall}"
+        );
     }
 
     #[test]

@@ -64,8 +64,9 @@ mod tests {
 
     fn uniform(n: usize, dim: usize, seed: u64) -> Dataset {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let rows: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..dim).map(|_| rng.random::<f64>()).collect()).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.random::<f64>()).collect())
+            .collect();
         Dataset::from_rows(&rows).unwrap()
     }
 

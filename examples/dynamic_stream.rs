@@ -11,11 +11,11 @@
 //! cargo run --release --example dynamic_stream
 //! ```
 
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use rknn::index::DynamicIndex;
 use rknn::prelude::*;
 use rknn::rdt::RdtParams;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     let ds = rknn::data::gaussian_blobs(3000, 4, 6, 0.5, 9).into_shared();
@@ -62,7 +62,12 @@ fn main() {
     let fresh_ds = Dataset::from_rows(&survivors).unwrap().into_shared();
     let fresh = CoverTree::build(fresh_ds, Euclidean);
     // Point ids shifted by 100 after the deletions.
-    let old_ans: Vec<_> = rdt.query(&index, 150).ids().iter().map(|id| id - 100).collect();
+    let old_ans: Vec<_> = rdt
+        .query(&index, 150)
+        .ids()
+        .iter()
+        .map(|id| id - 100)
+        .collect();
     let new_ans = rdt.query(&fresh, 50).ids();
     assert_eq!(old_ans, new_ans, "incremental and rebuilt indexes agree");
     println!("incremental index agrees with a fresh rebuild — done");

@@ -38,7 +38,10 @@ fn main() {
     println!("most influential facilities (k = {k}):");
     for (f, n) in influence.iter().take(5) {
         let p = facilities.point(*f);
-        println!("  facility {f:3} at ({:.3}, {:.3}): serves {n} households", p[0], p[1]);
+        println!(
+            "  facility {f:3} at ({:.3}, {:.3}): serves {n} households",
+            p[0], p[1]
+        );
     }
 
     // Validate the top facility against brute force.
@@ -48,8 +51,15 @@ fn main() {
     println!(
         "\nvalidation: RDT found {top_n} households, brute force {}: {}",
         truth.len(),
-        if truth.len() == top_n { "match" } else { "MISMATCH" }
+        if truth.len() == top_n {
+            "match"
+        } else {
+            "MISMATCH"
+        }
     );
     let mean = influence.iter().map(|&(_, n)| n).sum::<usize>() as f64 / influence.len() as f64;
-    println!("mean influence over {} facilities: {mean:.1} households", influence.len());
+    println!(
+        "mean influence over {} facilities: {mean:.1} households",
+        influence.len()
+    );
 }

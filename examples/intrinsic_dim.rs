@@ -26,14 +26,23 @@ fn main() {
     let hill = HillEstimator::new();
     let gp = GpEstimator::new();
     let takens = TakensEstimator::new();
-    println!("{:<24} {:>4} {:>8} {:>8} {:>8}", "dataset", "D", "MLE", "GP", "Takens");
+    println!(
+        "{:<24} {:>4} {:>8} {:>8} {:>8}",
+        "dataset", "D", "MLE", "GP", "Takens"
+    );
     let mut shared = Vec::new();
     for (name, ds) in sets {
         let ds = ds.into_shared();
         let m = hill.estimate(&ds, &Euclidean);
         let g = gp.estimate(&ds, &Euclidean);
         let t = takens.estimate(&ds, &Euclidean);
-        println!("{name:<24} {:>4} {:>8.2} {:>8.2} {:>8.2}", ds.dim(), m.id, g.id, t.id);
+        println!(
+            "{name:<24} {:>4} {:>8.2} {:>8.2} {:>8.2}",
+            ds.dim(),
+            m.id,
+            g.id,
+            t.id
+        );
         shared.push((name, ds));
     }
 

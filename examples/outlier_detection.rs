@@ -38,8 +38,9 @@ fn main() {
     // skew the paper cites [46]: even regular points in moderate dimensions
     // can have empty reverse neighborhoods ("anti-hubs"), so the count is a
     // *score*, with 0 marking the candidate outlier set.
-    let scored: Vec<(PointId, usize)> =
-        (0..ds.len()).map(|q| (q, rdt.query(&index, q).result.len())).collect();
+    let scored: Vec<(PointId, usize)> = (0..ds.len())
+        .map(|q| (q, rdt.query(&index, q).result.len()))
+        .collect();
 
     let zero_count = scored.iter().filter(|&&(_, c)| c == 0).count();
     let mean_count = scored.iter().map(|&(_, c)| c).sum::<usize>() as f64 / scored.len() as f64;

@@ -49,11 +49,23 @@ fn main() {
     let mut st = SearchStats::new();
     let truth = brute.rknn(123, 10, &mut st);
     let truth_ids: std::collections::HashSet<_> = truth.iter().map(|n| n.id).collect();
-    let hits = answer.result.iter().filter(|n| truth_ids.contains(&n.id)).count();
+    let hits = answer
+        .result
+        .iter()
+        .filter(|n| truth_ids.contains(&n.id))
+        .count();
     println!(
         "exact answer has {} points; recall {:.3}, precision {:.3}",
         truth.len(),
-        if truth.is_empty() { 1.0 } else { hits as f64 / truth.len() as f64 },
-        if answer.result.is_empty() { 1.0 } else { hits as f64 / answer.result.len() as f64 },
+        if truth.is_empty() {
+            1.0
+        } else {
+            hits as f64 / truth.len() as f64
+        },
+        if answer.result.is_empty() {
+            1.0
+        } else {
+            hits as f64 / answer.result.len() as f64
+        },
     );
 }

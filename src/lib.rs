@@ -49,13 +49,20 @@ pub use rknn_rdt as rdt;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
-    pub use rknn_baselines::{MRkNNCoP, NaiveRknn, RdnnTree, Sft, Tpl};
+    pub use rknn_baselines::{
+        MRkNNCoP, MrknncopAlgorithm, NaiveRknn, RdnnAlgorithm, RdnnTree, Sft, Tpl, TplAlgorithm,
+    };
     pub use rknn_core::{
         BruteForce, Dataset, DatasetBuilder, Euclidean, Manhattan, Metric, Neighbor, PointId,
         QueryScratch, SearchStats,
     };
-    pub use rknn_index::{BallTree, CoverTree, KnnIndex, LinearScan, MTree, NnCursor, RTree, VpTree};
+    pub use rknn_index::{
+        BallTree, CoverTree, KnnIndex, LinearScan, MTree, NnCursor, RTree, VpTree,
+    };
     pub use rknn_lid::{GedEstimator, HillEstimator, IdEstimator};
+    pub use rknn_rdt::algorithm::{run_algorithm_all_points, run_algorithm_batch};
     pub use rknn_rdt::batch::{run_all_points, run_batch};
-    pub use rknn_rdt::{BatchConfig, BatchOutcome, Rdt, RdtParams, RdtPlus, RknnAnswer};
+    pub use rknn_rdt::{
+        BatchConfig, BatchOutcome, Rdt, RdtAlgorithm, RdtParams, RdtPlus, RknnAlgorithm, RknnAnswer,
+    };
 }

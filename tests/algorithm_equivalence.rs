@@ -1,0 +1,230 @@
+//! Equivalence of every method running through the unified
+//! `RknnAlgorithm` abstraction, per the algorithm-refactor PR's
+//! acceptance:
+//!
+//! 1. every **exact** method — naive, TPL, MRkNNCoP (`k ≤ k_max`),
+//!    RdNN-Tree, and RDT at an exhaustive scale parameter — returns
+//!    byte-identical RkNN sets (same ids, bit-identical distances) on a
+//!    tie-heavy grid. RDT+ at the same exhaustive parameter keeps **full
+//!    recall** with bit-identical distances on every true member, but its
+//!    §4.3 candidate-set reduction can lazily accept points whose witness
+//!    census was undercounted by exclusions (the repo's documented
+//!    precision tradeoff), so each RDT+ extra is checked to be a genuine
+//!    false positive rather than asserted absent;
+//! 2. for each method, the algorithm-generic batch driver matches a
+//!    sequential per-query loop over the same worker exactly: results,
+//!    terminations (RDT), and deterministically merged statistics, at
+//!    every worker count.
+//!
+//! Coordinates are drawn from a coarse half-integer grid so exact distance
+//! ties (the adversarial case for strict/closed threshold tests like
+//! `dist_lt`/`dist_le` and for the conservative MRkNNCoP bounds) occur
+//! constantly.
+
+use proptest::prelude::*;
+use rknn::baselines::{MrknncopAlgorithm, NaiveRknn, RdnnAlgorithm, Sft, TplAlgorithm};
+use rknn::core::{Dataset, Euclidean, Metric, Neighbor, SearchStats};
+use rknn::index::{KnnIndex, LinearScan};
+use rknn::rdt::algorithm::{run_algorithm_batch, AlgorithmAnswer, RdtAlgorithm, RknnAlgorithm};
+use rknn::rdt::RdtParams;
+use std::sync::Arc;
+
+/// Builds a dataset on the half-integer grid `{0, 0.5, …, 4}` from raw
+/// proptest levels, so duplicate points and tied distances are common.
+fn grid_dataset(levels: &[u8], dim: usize) -> Arc<Dataset> {
+    let n = levels.len() / dim;
+    let coords: Vec<f64> = levels[..n * dim]
+        .iter()
+        .map(|&v| f64::from(v % 9) * 0.5)
+        .collect();
+    Dataset::from_flat(dim, coords)
+        .expect("grid coordinates are finite")
+        .into_shared()
+}
+
+/// Byte-identity of two neighbor lists: same ids in the same order with
+/// bit-identical distances.
+fn assert_identical(a: &[Neighbor], b: &[Neighbor], what: &str) {
+    prop_assert_eq!(a.len(), b.len(), "{}: set sizes differ", what);
+    for (x, y) in a.iter().zip(b) {
+        prop_assert_eq!(x.id, y.id, "{}: ids diverged", what);
+        prop_assert_eq!(
+            x.dist.to_bits(),
+            y.dist.to_bits(),
+            "{}: distances diverged",
+            what
+        );
+    }
+}
+
+/// Runs one prepared algorithm over all points through (a) a sequential
+/// per-query loop on a single worker and (b) the batch driver at several
+/// worker counts, demanding identical answers and identical merged stats.
+/// Returns the sequential reference answers.
+fn assert_batch_matches_sequential<A>(
+    algo: &A,
+    index: &LinearScan<Euclidean>,
+    label: &str,
+) -> Vec<A::Answer>
+where
+    A: RknnAlgorithm<Euclidean, LinearScan<Euclidean>>,
+{
+    let queries: Vec<usize> = (0..index.num_points()).collect();
+    // The reference: a plain sequential loop over one worker.
+    let mut worker = algo.make_worker(index);
+    let reference: Vec<A::Answer> = queries
+        .iter()
+        .map(|&q| algo.query(index, q, &mut worker))
+        .collect();
+
+    for threads in [1usize, 2, 5] {
+        let out = run_algorithm_batch(algo, index, &queries, threads);
+        prop_assert_eq!(out.answers.len(), reference.len());
+        let mut members = 0usize;
+        let mut work = SearchStats::new();
+        for (q, (got, want)) in out.answers.iter().zip(&reference).enumerate() {
+            assert_identical(
+                got.neighbors(),
+                want.neighbors(),
+                &format!("{label} threads={threads} q={q}"),
+            );
+            prop_assert_eq!(
+                got.work(),
+                want.work(),
+                "{} threads={} q={}: per-query work diverged",
+                label,
+                threads,
+                q
+            );
+            members += want.neighbors().len();
+            work.absorb(&want.work());
+        }
+        // Merged stats are summed in query order: deterministic at any
+        // worker count and equal to the sequential fold.
+        prop_assert_eq!(out.stats.queries, reference.len(), "{}", label);
+        prop_assert_eq!(out.stats.result_members, members, "{}", label);
+        prop_assert_eq!(out.stats.search, work, "{} threads={}", label, threads);
+    }
+    reference
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Acceptance property 1: all exact methods agree byte-identically.
+    #[test]
+    fn exact_methods_return_byte_identical_rknn_sets(
+        levels in proptest::collection::vec(0u8..9, 24..72),
+        dim in 1usize..4,
+        k in 1usize..4,
+    ) {
+        let ds = grid_dataset(&levels, dim);
+        let idx = LinearScan::build(ds.clone(), Euclidean);
+        let queries: Vec<usize> = (0..ds.len()).collect();
+
+        // The reference: naive, one verification per point.
+        let naive = NaiveRknn::new(k);
+        let reference = run_algorithm_batch(&naive, &idx, &queries, 2);
+
+        // TPL.
+        let mut tpl = TplAlgorithm::new(ds.clone(), Euclidean, k);
+        RknnAlgorithm::<_, LinearScan<Euclidean>>::prepare(&mut tpl, &idx);
+        let tpl_out = run_algorithm_batch(&tpl, &idx, &queries, 2);
+
+        // MRkNNCoP with k strictly below k_max (the supported regime).
+        let mut cop = MrknncopAlgorithm::new(ds.clone(), Euclidean, k, k + 2);
+        RknnAlgorithm::<_, LinearScan<Euclidean>>::prepare(&mut cop, &idx);
+        let cop_out = run_algorithm_batch(&cop, &idx, &queries, 2);
+
+        // RdNN-Tree, welded to this k.
+        let mut rdnn = RdnnAlgorithm::new(ds.clone(), Euclidean, k);
+        RknnAlgorithm::<_, LinearScan<Euclidean>>::prepare(&mut rdnn, &idx);
+        let rdnn_out = run_algorithm_batch(&rdnn, &idx, &queries, 2);
+
+        // RDT at an exhaustive scale parameter (rank cap covers the whole
+        // dataset, so Theorem 1 exactness applies: complete censuses make
+        // every lazy accept/reject sound).
+        let mut rdt = RdtAlgorithm::new(RdtParams::new(k, 40.0));
+        RknnAlgorithm::<_, LinearScan<Euclidean>>::prepare(&mut rdt, &idx);
+        let rdt_out = run_algorithm_batch(&rdt, &idx, &queries, 2);
+        let mut plus = RdtAlgorithm::plus(RdtParams::new(k, 40.0));
+        RknnAlgorithm::<_, LinearScan<Euclidean>>::prepare(&mut plus, &idx);
+        let plus_out = run_algorithm_batch(&plus, &idx, &queries, 2);
+
+        let metric = Euclidean;
+        for (q, want) in reference.answers.iter().enumerate() {
+            assert_identical(tpl_out.answers[q].neighbors(), want.neighbors(),
+                &format!("TPL q={q}"));
+            assert_identical(cop_out.answers[q].neighbors(), want.neighbors(),
+                &format!("MRkNNCoP q={q}"));
+            assert_identical(rdnn_out.answers[q].neighbors(), want.neighbors(),
+                &format!("RdNN q={q}"));
+            assert_identical(rdt_out.answers[q].neighbors(), want.neighbors(),
+                &format!("RDT q={q}"));
+
+            // RDT+: full recall with bit-identical distances on every true
+            // member; extras must be genuine false positives (true witness
+            // census ≥ k over the whole dataset).
+            let got = plus_out.answers[q].neighbors();
+            for t in want.neighbors() {
+                let m = got.iter().find(|n| n.id == t.id);
+                prop_assert!(m.is_some(), "RDT+ q={} missed true member {}", q, t.id);
+                prop_assert_eq!(m.unwrap().dist.to_bits(), t.dist.to_bits(),
+                    "RDT+ q={} distance diverged on {}", q, t.id);
+            }
+            for n in got {
+                if want.neighbors().iter().any(|t| t.id == n.id) {
+                    continue;
+                }
+                let census = (0..ds.len())
+                    .filter(|&y| y != n.id && y != q)
+                    .filter(|&y| metric.dist(ds.point(n.id), ds.point(y)) < n.dist)
+                    .count();
+                prop_assert!(census >= k,
+                    "RDT+ q={} reported {} which is a true member (census {})",
+                    q, n.id, census);
+            }
+        }
+    }
+
+    /// Acceptance property 2: the generic batch driver is an exact,
+    /// deterministic parallelization of the sequential per-query loop for
+    /// every method.
+    #[test]
+    fn batch_driver_matches_sequential_loop_for_every_method(
+        levels in proptest::collection::vec(0u8..9, 24..60),
+        dim in 1usize..4,
+        k in 1usize..4,
+    ) {
+        let ds = grid_dataset(&levels, dim);
+        let idx = LinearScan::build(ds.clone(), Euclidean);
+
+        assert_batch_matches_sequential(&NaiveRknn::new(k), &idx, "naive");
+        assert_batch_matches_sequential(&Sft::new(k, 3.0), &idx, "SFT");
+
+        let mut tpl = TplAlgorithm::new(ds.clone(), Euclidean, k);
+        RknnAlgorithm::<_, LinearScan<Euclidean>>::prepare(&mut tpl, &idx);
+        assert_batch_matches_sequential(&tpl, &idx, "TPL");
+
+        let mut cop = MrknncopAlgorithm::new(ds.clone(), Euclidean, k, k + 1);
+        RknnAlgorithm::<_, LinearScan<Euclidean>>::prepare(&mut cop, &idx);
+        assert_batch_matches_sequential(&cop, &idx, "MRkNNCoP");
+
+        let mut rdnn = RdnnAlgorithm::new(ds.clone(), Euclidean, k);
+        RknnAlgorithm::<_, LinearScan<Euclidean>>::prepare(&mut rdnn, &idx);
+        assert_batch_matches_sequential(&rdnn, &idx, "RdNN");
+
+        // RDT with the shared d_k cache disabled, so per-query work
+        // counters are scheduling-independent and must match exactly; the
+        // RDT-specific termination certificates must survive the driver
+        // unchanged too.
+        let mut rdt = RdtAlgorithm::plus(RdtParams::new(k, 4.0)).with_dk_reuse(false);
+        RknnAlgorithm::<_, LinearScan<Euclidean>>::prepare(&mut rdt, &idx);
+        let rdt_ref = assert_batch_matches_sequential(&rdt, &idx, "RDT+");
+        let queries: Vec<usize> = (0..idx.num_points()).collect();
+        let out = run_algorithm_batch(&rdt, &idx, &queries, 3);
+        for (got, want) in out.answers.iter().zip(&rdt_ref) {
+            prop_assert_eq!(got.stats, want.stats, "RDT+ full per-query stats diverged");
+        }
+    }
+}

@@ -28,8 +28,13 @@ use std::sync::Arc;
 /// proptest levels, so duplicate points and tied distances are common.
 fn grid_dataset(levels: &[u8], dim: usize) -> Arc<Dataset> {
     let n = levels.len() / dim;
-    let coords: Vec<f64> = levels[..n * dim].iter().map(|&v| f64::from(v % 9) * 0.5).collect();
-    Dataset::from_flat(dim, coords).expect("grid coordinates are finite").into_shared()
+    let coords: Vec<f64> = levels[..n * dim]
+        .iter()
+        .map(|&v| f64::from(v % 9) * 0.5)
+        .collect();
+    Dataset::from_flat(dim, coords)
+        .expect("grid coordinates are finite")
+        .into_shared()
 }
 
 /// Runs every all-points query through the fast path and the
@@ -45,8 +50,14 @@ fn assert_fast_path_equivalence<M: Metric + Clone>(
     let scalar = LinearScan::build(ds.clone(), FullPrecision(metric));
     let params = RdtParams::new(k, t);
     for q in 0..ds.len() {
-        let a =
-            run_query_scheduled(&fast, fast.point(q), Some(q), params, variant, TSchedule::Fixed);
+        let a = run_query_scheduled(
+            &fast,
+            fast.point(q),
+            Some(q),
+            params,
+            variant,
+            TSchedule::Fixed,
+        );
         let b = run_query_scheduled(
             &scalar,
             scalar.point(q),
@@ -57,7 +68,12 @@ fn assert_fast_path_equivalence<M: Metric + Clone>(
         );
         prop_assert_eq!(a.ids(), b.ids(), "result sets diverged at q={}", q);
         for (x, y) in a.result.iter().zip(&b.result) {
-            prop_assert_eq!(x.dist.to_bits(), y.dist.to_bits(), "distances diverged at q={}", q);
+            prop_assert_eq!(
+                x.dist.to_bits(),
+                y.dist.to_bits(),
+                "distances diverged at q={}",
+                q
+            );
         }
         prop_assert_eq!(a.stats, b.stats, "stats diverged at q={}", q);
     }

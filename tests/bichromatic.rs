@@ -47,17 +47,22 @@ fn bichromatic_tradeoff_mirrors_monochromatic() {
         let recall = if truth.is_empty() {
             1.0
         } else {
-            ans.result.iter().filter(|n| truth.contains(&n.id)).count() as f64
-                / truth.len() as f64
+            ans.result.iter().filter(|n| truth.contains(&n.id)).count() as f64 / truth.len() as f64
         };
         assert!(recall >= prev_recall - 0.05, "recall regressed at t={t}");
         // Retrieval depth (not total work — verification shifts costs) is
         // monotone in t.
-        assert!(ans.stats.retrieved >= prev_retrieved, "retrieval shrank at t={t}");
+        assert!(
+            ans.stats.retrieved >= prev_retrieved,
+            "retrieval shrank at t={t}"
+        );
         prev_recall = prev_recall.max(recall);
         prev_retrieved = ans.stats.retrieved;
     }
-    assert!((prev_recall - 1.0).abs() < 1e-12, "exhaustive t reaches full recall");
+    assert!(
+        (prev_recall - 1.0).abs() < 1e-12,
+        "exhaustive t reaches full recall"
+    );
 }
 
 #[test]
@@ -70,7 +75,9 @@ fn asymmetric_set_sizes() {
     let ic = LinearScan::build(clients.clone(), Euclidean);
     let q = services.point(0).to_vec();
     // k = 1: clients whose nearest facility is facility 0.
-    let got = BichromaticRdt::new(RdtParams::new(1, 20.0)).query(&is, &ic, &q, Some(0)).ids();
+    let got = BichromaticRdt::new(RdtParams::new(1, 20.0))
+        .query(&is, &ic, &q, Some(0))
+        .ids();
     let want: Vec<_> = bichromatic_brute(&services, &clients, &Euclidean, &q, 1, Some(0))
         .iter()
         .map(|n| n.id)

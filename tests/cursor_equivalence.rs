@@ -31,8 +31,13 @@ use std::sync::Arc;
 /// proptest levels, so duplicate points and tied distances are common.
 fn grid_dataset(levels: &[u8], dim: usize) -> Arc<Dataset> {
     let n = levels.len() / dim;
-    let coords: Vec<f64> = levels[..n * dim].iter().map(|&v| f64::from(v % 9) * 0.5).collect();
-    Dataset::from_flat(dim, coords).expect("grid coordinates are finite").into_shared()
+    let coords: Vec<f64> = levels[..n * dim]
+        .iter()
+        .map(|&v| f64::from(v % 9) * 0.5)
+        .collect();
+    Dataset::from_flat(dim, coords)
+        .expect("grid coordinates are finite")
+        .into_shared()
 }
 
 fn substrates(ds: &Arc<Dataset>) -> Vec<Box<dyn KnnIndex<Euclidean>>> {
@@ -87,7 +92,12 @@ fn overflowing_distances_stay_in_every_stream() {
             );
         }
         let mut stats = rknn_core::SearchStats::new();
-        assert_eq!(idx.knn(&q, 4, None, &mut stats).len(), 4, "{}: knn", idx.name());
+        assert_eq!(
+            idx.knn(&q, 4, None, &mut stats).len(),
+            4,
+            "{}: knn",
+            idx.name()
+        );
     }
 }
 

@@ -40,13 +40,20 @@ fn duplicates_are_consistent_across_all_methods() {
     // still agree with the brute-force reference.
     for q in [0usize, 35, 60] {
         let truth: Vec<_> = bf.rknn(q, k, &mut st).iter().map(|n| n.id).collect();
-        let naive: Vec<_> =
-            NaiveRknn::new(k).query(&forward, q, &mut st).iter().map(|n| n.id).collect();
+        let naive: Vec<_> = NaiveRknn::new(k)
+            .query(&forward, q, &mut st)
+            .iter()
+            .map(|n| n.id)
+            .collect();
         assert_eq!(naive, truth, "naive, q={q}");
         let rdt: Vec<_> = Rdt::new(RdtParams::new(k, 50.0)).query(&forward, q).ids();
         assert_eq!(rdt, truth, "rdt, q={q}");
         let mrk = MRkNNCoP::build(ds.clone(), Euclidean, k, &forward);
-        let got: Vec<_> = mrk.query(q, k, &forward, &mut st).iter().map(|n| n.id).collect();
+        let got: Vec<_> = mrk
+            .query(q, k, &forward, &mut st)
+            .iter()
+            .map(|n| n.id)
+            .collect();
         assert_eq!(got, truth, "mrknncop, q={q}");
         let rdnn = RdnnTree::build(ds.clone(), Euclidean, k, &forward);
         let got: Vec<_> = rdnn.query(q, &mut st).iter().map(|n| n.id).collect();
@@ -65,7 +72,10 @@ fn k_of_one_and_k_beyond_n() {
     let mut st = SearchStats::new();
     // k = 1.
     let truth: Vec<_> = bf.rknn(3, 1, &mut st).iter().map(|n| n.id).collect();
-    assert_eq!(Rdt::new(RdtParams::new(1, 30.0)).query(&forward, 3).ids(), truth);
+    assert_eq!(
+        Rdt::new(RdtParams::new(1, 30.0)).query(&forward, 3).ids(),
+        truth
+    );
     // k ≥ n: everything is a reverse neighbor.
     let ans = RdtPlus::new(RdtParams::new(100, 5.0)).query(&forward, 3);
     assert_eq!(ans.result.len(), 19);
@@ -77,7 +87,9 @@ fn k_of_one_and_k_beyond_n() {
 
 #[test]
 fn two_point_and_singleton_datasets() {
-    let ds = Dataset::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]).unwrap().into_shared();
+    let ds = Dataset::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]])
+        .unwrap()
+        .into_shared();
     let forward = CoverTree::build(ds.clone(), Euclidean);
     let ans = Rdt::new(RdtParams::new(1, 10.0)).query(&forward, 0);
     assert_eq!(ans.ids(), vec![1], "mutual 1-NN pair");
@@ -103,7 +115,10 @@ fn zero_variance_dimensions_are_harmless() {
     let bf = BruteForce::new(ds.clone(), Euclidean);
     let mut st = SearchStats::new();
     let truth: Vec<_> = bf.rknn(30, 3, &mut st).iter().map(|n| n.id).collect();
-    assert_eq!(Rdt::new(RdtParams::new(3, 30.0)).query(&forward, 30).ids(), truth);
+    assert_eq!(
+        Rdt::new(RdtParams::new(3, 30.0)).query(&forward, 30).ids(),
+        truth
+    );
     // Standardization maps the constant dims to zero without NaNs.
     let z = rknn::data::paperlike::standardize(&ds);
     assert!(z.iter().all(|(_, p)| p.iter().all(|x| x.is_finite())));
@@ -134,9 +149,21 @@ fn dynamic_churn_keeps_every_index_consistent() {
     // Queries agree across all three after churn.
     let q = vec![0.5, 0.5, 0.5];
     let mut st = SearchStats::new();
-    let a: Vec<_> = cover.knn(&q, 10, None, &mut st).iter().map(|n| n.id).collect();
-    let b: Vec<_> = scan.knn(&q, 10, None, &mut st).iter().map(|n| n.id).collect();
-    let c: Vec<_> = rtree.knn(&q, 10, None, &mut st).iter().map(|n| n.id).collect();
+    let a: Vec<_> = cover
+        .knn(&q, 10, None, &mut st)
+        .iter()
+        .map(|n| n.id)
+        .collect();
+    let b: Vec<_> = scan
+        .knn(&q, 10, None, &mut st)
+        .iter()
+        .map(|n| n.id)
+        .collect();
+    let c: Vec<_> = rtree
+        .knn(&q, 10, None, &mut st)
+        .iter()
+        .map(|n| n.id)
+        .collect();
     assert_eq!(a, b);
     assert_eq!(b, c);
 }
@@ -146,10 +173,16 @@ fn adaptive_rdt_on_degenerate_data() {
     // All-duplicates: the online Hill estimate never sees positive
     // distances; the search must fall through to exhaustion + verification
     // without panicking.
-    let ds = Dataset::from_rows(&vec![vec![1.0, 1.0]; 25]).unwrap().into_shared();
+    let ds = Dataset::from_rows(&vec![vec![1.0, 1.0]; 25])
+        .unwrap()
+        .into_shared();
     let forward = LinearScan::build(ds, Euclidean);
     let ans = RdtAdaptive::new(3, 2.0).query(&forward, 0);
-    assert_eq!(ans.result.len(), 24, "co-located points are mutual reverse neighbors");
+    assert_eq!(
+        ans.result.len(),
+        24,
+        "co-located points are mutual reverse neighbors"
+    );
 }
 
 #[test]
@@ -159,7 +192,16 @@ fn queries_far_outside_the_data_envelope() {
     let bf = BruteForce::new(ds, Euclidean);
     let mut st = SearchStats::new();
     let q = vec![1000.0, -1000.0];
-    let truth: Vec<_> = bf.rknn_external(&q, 5, &mut st).iter().map(|n| n.id).collect();
-    let got = Rdt::new(RdtParams::new(5, 30.0)).query_at(&forward, &q).ids();
-    assert_eq!(got, truth, "external far query must still be exact at high t");
+    let truth: Vec<_> = bf
+        .rknn_external(&q, 5, &mut st)
+        .iter()
+        .map(|n| n.id)
+        .collect();
+    let got = Rdt::new(RdtParams::new(5, 30.0))
+        .query_at(&forward, &q)
+        .ids();
+    assert_eq!(
+        got, truth,
+        "external far query must still be exact at high t"
+    );
 }

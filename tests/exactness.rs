@@ -12,13 +12,12 @@ fn dataset(n: usize, seed: u64) -> Arc<rknn::core::Dataset> {
     rknn::data::gaussian_blobs(n, 3, 5, 0.6, seed).into_shared()
 }
 
-fn truth_sets(
-    bf: &BruteForce<Euclidean>,
-    queries: &[PointId],
-    k: usize,
-) -> Vec<HashSet<PointId>> {
+fn truth_sets(bf: &BruteForce<Euclidean>, queries: &[PointId], k: usize) -> Vec<HashSet<PointId>> {
     let mut st = SearchStats::new();
-    queries.iter().map(|&q| bf.rknn(q, k, &mut st).iter().map(|n| n.id).collect()).collect()
+    queries
+        .iter()
+        .map(|&q| bf.rknn(q, k, &mut st).iter().map(|n| n.id).collect())
+        .collect()
 }
 
 #[test]
@@ -36,9 +35,16 @@ fn all_exact_methods_agree_with_brute_force() {
         for (i, &q) in queries.iter().enumerate() {
             let mut st = SearchStats::new();
             let truth = &truths[i];
-            let a: HashSet<_> = naive.query(&forward, q, &mut st).iter().map(|n| n.id).collect();
-            let b: HashSet<_> =
-                mrk.query(q, k, &forward, &mut st).iter().map(|n| n.id).collect();
+            let a: HashSet<_> = naive
+                .query(&forward, q, &mut st)
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            let b: HashSet<_> = mrk
+                .query(q, k, &forward, &mut st)
+                .iter()
+                .map(|n| n.id)
+                .collect();
             let c: HashSet<_> = rdnn.query(q, &mut st).iter().map(|n| n.id).collect();
             let d: HashSet<_> = tpl.query(q, k, &mut st).iter().map(|n| n.id).collect();
             assert_eq!(&a, truth, "naive k={k} q={q}");
@@ -79,7 +85,11 @@ fn sft_exact_when_candidate_budget_covers_dataset() {
     let truths = truth_sets(&bf, &queries, k);
     let mut st = SearchStats::new();
     for (i, &q) in queries.iter().enumerate() {
-        let got: HashSet<_> = sft.query(&forward, q, &mut st).iter().map(|n| n.id).collect();
+        let got: HashSet<_> = sft
+            .query(&forward, q, &mut st)
+            .iter()
+            .map(|n| n.id)
+            .collect();
         assert_eq!(&got, &truths[i], "q={q}");
     }
 }
@@ -94,7 +104,11 @@ fn exactness_holds_across_metrics() {
     let mut st = SearchStats::new();
     for q in [0usize, 100, 249] {
         let a: Vec<_> = rdt.query(&forward, q).ids();
-        let b: Vec<_> = naive.query(&forward, q, &mut st).iter().map(|n| n.id).collect();
+        let b: Vec<_> = naive
+            .query(&forward, q, &mut st)
+            .iter()
+            .map(|n| n.id)
+            .collect();
         assert_eq!(a, b, "q={q}");
     }
 }

@@ -15,20 +15,24 @@ fn truth_sets(
 ) -> Vec<HashSet<PointId>> {
     let bf = BruteForce::new(ds.clone(), Euclidean);
     let mut st = SearchStats::new();
-    queries.iter().map(|&q| bf.rknn(q, k, &mut st).iter().map(|n| n.id).collect()).collect()
+    queries
+        .iter()
+        .map(|&q| bf.rknn(q, k, &mut st).iter().map(|n| n.id).collect())
+        .collect()
 }
 
-fn mean_recall(
-    answers: impl Iterator<Item = Vec<PointId>>,
-    truths: &[HashSet<PointId>],
-) -> f64 {
+fn mean_recall(answers: impl Iterator<Item = Vec<PointId>>, truths: &[HashSet<PointId>]) -> f64 {
     let mut hits = 0usize;
     let mut total = 0usize;
     for (ans, truth) in answers.zip(truths) {
         hits += ans.iter().filter(|id| truth.contains(id)).count();
         total += truth.len();
     }
-    if total == 0 { 1.0 } else { hits as f64 / total as f64 }
+    if total == 0 {
+        1.0
+    } else {
+        hits as f64 / total as f64
+    }
 }
 
 #[test]
@@ -85,7 +89,12 @@ fn rdt_needs_fewer_candidates_than_sft_at_matched_recall() {
         let sft = Sft::new(k, alpha);
         let answers: Vec<_> = queries
             .iter()
-            .map(|&q| sft.query(&idx, q, &mut st).iter().map(|n| n.id).collect::<Vec<_>>())
+            .map(|&q| {
+                sft.query(&idx, q, &mut st)
+                    .iter()
+                    .map(|n| n.id)
+                    .collect::<Vec<_>>()
+            })
             .collect();
         if mean_recall(answers.into_iter(), &truths) >= 0.95 {
             sft_candidates = Some(sft.candidate_budget() * queries.len());

@@ -36,7 +36,11 @@ fn rdt_plus_results_identical_across_substrates() {
     let linear = LinearScan::build(ds.clone(), Euclidean);
     let plus = RdtPlus::new(RdtParams::new(10, 5.0));
     for q in [3usize, 300] {
-        assert_eq!(plus.query(&cover, q).ids(), plus.query(&linear, q).ids(), "q={q}");
+        assert_eq!(
+            plus.query(&cover, q).ids(),
+            plus.query(&linear, q).ids(),
+            "q={q}"
+        );
     }
 }
 
@@ -69,7 +73,10 @@ fn cursor_streams_agree_on_distances() {
         for (a, b) in dists.iter().zip(&reference) {
             assert!((a - b).abs() < 1e-9, "{name}: distance stream mismatch");
         }
-        assert!(dists.windows(2).all(|w| w[0] <= w[1] + 1e-12), "{name}: ordering");
+        assert!(
+            dists.windows(2).all(|w| w[0] <= w[1] + 1e-12),
+            "{name}: ordering"
+        );
     }
 }
 

@@ -78,7 +78,13 @@ impl Criterion {
         S: std::fmt::Display,
         F: FnMut(&mut Bencher),
     {
-        run_one(self.mode, &id.to_string(), self.sample_size, self.measurement_time, f);
+        run_one(
+            self.mode,
+            &id.to_string(),
+            self.sample_size,
+            self.measurement_time,
+            f,
+        );
         self
     }
 
@@ -178,12 +184,22 @@ fn run_one<F: FnMut(&mut Bencher)>(
             println!("{id}: benchmark");
         }
         Mode::Test => {
-            let mut b = Bencher { mode, samples, budget, results: Vec::new() };
+            let mut b = Bencher {
+                mode,
+                samples,
+                budget,
+                results: Vec::new(),
+            };
             f(&mut b);
             println!("test {id} ... ok");
         }
         Mode::Bench => {
-            let mut b = Bencher { mode, samples, budget, results: Vec::new() };
+            let mut b = Bencher {
+                mode,
+                samples,
+                budget,
+                results: Vec::new(),
+            };
             f(&mut b);
             if b.results.is_empty() {
                 println!("{id:<50} (no measurement: bencher never called iter)");
@@ -243,7 +259,10 @@ mod tests {
 
     #[test]
     fn group_runs_and_records_samples() {
-        let mut c = Criterion { mode: Mode::Bench, ..Criterion::default() };
+        let mut c = Criterion {
+            mode: Mode::Bench,
+            ..Criterion::default()
+        };
         c.measurement_time(Duration::from_millis(20)).sample_size(3);
         let mut ran = 0u32;
         c.bench_function("trivial", |b| {
