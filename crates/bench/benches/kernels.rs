@@ -1,0 +1,82 @@
+//! Distance-kernel microbenchmarks: the scalar-unrolled reference against
+//! every SIMD backend the host can run, at d ∈ {8, 32, 128}.
+//!
+//! Backends are obtained directly from [`rknn_core::kernel::ops`] so one
+//! process can compare them side by side (the `Metric` implementations
+//! always go through the single dispatched table). The one-query-to-many
+//! [`rknn_core::Metric::dist_tile`] path is measured through the dispatched
+//! backend, both unbounded and with a pruning bound, to show the blocked
+//! evaluation and early abandonment on top of the raw kernel speed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rknn_core::kernel;
+use rknn_core::{Euclidean, Metric};
+use std::hint::black_box;
+
+const N: usize = 1024;
+
+fn bench_kernels(c: &mut Criterion) {
+    for &dim in &[8usize, 32, 128] {
+        let ds = rknn_data::uniform_cube(N, dim, 0x5eed);
+        let q = ds.point(0).to_vec();
+        let mut g = c.benchmark_group(format!("kernels_d{dim}"));
+
+        for be in kernel::available() {
+            let ops = kernel::ops(be).expect("listed backend is available");
+            g.bench_function(format!("sum_sq_{}", be.name()), |b| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for (_, p) in ds.iter() {
+                        acc += ops.sum_sq(black_box(&q), black_box(p));
+                    }
+                    acc
+                })
+            });
+        }
+
+        let stride = ds.stride();
+        let mut qpad = vec![0.0; stride];
+        qpad[..dim].copy_from_slice(&q);
+        let unbounded = vec![f64::INFINITY; ds.len()];
+        let mut out = vec![0.0; ds.len()];
+        g.bench_function("dist_tile_unbounded", |b| {
+            b.iter(|| {
+                Euclidean.dist_tile(
+                    black_box(&qpad),
+                    ds.padded_flat(),
+                    stride,
+                    dim,
+                    &unbounded,
+                    &mut out,
+                );
+                out[N / 2]
+            })
+        });
+
+        // A tight shared bound: most rows abandon after a block or two,
+        // showing the early-abandonment path of the tile kernel.
+        let median = {
+            let mut d: Vec<f64> = ds.iter().map(|(_, p)| Euclidean.dist(&q, p)).collect();
+            d.sort_unstable_by(f64::total_cmp);
+            d[N / 2]
+        };
+        let bounded = vec![median * 0.5; ds.len()];
+        g.bench_function("dist_tile_bounded", |b| {
+            b.iter(|| {
+                Euclidean.dist_tile(
+                    black_box(&qpad),
+                    ds.padded_flat(),
+                    stride,
+                    dim,
+                    &bounded,
+                    &mut out,
+                );
+                out[N / 2]
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -43,6 +43,7 @@
 //! `BENCH_rdt.json`).
 
 use rknn_baselines::{MrknncopAlgorithm, NaiveRknn, RdnnAlgorithm, Sft, TplAlgorithm};
+use rknn_core::kernel::{self, Backend};
 use rknn_core::{Euclidean, FullPrecision, Metric, Neighbor, PointId, SearchStats};
 use rknn_eval::experiments::substrates::{run_substrate_sweep, SubstrateSweepConfig};
 use rknn_index::{CoverTree, KnnIndex, LinearScan};
@@ -244,6 +245,100 @@ fn legacy_boxed_sft(
     (stats.dist_computations, all)
 }
 
+/// One row of the `kernels` section: scalar-reference vs dispatched-backend
+/// throughput of the raw Euclidean kernel at one dimensionality, plus the
+/// dispatched one-query-to-many tile path.
+struct KernelEntry {
+    dim: usize,
+    scalar_ns_per_dist: f64,
+    dispatched_ns_per_dist: f64,
+    tile_ns_per_dist: f64,
+    scalar_gbps: f64,
+    dispatched_gbps: f64,
+}
+
+impl KernelEntry {
+    fn speedup(&self) -> f64 {
+        if self.dispatched_ns_per_dist > 0.0 {
+            self.scalar_ns_per_dist / self.dispatched_ns_per_dist
+        } else {
+            1.0
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "    {{ \"dim\": {dim}, \"scalar_ns_per_dist\": {s:.2}, \
+             \"dispatched_ns_per_dist\": {v:.2}, \"speedup\": {sp:.2}, \
+             \"tile_ns_per_dist\": {t:.2}, \"scalar_gbps\": {sg:.2}, \
+             \"dispatched_gbps\": {vg:.2} }}",
+            dim = self.dim,
+            s = self.scalar_ns_per_dist,
+            v = self.dispatched_ns_per_dist,
+            sp = self.speedup(),
+            t = self.tile_ns_per_dist,
+            sg = self.scalar_gbps,
+            vg = self.dispatched_gbps,
+        )
+    }
+}
+
+/// Benchmarks the raw `sum_sq` kernel (scalar reference vs the dispatched
+/// backend) and the dispatched unbounded `dist_tile` at one dimensionality.
+/// Throughput counts the coordinate bytes both operands stream
+/// (`2 · dim · 8` bytes per distance).
+fn measure_kernel_dim(dim: usize, reps: usize) -> KernelEntry {
+    let n = 2048usize;
+    let ds = rknn_data::uniform_cube(n, dim, 0xd15c);
+    let q = ds.point(0).to_vec();
+    // Enough passes that even the fastest backend runs for ~a millisecond.
+    let passes = (4_000_000 / (n * dim.max(1))).max(1);
+    let scalar = kernel::ops(Backend::Scalar).expect("scalar backend always exists");
+    let run = |ops: &'static kernel::KernelOps| {
+        let mut acc = 0.0f64;
+        for _ in 0..passes {
+            for (_, p) in ds.iter() {
+                acc += ops.sum_sq(std::hint::black_box(&q), std::hint::black_box(p));
+            }
+        }
+        acc
+    };
+    let (scalar_ms, _) = best_of(reps, || run(scalar));
+    let (fast_ms, _) = best_of(reps, || run(kernel::selected()));
+
+    let stride = ds.stride();
+    let mut qpad = vec![0.0; stride];
+    qpad[..dim].copy_from_slice(&q);
+    let bounds = vec![f64::INFINITY; n];
+    let mut out = vec![0.0; n];
+    let (tile_ms, _) = best_of(reps, || {
+        for _ in 0..passes {
+            Euclidean.dist_tile(
+                std::hint::black_box(&qpad),
+                ds.padded_flat(),
+                stride,
+                dim,
+                &bounds,
+                &mut out,
+            );
+        }
+        out[n / 2]
+    });
+
+    let dists = (passes * n) as f64;
+    let bytes_per_dist = (2 * dim * 8) as f64;
+    let ns = |ms: f64| ms * 1e6 / dists;
+    let gbps = |ms: f64| bytes_per_dist * dists / (ms * 1e6);
+    KernelEntry {
+        dim,
+        scalar_ns_per_dist: ns(scalar_ms),
+        dispatched_ns_per_dist: ns(fast_ms),
+        tile_ns_per_dist: ns(tile_ms),
+        scalar_gbps: gbps(scalar_ms),
+        dispatched_gbps: gbps(fast_ms),
+    }
+}
+
 fn main() {
     let n = env_usize("RKNN_BENCH_N", 2000);
     let dim = env_usize("RKNN_BENCH_DIM", 32);
@@ -429,16 +524,37 @@ fn main() {
     );
     let algorithm_json: Vec<String> = algo_entries.iter().map(AlgoEntry::to_json).collect();
 
+    // 6. Raw kernel throughput: the scalar reference against the
+    //    dispatched SIMD backend at d ∈ {8, 32, 128}, plus the dispatched
+    //    tile path. Recorded with the backend name and the host's
+    //    parallelism so `batch_speedup ≈ 1` on a 1-CPU box (and
+    //    `speedup ≈ 1` when dispatch resolves to scalar) are readable from
+    //    the snapshot alone.
+    let backend = kernel::selected().backend();
+    let kernel_entries: Vec<KernelEntry> = [8usize, 32, 128]
+        .iter()
+        .map(|&d| measure_kernel_dim(d, reps))
+        .collect();
+    let kernels_json: Vec<String> = kernel_entries.iter().map(KernelEntry::to_json).collect();
+    let available: Vec<String> = kernel::available()
+        .iter()
+        .map(|b| format!("\"{}\"", b.name()))
+        .collect();
+    let parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
+
     let st = &batch.stats;
     let speedup_batch = scalar_ms / batch_ms;
     let speedup_fast_seq = scalar_ms / fast_seq_ms;
     let json = format!(
-        "{{\n  \"bench\": \"batch_all_points_rknn\",\n  \"substrate\": \"linear-scan\",\n  \"dataset\": \"gaussian_blobs\",\n  \"n\": {n},\n  \"dim\": {dim},\n  \"k\": {k},\n  \"t\": {t},\n  \"threads\": {threads},\n  \"reps\": {reps},\n  \"scalar_sequential_ms\": {scalar_ms:.2},\n  \"fast_sequential_ms\": {fast_seq_ms:.2},\n  \"batch_ms\": {batch_ms:.2},\n  \"speedup_fast_sequential\": {speedup_fast_seq:.2},\n  \"speedup_batch\": {speedup_batch:.2},\n  \"identical_results\": true,\n  \"total_dist_comps\": {dist},\n  \"witness_pairs\": {wp},\n  \"witness_dist_comps\": {wd},\n  \"retrieved\": {retr},\n  \"result_members\": {members},\n  \"substrates\": [\n{subs}\n  ],\n  \"algorithms\": {{\n  \"forward_index\": \"cover-tree\",\n  \"queries\": {aqn},\n  \"entries\": [\n{algos}\n  ] }}\n}}\n",
+        "{{\n  \"bench\": \"batch_all_points_rknn\",\n  \"substrate\": \"linear-scan\",\n  \"dataset\": \"gaussian_blobs\",\n  \"n\": {n},\n  \"dim\": {dim},\n  \"k\": {k},\n  \"t\": {t},\n  \"threads\": {threads},\n  \"available_parallelism\": {parallelism},\n  \"kernel_backend\": \"{backend_name}\",\n  \"kernel_backends_available\": [{available}],\n  \"reps\": {{ \"batch\": {reps}, \"substrates\": 1, \"algorithms\": {reps}, \"kernels\": {reps} }},\n  \"scalar_sequential_ms\": {scalar_ms:.2},\n  \"fast_sequential_ms\": {fast_seq_ms:.2},\n  \"batch_ms\": {batch_ms:.2},\n  \"speedup_fast_sequential\": {speedup_fast_seq:.2},\n  \"speedup_batch\": {speedup_batch:.2},\n  \"identical_results\": true,\n  \"total_dist_comps\": {dist},\n  \"witness_pairs\": {wp},\n  \"witness_dist_comps\": {wd},\n  \"retrieved\": {retr},\n  \"result_members\": {members},\n  \"kernels\": [\n{kerns}\n  ],\n  \"substrates\": [\n{subs}\n  ],\n  \"algorithms\": {{\n  \"forward_index\": \"cover-tree\",\n  \"queries\": {aqn},\n  \"entries\": [\n{algos}\n  ] }}\n}}\n",
+        backend_name = backend.name(),
+        available = available.join(", "),
         dist = st.total_dist_comps(),
         wp = st.witness_pairs,
         wd = st.witness_dist_comps,
         retr = st.retrieved,
         members = st.result_members,
+        kerns = kernels_json.join(",\n"),
         subs = substrate_entries.join(",\n"),
         aqn = aq.len(),
         algos = algorithm_json.join(",\n"),
@@ -462,5 +578,30 @@ fn main() {
             "warning: batch measured slower than scalar at smoke scale \
              ({speedup_batch:.2}x) — timing noise, not gated"
         );
+    }
+    // Kernel-speedup honesty check, advisory like the batch one: with a
+    // SIMD backend dispatched, the d=32 per-distance throughput should beat
+    // the scalar reference; parity is expected (and recorded) when dispatch
+    // resolved to scalar because the host lacks SIMD.
+    if backend != Backend::Scalar {
+        let d32 = kernel_entries
+            .iter()
+            .find(|e| e.dim == 32)
+            .expect("d=32 entry recorded");
+        if n >= 1000 && reps >= 2 {
+            assert!(
+                d32.speedup() >= 1.0,
+                "{} kernel slower than the scalar reference at d=32: {:.2}x",
+                backend.name(),
+                d32.speedup()
+            );
+        } else if d32.speedup() < 1.0 {
+            eprintln!(
+                "warning: {} kernel measured below scalar at smoke scale \
+                 ({:.2}x) — timing noise, not gated",
+                backend.name(),
+                d32.speedup()
+            );
+        }
     }
 }

@@ -1,22 +1,78 @@
 //! Finite point sets `S ⊆ R^m` with validated, cache-friendly flat storage.
 
 use crate::error::CoreError;
+use crate::kernel;
 use std::sync::Arc;
+
+/// One 32-byte-aligned group of four coordinates — the allocation unit of
+/// the padded row storage. Rows are padded to a whole number of these, so
+/// every row starts 32-byte aligned and the SIMD tile kernels stream whole
+/// 4-lane blocks with no tail handling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(C, align(32))]
+struct Lane4([f64; 4]);
+
+/// Views an aligned lane buffer as flat coordinates.
+#[inline]
+fn lanes_as_f64s(lanes: &[Lane4]) -> &[f64] {
+    // Sound: Lane4 is repr(C) over [f64; 4] — same size, stricter
+    // alignment, no padding bytes.
+    unsafe { std::slice::from_raw_parts(lanes.as_ptr() as *const f64, lanes.len() * 4) }
+}
+
+#[inline]
+fn lanes_as_f64s_mut(lanes: &mut [Lane4]) -> &mut [f64] {
+    unsafe { std::slice::from_raw_parts_mut(lanes.as_mut_ptr() as *mut f64, lanes.len() * 4) }
+}
 
 /// An immutable, validated point set.
 ///
-/// Points are stored row-major in a single flat allocation; every coordinate
-/// is guaranteed finite. Datasets are cheaply shareable behind [`Arc`] so
-/// that several index structures can be built over the same points without
-/// copying them (the memory for the high-dimensional workloads in the
-/// evaluation is dominated by the point data).
+/// Points are stored row-major in a single 32-byte-aligned flat allocation,
+/// each row padded with zeros to a multiple of four coordinates
+/// ([`Dataset::stride`]); every *logical* coordinate is guaranteed finite.
+/// The padding is an internal storage detail for the SIMD tile kernels
+/// ([`crate::Metric::dist_tile`]): all user-facing accessors
+/// ([`Dataset::point`], [`Dataset::iter`]) return the logical `dim`-length
+/// slices, so padding can never leak into results, statistics or serialized
+/// output. Datasets are cheaply shareable behind [`Arc`] so that several
+/// index structures can be built over the same points without copying them
+/// (the memory for the high-dimensional workloads in the evaluation is
+/// dominated by the point data).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     dim: usize,
-    data: Vec<f64>,
+    stride: usize,
+    n: usize,
+    data: Vec<Lane4>,
 }
 
 impl Dataset {
+    /// Packs validated logical row-major coordinates into padded aligned
+    /// storage.
+    fn pack(dim: usize, data: &[f64]) -> Self {
+        let n = data.len().checked_div(dim).unwrap_or(0);
+        Dataset::pack_rows(dim, n, data.chunks(dim.max(1)))
+    }
+
+    /// Packs `n` validated logical rows straight into the padded aligned
+    /// buffer — no intermediate flat vector, so construction from borrowed
+    /// rows holds only the final allocation. A `dim` of zero (an empty
+    /// [`DatasetBuilder`]) yields the empty dataset.
+    fn pack_rows<'r>(dim: usize, n: usize, rows: impl Iterator<Item = &'r [f64]>) -> Self {
+        let stride = kernel::pad_dim(dim);
+        let mut lanes = vec![Lane4([0.0; 4]); n * stride / 4];
+        let dst = lanes_as_f64s_mut(&mut lanes);
+        for (row, src) in rows.take(n).enumerate() {
+            dst[row * stride..row * stride + dim].copy_from_slice(src);
+        }
+        Dataset {
+            dim,
+            stride,
+            n,
+            data: lanes,
+        }
+    }
+
     /// Builds a dataset from row-major flat coordinates.
     ///
     /// # Errors
@@ -45,7 +101,7 @@ impl Dataset {
                 return Err(CoreError::NonFinite { point, coordinate });
             }
         }
-        Ok(Dataset { dim, data })
+        Ok(Dataset::pack(dim, &data))
     }
 
     /// Builds a dataset from a sequence of rows, validating dimensions.
@@ -54,7 +110,6 @@ impl Dataset {
         if dim == 0 {
             return Err(CoreError::EmptyDataset);
         }
-        let mut data = Vec::with_capacity(rows.len() * dim);
         for (i, row) in rows.iter().enumerate() {
             if row.len() != dim {
                 return Err(CoreError::DimensionMismatch {
@@ -68,21 +123,24 @@ impl Dataset {
                     coordinate: j,
                 });
             }
-            data.extend_from_slice(row);
         }
-        Ok(Dataset { dim, data })
+        Ok(Dataset::pack_rows(
+            dim,
+            rows.len(),
+            rows.iter().map(Vec::as_slice),
+        ))
     }
 
     /// Number of points.
     #[inline]
     pub fn len(&self) -> usize {
-        self.data.len().checked_div(self.dim).unwrap_or(0)
+        self.n
     }
 
     /// Whether the dataset holds no points.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.n == 0
     }
 
     /// Representational dimension `m`.
@@ -91,41 +149,57 @@ impl Dataset {
         self.dim
     }
 
-    /// Coordinates of point `i`.
+    /// Length of one stored row: [`Dataset::dim`] rounded up to a multiple
+    /// of [`kernel::LANES`]. Coordinates past `dim` are zero padding.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Coordinates of point `i` (the logical `dim`-length slice — never
+    /// includes padding).
     ///
     /// # Panics
     ///
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn point(&self, i: usize) -> &[f64] {
-        &self.data[i * self.dim..(i + 1) * self.dim]
+        &lanes_as_f64s(&self.data)[i * self.stride..i * self.stride + self.dim]
     }
 
-    /// Iterates over `(id, coordinates)` pairs.
+    /// The full padded row of point `i` (`stride` coordinates, zeros past
+    /// `dim`) — the layout [`crate::Metric::dist_tile`] consumes.
+    #[inline]
+    pub fn padded_point(&self, i: usize) -> &[f64] {
+        &lanes_as_f64s(&self.data)[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// The whole padded row-major buffer (`len() * stride()` coordinates,
+    /// 32-byte aligned). Rows `a..b` occupy
+    /// `padded_flat()[a * stride..b * stride]` — the contiguous blocks the
+    /// tile kernels stream over. For logical coordinates use
+    /// [`Dataset::point`] / [`Dataset::iter`].
+    #[inline]
+    pub fn padded_flat(&self) -> &[f64] {
+        lanes_as_f64s(&self.data)
+    }
+
+    /// Iterates over `(id, coordinates)` pairs (logical slices).
     pub fn iter(&self) -> impl Iterator<Item = (usize, &[f64])> {
         (0..self.len()).map(move |i| (i, self.point(i)))
-    }
-
-    /// The raw flat coordinate buffer (row-major).
-    #[inline]
-    pub fn flat(&self) -> &[f64] {
-        &self.data
     }
 
     /// A new dataset containing only the points whose ids are in `ids`
     /// (in the given order).
     pub fn subset(&self, ids: &[usize]) -> Result<Self, CoreError> {
-        let mut data = Vec::with_capacity(ids.len() * self.dim);
-        for &id in ids {
-            if id >= self.len() {
-                return Err(CoreError::UnknownPoint(id));
-            }
-            data.extend_from_slice(self.point(id));
+        if let Some(&bad) = ids.iter().find(|&&id| id >= self.len()) {
+            return Err(CoreError::UnknownPoint(bad));
         }
-        Ok(Dataset {
-            dim: self.dim,
-            data,
-        })
+        Ok(Dataset::pack_rows(
+            self.dim,
+            ids.len(),
+            ids.iter().map(|&id| self.point(id)),
+        ))
     }
 
     /// Wraps the dataset in an [`Arc`] for sharing across indexes.
@@ -193,10 +267,7 @@ impl DatasetBuilder {
 
     /// Finalizes the dataset.
     pub fn build(self) -> Dataset {
-        Dataset {
-            dim: self.dim,
-            data: self.data,
-        }
+        Dataset::pack(self.dim, &self.data)
     }
 }
 
@@ -284,10 +355,69 @@ mod tests {
     }
 
     #[test]
+    fn zero_dim_builder_builds_the_empty_dataset() {
+        // Regression: an unused builder at dim 0 must keep yielding an
+        // empty dataset rather than panicking in the packing step.
+        let ds = DatasetBuilder::new(0).build();
+        assert!(ds.is_empty());
+        assert_eq!(ds.len(), 0);
+        assert_eq!(ds.dim(), 0);
+        assert_eq!(ds.iter().count(), 0);
+    }
+
+    #[test]
     fn empty_dataset_properties() {
         let ds = Dataset::from_flat(4, vec![]).unwrap();
         assert!(ds.is_empty());
         assert_eq!(ds.len(), 0);
         assert_eq!(ds.iter().count(), 0);
+        assert_eq!(ds.stride(), 4);
+    }
+
+    #[test]
+    fn padding_never_leaks_into_logical_accessors() {
+        // dim = 3 pads one zero per row; dim = 5 pads three.
+        for dim in [1usize, 2, 3, 4, 5, 7, 9] {
+            let rows: Vec<Vec<f64>> = (0..6)
+                .map(|i| (0..dim).map(|j| (i * dim + j) as f64 + 1.0).collect())
+                .collect();
+            let ds = Dataset::from_rows(&rows).unwrap();
+            assert_eq!(ds.stride(), dim.div_ceil(4) * 4);
+            assert_eq!(ds.stride() % 4, 0);
+            for (i, row) in rows.iter().enumerate() {
+                // Logical accessors return exactly the pushed coordinates —
+                // no pad values, which are all nonzero here by construction.
+                assert_eq!(ds.point(i), row.as_slice(), "dim={dim}");
+                let padded = ds.padded_point(i);
+                assert_eq!(padded.len(), ds.stride());
+                assert_eq!(&padded[..dim], row.as_slice());
+                assert!(
+                    padded[dim..].iter().all(|&v| v == 0.0),
+                    "pad coordinates must stay zero"
+                );
+            }
+            // iter() yields logical slices too.
+            for (i, p) in ds.iter() {
+                assert_eq!(p.len(), dim, "dim={dim} i={i}");
+            }
+            // Subset and equality operate on logical rows.
+            let sub = ds.subset(&[1, 0]).unwrap();
+            assert_eq!(sub.point(0), rows[1].as_slice());
+            let rebuilt = Dataset::from_rows(&rows).unwrap();
+            assert_eq!(ds, rebuilt);
+        }
+    }
+
+    #[test]
+    fn rows_are_32_byte_aligned() {
+        let ds = Dataset::from_rows(&[vec![1.0; 5], vec![2.0; 5], vec![3.0; 5]]).unwrap();
+        for i in 0..ds.len() {
+            assert_eq!(
+                ds.padded_point(i).as_ptr() as usize % 32,
+                0,
+                "row {i} must start 32-byte aligned"
+            );
+        }
+        assert_eq!(ds.padded_flat().len(), ds.len() * ds.stride());
     }
 }

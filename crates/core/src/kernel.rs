@@ -1,0 +1,941 @@
+//! Runtime-dispatched SIMD distance kernels with one canonical accumulation
+//! order.
+//!
+//! Every hot loop in the workspace bottoms out in the same handful of
+//! reductions over coordinate pairs: a sum of squared differences
+//! (Euclidean), a sum of absolute differences (Manhattan), a running maximum
+//! of absolute differences (Chebyshev), and a sum of `|x−y|^p` terms
+//! (Minkowski). This module implements those reductions in three backends —
+//! a portable scalar-unrolled reference, SSE2, and AVX2 (selected at runtime
+//! via [`is_x86_feature_detected!`]) — that all return **bit-identical**
+//! results, so the repo's byte-identity equivalence contracts survive the
+//! vectorization.
+//!
+//! # The canonical accumulation order
+//!
+//! Floating-point addition is not associative, so "the same sum" must be
+//! pinned down to one reduction tree before backends can agree bitwise. The
+//! canonical order used by every kernel (and by the [`crate::Metric`]
+//! implementations built on them) is:
+//!
+//! 1. **Four independent lane accumulators.** Term `t_i` (the per-coordinate
+//!    contribution at position `i`) is added to lane `i mod 4`, in
+//!    increasing `i` order. This is exactly what a 4×`f64` vector
+//!    accumulator computes, and the scalar backend mirrors it with four
+//!    scalar accumulators over `chunks_exact(4)`.
+//! 2. **Tail.** When the length is not a multiple of 4, the final `r < 4`
+//!    terms are added to lanes `0..r` (one each) — i.e. the tail behaves
+//!    like a partial chunk. Because every term is non-negative and lanes
+//!    start at `+0.0`, padding the inputs with coordinates whose term is
+//!    `+0.0` (equal pad values on both sides) leaves all four lanes
+//!    bit-identical: `x + 0.0 == x` for every non-negative `x`. This is what
+//!    makes the padded tile kernels agree bitwise with the unpadded
+//!    one-to-one kernels.
+//! 3. **Fixed combine.** The lanes are reduced as
+//!    `(l0 + l1) + (l2 + l3)` (or the same shape under `max`). SIMD
+//!    backends extract the lanes and perform this combine in scalar code,
+//!    so no horizontal-add instruction choice can perturb it.
+//!
+//! The per-term arithmetic uses only IEEE-exact operations (`sub`, `mul`,
+//! `add`, `max`, sign-bit `abs`), never FMA, so a lane's value is identical
+//! whether the lane lives in a vector register or a scalar one.
+//!
+//! # Early abandonment under the blocked order
+//!
+//! The `*_until` kernels abandon an accumulation once it provably cannot
+//! stay below a threshold. The check cadence is part of the canonical
+//! contract: after every **8 consumed coordinates** (two 4-lane blocks),
+//! while at least 8 coordinates remain to be consumed at loop entry, the
+//! current combine of the four partial lanes is compared against the
+//! threshold and the kernel returns `None` when `partial >= threshold`.
+//! Because terms are non-negative and IEEE addition is monotone, each
+//! partial lane is `<=` its completed value and the monotone combine
+//! preserves that, so `partial >= threshold` proves the completed
+//! accumulation would be too — abandonment can never change a decision that
+//! the completed sum plus an exact final comparison would make. And because
+//! the partial lanes at every 8-coordinate boundary are themselves
+//! bit-identical across backends, all backends abandon at exactly the same
+//! boundary: `None`/`Some` results match bitwise, not just decision-wise.
+//!
+//! # Dispatch
+//!
+//! [`selected`] picks the best available backend once per process (cached in
+//! a `OnceLock`): AVX2 when detected, else SSE2 on `x86_64`, else the scalar
+//! reference. The `RKNN_KERNEL` environment variable (`scalar`, `sse2`,
+//! `avx2`, `auto`) overrides the choice — CI uses it to pin a backend for
+//! the bit-identity suites — and silently degrades to the best available
+//! backend when the requested one is unsupported on the host. [`ops`]
+//! exposes each available backend directly so tests and benchmarks can
+//! compare backends within one process.
+
+use std::sync::OnceLock;
+
+/// Number of independent accumulator lanes in the canonical order.
+pub const LANES: usize = 4;
+
+/// Coordinates consumed between early-abandonment threshold checks.
+pub const CHECK_EVERY: usize = 2 * LANES;
+
+/// Rounds a row length up to the canonical lane multiple (see
+/// [`crate::Dataset::stride`]).
+#[inline]
+pub const fn pad_dim(dim: usize) -> usize {
+    dim.div_ceil(LANES) * LANES
+}
+
+/// A distance-kernel backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Portable scalar-unrolled reference (always available).
+    Scalar,
+    /// 2×`f64` SSE2 vectors, two accumulator registers (`x86_64`).
+    Sse2,
+    /// 4×`f64` AVX2 vectors, one accumulator register (`x86_64`).
+    Avx2,
+}
+
+impl Backend {
+    /// The backend's lower-case name (as accepted by `RKNN_KERNEL`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Sse2 => "sse2",
+            Backend::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Signature of a full reduction: the canonical accumulator value.
+type SumFn = fn(&[f64], &[f64]) -> f64;
+/// Signature of an early-abandoning reduction: `None` once a partial
+/// combine reaches the threshold, `Some(canonical accumulator)` otherwise.
+type UntilFn = fn(&[f64], &[f64], f64) -> Option<f64>;
+
+/// One backend's kernel entry points.
+///
+/// All functions take raw coordinate slices of equal length and reduce them
+/// in the canonical order; see the module docs for the bit-identity
+/// contract. Obtain instances via [`selected`] (the dispatched backend) or
+/// [`ops`] (a specific backend, when available on this host).
+pub struct KernelOps {
+    backend: Backend,
+    sum_sq: SumFn,
+    sum_abs: SumFn,
+    max_abs: SumFn,
+    sum_sq_until: UntilFn,
+    sum_abs_until: UntilFn,
+    max_abs_until: UntilFn,
+}
+
+impl KernelOps {
+    /// Which backend these entry points belong to.
+    #[inline]
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Canonical sum of squared coordinate differences.
+    #[inline]
+    pub fn sum_sq(&self, a: &[f64], b: &[f64]) -> f64 {
+        (self.sum_sq)(a, b)
+    }
+
+    /// Canonical sum of absolute coordinate differences.
+    #[inline]
+    pub fn sum_abs(&self, a: &[f64], b: &[f64]) -> f64 {
+        (self.sum_abs)(a, b)
+    }
+
+    /// Canonical maximum absolute coordinate difference.
+    #[inline]
+    pub fn max_abs(&self, a: &[f64], b: &[f64]) -> f64 {
+        (self.max_abs)(a, b)
+    }
+
+    /// Early-abandoning [`KernelOps::sum_sq`] against `threshold`.
+    #[inline]
+    pub fn sum_sq_until(&self, a: &[f64], b: &[f64], threshold: f64) -> Option<f64> {
+        (self.sum_sq_until)(a, b, threshold)
+    }
+
+    /// Early-abandoning [`KernelOps::sum_abs`] against `threshold`.
+    #[inline]
+    pub fn sum_abs_until(&self, a: &[f64], b: &[f64], threshold: f64) -> Option<f64> {
+        (self.sum_abs_until)(a, b, threshold)
+    }
+
+    /// Early-abandoning [`KernelOps::max_abs`] against `threshold`.
+    #[inline]
+    pub fn max_abs_until(&self, a: &[f64], b: &[f64], threshold: f64) -> Option<f64> {
+        (self.max_abs_until)(a, b, threshold)
+    }
+}
+
+/// Canonical sum of `|x − y|^p` terms (shared scalar implementation — `powf`
+/// does not vectorize bit-reproducibly, so every backend uses this one).
+#[inline]
+pub fn sum_pow(a: &[f64], b: &[f64], p: f64) -> f64 {
+    scalar::sum(a, b, |x, y| (x - y).abs().powf(p))
+}
+
+/// Early-abandoning [`sum_pow`] against `threshold` (shared scalar
+/// implementation, canonical check cadence).
+#[inline]
+pub fn sum_pow_until(a: &[f64], b: &[f64], p: f64, threshold: f64) -> Option<f64> {
+    scalar::sum_until(a, b, threshold, |x, y| (x - y).abs().powf(p))
+}
+
+/// The backends available on this host, in preference order (best first).
+pub fn available() -> Vec<Backend> {
+    let mut v = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            v.push(Backend::Avx2);
+        }
+        v.push(Backend::Sse2);
+    }
+    v.push(Backend::Scalar);
+    v
+}
+
+/// The entry points of one specific backend, or `None` when the host cannot
+/// run it (calling into an unsupported backend would be undefined behavior,
+/// so unsupported backends are simply unobtainable).
+pub fn ops(backend: Backend) -> Option<&'static KernelOps> {
+    match backend {
+        Backend::Scalar => Some(&SCALAR_OPS),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => Some(&x86::SSE2_OPS),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => std::arch::is_x86_feature_detected!("avx2").then_some(&x86::AVX2_OPS),
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => None,
+    }
+}
+
+/// The dispatched kernel table: chosen once per process from the best
+/// available backend, overridable with `RKNN_KERNEL=scalar|sse2|avx2|auto`.
+/// An override naming a backend the host lacks (or an unknown value) falls
+/// back to automatic selection.
+pub fn selected() -> &'static KernelOps {
+    static SELECTED: OnceLock<&'static KernelOps> = OnceLock::new();
+    SELECTED.get_or_init(|| {
+        let best = ops(available()[0]).expect("best available backend exists");
+        match std::env::var("RKNN_KERNEL").ok().as_deref() {
+            Some("scalar") => &SCALAR_OPS,
+            Some("sse2") => ops(Backend::Sse2).unwrap_or(best),
+            Some("avx2") => ops(Backend::Avx2).unwrap_or(best),
+            Some("auto") | None => best,
+            Some(other) => {
+                eprintln!(
+                    "RKNN_KERNEL={other:?} not recognized; using {}",
+                    best.backend.name()
+                );
+                best
+            }
+        }
+    })
+}
+
+/// Fixed-order lane combine for sums: `(l0 + l1) + (l2 + l3)`.
+#[inline(always)]
+fn combine_sum(l: [f64; LANES]) -> f64 {
+    (l[0] + l[1]) + (l[2] + l[3])
+}
+
+/// Fixed-order lane combine for maxima.
+#[inline(always)]
+fn combine_max(l: [f64; LANES]) -> f64 {
+    l[0].max(l[1]).max(l[2].max(l[3]))
+}
+
+/// The portable scalar-unrolled backend: the reference the SIMD backends
+/// must agree with bitwise.
+mod scalar {
+    use super::{combine_max, combine_sum, LANES};
+
+    /// Canonical full reduction with `+`.
+    #[inline(always)]
+    pub(super) fn sum<T: Fn(f64, f64) -> f64>(a: &[f64], b: &[f64], term: T) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut l = [0.0f64; LANES];
+        let mut ca = a.chunks_exact(LANES);
+        let mut cb = b.chunks_exact(LANES);
+        for (x, y) in (&mut ca).zip(&mut cb) {
+            l[0] += term(x[0], y[0]);
+            l[1] += term(x[1], y[1]);
+            l[2] += term(x[2], y[2]);
+            l[3] += term(x[3], y[3]);
+        }
+        for (j, (&x, &y)) in ca.remainder().iter().zip(cb.remainder()).enumerate() {
+            l[j] += term(x, y);
+        }
+        combine_sum(l)
+    }
+
+    /// Canonical full reduction with `max`.
+    #[inline(always)]
+    pub(super) fn fold_max<T: Fn(f64, f64) -> f64>(a: &[f64], b: &[f64], term: T) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut l = [0.0f64; LANES];
+        let mut ca = a.chunks_exact(LANES);
+        let mut cb = b.chunks_exact(LANES);
+        for (x, y) in (&mut ca).zip(&mut cb) {
+            l[0] = l[0].max(term(x[0], y[0]));
+            l[1] = l[1].max(term(x[1], y[1]));
+            l[2] = l[2].max(term(x[2], y[2]));
+            l[3] = l[3].max(term(x[3], y[3]));
+        }
+        for (j, (&x, &y)) in ca.remainder().iter().zip(cb.remainder()).enumerate() {
+            l[j] = l[j].max(term(x, y));
+        }
+        combine_max(l)
+    }
+
+    /// Canonical early-abandoning `+` reduction (checks every 8 coords).
+    #[inline(always)]
+    pub(super) fn sum_until<T: Fn(f64, f64) -> f64>(
+        a: &[f64],
+        b: &[f64],
+        threshold: f64,
+        term: T,
+    ) -> Option<f64> {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let mut l = [0.0f64; LANES];
+        let mut i = 0usize;
+        while n - i >= 2 * LANES {
+            for off in [0, LANES] {
+                let (x, y) = (&a[i + off..i + off + LANES], &b[i + off..i + off + LANES]);
+                l[0] += term(x[0], y[0]);
+                l[1] += term(x[1], y[1]);
+                l[2] += term(x[2], y[2]);
+                l[3] += term(x[3], y[3]);
+            }
+            i += 2 * LANES;
+            if combine_sum(l) >= threshold {
+                return None;
+            }
+        }
+        if n - i >= LANES {
+            let (x, y) = (&a[i..i + LANES], &b[i..i + LANES]);
+            l[0] += term(x[0], y[0]);
+            l[1] += term(x[1], y[1]);
+            l[2] += term(x[2], y[2]);
+            l[3] += term(x[3], y[3]);
+            i += LANES;
+        }
+        let mut j = 0usize;
+        while i < n {
+            l[j] += term(a[i], b[i]);
+            j += 1;
+            i += 1;
+        }
+        Some(combine_sum(l))
+    }
+
+    /// Canonical early-abandoning `max` reduction (checks every 8 coords).
+    #[inline(always)]
+    pub(super) fn max_until<T: Fn(f64, f64) -> f64>(
+        a: &[f64],
+        b: &[f64],
+        threshold: f64,
+        term: T,
+    ) -> Option<f64> {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let mut l = [0.0f64; LANES];
+        let mut i = 0usize;
+        while n - i >= 2 * LANES {
+            for off in [0, LANES] {
+                let (x, y) = (&a[i + off..i + off + LANES], &b[i + off..i + off + LANES]);
+                l[0] = l[0].max(term(x[0], y[0]));
+                l[1] = l[1].max(term(x[1], y[1]));
+                l[2] = l[2].max(term(x[2], y[2]));
+                l[3] = l[3].max(term(x[3], y[3]));
+            }
+            i += 2 * LANES;
+            if combine_max(l) >= threshold {
+                return None;
+            }
+        }
+        if n - i >= LANES {
+            let (x, y) = (&a[i..i + LANES], &b[i..i + LANES]);
+            l[0] = l[0].max(term(x[0], y[0]));
+            l[1] = l[1].max(term(x[1], y[1]));
+            l[2] = l[2].max(term(x[2], y[2]));
+            l[3] = l[3].max(term(x[3], y[3]));
+            i += LANES;
+        }
+        let mut j = 0usize;
+        while i < n {
+            l[j] = l[j].max(term(a[i], b[i]));
+            j += 1;
+            i += 1;
+        }
+        Some(combine_max(l))
+    }
+
+    #[inline(always)]
+    fn sq(x: f64, y: f64) -> f64 {
+        let d = x - y;
+        d * d
+    }
+
+    #[inline(always)]
+    fn ad(x: f64, y: f64) -> f64 {
+        (x - y).abs()
+    }
+
+    pub(super) fn sum_sq(a: &[f64], b: &[f64]) -> f64 {
+        sum(a, b, sq)
+    }
+    pub(super) fn sum_abs(a: &[f64], b: &[f64]) -> f64 {
+        sum(a, b, ad)
+    }
+    pub(super) fn max_abs(a: &[f64], b: &[f64]) -> f64 {
+        fold_max(a, b, ad)
+    }
+    pub(super) fn sum_sq_until(a: &[f64], b: &[f64], t: f64) -> Option<f64> {
+        sum_until(a, b, t, sq)
+    }
+    pub(super) fn sum_abs_until(a: &[f64], b: &[f64], t: f64) -> Option<f64> {
+        sum_until(a, b, t, ad)
+    }
+    pub(super) fn max_abs_until(a: &[f64], b: &[f64], t: f64) -> Option<f64> {
+        max_until(a, b, t, ad)
+    }
+}
+
+static SCALAR_OPS: KernelOps = KernelOps {
+    backend: Backend::Scalar,
+    sum_sq: scalar::sum_sq,
+    sum_abs: scalar::sum_abs,
+    max_abs: scalar::max_abs,
+    sum_sq_until: scalar::sum_sq_until,
+    sum_abs_until: scalar::sum_abs_until,
+    max_abs_until: scalar::max_abs_until,
+};
+
+/// SSE2 and AVX2 backends. Lane `j` of the (logical) 4-lane accumulator is
+/// exactly canonical lane `j`: AVX2 keeps all four in one `__m256d`; SSE2
+/// splits them across two `__m128d` registers (lanes 0–1 and 2–3). Both
+/// extract the lanes and combine in scalar code, and both use only
+/// IEEE-exact vector ops (no FMA), so completed accumulations are
+/// bit-identical to the scalar reference.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{combine_max, combine_sum, Backend, KernelOps, LANES};
+    use core::arch::x86_64::*;
+
+    /// Generates one AVX2 full-reduction + until-reduction pair. The term
+    /// and fold are spliced in as token fragments so every operation lives
+    /// inside the `#[target_feature(enable = "avx2")]` function body and
+    /// inlines fully.
+    macro_rules! avx2_pair {
+        ($sum:ident, $until:ident,
+         vec($vx:ident, $vy:ident) $vterm:block,
+         sc($sx:ident, $sy:ident) $sterm:block,
+         fold = $fold:ident, sfold = $sfold:ident, combine = $combine:ident) => {
+            #[target_feature(enable = "avx2")]
+            unsafe fn $sum(a: &[f64], b: &[f64]) -> f64 {
+                debug_assert_eq!(a.len(), b.len());
+                let n = a.len();
+                let (pa, pb) = (a.as_ptr(), b.as_ptr());
+                let mut acc = _mm256_setzero_pd();
+                let mut i = 0usize;
+                while n - i >= LANES {
+                    let $vx = _mm256_loadu_pd(pa.add(i));
+                    let $vy = _mm256_loadu_pd(pb.add(i));
+                    let t = $vterm;
+                    acc = $fold(acc, t);
+                    i += LANES;
+                }
+                let mut l = [0.0f64; LANES];
+                _mm256_storeu_pd(l.as_mut_ptr(), acc);
+                let mut j = 0usize;
+                while i < n {
+                    let ($sx, $sy) = (*pa.add(i), *pb.add(i));
+                    let t = $sterm;
+                    l[j] = $sfold(l[j], t);
+                    j += 1;
+                    i += 1;
+                }
+                $combine(l)
+            }
+
+            #[target_feature(enable = "avx2")]
+            unsafe fn $until(a: &[f64], b: &[f64], threshold: f64) -> Option<f64> {
+                debug_assert_eq!(a.len(), b.len());
+                let n = a.len();
+                let (pa, pb) = (a.as_ptr(), b.as_ptr());
+                let mut acc = _mm256_setzero_pd();
+                let mut i = 0usize;
+                while n - i >= 2 * LANES {
+                    let $vx = _mm256_loadu_pd(pa.add(i));
+                    let $vy = _mm256_loadu_pd(pb.add(i));
+                    let t = $vterm;
+                    acc = $fold(acc, t);
+                    let $vx = _mm256_loadu_pd(pa.add(i + LANES));
+                    let $vy = _mm256_loadu_pd(pb.add(i + LANES));
+                    let t = $vterm;
+                    acc = $fold(acc, t);
+                    i += 2 * LANES;
+                    let mut l = [0.0f64; LANES];
+                    _mm256_storeu_pd(l.as_mut_ptr(), acc);
+                    if $combine(l) >= threshold {
+                        return None;
+                    }
+                }
+                if n - i >= LANES {
+                    let $vx = _mm256_loadu_pd(pa.add(i));
+                    let $vy = _mm256_loadu_pd(pb.add(i));
+                    let t = $vterm;
+                    acc = $fold(acc, t);
+                    i += LANES;
+                }
+                let mut l = [0.0f64; LANES];
+                _mm256_storeu_pd(l.as_mut_ptr(), acc);
+                let mut j = 0usize;
+                while i < n {
+                    let ($sx, $sy) = (*pa.add(i), *pb.add(i));
+                    let t = $sterm;
+                    l[j] = $sfold(l[j], t);
+                    j += 1;
+                    i += 1;
+                }
+                Some($combine(l))
+            }
+        };
+    }
+
+    /// Generates one SSE2 pair: `acc0` holds canonical lanes 0-1, `acc1`
+    /// lanes 2-3. SSE2 is part of the `x86_64` baseline, so these need no
+    /// runtime detection for soundness.
+    macro_rules! sse2_pair {
+        ($sum:ident, $until:ident,
+         vec($vx:ident, $vy:ident) $vterm:block,
+         sc($sx:ident, $sy:ident) $sterm:block,
+         fold = $fold:ident, sfold = $sfold:ident, combine = $combine:ident) => {
+            #[target_feature(enable = "sse2")]
+            unsafe fn $sum(a: &[f64], b: &[f64]) -> f64 {
+                debug_assert_eq!(a.len(), b.len());
+                let n = a.len();
+                let (pa, pb) = (a.as_ptr(), b.as_ptr());
+                let mut acc0 = _mm_setzero_pd();
+                let mut acc1 = _mm_setzero_pd();
+                let mut i = 0usize;
+                while n - i >= LANES {
+                    let $vx = _mm_loadu_pd(pa.add(i));
+                    let $vy = _mm_loadu_pd(pb.add(i));
+                    let t = $vterm;
+                    acc0 = $fold(acc0, t);
+                    let $vx = _mm_loadu_pd(pa.add(i + 2));
+                    let $vy = _mm_loadu_pd(pb.add(i + 2));
+                    let t = $vterm;
+                    acc1 = $fold(acc1, t);
+                    i += LANES;
+                }
+                let mut l = [0.0f64; LANES];
+                _mm_storeu_pd(l.as_mut_ptr(), acc0);
+                _mm_storeu_pd(l.as_mut_ptr().add(2), acc1);
+                let mut j = 0usize;
+                while i < n {
+                    let ($sx, $sy) = (*pa.add(i), *pb.add(i));
+                    let t = $sterm;
+                    l[j] = $sfold(l[j], t);
+                    j += 1;
+                    i += 1;
+                }
+                $combine(l)
+            }
+
+            #[target_feature(enable = "sse2")]
+            unsafe fn $until(a: &[f64], b: &[f64], threshold: f64) -> Option<f64> {
+                debug_assert_eq!(a.len(), b.len());
+                let n = a.len();
+                let (pa, pb) = (a.as_ptr(), b.as_ptr());
+                let mut acc0 = _mm_setzero_pd();
+                let mut acc1 = _mm_setzero_pd();
+                let mut i = 0usize;
+                while n - i >= 2 * LANES {
+                    let mut off = 0usize;
+                    while off < 2 * LANES {
+                        let $vx = _mm_loadu_pd(pa.add(i + off));
+                        let $vy = _mm_loadu_pd(pb.add(i + off));
+                        let t = $vterm;
+                        acc0 = $fold(acc0, t);
+                        let $vx = _mm_loadu_pd(pa.add(i + off + 2));
+                        let $vy = _mm_loadu_pd(pb.add(i + off + 2));
+                        let t = $vterm;
+                        acc1 = $fold(acc1, t);
+                        off += LANES;
+                    }
+                    i += 2 * LANES;
+                    let mut l = [0.0f64; LANES];
+                    _mm_storeu_pd(l.as_mut_ptr(), acc0);
+                    _mm_storeu_pd(l.as_mut_ptr().add(2), acc1);
+                    if $combine(l) >= threshold {
+                        return None;
+                    }
+                }
+                if n - i >= LANES {
+                    let $vx = _mm_loadu_pd(pa.add(i));
+                    let $vy = _mm_loadu_pd(pb.add(i));
+                    let t = $vterm;
+                    acc0 = $fold(acc0, t);
+                    let $vx = _mm_loadu_pd(pa.add(i + 2));
+                    let $vy = _mm_loadu_pd(pb.add(i + 2));
+                    let t = $vterm;
+                    acc1 = $fold(acc1, t);
+                    i += LANES;
+                }
+                let mut l = [0.0f64; LANES];
+                _mm_storeu_pd(l.as_mut_ptr(), acc0);
+                _mm_storeu_pd(l.as_mut_ptr().add(2), acc1);
+                let mut j = 0usize;
+                while i < n {
+                    let ($sx, $sy) = (*pa.add(i), *pb.add(i));
+                    let t = $sterm;
+                    l[j] = $sfold(l[j], t);
+                    j += 1;
+                    i += 1;
+                }
+                Some($combine(l))
+            }
+        };
+    }
+
+    #[inline(always)]
+    fn lane_add(l: f64, t: f64) -> f64 {
+        l + t
+    }
+    #[inline(always)]
+    fn lane_max(l: f64, t: f64) -> f64 {
+        l.max(t)
+    }
+
+    // AVX2 fold primitives: plain wrappers so the macro can splice an
+    // identifier; they carry the feature attribute so they inline into the
+    // generated kernels.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn v4_add(a: __m256d, t: __m256d) -> __m256d {
+        _mm256_add_pd(a, t)
+    }
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn v4_max(a: __m256d, t: __m256d) -> __m256d {
+        // Operand order matters for NaN terms: `maxpd` returns the *second*
+        // operand when either is NaN, while the scalar reference's
+        // `f64::max(lane, term)` discards a NaN term. Passing the term
+        // first and the accumulator second reproduces the scalar semantics
+        // bit for bit (a NaN term leaves the accumulator untouched, and a
+        // NaN can therefore never enter the accumulator). For non-NaN
+        // operands `maxpd` is exact and symmetric (terms are `abs` results,
+        // so the ±0 tie-order quirk cannot arise).
+        _mm256_max_pd(t, a)
+    }
+    #[target_feature(enable = "sse2")]
+    #[inline]
+    unsafe fn v2_add(a: __m128d, t: __m128d) -> __m128d {
+        _mm_add_pd(a, t)
+    }
+    #[target_feature(enable = "sse2")]
+    #[inline]
+    unsafe fn v2_max(a: __m128d, t: __m128d) -> __m128d {
+        // Same NaN-discarding operand order as `v4_max` above.
+        _mm_max_pd(t, a)
+    }
+
+    avx2_pair!(
+        avx2_sum_sq, avx2_sum_sq_until,
+        vec(x, y) { let d = _mm256_sub_pd(x, y); _mm256_mul_pd(d, d) },
+        sc(x, y) { let d = x - y; d * d },
+        fold = v4_add, sfold = lane_add, combine = combine_sum
+    );
+    avx2_pair!(
+        avx2_sum_abs, avx2_sum_abs_until,
+        vec(x, y) { _mm256_andnot_pd(_mm256_set1_pd(-0.0), _mm256_sub_pd(x, y)) },
+        sc(x, y) { (x - y).abs() },
+        fold = v4_add, sfold = lane_add, combine = combine_sum
+    );
+    avx2_pair!(
+        avx2_max_abs, avx2_max_abs_until,
+        vec(x, y) { _mm256_andnot_pd(_mm256_set1_pd(-0.0), _mm256_sub_pd(x, y)) },
+        sc(x, y) { (x - y).abs() },
+        fold = v4_max, sfold = lane_max, combine = combine_max
+    );
+
+    sse2_pair!(
+        sse2_sum_sq, sse2_sum_sq_until,
+        vec(x, y) { let d = _mm_sub_pd(x, y); _mm_mul_pd(d, d) },
+        sc(x, y) { let d = x - y; d * d },
+        fold = v2_add, sfold = lane_add, combine = combine_sum
+    );
+    sse2_pair!(
+        sse2_sum_abs, sse2_sum_abs_until,
+        vec(x, y) { _mm_andnot_pd(_mm_set1_pd(-0.0), _mm_sub_pd(x, y)) },
+        sc(x, y) { (x - y).abs() },
+        fold = v2_add, sfold = lane_add, combine = combine_sum
+    );
+    sse2_pair!(
+        sse2_max_abs, sse2_max_abs_until,
+        vec(x, y) { _mm_andnot_pd(_mm_set1_pd(-0.0), _mm_sub_pd(x, y)) },
+        sc(x, y) { (x - y).abs() },
+        fold = v2_max, sfold = lane_max, combine = combine_max
+    );
+
+    // Safe wrappers stored in the dispatch tables. The AVX2 wrappers are
+    // sound because `super::ops` never hands out `AVX2_OPS` unless
+    // `is_x86_feature_detected!("avx2")` succeeded on this host.
+    macro_rules! wrap {
+        ($w:ident, $inner:ident, sum) => {
+            fn $w(a: &[f64], b: &[f64]) -> f64 {
+                unsafe { $inner(a, b) }
+            }
+        };
+        ($w:ident, $inner:ident, until) => {
+            fn $w(a: &[f64], b: &[f64], t: f64) -> Option<f64> {
+                unsafe { $inner(a, b, t) }
+            }
+        };
+    }
+
+    wrap!(w_avx2_sum_sq, avx2_sum_sq, sum);
+    wrap!(w_avx2_sum_abs, avx2_sum_abs, sum);
+    wrap!(w_avx2_max_abs, avx2_max_abs, sum);
+    wrap!(w_avx2_sum_sq_until, avx2_sum_sq_until, until);
+    wrap!(w_avx2_sum_abs_until, avx2_sum_abs_until, until);
+    wrap!(w_avx2_max_abs_until, avx2_max_abs_until, until);
+    wrap!(w_sse2_sum_sq, sse2_sum_sq, sum);
+    wrap!(w_sse2_sum_abs, sse2_sum_abs, sum);
+    wrap!(w_sse2_max_abs, sse2_max_abs, sum);
+    wrap!(w_sse2_sum_sq_until, sse2_sum_sq_until, until);
+    wrap!(w_sse2_sum_abs_until, sse2_sum_abs_until, until);
+    wrap!(w_sse2_max_abs_until, sse2_max_abs_until, until);
+
+    pub(super) static AVX2_OPS: KernelOps = KernelOps {
+        backend: Backend::Avx2,
+        sum_sq: w_avx2_sum_sq,
+        sum_abs: w_avx2_sum_abs,
+        max_abs: w_avx2_max_abs,
+        sum_sq_until: w_avx2_sum_sq_until,
+        sum_abs_until: w_avx2_sum_abs_until,
+        max_abs_until: w_avx2_max_abs_until,
+    };
+
+    pub(super) static SSE2_OPS: KernelOps = KernelOps {
+        backend: Backend::Sse2,
+        sum_sq: w_sse2_sum_sq,
+        sum_abs: w_sse2_sum_abs,
+        max_abs: w_sse2_max_abs,
+        sum_sq_until: w_sse2_sum_sq_until,
+        sum_abs_until: w_sse2_sum_abs_until,
+        max_abs_until: w_sse2_max_abs_until,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random coordinates covering ties, subnormals,
+    /// and magnitudes that overflow squared terms.
+    fn vectors(seed: u64, len: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let pick = |r: u64| -> f64 {
+            match r % 7 {
+                0 => 0.5 * ((r >> 8) % 9) as f64,
+                1 => -0.5 * ((r >> 8) % 9) as f64,
+                2 => 1e-310 * ((r >> 8) % 5) as f64, // subnormal gaps
+                3 => 1e160,                          // squared term overflows
+                4 => -1e160,
+                5 => ((r >> 8) % 1000) as f64 / 997.0,
+                _ => -(((r >> 8) % 1000) as f64) / 991.0,
+            }
+        };
+        let a = (0..len).map(|_| pick(next())).collect();
+        let b = (0..len).map(|_| pick(next())).collect();
+        (a, b)
+    }
+
+    fn bits(x: f64) -> u64 {
+        x.to_bits()
+    }
+
+    #[test]
+    fn backends_agree_bitwise_on_full_reductions() {
+        let backends = available();
+        for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 31, 32, 33, 100] {
+            for seed in 0..50u64 {
+                let (a, b) = vectors(seed.wrapping_add(len as u64 * 1000), len);
+                let reference = &SCALAR_OPS;
+                for &be in &backends {
+                    let o = ops(be).unwrap();
+                    assert_eq!(
+                        bits(o.sum_sq(&a, &b)),
+                        bits(reference.sum_sq(&a, &b)),
+                        "sum_sq {be:?} len={len} seed={seed}"
+                    );
+                    assert_eq!(
+                        bits(o.sum_abs(&a, &b)),
+                        bits(reference.sum_abs(&a, &b)),
+                        "sum_abs {be:?} len={len} seed={seed}"
+                    );
+                    assert_eq!(
+                        bits(o.max_abs(&a, &b)),
+                        bits(reference.max_abs(&a, &b)),
+                        "max_abs {be:?} len={len} seed={seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backends_agree_bitwise_on_until_reductions() {
+        let backends = available();
+        for len in [0usize, 1, 4, 7, 8, 9, 16, 24, 31, 32, 40, 64] {
+            for seed in 0..40u64 {
+                let (a, b) = vectors(seed.wrapping_add(len as u64 * 77), len);
+                let full = SCALAR_OPS.sum_sq(&a, &b);
+                // Thresholds straddling the full value, plus exact ties and
+                // the degenerate edges.
+                let thresholds = [
+                    0.0,
+                    f64::MIN_POSITIVE,
+                    full * 0.25,
+                    full * 0.5,
+                    full,
+                    full * 1.5,
+                    f64::INFINITY,
+                    f64::NEG_INFINITY,
+                ];
+                for &th in &thresholds {
+                    let r = SCALAR_OPS.sum_sq_until(&a, &b, th);
+                    for &be in &backends {
+                        let o = ops(be).unwrap();
+                        assert_eq!(
+                            o.sum_sq_until(&a, &b, th).map(bits),
+                            r.map(bits),
+                            "sum_sq_until {be:?} len={len} seed={seed} th={th}"
+                        );
+                        assert_eq!(
+                            o.sum_abs_until(&a, &b, th).map(bits),
+                            SCALAR_OPS.sum_abs_until(&a, &b, th).map(bits),
+                            "sum_abs_until {be:?} len={len} seed={seed} th={th}"
+                        );
+                        assert_eq!(
+                            o.max_abs_until(&a, &b, th).map(bits),
+                            SCALAR_OPS.max_abs_until(&a, &b, th).map(bits),
+                            "max_abs_until {be:?} len={len} seed={seed} th={th}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn padding_with_zero_terms_is_bit_identity() {
+        // The tile kernels run over rows padded to a multiple of 4 with
+        // equal coordinates on both sides (terms +0.0); that must never
+        // perturb the canonical accumulation.
+        for len in [1usize, 2, 3, 5, 6, 7, 9, 13, 30] {
+            for seed in 0..30u64 {
+                let (mut a, mut b) = vectors(seed * 31 + len as u64, len);
+                let plain_sq = SCALAR_OPS.sum_sq(&a, &b);
+                let plain_ab = SCALAR_OPS.sum_abs(&a, &b);
+                let plain_mx = SCALAR_OPS.max_abs(&a, &b);
+                let padded = pad_dim(len);
+                a.resize(padded, 0.0);
+                b.resize(padded, 0.0);
+                for o in available().iter().filter_map(|&be| ops(be)) {
+                    assert_eq!(bits(o.sum_sq(&a, &b)), bits(plain_sq));
+                    assert_eq!(bits(o.sum_abs(&a, &b)), bits(plain_ab));
+                    assert_eq!(bits(o.max_abs(&a, &b)), bits(plain_mx));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn until_none_implies_completed_at_or_over_threshold() {
+        for seed in 0..60u64 {
+            let (a, b) = vectors(seed, 37);
+            let full = SCALAR_OPS.sum_abs(&a, &b);
+            for frac in [0.1, 0.5, 0.9, 1.0, 1.1] {
+                let th = full * frac;
+                match SCALAR_OPS.sum_abs_until(&a, &b, th) {
+                    None => assert!(full >= th, "abandoned below threshold"),
+                    Some(acc) => {
+                        assert_eq!(bits(acc), bits(full), "completed sum must be canonical")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minkowski_power_sums_share_the_canonical_order() {
+        let (a, b) = vectors(9, 23);
+        // p = 1 must agree bitwise with sum_abs: identical terms, identical
+        // order. (powf(x, 1.0) == x exactly.)
+        assert_eq!(bits(sum_pow(&a, &b, 1.0)), bits(SCALAR_OPS.sum_abs(&a, &b)));
+        let full = sum_pow(&a, &b, 3.0);
+        // At an infinite threshold the accumulation either completes with
+        // the canonical sum or abandons at a partial of `+∞` — which proves
+        // the completed sum is `+∞` too.
+        match sum_pow_until(&a, &b, 3.0, f64::INFINITY) {
+            Some(acc) => assert_eq!(bits(acc), bits(full)),
+            None => assert!(full.is_infinite()),
+        }
+        assert_eq!(sum_pow_until(&a, &b, 3.0, 0.0), None);
+    }
+
+    #[test]
+    fn nan_terms_are_discarded_identically_on_every_backend() {
+        // Queries are not validated the way Dataset coordinates are, so a
+        // NaN can reach the kernels; the max fold must discard NaN terms on
+        // every backend exactly like the scalar reference's `f64::max`.
+        let a = [f64::NAN, 1.0, f64::NAN, -2.0, 0.5, f64::NAN, 3.0, 0.0, 1.5];
+        let b = [0.0, 4.0, 1.0, -2.0, f64::NAN, 2.0, 0.0, 0.25, f64::NAN];
+        let reference = SCALAR_OPS.max_abs(&a, &b);
+        assert!(!reference.is_nan(), "scalar reference discards NaN terms");
+        for be in available() {
+            let o = ops(be).unwrap();
+            assert_eq!(
+                o.max_abs(&a, &b).to_bits(),
+                reference.to_bits(),
+                "max_abs {be:?}"
+            );
+            for th in [0.0, reference, f64::INFINITY] {
+                assert_eq!(
+                    o.max_abs_until(&a, &b, th).map(bits),
+                    SCALAR_OPS.max_abs_until(&a, &b, th).map(bits),
+                    "max_abs_until {be:?} th={th}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn selection_reports_a_live_backend() {
+        let sel = selected();
+        assert!(available().contains(&sel.backend()));
+        assert!(!sel.backend().name().is_empty());
+        assert_eq!(pad_dim(0), 0);
+        assert_eq!(pad_dim(1), 4);
+        assert_eq!(pad_dim(4), 4);
+        assert_eq!(pad_dim(5), 8);
+        assert_eq!(pad_dim(32), 32);
+    }
+}

@@ -4,9 +4,16 @@
 //! *Dimensional Testing for Reverse k-Nearest Neighbor Search* (Casanova et
 //! al., PVLDB 10(7), 2017):
 //!
-//! * [`Dataset`] — a finite point set `S ⊆ R^m` with validated, flat storage;
+//! * [`Dataset`] — a finite point set `S ⊆ R^m` with validated, flat storage
+//!   (rows zero-padded to a lane multiple in one 32-byte-aligned allocation
+//!   for the SIMD tile kernels; all accessors stay logical);
 //! * [`Metric`] — distance measures `d(x, y)` (Euclidean by default, plus the
-//!   Minkowski family: the paper's analysis holds for any metric);
+//!   Minkowski family: the paper's analysis holds for any metric), including
+//!   the one-query-to-many-rows [`Metric::dist_tile`] entry point;
+//! * [`kernel`] — the runtime-dispatched SIMD reduction kernels behind every
+//!   metric: scalar-unrolled / SSE2 / AVX2 backends sharing one canonical
+//!   blocked accumulation order, bit-identical by construction
+//!   (`RKNN_KERNEL` pins a backend);
 //! * [`Neighbor`] and bounded heaps for k-nearest-neighbor collection;
 //! * rank and ball-cardinality primitives (`ρ_S(q, x)`, `B≤_S(q, r)`,
 //!   `d_k(q)`) in [`rank`];
@@ -39,6 +46,7 @@ pub mod dataset;
 pub mod error;
 pub mod float;
 pub mod heap;
+pub mod kernel;
 pub mod metric;
 pub mod neighbor;
 pub mod rank;

@@ -6,7 +6,16 @@
 //! (§7.1); we default to [`Euclidean`] but also provide the rest of the
 //! Minkowski family so metric-capable components (cover tree, VP-tree,
 //! M-tree, RDT itself) can be exercised beyond L2.
+//!
+//! All four provided metrics evaluate through the runtime-dispatched SIMD
+//! kernels of [`crate::kernel`]: every accumulation — full distances,
+//! early-abandoned [`Metric::dist_lt`] evaluations, the one-query-to-many
+//! [`Metric::dist_tile`] kernel, and the box bounds — uses the same
+//! canonical 4-lane blocked order, so results are bit-identical across the
+//! scalar, SSE2 and AVX2 backends *and* across the one-to-one and tile entry
+//! points.
 
+use crate::kernel::{self, KernelOps, LANES};
 use std::fmt::Debug;
 
 /// A metric distance over coordinate vectors.
@@ -33,8 +42,9 @@ pub trait Metric: Send + Sync + Debug {
     /// accumulation early once a monotone partial sum proves the bound
     /// unreachable (the standard early-abandonment trick of
     /// high-dimensional search); the Minkowski family here does exactly
-    /// that, checking a partial squared / p-th-power accumulator every few
-    /// coordinates. The default implementation evaluates the full distance.
+    /// that, checking the combined 4-lane partial accumulator every
+    /// [`kernel::CHECK_EVERY`] coordinates. The default implementation
+    /// evaluates the full distance.
     ///
     /// Callers that count distance computations should count a `dist_lt`
     /// call as **one** evaluation whether or not it abandoned early: early
@@ -87,6 +97,47 @@ pub trait Metric: Send + Sync + Debug {
         }
     }
 
+    /// One query against a contiguous block of row-padded points: for each
+    /// row `i`, `out[i]` is the distance when
+    /// [`Metric::dist_under`]`(q, row_i, bounds[i])` would admit it, and
+    /// `NaN` when it would prune — with the admitted value bit-identical to
+    /// the one-to-one evaluation.
+    ///
+    /// `rows` holds `out.len()` rows of `stride` coordinates each, of which
+    /// the first `dim` are the point and the remainder is padding;
+    /// `bounds[i]` is row `i`'s pruning bound with `dist_under` semantics.
+    /// The Minkowski-family implementations stream the whole padded row
+    /// through the dispatched SIMD kernel — amortizing the per-call
+    /// dispatch, bound transforms and threshold loads across the block, and
+    /// letting the hardware prefetch sequential rows — which requires the
+    /// caller to uphold the **padded-tile contract**: `stride` a multiple
+    /// of [`kernel::LANES`], `q.len() == stride`, and every coordinate past
+    /// `dim` (in `q` and in each row) equal on both sides (canonically
+    /// `0.0`), so pad terms contribute `+0.0` and the canonical
+    /// accumulation is untouched. When the layout does not satisfy the
+    /// contract, implementations fall back to this default row-by-row
+    /// evaluation over the logical slices.
+    ///
+    /// Callers that count distance computations count **one evaluation per
+    /// row** they consume, exactly as if they had called `dist_under` per
+    /// row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths are inconsistent (`rows.len() !=
+    /// out.len() * stride`, `bounds.len() != out.len()`, or `dim > stride`).
+    fn dist_tile(
+        &self,
+        q: &[f64],
+        rows: &[f64],
+        stride: usize,
+        dim: usize,
+        bounds: &[f64],
+        out: &mut [f64],
+    ) {
+        fallback_dist_tile(self, q, rows, stride, dim, bounds, out);
+    }
+
     /// A human-readable name, used in experiment reports.
     fn name(&self) -> &'static str;
 
@@ -106,70 +157,148 @@ pub trait Metric: Send + Sync + Debug {
     }
 }
 
-/// Accumulates per-coordinate gaps to the box `[lo, hi]`, then folds them
-/// with the supplied norm. Shared by the Minkowski-family implementations.
-/// Zipped slice iteration lets the per-coordinate loop elide bounds checks.
+/// Validates tile-call slice lengths shared by every implementation.
 #[inline]
-fn box_gaps<F: FnMut(f64)>(q: &[f64], lo: &[f64], hi: &[f64], mut fold: F) {
-    for ((&qi, &l), &h) in q.iter().zip(lo).zip(hi) {
-        let gap = if qi < l {
-            l - qi
-        } else if qi > h {
-            qi - h
+fn check_tile(rows: &[f64], stride: usize, dim: usize, bounds: &[f64], out: &mut [f64]) {
+    assert!(dim <= stride, "tile dim {dim} exceeds stride {stride}");
+    assert_eq!(rows.len(), out.len() * stride, "tile rows length mismatch");
+    assert_eq!(bounds.len(), out.len(), "tile bounds length mismatch");
+}
+
+/// The default [`Metric::dist_tile`] body: row-by-row `dist_under` over the
+/// logical (unpadded) slices. Factored out so kernel-backed implementations
+/// can fall back to it when the padded-tile contract does not hold.
+fn fallback_dist_tile<M: Metric + ?Sized>(
+    metric: &M,
+    q: &[f64],
+    rows: &[f64],
+    stride: usize,
+    dim: usize,
+    bounds: &[f64],
+    out: &mut [f64],
+) {
+    check_tile(rows, stride, dim, bounds, out);
+    if out.is_empty() {
+        return;
+    }
+    let q = &q[..dim];
+    for ((row, &b), o) in rows
+        .chunks_exact(stride.max(1))
+        .zip(bounds)
+        .zip(out.iter_mut())
+    {
+        *o = metric.dist_under(q, &row[..dim], b).unwrap_or(f64::NAN);
+    }
+}
+
+/// Whether a tile call satisfies the padded-tile contract well enough to go
+/// through the SIMD kernels (pad *values* are the caller's obligation and
+/// cannot be checked here without touching every row).
+#[inline]
+fn kernel_tile_ok(q: &[f64], stride: usize) -> bool {
+    stride > 0 && stride.is_multiple_of(LANES) && q.len() == stride
+}
+
+/// Shared tile driver: per row, early-abandoning accumulation with
+/// [`Metric::dist_under`] semantics. `transform` maps a finite distance
+/// bound into the accumulator domain (conservatively, so abandonment proves
+/// `d >= bound`); `finish` maps a completed accumulator back to a distance.
+/// An infinite bound admits every row, so those rows skip the threshold
+/// checks entirely and run the plain `full` reduction — the completed
+/// accumulator is the same canonical value either way (and a hypothetical
+/// abandonment at a partial of `+∞` would only ever stand in for a `+∞`
+/// total, which `finish` maps to the same `+∞` distance).
+#[inline]
+#[allow(clippy::too_many_arguments)] // one slot per tile buffer; private helper
+fn tile_via_until(
+    q: &[f64],
+    rows: &[f64],
+    stride: usize,
+    bounds: &[f64],
+    out: &mut [f64],
+    full: impl Fn(&[f64], &[f64]) -> f64,
+    until: impl Fn(&[f64], &[f64], f64) -> Option<f64>,
+    transform: impl Fn(f64) -> f64,
+    finish: impl Fn(f64) -> f64,
+) {
+    for ((row, &b), o) in rows.chunks_exact(stride).zip(bounds).zip(out.iter_mut()) {
+        *o = if b == f64::INFINITY {
+            finish(full(q, row))
         } else {
-            0.0
+            match until(q, row, transform(b)) {
+                Some(acc) => {
+                    let d = finish(acc);
+                    if d < b {
+                        d
+                    } else {
+                        f64::NAN
+                    }
+                }
+                None => f64::NAN,
+            }
         };
-        fold(gap);
+    }
+}
+
+/// Per-coordinate gap to the box `[lo, hi]` (zero inside).
+#[inline(always)]
+fn box_gap(qi: f64, l: f64, h: f64) -> f64 {
+    if qi < l {
+        l - qi
+    } else if qi > h {
+        qi - h
+    } else {
+        0.0
     }
 }
 
 /// Per-coordinate farthest gap to the box `[lo, hi]`.
-#[inline]
-fn box_far_gaps<F: FnMut(f64)>(q: &[f64], lo: &[f64], hi: &[f64], mut fold: F) {
-    for ((&qi, &l), &h) in q.iter().zip(lo).zip(hi) {
-        fold((qi - l).abs().max((h - qi).abs()));
-    }
+#[inline(always)]
+fn box_far_gap(qi: f64, l: f64, h: f64) -> f64 {
+    (qi - l).abs().max((h - qi).abs())
 }
 
-/// Coordinates consumed between checks of the early-abandonment partial
-/// accumulator. Checking every coordinate would defeat vectorization of the
-/// accumulation loop; a small block keeps both the check overhead and the
-/// overshoot past the bound negligible.
-const ABANDON_BLOCK: usize = 8;
-
-/// Early-abandoning nonnegative accumulation: folds `term(a_i, b_i)` into a
-/// running sum in strict left-to-right order (so a completed accumulation is
-/// bit-identical to the plain loop) and returns `None` as soon as a partial
-/// sum reaches `threshold`. Since every term is nonnegative and IEEE
-/// addition is monotone, a partial sum at or above the threshold proves the
-/// completed sum would be too.
+/// Folds box-gap terms in the **canonical lane order** of
+/// [`crate::kernel`]: term `i` into lane `i mod 4`, lanes combined as
+/// `(l0 + l1) + (l2 + l3)`.
+///
+/// Sharing the canonical order with the point-to-point kernels is
+/// load-bearing, not cosmetic: for a point `p` inside the box, each gap term
+/// is `<=` the corresponding point term, and a same-order monotone
+/// accumulation of smaller non-negative terms yields a smaller (or equal)
+/// lane — so `box_min_dist(q, lo, hi) <= dist(q, p)` holds *exactly*, not
+/// just up to rounding, and best-first traversals can use box bounds for
+/// pruning without ever contradicting a point distance by one ulp. The
+/// symmetric argument gives `box_max_dist >= dist` exactly.
 #[inline]
-fn abandoning_sum<T: Fn(f64, f64) -> f64>(
-    a: &[f64],
-    b: &[f64],
-    threshold: f64,
+fn box_fold_sum<G: Fn(f64, f64, f64) -> f64, T: Fn(f64) -> f64>(
+    q: &[f64],
+    lo: &[f64],
+    hi: &[f64],
+    gap: G,
     term: T,
-) -> Option<f64> {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0;
-    let mut a_rest = a;
-    let mut b_rest = b;
-    while a_rest.len() > ABANDON_BLOCK {
-        let (a_blk, a_tail) = a_rest.split_at(ABANDON_BLOCK);
-        let (b_blk, b_tail) = b_rest.split_at(ABANDON_BLOCK);
-        for (&x, &y) in a_blk.iter().zip(b_blk) {
-            acc += term(x, y);
-        }
-        if acc >= threshold {
-            return None;
-        }
-        a_rest = a_tail;
-        b_rest = b_tail;
+) -> f64 {
+    let mut l = [0.0f64; LANES];
+    for (i, ((&qi, &lv), &hv)) in q.iter().zip(lo).zip(hi).enumerate() {
+        l[i % LANES] += term(gap(qi, lv, hv));
     }
-    for (&x, &y) in a_rest.iter().zip(b_rest) {
-        acc += term(x, y);
+    (l[0] + l[1]) + (l[2] + l[3])
+}
+
+/// [`box_fold_sum`] under `max` instead of `+`.
+#[inline]
+fn box_fold_max<G: Fn(f64, f64, f64) -> f64>(q: &[f64], lo: &[f64], hi: &[f64], gap: G) -> f64 {
+    let mut l = [0.0f64; LANES];
+    for (i, ((&qi, &lv), &hv)) in q.iter().zip(lo).zip(hi).enumerate() {
+        l[i % LANES] = l[i % LANES].max(gap(qi, lv, hv));
     }
-    Some(acc)
+    l[0].max(l[1]).max(l[2].max(l[3]))
+}
+
+/// The dispatched kernel table (cached per process).
+#[inline]
+fn ops() -> &'static KernelOps {
+    kernel::selected()
 }
 
 /// Adapter that disables threshold pruning on an inner metric: every
@@ -179,7 +308,8 @@ fn abandoning_sum<T: Fn(f64, f64) -> f64>(
 /// This is the reference "sequential scalar path": benchmarks use it as
 /// the un-optimized baseline, and equivalence tests run the same workload
 /// through `FullPrecision<M>` and `M` to prove early abandonment changes
-/// no decision, result, or counter.
+/// no decision, result, or counter. (`dist_tile` likewise stays on the
+/// unpruned row-by-row default.)
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FullPrecision<M>(pub M);
 
@@ -189,8 +319,9 @@ impl<M: Metric> Metric for FullPrecision<M> {
         self.0.dist(a, b)
     }
 
-    // dist_lt deliberately NOT forwarded: the trait default computes the
-    // full distance and compares, which is the point of this adapter.
+    // dist_lt and dist_tile deliberately NOT forwarded: the trait defaults
+    // compute the full distance and compare, which is the point of this
+    // adapter.
 
     fn name(&self) -> &'static str {
         self.0.name()
@@ -209,17 +340,26 @@ impl<M: Metric> Metric for FullPrecision<M> {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Euclidean;
 
+/// The early-abandonment threshold for a finite Euclidean bound: the
+/// squared bound, inflated by a few ulps so that a partial sum crossing the
+/// threshold *guarantees* `sqrt(total) >= bound` (squaring the bound
+/// rounds, sqrt rounds back; without the margin a one-ulp disagreement with
+/// the exact `dist < bound` test would be possible at the boundary). A
+/// completed accumulation is decided by the exact comparison, so decisions
+/// always match `dist`. The `.max` keeps a tiny positive bound (whose
+/// square underflows to zero) from abandoning the exact-zero distance it
+/// still admits.
+#[inline(always)]
+fn euclid_threshold(bound: f64) -> f64 {
+    ((bound * bound) * (1.0 + 4.0 * f64::EPSILON)).max(f64::MIN_POSITIVE)
+}
+
 impl Euclidean {
     /// Squared Euclidean distance; cheaper when only comparisons are needed.
     #[inline]
     pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len());
-        let mut acc = 0.0;
-        for (&x, &y) in a.iter().zip(b) {
-            let d = x - y;
-            acc += d * d;
-        }
-        acc
+        ops().sum_sq(a, b)
     }
 }
 
@@ -231,22 +371,36 @@ impl Metric for Euclidean {
 
     #[inline]
     fn dist_lt(&self, a: &[f64], b: &[f64], bound: f64) -> Option<f64> {
-        // Abandon against the squared bound, inflated by a few ulps so that
-        // a partial sum crossing the threshold *guarantees* sqrt(total) >=
-        // bound (squaring the bound rounds, sqrt rounds back; without the
-        // margin a one-ulp disagreement with the exact `dist < bound` test
-        // would be possible at the boundary). A completed accumulation is
-        // decided by the exact comparison, so decisions always match
-        // `dist`.
-        // The `.max` keeps a tiny positive bound (whose square underflows
-        // to zero) from abandoning the exact-zero distance it still admits.
-        let threshold = ((bound * bound) * (1.0 + 4.0 * f64::EPSILON)).max(f64::MIN_POSITIVE);
-        let acc = abandoning_sum(a, b, threshold, |x, y| {
-            let d = x - y;
-            d * d
-        })?;
+        let acc = ops().sum_sq_until(a, b, euclid_threshold(bound))?;
         let d = acc.sqrt();
         (d < bound).then_some(d)
+    }
+
+    fn dist_tile(
+        &self,
+        q: &[f64],
+        rows: &[f64],
+        stride: usize,
+        dim: usize,
+        bounds: &[f64],
+        out: &mut [f64],
+    ) {
+        if !kernel_tile_ok(q, stride) {
+            return fallback_dist_tile(self, q, rows, stride, dim, bounds, out);
+        }
+        check_tile(rows, stride, dim, bounds, out);
+        let k = ops();
+        tile_via_until(
+            q,
+            rows,
+            stride,
+            bounds,
+            out,
+            |a, b| k.sum_sq(a, b),
+            |a, b, t| k.sum_sq_until(a, b, t),
+            euclid_threshold,
+            f64::sqrt,
+        );
     }
 
     fn name(&self) -> &'static str {
@@ -254,15 +408,11 @@ impl Metric for Euclidean {
     }
 
     fn box_min_dist(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> Option<f64> {
-        let mut acc = 0.0;
-        box_gaps(q, lo, hi, |g| acc += g * g);
-        Some(acc.sqrt())
+        Some(box_fold_sum(q, lo, hi, box_gap, |g| g * g).sqrt())
     }
 
     fn box_max_dist(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> Option<f64> {
-        let mut acc = 0.0;
-        box_far_gaps(q, lo, hi, |g| acc += g * g);
-        Some(acc.sqrt())
+        Some(box_fold_sum(q, lo, hi, box_far_gap, |g| g * g).sqrt())
     }
 }
 
@@ -274,19 +424,42 @@ impl Metric for Manhattan {
     #[inline]
     fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len());
-        let mut acc = 0.0;
-        for (&x, &y) in a.iter().zip(b) {
-            acc += (x - y).abs();
-        }
-        acc
+        ops().sum_abs(a, b)
     }
 
     #[inline]
     fn dist_lt(&self, a: &[f64], b: &[f64], bound: f64) -> Option<f64> {
         // L1 needs no transform of the bound, so no margin: the partial sum
         // is the distance prefix itself.
-        let d = abandoning_sum(a, b, bound, |x, y| (x - y).abs())?;
+        let d = ops().sum_abs_until(a, b, bound)?;
         (d < bound).then_some(d)
+    }
+
+    fn dist_tile(
+        &self,
+        q: &[f64],
+        rows: &[f64],
+        stride: usize,
+        dim: usize,
+        bounds: &[f64],
+        out: &mut [f64],
+    ) {
+        if !kernel_tile_ok(q, stride) {
+            return fallback_dist_tile(self, q, rows, stride, dim, bounds, out);
+        }
+        check_tile(rows, stride, dim, bounds, out);
+        let k = ops();
+        tile_via_until(
+            q,
+            rows,
+            stride,
+            bounds,
+            out,
+            |a, b| k.sum_abs(a, b),
+            |a, b, t| k.sum_abs_until(a, b, t),
+            |b| b,
+            |acc| acc,
+        );
     }
 
     fn name(&self) -> &'static str {
@@ -294,15 +467,11 @@ impl Metric for Manhattan {
     }
 
     fn box_min_dist(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> Option<f64> {
-        let mut acc = 0.0;
-        box_gaps(q, lo, hi, |g| acc += g);
-        Some(acc)
+        Some(box_fold_sum(q, lo, hi, box_gap, |g| g))
     }
 
     fn box_max_dist(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> Option<f64> {
-        let mut acc = 0.0;
-        box_far_gaps(q, lo, hi, |g| acc += g);
-        Some(acc)
+        Some(box_fold_sum(q, lo, hi, box_far_gap, |g| g))
     }
 }
 
@@ -314,26 +483,42 @@ impl Metric for Chebyshev {
     #[inline]
     fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len());
-        let mut acc: f64 = 0.0;
-        for (&x, &y) in a.iter().zip(b) {
-            acc = acc.max((x - y).abs());
-        }
-        acc
+        ops().max_abs(a, b)
     }
 
     #[inline]
     fn dist_lt(&self, a: &[f64], b: &[f64], bound: f64) -> Option<f64> {
-        // The running maximum only grows, so any coordinate gap reaching the
+        // The running maximum only grows, so a partial maximum reaching the
         // bound settles the comparison immediately and exactly.
-        debug_assert_eq!(a.len(), b.len());
-        let mut acc: f64 = 0.0;
-        for (&x, &y) in a.iter().zip(b) {
-            acc = acc.max((x - y).abs());
-            if acc >= bound {
-                return None;
-            }
+        let d = ops().max_abs_until(a, b, bound)?;
+        (d < bound).then_some(d)
+    }
+
+    fn dist_tile(
+        &self,
+        q: &[f64],
+        rows: &[f64],
+        stride: usize,
+        dim: usize,
+        bounds: &[f64],
+        out: &mut [f64],
+    ) {
+        if !kernel_tile_ok(q, stride) {
+            return fallback_dist_tile(self, q, rows, stride, dim, bounds, out);
         }
-        Some(acc)
+        check_tile(rows, stride, dim, bounds, out);
+        let k = ops();
+        tile_via_until(
+            q,
+            rows,
+            stride,
+            bounds,
+            out,
+            |a, b| k.max_abs(a, b),
+            |a, b, t| k.max_abs_until(a, b, t),
+            |b| b,
+            |acc| acc,
+        );
     }
 
     fn name(&self) -> &'static str {
@@ -341,19 +526,21 @@ impl Metric for Chebyshev {
     }
 
     fn box_min_dist(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> Option<f64> {
-        let mut acc: f64 = 0.0;
-        box_gaps(q, lo, hi, |g| acc = acc.max(g));
-        Some(acc)
+        Some(box_fold_max(q, lo, hi, box_gap))
     }
 
     fn box_max_dist(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> Option<f64> {
-        let mut acc: f64 = 0.0;
-        box_far_gaps(q, lo, hi, |g| acc = acc.max(g));
-        Some(acc)
+        Some(box_fold_max(q, lo, hi, box_far_gap))
     }
 }
 
 /// The Minkowski (Lp) distance for `p ≥ 1`.
+///
+/// `powf` is only faithfully rounded and does not vectorize
+/// bit-reproducibly, so the Lp accumulation runs through the shared scalar
+/// kernel ([`kernel::sum_pow`]) on every backend — trivially bit-identical
+/// across backends, and still in the canonical lane order so the tile and
+/// one-to-one entry points agree.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Minkowski {
     p: f64,
@@ -378,30 +565,57 @@ impl Minkowski {
     pub fn p(&self) -> f64 {
         self.p
     }
+
+    /// The early-abandonment threshold for a finite Lp bound: `powf` is
+    /// only faithfully rounded, so the transformed threshold gets a
+    /// relative margin far wider than powf's error but far narrower than
+    /// any distance gap that matters; a completed accumulation is again
+    /// decided by the exact comparison.
+    #[inline(always)]
+    fn threshold(&self, bound: f64) -> f64 {
+        (bound.powf(self.p) * (1.0 + 1e-12)).max(f64::MIN_POSITIVE)
+    }
 }
 
 impl Metric for Minkowski {
     #[inline]
     fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len());
-        let mut acc = 0.0;
-        for (&x, &y) in a.iter().zip(b) {
-            acc += (x - y).abs().powf(self.p);
-        }
-        acc.powf(1.0 / self.p)
+        kernel::sum_pow(a, b, self.p).powf(1.0 / self.p)
     }
 
     #[inline]
     fn dist_lt(&self, a: &[f64], b: &[f64], bound: f64) -> Option<f64> {
-        // `powf` is only faithfully rounded, so the transformed threshold
-        // gets a relative margin far wider than powf's error but far
-        // narrower than any distance gap that matters; a completed
-        // accumulation is again decided by the exact comparison.
-        let threshold = (bound.powf(self.p) * (1.0 + 1e-12)).max(f64::MIN_POSITIVE);
-        let p = self.p;
-        let acc = abandoning_sum(a, b, threshold, |x, y| (x - y).abs().powf(p))?;
+        let acc = kernel::sum_pow_until(a, b, self.p, self.threshold(bound))?;
         let d = acc.powf(1.0 / self.p);
         (d < bound).then_some(d)
+    }
+
+    fn dist_tile(
+        &self,
+        q: &[f64],
+        rows: &[f64],
+        stride: usize,
+        dim: usize,
+        bounds: &[f64],
+        out: &mut [f64],
+    ) {
+        if !kernel_tile_ok(q, stride) {
+            return fallback_dist_tile(self, q, rows, stride, dim, bounds, out);
+        }
+        check_tile(rows, stride, dim, bounds, out);
+        let p = self.p;
+        tile_via_until(
+            q,
+            rows,
+            stride,
+            bounds,
+            out,
+            |a, b| kernel::sum_pow(a, b, p),
+            |a, b, t| kernel::sum_pow_until(a, b, p, t),
+            |b| self.threshold(b),
+            |acc| acc.powf(1.0 / p),
+        );
     }
 
     fn name(&self) -> &'static str {
@@ -409,15 +623,11 @@ impl Metric for Minkowski {
     }
 
     fn box_min_dist(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> Option<f64> {
-        let mut acc = 0.0;
-        box_gaps(q, lo, hi, |g| acc += g.powf(self.p));
-        Some(acc.powf(1.0 / self.p))
+        Some(box_fold_sum(q, lo, hi, box_gap, |g| g.powf(self.p)).powf(1.0 / self.p))
     }
 
     fn box_max_dist(&self, q: &[f64], lo: &[f64], hi: &[f64]) -> Option<f64> {
-        let mut acc = 0.0;
-        box_far_gaps(q, lo, hi, |g| acc += g.powf(self.p));
-        Some(acc.powf(1.0 / self.p))
+        Some(box_fold_sum(q, lo, hi, box_far_gap, |g| g.powf(self.p)).powf(1.0 / self.p))
     }
 }
 
@@ -576,6 +786,107 @@ mod tests {
         }
     }
 
+    /// Builds a zero-padded tile from logical rows.
+    fn padded_tile(rows: &[Vec<f64>], dim: usize) -> (usize, Vec<f64>) {
+        let stride = kernel::pad_dim(dim);
+        let mut flat = vec![0.0; rows.len() * stride];
+        for (r, row) in rows.iter().enumerate() {
+            flat[r * stride..r * stride + dim].copy_from_slice(row);
+        }
+        (stride, flat)
+    }
+
+    #[test]
+    fn dist_tile_matches_per_row_dist_under_bitwise() {
+        // Tie-heavy rows at several dims (covering tails, pad widths and
+        // the check cadence) against assorted bounds, including exact-tie
+        // bounds, zero, and +∞ with overflowing distances.
+        for dim in [1usize, 2, 3, 4, 5, 7, 8, 9, 12, 16, 30, 33] {
+            let rows: Vec<Vec<f64>> = (0..37)
+                .map(|i| {
+                    (0..dim)
+                        .map(|j| match (i * dim + j) % 11 {
+                            10 => 1e200, // may overflow squared/cubed terms
+                            v => (v as f64) * 0.5 - 2.0,
+                        })
+                        .collect()
+                })
+                .collect();
+            let q: Vec<f64> = (0..dim).map(|j| (j % 5) as f64 * 0.5).collect();
+            let (stride, flat) = padded_tile(&rows, dim);
+            let mut qpad = vec![0.0; stride];
+            qpad[..dim].copy_from_slice(&q);
+            for m in metrics() {
+                let dists: Vec<f64> = rows.iter().map(|r| m.dist(&q, r)).collect();
+                // Per-row bounds that exercise every decision branch.
+                let bounds: Vec<f64> = dists
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &d)| match i % 5 {
+                        0 => d,               // exact tie: pruned
+                        1 => d * 1.5 + 1e-12, // admitted
+                        2 => 0.0,             // always pruned
+                        3 => f64::INFINITY,   // always admitted
+                        _ => d * 0.5,         // pruned (or tie at 0)
+                    })
+                    .collect();
+                let mut out = vec![0.0; rows.len()];
+                m.dist_tile(&qpad, &flat, stride, dim, &bounds, &mut out);
+                for (i, row) in rows.iter().enumerate() {
+                    let want = m.dist_under(&q, row, bounds[i]);
+                    match want {
+                        Some(d) => assert_eq!(
+                            out[i].to_bits(),
+                            d.to_bits(),
+                            "{} dim={dim} row={i}: admitted value must be bit-identical",
+                            m.name()
+                        ),
+                        None => assert!(
+                            out[i].is_nan(),
+                            "{} dim={dim} row={i}: pruned row must be NaN (got {})",
+                            m.name(),
+                            out[i]
+                        ),
+                    }
+                }
+                // The unpadded fallback layout must decide identically.
+                let (flat_raw, stride_raw) =
+                    (rows.iter().flatten().copied().collect::<Vec<f64>>(), dim);
+                let mut out_raw = vec![0.0; rows.len()];
+                m.dist_tile(&q, &flat_raw, stride_raw, dim, &bounds, &mut out_raw);
+                for (a, b) in out.iter().zip(&out_raw) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{} dim={dim}: padded and fallback tiles diverged",
+                        m.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_precision_tile_admits_like_dist() {
+        let m = FullPrecision(Euclidean);
+        let rows = vec![vec![0.0, 0.0], vec![3.0, 4.0]];
+        let (stride, flat) = padded_tile(&rows, 2);
+        let qpad = vec![0.0; stride];
+        let mut out = vec![0.0; 2];
+        m.dist_tile(&qpad[..], &flat, stride, 2, &[1.0, 5.0], &mut out);
+        assert_eq!(out[0], 0.0);
+        assert!(out[1].is_nan(), "tie at bound must prune");
+        m.dist_tile(
+            &qpad[..],
+            &flat,
+            stride,
+            2,
+            &[1.0, 5.0f64.next_up()],
+            &mut out,
+        );
+        assert_eq!(out[1], 5.0);
+    }
+
     proptest! {
         #[test]
         fn dist_lt_is_decision_equivalent_to_dist(
@@ -639,6 +950,34 @@ mod tests {
                 let max = m.box_max_dist(&q, &lo, &hi).unwrap();
                 prop_assert!(min <= d + 1e-9, "{}: min {} > {}", m.name(), min, d);
                 prop_assert!(max >= d - 1e-9, "{}: max {} < {}", m.name(), max, d);
+            }
+        }
+
+        #[test]
+        fn dist_tile_is_decision_equivalent_on_random_tiles(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(-50.0f64..50.0, 7), 1..20),
+            q in proptest::collection::vec(-50.0f64..50.0, 7),
+            frac in proptest::collection::vec(0.0f64..2.0, 20),
+        ) {
+            let dim = 7;
+            let (stride, flat) = padded_tile(&rows, dim);
+            let mut qpad = vec![0.0; stride];
+            qpad[..dim].copy_from_slice(&q);
+            for m in metrics() {
+                let bounds: Vec<f64> = rows
+                    .iter()
+                    .zip(&frac)
+                    .map(|(r, &f)| m.dist(&q, r) * f)
+                    .collect();
+                let mut out = vec![0.0; rows.len()];
+                m.dist_tile(&qpad, &flat, stride, dim, &bounds, &mut out);
+                for (i, row) in rows.iter().enumerate() {
+                    match m.dist_under(&q, row, bounds[i]) {
+                        Some(d) => prop_assert_eq!(out[i].to_bits(), d.to_bits()),
+                        None => prop_assert!(out[i].is_nan()),
+                    }
+                }
             }
         }
     }

@@ -133,8 +133,12 @@ pub fn write_fvb<W: Write>(ds: &Dataset, writer: W) -> Result<(), IoError> {
     w.write_all(FVB_MAGIC)?;
     w.write_all(&(ds.len() as u64).to_le_bytes())?;
     w.write_all(&(ds.dim() as u64).to_le_bytes())?;
-    for v in ds.flat() {
-        w.write_all(&v.to_le_bytes())?;
+    // Serialize the logical rows only — the dataset's in-memory row padding
+    // must never reach the wire format.
+    for (_, row) in ds.iter() {
+        for v in row {
+            w.write_all(&v.to_le_bytes())?;
+        }
     }
     w.flush()?;
     Ok(())

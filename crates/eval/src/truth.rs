@@ -120,6 +120,44 @@ impl GroundTruth {
         let answer_one = |q: PointId| {
             let qp = index.point(q);
             let mut set = HashSet::new();
+            // Tile fast path: when the index exposes its points as one
+            // contiguous identity-mapped dataset, stream the query against
+            // the padded rows in blocks through `Metric::dist_tile`, with
+            // each row bounded by its own membership radius. Admission is
+            // exactly the per-point `dist_under` decision (the query's own
+            // row is evaluated with its block but skipped at commit).
+            if let Some(ds) = index.base_rows().filter(|ds| ds.len() == n) {
+                const TILE: usize = 64;
+                let (stride, dim) = (ds.stride(), ds.dim());
+                let mut qpad = vec![0.0; stride];
+                qpad[..dim].copy_from_slice(qp);
+                let rows = ds.padded_flat();
+                let mut bounds = [0.0f64; TILE];
+                let mut out = [0.0f64; TILE];
+                let mut start = 0usize;
+                while start < n {
+                    let m = TILE.min(n - start);
+                    for (b, x) in bounds[..m].iter_mut().zip(start..) {
+                        *b = table.dk[x][col].next_up();
+                    }
+                    metric.dist_tile(
+                        &qpad,
+                        &rows[start * stride..(start + m) * stride],
+                        stride,
+                        dim,
+                        &bounds[..m],
+                        &mut out[..m],
+                    );
+                    for (i, &d) in out[..m].iter().enumerate() {
+                        let x = start + i;
+                        if x != q && !d.is_nan() {
+                            set.insert(x);
+                        }
+                    }
+                    start += m;
+                }
+                return (q, set);
+            }
             for x in 0..n {
                 if x == q {
                     continue;

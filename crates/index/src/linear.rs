@@ -8,8 +8,15 @@
 //! `BinaryHeap`, and with [`KnnIndex::cursor_with`] the table lives in a
 //! caller-owned buffer that batch drivers reuse across queries. Direct
 //! `knn`/`range`/`range_count` traversals prune each candidate against the
-//! current threshold via [`Metric::dist_lt`], abandoning hopeless distance
-//! accumulations early.
+//! current threshold, abandoning hopeless distance accumulations early.
+//!
+//! While the pool is still the bare dataset (no inserts or tombstones),
+//! every scan streams the dataset's padded contiguous rows through the
+//! SIMD tile kernel [`Metric::dist_tile`] in blocks of `TILE` rows,
+//! pruned at a per-block snapshot of the current selection threshold and
+//! committed row by row against the live threshold — byte-identical
+//! results and counters to the per-point loop (the fallback once the pool
+//! diverges from the dataset), at hardware vector speed.
 
 use crate::pool::PointPool;
 use crate::traits::{DynamicIndex, KnnIndex, NnCursor};
@@ -63,24 +70,115 @@ impl<B: AsRef<[Neighbor]>> NnCursor for ScanCursor<B> {
     }
 }
 
+/// Rows per tile block in the sequential-scan fast paths: enough to
+/// amortize the per-block kernel dispatch, small enough for the per-block
+/// bounds/output arrays to live on the stack.
+const TILE: usize = 64;
+
+/// Zero-pads `q` to `stride` coordinates in a reusable buffer.
+fn pad_query(q: &[f64], stride: usize, buf: &mut Vec<f64>) {
+    buf.clear();
+    buf.resize(stride, 0.0);
+    buf[..q.len()].copy_from_slice(q);
+}
+
+/// The shared tile driver behind every sequential-scan fast path: streams
+/// the padded contiguous dataset against `qpad` in `TILE`-row blocks
+/// through [`Metric::dist_tile`]. Each block's (uniform) pruning bound is a
+/// *snapshot* taken by `block_bound` just before evaluation; `commit` then
+/// consumes every row's output (`NaN` = pruned at the snapshot) in id
+/// order. Both callbacks receive the caller's `state`, so commits can
+/// tighten the very threshold the next block snapshots.
+///
+/// Why the snapshot changes no decision: the bound only tightens as rows
+/// commit, so a row the snapshot prunes (`d` at or beyond the snapshot,
+/// which is at or beyond every later threshold) would also be pruned by
+/// per-point evaluation, and an admitted row carries the bit-identical
+/// distance into the caller's own exact commit comparison against the
+/// *live* threshold. Decisions, entries, and counters therefore match the
+/// per-point loop exactly; the snapshot only trades a little extra
+/// coordinate work for blockwise SIMD evaluation.
+fn scan_tiles<M: Metric, St>(
+    metric: &M,
+    ds: &Dataset,
+    qpad: &[f64],
+    state: &mut St,
+    mut block_bound: impl FnMut(&mut St) -> f64,
+    mut commit: impl FnMut(&mut St, PointId, f64),
+) {
+    let (stride, dim, n) = (ds.stride(), ds.dim(), ds.len());
+    let rows = ds.padded_flat();
+    let mut bounds = [0.0f64; TILE];
+    let mut out = [0.0f64; TILE];
+    let mut start = 0usize;
+    while start < n {
+        let m = TILE.min(n - start);
+        bounds[..m].fill(block_bound(state));
+        metric.dist_tile(
+            qpad,
+            &rows[start * stride..(start + m) * stride],
+            stride,
+            dim,
+            &bounds[..m],
+            &mut out[..m],
+        );
+        for (i, &d) in out[..m].iter().enumerate() {
+            commit(state, start + i, d);
+        }
+        start += m;
+    }
+}
+
 impl<M: Metric> LinearScan<M> {
+    /// The contiguous identity-mapped dataset behind this scan, when the
+    /// pool still is one (no inserts or removals) and `q` matches its
+    /// dimensionality — the precondition for the tile fast paths below.
+    #[inline]
+    fn tile_source(&self, q: &[f64]) -> Option<&Dataset> {
+        self.pool.contiguous_base().filter(|ds| ds.dim() == q.len())
+    }
+
     /// Fills `entries` with the sorted distance table for query `q`; the
-    /// shared setup behind both cursor entry points.
+    /// shared setup behind both cursor entry points. `qpad` is the reusable
+    /// padded-query buffer for the tile fast path.
     fn fill_table(
         &self,
         q: &[f64],
         exclude: Option<PointId>,
         entries: &mut Vec<Neighbor>,
+        qpad: &mut Vec<f64>,
     ) -> SearchStats {
         let mut stats = SearchStats::new();
         entries.clear();
         entries.reserve(self.pool.live());
-        for (id, p) in self.pool.iter_live() {
-            if Some(id) == exclude {
-                continue;
+        if let Some(ds) = self.tile_source(q) {
+            // Tile fast path, unbounded (+∞ admits everything, including
+            // distances that overflow to +∞). The excluded row is evaluated
+            // with its block but skipped — uncounted — at commit, exactly
+            // like the per-point loop.
+            pad_query(q, ds.stride(), qpad);
+            scan_tiles(
+                &self.metric,
+                ds,
+                qpad,
+                &mut (&mut stats, &mut *entries),
+                |_| f64::INFINITY,
+                |st, id, d| {
+                    if Some(id) == exclude {
+                        return;
+                    }
+                    st.0.count_dist();
+                    st.1.push(Neighbor::new(id, d));
+                },
+            );
+        } else {
+            for (id, p) in self.pool.iter_live() {
+                if Some(id) == exclude {
+                    continue;
+                }
+                stats.count_dist();
+                entries.push(Neighbor::new(id, self.metric.dist(q, p)));
             }
-            stats.count_dist();
-            entries.push(Neighbor::new(id, self.metric.dist(q, p)));
         }
         stats.heap_pushes += entries.len() as u64;
         entries.sort_unstable_by(Neighbor::cmp_by_dist);
@@ -106,24 +204,58 @@ impl<M: Metric> LinearScan<M> {
         let mut spare = std::mem::take(&mut scratch.heap);
         spare.clear();
         let mut heap: BinaryHeap<MaxByDist> = BinaryHeap::from(spare);
-        for (id, p) in self.pool.iter_live() {
-            if Some(id) == exclude {
-                continue;
-            }
-            stats.count_dist();
-            let threshold = if heap.len() >= limit {
+        // The selection threshold: the current `limit`-th best distance
+        // once the heap is full, +∞ while it is filling (`dist_under`
+        // semantics — a distance overflowing to +∞ must be admitted there,
+        // or the bounded table loses entries the full sorted table keeps).
+        let threshold = |heap: &BinaryHeap<MaxByDist>| {
+            if heap.len() >= limit {
                 heap.peek().map(|m| m.0.dist).unwrap_or(f64::NEG_INFINITY)
             } else {
                 f64::INFINITY
-            };
-            // `dist_under`: while the heap is filling (threshold +∞) even a
-            // distance overflowing to +∞ must be admitted, or the bounded
-            // table loses entries the full sorted table would keep.
-            if let Some(d) = self.metric.dist_under(q, p, threshold) {
-                heap.push(MaxByDist(Neighbor::new(id, d)));
-                stats.count_push();
-                if heap.len() > limit {
-                    heap.pop();
+            }
+        };
+        if let Some(ds) = self.tile_source(q) {
+            // Tile fast path: blocks pruned at a snapshot of the selection
+            // threshold, rows committed against the live one (see
+            // `scan_tiles` for the equivalence argument).
+            pad_query(q, ds.stride(), &mut scratch.tiles.qpad);
+            scan_tiles(
+                &self.metric,
+                ds,
+                &scratch.tiles.qpad,
+                &mut (&mut heap, &mut stats),
+                |st| threshold(st.0),
+                |st, id, d| {
+                    if Some(id) == exclude {
+                        return;
+                    }
+                    st.1.count_dist();
+                    if d.is_nan() {
+                        return;
+                    }
+                    let thr = threshold(st.0);
+                    if thr == f64::INFINITY || d < thr {
+                        st.0.push(MaxByDist(Neighbor::new(id, d)));
+                        st.1.count_push();
+                        if st.0.len() > limit {
+                            st.0.pop();
+                        }
+                    }
+                },
+            );
+        } else {
+            for (id, p) in self.pool.iter_live() {
+                if Some(id) == exclude {
+                    continue;
+                }
+                stats.count_dist();
+                if let Some(d) = self.metric.dist_under(q, p, threshold(&heap)) {
+                    heap.push(MaxByDist(Neighbor::new(id, d)));
+                    stats.count_push();
+                    if heap.len() > limit {
+                        heap.pop();
+                    }
                 }
             }
         }
@@ -157,9 +289,14 @@ impl<M: Metric> KnnIndex<M> for LinearScan<M> {
         "linear-scan"
     }
 
+    fn base_rows(&self) -> Option<&Dataset> {
+        self.pool.contiguous_base()
+    }
+
     fn cursor<'a>(&'a self, q: &'a [f64], exclude: Option<PointId>) -> Box<dyn NnCursor + 'a> {
         let mut entries = Vec::new();
-        let stats = self.fill_table(q, exclude, &mut entries);
+        let mut qpad = Vec::new();
+        let stats = self.fill_table(q, exclude, &mut entries, &mut qpad);
         Box::new(ScanCursor {
             entries,
             pos: 0,
@@ -173,7 +310,8 @@ impl<M: Metric> KnnIndex<M> for LinearScan<M> {
         exclude: Option<PointId>,
         scratch: &'a mut CursorScratch,
     ) -> Box<dyn NnCursor + 'a> {
-        let stats = self.fill_table(q, exclude, &mut scratch.entries);
+        let CursorScratch { entries, tiles, .. } = &mut *scratch;
+        let stats = self.fill_table(q, exclude, entries, &mut tiles.qpad);
         Box::new(ScanCursor {
             entries: &mut scratch.entries,
             pos: 0,
@@ -191,7 +329,8 @@ impl<M: Metric> KnnIndex<M> for LinearScan<M> {
         // A bound that admits every candidate prunes nothing; the plain
         // sorted table skips the heap bookkeeping.
         let stats = if limit >= self.pool.live() {
-            self.fill_table(q, exclude, &mut scratch.entries)
+            let CursorScratch { entries, tiles, .. } = &mut *scratch;
+            self.fill_table(q, exclude, entries, &mut tiles.qpad)
         } else {
             self.fill_bounded(q, exclude, limit, scratch)
         };
@@ -213,20 +352,47 @@ impl<M: Metric> KnnIndex<M> for LinearScan<M> {
             return Vec::new();
         }
         let mut heap = KnnHeap::new(k);
-        for (id, p) in self.pool.iter_live() {
-            if Some(id) == exclude {
-                continue;
-            }
-            stats.count_dist();
-            // Once the heap is full its threshold is the k-th best distance;
-            // a candidate that cannot beat it would be rejected by `offer`,
-            // so the distance accumulation may abandon as soon as the
-            // threshold is provably unreachable. While the heap is filling
-            // the threshold is +∞ and the full distance is computed —
-            // `dist_under` keeps distances that overflow to +∞ admissible
-            // there, since `offer` retains everything until full.
-            if let Some(d) = self.metric.dist_under(q, p, heap.threshold()) {
-                heap.offer(Neighbor::new(id, d));
+        // Once the heap is full its threshold is the k-th best distance; a
+        // candidate that cannot beat it would be rejected by `offer`, so
+        // the distance accumulation may abandon as soon as the threshold is
+        // provably unreachable. While the heap is filling the threshold is
+        // +∞ and the full distance is computed — `dist_under` keeps
+        // distances that overflow to +∞ admissible there, since `offer`
+        // retains everything until full.
+        if let Some(ds) = self.tile_source(q) {
+            // Tile fast path: block-snapshot pruning, exact strict commit
+            // against the live threshold (see `scan_tiles`).
+            let mut qpad = Vec::new();
+            pad_query(q, ds.stride(), &mut qpad);
+            scan_tiles(
+                &self.metric,
+                ds,
+                &qpad,
+                &mut (&mut heap, &mut *stats),
+                |st| st.0.threshold(),
+                |st, id, d| {
+                    if Some(id) == exclude {
+                        return;
+                    }
+                    st.1.count_dist();
+                    if d.is_nan() {
+                        return;
+                    }
+                    let thr = st.0.threshold();
+                    if thr == f64::INFINITY || d < thr {
+                        st.0.offer(Neighbor::new(id, d));
+                    }
+                },
+            );
+        } else {
+            for (id, p) in self.pool.iter_live() {
+                if Some(id) == exclude {
+                    continue;
+                }
+                stats.count_dist();
+                if let Some(d) = self.metric.dist_under(q, p, heap.threshold()) {
+                    heap.offer(Neighbor::new(id, d));
+                }
             }
         }
         heap.into_sorted()
@@ -242,13 +408,39 @@ impl<M: Metric> KnnIndex<M> for LinearScan<M> {
         // The closed ball `d <= r` equals the open ball below next_up(r).
         let bound = r.next_up();
         let mut out = Vec::new();
-        for (id, p) in self.pool.iter_live() {
-            if Some(id) == exclude {
-                continue;
-            }
-            stats.count_dist();
-            if let Some(d) = self.metric.dist_lt(q, p, bound) {
-                out.push(Neighbor::new(id, d));
+        if let Some(ds) = self.tile_source(q) {
+            // Tile fast path. The tile has `dist_under` semantics: at an
+            // infinite bound it admits distances overflowing to +∞, which
+            // the strict `dist_lt` contract of `range` must still reject —
+            // hence the finiteness re-check at commit.
+            let mut qpad = Vec::new();
+            pad_query(q, ds.stride(), &mut qpad);
+            scan_tiles(
+                &self.metric,
+                ds,
+                &qpad,
+                &mut (&mut out, &mut *stats),
+                |_| bound,
+                |st, id, d| {
+                    if Some(id) == exclude {
+                        return;
+                    }
+                    st.1.count_dist();
+                    if d.is_nan() || (bound == f64::INFINITY && !d.is_finite()) {
+                        return;
+                    }
+                    st.0.push(Neighbor::new(id, d));
+                },
+            );
+        } else {
+            for (id, p) in self.pool.iter_live() {
+                if Some(id) == exclude {
+                    continue;
+                }
+                stats.count_dist();
+                if let Some(d) = self.metric.dist_lt(q, p, bound) {
+                    out.push(Neighbor::new(id, d));
+                }
             }
         }
         rknn_core::neighbor::sort_neighbors(&mut out);
@@ -265,13 +457,36 @@ impl<M: Metric> KnnIndex<M> for LinearScan<M> {
     ) -> usize {
         let bound = if strict { r } else { r.next_up() };
         let mut count = 0;
-        for (id, p) in self.pool.iter_live() {
-            if Some(id) == exclude {
-                continue;
-            }
-            stats.count_dist();
-            if self.metric.dist_lt(q, p, bound).is_some() {
-                count += 1;
+        if let Some(ds) = self.tile_source(q) {
+            // Same strict-vs-`dist_under` commit re-check as `range`.
+            let mut qpad = Vec::new();
+            pad_query(q, ds.stride(), &mut qpad);
+            scan_tiles(
+                &self.metric,
+                ds,
+                &qpad,
+                &mut (&mut count, &mut *stats),
+                |_| bound,
+                |st, id, d| {
+                    if Some(id) == exclude {
+                        return;
+                    }
+                    st.1.count_dist();
+                    if d.is_nan() || (bound == f64::INFINITY && !d.is_finite()) {
+                        return;
+                    }
+                    *st.0 += 1;
+                },
+            );
+        } else {
+            for (id, p) in self.pool.iter_live() {
+                if Some(id) == exclude {
+                    continue;
+                }
+                stats.count_dist();
+                if self.metric.dist_lt(q, p, bound).is_some() {
+                    count += 1;
+                }
             }
         }
         count

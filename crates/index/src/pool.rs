@@ -122,6 +122,16 @@ impl PointPool {
     pub fn base(&self) -> &Arc<Dataset> {
         &self.base
     }
+
+    /// The base dataset when it still *is* the live point set: no points
+    /// appended, none tombstoned, ids `0..len` mapping identically. Scans
+    /// can then stream the dataset's padded contiguous rows through the
+    /// SIMD tile kernel instead of chasing ids; anything else falls back to
+    /// per-point iteration.
+    pub fn contiguous_base(&self) -> Option<&Dataset> {
+        (self.extra.is_empty() && self.live_count == self.base.len() && !self.base.is_empty())
+            .then(|| self.base.as_ref())
+    }
 }
 
 #[cfg(test)]

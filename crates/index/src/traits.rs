@@ -1,6 +1,6 @@
 //! The index abstraction RDT and the baselines are written against.
 
-use rknn_core::{CursorScratch, Metric, Neighbor, PointId, SearchStats};
+use rknn_core::{CursorScratch, Dataset, Metric, Neighbor, PointId, SearchStats};
 
 /// An incremental nearest-neighbor stream.
 ///
@@ -62,6 +62,17 @@ pub trait KnnIndex<M: Metric>: Send + Sync {
 
     /// A human-readable substrate name for experiment reports.
     fn name(&self) -> &'static str;
+
+    /// The indexed points as one contiguous, identity-mapped [`Dataset`]
+    /// (`Some` only when ids `0..dataset.len()` are exactly the live points
+    /// of this index, in order). Scans over *all* points — ground-truth
+    /// passes, all-pairs evaluation — use this to stream the dataset's
+    /// padded rows through [`Metric::dist_tile`] instead of calling
+    /// [`KnnIndex::point`] per id; the default (`None`) keeps them on the
+    /// per-point path.
+    fn base_rows(&self) -> Option<&Dataset> {
+        None
+    }
 
     /// Opens an incremental nearest-neighbor stream from `q`.
     fn cursor<'a>(&'a self, q: &'a [f64], exclude: Option<PointId>) -> Box<dyn NnCursor + 'a>;

@@ -20,6 +20,11 @@
 //!   max-heap of the `limit` smallest `(distance, id)` keys queued so far —
 //!   and subtrees whose lower bound exceeds the frontier threshold are
 //!   dropped without being pushed;
+//! * candidate points emitted by an expansion are batched (their padded
+//!   coordinates gathered into the scratch tile) and evaluated by one
+//!   [`Metric::dist_tile`] kernel call per batch — every substrate's leaf
+//!   scan runs at SIMD speed, with decisions, streams, and counters
+//!   byte-identical to per-point evaluation;
 //! * every future hot-path optimization of the loop benefits all substrates
 //!   at once.
 //!
@@ -100,6 +105,15 @@ pub struct ExpandSink<'c, M: Metric, S: TreeSubstrate<M>> {
     _metric: PhantomData<M>,
 }
 
+/// Candidate points buffered per expansion before one gather-tile
+/// evaluation ([`Metric::dist_tile`]) flushes them.
+const POINT_TILE: usize = 64;
+
+/// Below this many pending points a gather-tile gains nothing over the
+/// per-point kernel; the flush takes the one-to-one path instead. Both
+/// paths make bit-identical decisions, so the cutoff is pure tuning.
+const MIN_POINT_TILE: usize = 8;
+
 impl<'c, M: Metric, S: TreeSubstrate<M>> ExpandSink<'c, M, S> {
     /// The query coordinates (for substrates computing their own geometric
     /// bounds, e.g. R-tree box MINDIST).
@@ -119,34 +133,106 @@ impl<'c, M: Metric, S: TreeSubstrate<M>> ExpandSink<'c, M, S> {
         }
     }
 
-    /// Queues a candidate point, evaluating its distance with
-    /// [`Metric::dist_lt`] against the frontier. Excluded and tombstoned
-    /// points are skipped before any evaluation (and are not counted).
+    /// The `dist_under` bound derived from the frontier: just beyond `τ`
+    /// (so exact ties on distance survive to the strict `(dist, id)` check
+    /// in `push_point`), or +∞ when unbounded — which must still admit
+    /// distances that overflow to +∞, or the completeness contract breaks
+    /// on extreme coordinates.
+    fn point_bound(&self) -> f64 {
+        match self.tau() {
+            Some(t) => t.dist.next_up(),
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Queues a candidate point for evaluation against the frontier.
+    /// Excluded and tombstoned points are skipped before any evaluation
+    /// (and are not counted).
+    ///
+    /// Consecutive candidate points of one expansion are batched and
+    /// evaluated by a single gather-tile kernel call
+    /// (`ExpandSink::flush_points`); any interleaving sink operation that
+    /// observes the frontier or the queue (pivots, children, known-distance
+    /// points, the end of the expansion) flushes first, so the queue and
+    /// frontier evolve exactly as in per-point evaluation.
     pub fn point(&mut self, id: PointId) {
         if Some(id) == self.exclude || !self.tree.is_emittable(id) {
             return;
         }
-        self.stats.count_dist();
-        let bound = match self.tau() {
-            Some(t) => t.dist.next_up(),
-            None => f64::INFINITY,
-        };
-        // `dist_under`, not `dist_lt`: an unbounded stream (or a frontier
-        // saturated at +∞) must still admit distances that overflow to +∞,
-        // or the completeness contract breaks on extreme coordinates.
-        if let Some(d) = self
-            .tree
+        self.scratch.tiles.ids.push(id);
+        if self.scratch.tiles.ids.len() >= POINT_TILE {
+            self.flush_points();
+        }
+    }
+
+    /// Evaluates and queues the pending candidate points.
+    ///
+    /// The batch is evaluated at a *snapshot* of the frontier bound; the
+    /// frontier only tightens while the batch commits, so a point the
+    /// snapshot prunes (`d > τ_snapshot ≥ τ_commit`) would also be pruned
+    /// by per-point evaluation, and an admitted point carries the
+    /// bit-identical distance into the same strict `(dist, id)` frontier
+    /// check `push_point` always applies. Decisions, queue contents,
+    /// emitted streams and counters are therefore identical to the
+    /// per-point path — the snapshot only trades a little extra coordinate
+    /// work for blockwise SIMD evaluation.
+    fn flush_points(&mut self) {
+        let pending = self.scratch.tiles.ids.len();
+        if pending == 0 {
+            return;
+        }
+        let dim = self.q.len();
+        if pending < MIN_POINT_TILE || dim == 0 {
+            for i in 0..pending {
+                let id = self.scratch.tiles.ids[i];
+                self.stats.count_dist();
+                let bound = self.point_bound();
+                if let Some(d) = self
+                    .tree
+                    .metric()
+                    .dist_under(self.q, self.tree.coords(id), bound)
+                {
+                    self.push_point(Neighbor::new(id, d));
+                }
+            }
+            self.scratch.tiles.ids.clear();
+            return;
+        }
+        let bound = self.point_bound();
+        let tiles = &mut self.scratch.tiles;
+        let stride = tiles.set_query(self.q);
+        tiles.ensure_rows(dim, pending);
+        for i in 0..pending {
+            let coords = self.tree.coords(tiles.ids[i]);
+            tiles.fill_row(i, coords);
+        }
+        tiles.bounds[..pending].fill(bound);
+        let (qpad, rows, bounds, out) = (
+            &tiles.qpad,
+            &tiles.rows[..pending * stride],
+            &tiles.bounds[..pending],
+            &mut tiles.out[..pending],
+        );
+        self.tree
             .metric()
-            .dist_under(self.q, self.tree.coords(id), bound)
-        {
+            .dist_tile(qpad, rows, stride, dim, bounds, out);
+        for i in 0..pending {
+            let id = self.scratch.tiles.ids[i];
+            let d = self.scratch.tiles.out[i];
+            self.stats.count_dist();
+            if d.is_nan() {
+                continue;
+            }
             self.push_point(Neighbor::new(id, d));
         }
+        self.scratch.tiles.ids.clear();
     }
 
     /// Queues a candidate point whose exact distance is already known
     /// (typically a pivot evaluated earlier via [`ExpandSink::pivot`]); no
     /// distance computation is charged.
     pub fn point_at(&mut self, id: PointId, d: f64) {
+        self.flush_points();
         if Some(id) == self.exclude || !self.tree.is_emittable(id) {
             return;
         }
@@ -179,6 +265,7 @@ impl<'c, M: Metric, S: TreeSubstrate<M>> ExpandSink<'c, M, S> {
     /// beyond the frontier. `reach` must be at least the largest covering
     /// radius the caller will subtract from the returned distance.
     pub fn pivot(&mut self, pivot: PointId, reach: f64) -> Option<f64> {
+        self.flush_points();
         self.stats.count_dist();
         let bound = match self.tau() {
             Some(t) => (t.dist + reach).next_up(),
@@ -193,6 +280,7 @@ impl<'c, M: Metric, S: TreeSubstrate<M>> ExpandSink<'c, M, S> {
     /// `d_pivot` (handed back verbatim to [`TreeSubstrate::expand`]).
     /// Subtrees provably beyond the frontier are dropped.
     pub fn child(&mut self, node: usize, lower: f64, d_pivot: f64) {
+        self.flush_points();
         if let Some(t) = self.tau() {
             if lower > t.dist {
                 return;
@@ -253,6 +341,7 @@ impl<'a, M: Metric, S: TreeSubstrate<M>, T: BorrowMut<TreeScratch>> TreeCursor<'
                 _metric: PhantomData,
             };
             tree.seed(&mut sink);
+            sink.flush_points();
         }
         cursor
     }
@@ -277,6 +366,7 @@ impl<'a, M: Metric, S: TreeSubstrate<M>, T: BorrowMut<TreeScratch>> NnCursor
                         _metric: PhantomData,
                     };
                     self.tree.expand(id, payload, &mut sink);
+                    sink.flush_points();
                 }
             }
         }

@@ -34,6 +34,11 @@ use rknn_core::{
 };
 use rknn_index::KnnIndex;
 
+/// Rows per witness-pass tile block: large enough to amortize the
+/// per-block dispatch and bound transform, small enough to bound the
+/// overshoot when `w_v` crosses `k` inside a fetched block.
+const WITNESS_TILE: usize = 32;
+
 /// The verification threshold `d_k(v)`: the distance from `v` to its k-th
 /// nearest other point, `+∞` when fewer than `k` exist.
 ///
@@ -338,6 +343,7 @@ where
         cursor: cursor_scratch,
         filter,
         tile,
+        wtile,
     } = scratch;
     filter.clear();
     tile.reset(index.dim().max(1));
@@ -405,35 +411,79 @@ where
         // least one side is still undecided (`witness_dist_comps`) — the
         // decisions (and hence results and Figure 7 proportions) are
         // identical to the literal listing, at a fraction of the metric
-        // evaluations. The filter members' coordinates stream out of the
-        // contiguous tile (row i ↔ filter[i]) rather than being re-fetched
-        // from the index per pair.
+        // evaluations.
+        //
+        // While v itself still needs witnesses (w_v < k) every pair shares
+        // the uniform comparison radius d(q, v) — the farther of the two
+        // open radii, since the cursor yields x.dist <= v.dist — so whole
+        // blocks of the padded candidate tile stream through the SIMD
+        // `Metric::dist_tile` kernel at that bound. Once w_v reaches k,
+        // fully decided members are skipped and the remaining pairs fall
+        // back to per-row `dist_lt` at the member-specific radius x.dist.
+        // Both paths only *admit* distances into the exact comparisons
+        // below (a distance at or beyond the open radii decides every
+        // comparison negatively whether it arrives as a pruned evaluation
+        // or an admitted value that fails the comparisons), and admitted
+        // values are bit-identical across the tile and one-to-one kernels,
+        // so decisions, counters and results match the row-by-row listing
+        // exactly. Rows of a fetched block that post-crossing skipping
+        // would not have evaluated are simply not consumed (bounded
+        // overshoot of one block per query; they are not counted).
         let mut w_v = 0usize;
         if witnesses_enabled {
             witness_pairs += filter.len() as u64;
-            for (x, x_point) in filter.iter_mut().zip(tile.rows()) {
-                let x_active = !x.accepted && x.witnesses < k;
-                if !x_active && w_v >= k {
-                    continue;
-                }
-                witness_dist_comps += 1;
-                // Early-abandonment bound: while v still needs witnesses
-                // the farther comparison radius is d(q,v) (the cursor
-                // yields x.dist <= v.dist), otherwise only x's census at
-                // radius x.dist is open. A distance at or beyond the bound
-                // decides every open comparison negatively, so `dist_lt`
-                // may abandon its accumulation there.
-                let bound = if w_v < k { v.dist } else { x.dist };
-                if let Some(d_vx) = metric.dist_lt(v_point, x_point, bound) {
-                    if x_active && d_vx < x.dist {
-                        x.witnesses += 1; // v is a witness of x.
-                    }
-                    if w_v < k && d_vx < v.dist {
-                        w_v += 1; // x is a witness of v.
+            let stride = tile.stride();
+            let mut vpad_ready = false;
+            let mut block = 0usize..0usize;
+            for i in 0..filter.len() {
+                let x_state = filter[i];
+                let x_active = !x_state.accepted && x_state.witnesses < k;
+                if x_active || w_v < k {
+                    witness_dist_comps += 1;
+                    let d_opt: Option<f64> = if block.contains(&i) {
+                        let d = wtile.out[i - block.start];
+                        (!d.is_nan()).then_some(d)
+                    } else if w_v < k {
+                        if !vpad_ready {
+                            wtile.set_query(v_point);
+                            vpad_ready = true;
+                        }
+                        let end = (i + WITNESS_TILE).min(filter.len());
+                        let m = end - i;
+                        if wtile.out.len() < m {
+                            wtile.out.resize(m, 0.0);
+                        }
+                        if wtile.bounds.len() < m {
+                            wtile.bounds.resize(m, 0.0);
+                        }
+                        wtile.bounds[..m].fill(v.dist);
+                        metric.dist_tile(
+                            &wtile.qpad,
+                            &tile.padded()[i * stride..end * stride],
+                            stride,
+                            tile.dim(),
+                            &wtile.bounds[..m],
+                            &mut wtile.out[..m],
+                        );
+                        block = i..end;
+                        let d = wtile.out[0];
+                        (!d.is_nan()).then_some(d)
+                    } else {
+                        metric.dist_lt(v_point, tile.row(i), x_state.dist)
+                    };
+                    if let Some(d_vx) = d_opt {
+                        let x = &mut filter[i];
+                        if x_active && d_vx < x.dist {
+                            x.witnesses += 1; // v is a witness of x.
+                        }
+                        if w_v < k && d_vx < v.dist {
+                            w_v += 1; // x is a witness of v.
+                        }
                     }
                 }
                 // Lazy accept (Assertion 2, line 16): the search has passed
                 // 2·d(q,x), so x's witness census is complete.
+                let x = &mut filter[i];
                 if !x.accepted && x.witnesses < k && v.dist >= 2.0 * x.dist {
                     x.accepted = true;
                     lazy_accepts += 1;

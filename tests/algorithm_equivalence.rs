@@ -20,11 +20,19 @@
 //! ties (the adversarial case for strict/closed threshold tests like
 //! `dist_lt`/`dist_le` and for the conservative MRkNNCoP bounds) occur
 //! constantly.
+//!
+//! All assertions run on whatever kernel backend dispatch selects; CI
+//! reruns this suite with `RKNN_KERNEL=scalar` (and `RKNN_KERNEL=avx2` on
+//! capable hosts) pinned, so every method's byte-identity contract is
+//! checked under every backend. A dedicated property additionally pins the
+//! whole RDT engine — filter cursor, tiled witness pass, refinement — on
+//! the sequential scan's SIMD tile fast path against its per-point
+//! fallback.
 
 use proptest::prelude::*;
 use rknn::baselines::{MrknncopAlgorithm, NaiveRknn, RdnnAlgorithm, Sft, TplAlgorithm};
 use rknn::core::{Dataset, Euclidean, Metric, Neighbor, SearchStats};
-use rknn::index::{KnnIndex, LinearScan};
+use rknn::index::{DynamicIndex, KnnIndex, LinearScan};
 use rknn::rdt::algorithm::{run_algorithm_batch, AlgorithmAnswer, RdtAlgorithm, RknnAlgorithm};
 use rknn::rdt::RdtParams;
 use std::sync::Arc;
@@ -225,6 +233,48 @@ proptest! {
         let out = run_algorithm_batch(&rdt, &idx, &queries, 3);
         for (got, want) in out.answers.iter().zip(&rdt_ref) {
             prop_assert_eq!(got.stats, want.stats, "RDT+ full per-query stats diverged");
+        }
+    }
+
+    /// The whole RDT engine on the scan's SIMD tile fast path vs the
+    /// per-point fallback (forced via a tombstone in the dynamic pool):
+    /// byte-identical answers and identical full per-query statistics —
+    /// retrieval counts, witness pairs and distance evaluations,
+    /// termination certificates — for RDT and RDT+ on every query.
+    #[test]
+    fn rdt_engine_is_identical_on_tile_and_fallback_scans(
+        levels in proptest::collection::vec(0u8..9, 24..80),
+        dim in 1usize..4,
+        k in 1usize..4,
+        plus_sel in 0usize..2,
+    ) {
+        let ds = grid_dataset(&levels, dim);
+        let tile = LinearScan::build(ds.clone(), Euclidean);
+        let mut fallback = LinearScan::build(ds.clone(), Euclidean);
+        let tomb = fallback.insert(&vec![0.25; dim]).expect("insert");
+        prop_assert!(fallback.remove(tomb));
+        prop_assert!(tile.base_rows().is_some());
+        prop_assert!(fallback.base_rows().is_none());
+
+        let params = RdtParams::new(k, 4.0);
+        let make = |plus: bool| {
+            if plus {
+                RdtAlgorithm::plus(params)
+            } else {
+                RdtAlgorithm::new(params)
+            }
+            .with_dk_reuse(false)
+        };
+        let mut algo = make(plus_sel == 1);
+        let mut algo2 = make(plus_sel == 1);
+        RknnAlgorithm::<_, LinearScan<Euclidean>>::prepare(&mut algo, &tile);
+        RknnAlgorithm::<_, LinearScan<Euclidean>>::prepare(&mut algo2, &fallback);
+        let queries: Vec<usize> = (0..ds.len()).collect();
+        let a = run_algorithm_batch(&algo, &tile, &queries, 1);
+        let b = run_algorithm_batch(&algo2, &fallback, &queries, 1);
+        for (q, (x, y)) in a.answers.iter().zip(&b.answers).enumerate() {
+            assert_identical(x.neighbors(), y.neighbors(), &format!("q={q}"));
+            prop_assert_eq!(x.stats, y.stats, "per-query stats diverged at q={}", q);
         }
     }
 }

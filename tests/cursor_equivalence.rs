@@ -20,11 +20,20 @@
 //!   query on one reused buffer;
 //! * the **bounded entry point** (`cursor_bounded`) yields exactly the
 //!   unbounded stream's prefix — frontier pruning may only discard entries
-//!   past the drain bound.
+//!   past the drain bound;
+//! * the sequential scan's **SIMD tile fast path** (contiguous padded
+//!   dataset streamed through `Metric::dist_tile`) is byte-identical —
+//!   streams, direct traversals, and work counters — to its per-point
+//!   fallback (forced via the dynamic pool).
+//!
+//! All assertions run on whatever kernel backend dispatch selects; CI
+//! reruns this suite with `RKNN_KERNEL=scalar` (and `RKNN_KERNEL=avx2` on
+//! capable hosts) pinned, so the same byte-identity contracts are checked
+//! under every backend.
 
 use proptest::prelude::*;
-use rknn_core::{CursorScratch, Dataset, Euclidean, Neighbor};
-use rknn_index::{BallTree, CoverTree, KnnIndex, LinearScan, MTree, RTree, VpTree};
+use rknn_core::{CursorScratch, Dataset, Euclidean, Neighbor, SearchStats};
+use rknn_index::{BallTree, CoverTree, DynamicIndex, KnnIndex, LinearScan, MTree, RTree, VpTree};
 use std::sync::Arc;
 
 /// Builds a dataset on the half-integer grid `{0, 0.5, …, 4}` from raw
@@ -174,6 +183,92 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn scan_tile_fast_path_matches_per_point_fallback(
+        levels in proptest::collection::vec(0u8..9, 24..120),
+        dim in 1usize..5,
+        q_sel in 0usize..64,
+        exclude_query in 0usize..2,
+        limit_sel in 0usize..16,
+        r_level in 0u8..12,
+    ) {
+        // Same live point set, two execution paths: a pristine scan
+        // streams the padded contiguous dataset through `dist_tile`; a
+        // scan that saw one insert-then-remove holds a tombstone, so its
+        // pool is no longer the bare dataset and every query takes the
+        // per-point fallback. Results, streams, and counters must be
+        // byte-identical.
+        let ds = grid_dataset(&levels, dim);
+        let q_id = q_sel % ds.len();
+        let q = ds.point(q_id).to_vec();
+        let exclude = (exclude_query == 1).then_some(q_id);
+        let tile = LinearScan::build(ds.clone(), Euclidean);
+        let mut fallback = LinearScan::build(ds.clone(), Euclidean);
+        let tomb = fallback.insert(&vec![0.25; dim]).expect("insert");
+        prop_assert!(fallback.remove(tomb));
+        prop_assert!(tile.base_rows().is_some(), "pristine scan must expose tile rows");
+        prop_assert!(fallback.base_rows().is_none(), "tombstoned scan must not");
+
+        // Unbounded streams.
+        let a = drain(&mut *tile.cursor(&q, exclude), usize::MAX);
+        let b = drain(&mut *fallback.cursor(&q, exclude), usize::MAX);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+        }
+
+        // Bounded streams with identical work counters.
+        let mut s1 = CursorScratch::new();
+        let mut s2 = CursorScratch::new();
+        let limit = limit_sel % (ds.len() + 2);
+        let mut c1 = tile.cursor_bounded(&q, exclude, limit, &mut s1);
+        let mut c2 = fallback.cursor_bounded(&q, exclude, limit, &mut s2);
+        loop {
+            let (x, y) = (c1.next(), c2.next());
+            prop_assert_eq!(x.map(|n| n.id), y.map(|n| n.id));
+            prop_assert_eq!(
+                x.map(|n| n.dist.to_bits()),
+                y.map(|n| n.dist.to_bits())
+            );
+            if x.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(c1.stats(), c2.stats(), "bounded-cursor stats diverged");
+        drop(c1);
+        drop(c2);
+
+        // Direct traversals: knn, range, range_count (closed and strict),
+        // including their distance-computation counters.
+        let k = (limit_sel % 7) + 1;
+        let mut st1 = SearchStats::new();
+        let mut st2 = SearchStats::new();
+        let nn1 = tile.knn(&q, k, exclude, &mut st1);
+        let nn2 = fallback.knn(&q, k, exclude, &mut st2);
+        prop_assert_eq!(st1, st2, "knn stats diverged");
+        prop_assert_eq!(nn1.len(), nn2.len());
+        for (x, y) in nn1.iter().zip(&nn2) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+        }
+        let r = f64::from(r_level) * 0.5;
+        let w1 = tile.range(&q, r, exclude, &mut st1);
+        let w2 = fallback.range(&q, r, exclude, &mut st2);
+        prop_assert_eq!(w1.len(), w2.len(), "range sets diverged at r={}", r);
+        for (x, y) in w1.iter().zip(&w2) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+        }
+        for strict in [false, true] {
+            prop_assert_eq!(
+                tile.range_count(&q, r, strict, exclude, &mut st1),
+                fallback.range_count(&q, r, strict, exclude, &mut st2),
+                "range_count diverged at r={} strict={}", r, strict
+            );
         }
     }
 }
