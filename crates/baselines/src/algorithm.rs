@@ -21,7 +21,7 @@ use crate::sft::{Sft, SftScratch};
 use crate::tpl::{Tpl, TplScratch};
 use rknn_core::{CursorScratch, Dataset, Metric, PointId, SearchStats};
 use rknn_index::KnnIndex;
-use rknn_rdt::algorithm::{BasicAnswer, RknnAlgorithm};
+use rknn_rdt::algorithm::{BasicAnswer, MaintenanceCost, RknnAlgorithm};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -150,6 +150,13 @@ where
         let result = tree.query_with(q, self.k, worker, &mut stats);
         BasicAnswer { result, stats }
     }
+
+    /// TPL's R-tree snapshots the dataset at `prepare`; there is no
+    /// incremental repair — re-`prepare` against a fresh snapshot under
+    /// churn (`apply_update` keeps the no-op default).
+    fn maintenance_cost(&self) -> MaintenanceCost {
+        MaintenanceCost::Rebuild
+    }
 }
 
 /// MRkNNCoP as a prepared algorithm: [`RknnAlgorithm::prepare`] runs the
@@ -247,6 +254,14 @@ where
         let result = cop.query_with(q, self.k, index, worker, &mut stats);
         BasicAnswer { result, stats }
     }
+
+    /// The fitted bound lines and aggregate M-tree snapshot the dataset at
+    /// `prepare`; conservative bounds do not survive inserts (a new point
+    /// has no fitted line) — re-`prepare` under churn (`apply_update`
+    /// keeps the no-op default).
+    fn maintenance_cost(&self) -> MaintenanceCost {
+        MaintenanceCost::Rebuild
+    }
 }
 
 /// The RdNN-Tree as a prepared algorithm: [`RknnAlgorithm::prepare`] runs
@@ -323,6 +338,14 @@ where
         let mut stats = SearchStats::new();
         let result = tree.query(q, &mut stats);
         BasicAnswer { result, stats }
+    }
+
+    /// The aux-augmented R-tree stores every point's `d_k` at `prepare`
+    /// time; an insert or delete can change the `d_k` of arbitrary other
+    /// points, so the structure must be rebuilt under churn (`apply_update`
+    /// keeps the no-op default).
+    fn maintenance_cost(&self) -> MaintenanceCost {
+        MaintenanceCost::Rebuild
     }
 }
 

@@ -32,6 +32,14 @@
 //! pruning dividend. Override the per-algorithm query sample with
 //! `RKNN_BENCH_ALGO_QUERIES` (default 48).
 //!
+//! A `dynamic` section runs a mixed insert/delete workload through the
+//! maintained all-points stream ([`rknn_rdt::MaintainedStream`]) on a
+//! dynamic cover tree in the exact regime (t = 50), verifies the
+//! maintained table byte-identical to a rebuild-from-scratch, and records
+//! per-update latency, updates/sec, the `d_k`-cache maintenance cost and
+//! the update-vs-rebuild ratio (`RKNN_BENCH_CHURN_N`,
+//! `RKNN_BENCH_CHURN_UPDATES` override the workload size).
+//!
 //! Result sets are asserted identical across every path and substrate
 //! before any number is written. Wall times take the best of
 //! `RKNN_BENCH_REPS` repetitions (default 3) to damp scheduler noise;
@@ -45,6 +53,7 @@
 use rknn_baselines::{MrknncopAlgorithm, NaiveRknn, RdnnAlgorithm, Sft, TplAlgorithm};
 use rknn_core::kernel::{self, Backend};
 use rknn_core::{Euclidean, FullPrecision, Metric, Neighbor, PointId, SearchStats};
+use rknn_eval::experiments::churn::{run_churn, ChurnConfig};
 use rknn_eval::experiments::substrates::{run_substrate_sweep, SubstrateSweepConfig};
 use rknn_index::{CoverTree, KnnIndex, LinearScan};
 use rknn_rdt::algorithm::{run_algorithm_batch, AlgorithmAnswer, RdtAlgorithm, RknnAlgorithm};
@@ -524,7 +533,58 @@ fn main() {
     );
     let algorithm_json: Vec<String> = algo_entries.iter().map(AlgoEntry::to_json).collect();
 
-    // 6. Raw kernel throughput: the scalar reference against the
+    // 6. Dynamic maintenance: a mixed insert/delete workload through the
+    //    maintained all-points stream on a dynamic cover tree, priced per
+    //    update against rebuilding the answer table from scratch. Runs in
+    //    the exact regime (t = 50) so the maintained table is verified
+    //    byte-identical to the rebuild before any number is recorded. The
+    //    workload is a single pass (reps = 1): per-update times are means
+    //    over `churn_updates` individually-timed updates, not best-of.
+    let churn_n = env_usize("RKNN_BENCH_CHURN_N", n.min(600));
+    let churn_updates = env_usize("RKNN_BENCH_CHURN_UPDATES", 30);
+    let churn = run_churn(&ChurnConfig {
+        n: churn_n,
+        dim,
+        clusters,
+        sigma,
+        k,
+        t: 50.0,
+        updates: churn_updates,
+        threads,
+        seed: 0xbe7c,
+        verify: true,
+    });
+    assert!(churn.verified, "maintained table diverged from rebuild");
+    let churn_mean_ms = (churn.mean_insert_ms * churn.inserts as f64
+        + churn.mean_delete_ms * churn.deletes as f64)
+        / (churn.inserts + churn.deletes).max(1) as f64;
+    let updates_per_sec = if churn_mean_ms > 0.0 {
+        1e3 / churn_mean_ms
+    } else {
+        f64::INFINITY
+    };
+    let dynamic_json = format!(
+        "  \"dynamic\": {{ \"n\": {cn}, \"dim\": {dim}, \"k\": {k}, \"t\": 50, \
+         \"substrate\": \"cover-tree\", \"inserts\": {ins}, \"deletes\": {del}, \
+         \"mean_insert_ms\": {ims:.3}, \"mean_delete_ms\": {dms:.3}, \
+         \"updates_per_sec\": {ups:.1}, \"mean_recomputed_queries\": {rec:.1}, \
+         \"mean_affected_points\": {aff:.1}, \"dk_maintenance_ms\": {maint:.3}, \
+         \"rebuild_ms\": {reb:.2}, \"update_vs_rebuild\": {ratio:.4}, \
+         \"verified_identical\": true, \"reps\": 1, \"threads\": {threads} }}",
+        cn = churn.n,
+        ins = churn.inserts,
+        del = churn.deletes,
+        ims = churn.mean_insert_ms,
+        dms = churn.mean_delete_ms,
+        ups = updates_per_sec,
+        rec = churn.mean_recomputed,
+        aff = churn.mean_affected,
+        maint = churn.maintenance_ms,
+        reb = churn.rebuild_ms,
+        ratio = churn.update_vs_rebuild,
+    );
+
+    // 7. Raw kernel throughput: the scalar reference against the
     //    dispatched SIMD backend at d ∈ {8, 32, 128}, plus the dispatched
     //    tile path. Recorded with the backend name and the host's
     //    parallelism so `batch_speedup ≈ 1` on a 1-CPU box (and
@@ -546,7 +606,7 @@ fn main() {
     let speedup_batch = scalar_ms / batch_ms;
     let speedup_fast_seq = scalar_ms / fast_seq_ms;
     let json = format!(
-        "{{\n  \"bench\": \"batch_all_points_rknn\",\n  \"substrate\": \"linear-scan\",\n  \"dataset\": \"gaussian_blobs\",\n  \"n\": {n},\n  \"dim\": {dim},\n  \"k\": {k},\n  \"t\": {t},\n  \"threads\": {threads},\n  \"available_parallelism\": {parallelism},\n  \"kernel_backend\": \"{backend_name}\",\n  \"kernel_backends_available\": [{available}],\n  \"reps\": {{ \"batch\": {reps}, \"substrates\": 1, \"algorithms\": {reps}, \"kernels\": {reps} }},\n  \"scalar_sequential_ms\": {scalar_ms:.2},\n  \"fast_sequential_ms\": {fast_seq_ms:.2},\n  \"batch_ms\": {batch_ms:.2},\n  \"speedup_fast_sequential\": {speedup_fast_seq:.2},\n  \"speedup_batch\": {speedup_batch:.2},\n  \"identical_results\": true,\n  \"total_dist_comps\": {dist},\n  \"witness_pairs\": {wp},\n  \"witness_dist_comps\": {wd},\n  \"retrieved\": {retr},\n  \"result_members\": {members},\n  \"kernels\": [\n{kerns}\n  ],\n  \"substrates\": [\n{subs}\n  ],\n  \"algorithms\": {{\n  \"forward_index\": \"cover-tree\",\n  \"queries\": {aqn},\n  \"entries\": [\n{algos}\n  ] }}\n}}\n",
+        "{{\n  \"bench\": \"batch_all_points_rknn\",\n  \"substrate\": \"linear-scan\",\n  \"dataset\": \"gaussian_blobs\",\n  \"n\": {n},\n  \"dim\": {dim},\n  \"k\": {k},\n  \"t\": {t},\n  \"threads\": {threads},\n  \"available_parallelism\": {parallelism},\n  \"kernel_backend\": \"{backend_name}\",\n  \"kernel_backends_available\": [{available}],\n  \"reps\": {{ \"batch\": {reps}, \"substrates\": 1, \"algorithms\": {reps}, \"kernels\": {reps} }},\n  \"scalar_sequential_ms\": {scalar_ms:.2},\n  \"fast_sequential_ms\": {fast_seq_ms:.2},\n  \"batch_ms\": {batch_ms:.2},\n  \"speedup_fast_sequential\": {speedup_fast_seq:.2},\n  \"speedup_batch\": {speedup_batch:.2},\n  \"identical_results\": true,\n  \"total_dist_comps\": {dist},\n  \"witness_pairs\": {wp},\n  \"witness_dist_comps\": {wd},\n  \"retrieved\": {retr},\n  \"result_members\": {members},\n{dynamics},\n  \"kernels\": [\n{kerns}\n  ],\n  \"substrates\": [\n{subs}\n  ],\n  \"algorithms\": {{\n  \"forward_index\": \"cover-tree\",\n  \"queries\": {aqn},\n  \"entries\": [\n{algos}\n  ] }}\n}}\n",
         backend_name = backend.name(),
         available = available.join(", "),
         dist = st.total_dist_comps(),
@@ -554,6 +614,7 @@ fn main() {
         wd = st.witness_dist_comps,
         retr = st.retrieved,
         members = st.result_members,
+        dynamics = dynamic_json,
         kerns = kernels_json.join(",\n"),
         subs = substrate_entries.join(",\n"),
         aqn = aq.len(),
@@ -583,6 +644,24 @@ fn main() {
     // SIMD backend dispatched, the d=32 per-distance throughput should beat
     // the scalar reference; parity is expected (and recorded) when dispatch
     // resolved to scalar because the host lacks SIMD.
+    // Dynamic-maintenance honesty check, advisory like the others: a
+    // localized update must be much cheaper than rebuilding the answer
+    // table from scratch — but only at a scale where the rebuild takes
+    // long enough to measure against. Result identity (`verified`) is
+    // gated unconditionally above.
+    if churn_n >= 500 && churn_updates >= 10 {
+        assert!(
+            churn.update_vs_rebuild < 1.0,
+            "maintained update not cheaper than rebuild: {:.3}x",
+            churn.update_vs_rebuild
+        );
+    } else if churn.update_vs_rebuild >= 1.0 {
+        eprintln!(
+            "warning: maintained update measured at {:.3}x of a rebuild at \
+             smoke scale — timing noise, not gated",
+            churn.update_vs_rebuild
+        );
+    }
     if backend != Backend::Scalar {
         let d32 = kernel_entries
             .iter()

@@ -3,12 +3,12 @@
 use crate::args::Args;
 use rknn_baselines::{MrknncopAlgorithm, NaiveRknn, RdnnAlgorithm, Sft, TplAlgorithm};
 use rknn_core::{Dataset, Euclidean, PointId};
-use rknn_index::{CoverTree, KnnIndex, LinearScan};
+use rknn_index::{CoverTree, DynamicIndex, KnnIndex, LinearScan};
 use rknn_lid::{GpEstimator, HillEstimator, IdEstimator, TakensEstimator, TwoNnEstimator};
 use rknn_rdt::algorithm::{
     run_algorithm_batch, AlgorithmAnswer, AlgorithmOutcome, RdtAlgorithm, RknnAlgorithm,
 };
-use rknn_rdt::{RdtParams, RdtPlus, RdtVariant};
+use rknn_rdt::{MaintainedStream, RdtParams, RdtPlus, RdtVariant};
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
@@ -241,6 +241,162 @@ pub fn query(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `churn`: a mixed insert/delete workload through the maintained
+/// all-points stream ([`MaintainedStream`]) on a dynamic substrate, priced
+/// per update against rebuilding the whole answer table from scratch.
+pub fn churn(args: &Args) -> Result<(), String> {
+    let ds = load_dataset(args)?;
+    let k: usize = args.get_parsed("k", 10)?;
+    if k == 0 {
+        return Err("k must be positive".into());
+    }
+    if ds.len() <= k + 2 {
+        return Err(format!("dataset too small for k = {k} (n = {})", ds.len()));
+    }
+    let t: f64 = args.get_parsed("t", 50.0)?;
+    let updates: usize = args.get_parsed("updates", 60)?;
+    let seed: u64 = args.get_parsed("seed", 1)?;
+    let threads: usize = args.get_parsed("threads", 2)?;
+    match args.get("substrate").unwrap_or("cover") {
+        "cover" => churn_on(
+            CoverTree::build(ds, Euclidean),
+            k,
+            t,
+            updates,
+            seed,
+            threads,
+        ),
+        "linear" => churn_on(
+            LinearScan::build(ds, Euclidean),
+            k,
+            t,
+            updates,
+            seed,
+            threads,
+        ),
+        other => Err(format!("unknown substrate '{other}' (cover|linear)")),
+    }
+}
+
+/// Runs the churn workload on one dynamic substrate: inserts draw uniform
+/// points from the dataset's bounding box, every third update deletes a
+/// random live point, and the maintained table is compared member-for-
+/// member against a rebuild at the end.
+fn churn_on<I>(
+    mut index: I,
+    k: usize,
+    t: f64,
+    updates: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<(), String>
+where
+    I: DynamicIndex<Euclidean> + Sync,
+{
+    let n0 = index.num_points();
+    let dim = index.point(0).len();
+    let mut lo = vec![f64::INFINITY; dim];
+    let mut hi = vec![f64::NEG_INFINITY; dim];
+    for id in 0..n0 {
+        for (j, &c) in index.point(id).iter().enumerate() {
+            lo[j] = lo[j].min(c);
+            hi[j] = hi[j].max(c);
+        }
+    }
+
+    println!("seeding all-points RkNN table over {n0} points (k = {k}, t = {t})...");
+    let start = Instant::now();
+    let mut stream =
+        MaintainedStream::new(RdtAlgorithm::new(RdtParams::new(k, t)), &index, threads);
+    println!("  seeded in {:.2} ms", start.elapsed().as_secs_f64() * 1e3);
+
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut live: Vec<PointId> = (0..n0).collect();
+    let (mut inserts, mut deletes) = (0usize, 0usize);
+    let (mut insert_ms, mut delete_ms) = (0.0f64, 0.0f64);
+    let mut recomputed = 0usize;
+    for step in 0..updates {
+        if step % 3 == 2 && live.len() > k + 2 {
+            let victim = live.swap_remove(next() as usize % live.len());
+            let rep = stream
+                .remove(&mut index, victim)
+                .ok_or_else(|| format!("point {victim} vanished from the stream"))?;
+            deletes += 1;
+            delete_ms += rep.elapsed.as_secs_f64() * 1e3;
+            recomputed += rep.recomputed;
+        } else {
+            let point: Vec<f64> = (0..dim)
+                .map(|j| {
+                    let u = (next() >> 11) as f64 / (1u64 << 53) as f64;
+                    lo[j] + u * (hi[j] - lo[j])
+                })
+                .collect();
+            let (id, rep) = stream
+                .insert(&mut index, &point)
+                .map_err(|e| e.to_string())?;
+            live.push(id);
+            inserts += 1;
+            insert_ms += rep.elapsed.as_secs_f64() * 1e3;
+            recomputed += rep.recomputed;
+        }
+    }
+    println!("processed {inserts} inserts + {deletes} deletes:");
+    println!(
+        "  mean insert {:.3} ms, mean delete {:.3} ms, mean answers recomputed per update {:.1}",
+        insert_ms / inserts.max(1) as f64,
+        delete_ms / deletes.max(1) as f64,
+        recomputed as f64 / updates.max(1) as f64
+    );
+    println!(
+        "  d_k-cache maintenance: {:.3} ms total",
+        RknnAlgorithm::<Euclidean, I>::maintenance_time(stream.algo()).as_secs_f64() * 1e3
+    );
+
+    // The alternative: rebuild the whole answer table from scratch.
+    let start = Instant::now();
+    let mut fresh = RdtAlgorithm::new(RdtParams::new(k, t));
+    fresh.prepare(&index);
+    let mut queries: Vec<PointId> = live.clone();
+    queries.sort_unstable();
+    let rebuilt = run_algorithm_batch(&fresh, &index, &queries, threads);
+    let rebuild_ms = start.elapsed().as_secs_f64() * 1e3;
+    let mean_update_ms = (insert_ms + delete_ms) / updates.max(1) as f64;
+    println!(
+        "  rebuild-from-scratch: {rebuild_ms:.2} ms ({:.3}x per maintained update)",
+        mean_update_ms / rebuild_ms.max(1e-9)
+    );
+
+    let mismatched = queries
+        .iter()
+        .zip(&rebuilt.answers)
+        .filter(|(&q, want)| {
+            stream
+                .answer(q)
+                .map(|got| got.ids() != want.ids())
+                .unwrap_or(true)
+        })
+        .count();
+    if mismatched == 0 {
+        println!(
+            "  maintained table identical to the rebuild ({} queries)",
+            queries.len()
+        );
+    } else {
+        println!(
+            "  maintained table differs from the rebuild on {mismatched}/{} queries \
+             (expected only at heuristic t; t >= 50 is exact)",
+            queries.len()
+        );
+    }
+    Ok(())
+}
+
 /// `hubness`: distribution of reverse-neighbor counts (§1's hubness
 /// application \[46\]).
 pub fn hubness(args: &Args) -> Result<(), String> {
@@ -369,6 +525,14 @@ mod tests {
         )))
         .unwrap();
         hubness(&args(&format!("hubness --input {path} --k 3 --t 6"))).unwrap();
+        churn(&args(&format!(
+            "churn --input {path} --k 3 --updates 9 --threads 2"
+        )))
+        .unwrap();
+        churn(&args(&format!(
+            "churn --input {path} --k 3 --updates 6 --substrate linear"
+        )))
+        .unwrap();
         let _ = std::fs::remove_file(&path);
     }
 
@@ -395,6 +559,11 @@ mod tests {
             "query --input {path} --q 0 --k 3 --substrate woo"
         )))
         .is_err());
+        assert!(churn(&args(&format!(
+            "churn --input {path} --k 3 --substrate woo"
+        )))
+        .is_err());
+        assert!(churn(&args(&format!("churn --input {path} --k 19"))).is_err());
         let _ = std::fs::remove_file(&path);
     }
 }

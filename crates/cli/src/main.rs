@@ -6,6 +6,7 @@
 //! rknn-cli query    --input pts.fvb --q 123 --k 10 [--t 5 | --adaptive]
 //!                   [--method rdt+|rdt|sft|naive|tpl|mrknncop|rdnn]
 //! rknn-cli hubness  --input pts.fvb --k 10 [--t 8]
+//! rknn-cli churn    --input pts.fvb --k 10 [--updates 60] [--t 50]
 //! rknn-cli info     --input pts.fvb
 //! ```
 //!
@@ -30,6 +31,10 @@ USAGE:
                     [--method rdt+|rdt|sft|naive|tpl|mrknncop|rdnn]
                     [--substrate cover|linear] [--alpha A] [--kmax K]
   rknn-cli hubness  --input <file> --k <rank> [--t <scale>]
+  rknn-cli churn    --input <file> --k <rank> [--updates U] [--t <scale>]
+                    [--substrate cover|linear] [--seed S] [--threads T]
+                    maintained all-points RkNN under insert/delete churn,
+                    priced per update against rebuild-from-scratch
   rknn-cli info     --input <file>            dataset summary
 
 Datasets: CSV (comma-separated coordinates, '#' comments) or .fvb binary.
@@ -48,6 +53,7 @@ fn main() -> ExitCode {
         Some("estimate") => commands::estimate(&args),
         Some("query") => commands::query(&args),
         Some("hubness") => commands::hubness(&args),
+        Some("churn") => commands::churn(&args),
         Some("info") => commands::info(&args),
         Some("help") | None => {
             println!("{USAGE}");

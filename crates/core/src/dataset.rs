@@ -208,6 +208,99 @@ impl Dataset {
     }
 }
 
+/// Growable, 32-byte-aligned, zero-padded row storage sharing the
+/// [`Dataset`] layout.
+///
+/// This is the storage dynamic indexes append into: rows of `dim` logical
+/// coordinates stored at the same `stride = dim.div_ceil(4) * 4` as a
+/// [`Dataset`] built over the same dimensionality, each row starting
+/// 32-byte aligned with zero padding past `dim`. A scan can therefore
+/// stream appended points through [`crate::Metric::dist_tile`] in the same
+/// tile blocks as the base dataset — the tile fast path survives dynamic
+/// insertion instead of falling back to per-point evaluation.
+///
+/// Unlike [`DatasetBuilder`] this type is a *live* store, readable between
+/// pushes; validation (finiteness, dimensionality) is the caller's
+/// responsibility, matching where the pool layer already performs it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PaddedRows {
+    dim: usize,
+    stride: usize,
+    n: usize,
+    data: Vec<Lane4>,
+}
+
+impl PaddedRows {
+    /// An empty store for rows of dimensionality `dim`.
+    pub fn new(dim: usize) -> Self {
+        PaddedRows {
+            dim,
+            stride: kernel::pad_dim(dim),
+            n: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// Number of rows stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether no rows have been pushed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Dimensionality of the logical rows.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Length of one stored row (`dim` rounded up to a multiple of four);
+    /// identical to [`Dataset::stride`] at the same dimensionality.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Appends one row, returning its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.dim()`.
+    pub fn push(&mut self, row: &[f64]) -> usize {
+        assert_eq!(row.len(), self.dim, "row dimensionality mismatch");
+        let lanes = self.stride / 4;
+        self.data
+            .extend(std::iter::repeat_n(Lane4([0.0; 4]), lanes));
+        let start = self.n * self.stride;
+        lanes_as_f64s_mut(&mut self.data)[start..start + self.dim].copy_from_slice(row);
+        self.n += 1;
+        self.n - 1
+    }
+
+    /// Logical coordinates of row `i` (never includes padding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        &lanes_as_f64s(&self.data)[i * self.stride..i * self.stride + self.dim]
+    }
+
+    /// The whole padded row-major buffer (`len() * stride()` coordinates,
+    /// 32-byte aligned) — the layout [`crate::Metric::dist_tile`] consumes,
+    /// exactly as [`Dataset::padded_flat`].
+    #[inline]
+    pub fn padded_flat(&self) -> &[f64] {
+        lanes_as_f64s(&self.data)
+    }
+}
+
 /// Incremental builder for [`Dataset`], validating each appended point.
 #[derive(Debug, Clone)]
 pub struct DatasetBuilder {
@@ -406,6 +499,40 @@ mod tests {
             let rebuilt = Dataset::from_rows(&rows).unwrap();
             assert_eq!(ds, rebuilt);
         }
+    }
+
+    #[test]
+    fn padded_rows_share_the_dataset_layout() {
+        for dim in [1usize, 2, 3, 4, 5, 7, 9] {
+            let rows: Vec<Vec<f64>> = (0..6)
+                .map(|i| (0..dim).map(|j| (i * dim + j) as f64 + 1.0).collect())
+                .collect();
+            let ds = Dataset::from_rows(&rows).unwrap();
+            let mut pr = PaddedRows::new(dim);
+            assert!(pr.is_empty());
+            for (i, row) in rows.iter().enumerate() {
+                assert_eq!(pr.push(row), i);
+            }
+            assert_eq!(pr.len(), 6);
+            assert_eq!(pr.dim(), dim);
+            assert_eq!(pr.stride(), ds.stride(), "dim={dim}");
+            // Bytewise the same padded buffer as the equivalent Dataset.
+            assert_eq!(pr.padded_flat(), ds.padded_flat(), "dim={dim}");
+            for (i, row) in rows.iter().enumerate() {
+                assert_eq!(pr.point(i), row.as_slice());
+                assert_eq!(
+                    pr.padded_flat()[i * pr.stride()..].as_ptr() as usize % 32,
+                    0,
+                    "row {i} must start 32-byte aligned"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn padded_rows_reject_ragged_push() {
+        PaddedRows::new(3).push(&[1.0, 2.0]);
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod scratch;
 pub mod stats;
 
 pub use brute::BruteForce;
-pub use dataset::{Dataset, DatasetBuilder};
+pub use dataset::{Dataset, DatasetBuilder, PaddedRows};
 pub use error::CoreError;
 pub use float::OrderedF64;
 pub use heap::KnnHeap;

@@ -3,6 +3,7 @@
 
 pub mod ablation;
 pub mod amortization;
+pub mod churn;
 pub mod hubness;
 pub mod lazy;
 pub mod scalability;

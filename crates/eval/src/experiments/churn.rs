@@ -1,0 +1,258 @@
+//! Beyond the paper: RkNN maintenance cost under churn.
+//!
+//! The paper motivates RkNN with the data-warehouse update scenario —
+//! "determining those objects that would potentially be affected by a
+//! particular data update operation" — but evaluates only static
+//! snapshots. This experiment measures the dynamic story end to end: a
+//! [`rknn_rdt::MaintainedStream`] keeps the all-points answer table live
+//! through a mixed insert/delete workload on a dynamic forward index,
+//! and every update's cost is compared against the alternative the
+//! precomputation-heavy baselines are stuck with — re-running the whole
+//! all-points batch from scratch.
+
+use rknn_core::{Euclidean, PointId};
+use rknn_data::gaussian_blobs;
+use rknn_index::CoverTree;
+use rknn_rdt::algorithm::{run_algorithm_batch, RdtAlgorithm, RknnAlgorithm};
+use rknn_rdt::{MaintainedStream, RdtParams};
+use std::time::Instant;
+
+/// Configuration for the churn experiment.
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// Initial dataset size.
+    pub n: usize,
+    /// Feature dimension.
+    pub dim: usize,
+    /// Generator clusters.
+    pub clusters: usize,
+    /// Generator spread.
+    pub sigma: f64,
+    /// Reverse rank.
+    pub k: usize,
+    /// RDT scale parameter. The default (50) is the exact regime, which is
+    /// what makes the maintained-vs-rebuild verification byte-exact.
+    pub t: f64,
+    /// Total updates (two inserts to every delete, interleaved).
+    pub updates: usize,
+    /// Batch-driver workers for seeding and recomputation.
+    pub threads: usize,
+    /// Seed.
+    pub seed: u64,
+    /// Verify the maintained table against a rebuild-from-scratch batch
+    /// after the workload (byte-identity, requires the exact regime).
+    pub verify: bool,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            n: 600,
+            dim: 8,
+            clusters: 6,
+            sigma: 0.4,
+            k: 5,
+            t: 50.0,
+            updates: 45,
+            threads: 2,
+            seed: 0xc4a2,
+            verify: true,
+        }
+    }
+}
+
+/// Aggregate outcome of the churn workload.
+#[derive(Debug, Clone)]
+pub struct ChurnReport {
+    /// Initial dataset size.
+    pub n: usize,
+    /// Reverse rank.
+    pub k: usize,
+    /// Inserts performed.
+    pub inserts: usize,
+    /// Deletes performed.
+    pub deletes: usize,
+    /// Mean wall-clock per insert (index mutation + cache repair +
+    /// localized recomputation), milliseconds.
+    pub mean_insert_ms: f64,
+    /// Mean wall-clock per delete, milliseconds.
+    pub mean_delete_ms: f64,
+    /// Mean answers recomputed per update — the localization footprint.
+    pub mean_recomputed: f64,
+    /// Mean points whose `d_k` the update could have changed.
+    pub mean_affected: f64,
+    /// Total `d_k`-cache maintenance time attributed through
+    /// [`RknnAlgorithm::maintenance_time`], milliseconds.
+    pub maintenance_ms: f64,
+    /// Rebuilding the whole answer table from scratch at the final size,
+    /// milliseconds — what every update would cost without localization.
+    pub rebuild_ms: f64,
+    /// Mean per-update cost over the rebuild cost (≪ 1 is the point).
+    pub update_vs_rebuild: f64,
+    /// Whether the maintained table matched the rebuild byte for byte
+    /// (`false` when verification was skipped).
+    pub verified: bool,
+}
+
+/// Deterministic xorshift64* so the experiment needs no RNG dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Runs the mixed insert/delete workload through a maintained stream on a
+/// dynamic cover tree and prices each update against a rebuild.
+pub fn run_churn(cfg: &ChurnConfig) -> ChurnReport {
+    let ds = gaussian_blobs(cfg.n, cfg.dim, cfg.clusters, cfg.sigma, cfg.seed).into_shared();
+    let mut index = CoverTree::build(ds, Euclidean);
+    let params = RdtParams::new(cfg.k, cfg.t);
+    let mut stream = MaintainedStream::new(RdtAlgorithm::new(params), &index, cfg.threads);
+
+    let mut rng = Rng(cfg.seed | 1);
+    let mut live: Vec<PointId> = (0..cfg.n).collect();
+    let (mut inserts, mut deletes) = (0usize, 0usize);
+    let (mut insert_ms, mut delete_ms) = (0.0f64, 0.0f64);
+    let (mut recomputed, mut affected) = (0usize, 0usize);
+
+    for step in 0..cfg.updates {
+        if step % 3 == 2 && live.len() > cfg.k + 1 {
+            let victim = live.swap_remove(rng.next() as usize % live.len());
+            let rep = stream
+                .remove(&mut index, victim)
+                .expect("victim is live and maintained");
+            deletes += 1;
+            delete_ms += rep.elapsed.as_secs_f64() * 1e3;
+            recomputed += rep.recomputed;
+            affected += rep.affected;
+        } else {
+            let point: Vec<f64> = (0..cfg.dim).map(|_| rng.unit() * 10.0).collect();
+            let (id, rep) = stream.insert(&mut index, &point).expect("valid point");
+            live.push(id);
+            inserts += 1;
+            insert_ms += rep.elapsed.as_secs_f64() * 1e3;
+            recomputed += rep.recomputed;
+            affected += rep.affected;
+        }
+    }
+
+    // The alternative every update is priced against: re-prepare and re-run
+    // the all-points batch over the surviving queries from scratch.
+    let rebuild_start = Instant::now();
+    let mut fresh = RdtAlgorithm::new(params);
+    fresh.prepare(&index);
+    let mut queries: Vec<PointId> = live.clone();
+    queries.sort_unstable();
+    let rebuilt = run_algorithm_batch(&fresh, &index, &queries, cfg.threads);
+    let rebuild_ms = rebuild_start.elapsed().as_secs_f64() * 1e3;
+
+    let mut verified = false;
+    if cfg.verify {
+        assert_eq!(stream.live(), queries.len());
+        for (&q, want) in queries.iter().zip(&rebuilt.answers) {
+            let got = stream.answer(q).expect("live point is maintained");
+            assert_eq!(got.ids(), want.ids(), "maintained diverged at q={q}");
+            let gd: Vec<u64> = got.result.iter().map(|x| x.dist.to_bits()).collect();
+            let wd: Vec<u64> = want.result.iter().map(|x| x.dist.to_bits()).collect();
+            assert_eq!(gd, wd, "maintained distance bits diverged at q={q}");
+        }
+        verified = true;
+    }
+
+    let updates = (inserts + deletes).max(1);
+    let mean_update_ms = (insert_ms + delete_ms) / updates as f64;
+    ChurnReport {
+        n: cfg.n,
+        k: cfg.k,
+        inserts,
+        deletes,
+        mean_insert_ms: insert_ms / inserts.max(1) as f64,
+        mean_delete_ms: delete_ms / deletes.max(1) as f64,
+        mean_recomputed: recomputed as f64 / updates as f64,
+        mean_affected: affected as f64 / updates as f64,
+        maintenance_ms: RknnAlgorithm::<Euclidean, CoverTree<Euclidean>>::maintenance_time(
+            stream.algo(),
+        )
+        .as_secs_f64()
+            * 1e3,
+        rebuild_ms,
+        update_vs_rebuild: if rebuild_ms > 0.0 {
+            mean_update_ms / rebuild_ms
+        } else {
+            f64::INFINITY
+        },
+        verified,
+    }
+}
+
+/// Renders the churn report as one table row.
+pub fn report_to_table(r: &ChurnReport) -> crate::report::Table {
+    use crate::report::ms;
+    let mut t = crate::report::Table::new(
+        "Churn: maintained all-points RkNN vs rebuild-from-scratch",
+        &[
+            "n",
+            "k",
+            "inserts",
+            "deletes",
+            "insert_ms",
+            "delete_ms",
+            "recomputed/update",
+            "rebuild_ms",
+            "update/rebuild",
+            "verified",
+        ],
+    );
+    t.push_row(vec![
+        r.n.to_string(),
+        r.k.to_string(),
+        r.inserts.to_string(),
+        r.deletes.to_string(),
+        ms(r.mean_insert_ms),
+        ms(r.mean_delete_ms),
+        format!("{:.1}", r.mean_recomputed),
+        ms(r.rebuild_ms),
+        format!("{:.3}", r.update_vs_rebuild),
+        r.verified.to_string(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_workload_stays_byte_identical_to_rebuild() {
+        let cfg = ChurnConfig {
+            n: 220,
+            dim: 4,
+            k: 3,
+            updates: 18,
+            threads: 2,
+            ..ChurnConfig::default()
+        };
+        let report = run_churn(&cfg);
+        assert!(report.verified);
+        assert_eq!(report.inserts + report.deletes, cfg.updates);
+        assert!(report.deletes > 0, "workload mixes deletes in");
+        assert!(
+            report.mean_recomputed >= 1.0,
+            "every update recomputes at least its own footprint"
+        );
+        assert!(
+            report.mean_recomputed < cfg.n as f64,
+            "localization beats recomputing everything"
+        );
+        assert!(report_to_table(&report).render().contains("verified"));
+    }
+}

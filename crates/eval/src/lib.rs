@@ -16,7 +16,10 @@
 //!   RdNN-Tree precomputation budget (Figure 9);
 //! * [`experiments::substrates`] — beyond the paper: the batch all-points
 //!   workload on all six forward substrates through the shared traversal
-//!   core, with per-substrate work accounting.
+//!   core, with per-substrate work accounting;
+//! * [`experiments::churn`] — beyond the paper: a maintained all-points
+//!   answer table under mixed insert/delete churn, priced per update
+//!   against rebuild-from-scratch and verified byte-identical to it.
 //!
 //! Supporting modules: [`truth`] (exact ground truth via per-point kNN
 //! distance tables, parallelized with crossbeam), [`metrics`]

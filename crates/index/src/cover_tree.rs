@@ -11,7 +11,7 @@
 //! Deletions are handled by tombstoning: removed points keep routing the
 //! search but are filtered from results.
 
-use crate::pool::PointPool;
+use crate::pool::{PointPool, RebuildPolicy};
 use crate::traits::{DynamicIndex, KnnIndex, NnCursor};
 use crate::traversal::{self, ExpandSink, TreeSubstrate};
 use rknn_core::{CoreError, CursorScratch, Dataset, Metric, PointId};
@@ -54,6 +54,10 @@ pub struct CoverTree<M: Metric> {
     nodes: Vec<CtNode>,
     root: Option<usize>,
     base: f64,
+    policy: RebuildPolicy,
+    /// Tombstoned points still routing searches — reset by
+    /// [`DynamicIndex::compact`], which rebuilds without them.
+    stale: usize,
 }
 
 /// SplitMix64 step, used for the deterministic build shuffle without pulling
@@ -82,6 +86,8 @@ impl<M: Metric> CoverTree<M> {
             nodes: Vec::with_capacity(n),
             root: None,
             base: cfg.base,
+            policy: RebuildPolicy::default(),
+            stale: 0,
         };
         // Deterministic Fisher–Yates shuffle of the insertion order: batch
         // construction by repeated insertion balances far better on shuffled
@@ -289,7 +295,26 @@ impl<M: Metric> DynamicIndex<M> for CoverTree<M> {
     }
 
     fn remove(&mut self, id: PointId) -> bool {
-        self.pool.remove(id)
+        let removed = self.pool.remove(id);
+        self.stale += usize::from(removed);
+        removed
+    }
+
+    fn compact(&mut self) {
+        self.nodes.clear();
+        self.root = None;
+        // Re-attach live points in id order: deterministic, and churn has
+        // already decorrelated the order the batch build's shuffle exists
+        // to create.
+        let live: Vec<PointId> = self.pool.iter_live().map(|(id, _)| id).collect();
+        for id in live {
+            self.attach(id);
+        }
+        self.stale = 0;
+    }
+
+    fn needs_compaction(&self) -> bool {
+        self.policy.recommends_counts(self.stale, self.pool.total())
     }
 }
 
@@ -394,6 +419,42 @@ mod tests {
         let got: Vec<_> = std::iter::from_fn(|| cur.next()).collect();
         assert_eq!(got.len(), 20);
         assert!(got.iter().all(|n| n.dist == 0.0));
+    }
+
+    #[test]
+    fn compact_preserves_results_and_resets_policy() {
+        let ds = random_dataset(300, 3, 9);
+        let mut tree = CoverTree::build(ds.clone(), Euclidean);
+        for _ in 0..20 {
+            tree.insert(&[50.0, 50.0, 50.0]).unwrap();
+        }
+        for id in (0..320).step_by(3) {
+            assert!(tree.remove(id));
+        }
+        assert!(tree.needs_compaction());
+        let q = ds.point(2).to_vec();
+        let want: Vec<_> = {
+            let mut cur = tree.cursor(&q, None);
+            std::iter::from_fn(|| cur.next())
+                .map(|n| (n.id, n.dist.to_bits()))
+                .collect()
+        };
+        tree.compact();
+        assert!(tree.check_invariants());
+        assert!(!tree.needs_compaction());
+        assert_eq!(tree.node_count(), tree.num_points());
+        let got: Vec<_> = {
+            let mut cur = tree.cursor(&q, None);
+            std::iter::from_fn(|| cur.next())
+                .map(|n| (n.id, n.dist.to_bits()))
+                .collect()
+        };
+        assert_eq!(want, got, "compaction must not change the stream");
+        assert_eq!(
+            tree.point(0),
+            ds.point(0),
+            "historical ids stay addressable"
+        );
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub use ball_tree::BallTree;
 pub use cover_tree::CoverTree;
 pub use linear::LinearScan;
 pub use mtree::MTree;
-pub use pool::PointPool;
+pub use pool::{PointPool, PoolSegment, RebuildPolicy};
 // The best-first queue moved to `rknn_core` so scratch buffers can own it;
 // re-exported here for the historical path.
 pub use rknn_core::bestfirst;

@@ -10,13 +10,16 @@
 //! `knn`/`range`/`range_count` traversals prune each candidate against the
 //! current threshold, abandoning hopeless distance accumulations early.
 //!
-//! While the pool is still the bare dataset (no inserts or tombstones),
-//! every scan streams the dataset's padded contiguous rows through the
-//! SIMD tile kernel [`Metric::dist_tile`] in blocks of `TILE` rows,
-//! pruned at a per-block snapshot of the current selection threshold and
-//! committed row by row against the live threshold — byte-identical
-//! results and counters to the per-point loop (the fallback once the pool
-//! diverges from the dataset), at hardware vector speed.
+//! Every scan streams the pool's padded contiguous segments (the base
+//! dataset, then the appended points — both in the same 32-byte-aligned
+//! zero-padded layout, see [`crate::PointPool::segments`]) through the
+//! SIMD tile kernel [`Metric::dist_tile`] in blocks of `TILE` rows, pruned
+//! at a per-block snapshot of the current selection threshold and
+//! committed row by row against the live threshold. Tombstoned rows are
+//! evaluated with their block but skipped — uncounted — at commit, so
+//! results and counters stay byte-identical to the per-point liveness
+//! loop (still present as the test-pinned reference path), at hardware
+//! vector speed even under insert/delete churn.
 
 use crate::pool::PointPool;
 use crate::traits::{DynamicIndex, KnnIndex, NnCursor};
@@ -32,6 +35,7 @@ use std::sync::Arc;
 pub struct LinearScan<M: Metric> {
     pool: PointPool,
     metric: M,
+    use_tiles: bool,
 }
 
 impl<M: Metric> LinearScan<M> {
@@ -40,12 +44,21 @@ impl<M: Metric> LinearScan<M> {
         LinearScan {
             pool: PointPool::new(ds),
             metric,
+            use_tiles: true,
         }
     }
 
     /// Read access to the underlying pool.
     pub fn pool(&self) -> &PointPool {
         &self.pool
+    }
+
+    /// Forces every scan onto the per-point fallback (or back onto the
+    /// tile path). Results, streams, and counters are byte-identical
+    /// either way; equivalence tests flip this to prove it. Test support.
+    #[doc(hidden)]
+    pub fn set_tile_enabled(&mut self, enabled: bool) {
+        self.use_tiles = enabled;
     }
 }
 
@@ -83,12 +96,15 @@ fn pad_query(q: &[f64], stride: usize, buf: &mut Vec<f64>) {
 }
 
 /// The shared tile driver behind every sequential-scan fast path: streams
-/// the padded contiguous dataset against `qpad` in `TILE`-row blocks
-/// through [`Metric::dist_tile`]. Each block's (uniform) pruning bound is a
+/// the pool's padded contiguous segments (base dataset, then appended
+/// points) against `qpad` in `TILE`-row blocks through
+/// [`Metric::dist_tile`]. Each block's (uniform) pruning bound is a
 /// *snapshot* taken by `block_bound` just before evaluation; `commit` then
-/// consumes every row's output (`NaN` = pruned at the snapshot) in id
-/// order. Both callbacks receive the caller's `state`, so commits can
-/// tighten the very threshold the next block snapshots.
+/// consumes every **live** row's output (`NaN` = pruned at the snapshot)
+/// in id order — tombstoned rows ride along in their block but are skipped
+/// uncounted, exactly as the per-point loop never visits them. Both
+/// callbacks receive the caller's `state`, so commits can tighten the very
+/// threshold the next block snapshots.
 ///
 /// Why the snapshot changes no decision: the bound only tightens as rows
 /// commit, so a row the snapshot prunes (`d` at or beyond the snapshot,
@@ -96,46 +112,51 @@ fn pad_query(q: &[f64], stride: usize, buf: &mut Vec<f64>) {
 /// per-point evaluation, and an admitted row carries the bit-identical
 /// distance into the caller's own exact commit comparison against the
 /// *live* threshold. Decisions, entries, and counters therefore match the
-/// per-point loop exactly; the snapshot only trades a little extra
-/// coordinate work for blockwise SIMD evaluation.
+/// per-point liveness loop exactly; the snapshot only trades a little
+/// extra coordinate work for blockwise SIMD evaluation.
 fn scan_tiles<M: Metric, St>(
     metric: &M,
-    ds: &Dataset,
+    pool: &PointPool,
     qpad: &[f64],
     state: &mut St,
     mut block_bound: impl FnMut(&mut St) -> f64,
     mut commit: impl FnMut(&mut St, PointId, f64),
 ) {
-    let (stride, dim, n) = (ds.stride(), ds.dim(), ds.len());
-    let rows = ds.padded_flat();
+    let (stride, dim) = (pool.stride(), pool.dim());
     let mut bounds = [0.0f64; TILE];
     let mut out = [0.0f64; TILE];
-    let mut start = 0usize;
-    while start < n {
-        let m = TILE.min(n - start);
-        bounds[..m].fill(block_bound(state));
-        metric.dist_tile(
-            qpad,
-            &rows[start * stride..(start + m) * stride],
-            stride,
-            dim,
-            &bounds[..m],
-            &mut out[..m],
-        );
-        for (i, &d) in out[..m].iter().enumerate() {
-            commit(state, start + i, d);
+    for seg in pool.segments() {
+        let mut start = 0usize;
+        while start < seg.len {
+            let m = TILE.min(seg.len - start);
+            bounds[..m].fill(block_bound(state));
+            metric.dist_tile(
+                qpad,
+                &seg.padded[start * stride..(start + m) * stride],
+                stride,
+                dim,
+                &bounds[..m],
+                &mut out[..m],
+            );
+            for (i, &d) in out[..m].iter().enumerate() {
+                let id = seg.first_id + start + i;
+                if !pool.is_alive(id) {
+                    continue;
+                }
+                commit(state, id, d);
+            }
+            start += m;
         }
-        start += m;
     }
 }
 
 impl<M: Metric> LinearScan<M> {
-    /// The contiguous identity-mapped dataset behind this scan, when the
-    /// pool still is one (no inserts or removals) and `q` matches its
-    /// dimensionality — the precondition for the tile fast paths below.
+    /// Whether the tile fast paths apply: tiles enabled and `q` matching
+    /// the pool's (nonzero) dimensionality. Churn does not disqualify the
+    /// pool — both its segments share the padded aligned layout.
     #[inline]
-    fn tile_source(&self, q: &[f64]) -> Option<&Dataset> {
-        self.pool.contiguous_base().filter(|ds| ds.dim() == q.len())
+    fn tile_eligible(&self, q: &[f64]) -> bool {
+        self.use_tiles && self.pool.dim() > 0 && self.pool.dim() == q.len()
     }
 
     /// Fills `entries` with the sorted distance table for query `q`; the
@@ -151,15 +172,15 @@ impl<M: Metric> LinearScan<M> {
         let mut stats = SearchStats::new();
         entries.clear();
         entries.reserve(self.pool.live());
-        if let Some(ds) = self.tile_source(q) {
+        if self.tile_eligible(q) {
             // Tile fast path, unbounded (+∞ admits everything, including
             // distances that overflow to +∞). The excluded row is evaluated
             // with its block but skipped — uncounted — at commit, exactly
             // like the per-point loop.
-            pad_query(q, ds.stride(), qpad);
+            pad_query(q, self.pool.stride(), qpad);
             scan_tiles(
                 &self.metric,
-                ds,
+                &self.pool,
                 qpad,
                 &mut (&mut stats, &mut *entries),
                 |_| f64::INFINITY,
@@ -215,14 +236,14 @@ impl<M: Metric> LinearScan<M> {
                 f64::INFINITY
             }
         };
-        if let Some(ds) = self.tile_source(q) {
+        if self.tile_eligible(q) {
             // Tile fast path: blocks pruned at a snapshot of the selection
             // threshold, rows committed against the live one (see
             // `scan_tiles` for the equivalence argument).
-            pad_query(q, ds.stride(), &mut scratch.tiles.qpad);
+            pad_query(q, self.pool.stride(), &mut scratch.tiles.qpad);
             scan_tiles(
                 &self.metric,
-                ds,
+                &self.pool,
                 &scratch.tiles.qpad,
                 &mut (&mut heap, &mut stats),
                 |st| threshold(st.0),
@@ -359,14 +380,14 @@ impl<M: Metric> KnnIndex<M> for LinearScan<M> {
         // +∞ and the full distance is computed — `dist_under` keeps
         // distances that overflow to +∞ admissible there, since `offer`
         // retains everything until full.
-        if let Some(ds) = self.tile_source(q) {
+        if self.tile_eligible(q) {
             // Tile fast path: block-snapshot pruning, exact strict commit
             // against the live threshold (see `scan_tiles`).
             let mut qpad = Vec::new();
-            pad_query(q, ds.stride(), &mut qpad);
+            pad_query(q, self.pool.stride(), &mut qpad);
             scan_tiles(
                 &self.metric,
-                ds,
+                &self.pool,
                 &qpad,
                 &mut (&mut heap, &mut *stats),
                 |st| st.0.threshold(),
@@ -408,16 +429,16 @@ impl<M: Metric> KnnIndex<M> for LinearScan<M> {
         // The closed ball `d <= r` equals the open ball below next_up(r).
         let bound = r.next_up();
         let mut out = Vec::new();
-        if let Some(ds) = self.tile_source(q) {
+        if self.tile_eligible(q) {
             // Tile fast path. The tile has `dist_under` semantics: at an
             // infinite bound it admits distances overflowing to +∞, which
             // the strict `dist_lt` contract of `range` must still reject —
             // hence the finiteness re-check at commit.
             let mut qpad = Vec::new();
-            pad_query(q, ds.stride(), &mut qpad);
+            pad_query(q, self.pool.stride(), &mut qpad);
             scan_tiles(
                 &self.metric,
-                ds,
+                &self.pool,
                 &qpad,
                 &mut (&mut out, &mut *stats),
                 |_| bound,
@@ -457,13 +478,13 @@ impl<M: Metric> KnnIndex<M> for LinearScan<M> {
     ) -> usize {
         let bound = if strict { r } else { r.next_up() };
         let mut count = 0;
-        if let Some(ds) = self.tile_source(q) {
+        if self.tile_eligible(q) {
             // Same strict-vs-`dist_under` commit re-check as `range`.
             let mut qpad = Vec::new();
-            pad_query(q, ds.stride(), &mut qpad);
+            pad_query(q, self.pool.stride(), &mut qpad);
             scan_tiles(
                 &self.metric,
-                ds,
+                &self.pool,
                 &qpad,
                 &mut (&mut count, &mut *stats),
                 |_| bound,
@@ -625,5 +646,114 @@ mod tests {
         let mut st = SearchStats::new();
         assert_eq!(idx.knn(&[0.0, 0.0], 100, None, &mut st).len(), 4);
         assert!(idx.knn(&[0.0, 0.0], 0, None, &mut st).is_empty());
+    }
+
+    /// A churned scan: a tie-heavy base dataset large enough for several
+    /// tile blocks, plus enough inserts to spill into the appended segment,
+    /// with removals in both segments.
+    fn churned_index() -> LinearScan<Euclidean> {
+        let rows: Vec<Vec<f64>> = (0..150)
+            .map(|i| vec![((i * 7) % 9) as f64 * 0.5, ((i * 3) % 5) as f64 * 0.5, 0.0])
+            .collect();
+        let ds = Dataset::from_rows(&rows).unwrap().into_shared();
+        let mut idx = LinearScan::build(ds, Euclidean);
+        for j in 0..80 {
+            idx.insert(&[((j * 5) % 9) as f64 * 0.5, ((j * 11) % 5) as f64 * 0.5, 1.0])
+                .unwrap();
+        }
+        for id in [0, 1, 63, 64, 65, 149, 150, 151, 200, 229] {
+            assert!(idx.remove(id));
+        }
+        idx
+    }
+
+    fn drain(cur: &mut dyn NnCursor) -> (Vec<(PointId, u64)>, SearchStats) {
+        let got: Vec<_> = std::iter::from_fn(|| cur.next())
+            .map(|n| (n.id, n.dist.to_bits()))
+            .collect();
+        (got, cur.stats())
+    }
+
+    /// The tile path and the per-point fallback must be byte-identical —
+    /// ids, distance bits, and stats — on a pool with inserts and
+    /// tombstones in both segments, across every scan entry point.
+    #[test]
+    fn tile_path_matches_per_point_under_churn() {
+        let tiled = churned_index();
+        let mut plain = tiled.clone();
+        plain.set_tile_enabled(false);
+        assert!(tiled.pool().contiguous_base().is_none());
+        let queries = [
+            vec![1.3, 0.4, 0.5],
+            vec![-2.0, 7.0, 1.0],
+            vec![2.0, 1.0, 0.0],
+        ];
+        let mut scr_t = CursorScratch::new();
+        let mut scr_p = CursorScratch::new();
+        for q in &queries {
+            for exclude in [None, Some(70), Some(64)] {
+                let (a, sa) = drain(&mut *tiled.cursor(q, exclude));
+                let (b, sb) = drain(&mut *plain.cursor(q, exclude));
+                assert_eq!(a, b);
+                assert_eq!(sa, sb);
+                let (a, sa) = drain(&mut *tiled.cursor_with(q, exclude, &mut scr_t));
+                let (b, sb) = drain(&mut *plain.cursor_with(q, exclude, &mut scr_p));
+                assert_eq!(a, b);
+                assert_eq!(sa, sb);
+                for limit in [0usize, 3, 64, 219, 220, 1000] {
+                    let (a, sa) = drain(&mut *tiled.cursor_bounded(q, exclude, limit, &mut scr_t));
+                    let (b, sb) = drain(&mut *plain.cursor_bounded(q, exclude, limit, &mut scr_p));
+                    assert_eq!(a, b, "limit={limit}");
+                    assert_eq!(sa, sb, "limit={limit}");
+                }
+                let (mut sa, mut sb) = (SearchStats::new(), SearchStats::new());
+                let a = tiled.knn(q, 17, exclude, &mut sa);
+                let b = plain.knn(q, 17, exclude, &mut sb);
+                assert_eq!(
+                    a.iter()
+                        .map(|n| (n.id, n.dist.to_bits()))
+                        .collect::<Vec<_>>(),
+                    b.iter()
+                        .map(|n| (n.id, n.dist.to_bits()))
+                        .collect::<Vec<_>>()
+                );
+                assert_eq!(sa, sb);
+                for r in [0.0, 1.25, 4.0, f64::INFINITY] {
+                    let (mut sa, mut sb) = (SearchStats::new(), SearchStats::new());
+                    let a = tiled.range(q, r, exclude, &mut sa);
+                    let b = plain.range(q, r, exclude, &mut sb);
+                    assert_eq!(
+                        a.iter()
+                            .map(|n| (n.id, n.dist.to_bits()))
+                            .collect::<Vec<_>>(),
+                        b.iter()
+                            .map(|n| (n.id, n.dist.to_bits()))
+                            .collect::<Vec<_>>(),
+                        "r={r}"
+                    );
+                    assert_eq!(sa, sb, "r={r}");
+                    for strict in [false, true] {
+                        let (mut sa, mut sb) = (SearchStats::new(), SearchStats::new());
+                        let a = tiled.range_count(q, r, strict, exclude, &mut sa);
+                        let b = plain.range_count(q, r, strict, exclude, &mut sb);
+                        assert_eq!(a, b, "r={r} strict={strict}");
+                        assert_eq!(sa, sb, "r={r} strict={strict}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stats count only live points, never tombstones — on both paths.
+    #[test]
+    fn tombstones_are_uncounted() {
+        let idx = churned_index();
+        let live = idx.pool().live() as u64;
+        let (_, st) = drain(&mut *idx.cursor(&[0.0, 0.0, 0.0], None));
+        assert_eq!(st.dist_computations, live);
+        let mut plain = idx.clone();
+        plain.set_tile_enabled(false);
+        let (_, st) = drain(&mut *plain.cursor(&[0.0, 0.0, 0.0], None));
+        assert_eq!(st.dist_computations, live);
     }
 }

@@ -17,7 +17,7 @@
 //! [`Metric::box_max_dist`]; building an R-tree with a metric that does not
 //! support them panics with a descriptive message.
 
-use crate::pool::PointPool;
+use crate::pool::{PointPool, RebuildPolicy};
 use crate::traits::{DynamicIndex, KnnIndex, NnCursor};
 use crate::traversal::{self, ExpandSink, TreeSubstrate};
 use rknn_core::{
@@ -199,6 +199,10 @@ pub struct RTree<M: Metric> {
     root: usize,
     capacity: usize,
     aux: Option<Vec<f64>>,
+    policy: RebuildPolicy,
+    /// Tombstoned points still linked into leaves — reset by
+    /// [`DynamicIndex::compact`], which re-packs without them.
+    stale: usize,
 }
 
 const DEFAULT_CAPACITY: usize = 32;
@@ -220,7 +224,6 @@ impl<M: Metric> RTree<M> {
     pub fn build_with(ds: Arc<Dataset>, metric: M, capacity: usize, aux: Option<Vec<f64>>) -> Self {
         assert!(capacity >= 4, "R-tree node capacity must be at least 4");
         let n = ds.len();
-        let dim = ds.dim().max(1);
         let mut tree = RTree {
             pool: PointPool::new(ds),
             metric,
@@ -228,44 +231,54 @@ impl<M: Metric> RTree<M> {
             root: 0,
             capacity,
             aux,
+            policy: RebuildPolicy::default(),
+            stale: 0,
         };
-        let mut ids: Vec<PointId> = (0..n).collect();
+        tree.rebuild_structure((0..n).collect());
+        tree
+    }
+
+    /// Replaces the whole node structure with a fresh STR packing of `ids`
+    /// (the pool and aux values are untouched). Shared by the bulk build
+    /// and [`DynamicIndex::compact`].
+    fn rebuild_structure(&mut self, mut ids: Vec<PointId>) {
+        let dim = self.pool.dim().max(1);
+        self.nodes.clear();
         if ids.is_empty() {
-            tree.nodes.push(RNode {
+            self.nodes.push(RNode {
                 mbr: Mbr::empty(dim),
                 kind: RNodeKind::Leaf(Vec::new()),
                 aux_max: f64::NEG_INFINITY,
             });
-            tree.root = 0;
-            return tree;
+            self.root = 0;
+            return;
         }
         // Recursive sort-tile packing: cycle the split dimension, halving the
         // id range until groups fit in a leaf. Produces locality-preserving
         // leaf order for the upper-level packing below.
         let mut leaves: Vec<usize> = Vec::new();
-        tree.pack(&mut ids, 0, &mut leaves);
+        self.pack(&mut ids, 0, &mut leaves);
         // Pack upper levels over consecutive runs of children.
         let mut level = leaves;
         while level.len() > 1 {
-            let mut next = Vec::with_capacity(level.len().div_ceil(tree.capacity));
-            for chunk in level.chunks(tree.capacity) {
+            let mut next = Vec::with_capacity(level.len().div_ceil(self.capacity));
+            for chunk in level.chunks(self.capacity) {
                 let mut mbr = Mbr::empty(dim);
                 let mut aux_max = f64::NEG_INFINITY;
                 for &c in chunk {
-                    mbr.extend_mbr(&tree.nodes[c].mbr);
-                    aux_max = aux_max.max(tree.nodes[c].aux_max);
+                    mbr.extend_mbr(&self.nodes[c].mbr);
+                    aux_max = aux_max.max(self.nodes[c].aux_max);
                 }
-                tree.nodes.push(RNode {
+                self.nodes.push(RNode {
                     mbr,
                     kind: RNodeKind::Inner(chunk.to_vec()),
                     aux_max,
                 });
-                next.push(tree.nodes.len() - 1);
+                next.push(self.nodes.len() - 1);
             }
             level = next;
         }
-        tree.root = level[0];
-        tree
+        self.root = level[0];
     }
 
     fn pack(&mut self, ids: &mut [PointId], depth: usize, leaves: &mut Vec<usize>) {
@@ -566,8 +579,9 @@ impl<M: Metric> RTree<M> {
     }
 
     /// Checks structural invariants: child boxes inside parents, leaf points
-    /// inside leaf boxes, live points reachable exactly once, subtree aux
-    /// maxima correct. Test support.
+    /// inside leaf boxes, every point linked at most once with every *live*
+    /// point linked (tombstones may have been unlinked by compaction),
+    /// subtree aux maxima correct. Test support.
     #[doc(hidden)]
     pub fn check_invariants(&self) -> bool {
         let mut seen = std::collections::HashSet::new();
@@ -608,7 +622,9 @@ impl<M: Metric> RTree<M> {
                 }
             }
         }
-        seen.len() == self.pool.total()
+        (0..self.pool.total())
+            .filter(|&id| self.pool.is_alive(id))
+            .all(|id| seen.contains(&id))
     }
 }
 
@@ -781,7 +797,19 @@ impl<M: Metric> DynamicIndex<M> for RTree<M> {
     }
 
     fn remove(&mut self, id: PointId) -> bool {
-        self.pool.remove(id)
+        let removed = self.pool.remove(id);
+        self.stale += usize::from(removed);
+        removed
+    }
+
+    fn compact(&mut self) {
+        let live: Vec<PointId> = self.pool.iter_live().map(|(id, _)| id).collect();
+        self.rebuild_structure(live);
+        self.stale = 0;
+    }
+
+    fn needs_compaction(&self) -> bool {
+        self.policy.recommends_counts(self.stale, self.pool.total())
     }
 }
 
@@ -942,6 +970,41 @@ mod tests {
         assert_eq!(all.len(), 99);
         assert!(all.iter().all(|n| n.id != 7));
         assert_eq!(tree.range_count(ds.point(7), 0.0, false, None, &mut st), 0);
+    }
+
+    #[test]
+    fn compact_preserves_results_and_resets_policy() {
+        let ds = random_dataset(200, 3, 21);
+        let mut tree = RTree::build_with(ds.clone(), Euclidean, 8, None);
+        for i in 0..40 {
+            tree.insert(&[i as f64 * 0.1, 0.0, 0.0]).unwrap();
+        }
+        for id in (0..240).step_by(3) {
+            assert!(DynamicIndex::remove(&mut tree, id));
+        }
+        assert!(tree.needs_compaction());
+        let q = ds.point(4).to_vec();
+        let want: Vec<_> = {
+            let mut cur = tree.cursor(&q, None);
+            std::iter::from_fn(|| cur.next())
+                .map(|n| (n.id, n.dist.to_bits()))
+                .collect()
+        };
+        tree.compact();
+        assert!(tree.check_invariants());
+        assert!(!tree.needs_compaction());
+        let got: Vec<_> = {
+            let mut cur = tree.cursor(&q, None);
+            std::iter::from_fn(|| cur.next())
+                .map(|n| (n.id, n.dist.to_bits()))
+                .collect()
+        };
+        assert_eq!(want, got, "compaction must not change the stream");
+        assert_eq!(
+            tree.point(0),
+            ds.point(0),
+            "historical ids stay addressable"
+        );
     }
 
     #[test]

@@ -187,10 +187,34 @@ pub trait KnnIndex<M: Metric>: Send + Sync {
 }
 
 /// An index supporting online insertion and deletion.
+///
+/// Removal is by tombstone: the substrate keeps the dead point's
+/// coordinates addressable (so [`KnnIndex::point`] stays valid for
+/// historical ids) but excludes it from every stream, count, and result.
+/// Ids are append-only — an insert never reuses a tombstoned id, and
+/// [`DynamicIndex::compact`] never renumbers, so ids remain stable for the
+/// lifetime of the index.
 pub trait DynamicIndex<M: Metric>: KnnIndex<M> {
     /// Inserts a new point, returning its id.
     fn insert(&mut self, point: &[f64]) -> Result<PointId, rknn_core::CoreError>;
 
     /// Removes a point; returns whether it was present and live.
     fn remove(&mut self, id: PointId) -> bool;
+
+    /// Rebuilds the navigation structure over the live points only,
+    /// unlinking accumulated tombstones from the traversal (their
+    /// coordinates stay addressable and their ids stay retired). Query
+    /// results are unchanged — compaction only removes dead weight the
+    /// tombstone-skipping contract was already filtering. The default is a
+    /// no-op, correct for substrates (like the sequential scan) whose scan
+    /// cost already degrades gracefully with tombstone count.
+    fn compact(&mut self) {}
+
+    /// Whether the substrate's rebuild-threshold policy recommends
+    /// [`DynamicIndex::compact`] now (typically: tombstones exceed a fixed
+    /// fraction of stored rows, see [`crate::RebuildPolicy`]). Advisory —
+    /// callers choose when to pay the rebuild.
+    fn needs_compaction(&self) -> bool {
+        false
+    }
 }

@@ -4,10 +4,20 @@
 //! additional metric substrate to exercise RDT's claim of working on top of
 //! *any* index supporting incremental forward NN queries (§4), and as an
 //! independent witness in substrate-agreement tests.
+//!
+//! The tree is dynamic: points live in a [`PointPool`], inserts descend to
+//! a leaf widening each vantage point's child distance interval along the
+//! way (correctness needs only that every subtree point's distance to the
+//! vantage point stays inside the stored interval), and removals tombstone
+//! — dead points keep routing the search but are filtered from emission by
+//! the traversal core's uniform `is_emittable` contract. Accumulated
+//! tombstones are unlinked by [`DynamicIndex::compact`], governed by a
+//! [`RebuildPolicy`].
 
-use crate::traits::{KnnIndex, NnCursor};
+use crate::pool::{PointPool, RebuildPolicy};
+use crate::traits::{DynamicIndex, KnnIndex, NnCursor};
 use crate::traversal::{self, ExpandSink, TreeSubstrate};
-use rknn_core::{CursorScratch, Dataset, Metric, OrderedF64, PointId};
+use rknn_core::{CoreError, CursorScratch, Dataset, Metric, OrderedF64, PointId};
 use std::sync::Arc;
 
 const LEAF_SIZE: usize = 12;
@@ -24,25 +34,31 @@ enum VpNode {
     },
 }
 
-/// A static vantage-point tree.
+/// A dynamic vantage-point tree over a [`PointPool`].
 #[derive(Debug, Clone)]
 pub struct VpTree<M: Metric> {
-    ds: Arc<Dataset>,
+    pool: PointPool,
     metric: M,
     nodes: Vec<VpNode>,
     root: Option<usize>,
+    policy: RebuildPolicy,
+    /// Tombstoned points still linked into the navigation structure —
+    /// reset by [`DynamicIndex::compact`], which unlinks them.
+    stale: usize,
 }
 
 impl<M: Metric> VpTree<M> {
     /// Builds a VP-tree over a shared dataset.
     pub fn build(ds: Arc<Dataset>, metric: M) -> Self {
         let mut tree = VpTree {
-            ds: ds.clone(),
+            pool: PointPool::new(ds),
             metric,
             nodes: Vec::new(),
             root: None,
+            policy: RebuildPolicy::default(),
+            stale: 0,
         };
-        let mut ids: Vec<PointId> = (0..ds.len()).collect();
+        let mut ids: Vec<PointId> = (0..tree.pool.total()).collect();
         tree.root = tree.build_rec(&mut ids);
         tree
     }
@@ -59,11 +75,11 @@ impl<M: Metric> VpTree<M> {
         // arbitrary; callers wanting a randomized tree can shuffle the
         // dataset). Partition the rest around the median distance.
         let vp = ids[0];
-        let vp_coords = self.ds.point(vp).to_vec();
+        let vp_coords = self.pool.point(vp).to_vec();
         let rest = &mut ids[1..];
         let mut dists: Vec<(f64, PointId)> = rest
             .iter()
-            .map(|&id| (self.metric.dist(&vp_coords, self.ds.point(id)), id))
+            .map(|&id| (self.metric.dist(&vp_coords, self.pool.point(id)), id))
             .collect();
         let mid = dists.len() / 2;
         dists.sort_by_key(|a| OrderedF64(a.0));
@@ -85,9 +101,167 @@ impl<M: Metric> VpTree<M> {
         Some(self.nodes.len() - 1)
     }
 
-    /// Number of tree nodes.
+    /// Number of tree nodes (including any unreachable nodes orphaned by
+    /// leaf splits; [`DynamicIndex::compact`] rebuilds without them).
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Read access to the underlying pool.
+    pub fn pool(&self) -> &PointPool {
+        &self.pool
+    }
+
+    /// Links an existing pool point into the navigation structure: descend
+    /// to a leaf, widening each chosen child's distance interval so the new
+    /// point's distance to every vantage point on the path stays inside the
+    /// interval the search prunes with. An overfull leaf is rebuilt in
+    /// place into a subtree via the static construction.
+    fn attach(&mut self, id: PointId) {
+        let Some(root) = self.root else {
+            self.nodes.push(VpNode::Leaf(vec![id]));
+            self.root = Some(self.nodes.len() - 1);
+            return;
+        };
+        let mut cur = root;
+        loop {
+            let vp = match &self.nodes[cur] {
+                VpNode::Leaf(_) => {
+                    let VpNode::Leaf(pts) = &mut self.nodes[cur] else {
+                        unreachable!()
+                    };
+                    pts.push(id);
+                    if pts.len() > LEAF_SIZE {
+                        self.split_leaf(cur);
+                    }
+                    return;
+                }
+                VpNode::Inner { vp, .. } => *vp,
+            };
+            let d = self.metric.dist(self.pool.point(id), self.pool.point(vp));
+            let VpNode::Inner { near, far, .. } = &mut self.nodes[cur] else {
+                unreachable!()
+            };
+            // Route into the near child while the distance falls inside (or
+            // under) its interval; otherwise the far child, creating it when
+            // absent. Widening the chosen interval preserves the pruning
+            // invariant; which side is chosen affects only balance.
+            let next = match (near.as_mut(), far.as_mut()) {
+                (Some((n, lo, hi)), far_opt) => {
+                    if d <= *hi {
+                        *lo = lo.min(d);
+                        *hi = hi.max(d);
+                        *n
+                    } else {
+                        match far_opt {
+                            Some((f, lo, hi)) => {
+                                *lo = lo.min(d);
+                                *hi = hi.max(d);
+                                *f
+                            }
+                            None => {
+                                let node = self.nodes.len();
+                                self.nodes.push(VpNode::Leaf(vec![id]));
+                                let VpNode::Inner { far, .. } = &mut self.nodes[cur] else {
+                                    unreachable!()
+                                };
+                                *far = Some((node, d, d));
+                                return;
+                            }
+                        }
+                    }
+                }
+                (None, Some((f, lo, hi))) => {
+                    *lo = lo.min(d);
+                    *hi = hi.max(d);
+                    *f
+                }
+                (None, None) => {
+                    let node = self.nodes.len();
+                    self.nodes.push(VpNode::Leaf(vec![id]));
+                    let VpNode::Inner { near, .. } = &mut self.nodes[cur] else {
+                        unreachable!()
+                    };
+                    *near = Some((node, d, d));
+                    return;
+                }
+            };
+            cur = next;
+        }
+    }
+
+    /// Rebuilds an overfull leaf into a subtree in place. The rebuilt
+    /// subtree's root node is moved into the leaf's slot so no parent link
+    /// changes; the vacated slot becomes an unreachable empty leaf that a
+    /// later [`DynamicIndex::compact`] discards.
+    fn split_leaf(&mut self, leaf: usize) {
+        let VpNode::Leaf(pts) = &mut self.nodes[leaf] else {
+            unreachable!()
+        };
+        let mut ids = std::mem::take(pts);
+        let sub = self.build_rec(&mut ids).expect("split leaf is never empty");
+        self.nodes[leaf] = std::mem::replace(&mut self.nodes[sub], VpNode::Leaf(Vec::new()));
+    }
+
+    /// Checks the distance-interval invariant over the whole tree (test
+    /// support): every point of each child subtree lies inside the
+    /// `(min, max)` interval its parent stores for that child, and every
+    /// live pool point is linked exactly once.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        let link = |id: PointId, seen: &mut std::collections::HashSet<PointId>| seen.insert(id);
+        let Some(root) = self.root else {
+            return self.pool.live() == 0;
+        };
+        let mut stack = vec![root];
+        while let Some(i) = stack.pop() {
+            match &self.nodes[i] {
+                VpNode::Leaf(pts) => {
+                    for &p in pts {
+                        if !link(p, &mut seen) {
+                            return false;
+                        }
+                    }
+                }
+                VpNode::Inner { vp, near, far } => {
+                    if !link(*vp, &mut seen) {
+                        return false;
+                    }
+                    for child in [near, far].into_iter().flatten() {
+                        let (node, lo, hi) = *child;
+                        let mut sub = vec![node];
+                        while let Some(j) = sub.pop() {
+                            match &self.nodes[j] {
+                                VpNode::Leaf(pts) => {
+                                    for &p in pts {
+                                        let d = self
+                                            .metric
+                                            .dist(self.pool.point(*vp), self.pool.point(p));
+                                        if d < lo - 1e-9 || d > hi + 1e-9 {
+                                            return false;
+                                        }
+                                    }
+                                }
+                                VpNode::Inner { vp: v2, near, far } => {
+                                    let d = self
+                                        .metric
+                                        .dist(self.pool.point(*vp), self.pool.point(*v2));
+                                    if d < lo - 1e-9 || d > hi + 1e-9 {
+                                        return false;
+                                    }
+                                    sub.extend([near, far].into_iter().flatten().map(|c| c.0));
+                                }
+                            }
+                        }
+                        stack.push(node);
+                    }
+                }
+            }
+        }
+        (0..self.pool.total())
+            .filter(|&id| self.pool.is_alive(id))
+            .all(|id| seen.contains(&id))
     }
 }
 
@@ -97,7 +271,11 @@ impl<M: Metric> TreeSubstrate<M> for VpTree<M> {
     }
 
     fn coords(&self, id: PointId) -> &[f64] {
-        self.ds.point(id)
+        self.pool.point(id)
+    }
+
+    fn is_emittable(&self, id: PointId) -> bool {
+        self.pool.is_alive(id)
     }
 
     fn seed(&self, sink: &mut ExpandSink<'_, M, Self>) {
@@ -135,15 +313,15 @@ impl<M: Metric> TreeSubstrate<M> for VpTree<M> {
 
 impl<M: Metric> KnnIndex<M> for VpTree<M> {
     fn num_points(&self) -> usize {
-        self.ds.len()
+        self.pool.live()
     }
 
     fn dim(&self) -> usize {
-        self.ds.dim()
+        self.pool.dim()
     }
 
     fn point(&self, id: PointId) -> &[f64] {
-        self.ds.point(id)
+        self.pool.point(id)
     }
 
     fn metric(&self) -> &M {
@@ -152,6 +330,10 @@ impl<M: Metric> KnnIndex<M> for VpTree<M> {
 
     fn name(&self) -> &'static str {
         "vp-tree"
+    }
+
+    fn base_rows(&self) -> Option<&Dataset> {
+        self.pool.contiguous_base()
     }
 
     fn cursor<'a>(&'a self, q: &'a [f64], exclude: Option<PointId>) -> Box<dyn NnCursor + 'a> {
@@ -175,6 +357,32 @@ impl<M: Metric> KnnIndex<M> for VpTree<M> {
         scratch: &'a mut CursorScratch,
     ) -> Box<dyn NnCursor + 'a> {
         traversal::tree_cursor_bounded(self, q, exclude, limit, scratch)
+    }
+}
+
+impl<M: Metric> DynamicIndex<M> for VpTree<M> {
+    fn insert(&mut self, point: &[f64]) -> Result<PointId, CoreError> {
+        let id = self.pool.insert(point)?;
+        self.attach(id);
+        Ok(id)
+    }
+
+    fn remove(&mut self, id: PointId) -> bool {
+        let removed = self.pool.remove(id);
+        self.stale += usize::from(removed);
+        removed
+    }
+
+    fn compact(&mut self) {
+        self.nodes.clear();
+        self.root = None;
+        let mut ids: Vec<PointId> = self.pool.iter_live().map(|(id, _)| id).collect();
+        self.root = self.build_rec(&mut ids);
+        self.stale = 0;
+    }
+
+    fn needs_compaction(&self) -> bool {
+        self.policy.recommends_counts(self.stale, self.pool.total())
     }
 }
 
@@ -243,5 +451,80 @@ mod tests {
         let tree = VpTree::build(ds, Euclidean);
         let mut cur = tree.cursor(&[0.0, 0.0], None);
         assert_eq!(std::iter::from_fn(|| cur.next()).count(), 40);
+    }
+
+    #[test]
+    fn dynamic_inserts_keep_tree_exact() {
+        let ds = random_dataset(120, 3, 11);
+        let mut tree = VpTree::build(ds.clone(), Euclidean);
+        let mut state = 99u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut rows: Vec<Vec<f64>> = (0..120).map(|i| ds.point(i).to_vec()).collect();
+        for _ in 0..60 {
+            let p: Vec<f64> = (0..3).map(|_| next() * 10.0 - 5.0).collect();
+            tree.insert(&p).unwrap();
+            rows.push(p);
+        }
+        assert!(tree.check_invariants());
+        let all = Dataset::from_rows(&rows).unwrap().into_shared();
+        let bf = BruteForce::new(all.clone(), Euclidean);
+        for qi in [0usize, 119, 120, 179] {
+            let mut st = SearchStats::new();
+            let got = tree.knn(all.point(qi), 9, Some(qi), &mut st);
+            let want = bf.knn(all.point(qi), 9, Some(qi), &mut SearchStats::new());
+            assert_eq!(
+                got.iter().map(|n| n.dist.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|n| n.dist.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn remove_hides_points_and_compact_preserves_results() {
+        let ds = random_dataset(200, 4, 13);
+        let mut tree = VpTree::build(ds.clone(), Euclidean);
+        for _ in 0..30 {
+            tree.insert(&[9.0, 9.0, 9.0, 9.0]).unwrap();
+        }
+        for id in (0..230).step_by(3) {
+            assert!(tree.remove(id));
+        }
+        let q = ds.point(1).to_vec();
+        let want: Vec<_> = {
+            let mut before = tree.cursor(&q, None);
+            std::iter::from_fn(|| before.next())
+                .map(|n| (n.id, n.dist.to_bits()))
+                .collect()
+        };
+        assert_eq!(want.len(), tree.num_points());
+        assert!(want.iter().all(|&(id, _)| id % 3 != 0));
+
+        tree.compact();
+        assert!(tree.check_invariants());
+        let mut after = tree.cursor(&q, None);
+        let got: Vec<_> = std::iter::from_fn(|| after.next())
+            .map(|n| (n.id, n.dist.to_bits()))
+            .collect();
+        assert_eq!(want, got, "compaction must not change the stream");
+        // Historical coordinates stay addressable after compaction.
+        assert_eq!(tree.point(0), ds.point(0));
+    }
+
+    #[test]
+    fn rebuild_policy_drives_needs_compaction() {
+        let ds = random_dataset(300, 2, 17);
+        let mut tree = VpTree::build(ds, Euclidean);
+        assert!(!tree.needs_compaction());
+        for id in 0..100 {
+            tree.remove(id);
+        }
+        assert!(tree.needs_compaction(), "100/300 dead exceeds the policy");
+        tree.compact();
+        assert!(!tree.needs_compaction(), "compaction resets the counter");
     }
 }

@@ -93,6 +93,33 @@ impl AlgorithmAnswer for RknnAnswer {
     }
 }
 
+/// A change applied to the forward index that a prepared algorithm may
+/// need to react to before answering further queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexUpdate {
+    /// Point `id` was inserted and is live in the index.
+    Inserted(PointId),
+    /// Point `id` was tombstoned (its coordinates stay addressable through
+    /// [`KnnIndex::point`]).
+    Removed(PointId),
+}
+
+/// How much maintained state a method must touch per index update — the
+/// dynamic-workload analogue of the precompute-cost column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintenanceCost {
+    /// No maintained state: every query reads the live index directly, so
+    /// updates cost nothing beyond the index's own repair.
+    None,
+    /// Maintained state is repaired locally per update (RDT's `d_k` cache:
+    /// only thresholds whose ball contains the updated point are evicted).
+    Localized,
+    /// Precomputation snapshots the point set and must be rebuilt
+    /// (re-[`prepare`](RknnAlgorithm::prepare), typically against a fresh
+    /// dataset snapshot) to stay correct under churn.
+    Rebuild,
+}
+
 /// A reverse-kNN method executable by the algorithm-generic batch driver.
 ///
 /// The lifecycle separates the three cost classes the paper's Figures 3–6
@@ -153,6 +180,37 @@ pub trait RknnAlgorithm<M: Metric, I: KnnIndex<M> + ?Sized>: Sync {
     /// Answers the reverse-kNN query located at dataset point `q`
     /// (self-excluding).
     fn query(&self, index: &I, q: PointId, worker: &mut Self::Worker) -> Self::Answer;
+
+    /// Repairs maintained state after an index update, called once per
+    /// insert/delete with the index already mutated (the removed point, if
+    /// any, already tombstoned). Methods whose maintained state is
+    /// [`MaintenanceCost::Rebuild`] keep the no-op default and document
+    /// that callers must re-[`prepare`](Self::prepare) instead; the work
+    /// spent here is reported through
+    /// [`maintenance_time`](Self::maintenance_time) /
+    /// [`maintenance_stats`](Self::maintenance_stats), uniformly with
+    /// precomputation.
+    fn apply_update(&mut self, index: &I, update: IndexUpdate) {
+        let _ = (index, update);
+    }
+
+    /// How this method's maintained state reacts to index updates.
+    fn maintenance_cost(&self) -> MaintenanceCost {
+        MaintenanceCost::None
+    }
+
+    /// Cumulative wall-clock time spent in
+    /// [`apply_update`](Self::apply_update) since the last
+    /// [`prepare`](Self::prepare).
+    fn maintenance_time(&self) -> Duration {
+        Duration::ZERO
+    }
+
+    /// Cumulative work spent in [`apply_update`](Self::apply_update) since
+    /// the last [`prepare`](Self::prepare).
+    fn maintenance_stats(&self) -> SearchStats {
+        SearchStats::new()
+    }
 }
 
 /// Resolves a requested worker count (`0` = one per CPU) against the number
@@ -291,9 +349,29 @@ pub struct RdtAlgorithm {
     reuse_dk: bool,
     cache: Option<DkCache>,
     prepare_time: Duration,
+    maint_time: Duration,
+    maint_stats: SearchStats,
 }
 
 impl RdtAlgorithm {
+    /// An unprepared copy of this configuration: same parameters, variant,
+    /// schedule and `d_k`-reuse setting, but no cache and zeroed time
+    /// accounting. This is the "rebuild-from-scratch" counterpart of a
+    /// long-lived maintained instance — prepare it against the current
+    /// index and compare.
+    pub fn fresh(&self) -> RdtAlgorithm {
+        RdtAlgorithm {
+            params: self.params,
+            variant: self.variant,
+            schedule: self.schedule,
+            reuse_dk: self.reuse_dk,
+            cache: None,
+            prepare_time: Duration::ZERO,
+            maint_time: Duration::ZERO,
+            maint_stats: SearchStats::new(),
+        }
+    }
+
     /// Plain RDT at the given parameters (fixed schedule, `d_k` reuse on).
     pub fn new(params: RdtParams) -> Self {
         RdtAlgorithm {
@@ -303,6 +381,8 @@ impl RdtAlgorithm {
             reuse_dk: true,
             cache: None,
             prepare_time: Duration::ZERO,
+            maint_time: Duration::ZERO,
+            maint_stats: SearchStats::new(),
         }
     }
 
@@ -374,11 +454,47 @@ where
         self.cache = self
             .reuse_dk
             .then(|| DkCache::new(self.params.k, index.num_points()));
+        self.maint_time = Duration::ZERO;
+        self.maint_stats = SearchStats::new();
         self.prepare_time = start.elapsed();
     }
 
     fn precompute_time(&self) -> Duration {
         self.prepare_time
+    }
+
+    fn apply_update(&mut self, index: &I, update: IndexUpdate) {
+        let Some(cache) = self.cache.as_mut() else {
+            return;
+        };
+        let start = Instant::now();
+        let mut stats = SearchStats::new();
+        let p = match update {
+            IndexUpdate::Inserted(id) => {
+                cache.grow(id + 1);
+                id
+            }
+            IndexUpdate::Removed(id) => id,
+        };
+        cache.invalidate_near(index, p, &mut stats);
+        self.maint_stats.absorb(&stats);
+        self.maint_time += start.elapsed();
+    }
+
+    fn maintenance_cost(&self) -> MaintenanceCost {
+        if self.reuse_dk {
+            MaintenanceCost::Localized
+        } else {
+            MaintenanceCost::None
+        }
+    }
+
+    fn maintenance_time(&self) -> Duration {
+        self.maint_time
+    }
+
+    fn maintenance_stats(&self) -> SearchStats {
+        self.maint_stats
     }
 
     fn make_worker(&self, index: &I) -> QueryScratch {
@@ -475,6 +591,43 @@ mod tests {
             RknnAlgorithm::<Euclidean, LinearScan<Euclidean>>::name(&algo),
             "RDT+(adaptive)"
         );
+    }
+
+    #[test]
+    fn apply_update_keeps_cached_answers_exact() {
+        use rknn_index::DynamicIndex;
+        // Moderate t so refinement runs and fills the cache; the warm-cache
+        // run must be byte-identical to a cold prepare at *any* t, because
+        // every surviving cached threshold is the bitwise value a fresh
+        // computation would produce.
+        let mut idx = index(150, 3, 405);
+        let params = RdtParams::new(3, 4.0);
+        let mut algo = RdtAlgorithm::new(params);
+        RknnAlgorithm::<_, LinearScan<Euclidean>>::prepare(&mut algo, &idx);
+        let _ = run_algorithm_all_points(&algo, &idx, 2); // warm the cache
+        let id = idx.insert(&[0.5, 0.5, 0.5]).unwrap();
+        algo.apply_update(&idx, IndexUpdate::Inserted(id));
+        assert!(idx.remove(7));
+        algo.apply_update(&idx, IndexUpdate::Removed(7));
+        let queries: Vec<PointId> = (0..=150).filter(|&q| q != 7).collect();
+        let warm = run_algorithm_batch(&algo, &idx, &queries, 2);
+        // A stale threshold the localized eviction failed to drop would
+        // surface as a divergence from the cold rebuild here.
+        let mut fresh = RdtAlgorithm::new(params);
+        RknnAlgorithm::<_, LinearScan<Euclidean>>::prepare(&mut fresh, &idx);
+        let cold = run_algorithm_batch(&fresh, &idx, &queries, 2);
+        for ((a, b), &q) in warm.answers.iter().zip(&cold.answers).zip(&queries) {
+            assert_eq!(a.ids(), b.ids(), "q={q}");
+            let av: Vec<u64> = a.result.iter().map(|n| n.dist.to_bits()).collect();
+            let bv: Vec<u64> = b.result.iter().map(|n| n.dist.to_bits()).collect();
+            assert_eq!(av, bv, "q={q}");
+        }
+        assert_eq!(
+            RknnAlgorithm::<Euclidean, LinearScan<Euclidean>>::maintenance_cost(&algo),
+            MaintenanceCost::Localized
+        );
+        let maint = RknnAlgorithm::<Euclidean, LinearScan<Euclidean>>::maintenance_stats(&algo);
+        assert!(maint.dist_computations > 0, "eviction work is accounted");
     }
 
     #[test]

@@ -262,6 +262,61 @@ impl DkCache {
         self.misses.fetch_add(1, Relaxed);
         dk
     }
+
+    /// Extends the cached id range to `n` slots (new slots unset), so
+    /// points inserted after construction get cached thresholds too.
+    /// `&mut self`: maintenance runs between batches, never concurrently
+    /// with queries.
+    pub fn grow(&mut self, n: usize) {
+        if n > self.vals.len() {
+            self.vals
+                .resize_with(n, || std::sync::atomic::AtomicU64::new(Self::UNSET));
+        }
+    }
+
+    /// Localized invalidation after inserting or deleting point `p`: evicts
+    /// exactly the slots whose cached ball contains `p`, plus `p`'s own,
+    /// and returns how many were evicted.
+    ///
+    /// Soundness in both directions: an insert of `p` lowers `d_k(x)` only
+    /// if `d(x, p) < d_k(x)`; a delete of `p` raises `d_k(x)` only if `p`
+    /// was among `x`'s `k` nearest, i.e. `d(x, p) <= d_k(x)` against the
+    /// still-cached pre-delete threshold. Evicting on `d(x, p) <= d_k(x)`
+    /// therefore covers every slot either update can change (a `+∞`
+    /// threshold always evicts — fewer than `k` neighbors existed, so any
+    /// insert can finish the rank). Every slot evaluation runs through
+    /// [`Metric::dist_le`], abandoning against the cached threshold, and is
+    /// charged to `stats` — this is the per-update maintenance cost the
+    /// dynamic experiments report.
+    pub fn invalidate_near<M, I>(&mut self, index: &I, p: PointId, stats: &mut SearchStats) -> usize
+    where
+        M: Metric,
+        I: KnnIndex<M> + ?Sized,
+    {
+        let metric = index.metric();
+        let pc = index.point(p);
+        let mut evicted = 0usize;
+        for (x, slot) in self.vals.iter_mut().enumerate() {
+            let bits = *slot.get_mut();
+            if bits == Self::UNSET {
+                continue;
+            }
+            if x == p {
+                *slot.get_mut() = Self::UNSET;
+                evicted += 1;
+                continue;
+            }
+            stats.count_dist();
+            if metric
+                .dist_le(index.point(x), pc, f64::from_bits(bits))
+                .is_some()
+            {
+                *slot.get_mut() = Self::UNSET;
+                evicted += 1;
+            }
+        }
+        evicted
+    }
 }
 
 /// Runs the filter–refinement query against caller-owned working memory.

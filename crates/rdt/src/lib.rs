@@ -61,12 +61,13 @@ pub mod engine;
 pub mod params;
 pub mod rdt;
 pub mod rdt_plus;
+pub mod stream;
 pub mod theory;
 
 pub use adaptive::RdtAdaptive;
 pub use algorithm::{
     run_algorithm_all_points, run_algorithm_batch, AlgorithmAnswer, AlgorithmBatchStats,
-    AlgorithmOutcome, BasicAnswer, RdtAlgorithm, RknnAlgorithm,
+    AlgorithmOutcome, BasicAnswer, IndexUpdate, MaintenanceCost, RdtAlgorithm, RknnAlgorithm,
 };
 pub use answer::{RdtQueryStats, RknnAnswer, Termination};
 pub use batch::{BatchConfig, BatchOutcome, BatchStats};
@@ -75,3 +76,4 @@ pub use engine::{DkCache, RdtVariant, TSchedule};
 pub use params::{RdtParams, ScalePolicy};
 pub use rdt::Rdt;
 pub use rdt_plus::RdtPlus;
+pub use stream::{MaintainedStream, UpdateReport};

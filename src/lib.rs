@@ -63,6 +63,7 @@ pub mod prelude {
     pub use rknn_rdt::algorithm::{run_algorithm_all_points, run_algorithm_batch};
     pub use rknn_rdt::batch::{run_all_points, run_batch};
     pub use rknn_rdt::{
-        BatchConfig, BatchOutcome, Rdt, RdtAlgorithm, RdtParams, RdtPlus, RknnAlgorithm, RknnAnswer,
+        BatchConfig, BatchOutcome, MaintainedStream, Rdt, RdtAlgorithm, RdtParams, RdtPlus,
+        RknnAlgorithm, RknnAnswer, UpdateReport,
     };
 }

@@ -4,8 +4,10 @@
 //! subset of proptest the workspace's property tests use:
 //!
 //! * [`strategy::Strategy`] — value generators; numeric `Range`s are
-//!   strategies, [`collection::vec`] composes them into vectors (with
-//!   either an exact `usize` length or a `Range<usize>`);
+//!   strategies, tuples of strategies are strategies,
+//!   [`strategy::Strategy::prop_map`] transforms outputs, and
+//!   [`collection::vec`] composes them into vectors (with either an exact
+//!   `usize` length or a `Range<usize>`);
 //! * [`proptest!`] — the test-harness macro, including the optional
 //!   `#![proptest_config(ProptestConfig::with_cases(n))]` header;
 //! * [`prop_assert!`] / [`prop_assert_eq!`] — assertion forms.
@@ -35,7 +37,46 @@ pub mod strategy {
         type Value;
         /// Draws one value.
         fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Maps generated values through `f` (real proptest's `prop_map`,
+        /// minus shrinking).
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
     }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
 
     macro_rules! impl_range_strategy {
         ($($t:ty),*) => {$(
@@ -231,6 +272,23 @@ mod tests {
             let v = ranged.sample(&mut rng);
             assert!((2..9).contains(&v.len()));
             assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn tuples_and_prop_map_compose() {
+        use crate::strategy::Strategy;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let ops = collection::vec((0u8..3, 0usize..10), 4..9).prop_map(|raw| {
+            raw.into_iter()
+                .map(|(k, a)| k as usize + a)
+                .collect::<Vec<_>>()
+        });
+        for _ in 0..50 {
+            let v = ops.sample(&mut rng);
+            assert!((4..9).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 12));
         }
     }
 
