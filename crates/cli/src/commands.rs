@@ -2,7 +2,8 @@
 
 use crate::args::Args;
 use rknn_baselines::{MrknncopAlgorithm, NaiveRknn, RdnnAlgorithm, Sft, TplAlgorithm};
-use rknn_core::{Dataset, Euclidean, PointId};
+use rknn_core::kernel::{self, Backend};
+use rknn_core::{Dataset, Euclidean, KernelTier, Metric, PointId};
 use rknn_index::{CoverTree, DynamicIndex, KnnIndex, LinearScan};
 use rknn_lid::{GpEstimator, HillEstimator, IdEstimator, TakensEstimator, TwoNnEstimator};
 use rknn_rdt::algorithm::{
@@ -12,6 +13,40 @@ use rknn_rdt::{MaintainedStream, RdtParams, RdtPlus, RdtVariant};
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Resolves the `--kernel` / `--tier` flags into a metric instance plus a
+/// printable "backend · tier" fragment for output headers.
+///
+/// `--kernel` pins the SIMD backend process-wide (first selection wins, as
+/// with `RKNN_KERNEL`; `auto` leaves the default dispatch); `--tier` pins
+/// the kernel tier on the returned metric instance, overriding the ambient
+/// `RKNN_KERNEL_TIER` for everything built from it. Without flags the
+/// ambient selections apply, so env-var workflows keep working unchanged.
+fn kernel_selection(args: &Args) -> Result<(Euclidean, String), String> {
+    let ops = match args.get("kernel") {
+        Some("auto") | None => kernel::selected(),
+        Some(name) => {
+            let b = Backend::parse(name).ok_or_else(|| {
+                format!("unknown kernel backend '{name}' (scalar|sse2|avx2|auto)")
+            })?;
+            kernel::pin_backend(b)
+        }
+    };
+    let metric = match args.get("tier") {
+        Some(name) => {
+            let t = KernelTier::parse(name)
+                .ok_or_else(|| format!("unknown kernel tier '{name}' (exact|fast|fast-f32)"))?;
+            Euclidean::with_tier(t)
+        }
+        None => Euclidean,
+    };
+    let header = format!(
+        "kernel {} · tier {}",
+        ops.backend().name(),
+        metric.tier().name()
+    );
+    Ok((metric, header))
+}
 
 fn load_dataset(args: &Args) -> Result<Arc<Dataset>, String> {
     let path = args.require("input")?;
@@ -88,14 +123,14 @@ enum Substrate {
 }
 
 impl Substrate {
-    fn build(args: &Args, ds: Arc<Dataset>) -> Result<(Self, f64), String> {
+    fn build(args: &Args, ds: Arc<Dataset>, metric: Euclidean) -> Result<(Self, f64), String> {
         let name = args
             .get("substrate")
             .unwrap_or(if ds.dim() > 100 { "linear" } else { "cover" });
         let start = Instant::now();
         let sub = match name {
-            "cover" => Substrate::Cover(CoverTree::build(ds, Euclidean)),
-            "linear" => Substrate::Linear(LinearScan::build(ds, Euclidean)),
+            "cover" => Substrate::Cover(CoverTree::build(ds, metric)),
+            "linear" => Substrate::Linear(LinearScan::build(ds, metric)),
             other => return Err(format!("unknown substrate '{other}' (cover|linear)")),
         };
         Ok((sub, start.elapsed().as_secs_f64() * 1e3))
@@ -144,7 +179,8 @@ pub fn query(args: &Args) -> Result<(), String> {
         return Err("k must be positive".into());
     }
     let method = args.get("method").unwrap_or("rdt+");
-    let (sub, build_ms) = Substrate::build(args, ds.clone())?;
+    let (metric, kernel_header) = kernel_selection(args)?;
+    let (sub, build_ms) = Substrate::build(args, ds.clone(), metric)?;
     let index = sub.as_index();
     let (ids, note, prepare_ms, query_ms) = match method {
         "rdt" | "rdt+" => {
@@ -194,7 +230,7 @@ pub fn query(args: &Args) -> Result<(), String> {
             (ans.ids(), note, prepare_ms, query_ms)
         }
         "tpl" => {
-            let algo = TplAlgorithm::new(ds.clone(), Euclidean, k);
+            let algo = TplAlgorithm::new(ds.clone(), metric, k);
             let (out, prepare_ms, query_ms) = run_unified(algo, index, q);
             let ans = &out.answers[0];
             let note = format!(
@@ -208,7 +244,7 @@ pub fn query(args: &Args) -> Result<(), String> {
             if k_max < k {
                 return Err(format!("kmax {k_max} must be >= k {k}"));
             }
-            let algo = MrknncopAlgorithm::new(ds.clone(), Euclidean, k, k_max);
+            let algo = MrknncopAlgorithm::new(ds.clone(), metric, k, k_max);
             let (out, prepare_ms, query_ms) = run_unified(algo, index, q);
             let ans = &out.answers[0];
             let note = format!(
@@ -219,7 +255,7 @@ pub fn query(args: &Args) -> Result<(), String> {
             (ans.ids(), note, prepare_ms, query_ms)
         }
         "rdnn" => {
-            let algo = RdnnAlgorithm::new(ds.clone(), Euclidean, k);
+            let algo = RdnnAlgorithm::new(ds.clone(), metric, k);
             let (out, prepare_ms, query_ms) = run_unified(algo, index, q);
             let ans = &out.answers[0];
             let note = format!(
@@ -234,7 +270,10 @@ pub fn query(args: &Args) -> Result<(), String> {
             ))
         }
     };
-    println!("RkNN({q}, {k}) via {method} [{}]:", index.name());
+    println!(
+        "RkNN({q}, {k}) via {method} [{} · {kernel_header}]:",
+        index.name()
+    );
     println!("  {} reverse neighbors: {:?}", ids.len(), ids);
     println!("  {note}");
     println!("  build {build_ms:.2} ms, prepare {prepare_ms:.2} ms, query {query_ms:.3} ms");
@@ -257,23 +296,11 @@ pub fn churn(args: &Args) -> Result<(), String> {
     let updates: usize = args.get_parsed("updates", 60)?;
     let seed: u64 = args.get_parsed("seed", 1)?;
     let threads: usize = args.get_parsed("threads", 2)?;
+    let (metric, kernel_header) = kernel_selection(args)?;
+    println!("churn [{kernel_header}]");
     match args.get("substrate").unwrap_or("cover") {
-        "cover" => churn_on(
-            CoverTree::build(ds, Euclidean),
-            k,
-            t,
-            updates,
-            seed,
-            threads,
-        ),
-        "linear" => churn_on(
-            LinearScan::build(ds, Euclidean),
-            k,
-            t,
-            updates,
-            seed,
-            threads,
-        ),
+        "cover" => churn_on(CoverTree::build(ds, metric), k, t, updates, seed, threads),
+        "linear" => churn_on(LinearScan::build(ds, metric), k, t, updates, seed, threads),
         other => Err(format!("unknown substrate '{other}' (cover|linear)")),
     }
 }
@@ -403,8 +430,10 @@ pub fn hubness(args: &Args) -> Result<(), String> {
     let ds = load_dataset(args)?;
     let k: usize = args.get_parsed("k", 10)?;
     let t: f64 = args.get_parsed("t", 8.0)?;
-    let (sub, _) = Substrate::build(args, ds.clone())?;
+    let (metric, kernel_header) = kernel_selection(args)?;
+    let (sub, _) = Substrate::build(args, ds.clone(), metric)?;
     let index = sub.as_index();
+    println!("hubness [{} · {kernel_header}]", index.name());
     let rdt = RdtPlus::new(RdtParams::new(k, t));
     let mut counts: Vec<usize> = (0..ds.len())
         .map(|q| rdt.query(index, q).result.len())
@@ -533,6 +562,31 @@ mod tests {
             "churn --input {path} --k 3 --updates 6 --substrate linear"
         )))
         .unwrap();
+        // Kernel-tier flags: every tier is selectable per invocation, the
+        // backend flag pins (or no-ops, if dispatch already ran) the SIMD
+        // backend, and `auto` is accepted as "don't pin".
+        for tier in ["exact", "fast", "fast-f32"] {
+            query(&args(&format!(
+                "query --input {path} --q 5 --k 5 --t 6 --tier {tier} --substrate linear"
+            )))
+            .unwrap();
+        }
+        query(&args(&format!(
+            "query --input {path} --q 5 --k 5 --t 6 --tier fast --kernel auto"
+        )))
+        .unwrap();
+        query(&args(&format!(
+            "query --input {path} --q 5 --k 5 --t 6 --kernel scalar"
+        )))
+        .unwrap();
+        churn(&args(&format!(
+            "churn --input {path} --k 3 --updates 6 --tier fast --substrate linear"
+        )))
+        .unwrap();
+        hubness(&args(&format!(
+            "hubness --input {path} --k 3 --t 6 --tier fast"
+        )))
+        .unwrap();
         let _ = std::fs::remove_file(&path);
     }
 
@@ -564,6 +618,14 @@ mod tests {
         )))
         .is_err());
         assert!(churn(&args(&format!("churn --input {path} --k 19"))).is_err());
+        assert!(query(&args(&format!(
+            "query --input {path} --q 0 --k 3 --tier warp-speed"
+        )))
+        .is_err());
+        assert!(query(&args(&format!(
+            "query --input {path} --q 0 --k 3 --kernel woo"
+        )))
+        .is_err());
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -5,8 +5,9 @@
 //! rknn-cli estimate --input pts.fvb
 //! rknn-cli query    --input pts.fvb --q 123 --k 10 [--t 5 | --adaptive]
 //!                   [--method rdt+|rdt|sft|naive|tpl|mrknncop|rdnn]
-//! rknn-cli hubness  --input pts.fvb --k 10 [--t 8]
-//! rknn-cli churn    --input pts.fvb --k 10 [--updates 60] [--t 50]
+//!                   [--tier exact|fast|fast-f32] [--kernel scalar|sse2|avx2|auto]
+//! rknn-cli hubness  --input pts.fvb --k 10 [--t 8] [--tier ...] [--kernel ...]
+//! rknn-cli churn    --input pts.fvb --k 10 [--updates 60] [--t 50] [--tier ...]
 //! rknn-cli info     --input pts.fvb
 //! ```
 //!
@@ -30,14 +31,18 @@ USAGE:
                     [--t <scale> | --adaptive]
                     [--method rdt+|rdt|sft|naive|tpl|mrknncop|rdnn]
                     [--substrate cover|linear] [--alpha A] [--kmax K]
-  rknn-cli hubness  --input <file> --k <rank> [--t <scale>]
+                    [--tier exact|fast|fast-f32] [--kernel scalar|sse2|avx2|auto]
+  rknn-cli hubness  --input <file> --k <rank> [--t <scale>] [--tier ..] [--kernel ..]
   rknn-cli churn    --input <file> --k <rank> [--updates U] [--t <scale>]
                     [--substrate cover|linear] [--seed S] [--threads T]
+                    [--tier exact|fast|fast-f32] [--kernel scalar|sse2|avx2|auto]
                     maintained all-points RkNN under insert/delete churn,
                     priced per update against rebuild-from-scratch
   rknn-cli info     --input <file>            dataset summary
 
 Datasets: CSV (comma-separated coordinates, '#' comments) or .fvb binary.
+Kernel tiers: exact (default, bit-identical) | fast (FMA, ULP-bounded) |
+fast-f32 (f32 storage on linear scans); see README \"Kernel tiers\".
 ";
 
 fn main() -> ExitCode {

@@ -13,7 +13,9 @@
 //! * [`kernel`] — the runtime-dispatched SIMD reduction kernels behind every
 //!   metric: scalar-unrolled / SSE2 / AVX2 backends sharing one canonical
 //!   blocked accumulation order, bit-identical by construction
-//!   (`RKNN_KERNEL` pins a backend);
+//!   (`RKNN_KERNEL` pins a backend), plus the opt-in fast tier
+//!   ([`KernelTier`], `RKNN_KERNEL_TIER`) trading bit-identity for
+//!   FMA/f32/sqrt-free throughput under ULP bounds;
 //! * [`Neighbor`] and bounded heaps for k-nearest-neighbor collection;
 //! * rank and ball-cardinality primitives (`ρ_S(q, x)`, `B≤_S(q, r)`,
 //!   `d_k(q)`) in [`rank`];
@@ -54,10 +56,11 @@ pub mod scratch;
 pub mod stats;
 
 pub use brute::BruteForce;
-pub use dataset::{Dataset, DatasetBuilder, PaddedRows};
+pub use dataset::{Dataset, DatasetBuilder, F32Rows, PaddedRows};
 pub use error::CoreError;
 pub use float::OrderedF64;
 pub use heap::KnnHeap;
+pub use kernel::KernelTier;
 pub use metric::{Chebyshev, Euclidean, FullPrecision, Manhattan, Metric, Minkowski};
 pub use neighbor::{Neighbor, PointId};
 pub use scratch::{CandidateTile, CursorScratch, FilterCandidate, QueryScratch, TreeScratch};

@@ -28,6 +28,18 @@
 //! * every future hot-path optimization of the loop benefits all substrates
 //!   at once.
 //!
+//! The traversal itself is kernel-tier agnostic: every distance — pivot
+//! checks, tile batches, lower bounds — flows through the one [`Metric`]
+//! instance, so whichever tier that metric resolves to
+//! ([`rknn_core::KernelTier`]) governs the whole cursor uniformly. Under a
+//! fast tier the per-point and tile evaluations still agree bitwise
+//! *within* the tier (fast kernels are zero-padding invariant), so pruning
+//! decisions stay consistent with emitted distances; only cross-tier
+//! comparisons are out of contract. Gathered candidate tiles remain f64
+//! even under the fast-f32 tier — the f32 storage path is confined to
+//! contiguous scans over pool segments, where halved memory traffic
+//! actually pays.
+//!
 //! # Bounded-mode soundness
 //!
 //! With a drain bound of `limit`, the frontier holds the `limit` smallest

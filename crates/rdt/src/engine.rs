@@ -336,6 +336,13 @@ impl DkCache {
 /// `x`'s census is open). Abandonment affects neither `witness_pairs` nor
 /// `witness_dist_comps`: an abandoned evaluation still counts as one
 /// distance computation, it just touches fewer coordinates.
+///
+/// The witness pass, like the traversal feeding it, evaluates every pair
+/// through the one metric instance, so it runs in whatever kernel tier
+/// that metric resolves to ([`rknn_core::KernelTier`]): cursor distances,
+/// witness comparisons, and the verification kNN all agree within the
+/// tier, and under the fast tier answer *sets* on tie-free inputs match
+/// the exact tier while distances may differ by bounded ulps.
 pub fn run_query_with<M, I>(
     index: &I,
     q: &[f64],

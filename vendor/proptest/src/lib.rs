@@ -10,7 +10,11 @@
 //!   `usize` length or a `Range<usize>`);
 //! * [`proptest!`] — the test-harness macro, including the optional
 //!   `#![proptest_config(ProptestConfig::with_cases(n))]` header;
-//! * [`prop_assert!`] / [`prop_assert_eq!`] — assertion forms.
+//! * [`prop_assert!`] / [`prop_assert_eq!`] — assertion forms;
+//! * [`prop_oneof!`] / [`strategy::Union`] /
+//!   [`strategy::BoxedStrategy`] — unweighted unions of type-erased
+//!   strategies, for mixing value classes (e.g. normal / subnormal /
+//!   huge floats) in one generator.
 //!
 //! Differences from real proptest, deliberately accepted:
 //!
@@ -45,6 +49,50 @@ pub mod strategy {
             Self: Sized,
         {
             Map { inner: self, f }
+        }
+
+        /// Type-erases this strategy (real proptest's `boxed`), so
+        /// differently-typed strategies with one value type can share a
+        /// [`Union`].
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy; produced by [`Strategy::boxed`], consumed
+    /// by [`Union`] / [`crate::prop_oneof!`].
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// An unweighted union of strategies: each sample picks one arm
+    /// uniformly and draws from it (real proptest's `Union`, minus
+    /// weights and shrinking). Built by [`crate::prop_oneof!`].
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `arms`; panics on an empty arm list.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            let arm = rng.random_range(0..self.arms.len());
+            self.arms[arm].sample(rng)
         }
     }
 
@@ -184,9 +232,9 @@ pub mod test_runner {
 /// The common imports: `use proptest::prelude::*;`.
 pub mod prelude {
     pub use crate::collection;
-    pub use crate::strategy::{Just, Strategy};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 
 /// Asserts a condition inside a property test.
@@ -205,6 +253,18 @@ macro_rules! prop_assert_eq {
 #[macro_export]
 macro_rules! prop_assert_ne {
     ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// An unweighted union of strategies with one value type: each sample
+/// picks an arm uniformly. Real proptest's weighted `w => strat` arm form
+/// is not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat),)+
+        ])
+    };
 }
 
 #[doc(hidden)]
@@ -304,6 +364,37 @@ mod tests {
         assert!(v.iter().flatten().all(|x| (-100.0..100.0).contains(x)));
     }
 
+    #[test]
+    fn oneof_samples_every_arm_and_composes_with_vec() {
+        use crate::strategy::Strategy;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        // Three disjoint value classes, one erased to a prop_map'd arm —
+        // the exact shape the float-class generators in the kernel suite
+        // use.
+        let classes = prop_oneof![
+            0.0f64..1.0,
+            (1000.0f64..2000.0).prop_map(|x| -x),
+            Just(f64::MIN_POSITIVE),
+        ];
+        let (mut small, mut neg, mut sub) = (0usize, 0usize, 0usize);
+        for _ in 0..300 {
+            let x = classes.sample(&mut rng);
+            if x == f64::MIN_POSITIVE {
+                sub += 1;
+            } else if x < 0.0 {
+                assert!((-2000.0..=-1000.0).contains(&x));
+                neg += 1;
+            } else {
+                assert!((0.0..1.0).contains(&x));
+                small += 1;
+            }
+        }
+        assert!(small > 0 && neg > 0 && sub > 0, "{small}/{neg}/{sub}");
+        let rows = collection::vec(prop_oneof![0.0f64..1.0, Just(2.0)], 4usize);
+        assert_eq!(rows.sample(&mut rng).len(), 4);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -316,6 +407,16 @@ mod tests {
             prop_assert!(!xs.is_empty());
             prop_assert!((1..4).contains(&k));
             prop_assert_eq!(xs.len(), xs.iter().filter(|x| x.is_finite()).count());
+        }
+
+        /// `prop_oneof!` inside the macro form: mixed float classes flow
+        /// through pattern binding.
+        #[test]
+        fn macro_accepts_oneof_strategies(
+            x in prop_oneof![0.0f64..1.0, (0.5f64..2.0).prop_map(|v| v * 1e300)],
+        ) {
+            prop_assert!(x.is_finite());
+            prop_assert!((0.0..1.0).contains(&x) || x >= 0.5e300);
         }
     }
 }
