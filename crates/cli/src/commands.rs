@@ -48,9 +48,34 @@ fn kernel_selection(args: &Args) -> Result<(Euclidean, String), String> {
     Ok((metric, header))
 }
 
+/// Loads the dataset named by `--input` (or its alias `--data`), honoring
+/// `--limit N` (keep the first N rows while reading — large files are never
+/// materialized whole) and `--dims D` (keep the leading D coordinates).
 fn load_dataset(args: &Args) -> Result<Arc<Dataset>, String> {
-    let path = args.require("input")?;
-    let ds = rknn_data::load(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    let path = args
+        .get("input")
+        .or_else(|| args.get("data"))
+        .ok_or_else(|| "missing required option --input (alias: --data)".to_string())?;
+    let mut opts = rknn_data::LoadOptions::all();
+    if let Some(v) = args.get("limit") {
+        let limit: usize = v
+            .parse()
+            .map_err(|_| format!("cannot parse --limit value '{v}'"))?;
+        if limit == 0 {
+            return Err("--limit must be positive".into());
+        }
+        opts = opts.with_limit(limit);
+    }
+    if let Some(v) = args.get("dims") {
+        let dims: usize = v
+            .parse()
+            .map_err(|_| format!("cannot parse --dims value '{v}'"))?;
+        if dims == 0 {
+            return Err("--dims must be positive".into());
+        }
+        opts = opts.with_dims(dims);
+    }
+    let ds = rknn_data::load_with(Path::new(path), &opts).map_err(|e| format!("{path}: {e}"))?;
     if ds.is_empty() {
         return Err(format!("{path}: dataset is empty"));
     }
@@ -277,6 +302,116 @@ pub fn query(args: &Args) -> Result<(), String> {
     println!("  {} reverse neighbors: {:?}", ids.len(), ids);
     println!("  {note}");
     println!("  build {build_ms:.2} ms, prepare {prepare_ms:.2} ms, query {query_ms:.3} ms");
+    Ok(())
+}
+
+/// Prepares one algorithm and times the sampled query batch through the
+/// unified driver: (prepare_ms, batch_ms, dist_comps, result_members).
+fn bench_one<'a, A>(
+    mut algo: A,
+    index: &'a DynIndex<'a>,
+    qs: &[PointId],
+    threads: usize,
+) -> (f64, f64, u64, usize)
+where
+    A: RknnAlgorithm<Euclidean, DynIndex<'a>>,
+{
+    let start = Instant::now();
+    algo.prepare(index);
+    let prepare_ms = start.elapsed().as_secs_f64() * 1e3;
+    let out = run_algorithm_batch(&algo, index, qs, threads);
+    (
+        prepare_ms,
+        out.elapsed.as_secs_f64() * 1e3,
+        out.stats.search.dist_computations,
+        out.stats.result_members,
+    )
+}
+
+/// `bench`: per-algorithm timing over a sampled query batch on a dataset
+/// file — the CLI face of the snapshot's `algorithms` section, pointable
+/// at real `.fvecs`/`.idx` data via `--data --limit --dims`.
+pub fn bench(args: &Args) -> Result<(), String> {
+    let ds = load_dataset(args)?;
+    let k: usize = args.get_parsed("k", 10)?;
+    if k == 0 {
+        return Err("k must be positive".into());
+    }
+    if ds.len() <= k + 2 {
+        return Err(format!("dataset too small for k = {k} (n = {})", ds.len()));
+    }
+    let t: f64 = args.get_parsed("t", 4.0)?;
+    let alpha: f64 = args.get_parsed("alpha", 4.0)?;
+    let k_max: usize = args.get_parsed("kmax", k)?;
+    if k_max < k {
+        return Err(format!("kmax {k_max} must be >= k {k}"));
+    }
+    let queries: usize = args.get_parsed("queries", 32)?;
+    let seed: u64 = args.get_parsed("seed", 42)?;
+    let threads: usize = args.get_parsed("threads", 2)?;
+    let methods = args.get("methods").unwrap_or("rdt,rdt+,sft,mrknncop,rdnn");
+    let (metric, kernel_header) = kernel_selection(args)?;
+    let (sub, build_ms) = Substrate::build(args, ds.clone(), metric)?;
+    let index = sub.as_index();
+    let qs = rknn_data::sample_queries(ds.len(), queries.min(ds.len()), seed);
+    println!(
+        "bench: {} points × {} dims, {} sampled queries, k = {k} [{} · {kernel_header}]",
+        ds.len(),
+        ds.dim(),
+        qs.len(),
+        index.name()
+    );
+    println!("  substrate build {build_ms:.2} ms");
+    println!(
+        "{:<10} {:>12} {:>10} {:>10} {:>12} {:>9}",
+        "method", "prepare_ms", "batch_ms", "ms/query", "dist/query", "members"
+    );
+    for m in methods.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let (prepare_ms, batch_ms, dist, members) = match m {
+            "rdt" => bench_one(RdtAlgorithm::new(RdtParams::new(k, t)), index, &qs, threads),
+            "rdt+" => bench_one(
+                RdtAlgorithm::plus(RdtParams::new(k, t)),
+                index,
+                &qs,
+                threads,
+            ),
+            "sft" => bench_one(Sft::new(k, alpha), index, &qs, threads),
+            "naive" => bench_one(NaiveRknn::new(k), index, &qs, threads),
+            "tpl" => bench_one(
+                TplAlgorithm::new(ds.clone(), metric, k),
+                index,
+                &qs,
+                threads,
+            ),
+            "mrknncop" => bench_one(
+                MrknncopAlgorithm::new(ds.clone(), metric, k, k_max),
+                index,
+                &qs,
+                threads,
+            ),
+            "rdnn" => bench_one(
+                RdnnAlgorithm::new(ds.clone(), metric, k),
+                index,
+                &qs,
+                threads,
+            ),
+            other => {
+                return Err(format!(
+                    "unknown method '{other}' in --methods \
+                     (rdt|rdt+|sft|naive|tpl|mrknncop|rdnn)"
+                ))
+            }
+        };
+        println!(
+            "{:<10} {:>12.2} {:>10.2} {:>10.3} {:>12.1} {:>9}",
+            m,
+            prepare_ms,
+            batch_ms,
+            batch_ms / qs.len().max(1) as f64,
+            dist as f64 / qs.len().max(1) as f64,
+            members
+        );
+    }
     Ok(())
 }
 
@@ -553,6 +688,10 @@ mod tests {
             "query --input {path} --q 5 --k 5 --method rdnn"
         )))
         .unwrap();
+        bench(&args(&format!(
+            "bench --input {path} --k 3 --queries 8 --methods rdt,rdt+,sft,naive"
+        )))
+        .unwrap();
         hubness(&args(&format!("hubness --input {path} --k 3 --t 6"))).unwrap();
         churn(&args(&format!(
             "churn --input {path} --k 3 --updates 9 --threads 2"
@@ -585,6 +724,34 @@ mod tests {
         .unwrap();
         hubness(&args(&format!(
             "hubness --input {path} --k 3 --t 6 --tier fast"
+        )))
+        .unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn data_alias_limit_and_dims_slice_interchange_files() {
+        let path = tmp("rknn_cli_slice.fvecs");
+        gen(&args(&format!(
+            "gen --kind blobs --n 200 --dim 6 --out {path} --seed 9"
+        )))
+        .unwrap();
+        // --data is an alias for --input; --limit/--dims slice on the way in.
+        let sliced =
+            load_dataset(&args(&format!("info --data {path} --limit 50 --dims 3"))).unwrap();
+        assert_eq!((sliced.len(), sliced.dim()), (50, 3));
+        let full = load_dataset(&args(&format!("info --input {path}"))).unwrap();
+        assert_eq!((full.len(), full.dim()), (200, 6));
+        // The slice is a prefix of the full load in both axes.
+        for i in 0..sliced.len() {
+            assert_eq!(sliced.point(i), &full.point(i)[..3]);
+        }
+        query(&args(&format!(
+            "query --data {path} --limit 50 --dims 3 --q 5 --k 3 --t 6"
+        )))
+        .unwrap();
+        bench(&args(&format!(
+            "bench --data {path} --limit 60 --dims 4 --k 3 --queries 8 --methods rdt+"
         )))
         .unwrap();
         let _ = std::fs::remove_file(&path);
@@ -626,6 +793,10 @@ mod tests {
             "query --input {path} --q 0 --k 3 --kernel woo"
         )))
         .is_err());
+        assert!(query(&args(&format!("query --data {path} --q 0 --k 3 --limit 0"))).is_err());
+        assert!(query(&args(&format!("query --data {path} --q 0 --k 3 --dims x"))).is_err());
+        assert!(bench(&args(&format!("bench --input {path} --k 3 --methods warp"))).is_err());
+        assert!(bench(&args("bench --k 3")).is_err());
         let _ = std::fs::remove_file(&path);
     }
 }

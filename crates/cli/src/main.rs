@@ -3,16 +3,23 @@
 //! ```text
 //! rknn-cli gen      --kind sequoia --n 10000 --out pts.fvb [--seed 1] [--dim 64]
 //! rknn-cli estimate --input pts.fvb
-//! rknn-cli query    --input pts.fvb --q 123 --k 10 [--t 5 | --adaptive]
+//! rknn-cli query    --data base.fvecs --q 123 --k 10 [--t 5 | --adaptive]
+//!                   [--limit N] [--dims D]
 //!                   [--method rdt+|rdt|sft|naive|tpl|mrknncop|rdnn]
 //!                   [--tier exact|fast|fast-f32] [--kernel scalar|sse2|avx2|auto]
+//! rknn-cli bench    --data base.fvecs --k 10 [--limit N] [--dims D]
+//!                   [--methods rdt,rdt+,sft,...] [--queries Q] [--threads T]
 //! rknn-cli hubness  --input pts.fvb --k 10 [--t 8] [--tier ...] [--kernel ...]
 //! rknn-cli churn    --input pts.fvb --k 10 [--updates 60] [--t 50] [--tier ...]
 //! rknn-cli info     --input pts.fvb
 //! ```
 //!
-//! Datasets are CSV (one point per line) or the `.fvb` binary format of
-//! `rknn-data`.
+//! Datasets are CSV (one point per line), the `.fvb` binary format of
+//! `rknn-data`, or the interchange formats `.fvecs`/`.ivecs`/`.bvecs`/`.idx`
+//! (texmex and MNIST conventions). `--input` and `--data` are aliases;
+//! `--limit N` keeps the first N rows while reading and `--dims D` keeps the
+//! leading D coordinates, so a million-row file slices down without ever
+//! being materialized whole.
 
 mod args;
 mod commands;
@@ -32,6 +39,11 @@ USAGE:
                     [--method rdt+|rdt|sft|naive|tpl|mrknncop|rdnn]
                     [--substrate cover|linear] [--alpha A] [--kmax K]
                     [--tier exact|fast|fast-f32] [--kernel scalar|sse2|avx2|auto]
+  rknn-cli bench    --input <file> --k <rank> [--t <scale>] [--queries Q]
+                    [--methods rdt,rdt+,sft,naive,tpl,mrknncop,rdnn]
+                    [--threads T] [--seed S] [--substrate cover|linear]
+                    [--alpha A] [--kmax K] [--tier ..] [--kernel ..]
+                    per-algorithm prepare/batch timing on a dataset file
   rknn-cli hubness  --input <file> --k <rank> [--t <scale>] [--tier ..] [--kernel ..]
   rknn-cli churn    --input <file> --k <rank> [--updates U] [--t <scale>]
                     [--substrate cover|linear] [--seed S] [--threads T]
@@ -40,7 +52,10 @@ USAGE:
                     priced per update against rebuild-from-scratch
   rknn-cli info     --input <file>            dataset summary
 
-Datasets: CSV (comma-separated coordinates, '#' comments) or .fvb binary.
+Datasets: CSV (comma-separated coordinates, '#' comments), .fvb binary, or
+.fvecs/.ivecs/.bvecs/.idx interchange files. --data is an alias for --input;
+--limit N keeps the first N rows while reading, --dims D the leading D
+coordinates (both stream — the full file is never materialized).
 Kernel tiers: exact (default, bit-identical) | fast (FMA, ULP-bounded) |
 fast-f32 (f32 storage on linear scans); see README \"Kernel tiers\".
 ";
@@ -57,6 +72,7 @@ fn main() -> ExitCode {
         Some("gen") => commands::gen(&args),
         Some("estimate") => commands::estimate(&args),
         Some("query") => commands::query(&args),
+        Some("bench") => commands::bench(&args),
         Some("hubness") => commands::hubness(&args),
         Some("churn") => commands::churn(&args),
         Some("info") => commands::info(&args),

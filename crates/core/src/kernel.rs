@@ -398,31 +398,59 @@ pub fn pin_backend(backend: Backend) -> &'static KernelOps {
 /// Signature of a full f32 reduction: the f32 accumulation, widened to f64.
 type SumF32Fn = fn(&[f32], &[f32]) -> f64;
 
+/// Dimensions whose padded stride falls below this stay on the exact
+/// kernels even in the fast tier: at d≤12 the FMA reduction's extra lane
+/// shuffles cost more than they save (the recorded d=8 `fast_speedup` was
+/// 0.90 — a slowdown), so the fast tier falls back rather than regress.
+/// The gate compares `pad_dim(len)`, which is idempotent under padding, so
+/// logical slices and their zero-padded storage rows always select the
+/// same kernel and the tier's bit-invariance contract survives.
+pub const FAST_MIN_DIM: usize = 16;
+
 /// The fast tier's kernel entry points (Euclidean family only).
 ///
 /// Unlike [`KernelOps`], these promise determinism *within* one process —
 /// one table serves every substrate, and completed `sum_sq`/`sum_sq_until`
 /// accumulations agree bitwise with each other — but only ULP-bounded
 /// agreement with the exact tier. Obtain via [`fast_ops`].
+///
+/// Below [`FAST_MIN_DIM`] (measured on the padded stride) the f64 entry
+/// points serve the exact dispatched kernels instead of FMA — the fast
+/// tier is never a slowdown at small dimensions. [`FastOps::fma_at`]
+/// reports which kernel a given slice length actually gets.
 pub struct FastOps {
     fma: bool,
     sum_sq: SumFn,
     sum_sq_until: UntilFn,
     sum_sq_f32: SumF32Fn,
+    exact_sum_sq: SumFn,
+    exact_sum_sq_until: UntilFn,
 }
 
 impl FastOps {
-    /// Whether the FMA kernels are live (false means the table fell back to
-    /// the exact dispatched kernels).
+    /// Whether the FMA kernels are installed (false means the table fell
+    /// back to the exact dispatched kernels for every dimension).
     #[inline]
     pub fn fma(&self) -> bool {
         self.fma
     }
 
+    /// Whether a slice of length `len` (logical dim or padded stride —
+    /// `pad_dim` is idempotent, so both agree) is served by the FMA
+    /// kernels rather than the small-dimension exact fallback.
+    #[inline]
+    pub fn fma_at(&self, len: usize) -> bool {
+        self.fma && pad_dim(len) >= FAST_MIN_DIM
+    }
+
     /// Fast sum of squared coordinate differences.
     #[inline]
     pub fn sum_sq(&self, a: &[f64], b: &[f64]) -> f64 {
-        (self.sum_sq)(a, b)
+        if self.fma_at(a.len()) {
+            (self.sum_sq)(a, b)
+        } else {
+            (self.exact_sum_sq)(a, b)
+        }
     }
 
     /// Early-abandoning [`FastOps::sum_sq`] against `threshold` (canonical
@@ -430,7 +458,11 @@ impl FastOps {
     /// full reduction).
     #[inline]
     pub fn sum_sq_until(&self, a: &[f64], b: &[f64], threshold: f64) -> Option<f64> {
-        (self.sum_sq_until)(a, b, threshold)
+        if self.fma_at(a.len()) {
+            (self.sum_sq_until)(a, b, threshold)
+        } else {
+            (self.exact_sum_sq_until)(a, b, threshold)
+        }
     }
 
     /// Full (never abandoning) f32 sum of squared differences, widened to
@@ -457,6 +489,8 @@ pub fn fast_ops() -> &'static FastOps {
                 sum_sq: x86::w_fma_sum_sq,
                 sum_sq_until: x86::w_fma_sum_sq_until,
                 sum_sq_f32: x86::w_fma_sum_sq_f32,
+                exact_sum_sq: base.sum_sq,
+                exact_sum_sq_until: base.sum_sq_until,
             };
         }
         FastOps {
@@ -464,6 +498,8 @@ pub fn fast_ops() -> &'static FastOps {
             sum_sq: base.sum_sq,
             sum_sq_until: base.sum_sq_until,
             sum_sq_f32: scalar_sum_sq_f32,
+            exact_sum_sq: base.sum_sq,
+            exact_sum_sq_until: base.sum_sq_until,
         }
     })
 }
@@ -1530,6 +1566,44 @@ mod tests {
                     "len={len} seed={seed}: f32 zero padding must not perturb"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn fast_tier_falls_back_to_exact_below_the_dimension_gate() {
+        let f = fast_ops();
+        for len in [0usize, 1, 3, 4, 7, 8, 9, 11, 12] {
+            // Below the gate the fast tier must serve the exact kernels —
+            // bit-identical to the scalar reference, not just ULP-close.
+            assert!(!f.fma_at(len), "len={len} sits below FAST_MIN_DIM");
+            for seed in 0..20u64 {
+                let (a, b) = vectors(seed.wrapping_add(len as u64 * 7919), len);
+                assert_eq!(
+                    bits(f.sum_sq(&a, &b)),
+                    bits(SCALAR_OPS.sum_sq(&a, &b)),
+                    "len={len} seed={seed}: small-dim fast must be exact"
+                );
+                let th = SCALAR_OPS.sum_sq(&a, &b) * 0.5;
+                assert_eq!(
+                    f.sum_sq_until(&a, &b, th).map(bits),
+                    SCALAR_OPS.sum_sq_until(&a, &b, th).map(bits),
+                    "len={len} seed={seed}"
+                );
+            }
+        }
+        // The gate is invariant under storage padding: a logical length and
+        // its padded stride always agree on kernel choice.
+        for len in 0..64usize {
+            assert_eq!(
+                f.fma_at(len),
+                f.fma_at(pad_dim(len)),
+                "len={len}: pad_dim must not flip the kernel gate"
+            );
+        }
+        if f.fma() {
+            assert!(f.fma_at(FAST_MIN_DIM));
+            assert!(f.fma_at(13), "pad_dim(13)=16 reaches the gate");
+            assert!(!f.fma_at(12));
         }
     }
 

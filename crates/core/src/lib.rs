@@ -56,7 +56,7 @@ pub mod scratch;
 pub mod stats;
 
 pub use brute::BruteForce;
-pub use dataset::{Dataset, DatasetBuilder, F32Rows, PaddedRows};
+pub use dataset::{BuildStats, Dataset, DatasetBuilder, F32Rows, PaddedRows};
 pub use error::CoreError;
 pub use float::OrderedF64;
 pub use heap::KnnHeap;

@@ -1,0 +1,620 @@
+//! Loaders for the interchange formats the paper's datasets ship in, plus
+//! a deterministic downsampler/dim-slicer for offline scale experiments.
+//!
+//! * **fvecs / ivecs / bvecs** (TEXMEX / SIFT / GIST convention): each
+//!   record is a little-endian `i32` dimension followed by that many
+//!   elements (`f32`, `i32`, or `u8` respectively). All records must agree
+//!   on the dimension.
+//! * **idx** (MNIST convention): big-endian header `[0, 0, dtype, ndim]`,
+//!   then `ndim` big-endian `u32` dimension sizes, then the elements in
+//!   row-major order. The first dimension counts records; trailing
+//!   dimensions are flattened into one vector per record (a 28×28 image
+//!   becomes a 784-dimensional point).
+//!
+//! Every reader streams records straight into a
+//! [`DatasetBuilder`] chunk by chunk — at no
+//! point is an unpadded copy of the whole dataset held next to the padded
+//! storage, so loading a million-point file peaks near the final dataset
+//! footprint (see `DatasetBuilder`'s allocation accounting). Malformed
+//! input yields a typed [`IoError`], never a panic.
+
+use crate::io::IoError;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rknn_core::{CoreError, Dataset, DatasetBuilder};
+use std::io::{Read, Write};
+
+/// Options shared by all streaming loaders.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadOptions {
+    /// Keep only the first `limit` records (a streaming prefix — the rest
+    /// of the file is not read). `None` loads everything.
+    pub limit: Option<usize>,
+    /// Keep only the first `dims` coordinates of each record. `None` keeps
+    /// the full dimension; a value at or above the record dimension is a
+    /// no-op.
+    pub dims: Option<usize>,
+    /// Row-count hint for exact buffer pre-sizing (e.g. derived from file
+    /// size). Purely an allocation hint; never changes what is loaded.
+    pub rows_hint: Option<usize>,
+}
+
+impl LoadOptions {
+    /// Options that load the whole file.
+    pub fn all() -> Self {
+        LoadOptions::default()
+    }
+
+    /// Sets the record-count prefix limit.
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Sets the coordinate-slice width.
+    pub fn with_dims(mut self, dims: usize) -> Self {
+        self.dims = Some(dims);
+        self
+    }
+
+    fn keep_dims(&self, file_dim: usize) -> usize {
+        match self.dims {
+            Some(d) => d.min(file_dim).max(1),
+            None => file_dim,
+        }
+    }
+
+    fn reserve_hint(&self) -> Option<usize> {
+        match (self.rows_hint, self.limit) {
+            (Some(h), Some(l)) => Some(h.min(l)),
+            (Some(h), None) => Some(h),
+            (None, l) => l,
+        }
+    }
+}
+
+/// Element type of one `*vecs` record payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VecsElem {
+    F32,
+    I32,
+    U8,
+}
+
+impl VecsElem {
+    fn size(self) -> usize {
+        match self {
+            VecsElem::F32 | VecsElem::I32 => 4,
+            VecsElem::U8 => 1,
+        }
+    }
+
+    fn decode(self, bytes: &[u8], out: &mut Vec<f64>) {
+        match self {
+            VecsElem::F32 => {
+                for c in bytes.chunks_exact(4) {
+                    out.push(f32::from_le_bytes(c.try_into().expect("4 bytes")) as f64);
+                }
+            }
+            VecsElem::I32 => {
+                for c in bytes.chunks_exact(4) {
+                    out.push(i32::from_le_bytes(c.try_into().expect("4 bytes")) as f64);
+                }
+            }
+            VecsElem::U8 => out.extend(bytes.iter().map(|&b| b as f64)),
+        }
+    }
+}
+
+/// Fills `buf` completely, or reports how the stream ended: `Ok(false)`
+/// for a clean EOF before the first byte (only when `eof_ok`), a typed
+/// [`IoError::Truncated`] for a mid-buffer EOF.
+fn fill<R: Read>(r: &mut R, buf: &mut [u8], record: usize, eof_ok: bool) -> Result<bool, IoError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                if got == 0 && eof_ok {
+                    return Ok(false);
+                }
+                return Err(IoError::Truncated { record });
+            }
+            Ok(k) => got += k,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(IoError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+fn push_row(b: &mut DatasetBuilder, row: &[f64], record: usize) -> Result<(), IoError> {
+    b.push(row).map_err(|e| match e {
+        CoreError::NonFinite { coordinate, .. } => IoError::NonFinite {
+            point: record,
+            coordinate,
+        },
+        other => IoError::Format(other.to_string()),
+    })?;
+    Ok(())
+}
+
+/// Upper bound on coordinates per record accepted from a file header —
+/// generous (the largest real interchange sets are ~1.5·10⁵-dim) while
+/// keeping a corrupt header from demanding a multi-gigabyte payload
+/// allocation before the truncation check can fire.
+const MAX_RECORD_ELEMS: usize = 1 << 20;
+
+/// Upper bound on the rows reserved ahead from an idx header's record
+/// count: a corrupt count must not translate into a giant up-front
+/// allocation. Files larger than this still load — the builder falls back
+/// to reserve-ahead growth past the cap.
+const MAX_RESERVE_ROWS: usize = 1 << 22;
+
+fn read_vecs<R: Read>(
+    mut reader: R,
+    elem: VecsElem,
+    opts: &LoadOptions,
+) -> Result<Dataset, IoError> {
+    let mut builder: Option<DatasetBuilder> = None;
+    let mut file_dim = 0usize;
+    let mut keep = 0usize;
+    let mut payload: Vec<u8> = Vec::new();
+    let mut row: Vec<f64> = Vec::new();
+    let mut record = 0usize;
+    while opts.limit.is_none_or(|l| record < l) {
+        let mut hdr = [0u8; 4];
+        if !fill(&mut reader, &mut hdr, record, true)? {
+            break;
+        }
+        let d = i32::from_le_bytes(hdr);
+        if d <= 0 {
+            return Err(IoError::Format(format!(
+                "record {record}: nonpositive dimension {d}"
+            )));
+        }
+        let d = d as usize;
+        if d > MAX_RECORD_ELEMS {
+            return Err(IoError::Format(format!(
+                "record {record}: implausible dimension {d} (corrupt header?)"
+            )));
+        }
+        match builder {
+            None => {
+                file_dim = d;
+                keep = opts.keep_dims(d);
+                let mut b = DatasetBuilder::new(keep);
+                if let Some(hint) = opts.reserve_hint() {
+                    b.reserve(hint);
+                }
+                payload.resize(d * elem.size(), 0);
+                builder = Some(b);
+            }
+            Some(_) if d != file_dim => {
+                return Err(IoError::DimMismatch {
+                    record,
+                    expected: file_dim,
+                    got: d,
+                });
+            }
+            Some(_) => {}
+        }
+        fill(&mut reader, &mut payload, record, false)?;
+        row.clear();
+        // Decode only the kept prefix; the remaining payload bytes were
+        // still consumed above so the stream stays aligned on records.
+        elem.decode(&payload[..keep * elem.size()], &mut row);
+        push_row(builder.as_mut().expect("builder installed"), &row, record)?;
+        record += 1;
+    }
+    match builder {
+        Some(b) => Ok(b.build()),
+        None => Err(IoError::Format("no records found".into())),
+    }
+}
+
+/// Reads the fvecs format (`i32` dimension header + `f32` coordinates per
+/// record, little-endian throughout).
+pub fn read_fvecs<R: Read>(reader: R, opts: &LoadOptions) -> Result<Dataset, IoError> {
+    read_vecs(reader, VecsElem::F32, opts)
+}
+
+/// Reads the ivecs format (`i32` coordinates).
+pub fn read_ivecs<R: Read>(reader: R, opts: &LoadOptions) -> Result<Dataset, IoError> {
+    read_vecs(reader, VecsElem::I32, opts)
+}
+
+/// Reads the bvecs format (`u8` coordinates).
+pub fn read_bvecs<R: Read>(reader: R, opts: &LoadOptions) -> Result<Dataset, IoError> {
+    read_vecs(reader, VecsElem::U8, opts)
+}
+
+/// Writes a dataset in fvecs layout. Coordinates are rounded to `f32` (the
+/// format's element type); a lossless roundtrip therefore requires
+/// f32-representable coordinates.
+pub fn write_fvecs<W: std::io::Write>(ds: &Dataset, writer: W) -> Result<(), IoError> {
+    let mut w = std::io::BufWriter::new(writer);
+    for (_, row) in ds.iter() {
+        w.write_all(&(ds.dim() as i32).to_le_bytes())?;
+        for &v in row {
+            w.write_all(&(v as f32).to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a dataset in ivecs layout. Coordinates are truncated to `i32`;
+/// lossless only for integer-valued data in `i32` range.
+pub fn write_ivecs<W: std::io::Write>(ds: &Dataset, writer: W) -> Result<(), IoError> {
+    let mut w = std::io::BufWriter::new(writer);
+    for (_, row) in ds.iter() {
+        w.write_all(&(ds.dim() as i32).to_le_bytes())?;
+        for &v in row {
+            w.write_all(&(v as i32).to_le_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// IDX element type codes (MNIST convention).
+const IDX_U8: u8 = 0x08;
+const IDX_I8: u8 = 0x09;
+const IDX_I16: u8 = 0x0B;
+const IDX_I32: u8 = 0x0C;
+const IDX_F32: u8 = 0x0D;
+const IDX_F64: u8 = 0x0E;
+
+fn idx_elem_size(dtype: u8) -> Result<usize, IoError> {
+    match dtype {
+        IDX_U8 | IDX_I8 => Ok(1),
+        IDX_I16 => Ok(2),
+        IDX_I32 | IDX_F32 => Ok(4),
+        IDX_F64 => Ok(8),
+        other => Err(IoError::UnsupportedDtype(other)),
+    }
+}
+
+fn idx_decode(dtype: u8, bytes: &[u8], out: &mut Vec<f64>) {
+    match dtype {
+        IDX_U8 => out.extend(bytes.iter().map(|&b| b as f64)),
+        IDX_I8 => out.extend(bytes.iter().map(|&b| b as i8 as f64)),
+        IDX_I16 => {
+            for c in bytes.chunks_exact(2) {
+                out.push(i16::from_be_bytes(c.try_into().expect("2 bytes")) as f64);
+            }
+        }
+        IDX_I32 => {
+            for c in bytes.chunks_exact(4) {
+                out.push(i32::from_be_bytes(c.try_into().expect("4 bytes")) as f64);
+            }
+        }
+        IDX_F32 => {
+            for c in bytes.chunks_exact(4) {
+                out.push(f32::from_be_bytes(c.try_into().expect("4 bytes")) as f64);
+            }
+        }
+        IDX_F64 => {
+            for c in bytes.chunks_exact(8) {
+                out.push(f64::from_be_bytes(c.try_into().expect("8 bytes")));
+            }
+        }
+        _ => unreachable!("idx_elem_size gates dtypes"),
+    }
+}
+
+/// Reads the IDX format (MNIST images/labels). The first header dimension
+/// counts records; trailing dimensions are flattened into one row per
+/// record. Supports element types u8, i8, i16, i32, f32 and f64.
+pub fn read_idx<R: Read>(mut reader: R, opts: &LoadOptions) -> Result<Dataset, IoError> {
+    let mut magic = [0u8; 4];
+    fill(&mut reader, &mut magic, 0, false).map_err(|e| match e {
+        IoError::Truncated { .. } => IoError::BadMagic("file shorter than an idx header".into()),
+        other => other,
+    })?;
+    if magic[0] != 0 || magic[1] != 0 {
+        return Err(IoError::BadMagic(format!(
+            "idx magic must start 0x00 0x00, found 0x{:02x} 0x{:02x}",
+            magic[0], magic[1]
+        )));
+    }
+    let dtype = magic[2];
+    let elem = idx_elem_size(dtype)?;
+    let ndim = magic[3] as usize;
+    if ndim == 0 {
+        return Err(IoError::Format(
+            "idx header declares zero dimensions".into(),
+        ));
+    }
+    let mut sizes = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        let mut word = [0u8; 4];
+        fill(&mut reader, &mut word, 0, false)?;
+        sizes.push(u32::from_be_bytes(word) as usize);
+    }
+    let n = sizes[0];
+    let row_elems: usize = sizes[1..]
+        .iter()
+        .try_fold(1usize, |acc, &s| acc.checked_mul(s))
+        .ok_or_else(|| IoError::Format("idx dimension product overflows".into()))?;
+    if row_elems == 0 {
+        return Err(IoError::Format("idx record has zero elements".into()));
+    }
+    if row_elems > MAX_RECORD_ELEMS {
+        return Err(IoError::Format(format!(
+            "idx record has implausibly many elements ({row_elems}; corrupt header?)"
+        )));
+    }
+    let n_eff = opts.limit.map_or(n, |l| l.min(n));
+    let keep = opts.keep_dims(row_elems);
+    let mut b = DatasetBuilder::with_capacity(keep, n_eff.min(MAX_RESERVE_ROWS));
+    let mut payload = vec![0u8; row_elems * elem];
+    let mut row: Vec<f64> = Vec::new();
+    for record in 0..n_eff {
+        fill(&mut reader, &mut payload, record, false)?;
+        row.clear();
+        idx_decode(dtype, &payload[..keep * elem], &mut row);
+        push_row(&mut b, &row, record)?;
+    }
+    if n_eff == 0 {
+        return Err(IoError::Format("no records found".into()));
+    }
+    Ok(b.build())
+}
+
+/// Writes a dataset in IDX layout with `f64` elements (lossless; two
+/// header dimensions: records × coordinates).
+pub fn write_idx<W: std::io::Write>(ds: &Dataset, writer: W) -> Result<(), IoError> {
+    let mut w = std::io::BufWriter::new(writer);
+    w.write_all(&[0, 0, IDX_F64, 2])?;
+    w.write_all(&(ds.len() as u32).to_be_bytes())?;
+    w.write_all(&(ds.dim() as u32).to_be_bytes())?;
+    for (_, row) in ds.iter() {
+        for &v in row {
+            w.write_all(&v.to_be_bytes())?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// A deterministic seeded downsample: `n` points drawn without replacement
+/// (ids shuffled by `seed`, then kept in ascending id order so the result
+/// is stable under re-numbering of the sample). Returns the whole dataset
+/// when `n >= ds.len()`.
+pub fn downsample(ds: &Dataset, n: usize, seed: u64) -> Dataset {
+    if n >= ds.len() {
+        return ds.clone();
+    }
+    let mut ids: Vec<usize> = (0..ds.len()).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    ids.shuffle(&mut rng);
+    ids.truncate(n);
+    ids.sort_unstable();
+    ds.subset(&ids).expect("ids drawn from 0..len")
+}
+
+/// Keeps only the first `dims` coordinates of every point (a deterministic
+/// dim-slicer for d-grid experiments). A `dims` at or above the dataset
+/// dimension returns a clone.
+pub fn slice_dims(ds: &Dataset, dims: usize) -> Dataset {
+    if dims >= ds.dim() || ds.dim() == 0 {
+        return ds.clone();
+    }
+    let keep = dims.max(1);
+    let mut b = DatasetBuilder::with_capacity(keep, ds.len());
+    for (_, row) in ds.iter() {
+        b.push(&row[..keep]).expect("finite prefix of a valid row");
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::from_rows(&[
+            vec![1.0, -2.5, 0.25],
+            vec![0.5, 1024.0, -8.0],
+            vec![3.125, 4.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn fvecs_roundtrip_preserves_f32_representable_data() {
+        let ds = sample();
+        let mut buf = Vec::new();
+        write_fvecs(&ds, &mut buf).unwrap();
+        assert_eq!(buf.len(), 3 * (4 + 3 * 4));
+        let back = read_fvecs(buf.as_slice(), &LoadOptions::all()).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn ivecs_and_bvecs_decode_their_element_types() {
+        let ds = Dataset::from_rows(&[vec![1.0, -7.0], vec![250.0, 3.0]]).unwrap();
+        let mut buf = Vec::new();
+        write_ivecs(&ds, &mut buf).unwrap();
+        let back = read_ivecs(buf.as_slice(), &LoadOptions::all()).unwrap();
+        assert_eq!(back, ds);
+
+        // bvecs: dimension header + raw bytes.
+        let mut bv = Vec::new();
+        bv.extend(2i32.to_le_bytes());
+        bv.extend([5u8, 200]);
+        bv.extend(2i32.to_le_bytes());
+        bv.extend([0u8, 255]);
+        let back = read_bvecs(bv.as_slice(), &LoadOptions::all()).unwrap();
+        assert_eq!(back.point(0), &[5.0, 200.0]);
+        assert_eq!(back.point(1), &[0.0, 255.0]);
+    }
+
+    #[test]
+    fn limit_and_dims_slice_the_stream() {
+        let ds = sample();
+        let mut buf = Vec::new();
+        write_fvecs(&ds, &mut buf).unwrap();
+        let opts = LoadOptions::all().with_limit(2).with_dims(2);
+        let back = read_fvecs(buf.as_slice(), &opts).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.dim(), 2);
+        assert_eq!(back.point(1), &ds.point(1)[..2]);
+        // A limit of zero reads nothing → typed "no records" error.
+        assert!(read_fvecs(buf.as_slice(), &LoadOptions::all().with_limit(0)).is_err());
+    }
+
+    #[test]
+    fn vecs_corruption_yields_typed_errors() {
+        let ds = sample();
+        let mut buf = Vec::new();
+        write_fvecs(&ds, &mut buf).unwrap();
+        // Truncated payload.
+        let err = read_fvecs(&buf[..buf.len() - 2], &LoadOptions::all()).unwrap_err();
+        assert!(matches!(err, IoError::Truncated { record: 2 }), "{err}");
+        // Truncated header.
+        let err = read_fvecs(&buf[..buf.len() - 14], &LoadOptions::all()).unwrap_err();
+        assert!(matches!(err, IoError::Truncated { .. }), "{err}");
+        // Dimension mismatch in the third record.
+        let mut bad = buf.clone();
+        let off = 2 * (4 + 12);
+        bad[off..off + 4].copy_from_slice(&2i32.to_le_bytes());
+        let err = read_fvecs(bad.as_slice(), &LoadOptions::all()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                IoError::DimMismatch {
+                    record: 2,
+                    expected: 3,
+                    got: 2
+                }
+            ),
+            "{err}"
+        );
+        // Nonpositive dimension.
+        let mut bad = buf.clone();
+        bad[..4].copy_from_slice(&(-1i32).to_le_bytes());
+        assert!(matches!(
+            read_fvecs(bad.as_slice(), &LoadOptions::all()),
+            Err(IoError::Format(_))
+        ));
+        // NaN coordinate.
+        let mut bad = buf;
+        bad[4..8].copy_from_slice(&f32::NAN.to_le_bytes());
+        let err = read_fvecs(bad.as_slice(), &LoadOptions::all()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                IoError::NonFinite {
+                    point: 0,
+                    coordinate: 0
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn idx_roundtrip_is_bit_exact() {
+        let ds = sample();
+        let mut buf = Vec::new();
+        write_idx(&ds, &mut buf).unwrap();
+        let back = read_idx(buf.as_slice(), &LoadOptions::all()).unwrap();
+        assert_eq!(back, ds);
+        // Prefix limit + dim slice.
+        let back = read_idx(
+            buf.as_slice(),
+            &LoadOptions::all().with_limit(1).with_dims(2),
+        )
+        .unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.point(0), &ds.point(0)[..2]);
+    }
+
+    #[test]
+    fn idx_flattens_trailing_dimensions_and_reads_all_dtypes() {
+        // A 2×2×3 u8 tensor: two records of six flattened coordinates.
+        let mut buf = vec![0, 0, IDX_U8, 3];
+        buf.extend(2u32.to_be_bytes());
+        buf.extend(2u32.to_be_bytes());
+        buf.extend(3u32.to_be_bytes());
+        buf.extend(1..=12u8);
+        let ds = read_idx(buf.as_slice(), &LoadOptions::all()).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.dim(), 6);
+        assert_eq!(ds.point(1), &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+
+        // i8 / i16 / i32 / f32 element decoding, one record each.
+        let cases: &[(u8, Vec<u8>, f64)] = &[
+            (IDX_I8, vec![0xFF], -1.0),
+            (IDX_I16, (-300i16).to_be_bytes().to_vec(), -300.0),
+            (IDX_I32, 70000i32.to_be_bytes().to_vec(), 70000.0),
+            (IDX_F32, 2.5f32.to_be_bytes().to_vec(), 2.5),
+        ];
+        for (dtype, payload, want) in cases {
+            let mut buf = vec![0, 0, *dtype, 2];
+            buf.extend(1u32.to_be_bytes());
+            buf.extend(1u32.to_be_bytes());
+            buf.extend(payload);
+            let ds = read_idx(buf.as_slice(), &LoadOptions::all()).unwrap();
+            assert_eq!(ds.point(0), &[*want], "dtype 0x{dtype:02x}");
+        }
+    }
+
+    #[test]
+    fn idx_corruption_yields_typed_errors() {
+        let ds = sample();
+        let mut buf = Vec::new();
+        write_idx(&ds, &mut buf).unwrap();
+        // Bad magic.
+        let mut bad = buf.clone();
+        bad[0] = 7;
+        assert!(matches!(
+            read_idx(bad.as_slice(), &LoadOptions::all()),
+            Err(IoError::BadMagic(_))
+        ));
+        // Unsupported dtype.
+        let mut bad = buf.clone();
+        bad[2] = 0x42;
+        assert!(matches!(
+            read_idx(bad.as_slice(), &LoadOptions::all()),
+            Err(IoError::UnsupportedDtype(0x42))
+        ));
+        // Truncated payload.
+        let err = read_idx(&buf[..buf.len() - 1], &LoadOptions::all()).unwrap_err();
+        assert!(matches!(err, IoError::Truncated { record: 2 }), "{err}");
+        // Empty input.
+        assert!(matches!(
+            read_idx(&[][..], &LoadOptions::all()),
+            Err(IoError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn downsample_is_deterministic_and_order_stable() {
+        let ds = crate::uniform_cube(200, 4, 9);
+        let a = downsample(&ds, 50, 7);
+        let b = downsample(&ds, 50, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        assert_ne!(a, downsample(&ds, 50, 8), "seed must matter");
+        // Full-size (or larger) request returns the dataset unchanged.
+        assert_eq!(downsample(&ds, 200, 1), ds);
+        assert_eq!(downsample(&ds, 10_000, 1), ds);
+    }
+
+    #[test]
+    fn slice_dims_keeps_prefixes() {
+        let ds = sample();
+        let cut = slice_dims(&ds, 2);
+        assert_eq!(cut.dim(), 2);
+        assert_eq!(cut.len(), ds.len());
+        for i in 0..ds.len() {
+            assert_eq!(cut.point(i), &ds.point(i)[..2]);
+        }
+        assert_eq!(slice_dims(&ds, 3), ds);
+        assert_eq!(slice_dims(&ds, 99), ds);
+    }
+}

@@ -19,12 +19,42 @@ use std::path::Path;
 pub const FVB_MAGIC: &[u8; 8] = b"RKNNFVB1";
 
 /// Errors raised by dataset I/O.
+///
+/// Malformed input is always a typed error, never a panic — the loader
+/// variants ([`IoError::BadMagic`], [`IoError::Truncated`],
+/// [`IoError::DimMismatch`], [`IoError::UnsupportedDtype`],
+/// [`IoError::NonFinite`]) let callers distinguish corruption modes.
 #[derive(Debug)]
 pub enum IoError {
     /// Underlying I/O failure.
     Io(io::Error),
     /// Structural problem in the input.
     Format(String),
+    /// The file's magic bytes do not identify the expected format.
+    BadMagic(String),
+    /// The file ended mid-record (header or payload cut short).
+    Truncated {
+        /// Zero-based index of the record that was cut short.
+        record: usize,
+    },
+    /// A record's declared dimension disagrees with the first record's.
+    DimMismatch {
+        /// Zero-based index of the offending record.
+        record: usize,
+        /// Dimension declared by the first record.
+        expected: usize,
+        /// Dimension declared by this record.
+        got: usize,
+    },
+    /// An IDX file declares an element type this loader does not support.
+    UnsupportedDtype(u8),
+    /// A coordinate parsed to NaN or an infinity.
+    NonFinite {
+        /// Zero-based point (record) index.
+        point: usize,
+        /// Zero-based coordinate index within the point.
+        coordinate: usize,
+    },
 }
 
 impl std::fmt::Display for IoError {
@@ -32,6 +62,24 @@ impl std::fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "i/o error: {e}"),
             IoError::Format(m) => write!(f, "format error: {m}"),
+            IoError::BadMagic(m) => write!(f, "bad magic: {m}"),
+            IoError::Truncated { record } => {
+                write!(f, "truncated input: record {record} is cut short")
+            }
+            IoError::DimMismatch {
+                record,
+                expected,
+                got,
+            } => write!(
+                f,
+                "record {record}: dimension {got} disagrees with first record's {expected}"
+            ),
+            IoError::UnsupportedDtype(code) => {
+                write!(f, "unsupported idx element type 0x{code:02x}")
+            }
+            IoError::NonFinite { point, coordinate } => {
+                write!(f, "point {point} coordinate {coordinate} is not finite")
+            }
         }
     }
 }
@@ -144,24 +192,94 @@ pub fn write_fvb<W: Write>(ds: &Dataset, writer: W) -> Result<(), IoError> {
     Ok(())
 }
 
-/// Loads a dataset from a path, dispatching on extension: `.fvb` is binary,
-/// anything else is parsed as CSV.
+fn extension(path: &Path) -> String {
+    path.extension()
+        .map(|e| e.to_string_lossy().to_ascii_lowercase())
+        .unwrap_or_default()
+}
+
+/// Loads a dataset from a path, dispatching on extension: `.fvb` is the
+/// native binary format, `.fvecs`/`.ivecs`/`.bvecs`/`.idx` are interchange
+/// formats (see [`crate::formats`]), anything else is parsed as CSV.
 pub fn load(path: &Path) -> Result<Dataset, IoError> {
+    load_with(path, &crate::formats::LoadOptions::all())
+}
+
+/// [`load`] with streaming options: a record-prefix `limit` and a
+/// coordinate `dims` slice are applied *during* the read for the record
+/// formats (the rest of the file is never parsed) and after the read for
+/// CSV/FVB. For the fixed-record-size `*vecs` formats the row count is
+/// derived from the file size so the padded buffer is reserved exactly
+/// once (no growth reallocations).
+pub fn load_with(path: &Path, opts: &crate::formats::LoadOptions) -> Result<Dataset, IoError> {
+    use crate::formats;
+    let ext = extension(path);
     let file = std::fs::File::open(path)?;
-    if path.extension().map(|e| e == "fvb").unwrap_or(false) {
-        read_fvb(file)
-    } else {
-        read_csv(file)
+    match ext.as_str() {
+        "fvecs" | "ivecs" | "bvecs" => {
+            // Peek the first record's dimension to derive the exact row
+            // count from the fixed record size, then reserve once.
+            let elem: u64 = if ext == "bvecs" { 1 } else { 4 };
+            let bytes = file.metadata()?.len();
+            let mut hdr = [0u8; 4];
+            let mut reader = BufReader::new(file);
+            let mut got = 0;
+            while got < hdr.len() {
+                match reader.read(&mut hdr[got..]) {
+                    Ok(0) => break,
+                    Ok(k) => got += k,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            let hint = if got == 4 {
+                let d = i32::from_le_bytes(hdr);
+                (d > 0).then(|| (bytes / (4 + d as u64 * elem)) as usize)
+            } else {
+                None
+            };
+            let mut o = *opts;
+            o.rows_hint = o.rows_hint.or(hint);
+            // Stitch the peeked header bytes back in front of the stream.
+            let reader = (&hdr[..got]).chain(reader);
+            match ext.as_str() {
+                "fvecs" => formats::read_fvecs(reader, &o),
+                "ivecs" => formats::read_ivecs(reader, &o),
+                _ => formats::read_bvecs(reader, &o),
+            }
+        }
+        "idx" => formats::read_idx(BufReader::new(file), opts),
+        _ => {
+            let full = if ext == "fvb" {
+                read_fvb(file)?
+            } else {
+                read_csv(file)?
+            };
+            let cut = match opts.limit {
+                Some(l) if l < full.len() => full
+                    .subset(&(0..l).collect::<Vec<_>>())
+                    .expect("prefix ids in range"),
+                _ => full,
+            };
+            Ok(match opts.dims {
+                Some(d) => formats::slice_dims(&cut, d),
+                None => cut,
+            })
+        }
     }
 }
 
-/// Saves a dataset to a path, dispatching on extension as in [`load`].
+/// Saves a dataset to a path, dispatching on extension as in [`load`]
+/// (`.fvb` native binary, `.fvecs`/`.ivecs`/`.idx` interchange, CSV
+/// otherwise).
 pub fn save(ds: &Dataset, path: &Path) -> Result<(), IoError> {
     let file = std::fs::File::create(path)?;
-    if path.extension().map(|e| e == "fvb").unwrap_or(false) {
-        write_fvb(ds, file)
-    } else {
-        write_csv(ds, file)
+    match extension(path).as_str() {
+        "fvb" => write_fvb(ds, file),
+        "fvecs" => crate::formats::write_fvecs(ds, file),
+        "ivecs" => crate::formats::write_ivecs(ds, file),
+        "idx" => crate::formats::write_idx(ds, file),
+        _ => write_csv(ds, file),
     }
 }
 
@@ -229,11 +347,51 @@ mod tests {
     fn path_dispatch() {
         let dir = std::env::temp_dir();
         let ds = sample();
-        for name in ["rknn_io_test.csv", "rknn_io_test.fvb"] {
+        for name in ["rknn_io_test.csv", "rknn_io_test.fvb", "rknn_io_test.idx"] {
             let path = dir.join(name);
             save(&ds, &path).unwrap();
             let back = load(&path).unwrap();
             assert_eq!(ds, back, "{name}");
+            let _ = std::fs::remove_file(&path);
+        }
+        // fvecs stores f32, so roundtrip through f32-representable data.
+        let ds32 = Dataset::from_rows(&[vec![1.0, -2.5], vec![0.25, 1024.5]]).unwrap();
+        let path = dir.join("rknn_io_test.fvecs");
+        save(&ds32, &path).unwrap();
+        assert_eq!(load(&path).unwrap(), ds32);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_with_applies_limit_and_dims_across_formats() {
+        let dir = std::env::temp_dir();
+        let ds = crate::uniform_cube(20, 6, 11);
+        let opts = crate::formats::LoadOptions::all()
+            .with_limit(7)
+            .with_dims(3);
+        for name in [
+            "rknn_io_lw.csv",
+            "rknn_io_lw.fvb",
+            "rknn_io_lw.fvecs",
+            "rknn_io_lw.idx",
+        ] {
+            let path = dir.join(name);
+            save(&ds, &path).unwrap();
+            let back = load_with(&path, &opts).unwrap();
+            assert_eq!(back.len(), 7, "{name}");
+            assert_eq!(back.dim(), 3, "{name}");
+            // fvecs quantizes to f32; uniform_cube coordinates are f64
+            // uniform samples, so compare against the quantized prefix.
+            for i in 0..7 {
+                for j in 0..3 {
+                    let want = if name.ends_with(".fvecs") {
+                        ds.point(i)[j] as f32 as f64
+                    } else {
+                        ds.point(i)[j]
+                    };
+                    assert_eq!(back.point(i)[j], want, "{name} [{i}][{j}]");
+                }
+            }
             let _ = std::fs::remove_file(&path);
         }
     }

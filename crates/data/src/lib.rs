@@ -17,15 +17,19 @@
 
 #![warn(missing_docs)]
 
+pub mod formats;
 pub mod generic;
 pub mod io;
 pub mod paperlike;
 pub mod rng;
 pub mod workload;
 
+pub use formats::{
+    downsample, read_bvecs, read_fvecs, read_idx, read_ivecs, slice_dims, LoadOptions,
+};
 pub use generic::{
     embedded_manifold, gaussian_blobs, mixed_manifold, uniform_cube, ManifoldSpec, MixComponent,
 };
-pub use io::{load, save};
+pub use io::{load, load_with, save};
 pub use paperlike::{aloi_like, fct_like, imagenet_like, mnist_like, sequoia_like, PaperDataset};
 pub use workload::sample_queries;

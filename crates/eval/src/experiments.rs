@@ -7,5 +7,6 @@ pub mod churn;
 pub mod hubness;
 pub mod lazy;
 pub mod scalability;
+pub mod scaling;
 pub mod substrates;
 pub mod table1;

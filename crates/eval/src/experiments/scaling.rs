@@ -1,0 +1,478 @@
+//! Per-algorithm scaling curves over n- and d-grids — the experiment that
+//! tests the paper's headline claim at scale.
+//!
+//! The claim (§7, Figures 3–8): RDT's dimensional testing needs no heavy
+//! precomputation, so as `n` grows its *total* cost (per-dataset
+//! precompute + query batch) overtakes MRkNNCoP's O(n log n) regression
+//! fit and RdNN's full kNN-graph build. Every previously recorded number
+//! lived at n=2000; this sweep builds each grid point through the
+//! streaming dataset builder, scores answers against cached
+//! [`SampledTruth`], and records wall/distance/precompute per algorithm,
+//! then locates the crossover points.
+//!
+//! Naive and TPL are exact but quadratic-ish; above their honesty caps
+//! they are recorded as skipped with a reason instead of burning hours —
+//! silent truncation would read as "covered everything".
+
+use crate::forward::Forward;
+use crate::truth::SampledTruth;
+use rknn_baselines::{MrknncopAlgorithm, NaiveRknn, RdnnAlgorithm, Sft, TplAlgorithm};
+use rknn_core::{Euclidean, PointId};
+use rknn_data::gaussian_blobs;
+use rknn_rdt::algorithm::{run_algorithm_batch, AlgorithmAnswer, RknnAlgorithm};
+use rknn_rdt::{RdtAlgorithm, RdtParams};
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of the scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ScalingConfig {
+    /// Dataset sizes of the n-sweep (at [`ScalingConfig::dim`]).
+    pub n_grid: Vec<usize>,
+    /// Dimensions of the d-sweep (at [`ScalingConfig::d_grid_n`] points).
+    pub d_grid: Vec<usize>,
+    /// Dataset size used for the d-sweep.
+    pub d_grid_n: usize,
+    /// Dimension used for the n-sweep.
+    pub dim: usize,
+    /// Gaussian mixture shape.
+    pub clusters: usize,
+    /// Per-cluster standard deviation.
+    pub sigma: f64,
+    /// The rank.
+    pub k: usize,
+    /// RDT scale parameter.
+    pub t: f64,
+    /// SFT filter parameter.
+    pub alpha: f64,
+    /// Queries sampled per grid point.
+    pub queries: usize,
+    /// Base RNG seed (dataset and query sampling derive from it).
+    pub seed: u64,
+    /// Worker threads for batch runs and truth computation.
+    pub threads: usize,
+    /// Largest n the naive baseline runs at (skipped-with-reason above).
+    pub naive_max_n: usize,
+    /// Largest n TPL runs at (skipped-with-reason above).
+    pub tpl_max_n: usize,
+    /// Directory for the sampled-truth cache; `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ScalingConfig {
+    fn default() -> Self {
+        ScalingConfig {
+            n_grid: vec![1_000, 10_000, 100_000],
+            d_grid: vec![8, 32, 128],
+            d_grid_n: 10_000,
+            dim: 32,
+            clusters: 8,
+            sigma: 0.08,
+            k: 10,
+            t: 8.0,
+            alpha: 4.0,
+            queries: 32,
+            seed: 42,
+            threads: 4,
+            naive_max_n: 5_000,
+            tpl_max_n: 20_000,
+            cache_dir: None,
+        }
+    }
+}
+
+/// One algorithm's measurements at one grid point.
+#[derive(Debug, Clone)]
+pub struct ScalingEntry {
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Per-dataset precompute wall time (ms) — the algorithm's own
+    /// preparation beyond the shared forward index.
+    pub precompute_ms: f64,
+    /// Distance computations spent in that precompute.
+    pub precompute_dist: u64,
+    /// Wall time of the whole query batch (ms).
+    pub batch_ms: f64,
+    /// Mean wall time per query (ms).
+    pub query_ms: f64,
+    /// Mean distance computations per query.
+    pub dist_per_query: f64,
+    /// `precompute_ms + batch_ms` — the amortized-total the crossover
+    /// analysis compares.
+    pub total_ms: f64,
+    /// Recall against the sampled exact truth (1.0 for exact methods).
+    pub recall: f64,
+}
+
+/// One grid point of the sweep.
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// Dataset size.
+    pub n: usize,
+    /// Dataset dimension.
+    pub dim: usize,
+    /// Streaming dataset generation+build wall time (ms).
+    pub dataset_build_ms: f64,
+    /// Shared forward (cover tree) index build wall time (ms).
+    pub index_build_ms: f64,
+    /// Sampled-truth wall time (ms; 0.0 on a cache hit).
+    pub truth_ms: f64,
+    /// Whether the truth came from the on-disk cache.
+    pub truth_from_cache: bool,
+    /// Mean exact reverse-neighborhood size over the sample.
+    pub truth_mean_size: f64,
+    /// Per-algorithm measurements.
+    pub entries: Vec<ScalingEntry>,
+    /// `(algorithm, reason)` for methods not run at this point.
+    pub skipped: Vec<(String, String)>,
+}
+
+impl ScalingPoint {
+    /// The entry for `algorithm`, if it ran at this point.
+    pub fn entry(&self, algorithm: &str) -> Option<&ScalingEntry> {
+        self.entries.iter().find(|e| e.algorithm == algorithm)
+    }
+}
+
+/// A located crossover: the smallest grid `n` where RDT's total cost beats
+/// a precompute-heavy baseline's.
+#[derive(Debug, Clone)]
+pub struct Crossover {
+    /// The baseline RDT is compared against.
+    pub baseline: String,
+    /// Smallest n-grid size where `RDT.total_ms < baseline.total_ms`
+    /// (`None` when the baseline wins everywhere it ran).
+    pub n: Option<usize>,
+    /// RDT's total at that point (ms).
+    pub rdt_total_ms: f64,
+    /// The baseline's total at that point (ms).
+    pub baseline_total_ms: f64,
+}
+
+/// The full sweep result.
+#[derive(Debug, Clone)]
+pub struct ScalingReport {
+    /// n-sweep points (ascending n, fixed dim).
+    pub n_points: Vec<ScalingPoint>,
+    /// d-sweep points (ascending dim, fixed n).
+    pub d_points: Vec<ScalingPoint>,
+    /// Crossovers of RDT vs the precompute-heavy exact baselines, from
+    /// the n-sweep.
+    pub crossovers: Vec<Crossover>,
+}
+
+fn measure<A>(
+    label: &str,
+    algo: &A,
+    forward: &Forward<Euclidean>,
+    queries: &[PointId],
+    truth: &SampledTruth,
+    threads: usize,
+) -> ScalingEntry
+where
+    A: RknnAlgorithm<Euclidean, Forward<Euclidean>>,
+{
+    let out = run_algorithm_batch(algo, forward, queries, threads);
+    let mut hit = 0usize;
+    let mut want_total = 0usize;
+    let mut dist = 0u64;
+    for (i, ans) in out.answers.iter().enumerate() {
+        let ids: HashSet<PointId> = ans.neighbors().iter().map(|n| n.id).collect();
+        let want = truth.answer(i);
+        hit += ids.intersection(want).count();
+        want_total += want.len();
+        dist += ans.work().dist_computations;
+    }
+    let nq = queries.len().max(1) as f64;
+    let pre = algo.precompute_time().as_secs_f64() * 1e3;
+    let batch_ms = out.elapsed.as_secs_f64() * 1e3;
+    ScalingEntry {
+        algorithm: label.to_string(),
+        precompute_ms: pre,
+        precompute_dist: algo.precompute_stats().dist_computations,
+        batch_ms,
+        query_ms: batch_ms / nq,
+        dist_per_query: dist as f64 / nq,
+        total_ms: pre + batch_ms,
+        recall: if want_total == 0 {
+            1.0
+        } else {
+            hit as f64 / want_total as f64
+        },
+    }
+}
+
+/// Runs every algorithm at one `(n, dim)` grid point.
+fn run_point(cfg: &ScalingConfig, n: usize, dim: usize) -> ScalingPoint {
+    let t0 = Instant::now();
+    let ds = gaussian_blobs(
+        n,
+        dim,
+        cfg.clusters,
+        cfg.sigma,
+        cfg.seed ^ (n as u64) ^ ((dim as u64) << 32),
+    );
+    let dataset_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let shared: Arc<_> = ds.clone().into_shared();
+    let (forward, build_time) = Forward::build(shared.clone(), Euclidean, true);
+    let index_build_ms = build_time.as_secs_f64() * 1e3;
+
+    let truth = match &cfg.cache_dir {
+        Some(dir) => SampledTruth::load_or_compute(
+            dir,
+            &forward,
+            &ds,
+            cfg.k,
+            cfg.queries,
+            cfg.seed,
+            cfg.threads,
+        ),
+        None => SampledTruth::compute(&forward, &ds, cfg.k, cfg.queries, cfg.seed, cfg.threads),
+    };
+    let queries = truth.queries();
+
+    let mut entries = Vec::new();
+    let mut skipped = Vec::new();
+
+    let mut rdt = RdtAlgorithm::new(RdtParams::new(cfg.k, cfg.t)).with_dk_reuse(false);
+    rdt.prepare(&forward);
+    entries.push(measure(
+        "RDT",
+        &rdt,
+        &forward,
+        &queries,
+        &truth,
+        cfg.threads,
+    ));
+
+    let mut plus = RdtAlgorithm::plus(RdtParams::new(cfg.k, cfg.t)).with_dk_reuse(false);
+    plus.prepare(&forward);
+    entries.push(measure(
+        "RDT+",
+        &plus,
+        &forward,
+        &queries,
+        &truth,
+        cfg.threads,
+    ));
+
+    let sft = Sft::new(cfg.k, cfg.alpha);
+    entries.push(measure(
+        "SFT",
+        &sft,
+        &forward,
+        &queries,
+        &truth,
+        cfg.threads,
+    ));
+
+    let mut mrk = MrknncopAlgorithm::new(shared.clone(), Euclidean, cfg.k, cfg.k);
+    mrk.prepare(&forward);
+    entries.push(measure(
+        "MRkNNCoP",
+        &mrk,
+        &forward,
+        &queries,
+        &truth,
+        cfg.threads,
+    ));
+
+    let mut rdnn = RdnnAlgorithm::new(shared.clone(), Euclidean, cfg.k);
+    rdnn.prepare(&forward);
+    entries.push(measure(
+        "RdNN",
+        &rdnn,
+        &forward,
+        &queries,
+        &truth,
+        cfg.threads,
+    ));
+
+    if n <= cfg.tpl_max_n {
+        let mut tpl = TplAlgorithm::new(shared.clone(), Euclidean, cfg.k);
+        tpl.prepare(&forward);
+        entries.push(measure(
+            "TPL",
+            &tpl,
+            &forward,
+            &queries,
+            &truth,
+            cfg.threads,
+        ));
+    } else {
+        skipped.push((
+            "TPL".to_string(),
+            format!("n={n} exceeds tpl_max_n={}", cfg.tpl_max_n),
+        ));
+    }
+
+    if n <= cfg.naive_max_n {
+        let naive = NaiveRknn::new(cfg.k);
+        entries.push(measure(
+            "naive",
+            &naive,
+            &forward,
+            &queries,
+            &truth,
+            cfg.threads,
+        ));
+    } else {
+        skipped.push((
+            "naive".to_string(),
+            format!("n={n} exceeds naive_max_n={}", cfg.naive_max_n),
+        ));
+    }
+
+    ScalingPoint {
+        n,
+        dim,
+        dataset_build_ms,
+        index_build_ms,
+        truth_ms: truth.elapsed.as_secs_f64() * 1e3,
+        truth_from_cache: truth.from_cache,
+        truth_mean_size: truth.mean_size(),
+        entries,
+        skipped,
+    }
+}
+
+/// Locates, per precompute-heavy baseline, the smallest n-grid point where
+/// RDT's total cost (precompute + batch) undercuts the baseline's.
+pub fn find_crossovers(n_points: &[ScalingPoint]) -> Vec<Crossover> {
+    ["MRkNNCoP", "RdNN"]
+        .iter()
+        .map(|&baseline| {
+            let mut found: Option<(usize, f64, f64)> = None;
+            for p in n_points {
+                if let (Some(rdt), Some(base)) = (p.entry("RDT"), p.entry(baseline)) {
+                    if rdt.total_ms < base.total_ms {
+                        found = Some((p.n, rdt.total_ms, base.total_ms));
+                        break;
+                    }
+                }
+            }
+            match found {
+                Some((n, r, b)) => Crossover {
+                    baseline: baseline.to_string(),
+                    n: Some(n),
+                    rdt_total_ms: r,
+                    baseline_total_ms: b,
+                },
+                None => {
+                    // Record the largest point both ran at, so the "no
+                    // crossover" honesty field carries the actual numbers.
+                    let last = n_points
+                        .iter()
+                        .rev()
+                        .find_map(|p| p.entry("RDT").zip(p.entry(baseline)));
+                    Crossover {
+                        baseline: baseline.to_string(),
+                        n: None,
+                        rdt_total_ms: last.map_or(f64::NAN, |(r, _)| r.total_ms),
+                        baseline_total_ms: last.map_or(f64::NAN, |(_, b)| b.total_ms),
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// Runs the full sweep: the n-grid at `cfg.dim`, the d-grid at
+/// `cfg.d_grid_n`, and the crossover analysis over the n-sweep.
+pub fn run_scaling(cfg: &ScalingConfig) -> ScalingReport {
+    let mut n_grid = cfg.n_grid.clone();
+    n_grid.sort_unstable();
+    n_grid.dedup();
+    let n_points: Vec<ScalingPoint> = n_grid.iter().map(|&n| run_point(cfg, n, cfg.dim)).collect();
+    let mut d_grid = cfg.d_grid.clone();
+    d_grid.sort_unstable();
+    d_grid.dedup();
+    let d_points = d_grid
+        .iter()
+        .map(|&d| run_point(cfg, cfg.d_grid_n, d))
+        .collect();
+    let crossovers = find_crossovers(&n_points);
+    ScalingReport {
+        n_points,
+        d_points,
+        crossovers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_records_curves_skips_and_crossovers() {
+        let cfg = ScalingConfig {
+            n_grid: vec![200, 600],
+            d_grid: vec![4, 8],
+            d_grid_n: 300,
+            dim: 8,
+            clusters: 3,
+            k: 4,
+            queries: 8,
+            threads: 2,
+            naive_max_n: 300,
+            tpl_max_n: 600,
+            ..ScalingConfig::default()
+        };
+        let report = run_scaling(&cfg);
+        assert_eq!(report.n_points.len(), 2);
+        assert_eq!(report.d_points.len(), 2);
+        let p0 = &report.n_points[0];
+        assert_eq!(p0.n, 200);
+        // Exact methods score perfect recall against the sampled truth.
+        for name in ["RDT", "MRkNNCoP", "RdNN", "TPL", "naive"] {
+            let e = p0.entry(name).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(e.recall, 1.0, "{name} must be exact");
+            assert!(e.total_ms >= e.batch_ms);
+        }
+        // Above the naive cap the skip is recorded with a reason.
+        let p1 = &report.n_points[1];
+        assert!(p1.entry("naive").is_none());
+        assert!(p1
+            .skipped
+            .iter()
+            .any(|(a, why)| a == "naive" && why.contains("naive_max_n")));
+        // Crossover analysis covers both precompute-heavy baselines.
+        assert_eq!(report.crossovers.len(), 2);
+        for c in &report.crossovers {
+            if let Some(n) = c.n {
+                assert!(cfg.n_grid.contains(&n));
+                assert!(c.rdt_total_ms < c.baseline_total_ms);
+            } else {
+                assert!(c.rdt_total_ms.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn truth_cache_short_circuits_the_second_sweep() {
+        let dir = std::env::temp_dir().join(format!("rknn-scaling-cache-{}", std::process::id()));
+        let cfg = ScalingConfig {
+            n_grid: vec![150],
+            d_grid: vec![],
+            d_grid_n: 150,
+            dim: 4,
+            clusters: 2,
+            k: 3,
+            queries: 5,
+            threads: 1,
+            cache_dir: Some(dir.clone()),
+            ..ScalingConfig::default()
+        };
+        let first = run_scaling(&cfg);
+        assert!(!first.n_points[0].truth_from_cache);
+        let second = run_scaling(&cfg);
+        assert!(second.n_points[0].truth_from_cache);
+        assert_eq!(
+            first.n_points[0].truth_mean_size,
+            second.n_points[0].truth_mean_size
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

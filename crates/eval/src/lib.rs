@@ -39,4 +39,4 @@ pub use forward::Forward;
 pub use metrics::{precision, recall};
 pub use report::Table;
 pub use tradeoff::{run_tradeoff, TradeoffConfig, TradeoffRow};
-pub use truth::{DkTable, GroundTruth};
+pub use truth::{dataset_fingerprint, DkTable, GroundTruth, SampledTruth};

@@ -1,0 +1,188 @@
+//! Workspace-level property tests for the interchange-format loaders:
+//! write→read roundtrips, typed errors (never panics) on corrupt input,
+//! and determinism of the seeded downsampler/dim-slicer.
+
+use proptest::prelude::*;
+use rknn::data::formats::{
+    read_bvecs, read_fvecs, read_idx, read_ivecs, write_fvecs, write_idx, write_ivecs,
+};
+use rknn::data::io::IoError;
+use rknn::data::{downsample, slice_dims, LoadOptions};
+use rknn::prelude::Dataset;
+
+/// Row sets whose every coordinate survives an f32 cast bit-exactly, so
+/// the fvecs roundtrip can assert full equality instead of tolerance.
+fn arb_f32_rows() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (1usize..6).prop_flat_map(|dim| {
+        proptest::collection::vec(
+            proptest::collection::vec((-1000f32..1000f32).prop_map(|v| v as f64), dim),
+            1..40,
+        )
+    })
+}
+
+fn arb_int_rows() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (1usize..6).prop_flat_map(|dim| {
+        proptest::collection::vec(
+            proptest::collection::vec((0u32..200_000).prop_map(|v| v as f64 - 100_000.0), dim),
+            1..40,
+        )
+    })
+}
+
+fn arb_f64_rows() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (1usize..6).prop_flat_map(|dim| {
+        proptest::collection::vec(proptest::collection::vec(-1e12f64..1e12, dim), 1..40)
+    })
+}
+
+fn rows_of(ds: &Dataset) -> Vec<Vec<f64>> {
+    ds.iter().map(|(_, p)| p.to_vec()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// fvecs write→read is exact for f32-representable data, and
+    /// `--limit`/`--dims`-style options slice the stream on the way in.
+    #[test]
+    fn fvecs_roundtrips_and_slices(rows in arb_f32_rows(), limit in 1usize..50, dims in 1usize..8) {
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let mut buf = Vec::new();
+        write_fvecs(&ds, &mut buf).unwrap();
+        let back = read_fvecs(&buf[..], &LoadOptions::all()).unwrap();
+        prop_assert_eq!(rows_of(&back), rows.clone());
+
+        let opts = LoadOptions::all().with_limit(limit).with_dims(dims);
+        let cut = read_fvecs(&buf[..], &opts).unwrap();
+        let want_n = limit.min(rows.len());
+        let want_d = dims.min(rows[0].len());
+        prop_assert_eq!((cut.len(), cut.dim()), (want_n, want_d));
+        for (i, row) in rows.iter().enumerate().take(want_n) {
+            prop_assert_eq!(cut.point(i), &row[..want_d]);
+        }
+    }
+
+    /// ivecs roundtrips integer data exactly.
+    #[test]
+    fn ivecs_roundtrips(rows in arb_int_rows()) {
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let mut buf = Vec::new();
+        write_ivecs(&ds, &mut buf).unwrap();
+        let back = read_ivecs(&buf[..], &LoadOptions::all()).unwrap();
+        prop_assert_eq!(rows_of(&back), rows);
+    }
+
+    /// idx (f64 dtype) is the lossless carrier: any finite data roundtrips
+    /// bit-exactly.
+    #[test]
+    fn idx_roundtrips_losslessly(rows in arb_f64_rows()) {
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let mut buf = Vec::new();
+        write_idx(&ds, &mut buf).unwrap();
+        let back = read_idx(&buf[..], &LoadOptions::all()).unwrap();
+        prop_assert_eq!(rows_of(&back), rows);
+    }
+
+    /// Arbitrary bytes fed to every reader produce `Ok` or a typed error —
+    /// never a panic, never a runaway allocation.
+    #[test]
+    fn readers_never_panic_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = read_fvecs(&bytes[..], &LoadOptions::all());
+        let _ = read_ivecs(&bytes[..], &LoadOptions::all());
+        let _ = read_bvecs(&bytes[..], &LoadOptions::all());
+        let _ = read_idx(&bytes[..], &LoadOptions::all());
+    }
+
+    /// Truncating a valid fvecs stream anywhere inside a record yields the
+    /// typed `Truncated` error naming that record.
+    #[test]
+    fn truncation_is_reported_with_the_record(rows in arb_f32_rows(), cut_back in 1usize..16) {
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let mut buf = Vec::new();
+        write_fvecs(&ds, &mut buf).unwrap();
+        let cut = cut_back.min(buf.len() - 1).max(1);
+        let short = &buf[..buf.len() - cut];
+        match read_fvecs(short, &LoadOptions::all()) {
+            Err(IoError::Truncated { record }) => prop_assert!(record < rows.len()),
+            // Cutting exactly at a record boundary removes whole trailing
+            // records; the shorter read must still be a prefix.
+            Ok(back) => {
+                prop_assert!(back.len() < rows.len());
+                for (i, row) in rows.iter().enumerate().take(back.len()) {
+                    prop_assert_eq!(back.point(i), &row[..]);
+                }
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {other}"),
+        }
+    }
+
+    /// The seeded downsampler is deterministic, a subset of the source
+    /// rows, and sensitive to the seed once there is room to differ.
+    #[test]
+    fn downsample_is_deterministic(rows in arb_f64_rows(), n in 1usize..40, seed in any::<u64>()) {
+        let ds = Dataset::from_rows(&rows).unwrap();
+        let a = downsample(&ds, n, seed);
+        let b = downsample(&ds, n, seed);
+        prop_assert_eq!(rows_of(&a), rows_of(&b));
+        prop_assert_eq!(a.len(), n.min(ds.len()));
+        let source: std::collections::HashSet<Vec<u64>> = rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_bits()).collect())
+            .collect();
+        for (_, p) in a.iter() {
+            let key: Vec<u64> = p.iter().map(|v| v.to_bits()).collect();
+            prop_assert!(source.contains(&key), "downsample invented a row");
+        }
+        let sliced = slice_dims(&ds, 1);
+        prop_assert_eq!(sliced.dim(), 1);
+        prop_assert_eq!(sliced.len(), ds.len());
+    }
+}
+
+#[test]
+fn corrupt_headers_yield_typed_errors() {
+    // fvecs dim mismatch mid-stream.
+    let mut buf = Vec::new();
+    write_fvecs(&Dataset::from_rows(&[vec![1.0, 2.0]]).unwrap(), &mut buf).unwrap();
+    buf.extend(3i32.to_le_bytes());
+    buf.extend([0u8; 12]);
+    match read_fvecs(&buf[..], &LoadOptions::all()) {
+        Err(IoError::DimMismatch {
+            record,
+            expected,
+            got,
+        }) => assert_eq!((record, expected, got), (1, 2, 3)),
+        other => panic!("expected DimMismatch, got {other:?}"),
+    }
+
+    // An implausibly large fvecs dimension is rejected before allocating.
+    let mut huge = Vec::new();
+    huge.extend(i32::MAX.to_le_bytes());
+    assert!(matches!(
+        read_fvecs(&huge[..], &LoadOptions::all()),
+        Err(IoError::Format(_))
+    ));
+
+    // idx magic and dtype corruption.
+    assert!(matches!(
+        read_idx(&[1u8, 2, 3, 4][..], &LoadOptions::all()),
+        Err(IoError::BadMagic(_))
+    ));
+    assert!(matches!(
+        read_idx(&[0u8, 0, 0x42, 1, 0, 0, 0, 1][..], &LoadOptions::all()),
+        Err(IoError::UnsupportedDtype(0x42))
+    ));
+
+    // NaN coordinates are a typed NonFinite naming point and coordinate.
+    let mut nan = Vec::new();
+    nan.extend(2i32.to_le_bytes());
+    nan.extend(1.0f32.to_le_bytes());
+    nan.extend(f32::NAN.to_le_bytes());
+    match read_fvecs(&nan[..], &LoadOptions::all()) {
+        Err(IoError::NonFinite { point, coordinate }) => {
+            assert_eq!((point, coordinate), (0, 1))
+        }
+        other => panic!("expected NonFinite, got {other:?}"),
+    }
+}

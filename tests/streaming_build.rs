@@ -1,0 +1,110 @@
+//! Workspace-level tests for the streaming `DatasetBuilder` path: chunked
+//! appends must produce byte-identical storage to the one-shot
+//! `Dataset::from_rows`, across chunkings and including the degenerate
+//! shapes, with the builder's allocation accounting telling the truth.
+
+use proptest::prelude::*;
+use rknn::core::{Dataset, DatasetBuilder};
+
+fn arb_rows() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (1usize..9).prop_flat_map(|dim| {
+        proptest::collection::vec(proptest::collection::vec(-1e6f64..1e6, dim), 0..60)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any chunking of the row stream — including empty chunks — builds
+    /// storage byte-identical (padding included) to the one-shot pack.
+    #[test]
+    fn chunked_build_is_byte_identical_to_from_rows(
+        rows in arb_rows(),
+        chunk_sizes in proptest::collection::vec(0usize..9, 1..12),
+    ) {
+        let dim = rows.first().map_or(1, |r| r.len());
+        let mut b = DatasetBuilder::new(dim);
+        let mut fed = 0usize;
+        let mut flat = Vec::new();
+        'outer: for &c in chunk_sizes.iter().cycle() {
+            if fed >= rows.len() {
+                break 'outer;
+            }
+            let take = c.min(rows.len() - fed);
+            flat.clear();
+            for r in &rows[fed..fed + take] {
+                flat.extend_from_slice(r);
+            }
+            prop_assert_eq!(b.push_chunk(&flat).unwrap(), take);
+            fed += take;
+            if chunk_sizes.iter().all(|&s| s == 0) {
+                break 'outer; // all-empty chunking cannot make progress
+            }
+        }
+        // Feed any remainder row-by-row (covers the all-zero-chunks draw).
+        for r in &rows[fed..] {
+            b.push(r).unwrap();
+        }
+        let (streamed, stats) = b.build_counted();
+        prop_assert_eq!(stats.rows, rows.len());
+
+        if rows.is_empty() {
+            prop_assert!(streamed.is_empty());
+            prop_assert_eq!(stats.final_bytes, 0);
+        } else {
+            let packed = Dataset::from_rows(&rows).unwrap();
+            prop_assert_eq!(streamed.len(), packed.len());
+            prop_assert_eq!(streamed.dim(), packed.dim());
+            prop_assert_eq!(streamed.stride(), packed.stride());
+            // Byte identity over the padded storage, not just logical rows.
+            let a: Vec<u64> = streamed.padded_flat().iter().map(|v| v.to_bits()).collect();
+            let c: Vec<u64> = packed.padded_flat().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(a, c);
+        }
+    }
+
+    /// A presized builder never reallocates and peaks at exactly its final
+    /// footprint; an unhinted builder's accounting covers the true peak.
+    #[test]
+    fn allocation_accounting_is_honest(rows in arb_rows()) {
+        let dim = rows.first().map_or(1, |r| r.len());
+        let mut presized = DatasetBuilder::with_capacity(dim, rows.len());
+        let mut unhinted = DatasetBuilder::new(dim);
+        for r in &rows {
+            presized.push(r).unwrap();
+            unhinted.push(r).unwrap();
+        }
+        let (pd, ps) = presized.build_counted();
+        let (ud, us) = unhinted.build_counted();
+        prop_assert_eq!(ps.reallocs, 0);
+        prop_assert!(ps.peak_bytes >= ps.final_bytes);
+        prop_assert!(us.peak_bytes >= us.final_bytes);
+        prop_assert_eq!(ps.final_bytes, us.final_bytes);
+        prop_assert_eq!(pd.len(), ud.len());
+        if !rows.is_empty() {
+            prop_assert_eq!(pd.storage_bytes(), ps.final_bytes);
+        }
+    }
+}
+
+#[test]
+fn degenerate_shapes_build_cleanly() {
+    // Zero rows → an empty dataset, stats all zero, ratio defined as 1.
+    let (ds, stats) = DatasetBuilder::new(3).build_counted();
+    assert!(ds.is_empty());
+    assert_eq!((stats.rows, stats.final_bytes, stats.reallocs), (0, 0, 0));
+    assert_eq!(stats.peak_ratio(), 1.0);
+
+    // A single chunk holding the whole dataset equals from_rows.
+    let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+    let mut b = DatasetBuilder::new(2);
+    assert_eq!(b.push_chunk(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap(), 3);
+    let streamed = b.build();
+    let packed = Dataset::from_rows(&rows).unwrap();
+    assert_eq!(streamed.padded_flat(), packed.padded_flat());
+
+    // A ragged trailing chunk is rejected atomically: no rows appended.
+    let mut b = DatasetBuilder::new(2);
+    assert!(b.push_chunk(&[1.0, 2.0, 3.0]).is_err());
+    assert!(b.is_empty());
+}

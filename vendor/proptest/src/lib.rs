@@ -5,7 +5,10 @@
 //!
 //! * [`strategy::Strategy`] — value generators; numeric `Range`s are
 //!   strategies, tuples of strategies are strategies,
-//!   [`strategy::Strategy::prop_map`] transforms outputs, and
+//!   [`strategy::Strategy::prop_map`] transforms outputs,
+//!   [`strategy::Strategy::prop_flat_map`] derives dependent strategies
+//!   (draw a dimension, then rows of that dimension),
+//!   [`strategy::any`] draws unconstrained primitives, and
 //!   [`collection::vec`] composes them into vectors (with either an exact
 //!   `usize` length or a `Range<usize>`);
 //! * [`proptest!`] — the test-harness macro, including the optional
@@ -49,6 +52,17 @@ pub mod strategy {
             Self: Sized,
         {
             Map { inner: self, f }
+        }
+
+        /// Derives a second strategy from each generated value and samples
+        /// it (real proptest's `prop_flat_map`, minus shrinking) — the
+        /// dependent-generation combinator, e.g. "draw a dimension, then
+        /// rows of exactly that dimension".
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
         }
 
         /// Type-erases this strategy (real proptest's `boxed`), so
@@ -107,6 +121,62 @@ pub mod strategy {
         type Value = T;
         fn sample(&self, rng: &mut SmallRng) -> T {
             (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut SmallRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// A strategy drawing any value of a primitive type uniformly (real
+    /// proptest's `any::<T>()`, for the types the workspace tests use).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+
+    /// See [`any`].
+    #[derive(Debug, Clone)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Types [`any`] can draw.
+    pub trait Arbitrary: Sized {
+        /// Draws one unconstrained value.
+        fn arbitrary(rng: &mut SmallRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut SmallRng) -> $t {
+                    use rand::RngCore;
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut SmallRng) -> bool {
+            use rand::RngCore;
+            rng.next_u64() & 1 == 1
         }
     }
 
@@ -232,7 +302,7 @@ pub mod test_runner {
 /// The common imports: `use proptest::prelude::*;`.
 pub mod prelude {
     pub use crate::collection;
-    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
     pub use crate::test_runner::ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
@@ -362,6 +432,29 @@ mod tests {
         assert!((5..120).contains(&v.len()));
         assert!(v.iter().all(|row| row.len() == 3));
         assert!(v.iter().flatten().all(|x| (-100.0..100.0).contains(x)));
+    }
+
+    #[test]
+    fn flat_map_derives_dependent_strategies() {
+        use crate::strategy::{any, Strategy};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        // The loader-test shape: draw a dimension, then rows of exactly
+        // that dimension.
+        let rows = (1usize..5)
+            .prop_flat_map(|dim| collection::vec(collection::vec(0.0f64..1.0, dim), 1..10));
+        for _ in 0..100 {
+            let v = rows.sample(&mut rng);
+            let dim = v[0].len();
+            assert!((1..5).contains(&dim));
+            assert!(v.iter().all(|row| row.len() == dim));
+        }
+        let mut seen = std::collections::HashSet::new();
+        let bytes = any::<u8>();
+        for _ in 0..2000 {
+            seen.insert(bytes.sample(&mut rng));
+        }
+        assert!(seen.len() > 200, "any::<u8> covered only {}", seen.len());
     }
 
     #[test]
