@@ -783,18 +783,20 @@ fn main() {
     let (del_lo, del_hi) = spread(|r| r.mean_delete_ms);
     let (ratio_lo, ratio_hi) = spread(|r| r.update_vs_rebuild);
     let churn_mean_ms = per_update(churn);
-    let updates_per_sec = if churn_mean_ms > 0.0 {
-        1e3 / churn_mean_ms
-    } else {
-        f64::INFINITY
-    };
+    // Guarded rate: a zero-duration or zero-update churn section emits an
+    // explicit skipped marker instead of an `inf` that breaks JSON parsers.
+    let updates_per_sec_json = rknn_bench::rate_json(
+        "updates_per_sec",
+        (churn.inserts + churn.deletes) as f64,
+        churn_mean_ms * (churn.inserts + churn.deletes) as f64 / 1e3,
+    );
     let parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
     let dynamic_json = format!(
         "  \"dynamic\": {{ \"n\": {cn}, \"dim\": {dim}, \"k\": {k}, \"t\": 50, \
          \"substrate\": \"cover-tree\", \"inserts\": {ins}, \"deletes\": {del}, \
          \"mean_insert_ms\": {ims:.3}, \"mean_insert_ms_min\": {imslo:.3}, \"mean_insert_ms_max\": {imshi:.3}, \
          \"mean_delete_ms\": {dms:.3}, \"mean_delete_ms_min\": {dmslo:.3}, \"mean_delete_ms_max\": {dmshi:.3}, \
-         \"updates_per_sec\": {ups:.1}, \"mean_recomputed_queries\": {rec:.1}, \
+         {updates_per_sec_json}, \"mean_recomputed_queries\": {rec:.1}, \
          \"mean_affected_points\": {aff:.1}, \"dk_maintenance_ms\": {maint:.3}, \
          \"rebuild_ms\": {reb:.2}, \"update_vs_rebuild\": {ratio:.4}, \
          \"update_vs_rebuild_min\": {ratiolo:.4}, \"update_vs_rebuild_max\": {ratiohi:.4}, \
@@ -809,7 +811,6 @@ fn main() {
         dms = churn.mean_delete_ms,
         dmslo = del_lo,
         dmshi = del_hi,
-        ups = updates_per_sec,
         rec = churn.mean_recomputed,
         aff = churn.mean_affected,
         maint = churn.maintenance_ms,

@@ -77,6 +77,34 @@ impl HarnessOpts {
     }
 }
 
+/// JSON fragment for a rate (`events / seconds`): the finite value under
+/// `key`, or — when the section had zero events or zero duration — `null`
+/// plus an explicit `<key>_skipped` marker naming the reason, so BENCH
+/// files stay machine-parseable instead of carrying `inf`/`NaN` (which are
+/// not JSON at all).
+pub fn rate_json(key: &str, events: f64, seconds: f64) -> String {
+    let rate = events / seconds;
+    if events > 0.0 && seconds > 0.0 && rate.is_finite() {
+        format!("\"{key}\": {rate:.1}")
+    } else {
+        let reason = if events <= 0.0 {
+            "zero events in section"
+        } else {
+            "zero-duration section"
+        };
+        format!("\"{key}\": null, \"{key}_skipped\": \"{reason}\"")
+    }
+}
+
+/// JSON fragment for an already-computed optional value: the value under
+/// `key` when present and finite, else `null` plus `<key>_skipped`.
+pub fn opt_json(key: &str, value: Option<f64>, skip_reason: &str) -> String {
+    match value {
+        Some(v) if v.is_finite() => format!("\"{key}\": {v:.3}"),
+        _ => format!("\"{key}\": null, \"{key}_skipped\": \"{skip_reason}\""),
+    }
+}
+
 /// Runs one Figures 3–6 style tradeoff figure and emits its table.
 ///
 /// `use_cover_tree` follows §7.1: cover tree everywhere except the
@@ -116,5 +144,39 @@ mod tests {
         let opts = HarnessOpts { scale: 2.0, ..opts };
         assert_eq!(opts.scaled(100), 200);
         assert_eq!(opts.queries_or(40), 40);
+    }
+
+    #[test]
+    fn rate_json_guards_zero_denominators() {
+        assert_eq!(rate_json("qps", 100.0, 2.0), "\"qps\": 50.0");
+        assert_eq!(
+            rate_json("qps", 100.0, 0.0),
+            "\"qps\": null, \"qps_skipped\": \"zero-duration section\""
+        );
+        assert_eq!(
+            rate_json("qps", 0.0, 2.0),
+            "\"qps\": null, \"qps_skipped\": \"zero events in section\""
+        );
+        assert_eq!(
+            rate_json("qps", 0.0, 0.0),
+            "\"qps\": null, \"qps_skipped\": \"zero events in section\""
+        );
+        // The fragments parse as JSON object members.
+        for frag in [rate_json("r", 1.0, 1.0), rate_json("r", 1.0, 0.0)] {
+            assert!(frag.starts_with("\"r\":"));
+        }
+    }
+
+    #[test]
+    fn opt_json_skips_absent_and_non_finite() {
+        assert_eq!(opt_json("p99", Some(1.5), "x"), "\"p99\": 1.500");
+        assert_eq!(
+            opt_json("p99", None, "too few queries"),
+            "\"p99\": null, \"p99_skipped\": \"too few queries\""
+        );
+        assert_eq!(
+            opt_json("p99", Some(f64::INFINITY), "overflow"),
+            "\"p99\": null, \"p99_skipped\": \"overflow\""
+        );
     }
 }

@@ -10,6 +10,8 @@ use rknn_rdt::algorithm::{
     run_algorithm_batch, AlgorithmAnswer, AlgorithmOutcome, RdtAlgorithm, RknnAlgorithm,
 };
 use rknn_rdt::{MaintainedStream, RdtParams, RdtPlus, RdtVariant};
+use rknn_serve::{advance_snapshot, ChurnOp, Engine, EngineConfig, Snapshot, SubmitError};
+use std::io::{BufRead, Write};
 use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
@@ -348,7 +350,10 @@ pub fn bench(args: &Args) -> Result<(), String> {
     }
     let queries: usize = args.get_parsed("queries", 32)?;
     let seed: u64 = args.get_parsed("seed", 42)?;
-    let threads: usize = args.get_parsed("threads", 2)?;
+    // `0` (the default) defers to RKNN_THREADS, then to the CPU count, so
+    // thread-scaling runs are reproducible on any host without editing the
+    // command line.
+    let threads: usize = args.get_parsed("threads", 0)?;
     let methods = args.get("methods").unwrap_or("rdt,rdt+,sft,mrknncop,rdnn");
     let (metric, kernel_header) = kernel_selection(args)?;
     let (sub, build_ms) = Substrate::build(args, ds.clone(), metric)?;
@@ -361,7 +366,10 @@ pub fn bench(args: &Args) -> Result<(), String> {
         qs.len(),
         index.name()
     );
-    println!("  substrate build {build_ms:.2} ms");
+    let effective = rknn_rdt::algorithm::requested_threads(threads).clamp(1, qs.len().max(1));
+    println!(
+        "  substrate build {build_ms:.2} ms · threads requested {threads}, effective {effective}"
+    );
     println!(
         "{:<10} {:>12} {:>10} {:>10} {:>12} {:>9}",
         "method", "prepare_ms", "batch_ms", "ms/query", "dist/query", "members"
@@ -556,6 +564,230 @@ where
             queries.len()
         );
     }
+    Ok(())
+}
+
+/// `serve`: run the serving engine as a long-lived process driven by a
+/// line protocol on stdin — queries answer through the sharded executor,
+/// inserts/removes build a successor snapshot off to the side and publish
+/// it epoch-style while queries keep flowing.
+pub fn serve(args: &Args) -> Result<(), String> {
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    serve_io(args, stdin.lock(), &mut stdout)
+}
+
+/// [`serve`] against caller-supplied streams, so tests (and the CI smoke)
+/// can drive the REPL without a terminal.
+pub fn serve_io<R: BufRead, W: Write>(args: &Args, input: R, out: &mut W) -> Result<(), String> {
+    let ds = load_dataset(args)?;
+    let k: usize = args.get_parsed("k", 10)?;
+    if k == 0 {
+        return Err("k must be positive".into());
+    }
+    if ds.len() <= k + 2 {
+        return Err(format!("dataset too small for k = {k} (n = {})", ds.len()));
+    }
+    let t: f64 = args.get_parsed("t", 4.0)?;
+    let workers: usize = args.get_parsed("threads", 0)?;
+    let queue_capacity: usize = args.get_parsed("queue-cap", 128)?;
+    if queue_capacity == 0 {
+        return Err("--queue-cap must be positive".into());
+    }
+    let prewarm: usize = args.get_parsed("prewarm", 0)?;
+    let (metric, kernel_header) = kernel_selection(args)?;
+    match args.get("substrate").unwrap_or("cover") {
+        "cover" => serve_on(
+            CoverTree::build(ds, metric),
+            k,
+            t,
+            prewarm,
+            workers,
+            queue_capacity,
+            &kernel_header,
+            input,
+            out,
+        ),
+        "linear" => serve_on(
+            LinearScan::build(ds, metric),
+            k,
+            t,
+            prewarm,
+            workers,
+            queue_capacity,
+            &kernel_header,
+            input,
+            out,
+        ),
+        other => Err(format!("unknown substrate '{other}' (cover|linear)")),
+    }
+}
+
+/// The REPL proper, generic over the dynamic substrate the engine serves
+/// from.
+#[allow(clippy::too_many_arguments)]
+fn serve_on<I, R, W>(
+    index: I,
+    k: usize,
+    t: f64,
+    prewarm: usize,
+    workers: usize,
+    queue_capacity: usize,
+    kernel_header: &str,
+    input: R,
+    out: &mut W,
+) -> Result<(), String>
+where
+    I: DynamicIndex<Euclidean> + Clone + 'static,
+    R: BufRead,
+    W: Write,
+{
+    let oops = |e: std::io::Error| format!("write output: {e}");
+    let n0 = index.num_points();
+    let dim = index.point(0).len();
+    let start = Instant::now();
+    let snapshot = Snapshot::prepare(
+        0,
+        index,
+        RdtAlgorithm::new(RdtParams::new(k, t)).with_prewarm(prewarm),
+    );
+    let prepare_ms = start.elapsed().as_secs_f64() * 1e3;
+    let engine = Engine::new(
+        snapshot,
+        EngineConfig {
+            workers,
+            queue_capacity,
+        },
+    );
+    // Liveness bookkeeping for friendly errors: ids the REPL may query.
+    // The slot range grows with inserts; tombstoned slots stay dead.
+    let mut live = vec![true; n0];
+    writeln!(
+        out,
+        "serving {n0} points × {dim} dims, k = {k}, t = {t} \
+         [{kernel_header}] — {} workers, queue capacity {}, prepare {prepare_ms:.2} ms",
+        engine.workers(),
+        engine.queue_capacity(),
+    )
+    .map_err(oops)?;
+    writeln!(
+        out,
+        "commands: q <id> | insert <c1> .. <c{dim}> | remove <id> | stats | quit"
+    )
+    .map_err(oops)?;
+    for line in input.lines() {
+        let line = line.map_err(|e| format!("read input: {e}"))?;
+        let mut parts = line.split_whitespace();
+        let verb = match parts.next() {
+            Some(v) => v,
+            None => continue,
+        };
+        if matches!(verb, "quit" | "exit") {
+            break;
+        }
+        // REPL errors report and continue; only I/O failures exit.
+        let outcome: Result<(), String> = match verb {
+            "q" => parts
+                .next()
+                .ok_or_else(|| "usage: q <id>".to_string())
+                .and_then(|v| v.parse::<usize>().map_err(|_| format!("bad id '{v}'")))
+                .and_then(|id| {
+                    if !live.get(id).copied().unwrap_or(false) {
+                        return Err(format!("id {id} is not a live point"));
+                    }
+                    let ticket = engine.submit(id).map_err(|e: SubmitError| e.to_string())?;
+                    let r = ticket.wait();
+                    let ids: Vec<PointId> = r.neighbors.iter().map(|n| n.id).collect();
+                    writeln!(
+                        out,
+                        "q {id} · epoch {} · {} reverse neighbors {ids:?} \
+                         ({:.3} ms service, {:.3} ms total, worker {})",
+                        r.epoch,
+                        ids.len(),
+                        r.service().as_secs_f64() * 1e3,
+                        r.total().as_secs_f64() * 1e3,
+                        r.worker,
+                    )
+                    .map_err(oops)
+                }),
+            "insert" => parts
+                .map(|v| {
+                    v.parse::<f64>()
+                        .map_err(|_| format!("bad coordinate '{v}'"))
+                })
+                .collect::<Result<Vec<f64>, String>>()
+                .and_then(|coords| {
+                    if coords.len() != dim {
+                        return Err(format!("expected {dim} coordinates, got {}", coords.len()));
+                    }
+                    let (next, report) =
+                        advance_snapshot(&engine.snapshot(), &[ChurnOp::Insert(coords)])
+                            .map_err(|e| e.to_string())?;
+                    let epoch = engine.publish(next);
+                    let id = report.inserted[0];
+                    if live.len() <= id {
+                        live.resize(id + 1, false);
+                    }
+                    live[id] = true;
+                    writeln!(
+                        out,
+                        "inserted id {id} · epoch {epoch} published \
+                         ({:.2} ms build, {} maintenance dist comps)",
+                        report.build_time.as_secs_f64() * 1e3,
+                        report.maintenance.dist_computations,
+                    )
+                    .map_err(oops)
+                }),
+            "remove" => parts
+                .next()
+                .ok_or_else(|| "usage: remove <id>".to_string())
+                .and_then(|v| v.parse::<usize>().map_err(|_| format!("bad id '{v}'")))
+                .and_then(|id| {
+                    if !live.get(id).copied().unwrap_or(false) {
+                        return Err(format!("id {id} is not a live point"));
+                    }
+                    let (next, report) =
+                        advance_snapshot(&engine.snapshot(), &[ChurnOp::Remove(id)])
+                            .map_err(|e| e.to_string())?;
+                    let epoch = engine.publish(next);
+                    live[id] = false;
+                    writeln!(
+                        out,
+                        "removed id {id} · epoch {epoch} published \
+                         ({:.2} ms build, {} maintenance dist comps)",
+                        report.build_time.as_secs_f64() * 1e3,
+                        report.maintenance.dist_computations,
+                    )
+                    .map_err(oops)
+                }),
+            "stats" => {
+                let s = engine.stats();
+                writeln!(
+                    out,
+                    "epoch {} · submitted {} · completed {} · rejected {} · \
+                     stolen {} · swaps {} · queued {}",
+                    s.epoch, s.submitted, s.completed, s.rejected, s.stolen, s.swaps, s.queued,
+                )
+                .map_err(oops)
+            }
+            "help" => writeln!(
+                out,
+                "commands: q <id> | insert <c1> .. <c{dim}> | remove <id> | stats | quit"
+            )
+            .map_err(oops),
+            other => Err(format!("unknown command '{other}' (try 'help')")),
+        };
+        if let Err(e) = outcome {
+            writeln!(out, "error: {e}").map_err(oops)?;
+        }
+    }
+    let stats = engine.shutdown();
+    writeln!(
+        out,
+        "engine closed: {} completed, {} rejected, {} epoch swaps",
+        stats.completed, stats.rejected, stats.swaps
+    )
+    .map_err(oops)?;
     Ok(())
 }
 
@@ -754,6 +986,100 @@ mod tests {
             "bench --data {path} --limit 60 --dims 4 --k 3 --queries 8 --methods rdt+"
         )))
         .unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn serve_repl_queries_churns_and_swaps_epochs() {
+        let path = tmp("rknn_cli_serve.fvb");
+        gen(&args(&format!(
+            "gen --kind blobs --n 200 --dim 3 --out {path} --seed 5"
+        )))
+        .unwrap();
+        let script = "stats\n\
+                      q 5\n\
+                      insert 0.5 0.5 0.5\n\
+                      q 5\n\
+                      remove 7\n\
+                      q 200\n\
+                      stats\n\
+                      help\n\
+                      bogus\n\
+                      q 7\n\
+                      quit\n";
+        let mut out = Vec::new();
+        serve_io(
+            &args(&format!(
+                "serve --input {path} --k 4 --t 5 --threads 2 --prewarm 50"
+            )),
+            script.as_bytes(),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("serving 200 points × 3 dims"), "{text}");
+        assert!(
+            text.contains("inserted id 200 · epoch 1 published"),
+            "{text}"
+        );
+        assert!(text.contains("removed id 7 · epoch 2 published"), "{text}");
+        // The inserted point is queryable in the new epoch.
+        assert!(text.contains("q 200 · epoch 2"), "{text}");
+        // Removed and unknown inputs get REPL errors, not process exits.
+        assert!(text.contains("error: id 7 is not a live point"), "{text}");
+        assert!(text.contains("error: unknown command 'bogus'"), "{text}");
+        assert!(
+            text.contains("engine closed: 3 completed, 0 rejected, 2 epoch swaps"),
+            "{text}"
+        );
+        // Same REPL on the linear substrate and a pinned tier.
+        let mut out2 = Vec::new();
+        serve_io(
+            &args(&format!(
+                "serve --input {path} --k 4 --substrate linear --tier fast --threads 1"
+            )),
+            "q 0\nquit\n".as_bytes(),
+            &mut out2,
+        )
+        .unwrap();
+        let text2 = String::from_utf8(out2).unwrap();
+        assert!(text2.contains("q 0 · epoch 0"), "{text2}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn serve_rejects_bad_configs() {
+        let path = tmp("rknn_cli_serve_err.fvb");
+        gen(&args(&format!(
+            "gen --kind uniform --n 30 --dim 2 --out {path}"
+        )))
+        .unwrap();
+        let empty = std::io::empty();
+        let mut sink = Vec::new();
+        assert!(serve_io(
+            &args(&format!("serve --input {path} --k 0")),
+            std::io::BufReader::new(empty),
+            &mut sink
+        )
+        .is_err());
+        assert!(serve_io(
+            &args(&format!("serve --input {path} --k 3 --queue-cap 0")),
+            "quit\n".as_bytes(),
+            &mut sink
+        )
+        .is_err());
+        assert!(serve_io(
+            &args(&format!("serve --input {path} --k 3 --substrate woo")),
+            "quit\n".as_bytes(),
+            &mut sink
+        )
+        .is_err());
+        assert!(serve_io(
+            &args(&format!("serve --input {path} --k 29")),
+            "quit\n".as_bytes(),
+            &mut sink
+        )
+        .is_err());
         let _ = std::fs::remove_file(&path);
     }
 

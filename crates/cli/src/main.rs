@@ -11,6 +11,7 @@
 //!                   [--methods rdt,rdt+,sft,...] [--queries Q] [--threads T]
 //! rknn-cli hubness  --input pts.fvb --k 10 [--t 8] [--tier ...] [--kernel ...]
 //! rknn-cli churn    --input pts.fvb --k 10 [--updates 60] [--t 50] [--tier ...]
+//! rknn-cli serve    --input pts.fvb --k 10 [--t 5] [--threads T] [--queue-cap C]
 //! rknn-cli info     --input pts.fvb
 //! ```
 //!
@@ -50,6 +51,13 @@ USAGE:
                     [--tier exact|fast|fast-f32] [--kernel scalar|sse2|avx2|auto]
                     maintained all-points RkNN under insert/delete churn,
                     priced per update against rebuild-from-scratch
+  rknn-cli serve    --input <file> --k <rank> [--t <scale>] [--threads T]
+                    [--queue-cap C] [--prewarm P] [--substrate cover|linear]
+                    [--tier exact|fast|fast-f32] [--kernel scalar|sse2|avx2|auto]
+                    long-lived serving engine driven by stdin:
+                    q <id> | insert <coords...> | remove <id> | stats | quit
+                    (inserts/removes publish a new snapshot epoch; queries
+                    never block on updates)
   rknn-cli info     --input <file>            dataset summary
 
 Datasets: CSV (comma-separated coordinates, '#' comments), .fvb binary, or
@@ -58,6 +66,9 @@ Datasets: CSV (comma-separated coordinates, '#' comments), .fvb binary, or
 coordinates (both stream — the full file is never materialized).
 Kernel tiers: exact (default, bit-identical) | fast (FMA, ULP-bounded) |
 fast-f32 (f32 storage on linear scans); see README \"Kernel tiers\".
+Threads: --threads 0 (the bench/serve default) defers to the RKNN_THREADS
+environment override, then to the CPU count — set RKNN_THREADS to make
+worker counts reproducible across hosts.
 ";
 
 fn main() -> ExitCode {
@@ -75,6 +86,7 @@ fn main() -> ExitCode {
         Some("bench") => commands::bench(&args),
         Some("hubness") => commands::hubness(&args),
         Some("churn") => commands::churn(&args),
+        Some("serve") => commands::serve(&args),
         Some("info") => commands::info(&args),
         Some("help") | None => {
             println!("{USAGE}");

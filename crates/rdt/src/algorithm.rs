@@ -213,17 +213,35 @@ pub trait RknnAlgorithm<M: Metric, I: KnnIndex<M> + ?Sized>: Sync {
     }
 }
 
-/// Resolves a requested worker count (`0` = one per CPU) against the number
-/// of jobs.
+/// Resolves a worker-count request into the count actually used when the
+/// caller passed no explicit number: a non-zero request wins as-is; `0`
+/// defers to the `RKNN_THREADS` environment override (any positive
+/// integer), and only then to [`std::thread::available_parallelism`].
+///
+/// Every driver in the workspace (the batch driver here, the serving
+/// engine, the CLI) routes its "use the default" path through this one
+/// function, so `RKNN_THREADS=4` reproduces a four-worker run on any host
+/// regardless of its core count.
+pub fn requested_threads(requested: usize) -> usize {
+    if requested != 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var("RKNN_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolves a requested worker count (`0` = `RKNN_THREADS` or one per CPU)
+/// against the number of jobs.
 pub(crate) fn resolve_threads(requested: usize, jobs: usize) -> usize {
-    let requested = if requested == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        requested
-    };
-    requested.clamp(1, jobs.max(1))
+    requested_threads(requested).clamp(1, jobs.max(1))
 }
 
 /// Deterministic query-order aggregate of a batch run, uniform across
@@ -347,8 +365,10 @@ pub struct RdtAlgorithm {
     variant: RdtVariant,
     schedule: TSchedule,
     reuse_dk: bool,
+    prewarm: usize,
     cache: Option<DkCache>,
     prepare_time: Duration,
+    prepare_stats: SearchStats,
     maint_time: Duration,
     maint_stats: SearchStats,
 }
@@ -365,8 +385,33 @@ impl RdtAlgorithm {
             variant: self.variant,
             schedule: self.schedule,
             reuse_dk: self.reuse_dk,
+            prewarm: self.prewarm,
             cache: None,
             prepare_time: Duration::ZERO,
+            prepare_stats: SearchStats::new(),
+            maint_time: Duration::ZERO,
+            maint_stats: SearchStats::new(),
+        }
+    }
+
+    /// An **already-prepared** successor carrying this instance's warm
+    /// [`DkCache`] ([`DkCache::warm_copy`]): same configuration, thresholds
+    /// copied bit-for-bit, counters and time accounting zeroed. This is the
+    /// snapshot-advance path of the serving engine — build the next index
+    /// off to the side, carry the cache over, then evict locally through
+    /// [`RknnAlgorithm::apply_update`] for each churn op. Do **not** call
+    /// [`RknnAlgorithm::prepare`] on the result: that would discard the
+    /// carried cache and recreate it cold.
+    pub fn warmed(&self) -> RdtAlgorithm {
+        RdtAlgorithm {
+            params: self.params,
+            variant: self.variant,
+            schedule: self.schedule,
+            reuse_dk: self.reuse_dk,
+            prewarm: self.prewarm,
+            cache: self.cache.as_ref().map(DkCache::warm_copy),
+            prepare_time: Duration::ZERO,
+            prepare_stats: SearchStats::new(),
             maint_time: Duration::ZERO,
             maint_stats: SearchStats::new(),
         }
@@ -379,8 +424,10 @@ impl RdtAlgorithm {
             variant: RdtVariant::Plain,
             schedule: TSchedule::Fixed,
             reuse_dk: true,
+            prewarm: 0,
             cache: None,
             prepare_time: Duration::ZERO,
+            prepare_stats: SearchStats::new(),
             maint_time: Duration::ZERO,
             maint_stats: SearchStats::new(),
         }
@@ -418,6 +465,19 @@ impl RdtAlgorithm {
         self
     }
 
+    /// Prewarms up to `sample` verification thresholds during
+    /// [`prepare`](RknnAlgorithm::prepare): a deterministic stride sample
+    /// of point ids gets its `d_k` computed eagerly, so a fresh snapshot's
+    /// first queries don't all pay the cold-cache `d_k` miss storm. `0`
+    /// (the default) disables prewarming. The work is charged to
+    /// [`precompute_stats`](RknnAlgorithm::precompute_stats) /
+    /// [`precompute_time`](RknnAlgorithm::precompute_time), keeping the
+    /// precompute-vs-query cost split honest. No-op without `d_k` reuse.
+    pub fn with_prewarm(mut self, sample: usize) -> Self {
+        self.prewarm = sample;
+        self
+    }
+
     /// The configured parameters.
     pub fn params(&self) -> RdtParams {
         self.params
@@ -426,6 +486,12 @@ impl RdtAlgorithm {
     /// The configured variant.
     pub fn variant(&self) -> RdtVariant {
         self.variant
+    }
+
+    /// The shared verification-threshold cache, if prepared with `d_k`
+    /// reuse on (read access for cache-occupancy reporting).
+    pub fn dk_cache(&self) -> Option<&DkCache> {
+        self.cache.as_ref()
     }
 }
 
@@ -451,16 +517,33 @@ where
 
     fn prepare(&mut self, index: &I) {
         let start = Instant::now();
-        self.cache = self
-            .reuse_dk
-            .then(|| DkCache::new(self.params.k, index.num_points()));
+        let n = index.num_points();
+        self.cache = self.reuse_dk.then(|| DkCache::new(self.params.k, n));
+        self.prepare_stats = SearchStats::new();
         self.maint_time = Duration::ZERO;
         self.maint_stats = SearchStats::new();
+        if let Some(cache) = self.cache.as_ref() {
+            let sample = self.prewarm.min(n);
+            if sample > 0 {
+                // Deterministic stride sample: `sample` evenly spaced ids,
+                // so the warm set covers the id range independently of any
+                // RNG state and identically on every host.
+                let step = n.checked_div(sample).unwrap_or(1).max(1);
+                let mut scratch = rknn_core::CursorScratch::new();
+                for i in 0..sample {
+                    cache.dk_or_compute(index, i * step, &mut scratch, &mut self.prepare_stats);
+                }
+            }
+        }
         self.prepare_time = start.elapsed();
     }
 
     fn precompute_time(&self) -> Duration {
         self.prepare_time
+    }
+
+    fn precompute_stats(&self) -> SearchStats {
+        self.prepare_stats
     }
 
     fn apply_update(&mut self, index: &I, update: IndexUpdate) {
@@ -628,6 +711,64 @@ mod tests {
         );
         let maint = RknnAlgorithm::<Euclidean, LinearScan<Euclidean>>::maintenance_stats(&algo);
         assert!(maint.dist_computations > 0, "eviction work is accounted");
+    }
+
+    #[test]
+    fn prewarm_fills_the_cache_and_charges_precompute() {
+        let idx = index(120, 3, 406);
+        let mut cold = RdtAlgorithm::new(RdtParams::new(4, 4.0));
+        let mut warm = RdtAlgorithm::new(RdtParams::new(4, 4.0)).with_prewarm(40);
+        RknnAlgorithm::<_, LinearScan<Euclidean>>::prepare(&mut cold, &idx);
+        RknnAlgorithm::<_, LinearScan<Euclidean>>::prepare(&mut warm, &idx);
+        assert_eq!(cold.dk_cache().unwrap().filled(), 0);
+        assert_eq!(warm.dk_cache().unwrap().filled(), 40);
+        let cold_stats = RknnAlgorithm::<Euclidean, LinearScan<Euclidean>>::precompute_stats(&cold);
+        let warm_stats = RknnAlgorithm::<Euclidean, LinearScan<Euclidean>>::precompute_stats(&warm);
+        assert_eq!(cold_stats.dist_computations, 0);
+        assert!(warm_stats.dist_computations > 0, "prewarm work is charged");
+        // Prewarming never changes answers, only who pays for the d_k.
+        let a = run_algorithm_all_points(&cold, &idx, 1);
+        let b = run_algorithm_all_points(&warm, &idx, 1);
+        for (x, y) in a.answers.iter().zip(&b.answers) {
+            assert_eq!(x.ids(), y.ids());
+        }
+    }
+
+    #[test]
+    fn warmed_instance_answers_identically_without_prepare() {
+        let idx = index(150, 3, 407);
+        let mut algo = RdtAlgorithm::new(RdtParams::new(3, 4.0));
+        RknnAlgorithm::<_, LinearScan<Euclidean>>::prepare(&mut algo, &idx);
+        let base = run_algorithm_all_points(&algo, &idx, 2);
+        let filled = algo.dk_cache().unwrap().filled();
+        assert!(filled > 0, "batch fills the cache");
+        let successor = algo.warmed();
+        // The successor carries the warm thresholds and is query-ready
+        // without a prepare call.
+        assert_eq!(successor.dk_cache().unwrap().filled(), filled);
+        assert_eq!(successor.dk_cache().unwrap().hit_stats(), (0, 0));
+        let again = run_algorithm_all_points(&successor, &idx, 2);
+        for (x, y) in base.answers.iter().zip(&again.answers) {
+            assert_eq!(x.ids(), y.ids());
+            let xv: Vec<u64> = x.result.iter().map(|n| n.dist.to_bits()).collect();
+            let yv: Vec<u64> = y.result.iter().map(|n| n.dist.to_bits()).collect();
+            assert_eq!(xv, yv);
+        }
+        let (hits, _) = successor.dk_cache().unwrap().hit_stats();
+        assert!(hits > 0, "carried thresholds are actually reused");
+    }
+
+    #[test]
+    fn requested_threads_prefers_explicit_then_env() {
+        assert_eq!(super::requested_threads(3), 3);
+        // Explicit requests ignore the environment override.
+        std::env::set_var("RKNN_THREADS", "7");
+        assert_eq!(super::requested_threads(2), 2);
+        assert_eq!(super::requested_threads(0), 7);
+        std::env::set_var("RKNN_THREADS", "not-a-number");
+        assert!(super::requested_threads(0) >= 1);
+        std::env::remove_var("RKNN_THREADS");
+        assert!(super::requested_threads(0) >= 1);
     }
 
     #[test]

@@ -231,6 +231,35 @@ impl DkCache {
         (self.hits.load(Relaxed), self.misses.load(Relaxed))
     }
 
+    /// Number of slots currently holding a computed threshold.
+    pub fn filled(&self) -> usize {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.vals
+            .iter()
+            .filter(|s| s.load(Relaxed) != Self::UNSET)
+            .count()
+    }
+
+    /// A copy for carrying the warm cache into a successor instance: same
+    /// `k`, every computed threshold copied bit-for-bit, hit/miss counters
+    /// zeroed. `&self` suffices — slots are read with the same relaxed
+    /// loads queries use, so a copy taken while readers are still filling
+    /// slots simply captures "whatever was computed so far"; every captured
+    /// bit pattern is a value a fresh computation would also produce.
+    pub fn warm_copy(&self) -> DkCache {
+        use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+        DkCache {
+            k: self.k,
+            vals: self
+                .vals
+                .iter()
+                .map(|s| AtomicU64::new(s.load(Relaxed)))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
     /// Returns `d_k(id)`, computing it with one bounded forward cursor over
     /// the caller's scratch on a cache miss (`stats` absorbs the miss's
     /// index work). Ids beyond the cache's pre-sized range (points inserted

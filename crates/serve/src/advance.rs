@@ -1,0 +1,144 @@
+//! Building the *next* snapshot off to the side while the engine keeps
+//! serving the current one.
+//!
+//! This is the serving-side continuation of the dynamic-RkNN work: instead
+//! of re-preparing from scratch on every catalog change, the successor
+//! snapshot clones the live index, applies the churn ops to the clone, and
+//! carries the predecessor's warm `d_k` cache forward — evicting only the
+//! thresholds each update can actually change
+//! ([`rknn_rdt::DkCache::invalidate_near`]'s localized rule). The engine
+//! never sees the intermediate states: readers keep answering against the
+//! old epoch until [`crate::Engine::publish`] swaps in the finished
+//! successor.
+
+use crate::engine::Snapshot;
+use rknn_core::{CoreError, Metric, PointId, SearchStats};
+use rknn_index::DynamicIndex;
+use rknn_rdt::algorithm::{IndexUpdate, RdtAlgorithm, RknnAlgorithm};
+use std::time::{Duration, Instant};
+
+/// One catalog change to fold into the next snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChurnOp {
+    /// Insert a point at the given coordinates.
+    Insert(Vec<f64>),
+    /// Tombstone the point with this id (ignored if already dead).
+    Remove(PointId),
+}
+
+/// What building a successor snapshot cost.
+#[derive(Debug, Clone)]
+pub struct AdvanceReport {
+    /// Epoch of the successor.
+    pub epoch: u64,
+    /// Ids assigned to inserted points, in op order.
+    pub inserted: Vec<PointId>,
+    /// Ids actually removed (ops naming dead ids are dropped).
+    pub removed: Vec<PointId>,
+    /// Wall-clock time to clone, mutate, and repair.
+    pub build_time: Duration,
+    /// Cache-repair work (the localized eviction scans), uniform with the
+    /// batch driver's maintenance accounting.
+    pub maintenance: SearchStats,
+    /// Thresholds still warm in the carried cache after repair (`None`
+    /// when the algorithm runs without `d_k` reuse).
+    pub cache_filled: Option<usize>,
+}
+
+/// Derives the successor of `prev` with `ops` applied: cloned index, warm
+/// [`rknn_rdt::DkCache`] carried over via [`RdtAlgorithm::warmed`], and
+/// per-op localized eviction through
+/// [`RknnAlgorithm::apply_update`]. The result is query-ready — publish it
+/// without calling `prepare`.
+///
+/// Fails only if an insert is rejected by the index (dimension mismatch,
+/// non-finite coordinates); `prev` is untouched either way.
+pub fn advance_snapshot<M, I>(
+    prev: &Snapshot<M, I, RdtAlgorithm>,
+    ops: &[ChurnOp],
+) -> Result<(Snapshot<M, I, RdtAlgorithm>, AdvanceReport), CoreError>
+where
+    M: Metric,
+    I: DynamicIndex<M> + Clone,
+{
+    let start = Instant::now();
+    let mut index = prev.index().clone();
+    let mut algo = prev.algo().warmed();
+    let mut inserted = Vec::new();
+    let mut removed = Vec::new();
+    for op in ops {
+        match op {
+            ChurnOp::Insert(coords) => {
+                let id = index.insert(coords)?;
+                RknnAlgorithm::<M, I>::apply_update(&mut algo, &index, IndexUpdate::Inserted(id));
+                inserted.push(id);
+            }
+            ChurnOp::Remove(id) => {
+                if index.remove(*id) {
+                    RknnAlgorithm::<M, I>::apply_update(
+                        &mut algo,
+                        &index,
+                        IndexUpdate::Removed(*id),
+                    );
+                    removed.push(*id);
+                }
+            }
+        }
+    }
+    let report = AdvanceReport {
+        epoch: prev.epoch() + 1,
+        inserted,
+        removed,
+        build_time: start.elapsed(),
+        maintenance: RknnAlgorithm::<M, I>::maintenance_stats(&algo),
+        cache_filled: algo.dk_cache().map(|c| c.filled()),
+    };
+    Ok((Snapshot::new(prev.epoch() + 1, index, algo), report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rknn_core::Euclidean;
+    use rknn_index::{KnnIndex, LinearScan};
+    use rknn_rdt::algorithm::{run_algorithm_batch, RdtAlgorithm};
+    use rknn_rdt::RdtParams;
+
+    #[test]
+    fn advanced_snapshot_matches_a_cold_rebuild_bitwise() {
+        let ds = rknn_data::gaussian_blobs(180, 3, 3, 0.4, 950).into_shared();
+        let idx = LinearScan::build(ds, Euclidean);
+        let params = RdtParams::new(3, 4.0);
+        let snap = Snapshot::prepare(0, idx, RdtAlgorithm::new(params));
+        // Warm the cache through the prepared algorithm.
+        let queries: Vec<usize> = (0..180).collect();
+        let _ = run_algorithm_batch(snap.algo(), snap.index(), &queries, 2);
+
+        let ops = vec![
+            ChurnOp::Insert(vec![0.2, 0.3, 0.4]),
+            ChurnOp::Remove(11),
+            ChurnOp::Remove(11), // second removal of the same id is a no-op
+            ChurnOp::Insert(vec![0.8, 0.1, 0.5]),
+        ];
+        let (next, report) = advance_snapshot(&snap, &ops).unwrap();
+        assert_eq!(next.epoch(), 1);
+        assert_eq!(report.inserted, vec![180, 181]);
+        assert_eq!(report.removed, vec![11]);
+        assert!(report.maintenance.dist_computations > 0);
+        assert!(report.cache_filled.unwrap() > 0, "warm thresholds survive");
+
+        let live: Vec<usize> = (0..182).filter(|&q| q != 11).collect();
+        let got = run_algorithm_batch(next.algo(), next.index(), &live, 2);
+        let mut cold = RdtAlgorithm::new(params);
+        RknnAlgorithm::<_, LinearScan<Euclidean>>::prepare(&mut cold, next.index());
+        let want = run_algorithm_batch(&cold, next.index(), &live, 2);
+        for ((a, b), &q) in got.answers.iter().zip(&want.answers).zip(&live) {
+            let av: Vec<(usize, u64)> = a.result.iter().map(|n| (n.id, n.dist.to_bits())).collect();
+            let bv: Vec<(usize, u64)> = b.result.iter().map(|n| (n.id, n.dist.to_bits())).collect();
+            assert_eq!(av, bv, "q={q}");
+        }
+        // The predecessor snapshot is untouched by the advance.
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.index().num_points(), 180);
+    }
+}

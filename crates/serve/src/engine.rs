@@ -1,0 +1,648 @@
+//! The serving engine: epoch-swapped snapshots and the sharded,
+//! work-stealing query executor.
+//!
+//! # Snapshot / epoch semantics
+//!
+//! The engine never mutates an index that queries can see. The active
+//! [`Snapshot`] lives behind `RwLock<Arc<Snapshot>>`; a worker picking up a
+//! query briefly read-locks to clone the `Arc` and then works entirely off
+//! its clone — holding the `Arc` *is* the epoch pin, so a concurrently
+//! published successor can neither block the query nor pull the index out
+//! from under it. [`Engine::publish`] write-locks only to swap one pointer;
+//! the old snapshot is freed when the last in-flight query drops its pin.
+//! Every [`QueryResponse`] records the epoch it was answered under, so a
+//! caller can always attribute a result to exactly one snapshot.
+//!
+//! # Executor
+//!
+//! One bounded queue per worker. Submission round-robins across queues and
+//! probes the others when the preferred one is full; if every queue is at
+//! capacity the submit is rejected with [`SubmitError::Saturated`] — the
+//! engine applies backpressure instead of buffering unboundedly. Workers
+//! pop their own queue from the front (submission order) and steal from
+//! the *back* of sibling queues when idle, the classic split that keeps
+//! owned work FIFO while stolen work contends at the far end. Each worker
+//! owns one [`RknnAlgorithm::make_worker`] state (cursor scratch, candidate
+//! tiles) per epoch, recreated lazily when it first sees a new snapshot.
+
+use rknn_core::{Metric, Neighbor, PointId, SearchStats};
+use rknn_index::KnnIndex;
+use rknn_rdt::algorithm::{requested_threads, AlgorithmAnswer, RknnAlgorithm};
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// An immutable `(epoch, index, prepared algorithm)` triple — the unit the
+/// engine serves from and swaps atomically.
+///
+/// A snapshot is constructed *off to the side* (the engine keeps serving
+/// the previous one) and handed to [`Engine::publish`]. The contained
+/// algorithm must already be prepared against the contained index; use
+/// [`Snapshot::prepare`] when starting cold, or
+/// [`crate::advance_snapshot`] to derive a successor that carries RDT's
+/// warm `d_k` cache across the swap.
+#[derive(Debug)]
+pub struct Snapshot<M, I, A> {
+    epoch: u64,
+    index: I,
+    algo: A,
+    _metric: PhantomData<fn() -> M>,
+}
+
+impl<M, I, A> Snapshot<M, I, A>
+where
+    M: Metric,
+    I: KnnIndex<M>,
+    A: RknnAlgorithm<M, I>,
+{
+    /// Wraps an index and an **already-prepared** algorithm as epoch
+    /// `epoch`.
+    pub fn new(epoch: u64, index: I, algo: A) -> Self {
+        Snapshot {
+            epoch,
+            index,
+            algo,
+            _metric: PhantomData,
+        }
+    }
+
+    /// Prepares `algo` against `index` and wraps both — the cold-start
+    /// constructor.
+    pub fn prepare(epoch: u64, index: I, mut algo: A) -> Self {
+        algo.prepare(&index);
+        Snapshot::new(epoch, index, algo)
+    }
+
+    /// The epoch this snapshot was published as.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The forward index queries of this epoch run against.
+    pub fn index(&self) -> &I {
+        &self.index
+    }
+
+    /// The prepared algorithm answering this epoch's queries.
+    pub fn algo(&self) -> &A {
+        &self.algo
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Every shard queue is at capacity. The engine sheds load instead of
+    /// buffering unboundedly; retry after draining some tickets.
+    Saturated {
+        /// Jobs queued across all shards at rejection time.
+        queued: usize,
+        /// Total queue capacity (shards × per-shard capacity).
+        capacity: usize,
+    },
+    /// The engine is closed: no further submissions are accepted (already
+    /// queued work still drains).
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Saturated { queued, capacity } => write!(
+                f,
+                "executor saturated: {queued} queued of {capacity} capacity"
+            ),
+            SubmitError::Closed => write!(f, "engine is closed"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Executor sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads. `0` defers to the `RKNN_THREADS` environment
+    /// override, then to [`std::thread::available_parallelism`] (see
+    /// [`requested_threads`]).
+    pub workers: usize,
+    /// Per-shard queue bound; total admission capacity is
+    /// `workers × queue_capacity`.
+    pub queue_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 0,
+            queue_capacity: 128,
+        }
+    }
+}
+
+/// The completed answer to one submitted query.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The queried dataset point.
+    pub query: PointId,
+    /// Epoch of the snapshot that answered — in-flight queries pin their
+    /// snapshot, so exactly one epoch is ever consistent with the result.
+    pub epoch: u64,
+    /// The reverse k-nearest neighbors, ascending by distance.
+    pub neighbors: Vec<Neighbor>,
+    /// Work spent answering ([`AlgorithmAnswer::work`]).
+    pub work: SearchStats,
+    /// Index of the worker that executed the query.
+    pub worker: usize,
+    /// When [`Engine::submit`] accepted the query.
+    pub submitted_at: Instant,
+    /// When a worker dequeued it.
+    pub started_at: Instant,
+    /// When the answer was complete.
+    pub finished_at: Instant,
+}
+
+impl QueryResponse {
+    /// Time spent queued before a worker picked the query up.
+    pub fn queue_wait(&self) -> Duration {
+        self.started_at.saturating_duration_since(self.submitted_at)
+    }
+
+    /// Time spent executing the query.
+    pub fn service(&self) -> Duration {
+        self.finished_at.saturating_duration_since(self.started_at)
+    }
+
+    /// Accept-to-answer latency (queue wait + service).
+    pub fn total(&self) -> Duration {
+        self.finished_at
+            .saturating_duration_since(self.submitted_at)
+    }
+}
+
+/// One-slot rendezvous between the worker that answers a query and the
+/// caller waiting on its [`Ticket`].
+#[derive(Debug)]
+struct ResponseCell {
+    slot: Mutex<Option<QueryResponse>>,
+    ready: Condvar,
+}
+
+impl ResponseCell {
+    fn fulfill(&self, response: QueryResponse) {
+        let mut slot = self.slot.lock().expect("response slot lock");
+        debug_assert!(slot.is_none(), "a ticket is fulfilled exactly once");
+        *slot = Some(response);
+        self.ready.notify_all();
+    }
+}
+
+/// A claim on one submitted query's eventual [`QueryResponse`].
+#[derive(Debug)]
+pub struct Ticket {
+    cell: Arc<ResponseCell>,
+}
+
+impl Ticket {
+    /// Blocks until the query completes. Every accepted submission is
+    /// answered — workers drain their queues even during shutdown — so
+    /// this always returns.
+    pub fn wait(self) -> QueryResponse {
+        let mut slot = self.cell.slot.lock().expect("response slot lock");
+        loop {
+            if let Some(response) = slot.take() {
+                return response;
+            }
+            slot = self.cell.ready.wait(slot).expect("response slot lock");
+        }
+    }
+
+    /// Takes the response if the query already completed, without
+    /// blocking.
+    pub fn try_take(&self) -> Option<QueryResponse> {
+        self.cell.slot.lock().expect("response slot lock").take()
+    }
+}
+
+/// A queued query.
+#[derive(Debug)]
+struct Job {
+    query: PointId,
+    submitted_at: Instant,
+    cell: Arc<ResponseCell>,
+}
+
+/// Monotonic counters describing an engine's lifetime so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Accepted submissions.
+    pub submitted: u64,
+    /// Completed (fulfilled) queries.
+    pub completed: u64,
+    /// Submissions rejected with [`SubmitError::Saturated`].
+    pub rejected: u64,
+    /// Jobs a worker stole from a sibling's queue.
+    pub stolen: u64,
+    /// Snapshot publications ([`Engine::publish`]).
+    pub swaps: u64,
+    /// Jobs currently queued (not yet picked up).
+    pub queued: usize,
+    /// Epoch of the currently active snapshot.
+    pub epoch: u64,
+}
+
+/// State shared between the engine handle and its worker threads.
+#[derive(Debug)]
+struct Shared<M, I, A> {
+    snapshot: RwLock<Arc<Snapshot<M, I, A>>>,
+    shards: Vec<Mutex<VecDeque<Job>>>,
+    queue_capacity: usize,
+    /// Queued-job count; workers park only when it reads zero.
+    queued: AtomicUsize,
+    /// Pairs with `wake`: submission takes this lock around its notify so a
+    /// worker checking `queued` under the same lock can never miss it.
+    idle: Mutex<()>,
+    wake: Condvar,
+    open: AtomicBool,
+    rr: AtomicUsize,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    stolen: AtomicU64,
+    swaps: AtomicU64,
+}
+
+/// The long-lived serving engine: worker threads over an epoch-swapped
+/// [`Snapshot`], accepting queries through bounded per-worker queues.
+///
+/// Dropping the engine closes it, drains all queued work, and joins the
+/// workers; [`Engine::shutdown`] does the same and returns the final
+/// counters.
+#[derive(Debug)]
+pub struct Engine<M, I, A> {
+    shared: Arc<Shared<M, I, A>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    workers: usize,
+}
+
+impl<M, I, A> Engine<M, I, A>
+where
+    M: Metric + 'static,
+    I: KnnIndex<M> + 'static,
+    A: RknnAlgorithm<M, I> + Send + Sync + 'static,
+{
+    /// Starts the engine on an initial snapshot.
+    pub fn new(snapshot: Snapshot<M, I, A>, config: EngineConfig) -> Self {
+        let workers = requested_threads(config.workers).max(1);
+        let queue_capacity = config.queue_capacity.max(1);
+        let shared = Arc::new(Shared {
+            snapshot: RwLock::new(Arc::new(snapshot)),
+            shards: (0..workers)
+                .map(|_| Mutex::new(VecDeque::with_capacity(queue_capacity)))
+                .collect(),
+            queue_capacity,
+            queued: AtomicUsize::new(0),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+            open: AtomicBool::new(true),
+            rr: AtomicUsize::new(0),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rknn-serve-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        Engine {
+            shared,
+            handles,
+            workers,
+        }
+    }
+
+    /// Submits a query, returning a [`Ticket`] for its response, or the
+    /// reason it was not accepted. Never blocks on a full executor — that
+    /// is the caller's backpressure signal.
+    pub fn submit(&self, query: PointId) -> Result<Ticket, SubmitError> {
+        if !self.shared.open.load(Relaxed) {
+            return Err(SubmitError::Closed);
+        }
+        let cell = Arc::new(ResponseCell {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        let job = Job {
+            query,
+            submitted_at: Instant::now(),
+            cell: Arc::clone(&cell),
+        };
+        let shards = &self.shared.shards;
+        let preferred = self.shared.rr.fetch_add(1, Relaxed) % shards.len();
+        let mut job = Some(job);
+        for offset in 0..shards.len() {
+            let shard = &shards[(preferred + offset) % shards.len()];
+            let mut queue = shard.lock().expect("shard queue lock");
+            if queue.len() < self.shared.queue_capacity {
+                queue.push_back(job.take().expect("job is unspent"));
+                drop(queue);
+                self.shared.queued.fetch_add(1, Relaxed);
+                self.shared.submitted.fetch_add(1, Relaxed);
+                let _guard = self.shared.idle.lock().expect("idle lock");
+                self.shared.wake.notify_one();
+                return Ok(Ticket { cell });
+            }
+        }
+        self.shared.rejected.fetch_add(1, Relaxed);
+        Err(SubmitError::Saturated {
+            queued: self.shared.queued.load(Relaxed),
+            capacity: shards.len() * self.shared.queue_capacity,
+        })
+    }
+
+    /// Atomically swaps the active snapshot. In-flight queries finish
+    /// against the epoch they pinned; queries picked up afterwards see the
+    /// new snapshot. Returns the published epoch.
+    pub fn publish(&self, snapshot: Snapshot<M, I, A>) -> u64 {
+        let epoch = snapshot.epoch;
+        *self.shared.snapshot.write().expect("snapshot lock") = Arc::new(snapshot);
+        self.shared.swaps.fetch_add(1, Relaxed);
+        epoch
+    }
+
+    /// Pins and returns the currently active snapshot (the same clone a
+    /// worker would take). Used to derive a successor snapshot off to the
+    /// side while serving continues.
+    pub fn snapshot(&self) -> Arc<Snapshot<M, I, A>> {
+        self.shared.snapshot.read().expect("snapshot lock").clone()
+    }
+
+    /// Worker threads actually running.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Total admission capacity (shards × per-shard bound).
+    pub fn queue_capacity(&self) -> usize {
+        self.workers * self.shared.queue_capacity
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            submitted: self.shared.submitted.load(Relaxed),
+            completed: self.shared.completed.load(Relaxed),
+            rejected: self.shared.rejected.load(Relaxed),
+            stolen: self.shared.stolen.load(Relaxed),
+            swaps: self.shared.swaps.load(Relaxed),
+            queued: self.shared.queued.load(Relaxed),
+            epoch: self.snapshot().epoch,
+        }
+    }
+
+    /// Stops accepting submissions. Queued work still drains and every
+    /// outstanding [`Ticket`] resolves; workers exit once the queues are
+    /// empty.
+    pub fn close(&self) {
+        self.shared.open.store(false, Relaxed);
+        let _guard = self.shared.idle.lock().expect("idle lock");
+        self.shared.wake.notify_all();
+    }
+
+    /// Closes the engine, drains queued work, joins the workers, and
+    /// returns the final counters.
+    pub fn shutdown(mut self) -> EngineStats {
+        self.join_workers();
+        let stats = self.stats();
+        drop(self);
+        stats
+    }
+
+    fn join_workers(&mut self) {
+        self.close();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<M, I, A> Drop for Engine<M, I, A> {
+    fn drop(&mut self) {
+        self.shared.open.store(false, Relaxed);
+        if let Ok(_guard) = self.shared.idle.lock() {
+            self.shared.wake.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Pops the next job for worker `w`: own queue from the front, then a
+/// steal from the back of each sibling queue.
+fn pop_job<M, I, A>(shared: &Shared<M, I, A>, w: usize) -> Option<Job> {
+    let shards = &shared.shards;
+    if let Some(job) = shards[w].lock().expect("shard queue lock").pop_front() {
+        shared.queued.fetch_sub(1, Relaxed);
+        return Some(job);
+    }
+    for offset in 1..shards.len() {
+        let victim = &shards[(w + offset) % shards.len()];
+        if let Some(job) = victim.lock().expect("shard queue lock").pop_back() {
+            shared.queued.fetch_sub(1, Relaxed);
+            shared.stolen.fetch_add(1, Relaxed);
+            return Some(job);
+        }
+    }
+    None
+}
+
+fn worker_loop<M, I, A>(shared: &Shared<M, I, A>, w: usize)
+where
+    M: Metric,
+    I: KnnIndex<M>,
+    A: RknnAlgorithm<M, I>,
+{
+    // The worker's per-epoch state: scratch buffers recreated lazily the
+    // first time this worker serves a query under a new snapshot.
+    let mut state: Option<(u64, A::Worker)> = None;
+    loop {
+        let Some(job) = pop_job(shared, w) else {
+            if !shared.open.load(Relaxed) {
+                // Closed and nothing left to pop anywhere: drained.
+                return;
+            }
+            let guard = shared.idle.lock().expect("idle lock");
+            if shared.queued.load(Relaxed) == 0 && shared.open.load(Relaxed) {
+                drop(shared.wake.wait(guard).expect("idle lock"));
+            }
+            continue;
+        };
+        let started_at = Instant::now();
+        // Pin the epoch: holding this Arc keeps the snapshot alive for the
+        // whole query even if a successor is published meanwhile.
+        let snapshot = shared.snapshot.read().expect("snapshot lock").clone();
+        let stale = match &state {
+            Some((epoch, _)) => *epoch != snapshot.epoch,
+            None => true,
+        };
+        if stale {
+            state = Some((snapshot.epoch, snapshot.algo.make_worker(&snapshot.index)));
+        }
+        let (_, worker_state) = state.as_mut().expect("worker state initialized");
+        let answer = snapshot
+            .algo
+            .query(&snapshot.index, job.query, worker_state);
+        let finished_at = Instant::now();
+        job.cell.fulfill(QueryResponse {
+            query: job.query,
+            epoch: snapshot.epoch,
+            neighbors: answer.neighbors().to_vec(),
+            work: answer.work(),
+            worker: w,
+            submitted_at: job.submitted_at,
+            started_at,
+            finished_at,
+        });
+        shared.completed.fetch_add(1, Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rknn_core::Euclidean;
+    use rknn_index::LinearScan;
+    use rknn_rdt::algorithm::{run_algorithm_batch, RdtAlgorithm};
+    use rknn_rdt::RdtParams;
+
+    type Eng = Engine<Euclidean, LinearScan<Euclidean>, RdtAlgorithm>;
+
+    fn index(n: usize, seed: u64) -> LinearScan<Euclidean> {
+        let ds = rknn_data::gaussian_blobs(n, 4, 3, 0.4, seed).into_shared();
+        LinearScan::build(ds, Euclidean)
+    }
+
+    fn engine(n: usize, seed: u64, workers: usize, cap: usize) -> Eng {
+        let idx = index(n, seed);
+        let algo = RdtAlgorithm::new(RdtParams::new(4, 4.0));
+        Engine::new(
+            Snapshot::prepare(0, idx, algo),
+            EngineConfig {
+                workers,
+                queue_capacity: cap,
+            },
+        )
+    }
+
+    #[test]
+    fn serves_byte_identical_to_the_sequential_driver() {
+        let idx = index(300, 900);
+        let mut algo = RdtAlgorithm::new(RdtParams::new(4, 4.0));
+        RknnAlgorithm::<_, LinearScan<Euclidean>>::prepare(&mut algo, &idx);
+        let queries: Vec<PointId> = (0..300).step_by(3).collect();
+        let want = run_algorithm_batch(&algo, &idx, &queries, 1);
+
+        let eng = engine(300, 900, 3, 64);
+        let tickets: Vec<Ticket> = queries.iter().map(|&q| eng.submit(q).unwrap()).collect();
+        for (ticket, (i, &q)) in tickets.into_iter().zip(queries.iter().enumerate()) {
+            let got = ticket.wait();
+            assert_eq!(got.query, q);
+            assert_eq!(got.epoch, 0);
+            let gv: Vec<(PointId, u64)> = got
+                .neighbors
+                .iter()
+                .map(|n| (n.id, n.dist.to_bits()))
+                .collect();
+            let wv: Vec<(PointId, u64)> = want.answers[i]
+                .result
+                .iter()
+                .map(|n| (n.id, n.dist.to_bits()))
+                .collect();
+            assert_eq!(gv, wv, "q={q}");
+        }
+        let stats = eng.shutdown();
+        assert_eq!(stats.submitted, 100);
+        assert_eq!(stats.completed, 100);
+        assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn saturation_rejects_with_reason_and_loses_nothing() {
+        let eng = engine(400, 901, 1, 1);
+        let mut tickets = Vec::new();
+        let mut rejected = 0usize;
+        for q in 0..200 {
+            match eng.submit(q % 400) {
+                Ok(t) => tickets.push(t),
+                Err(SubmitError::Saturated { queued, capacity }) => {
+                    assert!(queued <= capacity, "reason fields are coherent");
+                    assert_eq!(capacity, 1);
+                    rejected += 1;
+                }
+                Err(SubmitError::Closed) => panic!("engine is open"),
+            }
+        }
+        let accepted = tickets.len();
+        for ticket in tickets {
+            let _ = ticket.wait();
+        }
+        let stats = eng.shutdown();
+        assert!(rejected > 0, "a one-slot executor must shed rapid load");
+        assert_eq!(accepted + rejected, 200, "every submit is accounted");
+        assert_eq!(stats.completed, accepted as u64);
+        assert_eq!(stats.rejected, rejected as u64);
+    }
+
+    #[test]
+    fn close_rejects_new_work_but_drains_accepted_work() {
+        let eng = engine(200, 902, 2, 32);
+        let tickets: Vec<Ticket> = (0..20).map(|q| eng.submit(q).unwrap()).collect();
+        eng.close();
+        assert!(matches!(eng.submit(0), Err(SubmitError::Closed)));
+        for ticket in tickets {
+            let _ = ticket.wait(); // every accepted query still resolves
+        }
+        let stats = eng.shutdown();
+        assert_eq!(stats.completed, 20);
+    }
+
+    #[test]
+    fn publish_swaps_epochs_and_pins_are_consistent() {
+        let eng = engine(250, 903, 2, 64);
+        let first: Vec<Ticket> = (0..50).map(|q| eng.submit(q).unwrap()).collect();
+        // Build the successor off to the side from the pinned snapshot.
+        let pinned = eng.snapshot();
+        let next_idx = pinned.index().clone();
+        let next = Snapshot::new(pinned.epoch() + 1, next_idx, pinned.algo().warmed());
+        assert_eq!(eng.publish(next), 1);
+        let second: Vec<Ticket> = (0..50).map(|q| eng.submit(q).unwrap()).collect();
+        for t in first {
+            let r = t.wait();
+            assert!(r.epoch <= 1, "pre-publish submissions see epoch 0 or 1");
+        }
+        for t in second {
+            assert_eq!(t.wait().epoch, 1, "post-publish submissions see epoch 1");
+        }
+        let stats = eng.shutdown();
+        assert_eq!(stats.swaps, 1);
+        assert_eq!(stats.epoch, 1);
+    }
+
+    #[test]
+    fn zero_workers_resolves_to_at_least_one() {
+        let eng = engine(60, 904, 0, 8);
+        assert!(eng.workers() >= 1);
+        let t = eng.submit(5).unwrap();
+        assert_eq!(t.wait().query, 5);
+    }
+}

@@ -1,0 +1,330 @@
+//! Load generation and latency summarization for the serving engine.
+//!
+//! The open-loop driver is the honest one: arrival times are fixed in
+//! advance at the target rate (`t_i = i / λ` from the run's start) and a
+//! query is submitted at its scheduled instant *regardless of whether
+//! earlier queries finished* — so a slow engine accumulates queue delay
+//! that the latency numbers actually show (a closed-loop driver would
+//! silently stall the arrival process instead: coordinated omission).
+//! Latency is measured from the scheduled arrival, not from the submit
+//! call, so dispatcher lag cannot hide service-side queueing either — the
+//! observed lag is reported separately as an honesty field.
+//!
+//! The closed-loop driver ([`run_closed_loop`]) is the throughput probe:
+//! it submits as fast as backpressure admits and reports saturated QPS,
+//! which is what the thread-scaling curve is built from.
+
+use crate::engine::{Engine, QueryResponse, SubmitError, Ticket};
+use rknn_core::{Metric, PointId};
+use rknn_index::KnnIndex;
+use rknn_rdt::algorithm::RknnAlgorithm;
+use std::time::{Duration, Instant};
+
+/// Open-loop run parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopConfig {
+    /// Target arrival rate, queries per second. Must be positive.
+    pub rate_qps: f64,
+    /// Total queries to offer.
+    pub total: usize,
+}
+
+/// Nearest-rank percentile summary of a latency sample, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Median.
+    pub p50_ms: f64,
+    /// 90th percentile.
+    pub p90_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// 99.9th percentile.
+    pub p999_ms: f64,
+    /// Maximum.
+    pub max_ms: f64,
+}
+
+/// Nearest-rank percentile of an **ascending-sorted** sample.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Summarizes a latency sample (milliseconds); `None` when the sample is
+/// empty — absent data stays absent instead of becoming NaN.
+pub fn latency_summary(samples: &[f64]) -> Option<LatencySummary> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    Some(LatencySummary {
+        count: sorted.len(),
+        mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        p50_ms: percentile(&sorted, 0.50),
+        p90_ms: percentile(&sorted, 0.90),
+        p99_ms: percentile(&sorted, 0.99),
+        p999_ms: percentile(&sorted, 0.999),
+        max_ms: *sorted.last().expect("non-empty"),
+    })
+}
+
+/// Outcome of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// Queries offered (scheduled arrivals).
+    pub offered: usize,
+    /// Queries completed (every accepted submission completes).
+    pub completed: usize,
+    /// Queries rejected by backpressure.
+    pub rejected: usize,
+    /// Wall-clock span from first scheduled arrival to last collection.
+    pub elapsed: Duration,
+    /// Target arrival rate the schedule was built from.
+    pub target_qps: f64,
+    /// Completed queries per second of elapsed time; `None` when nothing
+    /// completed or the span was too short to divide by.
+    pub achieved_qps: Option<f64>,
+    /// Open-loop latency (scheduled arrival → completion).
+    pub latency: Option<LatencySummary>,
+    /// Service time alone (dequeue → completion).
+    pub service: Option<LatencySummary>,
+    /// Queue wait alone (accept → dequeue).
+    pub queue_wait: Option<LatencySummary>,
+    /// Worst dispatcher lag behind the arrival schedule — honesty field:
+    /// large values mean the load generator, not the engine, was the
+    /// bottleneck.
+    pub max_submit_lag_ms: f64,
+    /// Distinct epochs observed across completions, ascending.
+    pub epochs: Vec<u64>,
+    /// p99 over the first 100 completions in arrival order — the
+    /// cold-start tail a fresh snapshot shows before its `d_k` cache
+    /// warms. `None` when fewer than 100 queries completed.
+    pub first_100_p99_ms: Option<f64>,
+}
+
+/// Drives `engine` open-loop at `cfg.rate_qps`, cycling through `queries`,
+/// then waits for every accepted ticket.
+///
+/// Panics if `cfg.rate_qps` is not positive or `queries` is empty.
+pub fn run_open_loop<M, I, A>(
+    engine: &Engine<M, I, A>,
+    queries: &[PointId],
+    cfg: &OpenLoopConfig,
+) -> OpenLoopReport
+where
+    M: Metric + 'static,
+    I: KnnIndex<M> + 'static,
+    A: RknnAlgorithm<M, I> + Send + Sync + 'static,
+{
+    assert!(cfg.rate_qps > 0.0, "open-loop rate must be positive");
+    assert!(!queries.is_empty(), "open-loop needs at least one query");
+    let start = Instant::now();
+    let mut pending: Vec<(Instant, Ticket)> = Vec::with_capacity(cfg.total);
+    let mut rejected = 0usize;
+    let mut max_lag = Duration::ZERO;
+    for i in 0..cfg.total {
+        let scheduled = start + Duration::from_secs_f64(i as f64 / cfg.rate_qps);
+        let now = Instant::now();
+        if now < scheduled {
+            std::thread::sleep(scheduled - now);
+        } else {
+            max_lag = max_lag.max(now - scheduled);
+        }
+        match engine.submit(queries[i % queries.len()]) {
+            Ok(ticket) => pending.push((scheduled, ticket)),
+            Err(SubmitError::Saturated { .. }) => rejected += 1,
+            Err(SubmitError::Closed) => {
+                rejected += cfg.total - i;
+                break;
+            }
+        }
+    }
+
+    let mut latency_ms = Vec::with_capacity(pending.len());
+    let mut service_ms = Vec::with_capacity(pending.len());
+    let mut queue_ms = Vec::with_capacity(pending.len());
+    let mut epochs: Vec<u64> = Vec::new();
+    for (scheduled, ticket) in pending {
+        let response: QueryResponse = ticket.wait();
+        latency_ms.push(
+            response
+                .finished_at
+                .saturating_duration_since(scheduled)
+                .as_secs_f64()
+                * 1e3,
+        );
+        service_ms.push(response.service().as_secs_f64() * 1e3);
+        queue_ms.push(response.queue_wait().as_secs_f64() * 1e3);
+        if let Err(at) = epochs.binary_search(&response.epoch) {
+            epochs.insert(at, response.epoch);
+        }
+    }
+    let elapsed = start.elapsed();
+    let completed = latency_ms.len();
+    let achieved_qps = (completed > 0 && elapsed > Duration::ZERO)
+        .then(|| completed as f64 / elapsed.as_secs_f64());
+    let first_100_p99_ms = (completed >= 100).then(|| {
+        let mut first: Vec<f64> = latency_ms[..100].to_vec();
+        first.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        percentile(&first, 0.99)
+    });
+    OpenLoopReport {
+        offered: cfg.total,
+        completed,
+        rejected,
+        elapsed,
+        target_qps: cfg.rate_qps,
+        achieved_qps,
+        latency: latency_summary(&latency_ms),
+        service: latency_summary(&service_ms),
+        queue_wait: latency_summary(&queue_ms),
+        max_submit_lag_ms: max_lag.as_secs_f64() * 1e3,
+        epochs,
+        first_100_p99_ms,
+    }
+}
+
+/// Outcome of one closed-loop (saturation) run.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopReport {
+    /// Queries completed.
+    pub completed: usize,
+    /// Submit attempts that hit backpressure and were retried.
+    pub retries: usize,
+    /// Wall-clock span of the run.
+    pub elapsed: Duration,
+    /// Saturated throughput; `None` when nothing completed or the span
+    /// was too short to divide by.
+    pub qps: Option<f64>,
+    /// Service-time summary.
+    pub service: Option<LatencySummary>,
+}
+
+/// Pushes `total` queries through `engine` as fast as backpressure admits
+/// (retrying saturated submits after yielding), then waits for all of
+/// them — the saturated-throughput probe behind the thread-scaling curve.
+pub fn run_closed_loop<M, I, A>(
+    engine: &Engine<M, I, A>,
+    queries: &[PointId],
+    total: usize,
+) -> ClosedLoopReport
+where
+    M: Metric + 'static,
+    I: KnnIndex<M> + 'static,
+    A: RknnAlgorithm<M, I> + Send + Sync + 'static,
+{
+    assert!(!queries.is_empty(), "closed-loop needs at least one query");
+    let start = Instant::now();
+    let mut pending: Vec<Ticket> = Vec::with_capacity(total);
+    let mut retries = 0usize;
+    for i in 0..total {
+        loop {
+            match engine.submit(queries[i % queries.len()]) {
+                Ok(ticket) => {
+                    pending.push(ticket);
+                    break;
+                }
+                Err(SubmitError::Saturated { .. }) => {
+                    retries += 1;
+                    std::thread::yield_now();
+                }
+                Err(SubmitError::Closed) => {
+                    panic!("engine closed during a closed-loop run");
+                }
+            }
+        }
+    }
+    let mut service_ms = Vec::with_capacity(pending.len());
+    for ticket in pending {
+        service_ms.push(ticket.wait().service().as_secs_f64() * 1e3);
+    }
+    let elapsed = start.elapsed();
+    let completed = service_ms.len();
+    let qps = (completed > 0 && elapsed > Duration::ZERO)
+        .then(|| completed as f64 / elapsed.as_secs_f64());
+    ClosedLoopReport {
+        completed,
+        retries,
+        elapsed,
+        qps,
+        service: latency_summary(&service_ms),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EngineConfig, Snapshot};
+    use rknn_core::Euclidean;
+    use rknn_index::LinearScan;
+    use rknn_rdt::algorithm::RdtAlgorithm;
+    use rknn_rdt::RdtParams;
+
+    fn engine(
+        n: usize,
+        seed: u64,
+        workers: usize,
+    ) -> Engine<Euclidean, LinearScan<Euclidean>, RdtAlgorithm> {
+        let ds = rknn_data::gaussian_blobs(n, 4, 3, 0.4, seed).into_shared();
+        let idx = LinearScan::build(ds, Euclidean);
+        Engine::new(
+            Snapshot::prepare(0, idx, RdtAlgorithm::new(RdtParams::new(4, 4.0))),
+            EngineConfig {
+                workers,
+                queue_capacity: 64,
+            },
+        )
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50.0);
+        assert_eq!(percentile(&sorted, 0.99), 99.0);
+        assert_eq!(percentile(&sorted, 0.999), 100.0);
+        assert_eq!(percentile(&[7.0], 0.5), 7.0);
+        assert_eq!(latency_summary(&[]), None);
+        let one = latency_summary(&[3.0]).unwrap();
+        assert_eq!((one.p50_ms, one.p999_ms, one.count), (3.0, 3.0, 1));
+    }
+
+    #[test]
+    fn open_loop_completes_the_offered_load() {
+        let eng = engine(200, 905, 2);
+        let queries: Vec<usize> = (0..200).collect();
+        let report = run_open_loop(
+            &eng,
+            &queries,
+            &OpenLoopConfig {
+                rate_qps: 2000.0,
+                total: 150,
+            },
+        );
+        assert_eq!(report.offered, 150);
+        assert_eq!(report.completed + report.rejected, 150);
+        assert!(report.completed > 0);
+        assert!(report.achieved_qps.unwrap() > 0.0);
+        let lat = report.latency.unwrap();
+        assert!(lat.p50_ms <= lat.p99_ms && lat.p99_ms <= lat.p999_ms);
+        assert_eq!(report.epochs, vec![0]);
+        if report.completed >= 100 {
+            assert!(report.first_100_p99_ms.unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn closed_loop_reports_saturated_throughput() {
+        let eng = engine(150, 906, 2);
+        let queries: Vec<usize> = (0..150).collect();
+        let report = run_closed_loop(&eng, &queries, 300);
+        assert_eq!(report.completed, 300);
+        assert!(report.qps.unwrap() > 0.0);
+        assert!(report.service.unwrap().count == 300);
+    }
+}

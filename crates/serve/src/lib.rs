@@ -1,0 +1,40 @@
+//! The long-lived concurrent serving layer: the piece that turns the
+//! batch-offline reproduction into an engine a live system could run.
+//!
+//! Everything recorded before this crate existed was one-shot: build an
+//! index, answer a query list across scoped threads, exit. A serving
+//! system has a different shape — queries arrive continuously at their own
+//! rate, the catalog churns underneath them, and the numbers that matter
+//! are tail latencies under load, not batch wall-clock. This crate
+//! provides that shape without touching the algorithms themselves:
+//!
+//! * [`Snapshot`] — an immutable `(epoch, index, prepared algorithm)`
+//!   triple. Queries only ever see one snapshot; churn produces a *new*
+//!   snapshot built off to the side (for RDT, carrying the warm `d_k`
+//!   cache forward via [`advance_snapshot`] instead of rebuilding it).
+//! * [`Engine`] — N worker threads, each owning its scratch, fed by
+//!   per-worker bounded queues with work stealing. Submission applies
+//!   backpressure ([`SubmitError::Saturated`]) instead of growing without
+//!   bound; [`Engine::publish`] swaps the active snapshot epoch-style —
+//!   readers never block, in-flight queries finish against the epoch they
+//!   started with.
+//! * [`harness`] — open-loop load generation (arrivals on a fixed
+//!   schedule, independent of completions, the methodology that exposes
+//!   coordinated omission) and closed-loop saturation runs, summarized as
+//!   p50/p90/p99/p999 latency and QPS.
+//!
+//! The executor dispatches any [`rknn_rdt::algorithm::RknnAlgorithm`]
+//! unchanged, so RDT, RDT+ and all five baselines serve through the same
+//! engine they batch through — and the equivalence suite can hold the
+//! concurrent path byte-identical to the sequential driver.
+
+pub mod advance;
+pub mod engine;
+pub mod harness;
+
+pub use advance::{advance_snapshot, AdvanceReport, ChurnOp};
+pub use engine::{Engine, EngineConfig, EngineStats, QueryResponse, Snapshot, SubmitError, Ticket};
+pub use harness::{
+    latency_summary, run_closed_loop, run_open_loop, ClosedLoopReport, LatencySummary,
+    OpenLoopConfig, OpenLoopReport,
+};

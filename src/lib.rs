@@ -17,7 +17,10 @@
 //! * [`data`] — synthetic dataset generators matching the evaluation's
 //!   intrinsic-dimensional structure;
 //! * [`eval`] — the experiment harness regenerating every paper table and
-//!   figure.
+//!   figure;
+//! * [`serve`] — the long-lived concurrent serving engine: epoch-swapped
+//!   immutable snapshots, a sharded work-stealing query executor with
+//!   bounded queues, and an open-loop latency harness.
 //!
 //! ## Quick start
 //!
@@ -46,6 +49,7 @@ pub use rknn_eval as eval;
 pub use rknn_index as index;
 pub use rknn_lid as lid;
 pub use rknn_rdt as rdt;
+pub use rknn_serve as serve;
 
 /// Convenience re-exports of the most commonly used items.
 pub mod prelude {
@@ -66,4 +70,5 @@ pub mod prelude {
         BatchConfig, BatchOutcome, MaintainedStream, Rdt, RdtAlgorithm, RdtParams, RdtPlus,
         RknnAlgorithm, RknnAnswer, UpdateReport,
     };
+    pub use rknn_serve::{Engine, EngineConfig, QueryResponse, Snapshot, SubmitError, Ticket};
 }
