@@ -1,7 +1,7 @@
 //! Serving snapshot: the concurrent engine under open-loop load, recorded
 //! as `BENCH_serving.json`.
 //!
-//! Five sections, every one against the same gaussian-blobs workload on a
+//! Six sections, every one against the same gaussian-blobs workload on a
 //! linear-scan forward index (RDT, exact tier semantics of the selected
 //! kernel tier):
 //!
@@ -27,6 +27,15 @@
 //!    `d_k` cache over a stride sample, one without; the first-100-queries
 //!    p99 of each is recorded (satellite: cold-start tail with and without
 //!    prewarm).
+//! 6. **chaos** — a seeded [`rknn_serve::FaultPlan`] (worker panics, one
+//!    worker death, service delays, an injected queue-full window) driven
+//!    together with a deadline storm and malformed coordinate queries. The
+//!    run *asserts* zero lost tickets (`submitted == completed + failed`),
+//!    zero duplicates, typed errors only, byte-identity of every answered
+//!    query to the sequential driver, at least one supervisor respawn, and
+//!    post-fault p99 recovery within a generous factor of a fault-free
+//!    baseline — then records the injected schedule next to the observed
+//!    outcome counts.
 //!
 //! Rates and percentiles that cannot be computed honestly (zero completed
 //! queries, zero-duration spans) are emitted as `null` plus an explicit
@@ -36,7 +45,8 @@
 //! (0 = `RKNN_THREADS`, then CPU count), `RKNN_SERVE_QUEUE_CAP`,
 //! `RKNN_SERVE_OPEN_QUERIES`, `RKNN_SERVE_RATE_FRACTION`,
 //! `RKNN_SERVE_SWAPS`, `RKNN_SERVE_PREWARM`, `RKNN_SERVE_REPS`,
-//! `RKNN_SERVE_MAX_SCALE_THREADS`, `RKNN_SERVE_OUT` (default
+//! `RKNN_SERVE_MAX_SCALE_THREADS`, `RKNN_SERVE_CHAOS_SEED`,
+//! `RKNN_SERVE_CHAOS_QUERIES`, `RKNN_SERVE_OUT` (default
 //! `BENCH_serving.json`).
 
 use rknn_bench::{opt_json, rate_json};
@@ -46,8 +56,9 @@ use rknn_index::LinearScan;
 use rknn_rdt::algorithm::{requested_threads, run_algorithm_batch, RdtAlgorithm, RknnAlgorithm};
 use rknn_rdt::RdtParams;
 use rknn_serve::{
-    advance_snapshot, run_closed_loop, run_open_loop, AdvanceReport, ChurnOp, Engine, EngineConfig,
-    LatencySummary, OpenLoopConfig, Snapshot, SubmitError,
+    advance_snapshot, latency_summary, run_closed_loop, run_open_loop, AdvanceReport, ChurnOp,
+    Engine, EngineConfig, FaultPlan, LatencySummary, OpenLoopConfig, QueryError, QueryRequest,
+    RetryPolicy, Snapshot, Ticket,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -116,6 +127,7 @@ impl Workload {
             EngineConfig {
                 workers,
                 queue_capacity,
+                ..EngineConfig::default()
             },
         )
     }
@@ -143,19 +155,23 @@ fn submit_all(engine: &ServeEngine, queries: &[usize]) -> (Vec<(usize, u64, Dige
                     tickets.push(ticket);
                     break;
                 }
-                Err(SubmitError::Saturated { .. }) => {
+                Err(QueryError::Saturated { .. }) => {
                     retries += 1;
                     std::thread::yield_now();
                 }
-                Err(SubmitError::Closed) => panic!("engine closed during the correctness gate"),
+                Err(other) => panic!("unexpected rejection in the correctness gate: {other}"),
             }
         }
     }
     let responses = tickets
         .into_iter()
         .map(|t| {
-            let r = t.wait();
-            (r.query, r.epoch, digest(&r.neighbors))
+            let r = t.wait().expect("fault-free serving answers every query");
+            (
+                r.point_id().expect("point queries echo their id"),
+                r.epoch,
+                digest(&r.neighbors),
+            )
         })
         .collect();
     (responses, retries)
@@ -202,7 +218,7 @@ fn main() {
         .collect();
 
     // ---- Section 1: correctness gate -----------------------------------
-    eprintln!("[1/5] correctness gate ({n} queries, {workers_effective} workers)");
+    eprintln!("[1/6] correctness gate ({n} queries, {workers_effective} workers)");
     let engine = workload.engine(workers_effective, queue_cap, 0);
     let gate_start = Instant::now();
     let (responses, gate_retries) = submit_all(&engine, &all_ids);
@@ -232,7 +248,7 @@ fn main() {
     );
 
     // ---- Section 2: thread-scaling curve -------------------------------
-    eprintln!("[2/5] thread scaling (1..={max_scale} workers, best of {reps})");
+    eprintln!("[2/6] thread scaling (1..={max_scale} workers, best of {reps})");
     let scale_total = (2 * n).min(4 * open_queries.max(1));
     let mut scaling_rows = Vec::new();
     let mut saturated_at_effective: Option<f64> = None;
@@ -280,7 +296,7 @@ fn main() {
     // ---- Section 3: open-loop latency ----------------------------------
     let target_qps = (saturated_qps * rate_fraction).max(1.0);
     eprintln!(
-        "[3/5] open loop ({open_queries} queries at {target_qps:.0} qps — \
+        "[3/6] open loop ({open_queries} queries at {target_qps:.0} qps — \
          {rate_fraction:.2}x saturated {saturated_qps:.0})"
     );
     let engine = workload.engine(workers_effective, queue_cap, 0);
@@ -290,6 +306,7 @@ fn main() {
         &OpenLoopConfig {
             rate_qps: target_qps,
             total: open_queries,
+            deadline: None,
         },
     );
     let open_stats = engine.shutdown();
@@ -316,7 +333,7 @@ fn main() {
     );
 
     // ---- Section 4: churn + queries across snapshot swaps --------------
-    eprintln!("[4/5] churn scenario ({swaps} swaps under open-loop traffic)");
+    eprintln!("[4/6] churn scenario ({swaps} swaps under open-loop traffic)");
     // Queried ids stay in the live low half; removals tombstone ids from
     // the upper half so an in-flight query never names a dead point.
     let live_queries: Vec<usize> = (0..n / 2).collect();
@@ -349,6 +366,7 @@ fn main() {
             &OpenLoopConfig {
                 rate_qps: target_qps,
                 total: churn_total,
+                deadline: None,
             },
         );
         (report, publisher.join().expect("publisher thread"))
@@ -388,7 +406,7 @@ fn main() {
     );
 
     // ---- Section 5: prewarm vs cold start ------------------------------
-    eprintln!("[5/5] cold-start tail with and without prewarm ({prewarm} sampled d_k)");
+    eprintln!("[5/6] cold-start tail with and without prewarm ({prewarm} sampled d_k)");
     let first_queries = open_queries.max(120).min(n);
     let cold_start_run = |sample: usize| {
         let (snapshot, prepare_time) = workload.snapshot(sample);
@@ -403,6 +421,7 @@ fn main() {
             EngineConfig {
                 workers: workers_effective,
                 queue_capacity: queue_cap,
+                ..EngineConfig::default()
             },
         );
         let report = run_open_loop(
@@ -411,6 +430,7 @@ fn main() {
             &OpenLoopConfig {
                 rate_qps: target_qps,
                 total: first_queries,
+                deadline: None,
             },
         );
         engine.shutdown();
@@ -440,6 +460,182 @@ fn main() {
         )
     };
 
+    // ---- Section 6: chaos / fault injection ----------------------------
+    let chaos_seed = env_usize("RKNN_SERVE_CHAOS_SEED", 0xC4A05) as u64;
+    let chaos_total = env_usize("RKNN_SERVE_CHAOS_QUERIES", 800).max(200);
+    eprintln!("[6/6] chaos scenario (seed {chaos_seed:#x}, {chaos_total} queries, 2 workers)");
+    let chaos_workers = 2usize;
+    // p99 service time over a fault-free batch — used both for the
+    // baseline (fresh engine) and the recovery probe (chaos engine after
+    // its fault schedule is exhausted).
+    let probe_ids: Vec<usize> = (0..400.min(n)).collect();
+    let service_p99 = |engine: &ServeEngine, ids: &[usize]| -> f64 {
+        let mut tickets: Vec<Ticket> = Vec::with_capacity(ids.len());
+        for &q in ids {
+            loop {
+                match engine.submit(q) {
+                    Ok(t) => {
+                        tickets.push(t);
+                        break;
+                    }
+                    Err(QueryError::Saturated { .. }) => std::thread::yield_now(),
+                    Err(other) => panic!("unexpected rejection in a fault-free probe: {other}"),
+                }
+            }
+        }
+        let samples: Vec<f64> = tickets
+            .into_iter()
+            .map(|t| {
+                t.wait()
+                    .expect("fault-free probe answers")
+                    .service()
+                    .as_secs_f64()
+                    * 1e3
+            })
+            .collect();
+        latency_summary(&samples).expect("non-empty probe").p99_ms
+    };
+    let baseline_engine = workload.engine(chaos_workers, queue_cap, 0);
+    let baseline_p99 = service_p99(&baseline_engine, &probe_ids);
+    baseline_engine.shutdown();
+
+    // The schedule: seeded panics/delays scattered across the first half
+    // of the execution sequence, an injected queue-full window, and one
+    // worker death pinned just past the scattered span so it cannot land
+    // on an execution slot consumed by a deadline-shed job (sheds consume
+    // slots without reaching the fault hook).
+    let chaos_span = (chaos_total as u64) / 2;
+    let plan = FaultPlan::scattered(chaos_seed, chaos_span, 3, 0, 3, Duration::from_millis(20))
+        .death_at(chaos_span)
+        .reject_window(40, 50);
+    let injected = plan.counts();
+    let last_fault = plan.last_execution_fault().expect("plan has faults");
+    let engine = Engine::new(
+        workload.snapshot(0).0,
+        EngineConfig {
+            workers: chaos_workers,
+            queue_capacity: queue_cap,
+            faults: Some(Arc::new(plan)),
+            ..EngineConfig::default()
+        },
+    );
+
+    // Malformed queries: typed rejection at the boundary, no worker ever
+    // sees them.
+    let mut invalid_typed = 0usize;
+    for bad in [
+        QueryRequest::coords(vec![f64::NAN; dim]),
+        QueryRequest::coords(vec![1.0; dim + 1]),
+        QueryRequest::point(n + 7),
+    ] {
+        match engine.submit(bad) {
+            Err(QueryError::InvalidInput(_)) => invalid_typed += 1,
+            other => panic!("malformed query must reject typed, got {other:?}"),
+        }
+    }
+
+    // The chaos drive: point queries through a bounded-retry client, with
+    // a deadline storm (offers 100..140: expired and hair-trigger
+    // deadlines) landing while the fault plan wedges and kills workers.
+    let policy = RetryPolicy::new(6)
+        .with_backoff(Duration::from_micros(200), Duration::from_millis(2))
+        .with_seed(chaos_seed);
+    let mut chaos_tickets: Vec<(usize, Ticket)> = Vec::with_capacity(chaos_total);
+    let mut rejected_saturated = 0usize;
+    let mut retries_used = 0u32;
+    for i in 0..chaos_total {
+        let q = all_ids[i % n];
+        let mut request = QueryRequest::point(q);
+        if (100..140).contains(&i) {
+            request = if i % 2 == 0 {
+                request.with_deadline(Instant::now() - Duration::from_millis(1))
+            } else {
+                request.with_timeout(Duration::from_millis(2))
+            };
+        }
+        let (outcome, used) = policy.submit(&engine, request);
+        retries_used += used;
+        match outcome {
+            Ok(ticket) => chaos_tickets.push((q, ticket)),
+            Err(QueryError::Saturated { .. }) => rejected_saturated += 1,
+            Err(other) => panic!("chaos submit rejected unexpectedly: {other}"),
+        }
+    }
+    let accepted = chaos_tickets.len();
+    assert!(
+        accepted as u64 > last_fault,
+        "workload must outrun the fault schedule ({accepted} accepted, last fault at {last_fault})"
+    );
+    let mut answered = 0usize;
+    let mut chaos_deadline = 0usize;
+    let mut chaos_internal = 0usize;
+    for (q, ticket) in chaos_tickets {
+        match ticket.wait() {
+            Ok(response) => {
+                assert_eq!(
+                    digest(&response.neighbors),
+                    reference[q],
+                    "chaos answer q={q} differs from the sequential driver"
+                );
+                answered += 1;
+            }
+            Err(QueryError::DeadlineExceeded { .. }) => chaos_deadline += 1,
+            Err(QueryError::Internal { .. }) => chaos_internal += 1,
+            Err(other) => panic!("unexpected chaos outcome: {other:?}"),
+        }
+    }
+    assert_eq!(
+        answered + chaos_deadline + chaos_internal,
+        accepted,
+        "every accepted chaos ticket resolves exactly once"
+    );
+    // Recovery: the fault schedule is exhausted; the engine must serve a
+    // clean probe with a tail comparable to the fault-free baseline.
+    let recovery_p99 = service_p99(&engine, &probe_ids);
+    assert!(
+        recovery_p99 <= baseline_p99 * 10.0 + 25.0,
+        "post-chaos p99 {recovery_p99:.3}ms must recover toward baseline {baseline_p99:.3}ms"
+    );
+    let chaos_stats = engine.shutdown();
+    assert_eq!(
+        chaos_stats.submitted,
+        chaos_stats.completed + chaos_stats.failed,
+        "chaos gate: zero lost tickets"
+    );
+    assert!(chaos_stats.panics >= 1, "injected panics must be observed");
+    assert!(
+        chaos_stats.respawns >= 1,
+        "the killed worker must be respawned by the supervisor"
+    );
+    assert_eq!(chaos_stats.invalid_inputs as usize, invalid_typed);
+    eprintln!(
+        "      {answered} answered byte-identical, {chaos_deadline} deadline, \
+         {chaos_internal} internal, {} respawns, recovery p99 {recovery_p99:.2}ms \
+         (baseline {baseline_p99:.2}ms)",
+        chaos_stats.respawns
+    );
+    let chaos_json = format!(
+        "  \"chaos\": {{ \"seed\": {chaos_seed}, \"workers\": {chaos_workers}, \
+         \"offered\": {chaos_total}, \"injected\": {{ \"panics\": {ip}, \"deaths\": {id_}, \
+         \"delays\": {il}, \"rejected_submits\": {ir} }}, \"accepted\": {accepted}, \
+         \"answered\": {answered}, \"deadline_exceeded\": {chaos_deadline}, \
+         \"internal_errors\": {chaos_internal}, \"rejected_saturated\": {rejected_saturated}, \
+         \"invalid_inputs_typed\": {invalid_typed}, \"retries_used\": {retries_used}, \
+         \"observed\": {{ \"panics\": {op}, \"respawns\": {or_}, \"quarantined\": {oq}, \
+         \"deadline_exceeded\": {od}, \"injected_rejects\": {oj} }}, \"lost\": 0, \
+         \"duplicated\": 0, \"typed_errors_only\": true, \"byte_identical_answers\": true, \
+         \"baseline_p99_ms\": {baseline_p99:.3}, \"recovery_p99_ms\": {recovery_p99:.3} }}",
+        ip = injected.panics,
+        id_ = injected.deaths,
+        il = injected.delays,
+        ir = injected.rejected_submits,
+        op = chaos_stats.panics,
+        or_ = chaos_stats.respawns,
+        oq = chaos_stats.quarantined,
+        od = chaos_stats.deadline_exceeded,
+        oj = chaos_stats.injected_rejects,
+    );
+
     // ---- Assemble ------------------------------------------------------
     let scaling_json = scaling_rows.join(",\n");
     let gate_qps = rate_json(
@@ -461,7 +657,7 @@ fn main() {
          \"correctness\": {{ \"queries\": {n}, \"completed\": {gcomp}, \
          \"lost\": 0, \"duplicated\": 0, \"saturation_retries\": {gate_retries}, \
          \"stolen\": {gstolen}, {gate_qps}, \"identical_to_sequential\": true }},\n  \
-         \"thread_scaling\": [\n{scaling_json}\n  ],\n{open_json},\n{churn_json},\n  \
+         \"thread_scaling\": [\n{scaling_json}\n  ],\n{open_json},\n{churn_json},\n{chaos_json},\n  \
          \"prewarm\": {{ \"sample\": {prewarm}, \"first_queries\": {first_queries}, \
          \"target_qps\": {target_qps:.1},\n{cold},\n{warm}\n  }}\n}}\n",
         backend = kernel::selected().backend().name(),

@@ -10,11 +10,13 @@ use rknn_rdt::algorithm::{
     run_algorithm_batch, AlgorithmAnswer, AlgorithmOutcome, RdtAlgorithm, RknnAlgorithm,
 };
 use rknn_rdt::{MaintainedStream, RdtParams, RdtPlus, RdtVariant};
-use rknn_serve::{advance_snapshot, ChurnOp, Engine, EngineConfig, Snapshot, SubmitError};
+use rknn_serve::{
+    advance_snapshot, ChurnOp, Engine, EngineConfig, FaultPlan, QueryRequest, Snapshot,
+};
 use std::io::{BufRead, Write};
 use std::path::Path;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Resolves the `--kernel` / `--tier` flags into a metric instance plus a
 /// printable "backend · tier" fragment for output headers.
@@ -595,6 +597,27 @@ pub fn serve_io<R: BufRead, W: Write>(args: &Args, input: R, out: &mut W) -> Res
         return Err("--queue-cap must be positive".into());
     }
     let prewarm: usize = args.get_parsed("prewarm", 0)?;
+    // Per-query deadline for REPL queries (0 = none): queued or in-flight
+    // past this budget resolves as a typed `deadline exceeded` error.
+    let deadline_ms: u64 = args.get_parsed("deadline-ms", 0)?;
+    let deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
+    // `--chaos SEED` arms a deterministic fault plan against the REPL's own
+    // engine: injected panics/deaths/delays surface as typed per-query
+    // errors while the session keeps serving.
+    let faults = match args.get("chaos") {
+        None => None,
+        Some(v) => {
+            let seed: u64 = v.parse().map_err(|_| format!("bad chaos seed '{v}'"))?;
+            Some(Arc::new(FaultPlan::scattered(
+                seed,
+                32,
+                2,
+                1,
+                2,
+                Duration::from_millis(2),
+            )))
+        }
+    };
     let (metric, kernel_header) = kernel_selection(args)?;
     match args.get("substrate").unwrap_or("cover") {
         "cover" => serve_on(
@@ -604,6 +627,8 @@ pub fn serve_io<R: BufRead, W: Write>(args: &Args, input: R, out: &mut W) -> Res
             prewarm,
             workers,
             queue_capacity,
+            deadline,
+            faults,
             &kernel_header,
             input,
             out,
@@ -615,6 +640,8 @@ pub fn serve_io<R: BufRead, W: Write>(args: &Args, input: R, out: &mut W) -> Res
             prewarm,
             workers,
             queue_capacity,
+            deadline,
+            faults,
             &kernel_header,
             input,
             out,
@@ -633,6 +660,8 @@ fn serve_on<I, R, W>(
     prewarm: usize,
     workers: usize,
     queue_capacity: usize,
+    deadline: Option<Duration>,
+    faults: Option<Arc<FaultPlan>>,
     kernel_header: &str,
     input: R,
     out: &mut W,
@@ -657,8 +686,15 @@ where
         EngineConfig {
             workers,
             queue_capacity,
+            faults,
+            ..EngineConfig::default()
         },
     );
+    // Attaches the session-wide deadline (if any) to a query request.
+    let with_deadline = |request: QueryRequest| match deadline {
+        Some(d) => request.with_timeout(d),
+        None => request,
+    };
     // Liveness bookkeeping for friendly errors: ids the REPL may query.
     // The slot range grows with inserts; tombstoned slots stay dead.
     let mut live = vec![true; n0];
@@ -672,7 +708,8 @@ where
     .map_err(oops)?;
     writeln!(
         out,
-        "commands: q <id> | insert <c1> .. <c{dim}> | remove <id> | stats | quit"
+        "commands: q <id> | qc <c1> .. <c{dim}> | insert <c1> .. <c{dim}> | \
+         remove <id> | stats | quit"
     )
     .map_err(oops)?;
     for line in input.lines() {
@@ -695,8 +732,10 @@ where
                     if !live.get(id).copied().unwrap_or(false) {
                         return Err(format!("id {id} is not a live point"));
                     }
-                    let ticket = engine.submit(id).map_err(|e: SubmitError| e.to_string())?;
-                    let r = ticket.wait();
+                    let ticket = engine
+                        .submit(with_deadline(QueryRequest::point(id)))
+                        .map_err(|e| e.to_string())?;
+                    let r = ticket.wait().map_err(|e| e.to_string())?;
                     let ids: Vec<PointId> = r.neighbors.iter().map(|n| n.id).collect();
                     writeln!(
                         out,
@@ -706,6 +745,32 @@ where
                         ids.len(),
                         r.service().as_secs_f64() * 1e3,
                         r.total().as_secs_f64() * 1e3,
+                        r.worker,
+                    )
+                    .map_err(oops)
+                }),
+            "qc" => parts
+                .map(|v| {
+                    v.parse::<f64>()
+                        .map_err(|_| format!("bad coordinate '{v}'"))
+                })
+                .collect::<Result<Vec<f64>, String>>()
+                .and_then(|coords| {
+                    // No local shape check: the engine validates at submit,
+                    // so malformed coordinates exercise the typed
+                    // `invalid query` path end to end.
+                    let ticket = engine
+                        .submit(with_deadline(QueryRequest::coords(coords)))
+                        .map_err(|e| e.to_string())?;
+                    let r = ticket.wait().map_err(|e| e.to_string())?;
+                    let ids: Vec<PointId> = r.neighbors.iter().map(|n| n.id).collect();
+                    writeln!(
+                        out,
+                        "qc · epoch {} · {} reverse neighbors {ids:?} \
+                         ({:.3} ms service, worker {})",
+                        r.epoch,
+                        ids.len(),
+                        r.service().as_secs_f64() * 1e3,
                         r.worker,
                     )
                     .map_err(oops)
@@ -764,15 +829,24 @@ where
                 let s = engine.stats();
                 writeln!(
                     out,
-                    "epoch {} · submitted {} · completed {} · rejected {} · \
-                     stolen {} · swaps {} · queued {}",
-                    s.epoch, s.submitted, s.completed, s.rejected, s.stolen, s.swaps, s.queued,
+                    "epoch {} · submitted {} · completed {} · failed {} · rejected {} · \
+                     respawns {} · stolen {} · swaps {} · queued {}",
+                    s.epoch,
+                    s.submitted,
+                    s.completed,
+                    s.failed,
+                    s.rejected,
+                    s.respawns,
+                    s.stolen,
+                    s.swaps,
+                    s.queued,
                 )
                 .map_err(oops)
             }
             "help" => writeln!(
                 out,
-                "commands: q <id> | insert <c1> .. <c{dim}> | remove <id> | stats | quit"
+                "commands: q <id> | qc <c1> .. <c{dim}> | insert <c1> .. <c{dim}> | \
+                 remove <id> | stats | quit"
             )
             .map_err(oops),
             other => Err(format!("unknown command '{other}' (try 'help')")),
@@ -784,8 +858,8 @@ where
     let stats = engine.shutdown();
     writeln!(
         out,
-        "engine closed: {} completed, {} rejected, {} epoch swaps",
-        stats.completed, stats.rejected, stats.swaps
+        "engine closed: {} completed, {} failed, {} rejected, {} epoch swaps",
+        stats.completed, stats.failed, stats.rejected, stats.swaps
     )
     .map_err(oops)?;
     Ok(())
@@ -1029,7 +1103,7 @@ mod tests {
         assert!(text.contains("error: id 7 is not a live point"), "{text}");
         assert!(text.contains("error: unknown command 'bogus'"), "{text}");
         assert!(
-            text.contains("engine closed: 3 completed, 0 rejected, 2 epoch swaps"),
+            text.contains("engine closed: 3 completed, 0 failed, 0 rejected, 2 epoch swaps"),
             "{text}"
         );
         // Same REPL on the linear substrate and a pinned tier.
@@ -1044,6 +1118,68 @@ mod tests {
         .unwrap();
         let text2 = String::from_utf8(out2).unwrap();
         assert!(text2.contains("q 0 · epoch 0"), "{text2}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn serve_repl_types_errors_and_survives_chaos() {
+        let path = tmp("rknn_cli_serve_chaos.fvb");
+        gen(&args(&format!(
+            "gen --kind blobs --n 120 --dim 3 --out {path} --seed 11"
+        )))
+        .unwrap();
+        // Coordinate queries validate at the engine boundary: non-finite
+        // values and wrong arity come back as typed `invalid query` errors,
+        // well-formed ones answer. `--deadline-ms` attaches a per-query
+        // budget generous enough that every answer lands inside it.
+        let script = "qc nan 0 0\n\
+                      qc 0.1 0.2\n\
+                      qc 0.1 0.2 0.3\n\
+                      q 4\n\
+                      quit\n";
+        let mut out = Vec::new();
+        serve_io(
+            &args(&format!(
+                "serve --input {path} --k 3 --substrate linear --threads 1 --deadline-ms 5000"
+            )),
+            script.as_bytes(),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("error: invalid query: non-finite coordinate"),
+            "{text}"
+        );
+        assert!(
+            text.contains("error: invalid query: dimension mismatch: expected 3, got 2"),
+            "{text}"
+        );
+        assert!(text.contains("qc · epoch 0"), "{text}");
+        assert!(text.contains("q 4 · epoch 0"), "{text}");
+        // Invalid inputs are refused at submit — never admitted, so they
+        // count in neither `completed` nor `failed`.
+        assert!(
+            text.contains("engine closed: 2 completed, 0 failed, 0 rejected, 0 epoch swaps"),
+            "{text}"
+        );
+        // `--chaos` injects seeded panics/deaths/delays: faulted queries
+        // report typed errors, the supervisor respawns, the REPL survives
+        // to a clean shutdown.
+        let script2: String =
+            (0..40).map(|i| format!("q {i}\n")).collect::<String>() + "stats\nquit\n";
+        let mut out2 = Vec::new();
+        serve_io(
+            &args(&format!(
+                "serve --input {path} --k 3 --substrate linear --threads 2 --chaos 7"
+            )),
+            script2.as_bytes(),
+            &mut out2,
+        )
+        .unwrap();
+        let text2 = String::from_utf8(out2).unwrap();
+        assert!(text2.contains("engine closed:"), "{text2}");
+        assert!(!text2.contains("engine closed: 40 completed"), "{text2}");
         let _ = std::fs::remove_file(&path);
     }
 

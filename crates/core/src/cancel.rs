@@ -1,0 +1,148 @@
+//! Cooperative cancellation for long-running queries.
+//!
+//! A [`CancelToken`] is handed to a query by its driver (the serving
+//! engine's per-request deadline, a caller's explicit abort) and checked by
+//! the query at coarse block boundaries — tile blocks in the filter phase,
+//! per-candidate verifications in refinement — so a wedged or obsolete
+//! query releases its worker within one block of work instead of running to
+//! completion. Checking is cheap (one relaxed atomic load, plus one clock
+//! read when a deadline is set), and a query that is never cancelled is
+//! byte-identical to an uncancellable run: the token influences *whether*
+//! work continues, never what it computes.
+
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A query was abandoned at a cancellation checkpoint before completing.
+///
+/// Carried as the `Err` of cancellable query entry points; the driver maps
+/// it to its own typed error (deadline exceeded, explicit cancel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "query cancelled before completion")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+/// A cheap, cloneable handle that tells a running query to stop.
+///
+/// Cancellation has two independent sources, either of which trips the
+/// token: an explicit [`cancel`](CancelToken::cancel) call (from any clone,
+/// any thread), and an optional wall-clock deadline. A token with neither a
+/// flag nor a deadline ([`CancelToken::never`]) never cancels and costs
+/// nothing to check beyond a branch.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Option<Arc<AtomicBool>>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that can only be cancelled explicitly.
+    pub fn new() -> Self {
+        CancelToken {
+            flag: Some(Arc::new(AtomicBool::new(false))),
+            deadline: None,
+        }
+    }
+
+    /// A token that never cancels — the zero-cost default for callers
+    /// without a cancellation source.
+    pub fn never() -> Self {
+        CancelToken {
+            flag: None,
+            deadline: None,
+        }
+    }
+
+    /// A token that trips once the wall clock reaches `deadline` (and can
+    /// also be cancelled explicitly).
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            flag: Some(Arc::new(AtomicBool::new(false))),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Builds a token around an externally owned flag — the serving engine
+    /// shares one flag between the submitter's ticket and the executing
+    /// worker this way.
+    pub fn from_flag(flag: Arc<AtomicBool>, deadline: Option<Instant>) -> Self {
+        CancelToken {
+            flag: Some(flag),
+            deadline,
+        }
+    }
+
+    /// The deadline this token trips at, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Trips the token: every clone sharing the flag observes the
+    /// cancellation at its next checkpoint.
+    pub fn cancel(&self) {
+        if let Some(flag) = &self.flag {
+            flag.store(true, Relaxed);
+        }
+    }
+
+    /// Whether the token has tripped (explicitly or by deadline). This is
+    /// the checkpoint call queries make at block granularity.
+    pub fn is_cancelled(&self) -> bool {
+        if let Some(flag) = &self.flag {
+            if flag.load(Relaxed) {
+                return true;
+            }
+        }
+        match self.deadline {
+            Some(deadline) => Instant::now() >= deadline,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn never_token_never_cancels() {
+        let t = CancelToken::never();
+        assert!(!t.is_cancelled());
+        t.cancel(); // no flag: a no-op, not a panic
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn explicit_cancel_is_visible_to_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!c.is_cancelled());
+        t.cancel();
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn past_deadline_trips_without_explicit_cancel() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        let far = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!far.is_cancelled());
+    }
+
+    #[test]
+    fn shared_flag_links_ticket_and_worker() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let worker_side = CancelToken::from_flag(Arc::clone(&flag), None);
+        assert!(!worker_side.is_cancelled());
+        flag.store(true, Relaxed);
+        assert!(worker_side.is_cancelled());
+    }
+}

@@ -44,6 +44,7 @@
 
 pub mod bestfirst;
 pub mod brute;
+pub mod cancel;
 pub mod dataset;
 pub mod error;
 pub mod float;
@@ -56,6 +57,7 @@ pub mod scratch;
 pub mod stats;
 
 pub use brute::BruteForce;
+pub use cancel::{CancelToken, Cancelled};
 pub use dataset::{BuildStats, Dataset, DatasetBuilder, F32Rows, PaddedRows};
 pub use error::CoreError;
 pub use float::OrderedF64;

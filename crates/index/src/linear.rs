@@ -336,6 +336,10 @@ impl<M: Metric> KnnIndex<M> for LinearScan<M> {
         self.pool.live()
     }
 
+    fn has_point(&self, id: PointId) -> bool {
+        self.pool.is_alive(id)
+    }
+
     fn dim(&self) -> usize {
         self.pool.dim()
     }

@@ -51,6 +51,14 @@ pub trait KnnIndex<M: Metric>: Send + Sync {
     /// Number of live points in the index.
     fn num_points(&self) -> usize;
 
+    /// Whether `id` names a live, queryable point. The default assumes a
+    /// dense id space (`0..num_points()`); tombstoning substrates override
+    /// it so ids churned in past the live count validate and ids churned
+    /// out reject — this is the check serving drivers apply at submit.
+    fn has_point(&self, id: PointId) -> bool {
+        id < self.num_points()
+    }
+
     /// Dimensionality of the indexed points.
     fn dim(&self) -> usize;
 

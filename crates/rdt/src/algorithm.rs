@@ -26,9 +26,11 @@
 //! trait in `rknn_baselines::algorithm`.
 
 use crate::answer::RknnAnswer;
-use crate::engine::{run_query_full, DkCache, RdtVariant, TSchedule};
+use crate::engine::{run_query_full, run_query_interruptible, DkCache, RdtVariant, TSchedule};
 use crate::params::RdtParams;
-use rknn_core::{Metric, Neighbor, PointId, QueryScratch, SearchStats};
+use rknn_core::{
+    CancelToken, Cancelled, CoreError, Metric, Neighbor, PointId, QueryScratch, SearchStats,
+};
 use rknn_index::KnnIndex;
 use std::time::{Duration, Instant};
 
@@ -147,6 +149,27 @@ pub enum MaintenanceCost {
 /// caches that only *reduce work* without changing answers — RDT's
 /// [`DkCache`] — are the documented exception: results stay deterministic,
 /// per-query work counters may vary with scheduling.)
+///
+/// # Unwind safety (the serving contract)
+///
+/// The serving engine runs each query under
+/// [`std::panic::catch_unwind`] so one panicking query fails exactly its
+/// own submitter instead of the whole worker. Implementations must
+/// therefore tolerate a query being abandoned at *any* point:
+///
+/// * A [`Worker`](Self::Worker) whose query panicked is **discarded** —
+///   the driver never reuses it and builds a replacement through
+///   [`make_worker`](Self::make_worker) — so worker state may be left
+///   arbitrarily inconsistent by an unwind.
+/// * Shared state reachable through `&self` (caches like [`DkCache`])
+///   must stay valid mid-unwind. `DkCache` satisfies this by
+///   construction: slots are single atomic stores of complete values, so
+///   an abandoned query has either published a correct threshold or
+///   nothing.
+///
+/// No implementation in this workspace holds locks or performs multi-step
+/// shared mutations during [`query`](Self::query), so all are unwind-safe
+/// under this contract.
 pub trait RknnAlgorithm<M: Metric, I: KnnIndex<M> + ?Sized>: Sync {
     /// Per-worker mutable state: scratch buffers reused across the queries
     /// one thread executes.
@@ -180,6 +203,69 @@ pub trait RknnAlgorithm<M: Metric, I: KnnIndex<M> + ?Sized>: Sync {
     /// Answers the reverse-kNN query located at dataset point `q`
     /// (self-excluding).
     fn query(&self, index: &I, q: PointId, worker: &mut Self::Worker) -> Self::Answer;
+
+    /// [`query`](Self::query) with a cooperative [`CancelToken`].
+    ///
+    /// The default checks the token once up front and then runs the query
+    /// to completion — correct for every method, coarse for long queries.
+    /// Methods with interruptible engines (RDT's tile-block checkpoints)
+    /// override this to honor the token at block granularity, so a
+    /// past-deadline or explicitly cancelled query releases its worker
+    /// promptly. A query whose token never trips must be byte-identical
+    /// to [`query`](Self::query).
+    fn query_cancellable(
+        &self,
+        index: &I,
+        q: PointId,
+        worker: &mut Self::Worker,
+        cancel: &CancelToken,
+    ) -> Result<Self::Answer, Cancelled> {
+        if cancel.is_cancelled() {
+            return Err(Cancelled);
+        }
+        Ok(self.query(index, q, worker))
+    }
+
+    /// Answers a reverse-kNN query located at arbitrary coordinates (not a
+    /// dataset point, nothing excluded), honoring `cancel` as in
+    /// [`query_cancellable`](Self::query_cancellable).
+    ///
+    /// Returns `None` when the method cannot answer external-coordinate
+    /// queries (the default); drivers surface that as a typed
+    /// "unsupported" error instead of a panic. `coords` has already passed
+    /// [`validate_query`](Self::validate_query) when called through the
+    /// serving engine.
+    fn query_at(
+        &self,
+        index: &I,
+        coords: &[f64],
+        worker: &mut Self::Worker,
+        cancel: &CancelToken,
+    ) -> Option<Result<Self::Answer, Cancelled>> {
+        let _ = (index, coords, worker, cancel);
+        None
+    }
+
+    /// Boundary validation for an external-coordinate query: the hook
+    /// serving drivers call **at submit time**, before malformed input can
+    /// reach a kernel or a worker thread. The default enforces what every
+    /// metric kernel assumes — the index's dimensionality and finite
+    /// coordinates — and methods with stricter preconditions can extend it.
+    fn validate_query(&self, index: &I, coords: &[f64]) -> Result<(), CoreError> {
+        if coords.len() != index.dim() {
+            return Err(CoreError::DimensionMismatch {
+                expected: index.dim(),
+                got: coords.len(),
+            });
+        }
+        if let Some(coordinate) = coords.iter().position(|c| !c.is_finite()) {
+            return Err(CoreError::NonFinite {
+                point: 0,
+                coordinate,
+            });
+        }
+        Ok(())
+    }
 
     /// Repairs maintained state after an index update, called once per
     /// insert/delete with the index already mutated (the removed point, if
@@ -595,6 +681,46 @@ where
             worker,
             self.cache.as_ref(),
         )
+    }
+
+    fn query_cancellable(
+        &self,
+        index: &I,
+        q: PointId,
+        worker: &mut QueryScratch,
+        cancel: &CancelToken,
+    ) -> Result<RknnAnswer, Cancelled> {
+        run_query_interruptible(
+            index,
+            index.point(q),
+            Some(q),
+            self.params,
+            self.variant,
+            self.schedule,
+            worker,
+            self.cache.as_ref(),
+            cancel,
+        )
+    }
+
+    fn query_at(
+        &self,
+        index: &I,
+        coords: &[f64],
+        worker: &mut QueryScratch,
+        cancel: &CancelToken,
+    ) -> Option<Result<RknnAnswer, Cancelled>> {
+        Some(run_query_interruptible(
+            index,
+            coords,
+            None,
+            self.params,
+            self.variant,
+            self.schedule,
+            worker,
+            self.cache.as_ref(),
+            cancel,
+        ))
     }
 }
 

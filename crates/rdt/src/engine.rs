@@ -30,7 +30,8 @@
 use crate::answer::{RdtQueryStats, RknnAnswer, Termination};
 use crate::params::RdtParams;
 use rknn_core::{
-    CursorScratch, FilterCandidate, Metric, Neighbor, PointId, QueryScratch, SearchStats,
+    CancelToken, Cancelled, CursorScratch, FilterCandidate, Metric, Neighbor, PointId,
+    QueryScratch, SearchStats,
 };
 use rknn_index::KnnIndex;
 
@@ -416,6 +417,48 @@ where
     M: Metric,
     I: KnnIndex<M> + ?Sized,
 {
+    let never = CancelToken::never();
+    match run_query_interruptible(
+        index, q, exclude, params, variant, schedule, scratch, dk_cache, &never,
+    ) {
+        Ok(answer) => answer,
+        Err(Cancelled) => unreachable!("a never-token cannot cancel"),
+    }
+}
+
+/// [`run_query_full`] with a cooperative [`CancelToken`], checked at
+/// block granularity: once per `WITNESS_TILE` (32) retrievals during the
+/// filter phase and before each forward-kNN verification during
+/// refinement — the two places where a query spends unbounded time. A
+/// query whose token never trips is byte-identical (results, counters,
+/// terminations) to the uncancellable entry points; a tripped token
+/// returns [`Cancelled`] within one block of work and leaves only the
+/// caller's reusable scratch behind (cleared on the next query).
+///
+/// This is the serving engine's deadline/cancellation hook: a wedged or
+/// past-deadline query releases its worker instead of holding it to
+/// completion.
+///
+/// # Panics
+///
+/// Panics if a supplied cache was built for a different rank than
+/// `params.k`.
+#[allow(clippy::too_many_arguments)] // the serving engine is the only caller with all knobs
+pub fn run_query_interruptible<M, I>(
+    index: &I,
+    q: &[f64],
+    exclude: Option<PointId>,
+    params: RdtParams,
+    variant: RdtVariant,
+    schedule: TSchedule,
+    scratch: &mut QueryScratch,
+    dk_cache: Option<&DkCache>,
+    cancel: &CancelToken,
+) -> Result<RknnAnswer, Cancelled>
+where
+    M: Metric,
+    I: KnnIndex<M> + ?Sized,
+{
     if let Some(cache) = dk_cache {
         assert_eq!(cache.k(), params.k, "DkCache rank mismatch");
     }
@@ -465,6 +508,10 @@ where
     // terminate the search prematurely.
     let mut test_armed = matches!(schedule, TSchedule::Fixed);
 
+    if cancel.is_cancelled() {
+        return Err(Cancelled);
+    }
+
     // (An explicit loop rather than `while let`: the else-branch documents
     // the exhaustion case.)
     #[allow(clippy::while_let_loop)]
@@ -474,6 +521,12 @@ where
             break;
         };
         s += 1;
+        // Cancellation checkpoint at tile-block granularity: one check per
+        // WITNESS_TILE retrievals bounds the post-cancel overrun to a block
+        // while keeping the checkpoint off the per-row hot path.
+        if s.is_multiple_of(WITNESS_TILE) && cancel.is_cancelled() {
+            return Err(Cancelled);
+        }
         if let TSchedule::Adaptive { safety } = schedule {
             if v.dist > 0.0 {
                 sum_ln_d += v.dist.ln();
@@ -642,6 +695,11 @@ where
             lazy_rejects += 1; // Assertion 1: cannot be a reverse neighbor.
             continue;
         }
+        // Each verification is one bounded forward-kNN query — the
+        // refinement-phase block — so the checkpoint sits in front of it.
+        if cancel.is_cancelled() {
+            return Err(Cancelled);
+        }
         verified += 1;
         // The filter-phase cursor released `cursor_scratch` above, so the
         // verification queries reuse the same buffers on any substrate.
@@ -657,7 +715,7 @@ where
     search.absorb(&verify_stats);
     rknn_core::neighbor::sort_neighbors(&mut result);
 
-    RknnAnswer {
+    Ok(RknnAnswer {
         result,
         stats: RdtQueryStats {
             retrieved: s,
@@ -673,7 +731,7 @@ where
             termination,
             search,
         },
-    }
+    })
 }
 
 #[cfg(test)]
@@ -684,6 +742,7 @@ mod tests {
     use rknn_core::{BruteForce, Dataset, Euclidean, SearchStats};
     use rknn_index::LinearScan;
     use std::sync::Arc;
+    use std::time::Duration;
 
     fn uniform(n: usize, dim: usize, seed: u64) -> Arc<Dataset> {
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -913,6 +972,50 @@ mod tests {
             checked += 1;
         }
         assert_eq!(checked, ds.len() - 1);
+    }
+
+    #[test]
+    fn cancellation_aborts_and_absence_changes_nothing() {
+        let ds = uniform(600, 3, 59);
+        let idx = LinearScan::build(ds, Euclidean);
+        let params = RdtParams::new(5, 30.0);
+        let mut scratch = QueryScratch::new(3);
+        // A pre-tripped token aborts before any work.
+        let tripped = CancelToken::new();
+        tripped.cancel();
+        let got = run_query_interruptible(
+            &idx,
+            idx.point(4),
+            Some(4),
+            params,
+            RdtVariant::Plain,
+            TSchedule::Fixed,
+            &mut scratch,
+            None,
+            &tripped,
+        );
+        assert_eq!(got.unwrap_err(), Cancelled);
+        // An untripped token is byte-identical to the uncancellable path,
+        // including all work counters — the checkpoints only read.
+        let live = CancelToken::with_deadline(std::time::Instant::now() + Duration::from_secs(60));
+        let with_token = run_query_interruptible(
+            &idx,
+            idx.point(4),
+            Some(4),
+            params,
+            RdtVariant::Plain,
+            TSchedule::Fixed,
+            &mut scratch,
+            None,
+            &live,
+        )
+        .unwrap();
+        let plain = run_query(&idx, idx.point(4), Some(4), params, false);
+        assert_eq!(with_token.ids(), plain.ids());
+        assert_eq!(with_token.stats, plain.stats);
+        let bits: Vec<u64> = with_token.result.iter().map(|n| n.dist.to_bits()).collect();
+        let want: Vec<u64> = plain.result.iter().map(|n| n.dist.to_bits()).collect();
+        assert_eq!(bits, want);
     }
 
     #[test]

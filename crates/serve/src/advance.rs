@@ -9,7 +9,9 @@
 //! ([`rknn_rdt::DkCache::invalidate_near`]'s localized rule). The engine
 //! never sees the intermediate states: readers keep answering against the
 //! old epoch until [`crate::Engine::publish`] swaps in the finished
-//! successor.
+//! successor — and on *any* [`AdvanceError`], the published snapshot is
+//! untouched, so serving continues on the old epoch as if the advance had
+//! never been attempted.
 
 use crate::engine::Snapshot;
 use rknn_core::{CoreError, Metric, PointId, SearchStats};
@@ -22,8 +24,55 @@ use std::time::{Duration, Instant};
 pub enum ChurnOp {
     /// Insert a point at the given coordinates.
     Insert(Vec<f64>),
-    /// Tombstone the point with this id (ignored if already dead).
+    /// Tombstone the point with this id. Naming a dead or unknown id is an
+    /// error ([`AdvanceError::RemoveMissing`]): a churn feed referencing
+    /// points that are not live has diverged from the catalog, and
+    /// silently dropping the op would hide that.
     Remove(PointId),
+}
+
+/// Why a successor snapshot could not be built. The attempted advance has
+/// no effect: the predecessor snapshot — and whatever the engine is
+/// serving — is untouched.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdvanceError {
+    /// An insert op was rejected by the index (dimension mismatch,
+    /// non-finite coordinates).
+    Insert {
+        /// Position of the failing op in the `ops` slice.
+        op: usize,
+        /// The index's rejection.
+        source: CoreError,
+    },
+    /// A remove op named an id that is not live in the index.
+    RemoveMissing {
+        /// Position of the failing op in the `ops` slice.
+        op: usize,
+        /// The id that was not live.
+        id: PointId,
+    },
+}
+
+impl std::fmt::Display for AdvanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdvanceError::Insert { op, source } => {
+                write!(f, "churn op {op}: insert rejected: {source}")
+            }
+            AdvanceError::RemoveMissing { op, id } => {
+                write!(f, "churn op {op}: remove of id {id} which is not live")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdvanceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AdvanceError::Insert { source, .. } => Some(source),
+            AdvanceError::RemoveMissing { .. } => None,
+        }
+    }
 }
 
 /// What building a successor snapshot cost.
@@ -33,7 +82,7 @@ pub struct AdvanceReport {
     pub epoch: u64,
     /// Ids assigned to inserted points, in op order.
     pub inserted: Vec<PointId>,
-    /// Ids actually removed (ops naming dead ids are dropped).
+    /// Ids removed, in op order.
     pub removed: Vec<PointId>,
     /// Wall-clock time to clone, mutate, and repair.
     pub build_time: Duration,
@@ -51,12 +100,14 @@ pub struct AdvanceReport {
 /// [`RknnAlgorithm::apply_update`]. The result is query-ready — publish it
 /// without calling `prepare`.
 ///
-/// Fails only if an insert is rejected by the index (dimension mismatch,
-/// non-finite coordinates); `prev` is untouched either way.
+/// Fails with a typed [`AdvanceError`] naming the offending op if an
+/// insert is rejected by the index or a remove names an id that is not
+/// live; `prev` is untouched either way, so the engine keeps serving the
+/// old epoch.
 pub fn advance_snapshot<M, I>(
     prev: &Snapshot<M, I, RdtAlgorithm>,
     ops: &[ChurnOp],
-) -> Result<(Snapshot<M, I, RdtAlgorithm>, AdvanceReport), CoreError>
+) -> Result<(Snapshot<M, I, RdtAlgorithm>, AdvanceReport), AdvanceError>
 where
     M: Metric,
     I: DynamicIndex<M> + Clone,
@@ -66,22 +117,21 @@ where
     let mut algo = prev.algo().warmed();
     let mut inserted = Vec::new();
     let mut removed = Vec::new();
-    for op in ops {
+    for (at, op) in ops.iter().enumerate() {
         match op {
             ChurnOp::Insert(coords) => {
-                let id = index.insert(coords)?;
+                let id = index
+                    .insert(coords)
+                    .map_err(|source| AdvanceError::Insert { op: at, source })?;
                 RknnAlgorithm::<M, I>::apply_update(&mut algo, &index, IndexUpdate::Inserted(id));
                 inserted.push(id);
             }
             ChurnOp::Remove(id) => {
-                if index.remove(*id) {
-                    RknnAlgorithm::<M, I>::apply_update(
-                        &mut algo,
-                        &index,
-                        IndexUpdate::Removed(*id),
-                    );
-                    removed.push(*id);
+                if !index.remove(*id) {
+                    return Err(AdvanceError::RemoveMissing { op: at, id: *id });
                 }
+                RknnAlgorithm::<M, I>::apply_update(&mut algo, &index, IndexUpdate::Removed(*id));
+                removed.push(*id);
             }
         }
     }
@@ -117,7 +167,6 @@ mod tests {
         let ops = vec![
             ChurnOp::Insert(vec![0.2, 0.3, 0.4]),
             ChurnOp::Remove(11),
-            ChurnOp::Remove(11), // second removal of the same id is a no-op
             ChurnOp::Insert(vec![0.8, 0.1, 0.5]),
         ];
         let (next, report) = advance_snapshot(&snap, &ops).unwrap();
@@ -140,5 +189,33 @@ mod tests {
         // The predecessor snapshot is untouched by the advance.
         assert_eq!(snap.epoch(), 0);
         assert_eq!(snap.index().num_points(), 180);
+    }
+
+    #[test]
+    fn advance_errors_are_typed_and_leave_the_predecessor_intact() {
+        let ds = rknn_data::gaussian_blobs(90, 3, 3, 0.4, 951).into_shared();
+        let idx = LinearScan::build(ds, Euclidean);
+        let snap = Snapshot::prepare(0, idx, RdtAlgorithm::new(RdtParams::new(3, 4.0)));
+
+        // Remove of a dead id after removing it once.
+        let err = advance_snapshot(&snap, &[ChurnOp::Remove(5), ChurnOp::Remove(5)]).unwrap_err();
+        assert_eq!(err, AdvanceError::RemoveMissing { op: 1, id: 5 });
+
+        // Remove of an id that never existed.
+        let err = advance_snapshot(&snap, &[ChurnOp::Remove(400)]).unwrap_err();
+        assert_eq!(err, AdvanceError::RemoveMissing { op: 0, id: 400 });
+
+        // Insert rejected by the index: wrong dimensionality.
+        let err = advance_snapshot(&snap, &[ChurnOp::Insert(vec![1.0])]).unwrap_err();
+        match err {
+            AdvanceError::Insert { op: 0, source } => {
+                assert!(matches!(source, CoreError::DimensionMismatch { .. }));
+            }
+            other => panic!("expected Insert error, got {other:?}"),
+        }
+
+        // A failed advance changed nothing the engine could observe.
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.index().num_points(), 90);
     }
 }

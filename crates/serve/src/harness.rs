@@ -10,11 +10,17 @@
 //! call, so dispatcher lag cannot hide service-side queueing either — the
 //! observed lag is reported separately as an honesty field.
 //!
+//! Tickets resolving with a typed error (deadline, shed, internal) are
+//! counted honestly in the report rather than folded into completions or
+//! silently dropped — under fault injection the identity
+//! `offered == completed + rejected + deadline_exceeded + failed` is what
+//! the chaos gate checks.
+//!
 //! The closed-loop driver ([`run_closed_loop`]) is the throughput probe:
 //! it submits as fast as backpressure admits and reports saturated QPS,
 //! which is what the thread-scaling curve is built from.
 
-use crate::engine::{Engine, QueryResponse, SubmitError, Ticket};
+use crate::engine::{Engine, QueryError, QueryRequest, Ticket};
 use rknn_core::{Metric, PointId};
 use rknn_index::KnnIndex;
 use rknn_rdt::algorithm::RknnAlgorithm;
@@ -27,6 +33,9 @@ pub struct OpenLoopConfig {
     pub rate_qps: f64,
     /// Total queries to offer.
     pub total: usize,
+    /// Per-query deadline, measured from submission. `None` disables
+    /// deadlines (every accepted query runs to completion).
+    pub deadline: Option<Duration>,
 }
 
 /// Nearest-rank percentile summary of a latency sample, in milliseconds.
@@ -79,10 +88,15 @@ pub fn latency_summary(samples: &[f64]) -> Option<LatencySummary> {
 pub struct OpenLoopReport {
     /// Queries offered (scheduled arrivals).
     pub offered: usize,
-    /// Queries completed (every accepted submission completes).
+    /// Queries completed with an answer.
     pub completed: usize,
-    /// Queries rejected by backpressure.
+    /// Queries rejected at submit by backpressure (or the engine closing).
     pub rejected: usize,
+    /// Accepted queries shed for missing their deadline.
+    pub deadline_exceeded: usize,
+    /// Accepted queries resolving with any other typed error (shed,
+    /// cancelled, internal, closed-swept).
+    pub failed: usize,
     /// Wall-clock span from first scheduled arrival to last collection.
     pub elapsed: Duration,
     /// Target arrival rate the schedule was built from.
@@ -136,22 +150,39 @@ where
         } else {
             max_lag = max_lag.max(now - scheduled);
         }
-        match engine.submit(queries[i % queries.len()]) {
+        let mut request = QueryRequest::point(queries[i % queries.len()]);
+        if let Some(deadline) = cfg.deadline {
+            request = request.with_timeout(deadline);
+        }
+        match engine.submit(request) {
             Ok(ticket) => pending.push((scheduled, ticket)),
-            Err(SubmitError::Saturated { .. }) => rejected += 1,
-            Err(SubmitError::Closed) => {
+            Err(QueryError::Saturated { .. }) => rejected += 1,
+            Err(QueryError::Closed) => {
                 rejected += cfg.total - i;
                 break;
             }
+            Err(other) => panic!("open-loop submit rejected unexpectedly: {other}"),
         }
     }
 
     let mut latency_ms = Vec::with_capacity(pending.len());
     let mut service_ms = Vec::with_capacity(pending.len());
     let mut queue_ms = Vec::with_capacity(pending.len());
+    let mut deadline_exceeded = 0usize;
+    let mut failed = 0usize;
     let mut epochs: Vec<u64> = Vec::new();
     for (scheduled, ticket) in pending {
-        let response: QueryResponse = ticket.wait();
+        let response = match ticket.wait() {
+            Ok(response) => response,
+            Err(QueryError::DeadlineExceeded { .. }) => {
+                deadline_exceeded += 1;
+                continue;
+            }
+            Err(_) => {
+                failed += 1;
+                continue;
+            }
+        };
         latency_ms.push(
             response
                 .finished_at
@@ -178,6 +209,8 @@ where
         offered: cfg.total,
         completed,
         rejected,
+        deadline_exceeded,
+        failed,
         elapsed,
         target_qps: cfg.rate_qps,
         achieved_qps,
@@ -193,10 +226,13 @@ where
 /// Outcome of one closed-loop (saturation) run.
 #[derive(Debug, Clone)]
 pub struct ClosedLoopReport {
-    /// Queries completed.
+    /// Queries completed with an answer.
     pub completed: usize,
     /// Submit attempts that hit backpressure and were retried.
     pub retries: usize,
+    /// Accepted queries resolving with a typed error instead of an
+    /// answer (only possible under fault injection or shutdown).
+    pub failed: usize,
     /// Wall-clock span of the run.
     pub elapsed: Duration,
     /// Saturated throughput; `None` when nothing completed or the span
@@ -209,6 +245,8 @@ pub struct ClosedLoopReport {
 /// Pushes `total` queries through `engine` as fast as backpressure admits
 /// (retrying saturated submits after yielding), then waits for all of
 /// them — the saturated-throughput probe behind the thread-scaling curve.
+/// An engine that closes mid-run stops the arrival loop instead of
+/// panicking; every accepted ticket is still collected.
 pub fn run_closed_loop<M, I, A>(
     engine: &Engine<M, I, A>,
     queries: &[PointId],
@@ -223,26 +261,29 @@ where
     let start = Instant::now();
     let mut pending: Vec<Ticket> = Vec::with_capacity(total);
     let mut retries = 0usize;
-    for i in 0..total {
+    'offer: for i in 0..total {
         loop {
             match engine.submit(queries[i % queries.len()]) {
                 Ok(ticket) => {
                     pending.push(ticket);
                     break;
                 }
-                Err(SubmitError::Saturated { .. }) => {
+                Err(QueryError::Saturated { .. }) => {
                     retries += 1;
                     std::thread::yield_now();
                 }
-                Err(SubmitError::Closed) => {
-                    panic!("engine closed during a closed-loop run");
-                }
+                Err(QueryError::Closed) => break 'offer,
+                Err(other) => panic!("closed-loop submit rejected unexpectedly: {other}"),
             }
         }
     }
     let mut service_ms = Vec::with_capacity(pending.len());
+    let mut failed = 0usize;
     for ticket in pending {
-        service_ms.push(ticket.wait().service().as_secs_f64() * 1e3);
+        match ticket.wait() {
+            Ok(response) => service_ms.push(response.service().as_secs_f64() * 1e3),
+            Err(_) => failed += 1,
+        }
     }
     let elapsed = start.elapsed();
     let completed = service_ms.len();
@@ -251,6 +292,7 @@ where
     ClosedLoopReport {
         completed,
         retries,
+        failed,
         elapsed,
         qps,
         service: latency_summary(&service_ms),
@@ -278,6 +320,7 @@ mod tests {
             EngineConfig {
                 workers,
                 queue_capacity: 64,
+                ..EngineConfig::default()
             },
         )
     }
@@ -304,10 +347,12 @@ mod tests {
             &OpenLoopConfig {
                 rate_qps: 2000.0,
                 total: 150,
+                deadline: None,
             },
         );
         assert_eq!(report.offered, 150);
         assert_eq!(report.completed + report.rejected, 150);
+        assert_eq!((report.deadline_exceeded, report.failed), (0, 0));
         assert!(report.completed > 0);
         assert!(report.achieved_qps.unwrap() > 0.0);
         let lat = report.latency.unwrap();
@@ -324,6 +369,7 @@ mod tests {
         let queries: Vec<usize> = (0..150).collect();
         let report = run_closed_loop(&eng, &queries, 300);
         assert_eq!(report.completed, 300);
+        assert_eq!(report.failed, 0);
         assert!(report.qps.unwrap() > 0.0);
         assert!(report.service.unwrap().count == 300);
     }

@@ -11,17 +11,29 @@
 //! * [`Snapshot`] — an immutable `(epoch, index, prepared algorithm)`
 //!   triple. Queries only ever see one snapshot; churn produces a *new*
 //!   snapshot built off to the side (for RDT, carrying the warm `d_k`
-//!   cache forward via [`advance_snapshot`] instead of rebuilding it).
-//! * [`Engine`] — N worker threads, each owning its scratch, fed by
-//!   per-worker bounded queues with work stealing. Submission applies
-//!   backpressure ([`SubmitError::Saturated`]) instead of growing without
-//!   bound; [`Engine::publish`] swaps the active snapshot epoch-style —
-//!   readers never block, in-flight queries finish against the epoch they
-//!   started with.
+//!   cache forward via [`advance_snapshot`] instead of rebuilding it),
+//!   failing with a typed [`AdvanceError`] that leaves the serving
+//!   snapshot untouched.
+//! * [`Engine`] — supervised worker threads, each owning its scratch, fed
+//!   by per-worker bounded queues with work stealing. Submission validates
+//!   input at the boundary and applies backpressure
+//!   ([`QueryError::Saturated`]) instead of growing without bound;
+//!   [`Engine::publish`] swaps the active snapshot epoch-style — readers
+//!   never block, in-flight queries finish against the epoch they started
+//!   with. Every accepted [`Ticket`] resolves exactly once, with an answer
+//!   or a typed [`QueryError`] — through deadlines, cancellation, worker
+//!   panics, worker deaths, and shutdown (the failure model is documented
+//!   on [`engine`]).
+//! * [`RetryPolicy`] — the recommended client loop for `Saturated`:
+//!   bounded attempts with decorrelated-jitter backoff.
+//! * [`FaultPlan`] — deterministic, seedable fault injection (worker
+//!   panics, deaths, delays, queue-full windows) keyed on the engine's own
+//!   sequence numbers, for chaos tests that reproduce exactly.
 //! * [`harness`] — open-loop load generation (arrivals on a fixed
 //!   schedule, independent of completions, the methodology that exposes
 //!   coordinated omission) and closed-loop saturation runs, summarized as
-//!   p50/p90/p99/p999 latency and QPS.
+//!   p50/p90/p99/p999 latency and QPS, with typed-error outcomes counted
+//!   honestly.
 //!
 //! The executor dispatches any [`rknn_rdt::algorithm::RknnAlgorithm`]
 //! unchanged, so RDT, RDT+ and all five baselines serve through the same
@@ -30,11 +42,20 @@
 
 pub mod advance;
 pub mod engine;
+pub mod fault;
 pub mod harness;
+pub mod retry;
+pub mod supervisor;
 
-pub use advance::{advance_snapshot, AdvanceReport, ChurnOp};
-pub use engine::{Engine, EngineConfig, EngineStats, QueryResponse, Snapshot, SubmitError, Ticket};
+pub use advance::{advance_snapshot, AdvanceError, AdvanceReport, ChurnOp};
+pub use engine::{
+    Engine, EngineConfig, EngineStats, Priority, QueryError, QueryInput, QueryRequest,
+    QueryResponse, Snapshot, Ticket,
+};
+pub use fault::{Fault, FaultCounts, FaultPlan};
 pub use harness::{
     latency_summary, run_closed_loop, run_open_loop, ClosedLoopReport, LatencySummary,
     OpenLoopConfig, OpenLoopReport,
 };
+pub use retry::RetryPolicy;
+pub use supervisor::{PoisonKey, PoisonLog, PoisonPill};

@@ -1,0 +1,150 @@
+//! Bounded retry with decorrelated-jitter backoff for saturated submits.
+//!
+//! [`QueryError::Saturated`] is the engine's backpressure signal: the
+//! caller should back off and try again, not spin. [`RetryPolicy`] is the
+//! recommended client loop — bounded attempts, sleeps drawn by the
+//! *decorrelated jitter* rule (`sleep = min(cap, uniform(base, 3·prev))`),
+//! which spreads concurrent retriers apart instead of letting them
+//! resubmit in lockstep the way fixed exponential backoff does. Every
+//! other error is terminal for the attempt loop: [`QueryError::Closed`]
+//! means the engine will never accept again, and validation errors will
+//! fail identically on every retry.
+//!
+//! The jitter stream is seeded, so a retry schedule — like everything else
+//! in the chaos harness — reproduces exactly.
+
+use crate::engine::{Engine, QueryError, QueryRequest, Ticket};
+use rknn_core::Metric;
+use rknn_index::KnnIndex;
+use rknn_rdt::algorithm::RknnAlgorithm;
+use std::time::Duration;
+
+/// Bounded-retry policy for [`Engine::submit`] under saturation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total submit attempts (the first try included). At least 1.
+    pub max_attempts: u32,
+    /// Lower bound of every backoff sleep.
+    pub base: Duration,
+    /// Upper bound of every backoff sleep.
+    pub cap: Duration,
+    /// Seed for the jitter stream, so retry schedules are reproducible.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// A policy with serving-scale defaults: `attempts` tries, sleeps
+    /// between 100µs and 10ms.
+    pub fn new(attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: attempts.max(1),
+            base: Duration::from_micros(100),
+            cap: Duration::from_millis(10),
+            seed: 0x5EED,
+        }
+    }
+
+    /// Overrides the backoff bounds.
+    pub fn with_backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.base = base;
+        self.cap = cap.max(base);
+        self
+    }
+
+    /// Overrides the jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The deterministic sleep schedule this policy would follow through
+    /// `max_attempts - 1` backoffs — exposed for tests and for callers that
+    /// want to pace something else with the same rule.
+    pub fn backoff_schedule(&self) -> Vec<Duration> {
+        let mut state = self.seed.wrapping_mul(2).wrapping_add(1);
+        let mut prev = self.base;
+        (1..self.max_attempts)
+            .map(|_| {
+                let next = decorrelated(&mut state, self.base, prev, self.cap);
+                prev = next;
+                next
+            })
+            .collect()
+    }
+
+    /// Submits `request`, retrying only on [`QueryError::Saturated`] with
+    /// decorrelated-jitter sleeps, up to [`max_attempts`](Self::max_attempts)
+    /// tries. Returns the first non-saturated outcome, or the last
+    /// `Saturated` error once the budget is spent. The retry count actually
+    /// used is reported through the second tuple element.
+    pub fn submit<M, I, A>(
+        &self,
+        engine: &Engine<M, I, A>,
+        request: QueryRequest,
+    ) -> (Result<Ticket, QueryError>, u32)
+    where
+        M: Metric + 'static,
+        I: KnnIndex<M> + 'static,
+        A: RknnAlgorithm<M, I> + Send + Sync + 'static,
+    {
+        let mut state = self.seed.wrapping_mul(2).wrapping_add(1);
+        let mut prev = self.base;
+        let mut retries = 0;
+        loop {
+            match engine.submit(request.clone()) {
+                Err(QueryError::Saturated { .. }) if retries + 1 < self.max_attempts.max(1) => {
+                    let sleep = decorrelated(&mut state, self.base, prev, self.cap);
+                    prev = sleep;
+                    retries += 1;
+                    std::thread::sleep(sleep);
+                }
+                outcome => return (outcome, retries),
+            }
+        }
+    }
+}
+
+/// One decorrelated-jitter draw: uniform in `[base, 3·prev]`, capped.
+fn decorrelated(state: &mut u64, base: Duration, prev: Duration, cap: Duration) -> Duration {
+    // xorshift64* — the same self-contained generator the fault plan uses.
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    let r = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+    let base_us = base.as_micros().max(1) as u64;
+    let hi_us = (prev.as_micros() as u64).saturating_mul(3).max(base_us + 1);
+    let span = hi_us - base_us;
+    let drawn = base_us + (r % (span + 1));
+    Duration::from_micros(drawn).min(cap).max(base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_bounded_and_jittered() {
+        let policy = RetryPolicy::new(8)
+            .with_backoff(Duration::from_micros(200), Duration::from_millis(5))
+            .with_seed(99);
+        let a = policy.backoff_schedule();
+        let b = policy.backoff_schedule();
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(a.len(), 7, "attempts - 1 sleeps");
+        for sleep in &a {
+            assert!(*sleep >= policy.base && *sleep <= policy.cap);
+        }
+        // Decorrelated jitter must actually vary, not step a fixed ladder.
+        assert!(a.windows(2).any(|w| w[0] != w[1]));
+        let c = policy.with_seed(100).backoff_schedule();
+        assert_ne!(a, c, "different seed, different schedule");
+    }
+
+    #[test]
+    fn single_attempt_policy_never_sleeps() {
+        assert!(RetryPolicy::new(1).backoff_schedule().is_empty());
+        assert_eq!(RetryPolicy::new(0).max_attempts, 1, "floor at one attempt");
+    }
+}

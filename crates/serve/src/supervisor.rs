@@ -1,0 +1,254 @@
+//! Worker supervision and the poison-pill log.
+//!
+//! Two layers keep a panicking query from taking serving capacity with it:
+//!
+//! * **In-thread recovery** (in [`crate::engine`]'s worker loop): queries
+//!   run under `catch_unwind`, so an ordinary panic resolves one ticket
+//!   with a typed error and the thread lives on with rebuilt scratch.
+//! * **Thread-level supervision** (this module): a panic *outside* the
+//!   protected region kills the thread. Each worker holds a `Lifeline` —
+//!   a drop guard that reports the death to the supervisor thread, which
+//!   joins the corpse and respawns a replacement with the same worker
+//!   index. Serving capacity is restored without operator action, and the
+//!   dying worker's in-flight ticket was already resolved by the engine's
+//!   job guard.
+//!
+//! The [`PoisonLog`] closes the loop on *inputs* that keep panicking
+//! workers: each panic is blamed on the input that triggered it, and an
+//! input crossing the failure threshold (or tripping a worker's
+//! consecutive-failure breaker) is quarantined — later submissions of it
+//! resolve [`crate::QueryError::Internal`] straight from the queue,
+//! without risking another worker.
+
+use crate::engine::{lock_mutex, spawn_worker, wait_cv, QueryInput, Shared};
+use rknn_core::{Metric, PointId};
+use rknn_index::KnnIndex;
+use rknn_rdt::algorithm::RknnAlgorithm;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+
+/// Drop guard armed at worker-thread birth: if the thread unwinds instead
+/// of returning, the guard's drop runs mid-unwind and reports the death to
+/// the supervisor. A clean exit [`disarm`](Lifeline::disarm)s it first.
+pub(crate) struct Lifeline<M, I, A> {
+    shared: Arc<Shared<M, I, A>>,
+    worker: usize,
+    armed: bool,
+}
+
+impl<M, I, A> Lifeline<M, I, A> {
+    /// Arms a lifeline for worker `worker`.
+    pub(crate) fn arm(shared: Arc<Shared<M, I, A>>, worker: usize) -> Self {
+        Lifeline {
+            shared,
+            worker,
+            armed: true,
+        }
+    }
+
+    /// The worker exited normally: no death to report.
+    pub(crate) fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl<M, I, A> Drop for Lifeline<M, I, A> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut dead = lock_mutex(&self.shared.dead);
+        dead.push(self.worker);
+        self.shared.reap.notify_all();
+    }
+}
+
+/// Spawns the supervisor thread for `shared`.
+pub(crate) fn spawn_supervisor<M, I, A>(shared: Arc<Shared<M, I, A>>) -> std::thread::JoinHandle<()>
+where
+    M: Metric + 'static,
+    I: KnnIndex<M> + 'static,
+    A: RknnAlgorithm<M, I> + Send + Sync + 'static,
+{
+    std::thread::Builder::new()
+        .name("rknn-serve-supervisor".to_string())
+        .spawn(move || supervisor_loop(&shared))
+        .expect("spawn engine supervisor")
+}
+
+/// Waits for worker deaths and respawns each dead worker into its slot.
+/// Exits when the engine closes and no deaths are pending; deaths after
+/// that are covered by the engine's shutdown sweep (stranded tickets
+/// resolve `Closed`).
+fn supervisor_loop<M, I, A>(shared: &Arc<Shared<M, I, A>>)
+where
+    M: Metric + 'static,
+    I: KnnIndex<M> + 'static,
+    A: RknnAlgorithm<M, I> + Send + Sync + 'static,
+{
+    loop {
+        let died: Vec<usize> = {
+            let mut dead = lock_mutex(&shared.dead);
+            while dead.is_empty() && shared.open.load(Relaxed) {
+                dead = wait_cv(&shared.reap, dead);
+            }
+            dead.drain(..).collect()
+        };
+        if died.is_empty() {
+            // Woken by close with nothing to reap: supervision over.
+            return;
+        }
+        for w in died {
+            // Join the corpse first so its slot is free, then respawn.
+            let corpse = lock_mutex(&shared.handles)[w].take();
+            if let Some(handle) = corpse {
+                let _ = handle.join();
+            }
+            spawn_worker(shared, w);
+            shared.respawns.fetch_add(1, Relaxed);
+        }
+    }
+}
+
+/// How the poison log identifies an input: dataset ids directly,
+/// coordinate queries by their exact bit patterns (so a resubmitted
+/// identical query matches, while any perturbation is a fresh input).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PoisonKey {
+    /// A dataset-point query.
+    Point(PointId),
+    /// A coordinate query, keyed by `f64::to_bits` of each coordinate.
+    Coords(Vec<u64>),
+}
+
+impl PoisonKey {
+    /// The key for a query input.
+    pub fn of(input: &QueryInput) -> Self {
+        match input {
+            QueryInput::Point(id) => PoisonKey::Point(*id),
+            QueryInput::Coords(coords) => {
+                PoisonKey::Coords(coords.iter().map(|c| c.to_bits()).collect())
+            }
+        }
+    }
+}
+
+/// One entry of the poison-pill log: an input blamed for at least one
+/// worker panic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoisonPill {
+    /// The offending input.
+    pub key: PoisonKey,
+    /// Panics blamed on this input so far.
+    pub failures: u32,
+    /// Whether the input is quarantined (refused at dequeue).
+    pub quarantined: bool,
+    /// The most recent panic message blamed on this input.
+    pub last_reason: String,
+}
+
+/// The poison-pill log: inputs blamed for worker panics, with quarantine
+/// state. Small by construction — panics are exceptional — so a scanned
+/// `Vec` beats a map here.
+#[derive(Debug, Default)]
+pub struct PoisonLog {
+    pills: Vec<PoisonPill>,
+}
+
+impl PoisonLog {
+    /// Blames `input` for a panic described by `reason`. Crossing
+    /// `threshold` failures quarantines the input; returns whether this
+    /// call *newly* quarantined it.
+    pub fn record(&mut self, input: &QueryInput, reason: &str, threshold: u32) -> bool {
+        let key = PoisonKey::of(input);
+        let pill = match self.pills.iter_mut().find(|p| p.key == key) {
+            Some(pill) => pill,
+            None => {
+                self.pills.push(PoisonPill {
+                    key,
+                    failures: 0,
+                    quarantined: false,
+                    last_reason: String::new(),
+                });
+                self.pills.last_mut().expect("just pushed")
+            }
+        };
+        pill.failures += 1;
+        pill.last_reason = reason.to_string();
+        if !pill.quarantined && pill.failures >= threshold {
+            pill.quarantined = true;
+            return true;
+        }
+        false
+    }
+
+    /// Quarantines `input` outright (the consecutive-failure breaker
+    /// path); returns whether it was *newly* quarantined.
+    pub fn quarantine(&mut self, input: &QueryInput) -> bool {
+        let key = PoisonKey::of(input);
+        match self.pills.iter_mut().find(|p| p.key == key) {
+            Some(pill) => {
+                if pill.quarantined {
+                    false
+                } else {
+                    pill.quarantined = true;
+                    true
+                }
+            }
+            None => {
+                self.pills.push(PoisonPill {
+                    key,
+                    failures: 0,
+                    quarantined: true,
+                    last_reason: "quarantined by worker failure breaker".to_string(),
+                });
+                true
+            }
+        }
+    }
+
+    /// Whether `input` is quarantined.
+    pub fn is_quarantined(&self, input: &QueryInput) -> bool {
+        let key = PoisonKey::of(input);
+        self.pills.iter().any(|p| p.quarantined && p.key == key)
+    }
+
+    /// The full log, in first-blamed order.
+    pub fn pills(&self) -> &[PoisonPill] {
+        &self.pills
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poison_log_thresholds_and_quarantines() {
+        let mut log = PoisonLog::default();
+        let bad = QueryInput::Point(7);
+        assert!(
+            !log.record(&bad, "boom", 2),
+            "first failure: below threshold"
+        );
+        assert!(!log.is_quarantined(&bad));
+        assert!(log.record(&bad, "boom again", 2), "second failure trips");
+        assert!(log.is_quarantined(&bad));
+        assert!(!log.record(&bad, "still bad", 2), "already quarantined");
+        assert_eq!(log.pills().len(), 1);
+        assert_eq!(log.pills()[0].failures, 3);
+        assert_eq!(log.pills()[0].last_reason, "still bad");
+        assert!(!log.is_quarantined(&QueryInput::Point(8)));
+    }
+
+    #[test]
+    fn breaker_quarantine_is_idempotent_and_keys_coords_by_bits() {
+        let mut log = PoisonLog::default();
+        let coords = QueryInput::Coords(vec![1.5, -0.0]);
+        assert!(log.quarantine(&coords), "newly quarantined");
+        assert!(!log.quarantine(&coords), "second trip is a no-op");
+        assert!(log.is_quarantined(&QueryInput::Coords(vec![1.5, -0.0])));
+        // +0.0 and -0.0 differ bitwise: a different input, not quarantined.
+        assert!(!log.is_quarantined(&QueryInput::Coords(vec![1.5, 0.0])));
+    }
+}

@@ -70,5 +70,8 @@ pub mod prelude {
         BatchConfig, BatchOutcome, MaintainedStream, Rdt, RdtAlgorithm, RdtParams, RdtPlus,
         RknnAlgorithm, RknnAnswer, UpdateReport,
     };
-    pub use rknn_serve::{Engine, EngineConfig, QueryResponse, Snapshot, SubmitError, Ticket};
+    pub use rknn_serve::{
+        Engine, EngineConfig, FaultPlan, Priority, QueryError, QueryRequest, QueryResponse,
+        RetryPolicy, Snapshot, Ticket,
+    };
 }

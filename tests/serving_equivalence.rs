@@ -30,7 +30,7 @@ use rknn::core::{Dataset, Euclidean, Neighbor, PointId};
 use rknn::index::{KnnIndex, LinearScan};
 use rknn::rdt::algorithm::{RdtAlgorithm, RknnAlgorithm};
 use rknn::rdt::RdtParams;
-use rknn::serve::{advance_snapshot, ChurnOp, Engine, EngineConfig, Snapshot, SubmitError};
+use rknn::serve::{advance_snapshot, ChurnOp, Engine, EngineConfig, QueryError, Snapshot};
 use std::sync::Arc;
 
 /// Tie-heavy half-integer lattice rows.
@@ -84,19 +84,20 @@ where
                     tickets.push(t);
                     break;
                 }
-                Err(SubmitError::Saturated { .. }) => {
+                Err(QueryError::Saturated { .. }) => {
                     retries += 1;
                     std::thread::yield_now();
                 }
-                Err(SubmitError::Closed) => panic!("engine closed mid-test"),
+                Err(other) => panic!("unexpected submit error mid-test: {other}"),
             }
         }
     }
     let responses = tickets
         .into_iter()
         .map(|t| {
-            let r = t.wait();
-            (r.query, r.epoch, digest(&r.neighbors))
+            let r = t.wait().expect("no faults injected: every ticket answers");
+            let q = r.point_id().expect("point query echoes its id");
+            (q, r.epoch, digest(&r.neighbors))
         })
         .collect();
     (responses, retries)
@@ -125,6 +126,7 @@ fn assert_engine_matches_sequential<A, F>(
         EngineConfig {
             workers,
             queue_capacity: queue_cap,
+            ..EngineConfig::default()
         },
     );
     let (responses, _retries) = drive(&engine, order);
@@ -215,7 +217,7 @@ proptest! {
 
         let engine = Engine::new(
             Snapshot::prepare(0, LinearScan::build(ds.clone(), Euclidean), RdtAlgorithm::new(params)),
-            EngineConfig { workers, queue_capacity: 8 },
+            EngineConfig { workers, queue_capacity: 8, ..EngineConfig::default() },
         );
 
         // Derive the epoch-1 successor off to the side (warm d_k cache),
@@ -290,6 +292,7 @@ fn cold_published_successor_serves_any_algorithm() {
         EngineConfig {
             workers: 2,
             queue_capacity: 4,
+            ..EngineConfig::default()
         },
     );
     let order: Vec<usize> = (0..n - 1).collect();
